@@ -1,0 +1,274 @@
+//! The schedule-aware oblivious attack on fixed-order Decay.
+//!
+//! Section 4.1 of the paper observes that the classic Decay subroutine "can
+//! be attacked by an oblivious adversary because the fixed schedule of
+//! broadcast probabilities allows it to calculate in advance the expected
+//! broadcast behaviour, and choose dynamic link behaviour accordingly". This
+//! link process implements that attack.
+//!
+//! It knows (from the algorithm description) that in round `r` every message
+//! holder transmits with probability `2^{-level(r)}` where
+//! `level(r) = (r mod L) + 1` is the *fixed* decay schedule. For every
+//! potential receiver `u` it therefore chooses how many of `u`'s grey-zone
+//! (dynamic) broadcaster links to activate so that the expected number of
+//! transmitting neighbors of `u` is pushed far away from 1:
+//!
+//! * if enough broadcasters are reachable it activates enough of them that
+//!   the expected count is ≥ `overload` (default 4), making a collision
+//!   overwhelmingly likely;
+//! * otherwise it activates none, leaving only the reliable neighbors, whose
+//!   expected count at this level is far below 1 — the rare lone transmission
+//!   is the only leak.
+//!
+//! Against *Permuted* Decay the same adversary misjudges which level each
+//! round uses (the permutation bits are generated after it committed), so
+//! the mismatch fails and Lemma 4.2 applies. Experiment E8 measures exactly
+//! this gap.
+
+use dradio_graphs::{DualGraph, Edge, NodeId};
+use dradio_sim::process::log2_ceil;
+use dradio_sim::{AdversaryClass, AdversarySetup, AdversaryView, LinkDecision, LinkProcess, Role};
+use rand::RngCore;
+
+/// The schedule-aware oblivious attacker on fixed-order Decay.
+#[derive(Debug, Clone)]
+pub struct DecayAwareOblivious {
+    /// Number of decay levels the victim algorithm cycles through.
+    levels: usize,
+    /// Target expected number of transmitting neighbors when overloading.
+    overload: f64,
+    /// Nodes the attacker assumes may transmit (its model of the informed
+    /// set); `None` means it is derived from the role assignment at
+    /// `on_start`.
+    assumed_transmitters: Option<Vec<NodeId>>,
+    /// Per-receiver lists of (dynamic edge to a broadcaster).
+    grey_broadcaster_edges: Vec<Vec<Edge>>,
+    /// Per-receiver count of reliable broadcaster neighbors.
+    reliable_broadcasters: Vec<usize>,
+}
+
+impl DecayAwareOblivious {
+    /// Creates the attacker assuming the victim cycles through `levels` decay
+    /// probabilities (use `⌈log₂ n⌉` for the global algorithms and
+    /// `⌈log₂ Δ⌉ + 1` for the local ones).
+    pub fn new(levels: usize) -> Self {
+        DecayAwareOblivious {
+            levels: levels.max(1),
+            overload: 4.0,
+            assumed_transmitters: None,
+            grey_broadcaster_edges: Vec::new(),
+            reliable_broadcasters: Vec::new(),
+        }
+    }
+
+    /// Creates the attacker sized for a network of `n` nodes (matching the
+    /// global broadcast algorithms' `⌈log₂ n⌉` levels).
+    pub fn for_network(n: usize) -> Self {
+        DecayAwareOblivious::new(log2_ceil(n).max(1))
+    }
+
+    /// Sets the expected-transmitter target used when overloading a receiver
+    /// (default 4).
+    pub fn with_overload(mut self, overload: f64) -> Self {
+        self.overload = overload.max(1.0);
+        self
+    }
+
+    /// Fixes the attacker's model of *which nodes may transmit*.
+    ///
+    /// An oblivious adversary knows the topology and the algorithm, so it may
+    /// reason about which nodes can plausibly hold the message: for a global
+    /// broadcast on the dual clique, for example, the source's side of the
+    /// clique informs itself almost immediately while the far side stays
+    /// silent until the bridge carries the message across. Feeding that
+    /// prediction in sharpens the attack considerably (and is exactly the
+    /// kind of reasoning the paper's Section 4.1 attack sketch performs).
+    pub fn assuming_transmitters(mut self, nodes: Vec<NodeId>) -> Self {
+        self.assumed_transmitters = Some(nodes);
+        self
+    }
+
+    /// The fixed decay probability the attacker assumes for round `r`.
+    pub fn assumed_probability(&self, round: usize) -> f64 {
+        0.5f64.powi(((round % self.levels) + 1).min(1024) as i32)
+    }
+
+    fn index_broadcasters(&mut self, dual: &DualGraph, broadcasters: &[bool]) {
+        let n = dual.len();
+        self.grey_broadcaster_edges = vec![Vec::new(); n];
+        self.reliable_broadcasters = vec![0; n];
+        for u in NodeId::all(n) {
+            self.reliable_broadcasters[u.index()] = dual
+                .g_neighbors(u)
+                .iter()
+                .filter(|v| broadcasters[v.index()])
+                .count();
+            for &v in dual.g_prime_neighbors(u) {
+                if broadcasters[v.index()] && !dual.g().has_edge(u, v) {
+                    self.grey_broadcaster_edges[u.index()].push(Edge::new(u, v));
+                }
+            }
+        }
+    }
+}
+
+impl LinkProcess for DecayAwareOblivious {
+    fn class(&self) -> AdversaryClass {
+        AdversaryClass::Oblivious
+    }
+
+    fn on_start(&mut self, setup: &AdversarySetup<'_>, _rng: &mut dyn RngCore) {
+        // The oblivious adversary knows the algorithm and the problem roles.
+        // For a *local* broadcast problem the potential transmitters are the
+        // broadcaster set; for a *global* broadcast (flooding) problem every
+        // node may eventually hold and relay the message, so every node is a
+        // potential transmitter.
+        let n = setup.dual.len();
+        let broadcasters = match &self.assumed_transmitters {
+            Some(nodes) => {
+                let mut flags = vec![false; n];
+                for u in nodes {
+                    if u.index() < n {
+                        flags[u.index()] = true;
+                    }
+                }
+                flags
+            }
+            None => {
+                let is_global = setup.assignment.iter().any(|(_, role)| role == Role::Source);
+                let explicit: Vec<bool> = setup
+                    .assignment
+                    .iter()
+                    .map(|(_, role)| role == Role::Broadcaster)
+                    .collect();
+                if is_global || !explicit.contains(&true) {
+                    vec![true; n]
+                } else {
+                    explicit
+                }
+            }
+        };
+        self.index_broadcasters(setup.dual, &broadcasters);
+    }
+
+    fn decide(&mut self, view: &AdversaryView<'_>, _rng: &mut dyn RngCore) -> LinkDecision {
+        let p = self.assumed_probability(view.round().index());
+        let mut active = Vec::new();
+        for u in 0..self.grey_broadcaster_edges.len() {
+            let reliable = self.reliable_broadcasters[u] as f64;
+            let grey = &self.grey_broadcaster_edges[u];
+            if grey.is_empty() {
+                continue;
+            }
+            if reliable == 0.0 {
+                // A receiver with no reliable transmitter neighbor can only
+                // ever hear through grey links the attacker controls;
+                // activating none starves it completely, which is strictly
+                // better for the attacker than any overloading gamble.
+                continue;
+            }
+            if reliable * p >= self.overload {
+                // The reliable neighbors alone already overload the receiver.
+                continue;
+            }
+            // Either saturate the neighborhood (expected transmitters well
+            // above 1, so a collision is near-certain) or leave it untouched
+            // (the reliable neighbors alone have expectation far below 1, so
+            // the only leak is the rare lone transmission). Anything in
+            // between would bring the expectation closer to 1 and *help* the
+            // algorithm.
+            if (reliable + grey.len() as f64) * p >= self.overload {
+                active.extend_from_slice(grey);
+            }
+        }
+        active.sort_unstable();
+        active.dedup();
+        LinkDecision::from_edges(active)
+    }
+
+    fn name(&self) -> &'static str {
+        "decay-aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::setup_ctx;
+    use dradio_graphs::topology;
+    use dradio_sim::{AdversarySetup, Round};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn assumed_probability_follows_fixed_schedule() {
+        let a = DecayAwareOblivious::new(4);
+        assert!((a.assumed_probability(0) - 0.5).abs() < 1e-12);
+        assert!((a.assumed_probability(3) - 1.0 / 16.0).abs() < 1e-12);
+        assert!((a.assumed_probability(4) - 0.5).abs() < 1e-12);
+        assert_eq!(DecayAwareOblivious::for_network(256).levels, 8);
+    }
+
+    #[test]
+    fn overload_is_clamped() {
+        let a = DecayAwareOblivious::new(4).with_overload(0.1);
+        assert!(a.overload >= 1.0);
+    }
+
+    #[test]
+    fn activates_more_links_in_high_probability_rounds() {
+        // Grid-geometric network: grey-zone diagonal links exist. In a round
+        // with probability 1/2 the attacker needs ~8 transmitters per
+        // receiver (overload 4), so it activates many grey links; in a deep
+        // level round it activates none.
+        let dual = topology::grid_geometric(6, 6, 1.0, 1.4).unwrap();
+        let (dual_clone, factory, assignment) = setup_ctx(&dual);
+        let mut attacker = DecayAwareOblivious::for_network(dual.len());
+        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 100 };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        attacker.on_start(&setup, &mut rng);
+
+        let levels = attacker.levels;
+        let high = attacker.decide(&AdversaryView::new(Round::new(0), dual.len(), None, None, None), &mut rng);
+        let deep = attacker.decide(
+            &AdversaryView::new(Round::new(levels - 1), dual.len(), None, None, None),
+            &mut rng,
+        );
+        assert!(high.len() >= deep.len());
+    }
+
+    #[test]
+    fn activated_edges_are_genuine_dynamic_edges() {
+        let dual = topology::grid_geometric(5, 5, 1.0, 1.4).unwrap();
+        let (dual_clone, factory, assignment) = setup_ctx(&dual);
+        let mut attacker = DecayAwareOblivious::for_network(dual.len());
+        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 100 };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        attacker.on_start(&setup, &mut rng);
+        for r in 0..10 {
+            let decision =
+                attacker.decide(&AdversaryView::new(Round::new(r), dual.len(), None, None, None), &mut rng);
+            for e in decision.edges() {
+                let (u, v) = e.endpoints();
+                assert!(dual.g_prime().has_edge(u, v));
+                assert!(!dual.g().has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn no_grey_links_means_no_decisions() {
+        // A static network has no dynamic edges at all.
+        let dual = topology::clique(8);
+        let (dual_clone, factory, assignment) = setup_ctx(&dual);
+        let mut attacker = DecayAwareOblivious::for_network(8);
+        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 10 };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        attacker.on_start(&setup, &mut rng);
+        for r in 0..5 {
+            assert!(attacker
+                .decide(&AdversaryView::new(Round::new(r), 8, None, None, None), &mut rng)
+                .is_empty());
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Oblivious link processes: all decisions are a function of the round
+//! number, the network, and the algorithm description — never of the ongoing
+//! execution.
+
+mod bracelet;
+mod decay_aware;
+mod random;
+mod schedule;
+
+pub use bracelet::{BraceletConfig, BraceletOblivious};
+pub use decay_aware::DecayAwareOblivious;
+pub use random::{GilbertElliottLinks, IidLinks};
+pub use schedule::ScheduleLinks;

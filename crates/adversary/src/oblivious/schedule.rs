@@ -1,0 +1,100 @@
+//! Precomputed-schedule link process.
+
+use dradio_graphs::Edge;
+use dradio_sim::{AdversaryClass, AdversaryView, LinkDecision, LinkProcess};
+use rand::RngCore;
+
+/// Replays an explicit per-round schedule of active dynamic edges.
+///
+/// The schedule cycles once exhausted (an empty schedule behaves like
+/// `StaticLinks::none()`). Because the schedule is fixed up front this is the
+/// purest form of oblivious adversary, and the form in which any other
+/// oblivious adversary could in principle be tabulated.
+///
+/// # Example
+///
+/// ```
+/// use dradio_adversary::ScheduleLinks;
+/// use dradio_graphs::{Edge, NodeId};
+/// let schedule = vec![
+///     vec![Edge::new(NodeId::new(0), NodeId::new(2))], // round 0
+///     vec![],                                          // round 1
+/// ];
+/// let links = ScheduleLinks::new(schedule);
+/// assert_eq!(links.period(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScheduleLinks {
+    schedule: Vec<Vec<Edge>>,
+}
+
+impl ScheduleLinks {
+    /// Creates the process from an explicit schedule (entry `r` lists the
+    /// dynamic edges active in round `r`, modulo the schedule length).
+    pub fn new(schedule: Vec<Vec<Edge>>) -> Self {
+        ScheduleLinks { schedule }
+    }
+
+    /// The cycle length of the schedule.
+    pub fn period(&self) -> usize {
+        self.schedule.len()
+    }
+}
+
+impl LinkProcess for ScheduleLinks {
+    fn class(&self) -> AdversaryClass {
+        AdversaryClass::Oblivious
+    }
+
+    fn decide(&mut self, view: &AdversaryView<'_>, _rng: &mut dyn RngCore) -> LinkDecision {
+        if self.schedule.is_empty() {
+            return LinkDecision::none();
+        }
+        let idx = view.round().index() % self.schedule.len();
+        LinkDecision::from_edges(self.schedule[idx].clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::run_with_beacon;
+    use dradio_graphs::{topology, NodeId};
+
+    #[test]
+    fn empty_schedule_activates_nothing() {
+        let dual = topology::dual_clique(6).unwrap();
+        let outcome = run_with_beacon(&dual, Box::new(ScheduleLinks::new(vec![])), 5, 0);
+        assert!(outcome.history.records().iter().all(|r| r.active_dynamic_edges.is_empty()));
+    }
+
+    #[test]
+    fn schedule_is_replayed_cyclically() {
+        let dual = topology::dual_clique(6).unwrap();
+        let e = dual.dynamic_edges()[0];
+        let links = ScheduleLinks::new(vec![vec![e], vec![]]);
+        assert_eq!(links.period(), 2);
+        let outcome = run_with_beacon(&dual, Box::new(links), 6, 1);
+        for (r, record) in outcome.history.records().iter().enumerate() {
+            if r % 2 == 0 {
+                assert_eq!(record.active_dynamic_edges, vec![e]);
+            } else {
+                assert!(record.active_dynamic_edges.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_edges_in_schedule_are_filtered_by_engine() {
+        let dual = topology::dual_clique(6).unwrap();
+        // (0,1) is a reliable clique edge, not a dynamic edge.
+        let bogus = Edge::new(NodeId::new(0), NodeId::new(1));
+        let outcome = run_with_beacon(&dual, Box::new(ScheduleLinks::new(vec![vec![bogus]])), 4, 2);
+        assert!(outcome.history.records().iter().all(|r| r.active_dynamic_edges.is_empty()));
+        assert_eq!(outcome.metrics.rejected_link_edges, 4);
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline adaptive link processes: they additionally see the current round's
+//! actions (the nodes' resolved coin flips) before fixing the links.
+
+mod omniscient;
+
+pub use omniscient::OmniscientOffline;

@@ -1,0 +1,9 @@
+//! Online adaptive link processes: they may use the execution history through
+//! the previous round and the algorithm's expected behaviour, but not the
+//! current round's coin flips.
+
+mod dense_sparse;
+mod greedy;
+
+pub use dense_sparse::DenseSparseOnline;
+pub use greedy::GreedyCollisionOnline;

@@ -1,0 +1,76 @@
+//! Shared fixtures for adversary unit tests.
+
+use std::sync::Arc;
+
+use dradio_graphs::{DualGraph, NodeId};
+use dradio_sim::sampling::bernoulli;
+use dradio_sim::{
+    Action, Assignment, ExecutionOutcome, LinkProcess, Message, MessageKind, Process,
+    ProcessContext, ProcessFactory, Role, Round, SimConfig, Simulator, StopCondition,
+};
+use rand::RngCore;
+
+pub const DATA: MessageKind = MessageKind::new(1);
+
+/// A process that transmits a payload with fixed probability every round
+/// (broadcasters and sources only).
+pub struct Talker {
+    p: f64,
+    msg: Option<Message>,
+}
+
+impl Process for Talker {
+    fn on_round(&mut self, _round: Round, rng: &mut dyn RngCore) -> Action {
+        match &self.msg {
+            Some(m) if bernoulli(rng, self.p) => Action::Transmit(m.clone()),
+            _ => Action::Listen,
+        }
+    }
+    fn transmit_probability(&self, _round: Round) -> f64 {
+        if self.msg.is_some() {
+            self.p
+        } else {
+            0.0
+        }
+    }
+    fn name(&self) -> &'static str {
+        "talker"
+    }
+}
+
+/// Factory for [`Talker`] processes with probability `p`.
+pub fn talker_factory(p: f64) -> ProcessFactory {
+    Arc::new(move |ctx: &ProcessContext| {
+        let msg = (ctx.role != Role::Relay).then(|| Message::plain(ctx.id, DATA, ctx.id.index() as u64));
+        Box::new(Talker { p, msg }) as Box<dyn Process>
+    })
+}
+
+/// Returns a cloned network plus a simple factory/assignment pair, for tests
+/// that need to call `on_start` directly.
+pub fn setup_ctx(dual: &DualGraph) -> (DualGraph, ProcessFactory, Assignment) {
+    let n = dual.len();
+    let broadcasters: Vec<NodeId> = NodeId::all(n).collect();
+    (dual.clone(), talker_factory(0.3), Assignment::local(n, &broadcasters))
+}
+
+/// Runs `rounds` rounds of a talker workload (every node a broadcaster with
+/// probability 0.3) under the given link process and returns the outcome.
+pub fn run_with_beacon(
+    dual: &DualGraph,
+    link: Box<dyn LinkProcess>,
+    rounds: usize,
+    seed: u64,
+) -> ExecutionOutcome {
+    let n = dual.len();
+    let broadcasters: Vec<NodeId> = NodeId::all(n).collect();
+    Simulator::new(
+        dual.clone(),
+        talker_factory(0.3),
+        Assignment::local(n, &broadcasters),
+        link,
+        SimConfig::default().with_seed(seed).with_max_rounds(rounds),
+    )
+    .expect("valid simulation")
+    .run(StopCondition::max_rounds())
+}

@@ -1,0 +1,210 @@
+//! E1 — static protocol model baselines (Figure 1, row 4).
+//!
+//! Global broadcast: `Θ(D log(n/D) + log² n)`; local broadcast:
+//! `Θ(log n log Δ)`. These are the reference points every dual-graph result
+//! is compared against.
+
+use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
+use dradio_core::problem::{GlobalBroadcastProblem, LocalBroadcastProblem};
+use dradio_graphs::{properties, topology, NodeId};
+use dradio_sim::StaticLinks;
+
+use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
+use crate::sweep::{measure_rounds, MeasureSpec};
+use crate::table::Table;
+
+/// Experiment E1: static-model global and local broadcast baselines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct E1StaticBaselines;
+
+impl Experiment for E1StaticBaselines {
+    fn id(&self) -> &'static str {
+        "E1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Static protocol model baselines (Figure 1, row 4)"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "Global broadcast takes Theta(D log(n/D) + log^2 n) rounds and local broadcast \
+         Theta(log n log Delta) rounds when there are no dynamic links"
+    }
+
+    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
+        vec![self.global_constant_diameter(cfg), self.global_diameter_sweep(cfg), self.local_degree_sweep(cfg)]
+    }
+}
+
+impl E1StaticBaselines {
+    /// Global broadcast on static cliques (D = 1): the `log² n` term.
+    fn global_constant_diameter(&self, cfg: &ExperimentConfig) -> Table {
+        let sizes = cfg.pick(&[16usize, 32], &[32, 64, 128, 256], &[32, 64, 128, 256, 512, 1024]);
+        let mut table = Table::new(
+            "E1a: global broadcast on static cliques (D = 1)",
+            vec!["n", "algorithm", "rounds (mean)", "median", "completion", "rounds / log^2 n"],
+        );
+        let mut series: Vec<(f64, f64)> = Vec::new();
+        for &n in &sizes {
+            let dual = topology::clique(n);
+            let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+            for algorithm in [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted] {
+                let spec = MeasureSpec {
+                    dual: &dual,
+                    factory: algorithm.factory(n, dual.max_degree()),
+                    assignment: problem.assignment(n),
+                    link: Box::new(|| Box::new(StaticLinks::none())),
+                    stop: problem.stop_condition(),
+                    trials: cfg.trials,
+                    max_rounds: 200 * n.max(16),
+                    base_seed: cfg.seed,
+                };
+                let m = measure_rounds(&spec);
+                let log_n = (n.max(2) as f64).log2();
+                if algorithm == GlobalAlgorithm::Bgi {
+                    series.push((n as f64, m.rounds.mean));
+                }
+                table.push_row(vec![
+                    n.to_string(),
+                    algorithm.name().to_string(),
+                    fmt1(m.rounds.mean),
+                    fmt1(m.rounds.median),
+                    format!("{:.0}%", m.completion_rate * 100.0),
+                    fmt1(m.rounds.mean / (log_n * log_n)),
+                ]);
+            }
+        }
+        table.with_caption(format!(
+            "paper: O(log^2 n) on constant-diameter graphs; BGI series {}",
+            fit_note(&series)
+        ))
+    }
+
+    /// Global broadcast on lines of cliques: the `D log n` term.
+    fn global_diameter_sweep(&self, cfg: &ExperimentConfig) -> Table {
+        let clique_size = 8usize;
+        let counts = cfg.pick(&[2usize, 4], &[2, 4, 8, 16], &[2, 4, 8, 16, 32, 64]);
+        let mut table = Table::new(
+            "E1b: global broadcast on static lines of cliques (diameter sweep)",
+            vec!["cliques", "n", "D", "rounds (mean)", "completion", "rounds / (D log n)"],
+        );
+        let mut series: Vec<(f64, f64)> = Vec::new();
+        for &cliques in &counts {
+            let dual = topology::line_of_cliques(cliques, clique_size).expect("valid parameters");
+            let n = dual.len();
+            let d = properties::diameter(dual.g()).expect("connected");
+            let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+            let spec = MeasureSpec {
+                dual: &dual,
+                factory: GlobalAlgorithm::Bgi.factory(n, dual.max_degree()),
+                assignment: problem.assignment(n),
+                link: Box::new(|| Box::new(StaticLinks::none())),
+                stop: problem.stop_condition(),
+                trials: cfg.trials,
+                max_rounds: 400 * cliques.max(4),
+                base_seed: cfg.seed + 1,
+            };
+            let m = measure_rounds(&spec);
+            let log_n = (n.max(2) as f64).log2();
+            series.push((d as f64, m.rounds.mean));
+            table.push_row(vec![
+                cliques.to_string(),
+                n.to_string(),
+                d.to_string(),
+                fmt1(m.rounds.mean),
+                format!("{:.0}%", m.completion_rate * 100.0),
+                fmt1(m.rounds.mean / (d as f64 * log_n)),
+            ]);
+        }
+        table.with_caption(format!(
+            "paper: O(D log n + log^2 n); measured vs diameter {}",
+            fit_note(&series)
+        ))
+    }
+
+    /// Local broadcast on static stars: the `log n log Δ` scaling in Δ.
+    fn local_degree_sweep(&self, cfg: &ExperimentConfig) -> Table {
+        let degrees = cfg.pick(&[4usize, 8], &[4, 8, 16, 32, 64], &[4, 8, 16, 32, 64, 128, 256]);
+        let mut table = Table::new(
+            "E1c: local broadcast on static stars (degree sweep)",
+            vec!["Delta", "n", "algorithm", "rounds (mean)", "completion", "rounds / (log n log Delta)"],
+        );
+        let mut series: Vec<(f64, f64)> = Vec::new();
+        for &delta in &degrees {
+            let n = delta + 1;
+            let dual = topology::star(n).expect("n >= 2");
+            // A small broadcaster set (4 leaves) inside a degree-Delta
+            // neighborhood: decay adapts to the actual contention (log Delta
+            // levels), the uniform 1/Delta baseline pays Delta/|B| rounds.
+            let broadcasters: Vec<NodeId> = (1..n.min(5)).map(NodeId::new).collect();
+            let problem = LocalBroadcastProblem::new(broadcasters.clone());
+            for algorithm in [LocalAlgorithm::StaticDecay, LocalAlgorithm::Uniform] {
+                let spec = MeasureSpec {
+                    dual: &dual,
+                    factory: algorithm.factory(n, dual.max_degree()),
+                    assignment: problem.assignment(n),
+                    link: Box::new(|| Box::new(StaticLinks::none())),
+                    stop: problem.stop_condition(&dual),
+                    trials: cfg.trials,
+                    max_rounds: 200 * delta.max(8),
+                    base_seed: cfg.seed + 2,
+                };
+                let m = measure_rounds(&spec);
+                let log_n = (n.max(2) as f64).log2();
+                let log_delta = (delta.max(2) as f64).log2();
+                if algorithm == LocalAlgorithm::StaticDecay {
+                    series.push((delta as f64, m.rounds.mean));
+                }
+                table.push_row(vec![
+                    delta.to_string(),
+                    n.to_string(),
+                    algorithm.name().to_string(),
+                    fmt1(m.rounds.mean),
+                    format!("{:.0}%", m.completion_rate * 100.0),
+                    fmt1(m.rounds.mean / (log_n * log_delta)),
+                ]);
+            }
+        }
+        table.with_caption(format!(
+            "paper: Theta(log n log Delta) for decay; the uniform 1/Delta baseline needs \
+             Theta((Delta/|B|) log n) rounds and falls behind as Delta grows; decay series vs Delta {}",
+            fit_note(&series)
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_three_tables() {
+        let tables = E1StaticBaselines.run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 3);
+        assert!(tables[0].title().contains("E1a"));
+        assert!(tables[1].title().contains("E1b"));
+        assert!(tables[2].title().contains("E1c"));
+        // Every data point completed in the static model.
+        for table in &tables {
+            for row in table.rows() {
+                assert!(row.iter().any(|cell| cell.contains("100%")), "row {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decay_beats_uniform_on_large_stars() {
+        // At the largest quick-scale degree (Delta = 64 with only 4
+        // broadcasters) the decay baseline should need fewer rounds than the
+        // uniform 1/Delta baseline (log Delta vs Delta/|B|).
+        let cfg = ExperimentConfig { trials: 3, ..ExperimentConfig::quick() };
+        let table = E1StaticBaselines.local_degree_sweep(&cfg);
+        let rows = table.rows();
+        let last_decay: f64 = rows[rows.len() - 2][3].parse().unwrap();
+        let last_uniform: f64 = rows[rows.len() - 1][3].parse().unwrap();
+        assert!(
+            last_decay < last_uniform,
+            "decay ({last_decay}) should beat uniform ({last_uniform}) at Delta = 64"
+        );
+    }
+}

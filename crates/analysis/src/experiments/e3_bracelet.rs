@@ -1,0 +1,133 @@
+//! E3 — local broadcast lower bound in the oblivious model on general graphs
+//! (Figure 1, row 3, local column; Theorem 4.3).
+//!
+//! In the bracelet network an oblivious adversary that pre-simulates the
+//! bands' isolated broadcast functions can starve the clasp receiver for
+//! `Ω(√n / log n)` rounds against any *uncoordinated* local broadcast
+//! algorithm. The experiment measures the completion time of the static-model
+//! decay and uniform local broadcast algorithms with and without the attack.
+
+use dradio_adversary::BraceletOblivious;
+use dradio_core::algorithms::LocalAlgorithm;
+use dradio_core::problem::LocalBroadcastProblem;
+use dradio_graphs::topology;
+use dradio_sim::{LinkProcess, StaticLinks};
+
+use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
+use crate::sweep::{measure_rounds, MeasureSpec};
+use crate::table::Table;
+
+/// Experiment E3: the bracelet-network oblivious lower bound.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct E3BraceletLowerBound;
+
+impl Experiment for E3BraceletLowerBound {
+    fn id(&self) -> &'static str {
+        "E3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Local broadcast lower bound in the bracelet network (Theorem 4.3)"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "In general (non-geographic) dual graphs an oblivious adversary forces \
+         Omega(sqrt(n)/log n) rounds for local broadcast"
+    }
+
+    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
+        let band_lengths = cfg.pick(&[3usize, 4], &[3, 4, 5, 6, 8], &[4, 6, 8, 10, 12, 16]);
+        let mut table = Table::new(
+            "E3: local broadcast in the bracelet network (broadcasters = heads of side A)",
+            vec![
+                "k (band)",
+                "n = 2k^2",
+                "algorithm",
+                "adversary",
+                "rounds (mean)",
+                "completion",
+                "rounds / (sqrt(n)/log n)",
+            ],
+        );
+        let mut attacked_series: Vec<(f64, f64)> = Vec::new();
+        for &k in &band_lengths {
+            let bracelet = topology::bracelet(k).expect("k >= 2");
+            let dual = bracelet.dual().clone();
+            let n = dual.len();
+            let broadcasters = bracelet.heads_a();
+            let problem = LocalBroadcastProblem::new(broadcasters.clone());
+            let sqrt_over_log = (n as f64).sqrt() / (n.max(2) as f64).log2();
+
+            for algorithm in [LocalAlgorithm::StaticDecay, LocalAlgorithm::Uniform] {
+                for attacked in [false, true] {
+                    let bracelet_ref = &bracelet;
+                    let link: Box<dyn Fn() -> Box<dyn LinkProcess>> = if attacked {
+                        Box::new(move || Box::new(BraceletOblivious::new(bracelet_ref)) as Box<dyn LinkProcess>)
+                    } else {
+                        Box::new(|| Box::new(StaticLinks::none()) as Box<dyn LinkProcess>)
+                    };
+                    let spec = MeasureSpec {
+                        dual: &dual,
+                        factory: algorithm.factory(n, dual.max_degree()),
+                        assignment: problem.assignment(n),
+                        link,
+                        stop: problem.stop_condition(&dual),
+                        trials: cfg.trials,
+                        max_rounds: 300 + 40 * n,
+                        base_seed: cfg.seed + 20,
+                    };
+                    let m = measure_rounds(&spec);
+                    if attacked && algorithm == LocalAlgorithm::StaticDecay {
+                        attacked_series.push((n as f64, m.rounds.mean));
+                    }
+                    table.push_row(vec![
+                        k.to_string(),
+                        n.to_string(),
+                        algorithm.name().to_string(),
+                        if attacked { "bracelet-oblivious" } else { "static-none" }.to_string(),
+                        fmt1(m.rounds.mean),
+                        format!("{:.0}%", m.completion_rate * 100.0),
+                        fmt1(m.rounds.mean / sqrt_over_log),
+                    ]);
+                }
+            }
+        }
+        vec![table.with_caption(format!(
+            "context: Theorem 4.3 is an existential bound — it holds because the adversary does not \
+             know where the clasp sits, which a direct simulation (with a fixed, known clasp) cannot \
+             exhibit; the table checks the attack never helps the algorithm and that the attacker's \
+             pre-computed dense/sparse labels remain valid link-process behaviour, while the \
+             quantitative Omega(sqrt(n)/log n) argument itself is exercised through the hitting-game \
+             reduction of E7; attacked static-decay {}",
+            fit_note(&attacked_series)
+        ))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_rows_for_every_combination() {
+        let tables = E3BraceletLowerBound.run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 1);
+        // 2 band lengths x 2 algorithms x 2 adversaries = 8 rows.
+        assert_eq!(tables[0].rows().len(), 8);
+    }
+
+    #[test]
+    fn attack_is_no_faster_than_benign_links() {
+        let tables = E3BraceletLowerBound.run(&ExperimentConfig::smoke());
+        let rows = tables[0].rows();
+        // Rows come in (benign, attacked) pairs per algorithm; compare means.
+        for pair in rows.chunks(2) {
+            let benign: f64 = pair[0][4].parse().unwrap();
+            let attacked: f64 = pair[1][4].parse().unwrap();
+            assert!(
+                attacked >= benign * 0.8,
+                "attacked run ({attacked}) should not be meaningfully faster than benign ({benign})"
+            );
+        }
+    }
+}

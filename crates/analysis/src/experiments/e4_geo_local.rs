@@ -1,0 +1,181 @@
+//! E4 — geographic local broadcast upper bound in the oblivious model
+//! (Figure 1, row 3, local column; Theorem 4.6).
+//!
+//! On geographic dual graphs the seed-coordinated algorithm solves local
+//! broadcast in `O(log² n log Δ)` rounds under any oblivious adversary — only
+//! a log factor slower than the static optimum, and exponentially faster than
+//! the general-graph lower bound of E3.
+
+use dradio_adversary::{GilbertElliottLinks, IidLinks};
+use dradio_core::algorithms::LocalAlgorithm;
+use dradio_core::problem::LocalBroadcastProblem;
+use dradio_graphs::topology::{self, GeometricConfig};
+use dradio_graphs::DualGraph;
+use dradio_sim::{LinkProcess, StaticLinks};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
+use crate::sweep::{measure_rounds, MeasureSpec};
+use crate::table::Table;
+
+/// Experiment E4: geographic local broadcast under oblivious adversaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct E4GeoLocal;
+
+impl Experiment for E4GeoLocal {
+    fn id(&self) -> &'static str {
+        "E4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Geographic local broadcast in the oblivious model (Theorem 4.6)"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "On geographic dual graphs the seeded algorithm solves local broadcast in \
+         O(log^2 n log Delta) rounds against any oblivious adversary"
+    }
+
+    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
+        vec![self.size_scaling(cfg), self.adversary_comparison(cfg)]
+    }
+}
+
+impl E4GeoLocal {
+    /// Samples a connected geographic deployment with roughly constant
+    /// density (so `Δ` stays bounded while `n` grows).
+    fn deployment(n: usize, seed: u64) -> DualGraph {
+        let side = (n as f64 / 8.0).sqrt().max(1.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        topology::random_geometric(&GeometricConfig::new(n, side, 1.5), &mut rng)
+            .expect("dense deployments connect")
+    }
+
+    fn broadcaster_problem(dual: &DualGraph, seed: u64) -> LocalBroadcastProblem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        LocalBroadcastProblem::random(dual, (dual.len() / 4).max(1), &mut rng)
+    }
+
+    /// Scaling with n at roughly constant density, iid adversary.
+    fn size_scaling(&self, cfg: &ExperimentConfig) -> Table {
+        let sizes = cfg.pick(&[40usize, 60], &[60, 100, 160, 240], &[80, 160, 320, 480, 640]);
+        let mut table = Table::new(
+            "E4a: geographic local broadcast scaling (iid(0.5) adversary, ~constant density)",
+            vec![
+                "n",
+                "Delta",
+                "algorithm",
+                "rounds (mean)",
+                "completion",
+                "rounds / (log^2 n log Delta)",
+            ],
+        );
+        let mut geo_series: Vec<(f64, f64)> = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let dual = Self::deployment(n, cfg.seed + i as u64);
+            let delta = dual.max_degree();
+            let problem = Self::broadcaster_problem(&dual, cfg.seed + 100 + i as u64);
+            for algorithm in [LocalAlgorithm::Geo, LocalAlgorithm::StaticDecay, LocalAlgorithm::RoundRobin] {
+                let spec = MeasureSpec {
+                    dual: &dual,
+                    factory: algorithm.factory(n, delta),
+                    assignment: problem.assignment(n),
+                    link: Box::new(|| Box::new(IidLinks::new(0.5))),
+                    stop: problem.stop_condition(&dual),
+                    trials: cfg.trials,
+                    max_rounds: 40 * n + 4_000,
+                    base_seed: cfg.seed + 30,
+                };
+                let m = measure_rounds(&spec);
+                let log_n = (n.max(2) as f64).log2();
+                let log_delta = (delta.max(2) as f64).log2();
+                if algorithm == LocalAlgorithm::Geo {
+                    geo_series.push((n as f64, m.rounds.mean));
+                }
+                table.push_row(vec![
+                    n.to_string(),
+                    delta.to_string(),
+                    algorithm.name().to_string(),
+                    fmt1(m.rounds.mean),
+                    format!("{:.0}%", m.completion_rate * 100.0),
+                    fmt1(m.rounds.mean / (log_n * log_n * log_delta)),
+                ]);
+            }
+        }
+        table.with_caption(format!(
+            "paper: O(log^2 n log Delta), i.e. polylogarithmic growth vs the round-robin O(n); geo \
+             series {}",
+            fit_note(&geo_series)
+        ))
+    }
+
+    /// Fixed deployment, several oblivious adversaries.
+    fn adversary_comparison(&self, cfg: &ExperimentConfig) -> Table {
+        let n = *cfg.pick(&[50usize], &[120], &[240]).first().expect("non-empty");
+        let dual = Self::deployment(n, cfg.seed + 7);
+        let delta = dual.max_degree();
+        let problem = Self::broadcaster_problem(&dual, cfg.seed + 77);
+        let adversaries: Vec<(&'static str, Box<dyn Fn() -> Box<dyn LinkProcess>>)> = vec![
+            ("static-none", Box::new(|| Box::new(StaticLinks::none()) as Box<dyn LinkProcess>)),
+            ("static-all", Box::new(|| Box::new(StaticLinks::all()) as Box<dyn LinkProcess>)),
+            ("iid(0.5)", Box::new(|| Box::new(IidLinks::new(0.5)) as Box<dyn LinkProcess>)),
+            (
+                "bursty(0.05,0.05)",
+                Box::new(|| Box::new(GilbertElliottLinks::new(0.05, 0.05)) as Box<dyn LinkProcess>),
+            ),
+        ];
+        let mut table = Table::new(
+            format!("E4b: geographic local broadcast, n = {n}, Delta = {delta}, adversary sweep"),
+            vec!["adversary", "algorithm", "rounds (mean)", "completion"],
+        );
+        for (adversary_name, link) in &adversaries {
+            for algorithm in [LocalAlgorithm::Geo, LocalAlgorithm::StaticDecay] {
+                let spec = MeasureSpec {
+                    dual: &dual,
+                    factory: algorithm.factory(n, delta),
+                    assignment: problem.assignment(n),
+                    link: Box::new(|| link()),
+                    stop: problem.stop_condition(&dual),
+                    trials: cfg.trials,
+                    max_rounds: 40 * n + 4_000,
+                    base_seed: cfg.seed + 31,
+                };
+                let m = measure_rounds(&spec);
+                table.push_row(vec![
+                    adversary_name.to_string(),
+                    algorithm.name().to_string(),
+                    fmt1(m.rounds.mean),
+                    format!("{:.0}%", m.completion_rate * 100.0),
+                ]);
+            }
+        }
+        table.with_caption(
+            "paper: the geographic algorithm tolerates every oblivious adversary; the grey-zone \
+             links only help or hinder by constant factors",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_two_tables() {
+        let tables = E4GeoLocal.run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].title().contains("E4a"));
+        assert!(tables[1].title().contains("E4b"));
+    }
+
+    #[test]
+    fn every_smoke_row_completes() {
+        let tables = E4GeoLocal.run(&ExperimentConfig::smoke());
+        for table in &tables {
+            for row in table.rows() {
+                assert!(row.iter().any(|c| c == "100%"), "row {row:?} did not complete");
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! E5 — the online adaptive lower bound (Figure 1, row 2; Theorem 3.1).
+//!
+//! On the constant-diameter dual clique the dense/sparse online adaptive
+//! attacker forces `Ω(n / log n)` rounds for both global and local broadcast:
+//! progress across the clique boundary requires either a globally lone
+//! transmitter (rare once many nodes are informed) or a bridge-endpoint
+//! transmission in a sparse round (a `1/n`-style event).
+
+use dradio_adversary::DenseSparseOnline;
+use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
+use dradio_core::problem::{GlobalBroadcastProblem, LocalBroadcastProblem};
+use dradio_graphs::{topology, NodeId};
+use dradio_sim::StaticLinks;
+
+use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
+use crate::sweep::{measure_rounds, MeasureSpec};
+use crate::table::Table;
+
+/// Experiment E5: the dense/sparse online adaptive attacker on the dual
+/// clique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct E5OnlineAdaptive;
+
+impl Experiment for E5OnlineAdaptive {
+    fn id(&self) -> &'static str {
+        "E5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Online adaptive lower bound on the dual clique (Theorem 3.1)"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "With an online adaptive link process, global and local broadcast require \
+         Omega(n / log n) rounds even on constant-diameter graphs"
+    }
+
+    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
+        vec![self.global_scaling(cfg), self.local_scaling(cfg)]
+    }
+}
+
+impl E5OnlineAdaptive {
+    fn global_scaling(&self, cfg: &ExperimentConfig) -> Table {
+        let sizes = cfg.pick(&[16usize, 32], &[16, 32, 64, 128], &[32, 64, 128, 256, 512]);
+        let mut table = Table::new(
+            "E5a: global broadcast on the dual clique, online adaptive adversary",
+            vec![
+                "n",
+                "algorithm",
+                "attacked rounds",
+                "benign rounds",
+                "slowdown",
+                "attacked / (n/log n)",
+                "completion",
+            ],
+        );
+        let mut attacked_series: Vec<(f64, f64)> = Vec::new();
+        for &n in &sizes {
+            let dual = topology::dual_clique(n).expect("even n");
+            let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+            for algorithm in [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted] {
+                let attacked = measure_rounds(&MeasureSpec {
+                    dual: &dual,
+                    factory: algorithm.factory(n, dual.max_degree()),
+                    assignment: problem.assignment(n),
+                    link: Box::new(|| Box::new(DenseSparseOnline::default())),
+                    stop: problem.stop_condition(),
+                    trials: cfg.trials,
+                    max_rounds: 200 * n + 2_000,
+                    base_seed: cfg.seed + 40,
+                });
+                let benign = measure_rounds(&MeasureSpec {
+                    dual: &dual,
+                    factory: algorithm.factory(n, dual.max_degree()),
+                    assignment: problem.assignment(n),
+                    link: Box::new(|| Box::new(StaticLinks::none())),
+                    stop: problem.stop_condition(),
+                    trials: cfg.trials,
+                    max_rounds: 200 * n + 2_000,
+                    base_seed: cfg.seed + 41,
+                });
+                let n_over_log = n as f64 / (n.max(2) as f64).log2();
+                if algorithm == GlobalAlgorithm::Permuted {
+                    attacked_series.push((n as f64, attacked.rounds.mean));
+                }
+                table.push_row(vec![
+                    n.to_string(),
+                    algorithm.name().to_string(),
+                    fmt1(attacked.rounds.mean),
+                    fmt1(benign.rounds.mean),
+                    fmt1(attacked.rounds.mean / benign.rounds.mean.max(1.0)),
+                    fmt1(attacked.rounds.mean / n_over_log),
+                    format!("{:.0}%", attacked.completion_rate * 100.0),
+                ]);
+            }
+        }
+        table.with_caption(format!(
+            "paper: attacked cost grows like Omega(n/log n) while the benign cost stays \
+             polylogarithmic; permuted-decay attacked series {}",
+            fit_note(&attacked_series)
+        ))
+    }
+
+    fn local_scaling(&self, cfg: &ExperimentConfig) -> Table {
+        let sizes = cfg.pick(&[16usize, 32], &[16, 32, 64, 128], &[32, 64, 128, 256, 512]);
+        let mut table = Table::new(
+            "E5b: local broadcast on the dual clique (B = side A), online adaptive adversary",
+            vec!["n", "algorithm", "attacked rounds", "benign rounds", "attacked / (n/log n)", "completion"],
+        );
+        let mut attacked_series: Vec<(f64, f64)> = Vec::new();
+        for &n in &sizes {
+            let dc = topology::dual_clique_with_bridge(n, 0, n / 2).expect("even n");
+            let dual = dc.dual().clone();
+            let broadcasters = dc.side_a().to_vec();
+            let problem = LocalBroadcastProblem::new(broadcasters);
+            for algorithm in [LocalAlgorithm::StaticDecay, LocalAlgorithm::Uniform] {
+                let attacked = measure_rounds(&MeasureSpec {
+                    dual: &dual,
+                    factory: algorithm.factory(n, dual.max_degree()),
+                    assignment: problem.assignment(n),
+                    link: Box::new(|| Box::new(DenseSparseOnline::default())),
+                    stop: problem.stop_condition(&dual),
+                    trials: cfg.trials,
+                    max_rounds: 200 * n + 2_000,
+                    base_seed: cfg.seed + 42,
+                });
+                let benign = measure_rounds(&MeasureSpec {
+                    dual: &dual,
+                    factory: algorithm.factory(n, dual.max_degree()),
+                    assignment: problem.assignment(n),
+                    link: Box::new(|| Box::new(StaticLinks::none())),
+                    stop: problem.stop_condition(&dual),
+                    trials: cfg.trials,
+                    max_rounds: 200 * n + 2_000,
+                    base_seed: cfg.seed + 43,
+                });
+                let n_over_log = n as f64 / (n.max(2) as f64).log2();
+                if algorithm == LocalAlgorithm::StaticDecay {
+                    attacked_series.push((n as f64, attacked.rounds.mean));
+                }
+                table.push_row(vec![
+                    n.to_string(),
+                    algorithm.name().to_string(),
+                    fmt1(attacked.rounds.mean),
+                    fmt1(benign.rounds.mean),
+                    fmt1(attacked.rounds.mean / n_over_log),
+                    format!("{:.0}%", attacked.completion_rate * 100.0),
+                ]);
+            }
+        }
+        table.with_caption(format!(
+            "paper: same Omega(n/log n) threshold for local broadcast; static-decay attacked series {}",
+            fit_note(&attacked_series)
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_two_tables() {
+        let tables = E5OnlineAdaptive.run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 2);
+    }
+
+    #[test]
+    fn attack_slows_down_the_largest_smoke_size() {
+        let table = E5OnlineAdaptive.global_scaling(&ExperimentConfig::smoke());
+        // Compare the attacked and benign columns on the last row (largest n,
+        // permuted algorithm).
+        let last = table.rows().last().unwrap().clone();
+        let attacked: f64 = last[2].parse().unwrap();
+        let benign: f64 = last[3].parse().unwrap();
+        assert!(
+            attacked >= benign,
+            "online adaptive attack should not speed broadcast up (attacked {attacked}, benign {benign})"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! E7 — the β-hitting game (Lemma 3.2) and the Theorem 3.1 reduction.
+//!
+//! Two checks:
+//!
+//! 1. the time for baseline players to win the hitting game grows linearly in
+//!    β, consistent with Lemma 3.2 (winning with probability `1 - 1/β`
+//!    requires `Ω(β)` rounds);
+//! 2. the reduction player — which wins by simulating a broadcast algorithm
+//!    on the dual clique — needs a number of guesses that also grows roughly
+//!    linearly in β, which (combined with Lemma 3.2) is what forces the
+//!    simulated algorithm to spend `Ω(β / log β) = Ω(n / log n)` rounds.
+
+use dradio_core::global::BgiGlobalBroadcast;
+use dradio_core::hitting::{lemma_3_2_bound, play, HittingGame, SweepPlayer, UniformRandomPlayer};
+use dradio_core::reduction::{run_reduction, ReductionConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::experiments::{fmt1, Experiment, ExperimentConfig};
+use crate::stats::Summary;
+use crate::table::Table;
+
+/// Experiment E7: the β-hitting game and the broadcast-to-hitting reduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct E7HittingGame;
+
+impl Experiment for E7HittingGame {
+    fn id(&self) -> &'static str {
+        "E7"
+    }
+
+    fn title(&self) -> &'static str {
+        "The beta-hitting game and the Theorem 3.1 reduction"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "No player wins the beta-hitting game in k rounds with probability above k/(beta-1) \
+         (Lemma 3.2); a broadcast algorithm finishing in f(n) rounds yields a player winning in \
+         O(f(2 beta) log beta) rounds (Theorem 3.1)"
+    }
+
+    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
+        vec![self.players(cfg), self.reduction(cfg)]
+    }
+}
+
+impl E7HittingGame {
+    fn players(&self, cfg: &ExperimentConfig) -> Table {
+        let betas = cfg.pick(&[8u64, 16], &[16, 64, 256, 1024], &[64, 256, 1024, 4096]);
+        let trials = (cfg.trials * 10).max(10);
+        let mut table = Table::new(
+            "E7a: rounds to win the beta-hitting game (random targets)",
+            vec!["beta", "player", "rounds (mean)", "rounds / beta", "lemma bound on P(win in beta/4 rounds)"],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + 60);
+        for &beta in &betas {
+            for player_kind in ["sweep", "uniform-random"] {
+                let mut rounds = Vec::with_capacity(trials);
+                for _ in 0..trials {
+                    let mut game = HittingGame::with_random_target(beta, &mut rng).expect("beta >= 2");
+                    let won = match player_kind {
+                        "sweep" => {
+                            let mut player = SweepPlayer::new(beta);
+                            play(&mut game, &mut player, 50 * beta as usize, &mut rng)
+                        }
+                        _ => {
+                            let mut player = UniformRandomPlayer::new(beta);
+                            play(&mut game, &mut player, 50 * beta as usize, &mut rng)
+                        }
+                    };
+                    rounds.push(won.unwrap_or(50 * beta as usize));
+                }
+                let summary = Summary::from_counts(&rounds);
+                table.push_row(vec![
+                    beta.to_string(),
+                    player_kind.to_string(),
+                    fmt1(summary.mean),
+                    fmt1(summary.mean / beta as f64),
+                    format!("{:.2}", lemma_3_2_bound(beta, beta / 4)),
+                ]);
+            }
+        }
+        table.with_caption(
+            "paper: expected win time is Theta(beta) for any player; the rounds/beta column should \
+             be a constant near 0.5 (sweep) or 1.0 (uniform)",
+        )
+    }
+
+    fn reduction(&self, cfg: &ExperimentConfig) -> Table {
+        let betas = cfg.pick(&[8usize, 16], &[8, 16, 32, 64], &[16, 32, 64, 128, 256]);
+        let mut table = Table::new(
+            "E7b: the Theorem 3.1 reduction driven by the decay broadcast algorithm",
+            vec![
+                "beta",
+                "n = 2 beta",
+                "hitting guesses (mean)",
+                "simulated rounds (mean)",
+                "max guesses/round",
+                "guesses / beta",
+            ],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + 61);
+        for &beta in &betas {
+            let factory = BgiGlobalBroadcast::factory(2 * beta);
+            let mut guesses = Vec::new();
+            let mut rounds = Vec::new();
+            let mut max_per_round = 0usize;
+            for t in 0..cfg.trials.max(2) {
+                use rand::Rng;
+                let target = rng.gen_range(1..=beta);
+                let outcome = run_reduction(
+                    beta,
+                    target,
+                    &factory,
+                    &ReductionConfig::default(),
+                    cfg.seed + 62 + t as u64,
+                )
+                .expect("valid game");
+                guesses.push(outcome.total_guesses);
+                rounds.push(outcome.simulated_rounds);
+                max_per_round = max_per_round.max(outcome.max_guesses_in_round);
+            }
+            let guess_summary = Summary::from_counts(&guesses);
+            let round_summary = Summary::from_counts(&rounds);
+            table.push_row(vec![
+                beta.to_string(),
+                (2 * beta).to_string(),
+                fmt1(guess_summary.mean),
+                fmt1(round_summary.mean),
+                max_per_round.to_string(),
+                fmt1(guess_summary.mean / beta as f64),
+            ]);
+        }
+        table.with_caption(
+            "paper: the player wins within O(f(2 beta) log beta) guesses and, by Lemma 3.2, needs \
+             Omega(beta) of them — so guesses/beta should sit near a constant while the per-round \
+             guess count stays O(log beta)",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_two_tables() {
+        let tables = E7HittingGame.run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].rows().len() >= 4);
+        assert!(tables[1].rows().len() >= 2);
+    }
+
+    #[test]
+    fn sweep_player_mean_is_about_half_beta() {
+        let table = E7HittingGame.players(&ExperimentConfig::smoke());
+        for row in table.rows() {
+            if row[1] == "sweep" {
+                let ratio: f64 = row[3].parse().unwrap();
+                assert!(ratio > 0.2 && ratio < 0.9, "sweep ratio {ratio} out of range");
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! E8 — ablation: why Permuted Decay is needed (Section 4.1, Lemma 4.2).
+//!
+//! Two checks:
+//!
+//! 1. on a single-hop "grey star" (a receiver with a couple of reliable
+//!    broadcaster neighbors and many grey-zone broadcaster neighbors) the
+//!    schedule-aware oblivious adversary keeps plain Decay from delivering for
+//!    a long time, while Permuted Decay delivers within a few calls — the
+//!    per-call delivery probability of Lemma 4.2;
+//! 2. the same comparison at network scale: global broadcast on the dual
+//!    clique under the decay-aware adversary.
+
+use std::sync::Arc;
+
+use dradio_adversary::DecayAwareOblivious;
+use dradio_core::algorithms::GlobalAlgorithm;
+use dradio_core::decay::{DecaySchedule, PermutedDecaySchedule};
+use dradio_core::kinds;
+use dradio_core::problem::GlobalBroadcastProblem;
+use dradio_graphs::{DualGraph, GraphBuilder, NodeId};
+use dradio_sim::process::log2_ceil;
+use dradio_sim::sampling::bernoulli;
+use dradio_sim::{
+    Action, BitString, Message, Process, ProcessContext, ProcessFactory, Role, Round, StopCondition,
+};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::experiments::{fmt1, Experiment, ExperimentConfig};
+use crate::sweep::{measure_rounds, MeasureSpec};
+use crate::table::Table;
+
+/// Experiment E8: fixed vs permuted decay under the schedule-aware oblivious
+/// adversary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct E8DecayAblation;
+
+impl Experiment for E8DecayAblation {
+    fn id(&self) -> &'static str {
+        "E8"
+    }
+
+    fn title(&self) -> &'static str {
+        "Ablation: fixed Decay vs Permuted Decay under an oblivious schedule-aware adversary"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "A fixed decay schedule can be attacked by an oblivious adversary, while each permuted \
+         decay call still delivers with probability > 1/2 (Lemma 4.2)"
+    }
+
+    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
+        vec![self.grey_star(cfg), self.dual_clique_comparison(cfg)]
+    }
+}
+
+/// A broadcaster that runs (fixed or permuted) decay with a bit string shared
+/// by every broadcaster, which is how the grey-star scenario isolates the
+/// Lemma 4.2 coordination property.
+struct SharedDecayBroadcaster {
+    msg: Option<Message>,
+    levels: usize,
+    bits: BitString,
+    permuted: bool,
+}
+
+impl SharedDecayBroadcaster {
+    fn probability(&self, round: Round) -> f64 {
+        if self.permuted {
+            PermutedDecaySchedule::new(self.levels).probability(&self.bits, round.index())
+        } else {
+            DecaySchedule::new(self.levels).probability(round.index())
+        }
+    }
+}
+
+impl Process for SharedDecayBroadcaster {
+    fn on_round(&mut self, round: Round, rng: &mut dyn RngCore) -> Action {
+        match &self.msg {
+            Some(m) if bernoulli(rng, self.probability(round)) => Action::Transmit(m.clone()),
+            _ => Action::Listen,
+        }
+    }
+    fn transmit_probability(&self, round: Round) -> f64 {
+        if self.msg.is_some() {
+            self.probability(round)
+        } else {
+            0.0
+        }
+    }
+    fn name(&self) -> &'static str {
+        "shared-decay"
+    }
+}
+
+impl E8DecayAblation {
+    /// Builds the grey star: node 0 is the receiver, nodes `1..=reliable` are
+    /// reliable broadcaster neighbors, nodes `reliable+1..=reliable+grey` are
+    /// grey-zone broadcaster neighbors (present only in `G'`).
+    fn grey_star_topology(reliable: usize, grey: usize) -> DualGraph {
+        let n = 1 + reliable + grey;
+        let mut g = GraphBuilder::new(n);
+        let mut gp = GraphBuilder::new(n);
+        for i in 1..=reliable {
+            g = g.edge(0, i);
+            gp = gp.edge(0, i);
+        }
+        for i in (reliable + 1)..n {
+            gp = gp.edge(0, i);
+        }
+        // Keep G connected: chain the broadcasters behind the receiver's back
+        // (they are all mutually out of the receiver's picture).
+        for i in 1..n - 1 {
+            g = g.edge(i, i + 1);
+            gp = gp.edge(i, i + 1);
+        }
+        DualGraph::new(g.build().expect("valid"), gp.build().expect("valid"))
+            .expect("containment holds")
+            .with_name(format!("grey-star(reliable={reliable}, grey={grey})"))
+    }
+
+    fn shared_factory(levels: usize, permuted: bool, seed: u64) -> ProcessFactory {
+        // The shared bits model the coordination the real algorithms obtain
+        // from the source message (global) or the disseminated seeds (local):
+        // generated after the adversary committed, identical at every
+        // broadcaster.
+        let bits = BitString::random(4096, &mut ChaCha8Rng::seed_from_u64(seed));
+        Arc::new(move |ctx: &ProcessContext| {
+            let msg = (ctx.role == Role::Broadcaster)
+                .then(|| Message::plain(ctx.id, kinds::DATA, ctx.id.index() as u64));
+            Box::new(SharedDecayBroadcaster {
+                msg,
+                levels,
+                bits: bits.clone(),
+                permuted,
+            }) as Box<dyn Process>
+        })
+    }
+
+    /// Rounds until the grey-star receiver hears some broadcaster.
+    fn grey_star(&self, cfg: &ExperimentConfig) -> Table {
+        let grey_sizes = cfg.pick(&[8usize, 16], &[8, 16, 32, 64], &[16, 32, 64, 128, 256]);
+        let reliable = 2usize;
+        let mut table = Table::new(
+            "E8a: grey star — rounds until the receiver hears a broadcaster (decay-aware adversary)",
+            vec![
+                "grey degree",
+                "n",
+                "schedule",
+                "rounds (mean)",
+                "delivered within one call (gamma log n rounds)",
+            ],
+        );
+        for &grey in &grey_sizes {
+            let dual = Self::grey_star_topology(reliable, grey);
+            let n = dual.len();
+            let levels = log2_ceil(n).max(1);
+            let call_length = 16 * levels;
+            let broadcasters: Vec<NodeId> = (1..n).map(NodeId::new).collect();
+            let receivers = vec![NodeId::new(0)];
+            for permuted in [false, true] {
+                let trials = (cfg.trials * 4).max(4);
+                let mut costs = Vec::with_capacity(trials);
+                let mut within_call = 0usize;
+                for t in 0..trials {
+                    let factory =
+                        Self::shared_factory(levels, permuted, cfg.seed + 70 + t as u64);
+                    let spec = MeasureSpec {
+                        dual: &dual,
+                        factory,
+                        assignment: dradio_sim::Assignment::local(n, &broadcasters),
+                        link: Box::new(move || Box::new(DecayAwareOblivious::new(levels))),
+                        stop: StopCondition::local_broadcast_kind(
+                            receivers.clone(),
+                            broadcasters.clone(),
+                            kinds::DATA,
+                        ),
+                        trials: 1,
+                        max_rounds: 400 * levels,
+                        base_seed: cfg.seed + 71 + t as u64,
+                    };
+                    let m = measure_rounds(&spec);
+                    if m.rounds.mean <= call_length as f64 {
+                        within_call += 1;
+                    }
+                    costs.push(m.rounds.mean);
+                }
+                let summary = crate::stats::Summary::from_samples(&costs);
+                table.push_row(vec![
+                    grey.to_string(),
+                    n.to_string(),
+                    if permuted { "permuted" } else { "fixed" }.to_string(),
+                    fmt1(summary.mean),
+                    format!("{:.0}%", 100.0 * within_call as f64 / trials as f64),
+                ]);
+            }
+        }
+        table.with_caption(
+            "paper (Lemma 4.2): one permuted decay call delivers with probability > 1/2 even under \
+             an oblivious adversary; the fixed schedule's delivery rate collapses as the grey \
+             degree grows",
+        )
+    }
+
+    /// Network-scale comparison on the dual clique.
+    fn dual_clique_comparison(&self, cfg: &ExperimentConfig) -> Table {
+        let sizes = cfg.pick(&[16usize, 32], &[32, 64, 128], &[64, 128, 256, 512]);
+        let mut table = Table::new(
+            "E8b: global broadcast on the dual clique under the decay-aware oblivious adversary",
+            vec!["n", "algorithm", "rounds (mean)", "completion"],
+        );
+        for &n in &sizes {
+            let dual = dradio_graphs::topology::dual_clique(n).expect("even n");
+            let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+            for algorithm in [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted] {
+                let m = measure_rounds(&MeasureSpec {
+                    dual: &dual,
+                    factory: algorithm.factory(n, dual.max_degree()),
+                    assignment: problem.assignment(n),
+                    link: Box::new(move || {
+                        // The attacker assumes (correctly) that only the
+                        // source's side of the clique transmits until the
+                        // bridge carries the message across.
+                        let side_a: Vec<NodeId> = (0..n / 2).map(NodeId::new).collect();
+                        Box::new(DecayAwareOblivious::for_network(n).assuming_transmitters(side_a))
+                    }),
+                    stop: problem.stop_condition(),
+                    trials: cfg.trials,
+                    max_rounds: 100 * n + 2_000,
+                    base_seed: cfg.seed + 72,
+                });
+                table.push_row(vec![
+                    n.to_string(),
+                    algorithm.name().to_string(),
+                    fmt1(m.rounds.mean),
+                    format!("{:.0}%", m.completion_rate * 100.0),
+                ]);
+            }
+        }
+        table.with_caption(
+            "context: on the dual clique every receiver keeps ~n/2 reliable broadcaster neighbors, \
+             so even plain decay resists the oblivious schedule attack here (both variants stay \
+             polylogarithmic); the schedule attack bites when receivers depend on grey-zone links \
+             for most of their broadcaster connectivity — that regime is measured in E8a",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grey_star_topology_shape() {
+        let dual = E8DecayAblation::grey_star_topology(2, 5);
+        assert_eq!(dual.len(), 8);
+        // Receiver 0 has 2 reliable and 5 grey neighbors.
+        assert_eq!(dual.g_neighbors(NodeId::new(0)).len(), 2);
+        assert_eq!(dual.g_prime_neighbors(NodeId::new(0)).len(), 7);
+        assert!(dual.is_valid());
+        assert!(dradio_graphs::properties::is_connected(dual.g()));
+    }
+
+    #[test]
+    fn smoke_run_produces_two_tables() {
+        let tables = E8DecayAblation.run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].title().contains("E8a"));
+        assert!(tables[1].title().contains("E8b"));
+    }
+
+    #[test]
+    fn permuted_is_not_slower_than_fixed_on_the_grey_star() {
+        let table = E8DecayAblation.grey_star(&ExperimentConfig::smoke());
+        // Rows alternate fixed/permuted per grey size; compare the largest.
+        let rows = table.rows();
+        let fixed: f64 = rows[rows.len() - 2][3].parse().unwrap();
+        let permuted: f64 = rows[rows.len() - 1][3].parse().unwrap();
+        assert!(
+            permuted <= fixed * 1.5,
+            "permuted ({permuted}) should not be much slower than fixed ({fixed})"
+        );
+    }
+}

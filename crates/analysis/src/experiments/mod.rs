@@ -1,0 +1,175 @@
+//! Experiment definitions E1–E8.
+//!
+//! Each experiment reproduces one row of Figure 1 of the paper (or one
+//! empirically checkable lemma) as a measured table. The `repro` binary in
+//! `dradio-bench` prints every experiment; the Criterion benches wrap the
+//! same definitions; `EXPERIMENTS.md` records the measured results next to
+//! the paper's claims.
+
+mod e1_static;
+mod e2_global_oblivious;
+mod e3_bracelet;
+mod e4_geo_local;
+mod e5_online_adaptive;
+mod e6_offline_adaptive;
+mod e7_hitting;
+mod e8_decay_ablation;
+
+pub use e1_static::E1StaticBaselines;
+pub use e2_global_oblivious::E2GlobalOblivious;
+pub use e3_bracelet::E3BraceletLowerBound;
+pub use e4_geo_local::E4GeoLocal;
+pub use e5_online_adaptive::E5OnlineAdaptive;
+pub use e6_offline_adaptive::E6OfflineAdaptive;
+pub use e7_hitting::E7HittingGame;
+pub use e8_decay_ablation::E8DecayAblation;
+
+use crate::fit::best_fit;
+use crate::table::Table;
+
+/// How much work an experiment run should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sizes and a single trial — used by unit tests.
+    Smoke,
+    /// Moderate sizes, a few trials — the `repro` binary default.
+    Quick,
+    /// Larger sizes and more trials — closer to publication quality.
+    Full,
+}
+
+/// Configuration shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Number of independent trials per data point.
+    pub trials: usize,
+    /// Sweep scale.
+    pub scale: Scale,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Smoke-test configuration (single trial, tiny sizes).
+    pub fn smoke() -> Self {
+        ExperimentConfig { trials: 1, scale: Scale::Smoke, seed: 0xD15EA5E }
+    }
+
+    /// Quick configuration (default for the `repro` binary).
+    pub fn quick() -> Self {
+        ExperimentConfig { trials: 3, scale: Scale::Quick, seed: 0xD15EA5E }
+    }
+
+    /// Full configuration.
+    pub fn full() -> Self {
+        ExperimentConfig { trials: 8, scale: Scale::Full, seed: 0xD15EA5E }
+    }
+
+    /// Picks one of three size lists according to the scale.
+    pub fn pick<T: Clone>(&self, smoke: &[T], quick: &[T], full: &[T]) -> Vec<T> {
+        match self.scale {
+            Scale::Smoke => smoke.to_vec(),
+            Scale::Quick => quick.to_vec(),
+            Scale::Full => full.to_vec(),
+        }
+    }
+}
+
+/// One experiment of the reproduction.
+pub trait Experiment: Sync + Send {
+    /// Short identifier ("E1", "E2", …).
+    fn id(&self) -> &'static str;
+
+    /// Human-readable title.
+    fn title(&self) -> &'static str;
+
+    /// The claim from the paper this experiment checks.
+    fn paper_claim(&self) -> &'static str;
+
+    /// Runs the experiment and returns its tables.
+    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table>;
+}
+
+/// The registry of all experiments in presentation order.
+pub fn all() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(E1StaticBaselines),
+        Box::new(E2GlobalOblivious),
+        Box::new(E3BraceletLowerBound),
+        Box::new(E4GeoLocal),
+        Box::new(E5OnlineAdaptive),
+        Box::new(E6OfflineAdaptive),
+        Box::new(E7HittingGame),
+        Box::new(E8DecayAblation),
+    ]
+}
+
+/// Formats a float with one decimal for table cells.
+pub(crate) fn fmt1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Produces a "best fit" annotation for a measured series.
+pub(crate) fn fit_note(points: &[(f64, f64)]) -> String {
+    match best_fit(points) {
+        Some(fit) => format!(
+            "best fit ~ {} (scale {:.2}, rel. rmse {:.2})",
+            fit.model, fit.scale, fit.relative_rmse
+        ),
+        None => String::from("no fit (empty series)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_eight_experiments_with_unique_ids() {
+        let experiments = all();
+        assert_eq!(experiments.len(), 8);
+        let mut ids: Vec<&str> = experiments.iter().map(|e| e.id()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+        for e in &experiments {
+            assert!(!e.title().is_empty());
+            assert!(!e.paper_claim().is_empty());
+        }
+    }
+
+    #[test]
+    fn config_pick_follows_scale() {
+        let smoke = ExperimentConfig::smoke();
+        let quick = ExperimentConfig::quick();
+        let full = ExperimentConfig::full();
+        assert_eq!(smoke.pick(&[1], &[2], &[3]), vec![1]);
+        assert_eq!(quick.pick(&[1], &[2], &[3]), vec![2]);
+        assert_eq!(full.pick(&[1], &[2], &[3]), vec![3]);
+        assert!(full.trials > quick.trials);
+    }
+
+    #[test]
+    fn fit_note_mentions_a_model() {
+        let points: Vec<(f64, f64)> = (5..10).map(|i| (f64::from(i), f64::from(i) * 2.0)).collect();
+        let note = fit_note(&points);
+        assert!(note.contains("best fit"));
+        assert_eq!(fit_note(&[]), "no fit (empty series)");
+    }
+
+    /// Every experiment must run end to end at smoke scale and produce at
+    /// least one non-empty table. This is the integration test that keeps the
+    /// whole harness wired together.
+    #[test]
+    fn every_experiment_runs_at_smoke_scale() {
+        let cfg = ExperimentConfig::smoke();
+        for experiment in all() {
+            let tables = experiment.run(&cfg);
+            assert!(!tables.is_empty(), "{} produced no tables", experiment.id());
+            for table in &tables {
+                assert!(!table.rows().is_empty(), "{} produced an empty table", experiment.id());
+            }
+        }
+    }
+}

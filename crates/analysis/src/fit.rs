@@ -1,0 +1,256 @@
+//! Least-squares fitting of measured round counts against asymptotic growth
+//! shapes.
+//!
+//! The paper makes asymptotic claims (`O(D log n + log² n)`, `Ω(n / log n)`,
+//! `Ω(√n / log n)`, `O(log² n log Δ)`, …) with no constants, so the
+//! reproduction compares *shapes*: for each measured series we fit the single
+//! scale parameter `a` of every candidate shape `y ≈ a · f(n)` and report
+//! which shape minimizes the normalized residual. Experiments additionally
+//! print the measured ratios `y / f(n)` so a human can see whether the ratio
+//! is flat (correct shape), growing (measured grows faster), or shrinking.
+
+use std::fmt;
+
+/// A candidate asymptotic growth shape `f(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrowthModel {
+    /// Constant: `f(n) = 1`.
+    Constant,
+    /// `f(n) = log₂ n`.
+    Log,
+    /// `f(n) = log₂² n`.
+    LogSquared,
+    /// `f(n) = log₂³ n`.
+    LogCubed,
+    /// `f(n) = √n`.
+    Sqrt,
+    /// `f(n) = √n / log₂ n`.
+    SqrtOverLog,
+    /// `f(n) = n`.
+    Linear,
+    /// `f(n) = n / log₂ n`.
+    LinearOverLog,
+    /// `f(n) = n log₂ n`.
+    NLogN,
+    /// `f(n) = n²`.
+    Quadratic,
+}
+
+impl GrowthModel {
+    /// Every candidate shape, in increasing order of growth.
+    pub fn all() -> [GrowthModel; 10] {
+        [
+            GrowthModel::Constant,
+            GrowthModel::Log,
+            GrowthModel::LogSquared,
+            GrowthModel::LogCubed,
+            GrowthModel::SqrtOverLog,
+            GrowthModel::Sqrt,
+            GrowthModel::LinearOverLog,
+            GrowthModel::Linear,
+            GrowthModel::NLogN,
+            GrowthModel::Quadratic,
+        ]
+    }
+
+    /// Evaluates `f(x)`; inputs below 2 are clamped so logarithms stay
+    /// positive.
+    pub fn evaluate(&self, x: f64) -> f64 {
+        let x = x.max(2.0);
+        let log = x.log2();
+        match self {
+            GrowthModel::Constant => 1.0,
+            GrowthModel::Log => log,
+            GrowthModel::LogSquared => log * log,
+            GrowthModel::LogCubed => log * log * log,
+            GrowthModel::Sqrt => x.sqrt(),
+            GrowthModel::SqrtOverLog => x.sqrt() / log,
+            GrowthModel::Linear => x,
+            GrowthModel::LinearOverLog => x / log,
+            GrowthModel::NLogN => x * log,
+            GrowthModel::Quadratic => x * x,
+        }
+    }
+
+    /// Human-readable shape name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GrowthModel::Constant => "1",
+            GrowthModel::Log => "log n",
+            GrowthModel::LogSquared => "log^2 n",
+            GrowthModel::LogCubed => "log^3 n",
+            GrowthModel::Sqrt => "sqrt(n)",
+            GrowthModel::SqrtOverLog => "sqrt(n)/log n",
+            GrowthModel::Linear => "n",
+            GrowthModel::LinearOverLog => "n/log n",
+            GrowthModel::NLogN => "n log n",
+            GrowthModel::Quadratic => "n^2",
+        }
+    }
+}
+
+impl fmt::Display for GrowthModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of fitting one model to a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// The shape fitted.
+    pub model: GrowthModel,
+    /// The fitted scale `a` in `y ≈ a · f(x)`.
+    pub scale: f64,
+    /// Root-mean-square relative error of the fit.
+    pub relative_rmse: f64,
+}
+
+/// Fits the scale of a single model by least squares on `(x, y)` pairs.
+///
+/// Returns `None` for empty input or a degenerate model (all `f(x) = 0`).
+pub fn fit_model(model: GrowthModel, points: &[(f64, f64)]) -> Option<Fit> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(x, y) in points {
+        let f = model.evaluate(x);
+        num += f * y;
+        den += f * f;
+    }
+    if den == 0.0 {
+        return None;
+    }
+    let scale = num / den;
+    let mut err = 0.0;
+    for &(x, y) in points {
+        let predicted = scale * model.evaluate(x);
+        let denom = y.abs().max(1.0);
+        err += ((y - predicted) / denom).powi(2);
+    }
+    Some(Fit { model, scale, relative_rmse: (err / points.len() as f64).sqrt() })
+}
+
+/// Fits every candidate model and returns them sorted by ascending relative
+/// error (best first).
+pub fn fit_all(points: &[(f64, f64)]) -> Vec<Fit> {
+    let mut fits: Vec<Fit> =
+        GrowthModel::all().iter().filter_map(|&m| fit_model(m, points)).collect();
+    fits.sort_by(|a, b| {
+        a.relative_rmse
+            .partial_cmp(&b.relative_rmse)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    fits
+}
+
+/// The single best-fitting model, or `None` for empty input.
+pub fn best_fit(points: &[(f64, f64)]) -> Option<Fit> {
+    fit_all(points).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(model: GrowthModel, scale: f64) -> Vec<(f64, f64)> {
+        [32.0, 64.0, 128.0, 256.0, 512.0, 1024.0]
+            .iter()
+            .map(|&x| (x, scale * model.evaluate(x)))
+            .collect()
+    }
+
+    #[test]
+    fn evaluate_clamps_small_inputs() {
+        for model in GrowthModel::all() {
+            assert!(model.evaluate(0.0).is_finite());
+            assert!(model.evaluate(1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn growth_relationships_hold_at_large_n() {
+        let x = (1u32 << 20) as f64;
+        let value = |m: GrowthModel| m.evaluate(x);
+        // Polylogarithmic chain.
+        assert!(value(GrowthModel::Constant) < value(GrowthModel::Log));
+        assert!(value(GrowthModel::Log) < value(GrowthModel::LogSquared));
+        assert!(value(GrowthModel::LogSquared) < value(GrowthModel::LogCubed));
+        // Root chain.
+        assert!(value(GrowthModel::SqrtOverLog) < value(GrowthModel::Sqrt));
+        assert!(value(GrowthModel::Sqrt) < value(GrowthModel::LinearOverLog));
+        // Near-linear and beyond.
+        assert!(value(GrowthModel::LinearOverLog) < value(GrowthModel::Linear));
+        assert!(value(GrowthModel::Linear) < value(GrowthModel::NLogN));
+        assert!(value(GrowthModel::NLogN) < value(GrowthModel::Quadratic));
+        // The separations the experiments rely on.
+        assert!(value(GrowthModel::LogSquared) < value(GrowthModel::SqrtOverLog) * 10.0);
+        assert!(value(GrowthModel::LinearOverLog) > value(GrowthModel::LogCubed));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = GrowthModel::all().iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), GrowthModel::all().len());
+        assert_eq!(GrowthModel::LinearOverLog.to_string(), "n/log n");
+    }
+
+    #[test]
+    fn exact_series_recovers_model_and_scale() {
+        for (model, scale) in [
+            (GrowthModel::LogSquared, 3.0),
+            (GrowthModel::Linear, 0.5),
+            (GrowthModel::LinearOverLog, 2.0),
+            (GrowthModel::SqrtOverLog, 7.0),
+        ] {
+            let points = series(model, scale);
+            let best = best_fit(&points).unwrap();
+            assert_eq!(best.model, model, "wrong model for {model}");
+            assert!((best.scale - scale).abs() / scale < 1e-6);
+            assert!(best.relative_rmse < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noisy_series_still_identifies_the_right_family() {
+        // 10% multiplicative noise should not flip n/log n into something
+        // radically different like log^2 n or n^2.
+        let noise = [1.05, 0.95, 1.08, 0.92, 1.03, 0.97];
+        let points: Vec<(f64, f64)> = series(GrowthModel::LinearOverLog, 4.0)
+            .into_iter()
+            .zip(noise.iter())
+            .map(|((x, y), e)| (x, y * e))
+            .collect();
+        let best = best_fit(&points).unwrap();
+        assert!(
+            matches!(best.model, GrowthModel::LinearOverLog | GrowthModel::Linear | GrowthModel::Sqrt),
+            "unexpected best model {}",
+            best.model
+        );
+        // And definitely not a polylogarithmic shape.
+        assert!(!matches!(best.model, GrowthModel::Log | GrowthModel::LogSquared | GrowthModel::Constant));
+    }
+
+    #[test]
+    fn fit_handles_empty_and_degenerate_input() {
+        assert!(best_fit(&[]).is_none());
+        assert!(fit_model(GrowthModel::Linear, &[]).is_none());
+        let single = [(64.0, 10.0)];
+        let fit = fit_model(GrowthModel::Constant, &single).unwrap();
+        assert!((fit.scale - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_all_is_sorted_by_error() {
+        let points = series(GrowthModel::LogSquared, 2.0);
+        let fits = fit_all(&points);
+        for pair in fits.windows(2) {
+            assert!(pair[0].relative_rmse <= pair[1].relative_rmse);
+        }
+        assert_eq!(fits[0].model, GrowthModel::LogSquared);
+    }
+}

@@ -1,0 +1,40 @@
+//! Experiment harness for the PODC 2013 dual-graph broadcast reproduction.
+//!
+//! This crate turns the algorithms of [`dradio_core`] and the adversaries of
+//! [`dradio_adversary`] into the measured tables that reproduce Figure 1 of
+//! the paper (and the empirically checkable lemmas):
+//!
+//! * [`stats`] — summary statistics over repeated trials;
+//! * [`table`] — plain-text and CSV rendering of result tables;
+//! * [`fit`] — least-squares fitting of measured round counts against the
+//!   asymptotic growth shapes the paper predicts (`log² n`, `n / log n`,
+//!   `√n / log n`, …), so each experiment can report *which* shape matches;
+//! * [`sweep`] — helpers for running a simulation many times and summarizing
+//!   the round complexity;
+//! * [`experiments`] — the experiment definitions E1–E8, each mapping to one
+//!   row (or supporting lemma) of Figure 1. `experiments::all()` is the
+//!   registry used by the `repro` binary and the Criterion benches.
+//!
+//! # Example
+//!
+//! ```
+//! use dradio_analysis::experiments::{self, ExperimentConfig};
+//! let cfg = ExperimentConfig::smoke();
+//! let e1 = &experiments::all()[0];
+//! let tables = e1.run(&cfg);
+//! assert!(!tables.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fit;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+pub use fit::{best_fit, GrowthModel};
+pub use stats::Summary;
+pub use sweep::{measure_rounds, MeasureSpec};
+pub use table::Table;

@@ -1,0 +1,148 @@
+//! Helpers for running a simulation many times and summarizing the cost.
+
+use dradio_graphs::DualGraph;
+use dradio_sim::{Assignment, LinkProcess, ProcessFactory, SimConfig, Simulator, StopCondition};
+
+use crate::stats::Summary;
+
+/// Everything needed to measure the round complexity of one (topology,
+/// algorithm, adversary, problem) combination.
+pub struct MeasureSpec<'a> {
+    /// The network to simulate.
+    pub dual: &'a DualGraph,
+    /// The algorithm (one process per node).
+    pub factory: ProcessFactory,
+    /// The problem's role assignment.
+    pub assignment: Assignment,
+    /// Builds a fresh adversary for each trial (adversaries are stateful).
+    pub link: Box<dyn Fn() -> Box<dyn LinkProcess> + 'a>,
+    /// The completion condition whose first-satisfaction round is measured.
+    pub stop: StopCondition,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Per-trial round budget; trials that do not complete contribute the
+    /// budget as a censored observation.
+    pub max_rounds: usize,
+    /// Base random seed; trial `t` uses `base_seed + t`.
+    pub base_seed: u64,
+}
+
+/// The result of measuring one specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Summary of the per-trial costs (completion round, or the budget for
+    /// censored trials).
+    pub rounds: Summary,
+    /// Fraction of trials that completed within the budget.
+    pub completion_rate: f64,
+    /// Mean number of collisions per trial (a contention diagnostic).
+    pub mean_collisions: f64,
+}
+
+/// Runs the specification and summarizes the measured costs.
+///
+/// # Panics
+///
+/// Panics if the specification is internally inconsistent (e.g. the
+/// assignment does not match the network size); experiment definitions are
+/// expected to construct consistent specs.
+pub fn measure_rounds(spec: &MeasureSpec<'_>) -> Measurement {
+    let mut costs = Vec::with_capacity(spec.trials);
+    let mut completed = 0usize;
+    let mut collisions = 0usize;
+    for trial in 0..spec.trials {
+        let sim = Simulator::new(
+            spec.dual.clone(),
+            spec.factory.clone(),
+            spec.assignment.clone(),
+            (spec.link)(),
+            SimConfig::default()
+                .with_seed(spec.base_seed.wrapping_add(trial as u64))
+                .with_max_rounds(spec.max_rounds),
+        )
+        .expect("measurement specification must be internally consistent");
+        let outcome = sim.run(spec.stop.clone());
+        if outcome.completed {
+            completed += 1;
+        }
+        collisions += outcome.metrics.collisions;
+        costs.push(outcome.cost());
+    }
+    Measurement {
+        rounds: Summary::from_counts(&costs),
+        completion_rate: completed as f64 / spec.trials.max(1) as f64,
+        mean_collisions: collisions as f64 / spec.trials.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dradio_core::algorithms::GlobalAlgorithm;
+    use dradio_core::problem::GlobalBroadcastProblem;
+    use dradio_graphs::{topology, NodeId};
+    use dradio_sim::StaticLinks;
+
+    #[test]
+    fn measures_a_simple_global_broadcast() {
+        let dual = topology::clique(16);
+        let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+        let spec = MeasureSpec {
+            dual: &dual,
+            factory: GlobalAlgorithm::Bgi.factory(16, dual.max_degree()),
+            assignment: problem.assignment(16),
+            link: Box::new(|| Box::new(StaticLinks::none())),
+            stop: problem.stop_condition(),
+            trials: 5,
+            max_rounds: 2_000,
+            base_seed: 1,
+        };
+        let m = measure_rounds(&spec);
+        assert_eq!(m.rounds.count, 5);
+        assert_eq!(m.completion_rate, 1.0);
+        assert!(m.rounds.mean >= 1.0);
+        assert!(m.rounds.mean < 2_000.0);
+    }
+
+    #[test]
+    fn censored_trials_report_the_budget() {
+        // Round robin on a line with an absurdly small budget cannot finish.
+        let dual = topology::line(32).unwrap();
+        let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+        let spec = MeasureSpec {
+            dual: &dual,
+            factory: GlobalAlgorithm::RoundRobin.factory(32, 2),
+            assignment: problem.assignment(32),
+            link: Box::new(|| Box::new(StaticLinks::none())),
+            stop: problem.stop_condition(),
+            trials: 3,
+            max_rounds: 10,
+            base_seed: 2,
+        };
+        let m = measure_rounds(&spec);
+        assert_eq!(m.completion_rate, 0.0);
+        assert_eq!(m.rounds.mean, 10.0);
+        assert_eq!(m.rounds.min, 10.0);
+    }
+
+    #[test]
+    fn different_seeds_give_varied_costs() {
+        let dual = topology::clique(32);
+        let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+        let spec = MeasureSpec {
+            dual: &dual,
+            factory: GlobalAlgorithm::Bgi.factory(32, dual.max_degree()),
+            assignment: problem.assignment(32),
+            link: Box::new(|| Box::new(StaticLinks::none())),
+            stop: problem.stop_condition(),
+            trials: 8,
+            max_rounds: 5_000,
+            base_seed: 3,
+        };
+        let m = measure_rounds(&spec);
+        // With 8 independent trials of a randomized algorithm the spread is
+        // essentially never zero.
+        assert!(m.rounds.max >= m.rounds.min);
+        assert!(m.rounds.std_dev >= 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Plain-text and CSV result tables.
+
+use std::fmt;
+
+/// A simple result table with a title, column headers, optional caption, and
+/// string rows.
+///
+/// # Example
+///
+/// ```
+/// use dradio_analysis::Table;
+/// let mut t = Table::new("demo", vec!["n", "rounds"]);
+/// t.push_row(vec!["8".into(), "12.5".into()]);
+/// let text = t.render();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains("12.5"));
+/// assert!(t.to_csv().starts_with("n,rounds"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    caption: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<impl Into<String>>) -> Self {
+        Table {
+            title: title.into(),
+            caption: String::new(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a caption printed under the table (e.g. the paper's claim the
+    /// table should be compared against).
+    pub fn with_caption(mut self, caption: impl Into<String>) -> Self {
+        self.caption = caption.into();
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The caption (possibly empty).
+    pub fn caption(&self) -> &str {
+        &self.caption
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows are
+    /// truncated to the header width.
+    pub fn push_row(&mut self, mut row: Vec<String>) {
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("| ");
+            for (i, cell) in cells.iter().enumerate() {
+                s.push_str(&format!("{:<width$} | ", cell, width = widths[i]));
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        if !self.caption.is_empty() {
+            out.push_str(&format!("({})\n", self.caption));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first, no title or caption).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("results", vec!["n", "rounds", "model"]);
+        t.push_row(vec!["16".into(), "42".into(), "log^2 n".into()]);
+        t.push_row(vec!["32".into(), "55".into()]); // short row gets padded
+        t
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = sample();
+        t.push_row(vec!["a".into(), "b".into(), "c".into(), "extra".into()]);
+        assert!(t.rows().iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn render_contains_all_cells_and_caption() {
+        let t = sample().with_caption("paper claims O(log^2 n)");
+        let text = t.render();
+        for needle in ["results", "rounds", "42", "55", "paper claims"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+        assert_eq!(t.title(), "results");
+        assert_eq!(t.caption(), "paper claims O(log^2 n)");
+        assert_eq!(t.to_string(), t.render());
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("csv", vec!["a", "b"]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn headers_accessible() {
+        let t = sample();
+        assert_eq!(t.headers(), &["n".to_string(), "rounds".to_string(), "model".to_string()]);
+    }
+}

@@ -1,0 +1,34 @@
+//! E1 — static protocol model baselines (Figure 1, row 4).
+//!
+//! Times single global/local broadcast executions in the static model; the
+//! full sweep (and the table the paper row corresponds to) is produced by
+//! `cargo run -p dradio-bench --bin repro`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dradio_bench::{adversary, run_global_once};
+use dradio_core::algorithms::GlobalAlgorithm;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_static_baseline");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("bgi_clique", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_global_once(n, GlobalAlgorithm::Bgi, adversary("none", n), true, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("round_robin_clique", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_global_once(n, GlobalAlgorithm::RoundRobin, adversary("none", n), true, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E2 — permuted-decay global broadcast under oblivious adversaries
+//! (Theorem 4.1, Figure 1 row 3, global column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dradio_bench::{adversary, run_global_once};
+use dradio_core::algorithms::GlobalAlgorithm;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_global_oblivious");
+    group.sample_size(10);
+    for adv in ["iid", "all", "decay-aware"] {
+        for n in [64usize, 128] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("permuted_dual_clique_{adv}"), n),
+                &n,
+                |b, &n| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        run_global_once(n, GlobalAlgorithm::Permuted, adversary(adv, n), false, seed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E3 — the bracelet-network oblivious local broadcast lower bound
+//! (Theorem 4.3, Figure 1 row 3, local column, general graphs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dradio_bench::run_bracelet_once;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_bracelet_lower");
+    group.sample_size(10);
+    for k in [3usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("attacked_static_decay", k), &k, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_bracelet_once(k, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E4 — geographic local broadcast in the oblivious model (Theorem 4.6,
+//! Figure 1 row 3, local column, geographic graphs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dradio_bench::run_geo_local_once;
+use dradio_core::algorithms::LocalAlgorithm;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_geo_local");
+    group.sample_size(10);
+    for n in [60usize, 120] {
+        for algorithm in [LocalAlgorithm::Geo, LocalAlgorithm::StaticDecay] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_geometric", algorithm.name()), n),
+                &n,
+                |b, &n| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        run_geo_local_once(n, algorithm, seed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E5 — the online adaptive lower bound on the dual clique (Theorem 3.1,
+//! Figure 1 row 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dradio_bench::{adversary, run_global_once};
+use dradio_core::algorithms::GlobalAlgorithm;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_online_adaptive");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        group.bench_with_input(BenchmarkId::new("permuted_attacked", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_global_once(n, GlobalAlgorithm::Permuted, adversary("online", n), false, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("permuted_benign", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_global_once(n, GlobalAlgorithm::Permuted, adversary("none", n), false, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E6 — the offline adaptive row of Figure 1 (row 1): omniscient blocking vs
+//! the round-robin fallback.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dradio_bench::{adversary, run_global_once};
+use dradio_core::algorithms::GlobalAlgorithm;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_offline_adaptive");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        group.bench_with_input(BenchmarkId::new("permuted_blocked", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_global_once(n, GlobalAlgorithm::Permuted, adversary("offline", n), false, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("round_robin_blocked", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_global_once(n, GlobalAlgorithm::RoundRobin, adversary("offline", n), false, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

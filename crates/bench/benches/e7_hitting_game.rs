@@ -1,0 +1,31 @@
+//! E7 — the β-hitting game (Lemma 3.2) and the Theorem 3.1 reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dradio_bench::{run_hitting_once, run_reduction_once};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_hitting_game");
+    group.sample_size(20);
+    for beta in [256u64, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("sweep_player", beta), &beta, |b, &beta| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_hitting_once(beta, seed)
+            });
+        });
+    }
+    for beta in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("reduction_bgi", beta), &beta, |b, &beta| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_reduction_once(beta, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E8 — ablation: fixed Decay vs Permuted Decay under the schedule-aware
+//! oblivious adversary (Section 4.1 / Lemma 4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dradio_bench::{adversary, run_global_once};
+use dradio_core::algorithms::GlobalAlgorithm;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_decay_ablation");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        group.bench_with_input(BenchmarkId::new("fixed_decay_attacked", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_global_once(n, GlobalAlgorithm::Bgi, adversary("decay-aware", n), false, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("permuted_decay_attacked", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_global_once(n, GlobalAlgorithm::Permuted, adversary("decay-aware", n), false, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

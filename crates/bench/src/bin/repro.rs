@@ -1,0 +1,95 @@
+//! `repro` — regenerate every experiment table of the PODC 2013 reproduction.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p dradio-bench --bin repro --release [-- OPTIONS]
+//!
+//! OPTIONS:
+//!     --smoke          tiny sizes, 1 trial (sanity check)
+//!     --quick          moderate sizes, 3 trials (default)
+//!     --full           larger sizes, 8 trials
+//!     --only <ID>      run only the experiment with this id (e.g. E5)
+//!     --csv            also print each table as CSV
+//!     --list           list experiments and exit
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use dradio_analysis::experiments::{self, ExperimentConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut cfg = ExperimentConfig::quick();
+    let mut only: Option<String> = None;
+    let mut csv = false;
+    let mut list = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => cfg = ExperimentConfig::smoke(),
+            "--quick" => cfg = ExperimentConfig::quick(),
+            "--full" => cfg = ExperimentConfig::full(),
+            "--csv" => csv = true,
+            "--list" => list = true,
+            "--only" => match iter.next() {
+                Some(id) => only = Some(id.to_uppercase()),
+                None => {
+                    eprintln!("--only requires an experiment id (e.g. --only E5)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("repro: regenerate the PODC 2013 reproduction tables");
+                println!("options: --smoke | --quick | --full, --only <ID>, --csv, --list");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let registry = experiments::all();
+    if list {
+        for e in &registry {
+            println!("{}  {}", e.id(), e.title());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!("# Reproduction of Ghaffari–Lynch–Newport (PODC 2013), Figure 1");
+    println!("# configuration: {cfg:?}");
+    println!();
+
+    let mut ran_any = false;
+    for experiment in &registry {
+        if let Some(only_id) = &only {
+            if experiment.id() != only_id {
+                continue;
+            }
+        }
+        ran_any = true;
+        println!("=== {} — {} ===", experiment.id(), experiment.title());
+        println!("paper claim: {}", experiment.paper_claim());
+        println!();
+        for table in experiment.run(&cfg) {
+            println!("{}", table.render());
+            if csv {
+                println!("```csv");
+                print!("{}", table.to_csv());
+                println!("```");
+            }
+        }
+        println!();
+    }
+
+    if !ran_any {
+        eprintln!("no experiment matched {only:?}; use --list to see the available ids");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

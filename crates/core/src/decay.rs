@@ -1,0 +1,273 @@
+//! The Decay and Permuted Decay subroutines.
+//!
+//! *Decay* (Bar-Yehuda, Goldreich, Itai) has message holders cycle through the
+//! broadcast probabilities `1/2, 1/4, …, 1/n` in a fixed order: for every
+//! receiver, one of these probabilities matches the number of transmitting
+//! neighbors and delivers with constant probability.
+//!
+//! *Permuted Decay* (Section 4.1 of the paper) draws the probability level for
+//! each round from a string of shared random bits generated **after** the
+//! execution begins. An oblivious adversary therefore cannot predict which
+//! level is used when, which defeats the schedule-aware attack that breaks
+//! plain Decay in the dual graph model. All nodes holding the same bit string
+//! select the same level in the same round, preserving the coordination that
+//! the decay analysis needs (Lemma 4.2).
+
+use dradio_sim::process::log2_ceil;
+use dradio_sim::BitString;
+
+/// The fixed-schedule Decay probability sequence over `levels` probability
+/// levels (`levels = ⌈log₂ n⌉` for a network of size `n`).
+///
+/// # Example
+///
+/// ```
+/// use dradio_core::decay::DecaySchedule;
+/// let d = DecaySchedule::new(3);
+/// assert_eq!(d.level(0), 1);
+/// assert_eq!(d.level(1), 2);
+/// assert_eq!(d.level(2), 3);
+/// assert_eq!(d.level(3), 1); // cycles
+/// assert!((d.probability(0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecaySchedule {
+    levels: usize,
+}
+
+impl DecaySchedule {
+    /// Creates a schedule with the given number of probability levels
+    /// (minimum 1).
+    pub fn new(levels: usize) -> Self {
+        DecaySchedule { levels: levels.max(1) }
+    }
+
+    /// Creates the schedule appropriate for a network of `n` nodes
+    /// (`⌈log₂ n⌉` levels).
+    pub fn for_network(n: usize) -> Self {
+        DecaySchedule::new(log2_ceil(n).max(1))
+    }
+
+    /// Number of probability levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The level used at `step` (1-based: level `i` means probability
+    /// `2^{-i}`), cycling with period `levels`.
+    pub fn level(&self, step: usize) -> usize {
+        (step % self.levels) + 1
+    }
+
+    /// The broadcast probability used at `step`.
+    pub fn probability(&self, step: usize) -> f64 {
+        level_probability(self.level(step))
+    }
+}
+
+/// The permuted Decay schedule: levels are selected from a shared random bit
+/// string instead of cycling in order.
+///
+/// The same `(bits, step)` pair always yields the same level, so every node
+/// holding the same bits is coordinated; an adversary that has not seen the
+/// bits learns nothing about which level is used when.
+///
+/// # Example
+///
+/// ```
+/// use dradio_core::decay::PermutedDecaySchedule;
+/// use dradio_sim::BitString;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let bits = BitString::random(256, &mut ChaCha8Rng::seed_from_u64(5));
+/// let d = PermutedDecaySchedule::new(4);
+/// let level = d.level(&bits, 7);
+/// assert!((1..=4).contains(&level));
+/// // Deterministic given the same bits and step.
+/// assert_eq!(level, d.level(&bits, 7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PermutedDecaySchedule {
+    levels: usize,
+    bits_per_step: usize,
+}
+
+impl PermutedDecaySchedule {
+    /// Creates a permuted schedule over `levels` probability levels.
+    pub fn new(levels: usize) -> Self {
+        let levels = levels.max(1);
+        // The paper uses `log log n` fresh bits per round; we round up so the
+        // modulo bias over `levels` values is at most a factor 2 (and zero
+        // when `levels` is a power of two).
+        let bits_per_step = log2_ceil(levels).max(1);
+        PermutedDecaySchedule { levels, bits_per_step }
+    }
+
+    /// Creates the schedule appropriate for a network of `n` nodes.
+    pub fn for_network(n: usize) -> Self {
+        PermutedDecaySchedule::new(log2_ceil(n).max(1))
+    }
+
+    /// Number of probability levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of permutation bits consumed per step.
+    pub fn bits_per_step(&self) -> usize {
+        self.bits_per_step
+    }
+
+    /// Number of permutation bits needed for `steps` consecutive steps
+    /// without wrapping.
+    pub fn bits_needed(&self, steps: usize) -> usize {
+        steps * self.bits_per_step
+    }
+
+    /// The level (1-based) used at `step` given the shared permutation
+    /// `bits`.
+    ///
+    /// If the bit string is shorter than the schedule requires the cursor
+    /// wraps around; with the paper's parameters the string is always long
+    /// enough, but wrapping keeps long simulated executions well defined.
+    /// An empty bit string degenerates to the fixed schedule.
+    pub fn level(&self, bits: &BitString, step: usize) -> usize {
+        if bits.is_empty() || bits.len() < self.bits_per_step {
+            return (step % self.levels) + 1;
+        }
+        let positions = bits.len() - self.bits_per_step + 1;
+        let offset = (step * self.bits_per_step) % positions;
+        let raw = bits
+            .value(offset, self.bits_per_step)
+            .expect("offset chosen within bounds");
+        (raw % self.levels as u64) as usize + 1
+    }
+
+    /// The broadcast probability used at `step` given the shared `bits`.
+    pub fn probability(&self, bits: &BitString, step: usize) -> f64 {
+        level_probability(self.level(bits, step))
+    }
+}
+
+/// Probability associated with a decay level: `2^{-level}`.
+pub fn level_probability(level: usize) -> f64 {
+    0.5f64.powi(level.min(1024) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn fixed_schedule_cycles_through_levels() {
+        let d = DecaySchedule::new(4);
+        let levels: Vec<usize> = (0..8).map(|s| d.level(s)).collect();
+        assert_eq!(levels, vec![1, 2, 3, 4, 1, 2, 3, 4]);
+        assert!((d.probability(3) - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_sizes_follow_network_size() {
+        assert_eq!(DecaySchedule::for_network(1024).levels(), 10);
+        assert_eq!(DecaySchedule::for_network(1000).levels(), 10);
+        assert_eq!(DecaySchedule::for_network(2).levels(), 1);
+        assert_eq!(DecaySchedule::for_network(1).levels(), 1);
+        assert_eq!(PermutedDecaySchedule::for_network(256).levels(), 8);
+    }
+
+    #[test]
+    fn zero_levels_clamps_to_one() {
+        let d = DecaySchedule::new(0);
+        assert_eq!(d.levels(), 1);
+        assert_eq!(d.level(5), 1);
+        let p = PermutedDecaySchedule::new(0);
+        assert_eq!(p.levels(), 1);
+    }
+
+    #[test]
+    fn level_probability_halves_per_level() {
+        assert!((level_probability(1) - 0.5).abs() < 1e-15);
+        assert!((level_probability(2) - 0.25).abs() < 1e-15);
+        assert!(level_probability(10) > 0.0);
+        // Deep levels saturate instead of underflowing to NaN.
+        assert!(level_probability(100_000) >= 0.0);
+    }
+
+    #[test]
+    fn permuted_levels_are_in_range_and_deterministic() {
+        let sched = PermutedDecaySchedule::new(8);
+        let bits = BitString::random(4096, &mut ChaCha8Rng::seed_from_u64(1));
+        for step in 0..500 {
+            let level = sched.level(&bits, step);
+            assert!((1..=8).contains(&level));
+            assert_eq!(level, sched.level(&bits, step));
+        }
+    }
+
+    #[test]
+    fn permuted_levels_are_roughly_uniform() {
+        let sched = PermutedDecaySchedule::new(8);
+        let bits = BitString::random(1 << 15, &mut ChaCha8Rng::seed_from_u64(2));
+        let mut counts = vec![0usize; 9];
+        let steps = 4000;
+        for step in 0..steps {
+            counts[sched.level(&bits, step)] += 1;
+        }
+        for level in 1..=8 {
+            let share = counts[level] as f64 / steps as f64;
+            assert!(
+                (share - 0.125).abs() < 0.05,
+                "level {level} occurs with frequency {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn permuted_differs_from_fixed_schedule() {
+        // With random bits the permuted order should not equal the fixed
+        // cyclic order (this is the whole point of the construction).
+        let sched = PermutedDecaySchedule::new(8);
+        let fixed = DecaySchedule::new(8);
+        let bits = BitString::random(8192, &mut ChaCha8Rng::seed_from_u64(3));
+        let differing = (0..200).filter(|&s| sched.level(&bits, s) != fixed.level(s)).count();
+        assert!(differing > 100, "only {differing} of 200 steps differ");
+    }
+
+    #[test]
+    fn different_bits_give_different_permutations() {
+        let sched = PermutedDecaySchedule::new(8);
+        let a = BitString::random(8192, &mut ChaCha8Rng::seed_from_u64(10));
+        let b = BitString::random(8192, &mut ChaCha8Rng::seed_from_u64(11));
+        let differing = (0..200).filter(|&s| sched.level(&a, s) != sched.level(&b, s)).count();
+        assert!(differing > 100);
+    }
+
+    #[test]
+    fn empty_bits_fall_back_to_fixed_schedule() {
+        let sched = PermutedDecaySchedule::new(4);
+        let empty = BitString::empty();
+        for step in 0..12 {
+            assert_eq!(sched.level(&empty, step), (step % 4) + 1);
+        }
+    }
+
+    #[test]
+    fn bits_needed_accounts_for_all_steps() {
+        let sched = PermutedDecaySchedule::new(8);
+        assert_eq!(sched.bits_needed(10), 10 * sched.bits_per_step());
+        assert_eq!(sched.bits_per_step(), 3);
+    }
+
+    #[test]
+    fn short_bit_strings_wrap_without_panicking() {
+        let sched = PermutedDecaySchedule::new(8);
+        let bits = BitString::random(5, &mut ChaCha8Rng::seed_from_u64(4));
+        for step in 0..1000 {
+            let level = sched.level(&bits, step);
+            assert!((1..=8).contains(&level));
+        }
+    }
+}

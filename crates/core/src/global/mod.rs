@@ -1,0 +1,16 @@
+//! Global broadcast algorithms: a designated source must deliver its message
+//! to every node of the network.
+//!
+//! | Algorithm | Model it targets | Bound |
+//! |---|---|---|
+//! | [`BgiGlobalBroadcast`] | static protocol model (Fig. 1 row 4) | `O(D log n + log² n)` |
+//! | [`PermutedGlobalBroadcast`] | oblivious dual graph model (Thm 4.1) | `O(D log n + log² n)` |
+//! | [`RoundRobinGlobalBroadcast`] | any model (footnote 5 fallback) | `O(n · D)` deterministic |
+
+mod bgi;
+mod permuted;
+mod round_robin;
+
+pub use bgi::{BgiConfig, BgiGlobalBroadcast, BgiProcess};
+pub use permuted::{PermutedConfig, PermutedGlobalBroadcast, PermutedProcess};
+pub use round_robin::{RoundRobinGlobalBroadcast, RoundRobinGlobalProcess};

@@ -1,0 +1,298 @@
+//! The β-hitting game of Section 3.
+//!
+//! An adversary secretly chooses a target `t ∈ {1, …, β}`. In each round the
+//! player outputs a guess; the only feedback is whether the game has been won
+//! yet. Lemma 3.2 (adapted from the authors' earlier work) states that no
+//! player can win within `k` rounds with probability greater than
+//! `k / (β - 1)` — in particular, winning with probability `1 - 1/β` requires
+//! `Ω(β)` rounds.
+//!
+//! The paper reduces broadcast in the dual clique (and bracelet) networks to
+//! this game; [`crate::reduction`] implements that reduction. This module
+//! provides the game itself plus baseline players used by experiment E7.
+
+use rand::RngCore;
+
+use dradio_sim::sampling::uniform_index;
+
+/// A single instance of the β-hitting game.
+///
+/// # Example
+///
+/// ```
+/// use dradio_core::hitting::HittingGame;
+/// let mut game = HittingGame::new(10, 7)?;
+/// assert!(!game.guess(3));
+/// assert!(game.guess(7));
+/// assert!(game.is_won());
+/// assert_eq!(game.guesses_made(), 2);
+/// # Ok::<(), dradio_core::hitting::HittingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HittingGame {
+    beta: u64,
+    target: u64,
+    guesses_made: u64,
+    won: bool,
+}
+
+/// Error returned when constructing an invalid hitting game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HittingError {
+    beta: u64,
+    target: u64,
+}
+
+impl std::fmt::Display for HittingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid hitting game: target {} not in [1, {}] or beta too small",
+            self.target, self.beta
+        )
+    }
+}
+
+impl std::error::Error for HittingError {}
+
+impl HittingGame {
+    /// Creates a game over `{1, …, beta}` with the given secret target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HittingError`] if `beta < 2` or the target is not in
+    /// `[1, beta]`.
+    pub fn new(beta: u64, target: u64) -> Result<Self, HittingError> {
+        if beta < 2 || target == 0 || target > beta {
+            return Err(HittingError { beta, target });
+        }
+        Ok(HittingGame { beta, target, guesses_made: 0, won: false })
+    }
+
+    /// Creates a game with a uniformly random target.
+    pub fn with_random_target(beta: u64, rng: &mut dyn RngCore) -> Result<Self, HittingError> {
+        if beta < 2 {
+            return Err(HittingError { beta, target: 0 });
+        }
+        let target = uniform_index(rng, beta as usize) as u64 + 1;
+        HittingGame::new(beta, target)
+    }
+
+    /// The domain size β.
+    pub fn beta(&self) -> u64 {
+        self.beta
+    }
+
+    /// The secret target (exposed for analysis and tests; players must not
+    /// read it).
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// Number of guesses made so far.
+    pub fn guesses_made(&self) -> u64 {
+        self.guesses_made
+    }
+
+    /// Whether the game has been won.
+    pub fn is_won(&self) -> bool {
+        self.won
+    }
+
+    /// Submits a guess; returns `true` (and marks the game won) if it hits
+    /// the target. Guesses made after the game is won are counted but cannot
+    /// un-win it.
+    pub fn guess(&mut self, value: u64) -> bool {
+        self.guesses_made += 1;
+        if value == self.target {
+            self.won = true;
+        }
+        self.won && value == self.target
+    }
+}
+
+/// Lemma 3.2: an upper bound on the probability that *any* player wins the
+/// β-hitting game within `k` rounds (`k / (β - 1)`, capped at 1).
+pub fn lemma_3_2_bound(beta: u64, k: u64) -> f64 {
+    if beta <= 1 {
+        return 1.0;
+    }
+    (k as f64 / (beta - 1) as f64).min(1.0)
+}
+
+/// A player of the hitting game: one guess per round.
+pub trait HittingPlayer {
+    /// Produces the guess for `round` (0-based).
+    fn next_guess(&mut self, round: usize, rng: &mut dyn RngCore) -> u64;
+
+    /// Short player name for experiment tables.
+    fn name(&self) -> &'static str {
+        "player"
+    }
+}
+
+/// Guesses uniformly at random (with replacement) every round.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformRandomPlayer {
+    beta: u64,
+}
+
+impl UniformRandomPlayer {
+    /// Creates the player for a game over `{1, …, beta}`.
+    pub fn new(beta: u64) -> Self {
+        UniformRandomPlayer { beta: beta.max(1) }
+    }
+}
+
+impl HittingPlayer for UniformRandomPlayer {
+    fn next_guess(&mut self, _round: usize, rng: &mut dyn RngCore) -> u64 {
+        uniform_index(rng, self.beta as usize) as u64 + 1
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-random"
+    }
+}
+
+/// Guesses `1, 2, 3, …` in order (an optimal deterministic strategy against a
+/// uniformly random target: expected `(β+1)/2` rounds, worst case `β`).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPlayer {
+    beta: u64,
+}
+
+impl SweepPlayer {
+    /// Creates the player for a game over `{1, …, beta}`.
+    pub fn new(beta: u64) -> Self {
+        SweepPlayer { beta: beta.max(1) }
+    }
+}
+
+impl HittingPlayer for SweepPlayer {
+    fn next_guess(&mut self, round: usize, _rng: &mut dyn RngCore) -> u64 {
+        (round as u64 % self.beta) + 1
+    }
+
+    fn name(&self) -> &'static str {
+        "sweep"
+    }
+}
+
+/// Plays `game` with `player` for at most `max_rounds` rounds; returns the
+/// number of rounds used if the player won, or `None` if it did not.
+pub fn play(
+    game: &mut HittingGame,
+    player: &mut dyn HittingPlayer,
+    max_rounds: usize,
+    rng: &mut dyn RngCore,
+) -> Option<usize> {
+    for round in 0..max_rounds {
+        let guess = player.next_guess(round, rng);
+        if game.guess(guess) {
+            return Some(round + 1);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(HittingGame::new(10, 0).is_err());
+        assert!(HittingGame::new(10, 11).is_err());
+        assert!(HittingGame::new(1, 1).is_err());
+        assert!(HittingGame::new(2, 2).is_ok());
+        let err = HittingGame::new(10, 11).unwrap_err();
+        assert!(err.to_string().contains("invalid hitting game"));
+    }
+
+    #[test]
+    fn random_target_is_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let game = HittingGame::with_random_target(17, &mut rng).unwrap();
+            assert!((1..=17).contains(&game.target()));
+        }
+        assert!(HittingGame::with_random_target(1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn guessing_tracks_state() {
+        let mut game = HittingGame::new(5, 3).unwrap();
+        assert!(!game.guess(1));
+        assert!(!game.guess(2));
+        assert!(game.guess(3));
+        assert!(game.is_won());
+        assert_eq!(game.guesses_made(), 3);
+    }
+
+    #[test]
+    fn lemma_bound_values() {
+        assert!((lemma_3_2_bound(11, 5) - 0.5).abs() < 1e-12);
+        assert_eq!(lemma_3_2_bound(11, 100), 1.0);
+        assert_eq!(lemma_3_2_bound(1, 5), 1.0);
+        assert_eq!(lemma_3_2_bound(2, 0), 0.0);
+    }
+
+    #[test]
+    fn sweep_player_wins_in_at_most_beta_rounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for target in 1..=20u64 {
+            let mut game = HittingGame::new(20, target).unwrap();
+            let mut player = SweepPlayer::new(20);
+            let rounds = play(&mut game, &mut player, 20, &mut rng).unwrap();
+            assert_eq!(rounds as u64, target);
+        }
+    }
+
+    #[test]
+    fn uniform_player_eventually_wins() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut game = HittingGame::new(16, 9).unwrap();
+        let mut player = UniformRandomPlayer::new(16);
+        let rounds = play(&mut game, &mut player, 10_000, &mut rng);
+        assert!(rounds.is_some());
+    }
+
+    #[test]
+    fn uniform_player_respects_lemma_bound_statistically() {
+        // Empirical win rate within k rounds must not exceed the Lemma 3.2
+        // bound k/(beta-1) by more than sampling noise.
+        let beta = 64u64;
+        let k = 8usize;
+        let trials = 2000;
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut wins = 0usize;
+        for t in 0..trials {
+            let mut game = HittingGame::with_random_target(beta, &mut rng).unwrap();
+            let mut player = UniformRandomPlayer::new(beta);
+            if play(&mut game, &mut player, k, &mut rng).is_some() {
+                wins += 1;
+            }
+            let _ = t;
+        }
+        let rate = wins as f64 / trials as f64;
+        let bound = lemma_3_2_bound(beta, k as u64);
+        assert!(rate <= bound + 0.03, "rate {rate} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn play_returns_none_when_budget_is_too_small() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut game = HittingGame::new(1000, 999).unwrap();
+        let mut player = SweepPlayer::new(1000);
+        assert_eq!(play(&mut game, &mut player, 10, &mut rng), None);
+        assert!(!game.is_won());
+    }
+
+    #[test]
+    fn player_names() {
+        assert_eq!(UniformRandomPlayer::new(4).name(), "uniform-random");
+        assert_eq!(SweepPlayer::new(4).name(), "sweep");
+    }
+}

@@ -1,0 +1,23 @@
+//! Message kinds used by the broadcast algorithms.
+
+use dradio_sim::MessageKind;
+
+/// The broadcast payload message (global broadcast source message or local
+/// broadcast data message).
+pub const DATA: MessageKind = MessageKind::new(1);
+
+/// A seed-dissemination message used by the initialization stage of the
+/// geographic local broadcast algorithm (Section 4.3).
+pub const SEED: MessageKind = MessageKind::new(2);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        assert_ne!(DATA, SEED);
+        assert_eq!(DATA.value(), 1);
+        assert_eq!(SEED.value(), 2);
+    }
+}

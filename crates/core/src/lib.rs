@@ -1,0 +1,69 @@
+//! Broadcast algorithms for dual-graph radio networks.
+//!
+//! This crate implements every algorithm described or used by Ghaffari, Lynch
+//! and Newport, *"The Cost of Radio Network Broadcast for Different Models of
+//! Unreliable Links"* (PODC 2013), on top of the execution model provided by
+//! [`dradio_sim`]:
+//!
+//! * [`decay`] — the classic Decay subroutine of Bar-Yehuda, Goldreich and
+//!   Itai, and the paper's **Permuted Decay** variant (Section 4.1) that
+//!   selects its probability level from shared random bits so an oblivious
+//!   adversary cannot predict the schedule.
+//! * [`global`] — global (source-to-all) broadcast algorithms: the static
+//!   baseline [`global::BgiGlobalBroadcast`], the paper's oblivious-robust
+//!   [`global::PermutedGlobalBroadcast`] (Theorem 4.1), and the
+//!   [`global::RoundRobinGlobalBroadcast`] fallback.
+//! * [`local`] — local (to-all-neighbors) broadcast algorithms: static-model
+//!   decay, a uniform-probability baseline, round robin, and the paper's
+//!   geographic algorithm [`local::GeoLocalBroadcast`] (Theorem 4.6) with its
+//!   seed-dissemination initialization stage.
+//! * [`hitting`] — the abstract β-hitting game of Section 3 with the
+//!   Lemma 3.2 bound, plus simple players.
+//! * [`reduction`] — the simulation-based reduction of Theorem 3.1: a hitting
+//!   game player that wins by simulating a broadcast algorithm in the dual
+//!   clique network.
+//! * [`problem`] — problem definitions (global/local broadcast) that produce
+//!   role assignments, stop conditions and correctness checks.
+//! * [`algorithms`] — a small registry enumerating the algorithms with
+//!   uniform constructors, used by the experiment harness.
+//!
+//! # Example: permuted-decay global broadcast under unreliable links
+//!
+//! ```
+//! use dradio_core::algorithms::GlobalAlgorithm;
+//! use dradio_core::problem::GlobalBroadcastProblem;
+//! use dradio_graphs::topology;
+//! use dradio_sim::{SimConfig, Simulator, StaticLinks};
+//! use dradio_graphs::NodeId;
+//!
+//! let dual = topology::dual_clique(32)?;
+//! let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+//! let factory = GlobalAlgorithm::Permuted.factory(dual.len(), dual.max_degree());
+//! let sim = Simulator::new(
+//!     dual.clone(),
+//!     factory,
+//!     problem.assignment(dual.len()),
+//!     Box::new(StaticLinks::all()),
+//!     SimConfig::default().with_seed(1).with_max_rounds(20_000),
+//! )?;
+//! let outcome = sim.run(problem.stop_condition());
+//! assert!(outcome.completed);
+//! assert!(problem.verify(&dual, &outcome.history));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod decay;
+pub mod global;
+pub mod hitting;
+pub mod kinds;
+pub mod local;
+pub mod problem;
+pub mod reduction;
+
+pub use algorithms::{GlobalAlgorithm, LocalAlgorithm};
+pub use decay::{DecaySchedule, PermutedDecaySchedule};
+pub use problem::{GlobalBroadcastProblem, LocalBroadcastProblem};

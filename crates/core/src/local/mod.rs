@@ -1,0 +1,20 @@
+//! Local broadcast algorithms: a set `B` of broadcasters must each deliver a
+//! message to their `G`-neighbors; the problem is solved (in the form studied
+//! by the paper) once every receiver has heard *some* broadcaster.
+//!
+//! | Algorithm | Model it targets | Bound |
+//! |---|---|---|
+//! | [`StaticLocalBroadcast`] | static protocol model (Fig. 1 row 4) | `O(log n log Δ)` |
+//! | [`UniformLocalBroadcast`] | folklore baseline | `O(Δ log n)` |
+//! | [`RoundRobinLocalBroadcast`] | any model (footnote 4 fallback) | `O(n)` deterministic |
+//! | [`GeoLocalBroadcast`] | oblivious dual graph + geographic constraint (Thm 4.6) | `O(log² n log Δ)` |
+
+mod geo;
+mod round_robin;
+mod static_decay;
+mod uniform;
+
+pub use geo::{GeoConfig, GeoLocalBroadcast, GeoProcess, GeoStage};
+pub use round_robin::{RoundRobinLocalBroadcast, RoundRobinLocalProcess};
+pub use static_decay::{StaticLocalBroadcast, StaticLocalProcess};
+pub use uniform::{UniformLocalBroadcast, UniformLocalProcess};

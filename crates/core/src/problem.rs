@@ -1,0 +1,318 @@
+//! Problem definitions: global and local broadcast.
+//!
+//! A problem bundles together the role [`Assignment`] handed to the
+//! simulator, the [`StopCondition`] defining completion, and an independent
+//! `verify` check over the recorded [`History`] so experiments can assert
+//! correctness separately from termination.
+
+use dradio_graphs::{DualGraph, NodeId};
+use dradio_sim::{Assignment, History, StopCondition};
+use rand::Rng;
+
+use crate::kinds;
+
+/// The global broadcast problem: a designated source must deliver its message
+/// to every node (Section 2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use dradio_core::problem::GlobalBroadcastProblem;
+/// use dradio_graphs::NodeId;
+/// let p = GlobalBroadcastProblem::new(NodeId::new(0));
+/// assert_eq!(p.source(), NodeId::new(0));
+/// let assignment = p.assignment(8);
+/// assert_eq!(assignment.source(), Some(NodeId::new(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalBroadcastProblem {
+    source: NodeId,
+}
+
+impl GlobalBroadcastProblem {
+    /// Creates the problem with the given source.
+    pub fn new(source: NodeId) -> Self {
+        GlobalBroadcastProblem { source }
+    }
+
+    /// The designated source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The role assignment for a network of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source is out of range for `n`.
+    pub fn assignment(&self, n: usize) -> Assignment {
+        Assignment::global(n, self.source)
+    }
+
+    /// The completion condition: every node except the source has received
+    /// the payload message.
+    pub fn stop_condition(&self) -> StopCondition {
+        StopCondition::global_broadcast(kinds::DATA, self.source)
+    }
+
+    /// Checks, from the recorded history, that the problem was actually
+    /// solved: every node other than the source received a
+    /// [`kinds::DATA`] message.
+    pub fn verify(&self, dual: &DualGraph, history: &History) -> bool {
+        NodeId::all(dual.len())
+            .filter(|&u| u != self.source)
+            .all(|u| history.received_kind(u, kinds::DATA))
+    }
+}
+
+/// The local broadcast problem: every node of the broadcaster set `B` is
+/// given a message; the receiver set `R` consists of the `G`-neighbors of
+/// `B`, and the problem (in the receiver-centric form the paper studies) is
+/// solved when every node of `R` has received a payload message from some
+/// node of `B`.
+///
+/// By default `R` excludes nodes that are themselves broadcasters: a
+/// broadcaster spends its time transmitting and the paper's receiver-centric
+/// guarantee is about *listeners* neighboring `B`. Call
+/// [`LocalBroadcastProblem::include_broadcasters`] for the stricter variant
+/// in which broadcasters neighboring other broadcasters must also receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalBroadcastProblem {
+    broadcasters: Vec<NodeId>,
+    include_broadcasters: bool,
+}
+
+impl LocalBroadcastProblem {
+    /// Creates the problem with an explicit broadcaster set.
+    pub fn new(mut broadcasters: Vec<NodeId>) -> Self {
+        broadcasters.sort_unstable();
+        broadcasters.dedup();
+        LocalBroadcastProblem { broadcasters, include_broadcasters: false }
+    }
+
+    /// Samples `count` distinct broadcasters uniformly at random from the
+    /// nodes of `dual`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the number of nodes.
+    pub fn random<R: Rng + ?Sized>(dual: &DualGraph, count: usize, rng: &mut R) -> Self {
+        let n = dual.len();
+        assert!(count <= n, "cannot sample {count} broadcasters from {n} nodes");
+        let mut ids: Vec<usize> = (0..n).collect();
+        // Partial Fisher-Yates shuffle.
+        for i in 0..count {
+            let j = rng.gen_range(i..n);
+            ids.swap(i, j);
+        }
+        LocalBroadcastProblem::new(ids[..count].iter().map(|&i| NodeId::new(i)).collect())
+    }
+
+    /// Also require broadcasters that neighbor other broadcasters to receive
+    /// a message.
+    pub fn include_broadcasters(mut self, include: bool) -> Self {
+        self.include_broadcasters = include;
+        self
+    }
+
+    /// The broadcaster set `B`, sorted.
+    pub fn broadcasters(&self) -> &[NodeId] {
+        &self.broadcasters
+    }
+
+    /// The receiver set `R` for the given network: nodes with at least one
+    /// `G`-neighbor in `B` (excluding members of `B` unless
+    /// [`include_broadcasters`](Self::include_broadcasters) was requested).
+    pub fn receivers(&self, dual: &DualGraph) -> Vec<NodeId> {
+        let is_broadcaster = |u: NodeId| self.broadcasters.binary_search(&u).is_ok();
+        NodeId::all(dual.len())
+            .filter(|&u| self.include_broadcasters || !is_broadcaster(u))
+            .filter(|&u| dual.g_neighbors(u).iter().any(|&v| is_broadcaster(v)))
+            .collect()
+    }
+
+    /// The role assignment for a network of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any broadcaster is out of range for `n`.
+    pub fn assignment(&self, n: usize) -> Assignment {
+        Assignment::local(n, &self.broadcasters)
+    }
+
+    /// The completion condition for the given network: every receiver hears a
+    /// payload ([`kinds::DATA`]) message from some broadcaster.
+    pub fn stop_condition(&self, dual: &DualGraph) -> StopCondition {
+        StopCondition::local_broadcast_kind(
+            self.receivers(dual),
+            self.broadcasters.clone(),
+            kinds::DATA,
+        )
+    }
+
+    /// Checks, from the recorded history, that every receiver heard a payload
+    /// message from some broadcaster.
+    pub fn verify(&self, dual: &DualGraph, history: &History) -> bool {
+        let receivers = self.receivers(dual);
+        receivers.iter().all(|&u| {
+            history.records().iter().any(|record| {
+                record.deliveries.iter().any(|d| {
+                    d.receiver == u
+                        && d.message.kind() == kinds::DATA
+                        && self.broadcasters.binary_search(&d.sender).is_ok()
+                })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dradio_graphs::topology;
+    use dradio_sim::{Delivery, Message, RoundRecord};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn global_problem_accessors() {
+        let p = GlobalBroadcastProblem::new(NodeId::new(2));
+        assert_eq!(p.source(), NodeId::new(2));
+        let a = p.assignment(5);
+        assert_eq!(a.source(), Some(NodeId::new(2)));
+        assert_eq!(p.stop_condition().max_node_index(), Some(2));
+    }
+
+    #[test]
+    fn global_verify_requires_everyone_but_source() {
+        let dual = topology::line(3).unwrap();
+        let p = GlobalBroadcastProblem::new(NodeId::new(0));
+        let mut history = History::new(3);
+        history.push(RoundRecord {
+            round: 0.into(),
+            transmitters: vec![NodeId::new(0)],
+            active_dynamic_edges: vec![],
+            deliveries: vec![Delivery {
+                receiver: NodeId::new(1),
+                sender: NodeId::new(0),
+                message: Message::plain(NodeId::new(0), kinds::DATA, 0),
+            }],
+        });
+        assert!(!p.verify(&dual, &history));
+        history.push(RoundRecord {
+            round: 1.into(),
+            transmitters: vec![NodeId::new(1)],
+            active_dynamic_edges: vec![],
+            deliveries: vec![Delivery {
+                receiver: NodeId::new(2),
+                sender: NodeId::new(1),
+                message: Message::plain(NodeId::new(0), kinds::DATA, 0),
+            }],
+        });
+        assert!(p.verify(&dual, &history));
+    }
+
+    #[test]
+    fn local_problem_deduplicates_and_sorts_broadcasters() {
+        let p = LocalBroadcastProblem::new(vec![NodeId::new(3), NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(p.broadcasters(), &[NodeId::new(1), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn receivers_are_g_neighbors_of_broadcasters() {
+        // Line 0-1-2-3 with broadcaster {1}: receivers are 0 and 2.
+        let dual = topology::line(4).unwrap();
+        let p = LocalBroadcastProblem::new(vec![NodeId::new(1)]);
+        assert_eq!(p.receivers(&dual), vec![NodeId::new(0), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn receivers_can_include_broadcasters_on_request() {
+        // Line 0-1-2 with broadcasters {0, 1}: by default only node 2 (and
+        // node... 0's neighbor 1 is a broadcaster but 0 is excluded); with
+        // inclusion, 0 and 1 also count because they neighbor each other.
+        let dual = topology::line(3).unwrap();
+        let p = LocalBroadcastProblem::new(vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(p.receivers(&dual), vec![NodeId::new(2)]);
+        let p = p.include_broadcasters(true);
+        assert_eq!(p.receivers(&dual), vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn isolated_broadcaster_has_no_receivers() {
+        // Two disconnected stars cannot happen (G must be connected for the
+        // problems), but a broadcaster whose only neighbors are broadcasters
+        // yields an empty receiver contribution.
+        let dual = topology::clique(3);
+        let p = LocalBroadcastProblem::new(vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert!(p.receivers(&dual).is_empty());
+    }
+
+    #[test]
+    fn random_broadcasters_are_distinct_and_in_range() {
+        let dual = topology::clique(20);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = LocalBroadcastProblem::random(&dual, 8, &mut rng);
+        assert_eq!(p.broadcasters().len(), 8);
+        assert!(p.broadcasters().iter().all(|u| u.index() < 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn random_broadcasters_rejects_oversized_count() {
+        let dual = topology::clique(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let _ = LocalBroadcastProblem::random(&dual, 6, &mut rng);
+    }
+
+    #[test]
+    fn local_verify_requires_data_from_broadcasters() {
+        let dual = topology::line(3).unwrap();
+        let p = LocalBroadcastProblem::new(vec![NodeId::new(1)]);
+        let mut history = History::new(3);
+        // A SEED message from the broadcaster does not count.
+        history.push(RoundRecord {
+            round: 0.into(),
+            transmitters: vec![NodeId::new(1)],
+            active_dynamic_edges: vec![],
+            deliveries: vec![
+                Delivery {
+                    receiver: NodeId::new(0),
+                    sender: NodeId::new(1),
+                    message: Message::plain(NodeId::new(1), kinds::SEED, 0),
+                },
+                Delivery {
+                    receiver: NodeId::new(2),
+                    sender: NodeId::new(1),
+                    message: Message::plain(NodeId::new(1), kinds::DATA, 0),
+                },
+            ],
+        });
+        assert!(!p.verify(&dual, &history));
+        history.push(RoundRecord {
+            round: 1.into(),
+            transmitters: vec![NodeId::new(1)],
+            active_dynamic_edges: vec![],
+            deliveries: vec![Delivery {
+                receiver: NodeId::new(0),
+                sender: NodeId::new(1),
+                message: Message::plain(NodeId::new(1), kinds::DATA, 0),
+            }],
+        });
+        assert!(p.verify(&dual, &history));
+    }
+
+    #[test]
+    fn stop_condition_mirrors_receivers() {
+        let dual = topology::star(5).unwrap();
+        let p = LocalBroadcastProblem::new(vec![NodeId::new(1), NodeId::new(2)]);
+        match p.stop_condition(&dual) {
+            StopCondition::NodesReceivedKindFrom { receivers, senders, kind } => {
+                assert_eq!(receivers, vec![NodeId::new(0)]);
+                assert_eq!(senders, vec![NodeId::new(1), NodeId::new(2)]);
+                assert_eq!(kind, kinds::DATA);
+            }
+            other => panic!("unexpected stop condition {other:?}"),
+        }
+    }
+}

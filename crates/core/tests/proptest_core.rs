@@ -1,0 +1,206 @@
+//! Property-based tests for the algorithm crate: decay schedules, hitting
+//! game invariants, problem definitions, and algorithm state machines.
+
+use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
+use dradio_core::decay::{level_probability, DecaySchedule, PermutedDecaySchedule};
+use dradio_core::hitting::{lemma_3_2_bound, play, HittingGame, SweepPlayer, UniformRandomPlayer};
+use dradio_core::problem::{GlobalBroadcastProblem, LocalBroadcastProblem};
+use dradio_graphs::{topology, NodeId};
+use dradio_sim::process::log2_ceil;
+use dradio_sim::{BitString, ProcessContext, Role, Round, SimConfig, Simulator, StaticLinks};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decay levels always lie in [1, levels] and probabilities in (0, 1/2].
+    #[test]
+    fn decay_levels_and_probabilities_are_bounded(levels in 1usize..20, step in 0usize..10_000) {
+        let fixed = DecaySchedule::new(levels);
+        let level = fixed.level(step);
+        prop_assert!((1..=levels).contains(&level));
+        let p = fixed.probability(step);
+        prop_assert!(p > 0.0 && p <= 0.5);
+        prop_assert!((p - level_probability(level)).abs() < 1e-15);
+    }
+
+    /// Permuted decay is a deterministic function of (bits, step) and stays
+    /// within the level range even for adversarially short bit strings.
+    #[test]
+    fn permuted_decay_is_deterministic_and_bounded(
+        levels in 1usize..20,
+        bit_len in 0usize..200,
+        step in 0usize..5_000,
+        seed in 0u64..1_000,
+    ) {
+        let schedule = PermutedDecaySchedule::new(levels);
+        let bits = BitString::random(bit_len, &mut ChaCha8Rng::seed_from_u64(seed));
+        let a = schedule.level(&bits, step);
+        let b = schedule.level(&bits, step);
+        prop_assert_eq!(a, b);
+        prop_assert!((1..=levels.max(1)).contains(&a));
+    }
+
+    /// Two different seeds give permutations that differ somewhere (for any
+    /// non-trivial level count).
+    #[test]
+    fn permuted_decay_depends_on_the_bits(seed_a in 0u64..500, seed_b in 501u64..1_000) {
+        let schedule = PermutedDecaySchedule::new(8);
+        let a = BitString::random(4096, &mut ChaCha8Rng::seed_from_u64(seed_a));
+        let b = BitString::random(4096, &mut ChaCha8Rng::seed_from_u64(seed_b));
+        let differing = (0..256).filter(|&s| schedule.level(&a, s) != schedule.level(&b, s)).count();
+        prop_assert!(differing > 0);
+    }
+
+    /// The hitting game counts guesses correctly and the sweep player always
+    /// wins in exactly `target` rounds.
+    #[test]
+    fn hitting_game_bookkeeping(beta in 2u64..200, target_offset in 0u64..200) {
+        let target = target_offset % beta + 1;
+        let mut game = HittingGame::new(beta, target).unwrap();
+        let mut player = SweepPlayer::new(beta);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let rounds = play(&mut game, &mut player, beta as usize, &mut rng).unwrap();
+        prop_assert_eq!(rounds as u64, target);
+        prop_assert_eq!(game.guesses_made(), target);
+        prop_assert!(game.is_won());
+    }
+
+    /// Lemma 3.2's bound is monotone in k, anti-monotone in beta, and within
+    /// [0, 1].
+    #[test]
+    fn lemma_bound_shape(beta in 2u64..10_000, k in 0u64..10_000) {
+        let bound = lemma_3_2_bound(beta, k);
+        prop_assert!((0.0..=1.0).contains(&bound));
+        prop_assert!(lemma_3_2_bound(beta, k + 1) >= bound);
+        if beta > 2 {
+            prop_assert!(lemma_3_2_bound(beta - 1, k) >= bound);
+        }
+    }
+
+    /// The uniform random player's guesses are always in range.
+    #[test]
+    fn uniform_player_guesses_in_range(beta in 1u64..500, seed in 0u64..100) {
+        use dradio_core::hitting::HittingPlayer;
+        let mut player = UniformRandomPlayer::new(beta);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for round in 0..50 {
+            let guess = player.next_guess(round, &mut rng);
+            prop_assert!((1..=beta.max(1)).contains(&guess));
+        }
+    }
+
+    /// Local broadcast receivers are exactly the non-broadcaster nodes with a
+    /// reliable broadcaster neighbor, for arbitrary broadcaster sets on
+    /// arbitrary dual cliques.
+    #[test]
+    fn receiver_set_definition(half in 2usize..12, mask in 0u32..4096) {
+        let n = 2 * half;
+        let dual = topology::dual_clique(n).unwrap();
+        let broadcasters: Vec<NodeId> =
+            (0..n).filter(|i| mask >> (i % 12) & 1 == 1).map(NodeId::new).collect();
+        let problem = LocalBroadcastProblem::new(broadcasters.clone());
+        let receivers = problem.receivers(&dual);
+        for u in NodeId::all(n) {
+            let is_broadcaster = problem.broadcasters().contains(&u);
+            let has_neighbor = dual.g_neighbors(u).iter().any(|v| problem.broadcasters().contains(v));
+            let expected = !is_broadcaster && has_neighbor;
+            prop_assert_eq!(receivers.contains(&u), expected, "node {}", u);
+        }
+    }
+
+    /// The transmit probability every algorithm reports is a genuine
+    /// probability, and relays of local algorithms never transmit.
+    #[test]
+    fn transmit_probabilities_are_probabilities(
+        n in 4usize..128,
+        round in 0usize..2_000,
+        seed in 0u64..50,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for algorithm in GlobalAlgorithm::all() {
+            let factory = algorithm.factory(n, n - 1);
+            for role in [Role::Source, Role::Relay] {
+                let ctx = ProcessContext::new(NodeId::new(1), n, n - 1, role);
+                let mut process = factory(&ctx);
+                process.on_start(&mut rng);
+                let p = process.transmit_probability(Round::new(round));
+                prop_assert!((0.0..=1.0).contains(&p), "{algorithm} reported {p}");
+                if role == Role::Relay {
+                    prop_assert_eq!(p, 0.0);
+                }
+            }
+        }
+        for algorithm in LocalAlgorithm::all() {
+            let factory = algorithm.factory(n, (n - 1).max(2));
+            for role in [Role::Broadcaster, Role::Relay] {
+                let ctx = ProcessContext::new(NodeId::new(1), n, (n - 1).max(2), role);
+                let mut process = factory(&ctx);
+                process.on_start(&mut rng);
+                let p = process.transmit_probability(Round::new(round));
+                prop_assert!((0.0..=1.0).contains(&p), "{algorithm} reported {p}");
+            }
+        }
+    }
+
+    /// Round-robin global broadcast completes on static cliques in at most
+    /// 2n rounds for every size and seed (deterministic, collision free).
+    #[test]
+    fn round_robin_budget_property(n in 4usize..64, seed in 0u64..50) {
+        let dual = topology::clique(n);
+        let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+        let outcome = Simulator::new(
+            dual,
+            GlobalAlgorithm::RoundRobin.factory(n, n - 1),
+            problem.assignment(n),
+            Box::new(StaticLinks::none()),
+            SimConfig::default().with_seed(seed).with_max_rounds(2 * n),
+        )
+        .unwrap()
+        .run(problem.stop_condition());
+        prop_assert!(outcome.completed);
+        prop_assert!(outcome.cost() <= n);
+        prop_assert_eq!(outcome.metrics.collisions, 0);
+    }
+
+    /// `log2_ceil` matches the mathematical definition.
+    #[test]
+    fn log2_ceil_matches_definition(x in 1usize..1_000_000) {
+        let k = log2_ceil(x);
+        prop_assert!(1usize.checked_shl(k as u32).map_or(true, |p| p >= x));
+        if k > 0 {
+            prop_assert!(1usize << (k - 1) < x);
+        }
+    }
+}
+
+/// Global broadcast with the permuted algorithm completes on a batch of
+/// random geometric networks under benign links (a deterministic integration
+/// anchor kept outside proptest for clearer failure output).
+#[test]
+fn permuted_broadcast_completes_on_random_geometric_networks() {
+    for seed in 0..3u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let Ok(dual) = topology::random_geometric(
+            &topology::GeometricConfig::new(50, 2.5, 1.5),
+            &mut rng,
+        ) else {
+            continue;
+        };
+        let n = dual.len();
+        let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+        let outcome = Simulator::new(
+            dual.clone(),
+            GlobalAlgorithm::Permuted.factory(n, dual.max_degree()),
+            problem.assignment(n),
+            Box::new(StaticLinks::none()),
+            SimConfig::default().with_seed(seed).with_max_rounds(20_000),
+        )
+        .unwrap()
+        .run(problem.stop_condition());
+        assert!(outcome.completed);
+        assert!(problem.verify(&dual, &outcome.history));
+    }
+}

@@ -1,0 +1,200 @@
+//! Euclidean embeddings used by geographic dual graphs.
+
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// A point in the Euclidean plane.
+///
+/// # Example
+///
+/// ```
+/// use dradio_graphs::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert!((a.distance(b) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed).
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+/// A Euclidean embedding: one [`Point`] per node of a graph.
+///
+/// Geographic dual graphs (Section 2 of the paper) carry an embedding so the
+/// geographic constraint can be validated and so the region decomposition of
+/// Section 4.3 can be computed.
+///
+/// # Example
+///
+/// ```
+/// use dradio_graphs::{Embedding, NodeId, Point};
+/// let emb = Embedding::new(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)]);
+/// assert_eq!(emb.len(), 2);
+/// assert!(emb.distance(NodeId::new(0), NodeId::new(1)) <= 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Embedding {
+    points: Vec<Point>,
+}
+
+impl Embedding {
+    /// Creates an embedding from a list of points; point `i` is the position
+    /// of node `i`.
+    pub fn new(points: Vec<Point>) -> Self {
+        Embedding { points }
+    }
+
+    /// Number of embedded nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the embedding has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Position of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range for this embedding.
+    pub fn position(&self, u: NodeId) -> Point {
+        self.points[u.index()]
+    }
+
+    /// Position of node `u`, or `None` if out of range.
+    pub fn get(&self, u: NodeId) -> Option<Point> {
+        self.points.get(u.index()).copied()
+    }
+
+    /// Euclidean distance between nodes `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.position(u).distance(self.position(v))
+    }
+
+    /// Iterates over `(node, point)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Point)> + '_ {
+        self.points.iter().enumerate().map(|(i, &p)| (NodeId::new(i), p))
+    }
+
+    /// Bounding box `(min, max)` of all points, or `None` for an empty
+    /// embedding.
+    pub fn bounding_box(&self) -> Option<(Point, Point)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut min = self.points[0];
+        let mut max = self.points[0];
+        for p in &self.points[1..] {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Some((min, max))
+    }
+}
+
+impl FromIterator<Point> for Embedding {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        Embedding::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance_is_euclidean() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_squared(b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(-1.5, 0.25);
+        let b = Point::new(2.0, -3.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn embedding_round_trips_points() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let emb = Embedding::new(pts.clone());
+        assert_eq!(emb.len(), 2);
+        assert_eq!(emb.position(NodeId::new(1)), pts[1]);
+        assert_eq!(emb.get(NodeId::new(5)), None);
+    }
+
+    #[test]
+    fn embedding_distance_uses_positions() {
+        let emb = Embedding::new(vec![Point::new(0.0, 0.0), Point::new(0.0, 2.0)]);
+        assert!((emb.distance(NodeId::new(0), NodeId::new(1)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_covers_all_points() {
+        let emb: Embedding = vec![
+            Point::new(1.0, -2.0),
+            Point::new(-3.0, 4.0),
+            Point::new(0.5, 0.5),
+        ]
+        .into_iter()
+        .collect();
+        let (min, max) = emb.bounding_box().unwrap();
+        assert_eq!(min, Point::new(-3.0, -2.0));
+        assert_eq!(max, Point::new(1.0, 4.0));
+        assert!(Embedding::default().bounding_box().is_none());
+    }
+
+    #[test]
+    fn iter_enumerates_in_order() {
+        let emb = Embedding::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let ids: Vec<usize> = emb.iter().map(|(u, _)| u.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn display_formats_coordinates() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.000, 2.500)");
+    }
+}

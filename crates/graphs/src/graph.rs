@@ -1,0 +1,485 @@
+//! Simple undirected graphs with O(1) edge queries.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::Result;
+
+/// An undirected edge between two nodes, stored in canonical (sorted) order.
+///
+/// # Example
+///
+/// ```
+/// use dradio_graphs::{Edge, NodeId};
+/// let e = Edge::new(NodeId::new(3), NodeId::new(1));
+/// assert_eq!(e.endpoints(), (NodeId::new(1), NodeId::new(3)));
+/// assert!(e.touches(NodeId::new(3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    lo: NodeId,
+    hi: NodeId,
+}
+
+impl Edge {
+    /// Creates an edge between `u` and `v`, normalizing endpoint order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`; the radio model has no self-loops.
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        assert_ne!(u, v, "self-loops are not allowed in radio network graphs");
+        if u < v {
+            Edge { lo: u, hi: v }
+        } else {
+            Edge { lo: v, hi: u }
+        }
+    }
+
+    /// Returns the endpoints in canonical (ascending) order.
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        (self.lo, self.hi)
+    }
+
+    /// Returns `true` if `node` is one of the endpoints.
+    pub fn touches(self, node: NodeId) -> bool {
+        self.lo == node || self.hi == node
+    }
+
+    /// Returns the endpoint opposite to `node`, or `None` if `node` is not an
+    /// endpoint of this edge.
+    pub fn other(self, node: NodeId) -> Option<NodeId> {
+        if node == self.lo {
+            Some(self.hi)
+        } else if node == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.lo, self.hi)
+    }
+}
+
+/// A simple undirected graph over the vertex set `{0, ..., n-1}`.
+///
+/// The representation keeps both a sorted adjacency list per node (for fast,
+/// deterministic iteration) and a packed bitset of edges (for O(1) edge
+/// queries), which is the access pattern the round simulator needs: "who are
+/// the transmitting neighbors of `u` this round?".
+///
+/// # Example
+///
+/// ```
+/// use dradio_graphs::{Graph, NodeId};
+/// let mut g = Graph::empty(4);
+/// g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+/// g.add_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adjacency: Vec<Vec<NodeId>>,
+    /// Bit matrix (row-major, upper-triangular usage) for O(1) membership.
+    bits: Vec<u64>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        let words = (n.saturating_mul(n) + 63) / 64;
+        Graph {
+            n,
+            adjacency: vec![Vec::new(); n],
+            bits: vec![0u64; words],
+            edge_count: 0,
+        }
+    }
+
+    /// Creates a complete graph (clique) on `n` vertices.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::empty(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(NodeId::new(i), NodeId::new(j))
+                    .expect("indices are in range and distinct");
+            }
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    fn bit_index(&self, u: NodeId, v: NodeId) -> usize {
+        u.index() * self.n + v.index()
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<()> {
+        if node.index() >= self.n {
+            Err(GraphError::NodeOutOfRange { node, n: self.n })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// Adding an edge twice is a no-op and reports `Ok(false)`; a newly added
+    /// edge reports `Ok(true)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if either endpoint is not a
+    /// vertex and [`GraphError::SelfLoop`] if `u == v`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.has_edge(u, v) {
+            return Ok(false);
+        }
+        let (a, b) = (self.bit_index(u, v), self.bit_index(v, u));
+        self.bits[a / 64] |= 1u64 << (a % 64);
+        self.bits[b / 64] |= 1u64 << (b % 64);
+        self.adjacency[u.index()].push(v);
+        self.adjacency[v.index()].push(u);
+        // Keep adjacency sorted so iteration order is deterministic.
+        self.adjacency[u.index()].sort_unstable();
+        self.adjacency[v.index()].sort_unstable();
+        self.edge_count += 1;
+        Ok(true)
+    }
+
+    /// Removes the undirected edge `(u, v)` if present, reporting whether an
+    /// edge was removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if either endpoint is invalid.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v || !self.has_edge(u, v) {
+            return Ok(false);
+        }
+        let (a, b) = (self.bit_index(u, v), self.bit_index(v, u));
+        self.bits[a / 64] &= !(1u64 << (a % 64));
+        self.bits[b / 64] &= !(1u64 << (b % 64));
+        self.adjacency[u.index()].retain(|&w| w != v);
+        self.adjacency[v.index()].retain(|&w| w != u);
+        self.edge_count -= 1;
+        Ok(true)
+    }
+
+    /// Returns `true` if the undirected edge `(u, v)` is present.
+    ///
+    /// Out-of-range endpoints simply report `false`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.n || v.index() >= self.n || u == v {
+            return false;
+        }
+        let idx = self.bit_index(u, v);
+        self.bits[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Returns the neighbors of `u` in ascending order.
+    ///
+    /// Out-of-range nodes have no neighbors.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        if u.index() >= self.n {
+            return &[];
+        }
+        &self.adjacency[u.index()]
+    }
+
+    /// Degree of `u` (0 for out-of-range nodes).
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|i| self.adjacency[i].len()).max().unwrap_or(0)
+    }
+
+    /// Iterates over all vertices.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + Clone {
+        NodeId::all(self.n)
+    }
+
+    /// Iterates over all edges in canonical order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for u in 0..self.n {
+            for &v in &self.adjacency[u] {
+                if u < v.index() {
+                    out.push(Edge::new(NodeId::new(u), v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the union of this graph with `other` (same vertex count
+    /// required).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::LayerSizeMismatch`] if the vertex counts differ.
+    pub fn union(&self, other: &Graph) -> Result<Graph> {
+        if self.n != other.n {
+            return Err(GraphError::LayerSizeMismatch { g: self.n, g_prime: other.n });
+        }
+        let mut g = self.clone();
+        for e in other.edges() {
+            let (u, v) = e.endpoints();
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Returns `true` if every edge of `self` is also an edge of `other`.
+    pub fn is_subgraph_of(&self, other: &Graph) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        self.edges().iter().all(|e| {
+            let (u, v) = e.endpoints();
+            other.has_edge(u, v)
+        })
+    }
+
+    /// Returns the first edge of `self` that is missing from `other`, if any.
+    pub fn first_missing_in(&self, other: &Graph) -> Option<(NodeId, NodeId)> {
+        self.edges()
+            .into_iter()
+            .map(Edge::endpoints)
+            .find(|&(u, v)| !other.has_edge(u, v))
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// The builder accepts raw `usize` indices, deduplicates edges, and validates
+/// everything once at [`GraphBuilder::build`] time, which keeps topology
+/// generator code short.
+///
+/// # Example
+///
+/// ```
+/// use dradio_graphs::GraphBuilder;
+/// let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(0, 1).build().unwrap();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: BTreeSet::new() }
+    }
+
+    /// Adds an undirected edge by raw index; duplicates are ignored.
+    pub fn edge(mut self, u: usize, v: usize) -> Self {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        self.edges.insert((a, b));
+        self
+    }
+
+    /// Adds every edge from an iterator of index pairs.
+    pub fn edges<I: IntoIterator<Item = (usize, usize)>>(mut self, iter: I) -> Self {
+        for (u, v) in iter {
+            self = self.edge(u, v);
+        }
+        self
+    }
+
+    /// Builds the graph, validating all endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`] if
+    /// any recorded edge is invalid.
+    pub fn build(self) -> Result<Graph> {
+        let mut g = Graph::empty(self.n);
+        for (u, v) in self.edges {
+            g.add_edge(NodeId::new(u), NodeId::new(v))?;
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_normalizes_order() {
+        let e = Edge::new(NodeId::new(5), NodeId::new(2));
+        assert_eq!(e.endpoints(), (NodeId::new(2), NodeId::new(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(NodeId::new(1), NodeId::new(1));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(NodeId::new(1), NodeId::new(2));
+        assert_eq!(e.other(NodeId::new(1)), Some(NodeId::new(2)));
+        assert_eq!(e.other(NodeId::new(2)), Some(NodeId::new(1)));
+        assert_eq!(e.other(NodeId::new(3)), None);
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn zero_vertex_graph_is_empty() {
+        let g = Graph::empty(0);
+        assert!(g.is_empty());
+        assert_eq!(g.edges().len(), 0);
+    }
+
+    #[test]
+    fn add_edge_is_symmetric_and_idempotent() {
+        let mut g = Graph::empty(4);
+        assert!(g.add_edge(NodeId::new(0), NodeId::new(2)).unwrap());
+        assert!(!g.add_edge(NodeId::new(2), NodeId::new(0)).unwrap());
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(g.has_edge(NodeId::new(2), NodeId::new(0)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn add_edge_rejects_out_of_range() {
+        let mut g = Graph::empty(3);
+        let err = g.add_edge(NodeId::new(0), NodeId::new(7)).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn add_edge_rejects_self_loop() {
+        let mut g = Graph::empty(3);
+        let err = g.add_edge(NodeId::new(1), NodeId::new(1)).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+    }
+
+    #[test]
+    fn remove_edge_round_trip() {
+        let mut g = Graph::empty(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert!(g.remove_edge(NodeId::new(1), NodeId::new(0)).unwrap());
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.remove_edge(NodeId::new(1), NodeId::new(0)).unwrap());
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut g = Graph::empty(5);
+        g.add_edge(NodeId::new(2), NodeId::new(4)).unwrap();
+        g.add_edge(NodeId::new(2), NodeId::new(0)).unwrap();
+        g.add_edge(NodeId::new(2), NodeId::new(3)).unwrap();
+        let nbrs: Vec<usize> = g.neighbors(NodeId::new(2)).iter().map(|v| v.index()).collect();
+        assert_eq!(nbrs, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn complete_graph_degrees() {
+        let g = Graph::complete(6);
+        assert_eq!(g.edge_count(), 15);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 5);
+        }
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn edges_enumeration_matches_count() {
+        let g = Graph::complete(7);
+        assert_eq!(g.edges().len(), g.edge_count());
+    }
+
+    #[test]
+    fn union_combines_edges() {
+        let a = GraphBuilder::new(4).edge(0, 1).build().unwrap();
+        let b = GraphBuilder::new(4).edge(2, 3).build().unwrap();
+        let u = a.union(&b).unwrap();
+        assert!(u.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(u.has_edge(NodeId::new(2), NodeId::new(3)));
+        assert_eq!(u.edge_count(), 2);
+    }
+
+    #[test]
+    fn union_rejects_size_mismatch() {
+        let a = Graph::empty(3);
+        let b = Graph::empty(4);
+        assert!(matches!(a.union(&b), Err(GraphError::LayerSizeMismatch { .. })));
+    }
+
+    #[test]
+    fn subgraph_detection() {
+        let small = GraphBuilder::new(4).edge(0, 1).build().unwrap();
+        let big = GraphBuilder::new(4).edge(0, 1).edge(1, 2).build().unwrap();
+        assert!(small.is_subgraph_of(&big));
+        assert!(!big.is_subgraph_of(&small));
+        assert_eq!(big.first_missing_in(&small), Some((NodeId::new(1), NodeId::new(2))));
+        assert_eq!(small.first_missing_in(&big), None);
+    }
+
+    #[test]
+    fn builder_deduplicates_and_validates() {
+        let g = GraphBuilder::new(3)
+            .edges([(0, 1), (1, 0), (1, 2)])
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(GraphBuilder::new(2).edge(0, 5).build().is_err());
+    }
+
+    #[test]
+    fn has_edge_is_false_for_out_of_range() {
+        let g = Graph::complete(3);
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(10)));
+        assert!(!g.has_edge(NodeId::new(10), NodeId::new(0)));
+        assert!(!g.has_edge(NodeId::new(1), NodeId::new(1)));
+    }
+}

@@ -1,0 +1,106 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a node (vertex) in a network graph.
+///
+/// Nodes are always numbered densely `0..n` within a graph, which lets the
+/// simulator index per-node state with plain vectors. The newtype prevents
+/// accidentally mixing node indices with round numbers or other counters.
+///
+/// # Example
+///
+/// ```
+/// use dradio_graphs::NodeId;
+/// let u = NodeId::new(3);
+/// assert_eq!(u.index(), 3);
+/// assert_eq!(format!("{u}"), "v3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index backing this identifier.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns an iterator over the first `n` node identifiers `0..n`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dradio_graphs::NodeId;
+    /// let ids: Vec<_> = NodeId::all(3).collect();
+    /// assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+        (0..n).map(NodeId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in [0usize, 1, 7, 1024, usize::MAX] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn conversion_round_trip() {
+        let id: NodeId = 42usize.into();
+        let back: usize = id.into();
+        assert_eq!(back, 42);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(NodeId::new(5) > NodeId::new(0));
+    }
+
+    #[test]
+    fn all_yields_dense_prefix() {
+        assert_eq!(NodeId::all(0).count(), 0);
+        let v: Vec<_> = NodeId::all(4).map(|u| u.index()).collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId::new(0).to_string(), "v0");
+        assert_eq!(NodeId::new(17).to_string(), "v17");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+}

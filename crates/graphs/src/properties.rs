@@ -1,0 +1,304 @@
+//! Structural graph properties: BFS, distances, diameter, connectivity,
+//! degree statistics, and greedy independent sets.
+//!
+//! These are the quantities the experiments sweep over (`n`, `D`, `Δ`) and
+//! the preconditions the problems assume (both broadcast problems require the
+//! reliable layer `G` to be connected).
+
+use std::collections::VecDeque;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::Result;
+
+/// Breadth-first distances from `source`; unreachable nodes map to `None`.
+///
+/// # Example
+///
+/// ```
+/// use dradio_graphs::{properties, GraphBuilder, NodeId};
+/// let g = GraphBuilder::new(3).edge(0, 1).build()?;
+/// let dist = properties::bfs_distances(&g, NodeId::new(0));
+/// assert_eq!(dist[1], Some(1));
+/// assert_eq!(dist[2], None);
+/// # Ok::<(), dradio_graphs::GraphError>(())
+/// ```
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.len()];
+    if source.index() >= g.len() {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &v in g.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Groups nodes into BFS layers from `source`: element `d` of the result is
+/// the set of nodes at distance exactly `d`. Unreachable nodes are omitted.
+pub fn bfs_layers(g: &Graph, source: NodeId) -> Vec<Vec<NodeId>> {
+    let dist = bfs_distances(g, source);
+    let max = dist.iter().flatten().copied().max();
+    let Some(max) = max else { return Vec::new() };
+    let mut layers = vec![Vec::new(); max + 1];
+    for (i, d) in dist.iter().enumerate() {
+        if let Some(d) = d {
+            layers[*d].push(NodeId::new(i));
+        }
+    }
+    layers
+}
+
+/// Eccentricity of `source`: the largest BFS distance to any reachable node.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Disconnected`] if some node is unreachable from
+/// `source` (eccentricity is then undefined for the whole graph).
+pub fn eccentricity(g: &Graph, source: NodeId) -> Result<usize> {
+    let dist = bfs_distances(g, source);
+    let mut max = 0;
+    for d in &dist {
+        match d {
+            Some(d) => max = max.max(*d),
+            None => return Err(GraphError::Disconnected),
+        }
+    }
+    Ok(max)
+}
+
+/// Returns `true` if `g` is connected (the empty graph and the one-node graph
+/// are connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.len() <= 1 {
+        return true;
+    }
+    bfs_distances(g, NodeId::new(0)).iter().all(Option::is_some)
+}
+
+/// Exact diameter of `g` (max over all pairs of shortest-path distances),
+/// computed with one BFS per node.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Disconnected`] for disconnected graphs and for the
+/// empty graph.
+pub fn diameter(g: &Graph) -> Result<usize> {
+    if g.is_empty() {
+        return Err(GraphError::Disconnected);
+    }
+    let mut best = 0;
+    for u in g.nodes() {
+        best = best.max(eccentricity(g, u)?);
+    }
+    Ok(best)
+}
+
+/// Connected components, each listed in ascending node order; components are
+/// ordered by their smallest node.
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; g.len()];
+    let mut components = Vec::new();
+    for start in g.nodes() {
+        if seen[start.index()] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut queue = VecDeque::new();
+        seen[start.index()] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            component.push(u);
+            for &v in g.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// Summary statistics of the degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+}
+
+/// Computes [`DegreeStats`] for `g`; the empty graph reports all zeros.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    if g.is_empty() {
+        return DegreeStats::default();
+    }
+    let degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+    let min = *degrees.iter().min().expect("non-empty");
+    let max = *degrees.iter().max().expect("non-empty");
+    let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+    DegreeStats { min, max, mean }
+}
+
+/// Greedy maximal independent set (by ascending node id).
+///
+/// The bracelet lower-bound construction relies on neighborhoods with *large*
+/// independent sets, while geographic graphs have constant-size independent
+/// sets per neighborhood; this helper lets experiments and tests measure that
+/// distinction directly.
+pub fn greedy_independent_set(g: &Graph) -> Vec<NodeId> {
+    let mut chosen = Vec::new();
+    let mut blocked = vec![false; g.len()];
+    for u in g.nodes() {
+        if blocked[u.index()] {
+            continue;
+        }
+        chosen.push(u);
+        blocked[u.index()] = true;
+        for &v in g.neighbors(u) {
+            blocked[v.index()] = true;
+        }
+    }
+    chosen
+}
+
+/// Size of the largest independent subset of `set` restricted to the
+/// subgraph induced on `set`, computed greedily (a lower bound on the true
+/// independence number).
+pub fn greedy_independent_subset(g: &Graph, set: &[NodeId]) -> usize {
+    let mut chosen: Vec<NodeId> = Vec::new();
+    for &u in set {
+        if chosen.iter().all(|&c| !g.has_edge(u, c)) {
+            chosen.push(u);
+        }
+    }
+    chosen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::new(n).edges((1..n).map(|i| (i - 1, i))).build().unwrap()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn bfs_distances_handles_out_of_range_source() {
+        let g = path(3);
+        let d = bfs_distances(&g, NodeId::new(99));
+        assert!(d.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn bfs_layers_partition_reachable_nodes() {
+        let g = path(4);
+        let layers = bfs_layers(&g, NodeId::new(1));
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0], vec![NodeId::new(1)]);
+        assert_eq!(layers[1], vec![NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(layers[2], vec![NodeId::new(3)]);
+    }
+
+    #[test]
+    fn eccentricity_and_diameter_of_path() {
+        let g = path(6);
+        assert_eq!(eccentricity(&g, NodeId::new(0)).unwrap(), 5);
+        assert_eq!(eccentricity(&g, NodeId::new(3)).unwrap(), 3);
+        assert_eq!(diameter(&g).unwrap(), 5);
+    }
+
+    #[test]
+    fn diameter_of_complete_graph_is_one() {
+        let g = Graph::complete(7);
+        assert_eq!(diameter(&g).unwrap(), 1);
+    }
+
+    #[test]
+    fn diameter_rejects_disconnected_and_empty() {
+        let g = GraphBuilder::new(4).edge(0, 1).build().unwrap();
+        assert_eq!(diameter(&g), Err(GraphError::Disconnected));
+        assert_eq!(diameter(&Graph::empty(0)), Err(GraphError::Disconnected));
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        assert!(is_connected(&path(4)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+        let g = GraphBuilder::new(4).edge(0, 1).edge(2, 3).build().unwrap();
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn components_partition_vertices() {
+        let g = GraphBuilder::new(5).edge(0, 1).edge(3, 4).build().unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(comps[1], vec![NodeId::new(2)]);
+        assert_eq!(comps[2], vec![NodeId::new(3), NodeId::new(4)]);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        let g = GraphBuilder::new(5).edges((1..5).map(|i| (0, i))).build().unwrap();
+        let stats = degree_stats(&g);
+        assert_eq!(stats.min, 1);
+        assert_eq!(stats.max, 4);
+        assert!((stats.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(degree_stats(&Graph::empty(0)), DegreeStats::default());
+    }
+
+    #[test]
+    fn independent_set_is_independent() {
+        let g = Graph::complete(6);
+        assert_eq!(greedy_independent_set(&g).len(), 1);
+        let p = path(6);
+        let set = greedy_independent_set(&p);
+        for &u in &set {
+            for &v in &set {
+                if u != v {
+                    assert!(!p.has_edge(u, v));
+                }
+            }
+        }
+        assert!(set.len() >= 3);
+    }
+
+    #[test]
+    fn independent_subset_counts_within_set() {
+        let g = Graph::complete(4);
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(greedy_independent_subset(&g, &all), 1);
+        let p = path(4);
+        let all: Vec<NodeId> = p.nodes().collect();
+        assert_eq!(greedy_independent_subset(&p, &all), 2);
+        assert_eq!(greedy_independent_subset(&p, &[]), 0);
+    }
+}

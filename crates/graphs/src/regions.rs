@@ -1,0 +1,266 @@
+//! Region decomposition of geographic dual graphs.
+//!
+//! Section 4.3 of the paper uses the following property of geographic graphs
+//! (first established in the "Structuring Unreliable Radio Networks" paper it
+//! cites): the nodes can be partitioned into regions such that
+//!
+//! 1. all nodes in the same region are adjacent in `G`, and
+//! 2. each region has at most a constant number `γ_r` of neighboring regions
+//!    (regions containing a `G'`-neighbor of one of its nodes), where the
+//!    constant depends only on the geographic parameter `r`.
+//!
+//! The decomposition implemented here is the standard grid construction: tile
+//! the plane with axis-aligned square cells of side `1/√2`. Any two points in
+//! the same cell are at distance at most 1, so by the geographic constraint
+//! they are adjacent in `G` (property 1). Any `G'` edge spans distance at most
+//! `r`, so neighboring regions of a cell lie within a window of
+//! `O(r²)` cells (property 2).
+
+use std::collections::BTreeMap;
+
+use crate::dual::DualGraph;
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::Result;
+
+/// Side length of the grid cells: `1/√2`, so that the diameter of a cell is 1
+/// and all nodes inside one cell are `G`-adjacent under the geographic
+/// constraint.
+pub const CELL_SIDE: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Identifier of a grid cell (region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId {
+    /// Cell column index.
+    pub col: i64,
+    /// Cell row index.
+    pub row: i64,
+}
+
+/// A grid-based region decomposition of an embedded dual graph.
+///
+/// # Example
+///
+/// ```
+/// use dradio_graphs::topology::{self, GeometricConfig};
+/// use dradio_graphs::RegionDecomposition;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(7);
+/// let dual = topology::random_geometric(&GeometricConfig::new(50, 4.0, 1.5), &mut rng)?;
+/// let regions = RegionDecomposition::build(&dual, 1.5)?;
+/// assert_eq!(regions.node_count(), 50);
+/// // Every node belongs to exactly one region.
+/// assert!(regions.region_count() >= 1);
+/// # Ok::<(), dradio_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionDecomposition {
+    /// Region of each node, indexed by node id.
+    node_region: Vec<RegionId>,
+    /// Members of each region, sorted by node id.
+    members: BTreeMap<RegionId, Vec<NodeId>>,
+    /// Neighboring regions of each region (regions containing a `G'` neighbor
+    /// of one of its members), excluding the region itself.
+    neighbors: BTreeMap<RegionId, Vec<RegionId>>,
+    /// Geographic parameter `r` the decomposition was built for.
+    r: f64,
+}
+
+impl RegionDecomposition {
+    /// Builds the decomposition for an embedded dual graph with geographic
+    /// parameter `r`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::MissingEmbedding`] if the dual graph has no embedding.
+    /// * [`GraphError::InvalidParameter`] if `r < 1`.
+    pub fn build(dual: &DualGraph, r: f64) -> Result<Self> {
+        if r < 1.0 {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("geographic parameter r must be >= 1, got {r}"),
+            });
+        }
+        let emb = dual.embedding().ok_or(GraphError::MissingEmbedding)?;
+        let mut node_region = Vec::with_capacity(dual.len());
+        let mut members: BTreeMap<RegionId, Vec<NodeId>> = BTreeMap::new();
+        for (u, p) in emb.iter() {
+            let region = RegionId {
+                col: (p.x / CELL_SIDE).floor() as i64,
+                row: (p.y / CELL_SIDE).floor() as i64,
+            };
+            node_region.push(region);
+            members.entry(region).or_default().push(u);
+        }
+        // Region adjacency: region S neighbors region T if some node of S has
+        // a G' neighbor in T (and S != T).
+        let mut neighbors: BTreeMap<RegionId, Vec<RegionId>> = BTreeMap::new();
+        for (&region, nodes) in &members {
+            let mut adjacent: Vec<RegionId> = Vec::new();
+            for &u in nodes {
+                for &v in dual.g_prime_neighbors(u) {
+                    let other = node_region[v.index()];
+                    if other != region && !adjacent.contains(&other) {
+                        adjacent.push(other);
+                    }
+                }
+            }
+            adjacent.sort_unstable();
+            neighbors.insert(region, adjacent);
+        }
+        Ok(RegionDecomposition { node_region, members, neighbors, r })
+    }
+
+    /// The geographic parameter the decomposition was built for.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Number of nodes covered by the decomposition.
+    pub fn node_count(&self) -> usize {
+        self.node_region.len()
+    }
+
+    /// Number of non-empty regions.
+    pub fn region_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Region containing node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn region_of(&self, u: NodeId) -> RegionId {
+        self.node_region[u.index()]
+    }
+
+    /// Members of `region` in ascending node order (empty if the region has
+    /// no nodes).
+    pub fn members(&self, region: RegionId) -> &[NodeId] {
+        self.members.get(&region).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Neighboring regions of `region` (regions containing a `G'` neighbor of
+    /// one of its members).
+    pub fn neighboring_regions(&self, region: RegionId) -> &[RegionId] {
+        self.neighbors.get(&region).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all non-empty regions.
+    pub fn regions(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.members.keys().copied()
+    }
+
+    /// Largest number of members in any region.
+    pub fn max_region_size(&self) -> usize {
+        self.members.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Largest number of neighboring regions over all regions — the empirical
+    /// `γ_r` of this particular network.
+    pub fn max_region_neighbors(&self) -> usize {
+        self.neighbors.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Theoretical upper bound on the number of neighboring regions for a
+    /// decomposition with parameter `r`: all cells within `⌈r/CELL_SIDE⌉ + 1`
+    /// cells in each axis direction.
+    pub fn gamma_bound(r: f64) -> usize {
+        let reach = (r / CELL_SIDE).ceil() as usize + 1;
+        let window = 2 * reach + 1;
+        window * window - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{self, GeometricConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample(n: usize, side: f64, r: f64, seed: u64) -> DualGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        topology::random_geometric(&GeometricConfig::new(n, side, r), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn build_requires_embedding() {
+        let dual = DualGraph::static_model(crate::graph::Graph::complete(4));
+        assert_eq!(
+            RegionDecomposition::build(&dual, 1.5).unwrap_err(),
+            GraphError::MissingEmbedding
+        );
+    }
+
+    #[test]
+    fn build_rejects_small_r() {
+        let dual = sample(20, 3.0, 1.5, 1);
+        assert!(matches!(
+            RegionDecomposition::build(&dual, 0.5),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn every_node_has_exactly_one_region() {
+        let dual = sample(80, 5.0, 1.5, 2);
+        let rd = RegionDecomposition::build(&dual, 1.5).unwrap();
+        assert_eq!(rd.node_count(), 80);
+        let total: usize = rd.regions().map(|r| rd.members(r).len()).sum();
+        assert_eq!(total, 80);
+        for u in NodeId::all(80) {
+            let region = rd.region_of(u);
+            assert!(rd.members(region).contains(&u));
+        }
+    }
+
+    #[test]
+    fn same_region_nodes_are_g_adjacent() {
+        // Property 1 of the decomposition: cells of side 1/sqrt(2) have
+        // diameter 1, so the geographic constraint forces G adjacency.
+        let dual = sample(120, 4.0, 1.5, 3);
+        let rd = RegionDecomposition::build(&dual, 1.5).unwrap();
+        for region in rd.regions() {
+            let members = rd.members(region);
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    assert!(
+                        dual.g().has_edge(u, v),
+                        "nodes {u} and {v} share region {region:?} but are not G-adjacent"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_neighbor_counts_respect_gamma_bound() {
+        let r = 2.0;
+        let dual = sample(150, 6.0, r, 4);
+        let rd = RegionDecomposition::build(&dual, r).unwrap();
+        assert!(rd.max_region_neighbors() <= RegionDecomposition::gamma_bound(r));
+    }
+
+    #[test]
+    fn gamma_bound_grows_with_r_but_is_constant_in_n() {
+        assert!(RegionDecomposition::gamma_bound(1.0) < RegionDecomposition::gamma_bound(3.0));
+        // Same r, different networks: the bound does not depend on n.
+        assert_eq!(RegionDecomposition::gamma_bound(1.5), RegionDecomposition::gamma_bound(1.5));
+    }
+
+    #[test]
+    fn neighboring_regions_exclude_self_and_are_sorted() {
+        let dual = sample(100, 4.0, 1.5, 5);
+        let rd = RegionDecomposition::build(&dual, 1.5).unwrap();
+        for region in rd.regions() {
+            let nbrs = rd.neighboring_regions(region);
+            assert!(!nbrs.contains(&region));
+            let mut sorted = nbrs.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, nbrs);
+        }
+    }
+}

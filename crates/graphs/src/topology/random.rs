@@ -1,0 +1,155 @@
+//! Random (Erdős–Rényi) dual graphs.
+
+use rand::Rng;
+
+use crate::dual::DualGraph;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::properties;
+use crate::Result;
+
+/// Samples an Erdős–Rényi graph `G(n, p)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is not in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use dradio_graphs::topology;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// let mut rng = ChaCha8Rng::seed_from_u64(1);
+/// let g = topology::gnp(20, 0.3, &mut rng)?;
+/// assert_eq!(g.len(), 20);
+/// # Ok::<(), dradio_graphs::GraphError>(())
+/// ```
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("edge probability must be in [0, 1], got {p}"),
+        });
+    }
+    let mut g = Graph::empty(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(NodeId::new(i), NodeId::new(j))?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Samples a random dual graph: the reliable layer is `G(n, p_reliable)`
+/// re-sampled until connected (at most 200 attempts), and every absent pair
+/// is added to `G'` independently with probability `p_dynamic`.
+///
+/// This family models "unstructured" unreliability and is used as a
+/// non-geographic workload in the oblivious global broadcast experiments.
+///
+/// # Errors
+///
+/// * [`GraphError::InvalidParameter`] if a probability is out of range or
+///   `n == 0`.
+/// * [`GraphError::Disconnected`] if no connected reliable layer was sampled
+///   within the attempt budget (choose a larger `p_reliable`).
+pub fn erdos_renyi_dual<R: Rng + ?Sized>(
+    n: usize,
+    p_reliable: f64,
+    p_dynamic: f64,
+    rng: &mut R,
+) -> Result<DualGraph> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter { reason: "n must be >= 1".into() });
+    }
+    if !(0.0..=1.0).contains(&p_dynamic) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("dynamic edge probability must be in [0, 1], got {p_dynamic}"),
+        });
+    }
+    let mut g = None;
+    for _ in 0..200 {
+        let candidate = gnp(n, p_reliable, rng)?;
+        if properties::is_connected(&candidate) {
+            g = Some(candidate);
+            break;
+        }
+    }
+    let g = g.ok_or(GraphError::Disconnected)?;
+    let mut g_prime = g.clone();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (u, v) = (NodeId::new(i), NodeId::new(j));
+            if !g_prime.has_edge(u, v) && rng.gen_bool(p_dynamic) {
+                g_prime.add_edge(u, v)?;
+            }
+        }
+    }
+    DualGraph::new(g, g_prime).map(|d| {
+        d.with_name(format!("erdos-renyi(n={n}, p={p_reliable:.2}, q={p_dynamic:.2})"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let empty = gnp(10, 0.0, &mut rng).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = gnp(10, 1.0, &mut rng).unwrap();
+        assert_eq!(full.edge_count(), 45);
+        assert!(gnp(10, 1.5, &mut rng).is_err());
+        assert!(gnp(10, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gnp_is_deterministic_for_fixed_seed() {
+        let a = gnp(30, 0.2, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+        let b = gnp(30, 0.2, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn erdos_renyi_dual_is_valid_and_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let dual = erdos_renyi_dual(40, 0.2, 0.1, &mut rng).unwrap();
+        assert!(dual.is_valid());
+        assert!(properties::is_connected(dual.g()));
+        assert_eq!(dual.len(), 40);
+    }
+
+    #[test]
+    fn erdos_renyi_dual_adds_dynamic_edges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let dual = erdos_renyi_dual(30, 0.3, 0.5, &mut rng).unwrap();
+        assert!(!dual.dynamic_edges().is_empty());
+    }
+
+    #[test]
+    fn erdos_renyi_dual_rejects_bad_parameters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(erdos_renyi_dual(0, 0.5, 0.5, &mut rng).is_err());
+        assert!(erdos_renyi_dual(10, 0.5, 1.5, &mut rng).is_err());
+        // Extremely sparse reliable layer on a large graph: likely to fail to
+        // connect, which must surface as an error rather than a panic.
+        assert!(matches!(
+            erdos_renyi_dual(200, 0.0, 0.1, &mut rng),
+            Err(GraphError::Disconnected) | Ok(_)
+        ));
+    }
+
+    #[test]
+    fn zero_dynamic_probability_gives_static_model() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let dual = erdos_renyi_dual(25, 0.4, 0.0, &mut rng).unwrap();
+        assert!(dual.is_static());
+    }
+}

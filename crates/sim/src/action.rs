@@ -1,0 +1,125 @@
+//! Per-round actions and the feedback nodes observe.
+
+use std::fmt;
+
+use crate::message::Message;
+
+/// The action a process takes in one round: transmit a message or listen.
+///
+/// The radio model is half-duplex: a transmitting node hears nothing in that
+/// round, and a listening node receives a message only under the collision
+/// rule (exactly one transmitting neighbor).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Broadcast `Message` to all neighbors in this round's topology.
+    Transmit(Message),
+    /// Listen for a message this round.
+    Listen,
+}
+
+impl Action {
+    /// Returns `true` if the action is a transmission.
+    pub fn is_transmit(&self) -> bool {
+        matches!(self, Action::Transmit(_))
+    }
+
+    /// The transmitted message, if any.
+    pub fn message(&self) -> Option<&Message> {
+        match self {
+            Action::Transmit(m) => Some(m),
+            Action::Listen => None,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Transmit(m) => write!(f, "transmit {m}"),
+            Action::Listen => write!(f, "listen"),
+        }
+    }
+}
+
+/// What a process observes at the end of a round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Feedback {
+    /// Exactly one neighbor transmitted; the message was received.
+    Received(Message),
+    /// No message was received: either no neighbor transmitted or several
+    /// did (collision). The standard model cannot distinguish the two cases.
+    Silence,
+    /// Two or more neighbors transmitted. Only reported when the simulation
+    /// explicitly enables collision detection (a diagnostic mode, not part of
+    /// the paper's model).
+    Collision,
+    /// The process transmitted this round and therefore heard nothing.
+    Transmitted,
+}
+
+impl Feedback {
+    /// The received message, if the feedback is a reception.
+    pub fn message(&self) -> Option<&Message> {
+        match self {
+            Feedback::Received(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if a message was received.
+    pub fn is_reception(&self) -> bool {
+        matches!(self, Feedback::Received(_))
+    }
+}
+
+impl fmt::Display for Feedback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Feedback::Received(m) => write!(f, "received {m}"),
+            Feedback::Silence => write!(f, "silence"),
+            Feedback::Collision => write!(f, "collision"),
+            Feedback::Transmitted => write!(f, "transmitted"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+    use dradio_graphs::NodeId;
+
+    fn msg() -> Message {
+        Message::plain(NodeId::new(0), MessageKind::new(1), 7)
+    }
+
+    #[test]
+    fn action_accessors() {
+        let t = Action::Transmit(msg());
+        assert!(t.is_transmit());
+        assert_eq!(t.message(), Some(&msg()));
+        let l = Action::Listen;
+        assert!(!l.is_transmit());
+        assert_eq!(l.message(), None);
+    }
+
+    #[test]
+    fn feedback_accessors() {
+        let r = Feedback::Received(msg());
+        assert!(r.is_reception());
+        assert_eq!(r.message(), Some(&msg()));
+        for f in [Feedback::Silence, Feedback::Collision, Feedback::Transmitted] {
+            assert!(!f.is_reception());
+            assert_eq!(f.message(), None);
+        }
+    }
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(Action::Listen.to_string(), "listen");
+        assert!(Action::Transmit(msg()).to_string().starts_with("transmit"));
+        assert_eq!(Feedback::Silence.to_string(), "silence");
+        assert_eq!(Feedback::Collision.to_string(), "collision");
+        assert_eq!(Feedback::Transmitted.to_string(), "transmitted");
+    }
+}

@@ -1,0 +1,303 @@
+//! Shared random bit strings.
+//!
+//! The paper's algorithms coordinate nodes by distributing *random bits
+//! generated after the execution begins* (so the oblivious adversary cannot
+//! have anticipated them): the global broadcast source appends
+//! `Θ(log² n log log n)` bits to its message, and the geographic local
+//! broadcast leaders disseminate seeds of `Θ(log³ n (log log n)²)` bits.
+//!
+//! [`BitString`] is an immutable, cheaply cloneable (reference counted) bit
+//! sequence; [`BitReader`] is a cursor that consumes fixed-width chunks, which
+//! is exactly how the permuted decay subroutine uses its permutation bits.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::RngCore;
+
+/// An immutable string of bits, cheap to clone and to embed in messages.
+///
+/// # Example
+///
+/// ```
+/// use dradio_sim::BitString;
+/// let s = BitString::from_bools([true, false, true, true]);
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.bit(0), Some(true));
+/// assert_eq!(s.bit(1), Some(false));
+/// assert_eq!(s.bit(9), None);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitString {
+    words: Arc<Vec<u64>>,
+    len: usize,
+}
+
+impl BitString {
+    /// The empty bit string.
+    pub fn empty() -> Self {
+        BitString::default()
+    }
+
+    /// Generates `len` bits of uniform and independent randomness from `rng`.
+    pub fn random(len: usize, rng: &mut dyn RngCore) -> Self {
+        let word_count = (len + 63) / 64;
+        let mut words = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            words.push(rng.next_u64());
+        }
+        // Zero the unused tail bits so equality is structural.
+        if len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                let keep = len % 64;
+                *last &= (1u64 << keep) - 1;
+            }
+        }
+        BitString { words: Arc::new(words), len }
+    }
+
+    /// Builds a bit string from booleans (index 0 first).
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bools: I) -> Self {
+        let mut words = Vec::new();
+        let mut len = 0usize;
+        for b in bools {
+            if len % 64 == 0 {
+                words.push(0u64);
+            }
+            if b {
+                let last = words.last_mut().expect("word pushed above");
+                *last |= 1u64 << (len % 64);
+            }
+            len += 1;
+        }
+        BitString { words: Arc::new(words), len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the string has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at position `i`, or `None` if out of range.
+    pub fn bit(&self, i: usize) -> Option<bool> {
+        if i >= self.len {
+            return None;
+        }
+        Some(self.words[i / 64] >> (i % 64) & 1 == 1)
+    }
+
+    /// Reads `width ≤ 64` bits starting at `start` as an unsigned integer
+    /// (bit `start` is the least significant). Returns `None` if the range is
+    /// out of bounds or wider than 64 bits.
+    pub fn value(&self, start: usize, width: usize) -> Option<u64> {
+        if width == 0 || width > 64 || start + width > self.len {
+            return None;
+        }
+        let mut out = 0u64;
+        for offset in 0..width {
+            if self.bit(start + offset).expect("range checked") {
+                out |= 1u64 << offset;
+            }
+        }
+        Some(out)
+    }
+
+    /// Creates a cursor that consumes the string from the beginning.
+    pub fn reader(&self) -> BitReader {
+        BitReader { bits: self.clone(), pos: 0 }
+    }
+
+    /// Creates a cursor positioned at bit `start`.
+    pub fn reader_at(&self, start: usize) -> BitReader {
+        BitReader { bits: self.clone(), pos: start.min(self.len) }
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString(len={}", self.len)?;
+        if self.len <= 32 {
+            write!(f, ", bits=")?;
+            for i in 0..self.len {
+                write!(f, "{}", if self.bit(i).expect("in range") { '1' } else { '0' })?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// A cursor over a [`BitString`] that consumes fixed-width chunks.
+///
+/// # Example
+///
+/// ```
+/// use dradio_sim::BitString;
+/// let s = BitString::from_bools([true, true, false, true]);
+/// let mut r = s.reader();
+/// assert_eq!(r.take(2), Some(0b11));
+/// assert_eq!(r.take(2), Some(0b10)); // bits 2 (0) and 3 (1), LSB first
+/// assert_eq!(r.take(1), None);       // exhausted
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader {
+    bits: BitString,
+    pos: usize,
+}
+
+impl BitReader {
+    /// Consumes `width` bits and returns them as an unsigned integer, or
+    /// `None` if fewer than `width` bits remain (the cursor is not advanced
+    /// in that case).
+    pub fn take(&mut self, width: usize) -> Option<u64> {
+        let value = self.bits.value(self.pos, width)?;
+        self.pos += width;
+        Some(value)
+    }
+
+    /// Consumes `width` bits and reduces them modulo `modulus`, or `None` if
+    /// exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus == 0`.
+    pub fn take_mod(&mut self, width: usize, modulus: u64) -> Option<u64> {
+        assert!(modulus > 0, "modulus must be positive");
+        self.take(width).map(|v| v % modulus)
+    }
+
+    /// Number of unread bits.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn empty_string() {
+        let s = BitString::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.bit(0), None);
+        assert_eq!(s.value(0, 1), None);
+        assert_eq!(s.reader().remaining(), 0);
+    }
+
+    #[test]
+    fn from_bools_round_trip() {
+        let pattern = [true, false, false, true, true, false, true];
+        let s = BitString::from_bools(pattern);
+        assert_eq!(s.len(), 7);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(s.bit(i), Some(b));
+        }
+    }
+
+    #[test]
+    fn value_reads_lsb_first() {
+        let s = BitString::from_bools([true, false, true]); // value 0b101
+        assert_eq!(s.value(0, 3), Some(5));
+        assert_eq!(s.value(1, 2), Some(2));
+        assert_eq!(s.value(0, 4), None);
+        assert_eq!(s.value(0, 0), None);
+    }
+
+    #[test]
+    fn value_rejects_width_over_64() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let s = BitString::random(128, &mut rng);
+        assert_eq!(s.value(0, 65), None);
+        assert!(s.value(0, 64).is_some());
+    }
+
+    #[test]
+    fn random_has_requested_length_and_is_deterministic() {
+        let a = BitString::random(1000, &mut ChaCha8Rng::seed_from_u64(3));
+        let b = BitString::random(1000, &mut ChaCha8Rng::seed_from_u64(3));
+        let c = BitString::random(1000, &mut ChaCha8Rng::seed_from_u64(4));
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_is_roughly_balanced() {
+        let s = BitString::random(10_000, &mut ChaCha8Rng::seed_from_u64(9));
+        let ones = (0..s.len()).filter(|&i| s.bit(i) == Some(true)).count();
+        assert!(ones > 4_500 && ones < 5_500, "ones = {ones}");
+    }
+
+    #[test]
+    fn reader_consumes_sequentially() {
+        let s = BitString::from_bools([true, true, false, false, true, false]);
+        let mut r = s.reader();
+        assert_eq!(r.take(3), Some(0b011));
+        assert_eq!(r.position(), 3);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.take(3), Some(0b010));
+        assert_eq!(r.take(1), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_at_offset() {
+        let s = BitString::from_bools([true, false, true, true]);
+        let mut r = s.reader_at(2);
+        assert_eq!(r.take(2), Some(0b11));
+        let mut past_end = s.reader_at(100);
+        assert_eq!(past_end.take(1), None);
+    }
+
+    #[test]
+    fn take_mod_reduces() {
+        let s = BitString::from_bools([true; 16]);
+        let mut r = s.reader();
+        let v = r.take_mod(8, 10).unwrap();
+        assert!(v < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus")]
+    fn take_mod_rejects_zero_modulus() {
+        let s = BitString::from_bools([true; 8]);
+        let _ = s.reader().take_mod(4, 0);
+    }
+
+    #[test]
+    fn clone_is_cheap_and_shares_storage() {
+        let s = BitString::random(1 << 16, &mut ChaCha8Rng::seed_from_u64(1));
+        let t = s.clone();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn debug_shows_small_strings() {
+        let s = BitString::from_bools([true, false]);
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("10"));
+        assert!(dbg.contains("len=2"));
+    }
+
+    #[test]
+    fn tail_bits_are_zeroed_for_equality() {
+        // Two random strings of the same content must be equal regardless of
+        // what garbage the generator produced past the end.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let s = BitString::random(70, &mut rng);
+        let copy = BitString::from_bools((0..70).map(|i| s.bit(i).unwrap()));
+        assert_eq!(s, copy);
+    }
+}

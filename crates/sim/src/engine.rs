@@ -1,0 +1,682 @@
+//! The round-by-round execution engine.
+
+use dradio_graphs::{DualGraph, Edge, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::action::{Action, Feedback};
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::history::{Delivery, History, RoundRecord};
+use crate::link::{AdversaryClass, AdversarySetup, AdversaryView, LinkProcess};
+use crate::metrics::Metrics;
+use crate::process::{Assignment, Process, ProcessContext, ProcessFactory};
+use crate::round::Round;
+use crate::stop::{StopCondition, StopTracker};
+use crate::Result;
+
+/// The result of running an execution.
+#[derive(Debug)]
+pub struct ExecutionOutcome {
+    /// Whether the stop condition was satisfied before the horizon.
+    pub completed: bool,
+    /// Number of rounds actually executed.
+    pub rounds_executed: usize,
+    /// The round in which the stop condition became satisfied, if it did.
+    pub completion_round: Option<Round>,
+    /// Complete per-round history of the execution.
+    pub history: History,
+    /// Aggregate counters.
+    pub metrics: Metrics,
+}
+
+impl ExecutionOutcome {
+    /// Rounds until completion if the condition was met, otherwise the number
+    /// of rounds executed (the horizon). Experiments use this as the measured
+    /// cost, treating non-completion as a censored observation at the
+    /// horizon.
+    pub fn cost(&self) -> usize {
+        match self.completion_round {
+            Some(r) => r.index() + 1,
+            None => self.rounds_executed,
+        }
+    }
+}
+
+/// Derives a per-stream seed from the master seed (splitmix64 finalizer, so
+/// adjacent node indices get uncorrelated streams).
+fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A configured dual-graph radio network simulation.
+///
+/// See the [crate documentation](crate) for the model and an end-to-end
+/// example.
+pub struct Simulator {
+    dual: DualGraph,
+    processes: Vec<Box<dyn Process>>,
+    link: Box<dyn LinkProcess>,
+    node_rngs: Vec<ChaCha8Rng>,
+    adversary_rng: ChaCha8Rng,
+    config: SimConfig,
+    factory: ProcessFactory,
+    assignment: Assignment,
+}
+
+impl Simulator {
+    /// Builds a simulation: instantiates one process per node from `factory`
+    /// and derives deterministic per-node random streams from the master
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyNetwork`] if the network has no nodes.
+    /// * [`SimError::AssignmentSizeMismatch`] if `assignment` covers a
+    ///   different number of nodes.
+    /// * [`SimError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(
+        dual: DualGraph,
+        factory: ProcessFactory,
+        assignment: Assignment,
+        link: Box<dyn LinkProcess>,
+        config: SimConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let n = dual.len();
+        if n == 0 {
+            return Err(SimError::EmptyNetwork);
+        }
+        if assignment.len() != n {
+            return Err(SimError::AssignmentSizeMismatch { network: n, assignment: assignment.len() });
+        }
+        let max_degree = dual.max_degree();
+        let mut processes = Vec::with_capacity(n);
+        let mut node_rngs = Vec::with_capacity(n);
+        for u in NodeId::all(n) {
+            let ctx = ProcessContext::new(u, n, max_degree, assignment.role(u));
+            processes.push(factory(&ctx));
+            node_rngs.push(ChaCha8Rng::seed_from_u64(derive_seed(config.seed(), u.index() as u64)));
+        }
+        let adversary_rng = ChaCha8Rng::seed_from_u64(derive_seed(config.seed(), u64::MAX));
+        Ok(Simulator { dual, processes, link, node_rngs, adversary_rng, config, factory, assignment })
+    }
+
+    /// The network being simulated.
+    pub fn dual(&self) -> &DualGraph {
+        &self.dual
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the execution until `stop` is satisfied or the round horizon is
+    /// reached, consuming the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop` references nodes outside the network (a programming
+    /// error in the experiment setup, not a runtime condition).
+    pub fn run(mut self, stop: StopCondition) -> ExecutionOutcome {
+        if let Some(max_index) = stop.max_node_index() {
+            assert!(
+                max_index < self.dual.len(),
+                "stop condition references node {max_index} but the network has {} nodes",
+                self.dual.len()
+            );
+        }
+
+        let n = self.dual.len();
+        let horizon = self.config.max_rounds();
+        let class = self.link.class();
+        let mut history = History::new(n);
+        let mut metrics = Metrics::default();
+        let mut tracker = StopTracker::new(stop, n);
+
+        // Start-of-execution hooks.
+        {
+            let setup = AdversarySetup {
+                dual: &self.dual,
+                factory: &self.factory,
+                assignment: &self.assignment,
+                horizon,
+            };
+            self.link.on_start(&setup, &mut self.adversary_rng);
+        }
+        for (i, process) in self.processes.iter_mut().enumerate() {
+            process.on_start(&mut self.node_rngs[i]);
+        }
+
+        let mut completion_round = None;
+        let mut rounds_executed = 0usize;
+
+        if tracker.is_done() {
+            // Degenerate conditions (e.g. empty receiver set) are complete
+            // before any round executes.
+            return ExecutionOutcome {
+                completed: true,
+                rounds_executed: 0,
+                completion_round: None,
+                history,
+                metrics,
+            };
+        }
+
+        for round in Round::range(horizon) {
+            rounds_executed += 1;
+
+            // 1. Expected behaviour (visible to adaptive adversaries) must be
+            //    captured before any round-r coin is flipped.
+            let transmit_probs: Option<Vec<f64>> = if class == AdversaryClass::Oblivious {
+                None
+            } else {
+                Some(self.processes.iter().map(|p| p.transmit_probability(round)).collect())
+            };
+
+            // 2. Processes pick their actions using their private coins.
+            let actions: Vec<Action> = self
+                .processes
+                .iter_mut()
+                .enumerate()
+                .map(|(i, p)| p.on_round(round, &mut self.node_rngs[i]))
+                .collect();
+
+            // 3. The link process fixes the dynamic edges, seeing only what
+            //    its class entitles it to.
+            let decision = {
+                let view = AdversaryView::new(
+                    round,
+                    n,
+                    (class != AdversaryClass::Oblivious).then_some(&history),
+                    transmit_probs.as_deref(),
+                    (class == AdversaryClass::OfflineAdaptive).then_some(actions.as_slice()),
+                );
+                self.link.decide(&view, &mut self.adversary_rng)
+            };
+
+            // Filter the decision down to genuine dynamic edges.
+            let mut active_edges: Vec<Edge> = Vec::with_capacity(decision.len());
+            for edge in decision.edges() {
+                let (u, v) = edge.endpoints();
+                let is_dynamic = self.dual.g_prime().has_edge(u, v) && !self.dual.g().has_edge(u, v);
+                if is_dynamic && !active_edges.contains(edge) {
+                    active_edges.push(*edge);
+                } else if !is_dynamic {
+                    metrics.rejected_link_edges += 1;
+                }
+            }
+
+            // Dynamic adjacency for this round.
+            let mut extra_adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+            for edge in &active_edges {
+                let (u, v) = edge.endpoints();
+                extra_adjacency[u.index()].push(v);
+                extra_adjacency[v.index()].push(u);
+            }
+
+            // 4. Reception under the collision rule.
+            let transmitting: Vec<Option<&crate::message::Message>> =
+                actions.iter().map(Action::message).collect();
+            let mut transmitters: Vec<NodeId> = Vec::new();
+            for (i, m) in transmitting.iter().enumerate() {
+                if m.is_some() {
+                    transmitters.push(NodeId::new(i));
+                }
+            }
+            metrics.transmissions += transmitters.len();
+
+            let mut deliveries = Vec::new();
+            let mut feedbacks: Vec<Feedback> = Vec::with_capacity(n);
+            for u in NodeId::all(n) {
+                if transmitting[u.index()].is_some() {
+                    feedbacks.push(Feedback::Transmitted);
+                    continue;
+                }
+                let mut heard: Option<(NodeId, &crate::message::Message)> = None;
+                let mut count = 0usize;
+                for &v in self.dual.g_neighbors(u).iter().chain(extra_adjacency[u.index()].iter()) {
+                    if let Some(m) = transmitting[v.index()] {
+                        count += 1;
+                        heard = Some((v, m));
+                    }
+                }
+                let feedback = match count {
+                    0 => {
+                        metrics.idle_listens += 1;
+                        Feedback::Silence
+                    }
+                    1 => {
+                        let (sender, message) = heard.expect("count == 1 implies a sender");
+                        metrics.deliveries += 1;
+                        deliveries.push(Delivery { receiver: u, sender, message: message.clone() });
+                        Feedback::Received(message.clone())
+                    }
+                    _ => {
+                        metrics.collisions += 1;
+                        if self.config.collision_detection() {
+                            Feedback::Collision
+                        } else {
+                            Feedback::Silence
+                        }
+                    }
+                };
+                feedbacks.push(feedback);
+            }
+
+            // 5. Deliver feedback to the processes.
+            for (i, feedback) in feedbacks.iter().enumerate() {
+                self.processes[i].on_feedback(round, feedback, &mut self.node_rngs[i]);
+            }
+
+            // 6. Record and evaluate the stop condition.
+            tracker.observe(&deliveries);
+            history.push(RoundRecord { round, transmitters, active_dynamic_edges: active_edges, deliveries });
+            metrics.rounds = rounds_executed;
+
+            if tracker.is_done() {
+                completion_round = Some(round);
+                break;
+            }
+        }
+
+        metrics.rounds = rounds_executed;
+        ExecutionOutcome {
+            completed: completion_round.is_some(),
+            rounds_executed,
+            completion_round,
+            history,
+            metrics,
+        }
+    }
+}
+
+/// Convenience helper: run one simulation end to end.
+///
+/// # Errors
+///
+/// Propagates construction errors from [`Simulator::new`].
+pub fn run_simulation(
+    dual: DualGraph,
+    factory: ProcessFactory,
+    assignment: Assignment,
+    link: Box<dyn LinkProcess>,
+    config: SimConfig,
+    stop: StopCondition,
+) -> Result<ExecutionOutcome> {
+    Ok(Simulator::new(dual, factory, assignment, link, config)?.run(stop))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{LinkDecision, StaticLinks};
+    use crate::message::{Message, MessageKind};
+    use crate::process::Role;
+    use dradio_graphs::topology;
+    use rand::RngCore;
+    use std::sync::Arc;
+
+    const DATA: MessageKind = MessageKind::new(1);
+
+    /// Source transmits every round; relays stay silent.
+    struct Beacon {
+        msg: Option<Message>,
+    }
+
+    impl Process for Beacon {
+        fn on_round(&mut self, _round: Round, _rng: &mut dyn RngCore) -> Action {
+            match &self.msg {
+                Some(m) => Action::Transmit(m.clone()),
+                None => Action::Listen,
+            }
+        }
+        fn transmit_probability(&self, _round: Round) -> f64 {
+            if self.msg.is_some() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn name(&self) -> &'static str {
+            "beacon"
+        }
+    }
+
+    fn beacon_factory() -> ProcessFactory {
+        Arc::new(|ctx: &ProcessContext| {
+            let msg = (ctx.role == Role::Source).then(|| Message::plain(ctx.id, DATA, 7));
+            Box::new(Beacon { msg }) as Box<dyn Process>
+        })
+    }
+
+    /// Every broadcaster transmits every round (used to force collisions).
+    fn all_broadcasters_factory() -> ProcessFactory {
+        Arc::new(|ctx: &ProcessContext| {
+            let msg = (ctx.role == Role::Broadcaster).then(|| Message::plain(ctx.id, DATA, 1));
+            Box::new(Beacon { msg }) as Box<dyn Process>
+        })
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let dual = topology::line(3).unwrap();
+        let bad_assignment = Assignment::relays(2);
+        let err = Simulator::new(
+            dual.clone(),
+            beacon_factory(),
+            bad_assignment,
+            Box::new(StaticLinks::none()),
+            SimConfig::default(),
+        )
+        .err()
+        .expect("size mismatch must be rejected");
+        assert!(matches!(err, SimError::AssignmentSizeMismatch { .. }));
+
+        let err = Simulator::new(
+            dual,
+            beacon_factory(),
+            Assignment::relays(3),
+            Box::new(StaticLinks::none()),
+            SimConfig::default().with_max_rounds(0),
+        )
+        .err()
+        .expect("zero horizon must be rejected");
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn single_transmitter_is_received_by_g_neighbors() {
+        let dual = topology::star(5).unwrap(); // hub 0, leaves 1..4
+        let sim = Simulator::new(
+            dual,
+            beacon_factory(),
+            Assignment::global(5, NodeId::new(0)),
+            Box::new(StaticLinks::none()),
+            SimConfig::default().with_max_rounds(1),
+        )
+        .unwrap();
+        let out = sim.run(StopCondition::max_rounds());
+        assert_eq!(out.rounds_executed, 1);
+        // All 4 leaves hear the hub in round 0.
+        assert_eq!(out.metrics.deliveries, 4);
+        for leaf in 1..5 {
+            assert!(out.history.received_kind(NodeId::new(leaf), DATA));
+        }
+    }
+
+    #[test]
+    fn two_transmitting_neighbors_collide() {
+        // Path 1 - 0 - 2 with broadcasters at 1 and 2: node 0 hears nothing.
+        let dual = topology::star(3).unwrap();
+        let sim = Simulator::new(
+            dual,
+            all_broadcasters_factory(),
+            Assignment::local(3, &[NodeId::new(1), NodeId::new(2)]),
+            Box::new(StaticLinks::none()),
+            SimConfig::default().with_max_rounds(3),
+        )
+        .unwrap();
+        let out = sim.run(StopCondition::max_rounds());
+        assert_eq!(out.metrics.deliveries, 0);
+        assert!(out.metrics.collisions > 0);
+        assert!(!out.history.received_any(NodeId::new(0)));
+    }
+
+    #[test]
+    fn transmitters_do_not_receive() {
+        // Two nodes, both broadcasters: each transmits every round, so
+        // neither ever receives (half duplex).
+        let dual = topology::line(2).unwrap();
+        let sim = Simulator::new(
+            dual,
+            all_broadcasters_factory(),
+            Assignment::local(2, &[NodeId::new(0), NodeId::new(1)]),
+            Box::new(StaticLinks::none()),
+            SimConfig::default().with_max_rounds(5),
+        )
+        .unwrap();
+        let out = sim.run(StopCondition::max_rounds());
+        assert_eq!(out.metrics.deliveries, 0);
+        assert_eq!(out.metrics.collisions, 0);
+        assert_eq!(out.metrics.transmissions, 2 * 5);
+    }
+
+    #[test]
+    fn dynamic_edges_change_reception() {
+        // Dual clique n = 4: bridge (1, 2). Beacon at node 0 (side A, not the
+        // bridge endpoint). With no dynamic links only side A hears it; with
+        // all dynamic links every other node hears it.
+        let dual = topology::dual_clique(4).unwrap();
+        let assignment = Assignment::global(4, NodeId::new(0));
+
+        let sim = Simulator::new(
+            dual.clone(),
+            beacon_factory(),
+            assignment.clone(),
+            Box::new(StaticLinks::none()),
+            SimConfig::default().with_max_rounds(1),
+        )
+        .unwrap();
+        let out = sim.run(StopCondition::max_rounds());
+        assert!(out.history.received_kind(NodeId::new(1), DATA));
+        assert!(!out.history.received_kind(NodeId::new(2), DATA));
+        assert!(!out.history.received_kind(NodeId::new(3), DATA));
+
+        let sim = Simulator::new(
+            dual,
+            beacon_factory(),
+            assignment,
+            Box::new(StaticLinks::all()),
+            SimConfig::default().with_max_rounds(1),
+        )
+        .unwrap();
+        let out = sim.run(StopCondition::max_rounds());
+        for other in [1usize, 2, 3] {
+            assert!(out.history.received_kind(NodeId::new(other), DATA));
+        }
+    }
+
+    #[test]
+    fn stop_condition_ends_execution_early() {
+        let dual = topology::star(6).unwrap();
+        let sim = Simulator::new(
+            dual,
+            beacon_factory(),
+            Assignment::global(6, NodeId::new(0)),
+            Box::new(StaticLinks::none()),
+            SimConfig::default().with_max_rounds(100),
+        )
+        .unwrap();
+        let out = sim.run(StopCondition::global_broadcast(DATA, NodeId::new(0)));
+        assert!(out.completed);
+        assert_eq!(out.completion_round, Some(Round::new(0)));
+        assert_eq!(out.rounds_executed, 1);
+        assert_eq!(out.cost(), 1);
+    }
+
+    #[test]
+    fn horizon_bounds_execution() {
+        // A line where the source's message can never travel past the first
+        // hop (source transmits forever, blocking nothing, but node 1 never
+        // relays), so the global condition is unreachable.
+        let dual = topology::line(4).unwrap();
+        let sim = Simulator::new(
+            dual,
+            beacon_factory(),
+            Assignment::global(4, NodeId::new(0)),
+            Box::new(StaticLinks::none()),
+            SimConfig::default().with_max_rounds(20),
+        )
+        .unwrap();
+        let out = sim.run(StopCondition::global_broadcast(DATA, NodeId::new(0)));
+        assert!(!out.completed);
+        assert_eq!(out.rounds_executed, 20);
+        assert_eq!(out.cost(), 20);
+        assert_eq!(out.completion_round, None);
+    }
+
+    #[test]
+    fn executions_are_deterministic_per_seed() {
+        let make = |seed| {
+            let dual = topology::dual_clique(8).unwrap();
+            Simulator::new(
+                dual,
+                beacon_factory(),
+                Assignment::global(8, NodeId::new(0)),
+                Box::new(StaticLinks::all()),
+                SimConfig::default().with_max_rounds(30).with_seed(seed),
+            )
+            .unwrap()
+            .run(StopCondition::max_rounds())
+        };
+        let a = make(7);
+        let b = make(7);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    #[should_panic(expected = "stop condition references node")]
+    fn stop_condition_out_of_range_panics() {
+        let dual = topology::line(3).unwrap();
+        let sim = Simulator::new(
+            dual,
+            beacon_factory(),
+            Assignment::relays(3),
+            Box::new(StaticLinks::none()),
+            SimConfig::default().with_max_rounds(1),
+        )
+        .unwrap();
+        let _ = sim.run(StopCondition::global_broadcast(DATA, NodeId::new(9)));
+    }
+
+    /// A malicious link process that proposes edges outside `E' \ E`; the
+    /// engine must reject them and count the attempts.
+    struct CheatingAdversary;
+    impl LinkProcess for CheatingAdversary {
+        fn class(&self) -> AdversaryClass {
+            AdversaryClass::Oblivious
+        }
+        fn decide(&mut self, _view: &AdversaryView<'_>, _rng: &mut dyn RngCore) -> LinkDecision {
+            // Propose a reliable edge (0,1) of the line — not a dynamic edge.
+            LinkDecision::from_edges(vec![Edge::new(NodeId::new(0), NodeId::new(1))])
+        }
+    }
+
+    #[test]
+    fn non_dynamic_proposals_are_rejected_and_counted() {
+        let dual = topology::line(3).unwrap();
+        let sim = Simulator::new(
+            dual,
+            beacon_factory(),
+            Assignment::global(3, NodeId::new(0)),
+            Box::new(CheatingAdversary),
+            SimConfig::default().with_max_rounds(4),
+        )
+        .unwrap();
+        let out = sim.run(StopCondition::max_rounds());
+        assert_eq!(out.metrics.rejected_link_edges, 4);
+        for record in out.history.records() {
+            assert!(record.active_dynamic_edges.is_empty());
+        }
+        // The reliable edge still works: node 1 hears the source.
+        assert!(out.history.received_kind(NodeId::new(1), DATA));
+    }
+
+    /// An online-adaptive adversary that records whether it was shown history
+    /// and probabilities but not actions.
+    struct ViewSpy {
+        class: AdversaryClass,
+        saw_history: bool,
+        saw_probs: bool,
+        saw_actions: bool,
+    }
+    impl LinkProcess for ViewSpy {
+        fn class(&self) -> AdversaryClass {
+            self.class
+        }
+        fn decide(&mut self, view: &AdversaryView<'_>, _rng: &mut dyn RngCore) -> LinkDecision {
+            self.saw_history |= view.history().is_some();
+            self.saw_probs |= view.transmit_probabilities().is_some();
+            self.saw_actions |= view.actions().is_some();
+            LinkDecision::none()
+        }
+    }
+
+    fn spy_views(class: AdversaryClass) -> (bool, bool, bool) {
+        // Box the spy, run, then inspect via a shared cell: simplest is to
+        // run with a raw pointer-free approach — use Arc<Mutex<..>> free
+        // alternative: we recreate the spy after the run by returning the
+        // flags through a channel. Instead, we exploit that `run` consumes
+        // the simulator, so we capture flags with a scoped static pattern:
+        // store them in a Box and read back via Box::leak-free trick is
+        // overkill; simply wrap flags in Arc<std::sync::Mutex<_>>.
+        use std::sync::{Arc as SArc, Mutex};
+        #[derive(Default)]
+        struct Flags {
+            history: bool,
+            probs: bool,
+            actions: bool,
+        }
+        struct SharedSpy {
+            class: AdversaryClass,
+            flags: SArc<Mutex<Flags>>,
+        }
+        impl LinkProcess for SharedSpy {
+            fn class(&self) -> AdversaryClass {
+                self.class
+            }
+            fn decide(&mut self, view: &AdversaryView<'_>, _rng: &mut dyn RngCore) -> LinkDecision {
+                let mut f = self.flags.lock().unwrap();
+                f.history |= view.history().is_some();
+                f.probs |= view.transmit_probabilities().is_some();
+                f.actions |= view.actions().is_some();
+                LinkDecision::none()
+            }
+        }
+        let flags = SArc::new(Mutex::new(Flags::default()));
+        let dual = topology::line(3).unwrap();
+        let sim = Simulator::new(
+            dual,
+            beacon_factory(),
+            Assignment::global(3, NodeId::new(0)),
+            Box::new(SharedSpy { class, flags: flags.clone() }),
+            SimConfig::default().with_max_rounds(2),
+        )
+        .unwrap();
+        let _ = sim.run(StopCondition::max_rounds());
+        let f = flags.lock().unwrap();
+        (f.history, f.probs, f.actions)
+    }
+
+    #[test]
+    fn adversary_views_are_scoped_by_class() {
+        // Silence the unused-struct warning for the illustrative ViewSpy.
+        let _ = ViewSpy { class: AdversaryClass::Oblivious, saw_history: false, saw_probs: false, saw_actions: false };
+
+        assert_eq!(spy_views(AdversaryClass::Oblivious), (false, false, false));
+        assert_eq!(spy_views(AdversaryClass::OnlineAdaptive), (true, true, false));
+        assert_eq!(spy_views(AdversaryClass::OfflineAdaptive), (true, true, true));
+    }
+
+    #[test]
+    fn empty_receiver_condition_completes_without_rounds() {
+        let dual = topology::line(3).unwrap();
+        let sim = Simulator::new(
+            dual,
+            beacon_factory(),
+            Assignment::relays(3),
+            Box::new(StaticLinks::none()),
+            SimConfig::default().with_max_rounds(10),
+        )
+        .unwrap();
+        let out = sim.run(StopCondition::local_broadcast(vec![], vec![NodeId::new(0)]));
+        assert!(out.completed);
+        assert_eq!(out.rounds_executed, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Messages exchanged over the radio network.
+
+use std::fmt;
+
+use dradio_graphs::NodeId;
+
+use crate::bits::BitString;
+
+/// Algorithm-defined tag distinguishing message types (payload vs. seed vs.
+/// acknowledgement, etc.).
+///
+/// The simulator treats kinds opaquely; algorithm crates define constants for
+/// the kinds they use and completion predicates select deliveries by kind.
+///
+/// # Example
+///
+/// ```
+/// use dradio_sim::MessageKind;
+/// const DATA: MessageKind = MessageKind::new(1);
+/// assert_eq!(DATA.value(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MessageKind(u16);
+
+impl MessageKind {
+    /// Creates a message kind from a raw tag.
+    pub const fn new(value: u16) -> Self {
+        MessageKind(value)
+    }
+
+    /// Returns the raw tag.
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kind{}", self.0)
+    }
+}
+
+/// A radio message.
+///
+/// Messages carry: the node that *originated* the content (not necessarily
+/// the current transmitter), an algorithm-defined [`MessageKind`], a small
+/// integer payload, and an optional [`BitString`] of coordination bits (the
+/// permuted-decay permutation bits or a local broadcast seed).
+///
+/// Messages are cheap to clone: the bit string is reference counted.
+///
+/// # Example
+///
+/// ```
+/// use dradio_sim::{BitString, Message, MessageKind};
+/// use dradio_graphs::NodeId;
+/// let m = Message::plain(NodeId::new(0), MessageKind::new(2), 99);
+/// assert_eq!(m.payload(), 99);
+/// assert!(m.bits().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Message {
+    source: NodeId,
+    kind: MessageKind,
+    payload: u64,
+    bits: BitString,
+}
+
+impl Message {
+    /// Creates a message with no attached bit string.
+    pub fn plain(source: NodeId, kind: MessageKind, payload: u64) -> Self {
+        Message { source, kind, payload, bits: BitString::empty() }
+    }
+
+    /// Creates a message carrying coordination bits.
+    pub fn with_bits(source: NodeId, kind: MessageKind, payload: u64, bits: BitString) -> Self {
+        Message { source, kind, payload, bits }
+    }
+
+    /// The node that originated the message content.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The algorithm-defined message kind.
+    pub fn kind(&self) -> MessageKind {
+        self.kind
+    }
+
+    /// The integer payload.
+    pub fn payload(&self) -> u64 {
+        self.payload
+    }
+
+    /// The attached coordination bits (possibly empty).
+    pub fn bits(&self) -> &BitString {
+        &self.bits
+    }
+
+    /// Returns a copy of this message re-originated by `source` (used when a
+    /// relaying algorithm wants to track who forwarded the content).
+    pub fn reoriginated(&self, source: NodeId) -> Message {
+        Message { source, ..self.clone() }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "msg[{} from {} payload={} bits={}]",
+            self.kind,
+            self.source,
+            self.payload,
+            self.bits.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn plain_message_has_no_bits() {
+        let m = Message::plain(NodeId::new(3), MessageKind::new(7), 12);
+        assert_eq!(m.source(), NodeId::new(3));
+        assert_eq!(m.kind(), MessageKind::new(7));
+        assert_eq!(m.payload(), 12);
+        assert!(m.bits().is_empty());
+    }
+
+    #[test]
+    fn with_bits_preserves_bits() {
+        let bits = BitString::random(100, &mut ChaCha8Rng::seed_from_u64(1));
+        let m = Message::with_bits(NodeId::new(0), MessageKind::new(1), 0, bits.clone());
+        assert_eq!(m.bits(), &bits);
+    }
+
+    #[test]
+    fn reoriginated_changes_only_source() {
+        let bits = BitString::random(10, &mut ChaCha8Rng::seed_from_u64(2));
+        let m = Message::with_bits(NodeId::new(0), MessageKind::new(5), 77, bits.clone());
+        let r = m.reoriginated(NodeId::new(9));
+        assert_eq!(r.source(), NodeId::new(9));
+        assert_eq!(r.kind(), m.kind());
+        assert_eq!(r.payload(), m.payload());
+        assert_eq!(r.bits(), &bits);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Message::plain(NodeId::new(1), MessageKind::new(2), 3);
+        let b = Message::plain(NodeId::new(1), MessageKind::new(2), 3);
+        let c = Message::plain(NodeId::new(1), MessageKind::new(2), 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn display_mentions_kind_and_source() {
+        let m = Message::plain(NodeId::new(4), MessageKind::new(2), 5);
+        let shown = m.to_string();
+        assert!(shown.contains("kind2"));
+        assert!(shown.contains("v4"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Round counters.
+
+use std::fmt;
+
+/// A synchronous round number, starting at 0.
+///
+/// # Example
+///
+/// ```
+/// use dradio_sim::Round;
+/// let r = Round::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.next().index(), 6);
+/// assert_eq!(format!("{r}"), "r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Round(usize);
+
+impl Round {
+    /// The first round of every execution.
+    pub const ZERO: Round = Round(0);
+
+    /// Creates a round counter from an index.
+    pub const fn new(index: usize) -> Self {
+        Round(index)
+    }
+
+    /// Returns the 0-based round index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// The round after this one.
+    pub const fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// Iterates over the rounds `0..horizon`.
+    pub fn range(horizon: usize) -> impl Iterator<Item = Round> + Clone {
+        (0..horizon).map(Round)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<usize> for Round {
+    fn from(index: usize) -> Self {
+        Round(index)
+    }
+}
+
+impl From<Round> for usize {
+    fn from(round: Round) -> Self {
+        round.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_order() {
+        assert_eq!(Round::new(3).index(), 3);
+        assert!(Round::new(2) < Round::new(3));
+        assert_eq!(Round::ZERO.index(), 0);
+        assert_eq!(Round::default(), Round::ZERO);
+    }
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(Round::ZERO.next(), Round::new(1));
+        assert_eq!(Round::new(9).next().index(), 10);
+    }
+
+    #[test]
+    fn range_covers_horizon() {
+        let rounds: Vec<usize> = Round::range(4).map(Round::index).collect();
+        assert_eq!(rounds, vec![0, 1, 2, 3]);
+        assert_eq!(Round::range(0).count(), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        let r: Round = 7usize.into();
+        let back: usize = r.into();
+        assert_eq!(back, 7);
+        assert_eq!(r.to_string(), "r7");
+    }
+}

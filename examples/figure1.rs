@@ -1,0 +1,27 @@
+//! Regenerate the paper's Figure 1 as measured tables.
+//!
+//! This is a thin wrapper over the experiment registry (the same code the
+//! `repro` binary uses); it runs the quick configuration of every experiment
+//! and prints the tables.
+//!
+//! ```text
+//! cargo run --release --example figure1 [-- smoke|quick|full]
+//! ```
+
+use dradio::prelude::*;
+
+fn main() {
+    let cfg = match std::env::args().nth(1).as_deref() {
+        Some("smoke") => ExperimentConfig::smoke(),
+        Some("full") => ExperimentConfig::full(),
+        _ => ExperimentConfig::quick(),
+    };
+    println!("# Figure 1 reproduction ({cfg:?})\n");
+    for experiment in experiments::all() {
+        println!("=== {} — {} ===", experiment.id(), experiment.title());
+        println!("paper claim: {}\n", experiment.paper_claim());
+        for table in experiment.run(&cfg) {
+            println!("{}", table.render());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! A sensor-field scenario: local broadcast in a geographic deployment with
+//! unreliable grey-zone links.
+//!
+//! A field of sensors is dropped uniformly at random; nodes within distance 1
+//! always hear each other, nodes between distance 1 and 1.5 have flaky links
+//! (bursty on/off), and a quarter of the sensors have an alarm to report to
+//! their neighbors. The example compares the paper's seed-coordinated
+//! geographic algorithm (Theorem 4.6) with the static-model decay baseline
+//! and the round-robin fallback.
+//!
+//! ```text
+//! cargo run --release --example sensor_field
+//! ```
+
+use dradio::prelude::*;
+use dradio::graphs::topology::GeometricConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 150;
+    let side = (n as f64 / 8.0).sqrt();
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let dual = topology::random_geometric(&GeometricConfig::new(n, side, 1.5), &mut rng)?;
+    let regions = dradio::graphs::RegionDecomposition::build(&dual, 1.5)?;
+    println!("deployment: {dual}");
+    println!(
+        "region decomposition: {} regions, at most {} neighboring regions (gamma bound {})",
+        regions.region_count(),
+        regions.max_region_neighbors(),
+        dradio::graphs::RegionDecomposition::gamma_bound(1.5),
+    );
+
+    // A quarter of the sensors raise an alarm.
+    let problem = LocalBroadcastProblem::random(&dual, n / 4, &mut rng);
+    println!(
+        "{} broadcasters, {} receivers must hear an alarm\n",
+        problem.broadcasters().len(),
+        problem.receivers(&dual).len()
+    );
+
+    println!("{:<16} {:>10} {:>12}", "algorithm", "rounds", "collisions");
+    for algorithm in [LocalAlgorithm::Geo, LocalAlgorithm::StaticDecay, LocalAlgorithm::RoundRobin] {
+        let outcome = Simulator::new(
+            dual.clone(),
+            algorithm.factory(n, dual.max_degree()),
+            problem.assignment(n),
+            Box::new(GilbertElliottLinks::new(0.1, 0.2)),
+            SimConfig::default().with_seed(9).with_max_rounds(40 * n + 4_000),
+        )?
+        .run(problem.stop_condition(&dual));
+        assert!(problem.verify(&dual, &outcome.history) || !outcome.completed);
+        println!(
+            "{:<16} {:>10} {:>12}",
+            algorithm.name(),
+            outcome.cost(),
+            outcome.metrics.collisions
+        );
+    }
+
+    println!(
+        "\nThe geographic algorithm pays an up-front seed-dissemination stage but its broadcast \
+         stage coordinates same-seed sensors, keeping the total polylogarithmic (Theorem 4.6)."
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! # dradio — dual-graph radio network broadcast
+//!
+//! A Rust implementation and experimental reproduction of
+//! **"The Cost of Radio Network Broadcast for Different Models of Unreliable
+//! Links"** (Ghaffari, Lynch, Newport — PODC 2013).
+//!
+//! The facade crate re-exports the workspace members under short module
+//! names so applications can depend on a single crate:
+//!
+//! * [`graphs`] — graph/dual-graph representations and topology generators
+//!   (dual clique, bracelet, geographic unit-disk graphs with a grey zone, …);
+//! * [`sim`] — the synchronous dual-graph radio network execution engine with
+//!   structurally enforced adversary capability classes;
+//! * [`adversary`] — oblivious, online adaptive and offline adaptive link
+//!   processes, including every attacker used in the paper's lower bounds;
+//! * [`core`] — the broadcast algorithms (Decay, Permuted Decay, BGI, the
+//!   geographic local broadcast) plus the β-hitting game and the Theorem 3.1
+//!   reduction;
+//! * [`analysis`] — the experiment harness reproducing Figure 1 (experiments
+//!   E1–E8).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dradio::prelude::*;
+//!
+//! // A 64-node network: two reliable cliques joined by one reliable bridge,
+//! // every other pair connected by an unreliable link (the paper's "dual
+//! // clique" lower-bound topology).
+//! let dual = topology::dual_clique(64)?;
+//!
+//! // Global broadcast from node 0 with the paper's permuted-decay algorithm,
+//! // against an adversary that flips every unreliable link on and off
+//! // independently each round.
+//! let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+//! let outcome = Simulator::new(
+//!     dual.clone(),
+//!     GlobalAlgorithm::Permuted.factory(dual.len(), dual.max_degree()),
+//!     problem.assignment(dual.len()),
+//!     Box::new(IidLinks::new(0.5)),
+//!     SimConfig::default().with_seed(7).with_max_rounds(20_000),
+//! )?
+//! .run(problem.stop_condition());
+//!
+//! assert!(outcome.completed);
+//! assert!(problem.verify(&dual, &outcome.history));
+//! println!("broadcast finished in {} rounds", outcome.cost());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dradio_adversary as adversary;
+pub use dradio_analysis as analysis;
+pub use dradio_core as core;
+pub use dradio_graphs as graphs;
+pub use dradio_sim as sim;
+
+/// A convenient set of the most commonly used items.
+pub mod prelude {
+    pub use dradio_adversary::{
+        BraceletOblivious, DecayAwareOblivious, DenseSparseOnline, GilbertElliottLinks,
+        GreedyCollisionOnline, IidLinks, OmniscientOffline, ScheduleLinks,
+    };
+    pub use dradio_analysis::experiments::{self, Experiment, ExperimentConfig};
+    pub use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
+    pub use dradio_core::problem::{GlobalBroadcastProblem, LocalBroadcastProblem};
+    pub use dradio_graphs::{properties, topology, DualGraph, Graph, NodeId};
+    pub use dradio_sim::{
+        Action, AdversaryClass, Assignment, ExecutionOutcome, Feedback, LinkProcess, Message,
+        MessageKind, Process, ProcessContext, ProcessFactory, Role, Round, SimConfig, Simulator,
+        StaticLinks, StopCondition,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_main_entry_points() {
+        let dual = topology::dual_clique(8).unwrap();
+        assert_eq!(dual.len(), 8);
+        let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+        assert_eq!(problem.source(), NodeId::new(0));
+        let _ = GlobalAlgorithm::all();
+        let _ = LocalAlgorithm::all();
+        let _ = ExperimentConfig::smoke();
+    }
+}

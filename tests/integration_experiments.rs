@@ -1,0 +1,66 @@
+//! Integration tests for the experiment harness: every experiment runs at
+//! smoke scale and its tables carry the structure EXPERIMENTS.md documents.
+
+use dradio::prelude::*;
+
+#[test]
+fn the_registry_covers_every_figure1_row() {
+    let ids: Vec<&str> = experiments::all().iter().map(|e| e.id()).collect();
+    assert_eq!(ids, vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"]);
+}
+
+#[test]
+fn experiment_tables_render_and_export_csv() {
+    let cfg = ExperimentConfig::smoke();
+    // E7 is the cheapest experiment; use it to check the table plumbing.
+    let e7 = &experiments::all()[6];
+    assert_eq!(e7.id(), "E7");
+    let tables = e7.run(&cfg);
+    assert!(!tables.is_empty());
+    for table in &tables {
+        let rendered = table.render();
+        assert!(rendered.contains(table.title()));
+        let csv = table.to_csv();
+        assert!(csv.lines().count() >= table.rows().len() + 1);
+        // Every row has the same number of columns as the header.
+        for row in table.rows() {
+            assert_eq!(row.len(), table.headers().len());
+        }
+    }
+}
+
+#[test]
+fn paper_claims_reference_the_right_bounds() {
+    let experiments = experiments::all();
+    let claim = |id: &str| {
+        experiments
+            .iter()
+            .find(|e| e.id() == id)
+            .map(|e| e.paper_claim().to_string())
+            .unwrap_or_default()
+    };
+    assert!(claim("E1").contains("log^2 n"));
+    assert!(claim("E2").contains("O(D log n + log^2 n)"));
+    assert!(claim("E3").contains("sqrt"));
+    assert!(claim("E4").contains("log^2 n log Delta"));
+    assert!(claim("E5").contains("n / log n"));
+    assert!(claim("E6").contains("Omega(n)"));
+    assert!(claim("E7").contains("k/(beta-1)"));
+    assert!(claim("E8").contains("1/2"));
+}
+
+#[test]
+fn growth_model_fitting_distinguishes_the_key_shapes() {
+    use dradio::analysis::{best_fit, GrowthModel};
+    // The separation the reproduction hinges on: polylog vs n/log n.
+    let polylog: Vec<(f64, f64)> = [64.0, 128.0, 256.0, 512.0, 1024.0]
+        .iter()
+        .map(|&n: &f64| (n, 3.0 * n.log2() * n.log2()))
+        .collect();
+    let nearly_linear: Vec<(f64, f64)> = [64.0, 128.0, 256.0, 512.0, 1024.0]
+        .iter()
+        .map(|&n: &f64| (n, 0.8 * n / n.log2()))
+        .collect();
+    assert_eq!(best_fit(&polylog).unwrap().model, GrowthModel::LogSquared);
+    assert_eq!(best_fit(&nearly_linear).unwrap().model, GrowthModel::LinearOverLog);
+}
