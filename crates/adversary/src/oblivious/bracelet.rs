@@ -43,7 +43,10 @@ pub struct BraceletConfig {
 
 impl Default for BraceletConfig {
     fn default() -> Self {
-        BraceletConfig { density_factor: 1.0, after_horizon_all: true }
+        BraceletConfig {
+            density_factor: 1.0,
+            after_horizon_all: true,
+        }
     }
 }
 
@@ -106,8 +109,10 @@ impl BraceletOblivious {
             .collect();
         // Fresh support sequences: independent random streams for the
         // prediction, exactly as in Lemma 4.4/4.5.
-        let mut rngs: Vec<ChaCha8Rng> =
-            band.iter().map(|_| ChaCha8Rng::seed_from_u64(rng.next_u64())).collect();
+        let mut rngs: Vec<ChaCha8Rng> = band
+            .iter()
+            .map(|_| ChaCha8Rng::seed_from_u64(rng.next_u64()))
+            .collect();
         for (p, r) in processes.iter_mut().zip(rngs.iter_mut()) {
             p.on_start(r);
         }
@@ -208,7 +213,12 @@ mod tests {
         let bracelet = topology::bracelet(4).unwrap();
         let (mut attacker, dual) = setup_for(&bracelet);
         let (dual_clone, factory, assignment) = setup_ctx(&dual);
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 100 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 100,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         attacker.on_start(&setup, &mut rng);
         assert_eq!(attacker.predicted_dense().len(), 4);
@@ -222,11 +232,19 @@ mod tests {
         let broadcasters: Vec<NodeId> = NodeId::all(dual.len()).collect();
         let factory = talker_factory(1.0);
         let assignment = Assignment::local(dual.len(), &broadcasters);
-        let setup = AdversarySetup { dual: &dual, factory: &factory, assignment: &assignment, horizon: 50 };
+        let setup = AdversarySetup {
+            dual: &dual,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 50,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         attacker.on_start(&setup, &mut rng);
         assert!(attacker.predicted_dense().iter().all(|&d| d));
-        let decision = attacker.decide(&AdversaryView::new(Round::new(0), dual.len(), None, None, None), &mut rng);
+        let decision = attacker.decide(
+            &AdversaryView::new(Round::new(0), dual.len(), None, None, None),
+            &mut rng,
+        );
         assert_eq!(decision.len(), dual.dynamic_edges().len());
     }
 
@@ -237,11 +255,19 @@ mod tests {
         // Probability-0 talkers never broadcast: all rounds sparse.
         let factory = talker_factory(0.0);
         let assignment = Assignment::relays(dual.len());
-        let setup = AdversarySetup { dual: &dual, factory: &factory, assignment: &assignment, horizon: 50 };
+        let setup = AdversarySetup {
+            dual: &dual,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 50,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         attacker.on_start(&setup, &mut rng);
         assert!(attacker.predicted_dense().iter().all(|&d| !d));
-        let decision = attacker.decide(&AdversaryView::new(Round::new(1), dual.len(), None, None, None), &mut rng);
+        let decision = attacker.decide(
+            &AdversaryView::new(Round::new(1), dual.len(), None, None, None),
+            &mut rng,
+        );
         assert!(decision.is_empty());
     }
 
@@ -249,15 +275,35 @@ mod tests {
     fn after_horizon_behaviour_is_configurable() {
         let bracelet = topology::bracelet(2).unwrap();
         let dual = bracelet.dual().clone();
-        let mut all = BraceletOblivious::with_config(&bracelet, BraceletConfig { density_factor: 1.0, after_horizon_all: true });
-        let mut none = BraceletOblivious::with_config(&bracelet, BraceletConfig { density_factor: 1.0, after_horizon_all: false });
+        let mut all = BraceletOblivious::with_config(
+            &bracelet,
+            BraceletConfig {
+                density_factor: 1.0,
+                after_horizon_all: true,
+            },
+        );
+        let mut none = BraceletOblivious::with_config(
+            &bracelet,
+            BraceletConfig {
+                density_factor: 1.0,
+                after_horizon_all: false,
+            },
+        );
         let (dual_clone, factory, assignment) = setup_ctx(&dual);
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 100 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 100,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         all.on_start(&setup, &mut rng);
         none.on_start(&setup, &mut rng);
         let view = AdversaryView::new(Round::new(999), dual.len(), None, None, None);
-        assert_eq!(all.decide(&view, &mut rng).len(), dual.dynamic_edges().len());
+        assert_eq!(
+            all.decide(&view, &mut rng).len(),
+            dual.dynamic_edges().len()
+        );
         assert!(none.decide(&view, &mut rng).is_empty());
     }
 

@@ -135,7 +135,10 @@ impl LinkProcess for DecayAwareOblivious {
                 flags
             }
             None => {
-                let is_global = setup.assignment.iter().any(|(_, role)| role == Role::Source);
+                let is_global = setup
+                    .assignment
+                    .iter()
+                    .any(|(_, role)| role == Role::Source);
                 let explicit: Vec<bool> = setup
                     .assignment
                     .iter()
@@ -224,12 +227,20 @@ mod tests {
         let dual = topology::grid_geometric(6, 6, 1.0, 1.4).unwrap();
         let (dual_clone, factory, assignment) = setup_ctx(&dual);
         let mut attacker = DecayAwareOblivious::for_network(dual.len());
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 100 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 100,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         attacker.on_start(&setup, &mut rng);
 
         let levels = attacker.levels;
-        let high = attacker.decide(&AdversaryView::new(Round::new(0), dual.len(), None, None, None), &mut rng);
+        let high = attacker.decide(
+            &AdversaryView::new(Round::new(0), dual.len(), None, None, None),
+            &mut rng,
+        );
         let deep = attacker.decide(
             &AdversaryView::new(Round::new(levels - 1), dual.len(), None, None, None),
             &mut rng,
@@ -242,12 +253,19 @@ mod tests {
         let dual = topology::grid_geometric(5, 5, 1.0, 1.4).unwrap();
         let (dual_clone, factory, assignment) = setup_ctx(&dual);
         let mut attacker = DecayAwareOblivious::for_network(dual.len());
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 100 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 100,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         attacker.on_start(&setup, &mut rng);
         for r in 0..10 {
-            let decision =
-                attacker.decide(&AdversaryView::new(Round::new(r), dual.len(), None, None, None), &mut rng);
+            let decision = attacker.decide(
+                &AdversaryView::new(Round::new(r), dual.len(), None, None, None),
+                &mut rng,
+            );
             for e in decision.edges() {
                 let (u, v) = e.endpoints();
                 assert!(dual.g_prime().has_edge(u, v));
@@ -262,12 +280,20 @@ mod tests {
         let dual = topology::clique(8);
         let (dual_clone, factory, assignment) = setup_ctx(&dual);
         let mut attacker = DecayAwareOblivious::for_network(8);
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 10 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 10,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         attacker.on_start(&setup, &mut rng);
         for r in 0..5 {
             assert!(attacker
-                .decide(&AdversaryView::new(Round::new(r), 8, None, None, None), &mut rng)
+                .decide(
+                    &AdversaryView::new(Round::new(r), 8, None, None, None),
+                    &mut rng
+                )
                 .is_empty());
         }
     }

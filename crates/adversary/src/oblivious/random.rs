@@ -36,7 +36,10 @@ impl IidLinks {
     /// Creates the process with per-round edge presence probability `p`
     /// (clamped to `[0, 1]`).
     pub fn new(p: f64) -> Self {
-        IidLinks { p: p.clamp(0.0, 1.0), dynamic: Vec::new() }
+        IidLinks {
+            p: p.clamp(0.0, 1.0),
+            dynamic: Vec::new(),
+        }
     }
 
     /// The per-round presence probability.
@@ -124,7 +127,11 @@ impl LinkProcess for GilbertElliottLinks {
 
     fn on_start(&mut self, setup: &AdversarySetup<'_>, rng: &mut dyn RngCore) {
         self.dynamic = setup.dual.dynamic_edges();
-        self.good = self.dynamic.iter().map(|_| bernoulli(rng, self.p_start_good)).collect();
+        self.good = self
+            .dynamic
+            .iter()
+            .map(|_| bernoulli(rng, self.p_start_good))
+            .collect();
         self.started = true;
     }
 
@@ -163,10 +170,18 @@ mod tests {
         let total = dual.dynamic_edges().len();
 
         let outcome = run_with_beacon(&dual, Box::new(IidLinks::new(0.0)), 10, 1);
-        assert!(outcome.history.records().iter().all(|r| r.active_dynamic_edges.is_empty()));
+        assert!(outcome
+            .history
+            .records()
+            .iter()
+            .all(|r| r.active_dynamic_edges.is_empty()));
 
         let outcome = run_with_beacon(&dual, Box::new(IidLinks::new(1.0)), 10, 1);
-        assert!(outcome.history.records().iter().all(|r| r.active_dynamic_edges.len() == total));
+        assert!(outcome
+            .history
+            .records()
+            .iter()
+            .all(|r| r.active_dynamic_edges.len() == total));
     }
 
     #[test]
@@ -175,7 +190,12 @@ mod tests {
         let total = dual.dynamic_edges().len();
         let rounds = 200;
         let outcome = run_with_beacon(&dual, Box::new(IidLinks::new(0.3)), rounds, 2);
-        let active: usize = outcome.history.records().iter().map(|r| r.active_dynamic_edges.len()).sum();
+        let active: usize = outcome
+            .history
+            .records()
+            .iter()
+            .map(|r| r.active_dynamic_edges.len())
+            .sum();
         let rate = active as f64 / (total * rounds) as f64;
         assert!((rate - 0.3).abs() < 0.05, "rate {rate}");
     }
@@ -219,7 +239,10 @@ mod tests {
         // With ~15 dynamic edges and a 2% flip probability per edge, roughly
         // three quarters of consecutive rounds keep the exact same active
         // set; require a majority to guard the burstiness property.
-        assert!(same * 2 > compared, "bursts expected: {same}/{compared} identical transitions");
+        assert!(
+            same * 2 > compared,
+            "bursts expected: {same}/{compared} identical transitions"
+        );
     }
 
     #[test]
@@ -230,7 +253,12 @@ mod tests {
         let expected = ge.stationary_availability();
         let rounds = 400;
         let outcome = run_with_beacon(&dual, Box::new(ge), rounds, 4);
-        let active: usize = outcome.history.records().iter().map(|r| r.active_dynamic_edges.len()).sum();
+        let active: usize = outcome
+            .history
+            .records()
+            .iter()
+            .map(|r| r.active_dynamic_edges.len())
+            .sum();
         let rate = active as f64 / (total * rounds) as f64;
         assert!((rate - expected).abs() < 0.08, "rate {rate} vs {expected}");
     }
@@ -238,7 +266,10 @@ mod tests {
     #[test]
     fn both_declare_oblivious_class() {
         assert_eq!(IidLinks::new(0.5).class(), AdversaryClass::Oblivious);
-        assert_eq!(GilbertElliottLinks::new(0.1, 0.1).class(), AdversaryClass::Oblivious);
+        assert_eq!(
+            GilbertElliottLinks::new(0.1, 0.1).class(),
+            AdversaryClass::Oblivious
+        );
         assert_eq!(IidLinks::new(0.5).name(), "iid-links");
         assert_eq!(GilbertElliottLinks::new(0.1, 0.1).name(), "gilbert-elliott");
     }

@@ -69,7 +69,11 @@ mod tests {
     fn empty_schedule_activates_nothing() {
         let dual = topology::dual_clique(6).unwrap();
         let outcome = run_with_beacon(&dual, Box::new(ScheduleLinks::new(vec![])), 5, 0);
-        assert!(outcome.history.records().iter().all(|r| r.active_dynamic_edges.is_empty()));
+        assert!(outcome
+            .history
+            .records()
+            .iter()
+            .all(|r| r.active_dynamic_edges.is_empty()));
     }
 
     #[test]
@@ -94,7 +98,11 @@ mod tests {
         // (0,1) is a reliable clique edge, not a dynamic edge.
         let bogus = Edge::new(NodeId::new(0), NodeId::new(1));
         let outcome = run_with_beacon(&dual, Box::new(ScheduleLinks::new(vec![vec![bogus]])), 4, 2);
-        assert!(outcome.history.records().iter().all(|r| r.active_dynamic_edges.is_empty()));
+        assert!(outcome
+            .history
+            .records()
+            .iter()
+            .all(|r| r.active_dynamic_edges.is_empty()));
         assert_eq!(outcome.metrics.rejected_link_edges, 4);
     }
 }

@@ -35,12 +35,18 @@ impl OmniscientOffline {
     /// Creates the attacker protecting every node (blocking every blockable
     /// delivery anywhere in the network).
     pub fn new() -> Self {
-        OmniscientOffline { protect: Vec::new(), dual: None }
+        OmniscientOffline {
+            protect: Vec::new(),
+            dual: None,
+        }
     }
 
     /// Creates the attacker protecting only the listed nodes.
     pub fn protecting(nodes: Vec<NodeId>) -> Self {
-        OmniscientOffline { protect: nodes, dual: None }
+        OmniscientOffline {
+            protect: nodes,
+            dual: None,
+        }
     }
 
     fn is_protected(&self, u: NodeId) -> bool {
@@ -85,9 +91,10 @@ impl LinkProcess for OmniscientOffline {
                 continue;
             }
             // Find a second transmitter reachable over a dynamic edge.
-            if let Some(&blocker) = transmitters.iter().find(|&&t| {
-                dual.g_prime().has_edge(u, t) && !dual.g().has_edge(u, t)
-            }) {
+            if let Some(&blocker) = transmitters
+                .iter()
+                .find(|&&t| dual.g_prime().has_edge(u, t) && !dual.g().has_edge(u, t))
+            {
                 active.push(Edge::new(u, blocker));
             }
         }
@@ -118,7 +125,12 @@ mod tests {
         let dual = topology::dual_clique(4).unwrap();
         let (dual_clone, factory, assignment) = setup_ctx(&dual);
         let mut a = OmniscientOffline::new();
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 5 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 5,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         a.on_start(&setup, &mut rng);
 
@@ -134,7 +146,9 @@ mod tests {
         // Node 0 gets a blocking edge to node 3; node 2's reliable neighbors
         // in A... node 2's G-neighbors are {3, 0-bridge}; 3 transmits so
         // reliable count = 1 → blocked via an edge to node 1.
-        assert!(decision.edges().contains(&Edge::new(NodeId::new(0), NodeId::new(3))));
+        assert!(decision
+            .edges()
+            .contains(&Edge::new(NodeId::new(0), NodeId::new(3))));
         assert!(!decision.is_empty());
     }
 
@@ -143,11 +157,21 @@ mod tests {
         let dual = topology::dual_clique(4).unwrap();
         let (dual_clone, factory, assignment) = setup_ctx(&dual);
         let mut a = OmniscientOffline::new();
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 5 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 5,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         a.on_start(&setup, &mut rng);
         let msg = Message::plain(NodeId::new(1), DATA, 0);
-        let actions = vec![Action::Listen, Action::Transmit(msg), Action::Listen, Action::Listen];
+        let actions = vec![
+            Action::Listen,
+            Action::Transmit(msg),
+            Action::Listen,
+            Action::Listen,
+        ];
         let view = AdversaryView::new(Round::ZERO, 4, None, None, Some(&actions));
         assert!(a.decide(&view, &mut rng).is_empty());
     }
@@ -159,7 +183,12 @@ mod tests {
         // Protect only side B (nodes 4..8).
         let protected: Vec<NodeId> = (4..8).map(NodeId::new).collect();
         let mut a = OmniscientOffline::protecting(protected.clone());
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 5 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 5,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         a.on_start(&setup, &mut rng);
         let msg = Message::plain(NodeId::new(1), DATA, 0);
@@ -197,7 +226,10 @@ mod tests {
         let starved = ((n / 2 + 1)..n)
             .filter(|&b| !outcome.history.received_any(NodeId::new(b)))
             .count();
-        assert!(starved >= n / 2 - 2, "most of side B should be starved, {starved} were");
+        assert!(
+            starved >= n / 2 - 2,
+            "most of side B should be starved, {starved} were"
+        );
     }
 
     #[test]

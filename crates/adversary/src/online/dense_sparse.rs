@@ -110,7 +110,12 @@ mod tests {
         let mut a = DenseSparseOnline::new(2.0);
         let dual = topology::dual_clique(256).unwrap();
         let (dual_clone, factory, assignment) = setup_ctx(&dual);
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 1 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 1,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         a.on_start(&setup, &mut rng);
         assert!((a.threshold() - 16.0).abs() < 1e-9);
@@ -121,7 +126,12 @@ mod tests {
         let dual = topology::dual_clique(16).unwrap();
         let (dual_clone, factory, assignment) = setup_ctx(&dual);
         let mut a = DenseSparseOnline::default();
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 10 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 10,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         a.on_start(&setup, &mut rng);
 
@@ -130,7 +140,10 @@ mod tests {
         let history = dradio_sim::History::new(16);
         let dense_view = AdversaryView::new(Round::ZERO, 16, Some(&history), Some(&high), None);
         let sparse_view = AdversaryView::new(Round::ZERO, 16, Some(&history), Some(&low), None);
-        assert_eq!(a.decide(&dense_view, &mut rng).len(), dual.dynamic_edges().len());
+        assert_eq!(
+            a.decide(&dense_view, &mut rng).len(),
+            dual.dynamic_edges().len()
+        );
         assert!(a.decide(&sparse_view, &mut rng).is_empty());
         assert_eq!(a.dense_rounds_seen(), 1);
         assert_eq!(a.sparse_rounds_seen(), 1);
@@ -141,7 +154,12 @@ mod tests {
         let dual = topology::dual_clique(8).unwrap();
         let (dual_clone, factory, assignment) = setup_ctx(&dual);
         let mut a = DenseSparseOnline::default();
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 10 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 10,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         a.on_start(&setup, &mut rng);
         let view = AdversaryView::new(Round::ZERO, 8, None, None, None);
@@ -168,7 +186,10 @@ mod tests {
         // No node of side B (other than the bridge endpoint, reachable over
         // the reliable bridge) ever receives anything.
         for b in (n / 2 + 1)..n {
-            assert!(!outcome.history.received_any(NodeId::new(b)), "node {b} should be starved");
+            assert!(
+                !outcome.history.received_any(NodeId::new(b)),
+                "node {b} should be starved"
+            );
         }
     }
 

@@ -31,7 +31,12 @@ impl GreedyCollisionOnline {
     /// Creates the attacker with default danger zone `[0.2, 1.8]` and overload
     /// target 3.
     pub fn new() -> Self {
-        GreedyCollisionOnline { danger_low: 0.2, danger_high: 1.8, target: 3.0, dual: None }
+        GreedyCollisionOnline {
+            danger_low: 0.2,
+            danger_high: 1.8,
+            target: 3.0,
+            dual: None,
+        }
     }
 
     /// Sets the danger zone bounds.
@@ -123,7 +128,12 @@ mod tests {
     fn started(dual: &DualGraph) -> (GreedyCollisionOnline, ChaCha8Rng) {
         let (dual_clone, factory, assignment) = setup_ctx(dual);
         let mut a = GreedyCollisionOnline::new();
-        let setup = AdversarySetup { dual: &dual_clone, factory: &factory, assignment: &assignment, horizon: 10 };
+        let setup = AdversarySetup {
+            dual: &dual_clone,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 10,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         a.on_start(&setup, &mut rng);
         (a, rng)
@@ -141,7 +151,10 @@ mod tests {
         let probs = vec![0.5; dual.len()];
         let view = AdversaryView::new(Round::ZERO, dual.len(), Some(&history), Some(&probs), None);
         let decision = a.decide(&view, &mut rng);
-        assert!(!decision.is_empty(), "expected the attacker to inject grey links");
+        assert!(
+            !decision.is_empty(),
+            "expected the attacker to inject grey links"
+        );
         for e in decision.edges() {
             let (u, v) = e.endpoints();
             assert!(!dual.g().has_edge(u, v));
@@ -186,14 +199,16 @@ mod tests {
             .unwrap()
             .run(StopCondition::max_rounds())
         };
-        let attacked = run(Box::new(GreedyCollisionOnline::new()));
+        let attacked = run(Box::<GreedyCollisionOnline>::default());
         let benign = run(Box::new(dradio_sim::StaticLinks::none()));
         assert!(attacked.metrics.collisions >= benign.metrics.collisions);
     }
 
     #[test]
     fn builder_methods_clamp_values() {
-        let a = GreedyCollisionOnline::new().with_danger_zone(1.0, 0.5).with_target(0.0);
+        let a = GreedyCollisionOnline::new()
+            .with_danger_zone(1.0, 0.5)
+            .with_target(0.0);
         assert!(a.danger_high >= a.danger_low);
         assert!(a.target >= 1.0);
         assert_eq!(a.class(), AdversaryClass::OnlineAdaptive);

@@ -41,7 +41,8 @@ impl Process for Talker {
 /// Factory for [`Talker`] processes with probability `p`.
 pub fn talker_factory(p: f64) -> ProcessFactory {
     Arc::new(move |ctx: &ProcessContext| {
-        let msg = (ctx.role != Role::Relay).then(|| Message::plain(ctx.id, DATA, ctx.id.index() as u64));
+        let msg =
+            (ctx.role != Role::Relay).then(|| Message::plain(ctx.id, DATA, ctx.id.index() as u64));
         Box::new(Talker { p, msg }) as Box<dyn Process>
     })
 }
@@ -51,7 +52,11 @@ pub fn talker_factory(p: f64) -> ProcessFactory {
 pub fn setup_ctx(dual: &DualGraph) -> (DualGraph, ProcessFactory, Assignment) {
     let n = dual.len();
     let broadcasters: Vec<NodeId> = NodeId::all(n).collect();
-    (dual.clone(), talker_factory(0.3), Assignment::local(n, &broadcasters))
+    (
+        dual.clone(),
+        talker_factory(0.3),
+        Assignment::local(n, &broadcasters),
+    )
 }
 
 /// Runs `rounds` rounds of a talker workload (every node a broadcaster with

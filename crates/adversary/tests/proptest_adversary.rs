@@ -11,8 +11,8 @@ use dradio_adversary::{
 use dradio_graphs::{topology, DualGraph, NodeId};
 use dradio_sim::sampling::bernoulli;
 use dradio_sim::{
-    Action, AdversaryClass, Assignment, LinkProcess, Message, MessageKind, Process,
-    ProcessContext, ProcessFactory, Role, Round, SimConfig, Simulator, StopCondition,
+    Action, AdversaryClass, Assignment, LinkProcess, Message, MessageKind, Process, ProcessContext,
+    ProcessFactory, Role, Round, SimConfig, Simulator, StopCondition,
 };
 use proptest::prelude::*;
 use rand::RngCore;
@@ -65,11 +65,17 @@ fn arb_dual() -> impl Strategy<Value = DualGraph> {
     prop_oneof![
         (4usize..24).prop_map(|half| topology::dual_clique(2 * half.max(2)).unwrap()),
         (2usize..5).prop_map(|k| topology::bracelet(k).unwrap().into_dual()),
-        (3usize..6, 3usize..6).prop_map(|(c, r)| topology::grid_geometric(c, r, 1.0, 1.45).unwrap()),
+        (3usize..6, 3usize..6)
+            .prop_map(|(c, r)| topology::grid_geometric(c, r, 1.0, 1.45).unwrap()),
     ]
 }
 
-fn run(dual: &DualGraph, adversary: Box<dyn LinkProcess>, seed: u64, rounds: usize) -> dradio_sim::ExecutionOutcome {
+fn run(
+    dual: &DualGraph,
+    adversary: Box<dyn LinkProcess>,
+    seed: u64,
+    rounds: usize,
+) -> dradio_sim::ExecutionOutcome {
     let n = dual.len();
     let broadcasters: Vec<NodeId> = NodeId::all(n).filter(|u| u.index() % 2 == 0).collect();
     Simulator::new(
@@ -178,7 +184,12 @@ proptest! {
 fn gilbert_elliott_bursts_replay_identically() {
     let dual = topology::dual_clique(12).unwrap();
     let pattern = |seed: u64| {
-        let outcome = run(&dual, Box::new(GilbertElliottLinks::new(0.2, 0.3)), seed, 40);
+        let outcome = run(
+            &dual,
+            Box::new(GilbertElliottLinks::new(0.2, 0.3)),
+            seed,
+            40,
+        );
         outcome
             .history
             .records()
@@ -187,5 +198,9 @@ fn gilbert_elliott_bursts_replay_identically() {
             .collect::<Vec<_>>()
     };
     assert_eq!(pattern(5), pattern(5));
-    assert_ne!(pattern(5), pattern(6), "different seeds should give different burst patterns");
+    assert_ne!(
+        pattern(5),
+        pattern(6),
+        "different seeds should give different burst patterns"
+    );
 }

@@ -5,12 +5,11 @@
 //! is compared against.
 
 use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
-use dradio_core::problem::{GlobalBroadcastProblem, LocalBroadcastProblem};
-use dradio_graphs::{properties, topology, NodeId};
-use dradio_sim::StaticLinks;
+use dradio_graphs::properties;
+use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
-use crate::sweep::{measure_rounds, MeasureSpec};
+use crate::sweep::measure_rounds;
 use crate::table::Table;
 
 /// Experiment E1: static-model global and local broadcast baselines.
@@ -32,34 +31,45 @@ impl Experiment for E1StaticBaselines {
     }
 
     fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
-        vec![self.global_constant_diameter(cfg), self.global_diameter_sweep(cfg), self.local_degree_sweep(cfg)]
+        vec![
+            self.global_constant_diameter(cfg),
+            self.global_diameter_sweep(cfg),
+            self.local_degree_sweep(cfg),
+        ]
     }
 }
 
 impl E1StaticBaselines {
     /// Global broadcast on static cliques (D = 1): the `log² n` term.
     fn global_constant_diameter(&self, cfg: &ExperimentConfig) -> Table {
-        let sizes = cfg.pick(&[16usize, 32], &[32, 64, 128, 256], &[32, 64, 128, 256, 512, 1024]);
+        let sizes = cfg.pick(
+            &[16usize, 32],
+            &[32, 64, 128, 256],
+            &[32, 64, 128, 256, 512, 1024],
+        );
         let mut table = Table::new(
             "E1a: global broadcast on static cliques (D = 1)",
-            vec!["n", "algorithm", "rounds (mean)", "median", "completion", "rounds / log^2 n"],
+            vec![
+                "n",
+                "algorithm",
+                "rounds (mean)",
+                "median",
+                "completion",
+                "rounds / log^2 n",
+            ],
         );
         let mut series: Vec<(f64, f64)> = Vec::new();
         for &n in &sizes {
-            let dual = topology::clique(n);
-            let problem = GlobalBroadcastProblem::new(NodeId::new(0));
             for algorithm in [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted] {
-                let spec = MeasureSpec {
-                    dual: &dual,
-                    factory: algorithm.factory(n, dual.max_degree()),
-                    assignment: problem.assignment(n),
-                    link: Box::new(|| Box::new(StaticLinks::none())),
-                    stop: problem.stop_condition(),
-                    trials: cfg.trials,
-                    max_rounds: 200 * n.max(16),
-                    base_seed: cfg.seed,
-                };
-                let m = measure_rounds(&spec);
+                let scenario = Scenario::on(TopologySpec::Clique { n })
+                    .algorithm(algorithm)
+                    .adversary(AdversarySpec::StaticNone)
+                    .problem(ProblemSpec::GlobalFrom(0))
+                    .seed(cfg.seed)
+                    .max_rounds(200 * n.max(16))
+                    .build()
+                    .expect("static clique scenario");
+                let m = measure_rounds(&scenario, cfg.trials);
                 let log_n = (n.max(2) as f64).log2();
                 if algorithm == GlobalAlgorithm::Bgi {
                     series.push((n as f64, m.rounds.mean));
@@ -86,25 +96,31 @@ impl E1StaticBaselines {
         let counts = cfg.pick(&[2usize, 4], &[2, 4, 8, 16], &[2, 4, 8, 16, 32, 64]);
         let mut table = Table::new(
             "E1b: global broadcast on static lines of cliques (diameter sweep)",
-            vec!["cliques", "n", "D", "rounds (mean)", "completion", "rounds / (D log n)"],
+            vec![
+                "cliques",
+                "n",
+                "D",
+                "rounds (mean)",
+                "completion",
+                "rounds / (D log n)",
+            ],
         );
         let mut series: Vec<(f64, f64)> = Vec::new();
         for &cliques in &counts {
-            let dual = topology::line_of_cliques(cliques, clique_size).expect("valid parameters");
-            let n = dual.len();
-            let d = properties::diameter(dual.g()).expect("connected");
-            let problem = GlobalBroadcastProblem::new(NodeId::new(0));
-            let spec = MeasureSpec {
-                dual: &dual,
-                factory: GlobalAlgorithm::Bgi.factory(n, dual.max_degree()),
-                assignment: problem.assignment(n),
-                link: Box::new(|| Box::new(StaticLinks::none())),
-                stop: problem.stop_condition(),
-                trials: cfg.trials,
-                max_rounds: 400 * cliques.max(4),
-                base_seed: cfg.seed + 1,
-            };
-            let m = measure_rounds(&spec);
+            let scenario = Scenario::on(TopologySpec::LineOfCliques {
+                cliques,
+                clique_size,
+            })
+            .algorithm(GlobalAlgorithm::Bgi)
+            .adversary(AdversarySpec::StaticNone)
+            .problem(ProblemSpec::GlobalFrom(0))
+            .seed(cfg.seed + 1)
+            .max_rounds(400 * cliques.max(4))
+            .build()
+            .expect("line-of-cliques scenario");
+            let n = scenario.dual().len();
+            let d = properties::diameter(scenario.dual().g()).expect("connected");
+            let m = measure_rounds(&scenario, cfg.trials);
             let log_n = (n.max(2) as f64).log2();
             series.push((d as f64, m.rounds.mean));
             table.push_row(vec![
@@ -124,32 +140,41 @@ impl E1StaticBaselines {
 
     /// Local broadcast on static stars: the `log n log Δ` scaling in Δ.
     fn local_degree_sweep(&self, cfg: &ExperimentConfig) -> Table {
-        let degrees = cfg.pick(&[4usize, 8], &[4, 8, 16, 32, 64], &[4, 8, 16, 32, 64, 128, 256]);
+        let degrees = cfg.pick(
+            &[4usize, 8],
+            &[4, 8, 16, 32, 64],
+            &[4, 8, 16, 32, 64, 128, 256],
+        );
         let mut table = Table::new(
             "E1c: local broadcast on static stars (degree sweep)",
-            vec!["Delta", "n", "algorithm", "rounds (mean)", "completion", "rounds / (log n log Delta)"],
+            vec![
+                "Delta",
+                "n",
+                "algorithm",
+                "rounds (mean)",
+                "completion",
+                "rounds / (log n log Delta)",
+            ],
         );
         let mut series: Vec<(f64, f64)> = Vec::new();
         for &delta in &degrees {
             let n = delta + 1;
-            let dual = topology::star(n).expect("n >= 2");
             // A small broadcaster set (4 leaves) inside a degree-Delta
             // neighborhood: decay adapts to the actual contention (log Delta
             // levels), the uniform 1/Delta baseline pays Delta/|B| rounds.
-            let broadcasters: Vec<NodeId> = (1..n.min(5)).map(NodeId::new).collect();
-            let problem = LocalBroadcastProblem::new(broadcasters.clone());
+            let broadcasters: Vec<usize> = (1..n.min(5)).collect();
             for algorithm in [LocalAlgorithm::StaticDecay, LocalAlgorithm::Uniform] {
-                let spec = MeasureSpec {
-                    dual: &dual,
-                    factory: algorithm.factory(n, dual.max_degree()),
-                    assignment: problem.assignment(n),
-                    link: Box::new(|| Box::new(StaticLinks::none())),
-                    stop: problem.stop_condition(&dual),
-                    trials: cfg.trials,
-                    max_rounds: 200 * delta.max(8),
-                    base_seed: cfg.seed + 2,
-                };
-                let m = measure_rounds(&spec);
+                let scenario = Scenario::on(TopologySpec::Star { n })
+                    .algorithm(algorithm)
+                    .adversary(AdversarySpec::StaticNone)
+                    .problem(ProblemSpec::Local {
+                        broadcasters: broadcasters.clone(),
+                    })
+                    .seed(cfg.seed + 2)
+                    .max_rounds(200 * delta.max(8))
+                    .build()
+                    .expect("star scenario");
+                let m = measure_rounds(&scenario, cfg.trials);
                 let log_n = (n.max(2) as f64).log2();
                 let log_delta = (delta.max(2) as f64).log2();
                 if algorithm == LocalAlgorithm::StaticDecay {
@@ -197,7 +222,10 @@ mod tests {
         // At the largest quick-scale degree (Delta = 64 with only 4
         // broadcasters) the decay baseline should need fewer rounds than the
         // uniform 1/Delta baseline (log Delta vs Delta/|B|).
-        let cfg = ExperimentConfig { trials: 3, ..ExperimentConfig::quick() };
+        let cfg = ExperimentConfig {
+            trials: 3,
+            ..ExperimentConfig::quick()
+        };
         let table = E1StaticBaselines.local_degree_sweep(&cfg);
         let rows = table.rows();
         let last_decay: f64 = rows[rows.len() - 2][3].parse().unwrap();

@@ -5,14 +5,11 @@
 //! diameter) under *every* oblivious adversary, including the schedule-aware
 //! attack that hurts plain decay.
 
-use dradio_adversary::{DecayAwareOblivious, GilbertElliottLinks, IidLinks};
 use dradio_core::algorithms::GlobalAlgorithm;
-use dradio_core::problem::GlobalBroadcastProblem;
-use dradio_graphs::{topology, NodeId};
-use dradio_sim::{LinkProcess, StaticLinks};
+use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
-use crate::sweep::{measure_rounds, MeasureSpec};
+use crate::sweep::measure_rounds;
 use crate::table::Table;
 
 /// Experiment E2: permuted-decay global broadcast under oblivious adversaries.
@@ -39,52 +36,59 @@ impl Experiment for E2GlobalOblivious {
 }
 
 impl E2GlobalOblivious {
-    fn adversaries(n: usize) -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn LinkProcess>>)> {
+    fn adversaries(n: usize) -> Vec<(&'static str, AdversarySpec)> {
         vec![
-            ("static-none", Box::new(|| Box::new(StaticLinks::none()) as Box<dyn LinkProcess>)),
-            ("static-all", Box::new(|| Box::new(StaticLinks::all()) as Box<dyn LinkProcess>)),
-            ("iid(0.5)", Box::new(|| Box::new(IidLinks::new(0.5)) as Box<dyn LinkProcess>)),
+            ("static-none", AdversarySpec::StaticNone),
+            ("static-all", AdversarySpec::StaticAll),
+            ("iid(0.5)", AdversarySpec::Iid { p: 0.5 }),
             (
                 "bursty(0.1,0.1)",
-                Box::new(|| Box::new(GilbertElliottLinks::new(0.1, 0.1)) as Box<dyn LinkProcess>),
+                AdversarySpec::GilbertElliott {
+                    p_fail: 0.1,
+                    p_recover: 0.1,
+                },
             ),
             (
+                // The attacker's model of the informed set: the source's
+                // clique side (side A = nodes 0..n/2) informs itself
+                // immediately, the far side stays silent until the bridge
+                // carries the message across.
                 "decay-aware",
-                Box::new(move || {
-                    // The attacker's model of the informed set: the source's
-                    // clique side (side A = nodes 0..n/2) informs itself
-                    // immediately, the far side stays silent until the bridge
-                    // carries the message across.
-                    let side_a: Vec<NodeId> = (0..n / 2).map(NodeId::new).collect();
-                    Box::new(DecayAwareOblivious::for_network(n).assuming_transmitters(side_a))
-                        as Box<dyn LinkProcess>
-                }),
+                AdversarySpec::DecayAware {
+                    levels: None,
+                    assumed_transmitters: (0..n / 2).collect(),
+                },
             ),
         ]
     }
 
     /// Fixed network size, every oblivious adversary, both decay variants.
     fn adversary_sweep(&self, cfg: &ExperimentConfig) -> Table {
-        let n = *cfg.pick(&[32usize], &[128], &[256]).first().expect("non-empty");
-        let dual = topology::dual_clique(n).expect("even n");
-        let problem = GlobalBroadcastProblem::new(NodeId::new(0));
+        let n = *cfg
+            .pick(&[32usize], &[128], &[256])
+            .first()
+            .expect("non-empty");
         let mut table = Table::new(
             format!("E2a: dual clique n = {n}, every oblivious adversary"),
-            vec!["adversary", "algorithm", "rounds (mean)", "median", "completion"],
+            vec![
+                "adversary",
+                "algorithm",
+                "rounds (mean)",
+                "median",
+                "completion",
+            ],
         );
-        for (adversary_name, link) in Self::adversaries(n) {
+        for (adversary_name, adversary) in Self::adversaries(n) {
             for algorithm in [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted] {
-                let spec = MeasureSpec {
-                    dual: &dual,
-                    factory: algorithm.factory(n, dual.max_degree()),
-                    assignment: problem.assignment(n),
-                    link: Box::new(|| link()),
-                    stop: problem.stop_condition(),
-                    trials: cfg.trials,
-                    max_rounds: 60 * n.max(16),
-                    base_seed: cfg.seed + 10,
-                };
-                let m = measure_rounds(&spec);
+                let scenario = Scenario::on(TopologySpec::DualClique { n })
+                    .algorithm(algorithm)
+                    .adversary(adversary.clone())
+                    .problem(ProblemSpec::GlobalFrom(0))
+                    .seed(cfg.seed + 10)
+                    .max_rounds(60 * n.max(16))
+                    .build()
+                    .expect("dual clique scenario");
+                let m = measure_rounds(&scenario, cfg.trials);
                 table.push_row(vec![
                     adversary_name.to_string(),
                     algorithm.name().to_string(),
@@ -103,26 +107,32 @@ impl E2GlobalOblivious {
     /// Scaling of the permuted algorithm with n on constant-diameter dual
     /// cliques under an i.i.d. oblivious adversary.
     fn size_scaling(&self, cfg: &ExperimentConfig) -> Table {
-        let sizes = cfg.pick(&[16usize, 32], &[32, 64, 128, 256], &[64, 128, 256, 512, 1024]);
+        let sizes = cfg.pick(
+            &[16usize, 32],
+            &[32, 64, 128, 256],
+            &[64, 128, 256, 512, 1024],
+        );
         let mut table = Table::new(
             "E2b: permuted-decay global broadcast scaling (dual clique, iid(0.5) adversary)",
-            vec!["n", "rounds (mean)", "median", "completion", "rounds / log^2 n"],
+            vec![
+                "n",
+                "rounds (mean)",
+                "median",
+                "completion",
+                "rounds / log^2 n",
+            ],
         );
         let mut series: Vec<(f64, f64)> = Vec::new();
         for &n in &sizes {
-            let dual = topology::dual_clique(n).expect("even n");
-            let problem = GlobalBroadcastProblem::new(NodeId::new(0));
-            let spec = MeasureSpec {
-                dual: &dual,
-                factory: GlobalAlgorithm::Permuted.factory(n, dual.max_degree()),
-                assignment: problem.assignment(n),
-                link: Box::new(|| Box::new(IidLinks::new(0.5))),
-                stop: problem.stop_condition(),
-                trials: cfg.trials,
-                max_rounds: 60 * n.max(16),
-                base_seed: cfg.seed + 11,
-            };
-            let m = measure_rounds(&spec);
+            let scenario = Scenario::on(TopologySpec::DualClique { n })
+                .algorithm(GlobalAlgorithm::Permuted)
+                .adversary(AdversarySpec::Iid { p: 0.5 })
+                .problem(ProblemSpec::GlobalFrom(0))
+                .seed(cfg.seed + 11)
+                .max_rounds(60 * n.max(16))
+                .build()
+                .expect("dual clique scenario");
+            let m = measure_rounds(&scenario, cfg.trials);
             let log_n = (n.max(2) as f64).log2();
             series.push((n as f64, m.rounds.mean));
             table.push_row(vec![
@@ -157,7 +167,11 @@ mod tests {
         let table = E2GlobalOblivious.adversary_sweep(&ExperimentConfig::smoke());
         for row in table.rows() {
             if row[1] == "permuted-decay" {
-                assert_eq!(row[4], "100%", "permuted-decay must complete under {}", row[0]);
+                assert_eq!(
+                    row[4], "100%",
+                    "permuted-decay must complete under {}",
+                    row[0]
+                );
             }
         }
     }

@@ -7,14 +7,11 @@
 //! algorithm. The experiment measures the completion time of the static-model
 //! decay and uniform local broadcast algorithms with and without the attack.
 
-use dradio_adversary::BraceletOblivious;
 use dradio_core::algorithms::LocalAlgorithm;
-use dradio_core::problem::LocalBroadcastProblem;
-use dradio_graphs::topology;
-use dradio_sim::{LinkProcess, StaticLinks};
+use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
-use crate::sweep::{measure_rounds, MeasureSpec};
+use crate::sweep::measure_rounds;
 use crate::table::Table;
 
 /// Experiment E3: the bracelet-network oblivious lower bound.
@@ -51,32 +48,24 @@ impl Experiment for E3BraceletLowerBound {
         );
         let mut attacked_series: Vec<(f64, f64)> = Vec::new();
         for &k in &band_lengths {
-            let bracelet = topology::bracelet(k).expect("k >= 2");
-            let dual = bracelet.dual().clone();
-            let n = dual.len();
-            let broadcasters = bracelet.heads_a();
-            let problem = LocalBroadcastProblem::new(broadcasters.clone());
+            let n = 2 * k * k;
             let sqrt_over_log = (n as f64).sqrt() / (n.max(2) as f64).log2();
-
             for algorithm in [LocalAlgorithm::StaticDecay, LocalAlgorithm::Uniform] {
                 for attacked in [false, true] {
-                    let bracelet_ref = &bracelet;
-                    let link: Box<dyn Fn() -> Box<dyn LinkProcess>> = if attacked {
-                        Box::new(move || Box::new(BraceletOblivious::new(bracelet_ref)) as Box<dyn LinkProcess>)
+                    let adversary = if attacked {
+                        AdversarySpec::BraceletAttack
                     } else {
-                        Box::new(|| Box::new(StaticLinks::none()) as Box<dyn LinkProcess>)
+                        AdversarySpec::StaticNone
                     };
-                    let spec = MeasureSpec {
-                        dual: &dual,
-                        factory: algorithm.factory(n, dual.max_degree()),
-                        assignment: problem.assignment(n),
-                        link,
-                        stop: problem.stop_condition(&dual),
-                        trials: cfg.trials,
-                        max_rounds: 300 + 40 * n,
-                        base_seed: cfg.seed + 20,
-                    };
-                    let m = measure_rounds(&spec);
+                    let scenario = Scenario::on(TopologySpec::Bracelet { k })
+                        .algorithm(algorithm)
+                        .adversary(adversary.clone())
+                        .problem(ProblemSpec::LocalHeadsA)
+                        .seed(cfg.seed + 20)
+                        .max_rounds(300 + 40 * n)
+                        .build()
+                        .expect("bracelet scenario");
+                    let m = measure_rounds(&scenario, cfg.trials);
                     if attacked && algorithm == LocalAlgorithm::StaticDecay {
                         attacked_series.push((n as f64, m.rounds.mean));
                     }
@@ -84,7 +73,7 @@ impl Experiment for E3BraceletLowerBound {
                         k.to_string(),
                         n.to_string(),
                         algorithm.name().to_string(),
-                        if attacked { "bracelet-oblivious" } else { "static-none" }.to_string(),
+                        adversary.label(),
                         fmt1(m.rounds.mean),
                         format!("{:.0}%", m.completion_rate * 100.0),
                         fmt1(m.rounds.mean / sqrt_over_log),

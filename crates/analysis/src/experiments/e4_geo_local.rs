@@ -6,17 +6,11 @@
 //! a log factor slower than the static optimum, and exponentially faster than
 //! the general-graph lower bound of E3.
 
-use dradio_adversary::{GilbertElliottLinks, IidLinks};
 use dradio_core::algorithms::LocalAlgorithm;
-use dradio_core::problem::LocalBroadcastProblem;
-use dradio_graphs::topology::{self, GeometricConfig};
-use dradio_graphs::DualGraph;
-use dradio_sim::{LinkProcess, StaticLinks};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
-use crate::sweep::{measure_rounds, MeasureSpec};
+use crate::sweep::measure_rounds;
 use crate::table::Table;
 
 /// Experiment E4: geographic local broadcast under oblivious adversaries.
@@ -43,23 +37,25 @@ impl Experiment for E4GeoLocal {
 }
 
 impl E4GeoLocal {
-    /// Samples a connected geographic deployment with roughly constant
-    /// density (so `Δ` stays bounded while `n` grows).
-    fn deployment(n: usize, seed: u64) -> DualGraph {
+    /// A connected geographic deployment with roughly constant density (so
+    /// `Δ` stays bounded while `n` grows), as a pure topology spec.
+    fn deployment(n: usize, seed: u64) -> TopologySpec {
         let side = (n as f64 / 8.0).sqrt().max(1.5);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        topology::random_geometric(&GeometricConfig::new(n, side, 1.5), &mut rng)
-            .expect("dense deployments connect")
-    }
-
-    fn broadcaster_problem(dual: &DualGraph, seed: u64) -> LocalBroadcastProblem {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        LocalBroadcastProblem::random(dual, (dual.len() / 4).max(1), &mut rng)
+        TopologySpec::RandomGeometric {
+            n,
+            side,
+            r: 1.5,
+            seed,
+        }
     }
 
     /// Scaling with n at roughly constant density, iid adversary.
     fn size_scaling(&self, cfg: &ExperimentConfig) -> Table {
-        let sizes = cfg.pick(&[40usize, 60], &[60, 100, 160, 240], &[80, 160, 320, 480, 640]);
+        let sizes = cfg.pick(
+            &[40usize, 60],
+            &[60, 100, 160, 240],
+            &[80, 160, 320, 480, 640],
+        );
         let mut table = Table::new(
             "E4a: geographic local broadcast scaling (iid(0.5) adversary, ~constant density)",
             vec![
@@ -73,21 +69,30 @@ impl E4GeoLocal {
         );
         let mut geo_series: Vec<(f64, f64)> = Vec::new();
         for (i, &n) in sizes.iter().enumerate() {
-            let dual = Self::deployment(n, cfg.seed + i as u64);
-            let delta = dual.max_degree();
-            let problem = Self::broadcaster_problem(&dual, cfg.seed + 100 + i as u64);
-            for algorithm in [LocalAlgorithm::Geo, LocalAlgorithm::StaticDecay, LocalAlgorithm::RoundRobin] {
-                let spec = MeasureSpec {
-                    dual: &dual,
-                    factory: algorithm.factory(n, delta),
-                    assignment: problem.assignment(n),
-                    link: Box::new(|| Box::new(IidLinks::new(0.5))),
-                    stop: problem.stop_condition(&dual),
-                    trials: cfg.trials,
-                    max_rounds: 40 * n + 4_000,
-                    base_seed: cfg.seed + 30,
-                };
-                let m = measure_rounds(&spec);
+            let problem = ProblemSpec::LocalRandom {
+                count: (n / 4).max(1),
+                seed: cfg.seed + 100 + i as u64,
+            };
+            // Sample the O(n^2) deployment once per size; the per-algorithm
+            // scenarios share it.
+            let deployment = Self::deployment(n, cfg.seed + i as u64);
+            let built = deployment.build().expect("dense deployments connect");
+            let delta = built.max_degree();
+            for algorithm in [
+                LocalAlgorithm::Geo,
+                LocalAlgorithm::StaticDecay,
+                LocalAlgorithm::RoundRobin,
+            ] {
+                let scenario = Scenario::on(deployment.clone())
+                    .with_topology(built.clone())
+                    .algorithm(algorithm)
+                    .adversary(AdversarySpec::Iid { p: 0.5 })
+                    .problem(problem.clone())
+                    .seed(cfg.seed + 30)
+                    .max_rounds(40 * n + 4_000)
+                    .build()
+                    .expect("valid scenario");
+                let m = measure_rounds(&scenario, cfg.trials);
                 let log_n = (n.max(2) as f64).log2();
                 let log_delta = (delta.max(2) as f64).log2();
                 if algorithm == LocalAlgorithm::Geo {
@@ -112,36 +117,47 @@ impl E4GeoLocal {
 
     /// Fixed deployment, several oblivious adversaries.
     fn adversary_comparison(&self, cfg: &ExperimentConfig) -> Table {
-        let n = *cfg.pick(&[50usize], &[120], &[240]).first().expect("non-empty");
-        let dual = Self::deployment(n, cfg.seed + 7);
-        let delta = dual.max_degree();
-        let problem = Self::broadcaster_problem(&dual, cfg.seed + 77);
-        let adversaries: Vec<(&'static str, Box<dyn Fn() -> Box<dyn LinkProcess>>)> = vec![
-            ("static-none", Box::new(|| Box::new(StaticLinks::none()) as Box<dyn LinkProcess>)),
-            ("static-all", Box::new(|| Box::new(StaticLinks::all()) as Box<dyn LinkProcess>)),
-            ("iid(0.5)", Box::new(|| Box::new(IidLinks::new(0.5)) as Box<dyn LinkProcess>)),
+        let n = *cfg
+            .pick(&[50usize], &[120], &[240])
+            .first()
+            .expect("non-empty");
+        let problem = ProblemSpec::LocalRandom {
+            count: (n / 4).max(1),
+            seed: cfg.seed + 77,
+        };
+        let adversaries = [
+            ("static-none", AdversarySpec::StaticNone),
+            ("static-all", AdversarySpec::StaticAll),
+            ("iid(0.5)", AdversarySpec::Iid { p: 0.5 }),
             (
                 "bursty(0.05,0.05)",
-                Box::new(|| Box::new(GilbertElliottLinks::new(0.05, 0.05)) as Box<dyn LinkProcess>),
+                AdversarySpec::GilbertElliott {
+                    p_fail: 0.05,
+                    p_recover: 0.05,
+                },
             ),
         ];
+        // One shared deployment for the whole table (every cell runs on the
+        // identical network).
+        let deployment = Self::deployment(n, cfg.seed + 7);
+        let built = deployment.build().expect("dense deployments connect");
+        let delta = built.max_degree();
         let mut table = Table::new(
             format!("E4b: geographic local broadcast, n = {n}, Delta = {delta}, adversary sweep"),
             vec!["adversary", "algorithm", "rounds (mean)", "completion"],
         );
-        for (adversary_name, link) in &adversaries {
+        for (adversary_name, adversary) in &adversaries {
             for algorithm in [LocalAlgorithm::Geo, LocalAlgorithm::StaticDecay] {
-                let spec = MeasureSpec {
-                    dual: &dual,
-                    factory: algorithm.factory(n, delta),
-                    assignment: problem.assignment(n),
-                    link: Box::new(|| link()),
-                    stop: problem.stop_condition(&dual),
-                    trials: cfg.trials,
-                    max_rounds: 40 * n + 4_000,
-                    base_seed: cfg.seed + 31,
-                };
-                let m = measure_rounds(&spec);
+                let scenario = Scenario::on(deployment.clone())
+                    .with_topology(built.clone())
+                    .algorithm(algorithm)
+                    .adversary(adversary.clone())
+                    .problem(problem.clone())
+                    .seed(cfg.seed + 31)
+                    .max_rounds(40 * n + 4_000)
+                    .build()
+                    .expect("valid scenario");
+                let m = measure_rounds(&scenario, cfg.trials);
                 table.push_row(vec![
                     adversary_name.to_string(),
                     algorithm.name().to_string(),
@@ -174,7 +190,10 @@ mod tests {
         let tables = E4GeoLocal.run(&ExperimentConfig::smoke());
         for table in &tables {
             for row in table.rows() {
-                assert!(row.iter().any(|c| c == "100%"), "row {row:?} did not complete");
+                assert!(
+                    row.iter().any(|c| c == "100%"),
+                    "row {row:?} did not complete"
+                );
             }
         }
     }

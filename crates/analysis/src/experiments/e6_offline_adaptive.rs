@@ -7,13 +7,11 @@
 //! local broadcast, `O(n·D)` for global — is essentially the best possible
 //! response.
 
-use dradio_adversary::OmniscientOffline;
 use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
-use dradio_core::problem::{GlobalBroadcastProblem, LocalBroadcastProblem};
-use dradio_graphs::{topology, NodeId};
+use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
-use crate::sweep::{measure_rounds, MeasureSpec};
+use crate::sweep::measure_rounds;
 use crate::table::Table;
 
 /// Experiment E6: the omniscient offline adaptive blocker on the dual clique.
@@ -38,23 +36,26 @@ impl Experiment for E6OfflineAdaptive {
         let sizes = cfg.pick(&[8usize, 16], &[16, 32, 64, 128], &[32, 64, 128, 256]);
         let mut global = Table::new(
             "E6a: global broadcast on the dual clique, offline adaptive adversary",
-            vec!["n", "algorithm", "rounds (mean)", "completion", "rounds / n"],
+            vec![
+                "n",
+                "algorithm",
+                "rounds (mean)",
+                "completion",
+                "rounds / n",
+            ],
         );
         let mut randomized_series: Vec<(f64, f64)> = Vec::new();
         for &n in &sizes {
-            let dual = topology::dual_clique(n).expect("even n");
-            let problem = GlobalBroadcastProblem::new(NodeId::new(0));
             for algorithm in [GlobalAlgorithm::Permuted, GlobalAlgorithm::RoundRobin] {
-                let m = measure_rounds(&MeasureSpec {
-                    dual: &dual,
-                    factory: algorithm.factory(n, dual.max_degree()),
-                    assignment: problem.assignment(n),
-                    link: Box::new(|| Box::new(OmniscientOffline::new())),
-                    stop: problem.stop_condition(),
-                    trials: cfg.trials,
-                    max_rounds: 200 * n + 2_000,
-                    base_seed: cfg.seed + 50,
-                });
+                let scenario = Scenario::on(TopologySpec::DualClique { n })
+                    .algorithm(algorithm)
+                    .adversary(AdversarySpec::Omniscient)
+                    .problem(ProblemSpec::GlobalFrom(0))
+                    .seed(cfg.seed + 50)
+                    .max_rounds(200 * n + 2_000)
+                    .build()
+                    .expect("dual clique scenario");
+                let m = measure_rounds(&scenario, cfg.trials);
                 if algorithm == GlobalAlgorithm::Permuted {
                     randomized_series.push((n as f64, m.rounds.mean));
                 }
@@ -74,23 +75,29 @@ impl Experiment for E6OfflineAdaptive {
 
         let mut local = Table::new(
             "E6b: local broadcast on the dual clique (B = side A), offline adaptive adversary",
-            vec!["n", "algorithm", "rounds (mean)", "completion", "rounds / n"],
+            vec![
+                "n",
+                "algorithm",
+                "rounds (mean)",
+                "completion",
+                "rounds / n",
+            ],
         );
         for &n in &sizes {
-            let dc = topology::dual_clique_with_bridge(n, 0, n / 2).expect("even n");
-            let dual = dc.dual().clone();
-            let problem = LocalBroadcastProblem::new(dc.side_a().to_vec());
             for algorithm in [LocalAlgorithm::StaticDecay, LocalAlgorithm::RoundRobin] {
-                let m = measure_rounds(&MeasureSpec {
-                    dual: &dual,
-                    factory: algorithm.factory(n, dual.max_degree()),
-                    assignment: problem.assignment(n),
-                    link: Box::new(|| Box::new(OmniscientOffline::new())),
-                    stop: problem.stop_condition(&dual),
-                    trials: cfg.trials,
-                    max_rounds: 200 * n + 2_000,
-                    base_seed: cfg.seed + 51,
-                });
+                let scenario = Scenario::on(TopologySpec::DualCliqueWithBridge {
+                    n,
+                    t_a: 0,
+                    t_b: n / 2,
+                })
+                .algorithm(algorithm)
+                .adversary(AdversarySpec::Omniscient)
+                .problem(ProblemSpec::LocalSideA)
+                .seed(cfg.seed + 51)
+                .max_rounds(200 * n + 2_000)
+                .build()
+                .expect("dual clique scenario");
+                let m = measure_rounds(&scenario, cfg.trials);
                 local.push_row(vec![
                     n.to_string(),
                     algorithm.name().to_string(),

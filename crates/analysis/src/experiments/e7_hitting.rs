@@ -50,14 +50,21 @@ impl E7HittingGame {
         let trials = (cfg.trials * 10).max(10);
         let mut table = Table::new(
             "E7a: rounds to win the beta-hitting game (random targets)",
-            vec!["beta", "player", "rounds (mean)", "rounds / beta", "lemma bound on P(win in beta/4 rounds)"],
+            vec![
+                "beta",
+                "player",
+                "rounds (mean)",
+                "rounds / beta",
+                "lemma bound on P(win in beta/4 rounds)",
+            ],
         );
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + 60);
         for &beta in &betas {
             for player_kind in ["sweep", "uniform-random"] {
                 let mut rounds = Vec::with_capacity(trials);
                 for _ in 0..trials {
-                    let mut game = HittingGame::with_random_target(beta, &mut rng).expect("beta >= 2");
+                    let mut game =
+                        HittingGame::with_random_target(beta, &mut rng).expect("beta >= 2");
                     let won = match player_kind {
                         "sweep" => {
                             let mut player = SweepPlayer::new(beta);
@@ -157,7 +164,10 @@ mod tests {
         for row in table.rows() {
             if row[1] == "sweep" {
                 let ratio: f64 = row[3].parse().unwrap();
-                assert!(ratio > 0.2 && ratio < 0.9, "sweep ratio {ratio} out of range");
+                assert!(
+                    ratio > 0.2 && ratio < 0.9,
+                    "sweep ratio {ratio} out of range"
+                );
             }
         }
     }

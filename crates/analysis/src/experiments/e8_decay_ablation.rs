@@ -9,25 +9,29 @@
 //!    per-call delivery probability of Lemma 4.2;
 //! 2. the same comparison at network scale: global broadcast on the dual
 //!    clique under the decay-aware adversary.
+//!
+//! The grey-star check also exercises the scenario layer's escape hatches:
+//! the topology is hand-built (no generator covers it) and the broadcasters
+//! run a hand-written shared-bits decay process, both attached through
+//! [`Scenario::on_dual`] / `custom_algorithm`.
 
 use std::sync::Arc;
 
-use dradio_adversary::DecayAwareOblivious;
 use dradio_core::algorithms::GlobalAlgorithm;
 use dradio_core::decay::{DecaySchedule, PermutedDecaySchedule};
 use dradio_core::kinds;
-use dradio_core::problem::GlobalBroadcastProblem;
-use dradio_graphs::{DualGraph, GraphBuilder, NodeId};
+use dradio_graphs::{DualGraph, GraphBuilder};
+use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
 use dradio_sim::process::log2_ceil;
 use dradio_sim::sampling::bernoulli;
 use dradio_sim::{
-    Action, BitString, Message, Process, ProcessContext, ProcessFactory, Role, Round, StopCondition,
+    Action, BitString, Message, Process, ProcessContext, ProcessFactory, Role, Round,
 };
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::experiments::{fmt1, Experiment, ExperimentConfig};
-use crate::sweep::{measure_rounds, MeasureSpec};
+use crate::sweep::measure_rounds;
 use crate::table::Table;
 
 /// Experiment E8: fixed vs permuted decay under the schedule-aware oblivious
@@ -156,34 +160,39 @@ impl E8DecayAblation {
             let n = dual.len();
             let levels = log2_ceil(n).max(1);
             let call_length = 16 * levels;
-            let broadcasters: Vec<NodeId> = (1..n).map(NodeId::new).collect();
-            let receivers = vec![NodeId::new(0)];
+            let broadcasters: Vec<usize> = (1..n).collect();
             for permuted in [false, true] {
                 let trials = (cfg.trials * 4).max(4);
                 let mut costs = Vec::with_capacity(trials);
                 let mut within_call = 0usize;
                 for t in 0..trials {
-                    let factory =
-                        Self::shared_factory(levels, permuted, cfg.seed + 70 + t as u64);
-                    let spec = MeasureSpec {
-                        dual: &dual,
-                        factory,
-                        assignment: dradio_sim::Assignment::local(n, &broadcasters),
-                        link: Box::new(move || Box::new(DecayAwareOblivious::new(levels))),
-                        stop: StopCondition::local_broadcast_kind(
-                            receivers.clone(),
-                            broadcasters.clone(),
-                            kinds::DATA,
-                        ),
-                        trials: 1,
-                        max_rounds: 400 * levels,
-                        base_seed: cfg.seed + 71 + t as u64,
-                    };
-                    let m = measure_rounds(&spec);
-                    if m.rounds.mean <= call_length as f64 {
+                    // The shared bit string differs per trial, so each trial
+                    // is its own scenario with its own attached factory.
+                    let scenario = Scenario::on_dual(dual.clone())
+                        .custom_algorithm(
+                            if permuted {
+                                "shared-permuted-decay"
+                            } else {
+                                "shared-fixed-decay"
+                            },
+                            Self::shared_factory(levels, permuted, cfg.seed + 70 + t as u64),
+                        )
+                        .adversary(AdversarySpec::DecayAware {
+                            levels: Some(levels),
+                            assumed_transmitters: vec![],
+                        })
+                        .problem(ProblemSpec::Local {
+                            broadcasters: broadcasters.clone(),
+                        })
+                        .seed(cfg.seed + 71 + t as u64)
+                        .max_rounds(400 * levels)
+                        .build()
+                        .expect("grey star scenario");
+                    let cost = scenario.run().cost();
+                    if cost <= call_length {
                         within_call += 1;
                     }
-                    costs.push(m.rounds.mean);
+                    costs.push(cost as f64);
                 }
                 let summary = crate::stats::Summary::from_samples(&costs);
                 table.push_row(vec![
@@ -210,25 +219,22 @@ impl E8DecayAblation {
             vec!["n", "algorithm", "rounds (mean)", "completion"],
         );
         for &n in &sizes {
-            let dual = dradio_graphs::topology::dual_clique(n).expect("even n");
-            let problem = GlobalBroadcastProblem::new(NodeId::new(0));
             for algorithm in [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted] {
-                let m = measure_rounds(&MeasureSpec {
-                    dual: &dual,
-                    factory: algorithm.factory(n, dual.max_degree()),
-                    assignment: problem.assignment(n),
-                    link: Box::new(move || {
-                        // The attacker assumes (correctly) that only the
-                        // source's side of the clique transmits until the
-                        // bridge carries the message across.
-                        let side_a: Vec<NodeId> = (0..n / 2).map(NodeId::new).collect();
-                        Box::new(DecayAwareOblivious::for_network(n).assuming_transmitters(side_a))
-                    }),
-                    stop: problem.stop_condition(),
-                    trials: cfg.trials,
-                    max_rounds: 100 * n + 2_000,
-                    base_seed: cfg.seed + 72,
-                });
+                let scenario = Scenario::on(TopologySpec::DualClique { n })
+                    .algorithm(algorithm)
+                    // The attacker assumes (correctly) that only the source's
+                    // side of the clique transmits until the bridge carries
+                    // the message across.
+                    .adversary(AdversarySpec::DecayAware {
+                        levels: None,
+                        assumed_transmitters: (0..n / 2).collect(),
+                    })
+                    .problem(ProblemSpec::GlobalFrom(0))
+                    .seed(cfg.seed + 72)
+                    .max_rounds(100 * n + 2_000)
+                    .build()
+                    .expect("dual clique scenario");
+                let m = measure_rounds(&scenario, cfg.trials);
                 table.push_row(vec![
                     n.to_string(),
                     algorithm.name().to_string(),
@@ -249,6 +255,7 @@ impl E8DecayAblation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dradio_graphs::NodeId;
 
     #[test]
     fn grey_star_topology_shape() {

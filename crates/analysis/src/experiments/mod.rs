@@ -52,17 +52,29 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// Smoke-test configuration (single trial, tiny sizes).
     pub fn smoke() -> Self {
-        ExperimentConfig { trials: 1, scale: Scale::Smoke, seed: 0xD15EA5E }
+        ExperimentConfig {
+            trials: 1,
+            scale: Scale::Smoke,
+            seed: 0xD15EA5E,
+        }
     }
 
     /// Quick configuration (default for the `repro` binary).
     pub fn quick() -> Self {
-        ExperimentConfig { trials: 3, scale: Scale::Quick, seed: 0xD15EA5E }
+        ExperimentConfig {
+            trials: 3,
+            scale: Scale::Quick,
+            seed: 0xD15EA5E,
+        }
     }
 
     /// Full configuration.
     pub fn full() -> Self {
-        ExperimentConfig { trials: 8, scale: Scale::Full, seed: 0xD15EA5E }
+        ExperimentConfig {
+            trials: 8,
+            scale: Scale::Full,
+            seed: 0xD15EA5E,
+        }
     }
 
     /// Picks one of three size lists according to the scale.
@@ -152,7 +164,9 @@ mod tests {
 
     #[test]
     fn fit_note_mentions_a_model() {
-        let points: Vec<(f64, f64)> = (5..10).map(|i| (f64::from(i), f64::from(i) * 2.0)).collect();
+        let points: Vec<(f64, f64)> = (5..10)
+            .map(|i| (f64::from(i), f64::from(i) * 2.0))
+            .collect();
         let note = fit_note(&points);
         assert!(note.contains("best fit"));
         assert_eq!(fit_note(&[]), "no fit (empty series)");
@@ -168,7 +182,11 @@ mod tests {
             let tables = experiment.run(&cfg);
             assert!(!tables.is_empty(), "{} produced no tables", experiment.id());
             for table in &tables {
-                assert!(!table.rows().is_empty(), "{} produced an empty table", experiment.id());
+                assert!(
+                    !table.rows().is_empty(),
+                    "{} produced an empty table",
+                    experiment.id()
+                );
             }
         }
     }

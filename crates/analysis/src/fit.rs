@@ -130,14 +130,20 @@ pub fn fit_model(model: GrowthModel, points: &[(f64, f64)]) -> Option<Fit> {
         let denom = y.abs().max(1.0);
         err += ((y - predicted) / denom).powi(2);
     }
-    Some(Fit { model, scale, relative_rmse: (err / points.len() as f64).sqrt() })
+    Some(Fit {
+        model,
+        scale,
+        relative_rmse: (err / points.len() as f64).sqrt(),
+    })
 }
 
 /// Fits every candidate model and returns them sorted by ascending relative
 /// error (best first).
 pub fn fit_all(points: &[(f64, f64)]) -> Vec<Fit> {
-    let mut fits: Vec<Fit> =
-        GrowthModel::all().iter().filter_map(|&m| fit_model(m, points)).collect();
+    let mut fits: Vec<Fit> = GrowthModel::all()
+        .iter()
+        .filter_map(|&m| fit_model(m, points))
+        .collect();
     fits.sort_by(|a, b| {
         a.relative_rmse
             .partial_cmp(&b.relative_rmse)
@@ -227,12 +233,18 @@ mod tests {
             .collect();
         let best = best_fit(&points).unwrap();
         assert!(
-            matches!(best.model, GrowthModel::LinearOverLog | GrowthModel::Linear | GrowthModel::Sqrt),
+            matches!(
+                best.model,
+                GrowthModel::LinearOverLog | GrowthModel::Linear | GrowthModel::Sqrt
+            ),
             "unexpected best model {}",
             best.model
         );
         // And definitely not a polylogarithmic shape.
-        assert!(!matches!(best.model, GrowthModel::Log | GrowthModel::LogSquared | GrowthModel::Constant));
+        assert!(!matches!(
+            best.model,
+            GrowthModel::Log | GrowthModel::LogSquared | GrowthModel::Constant
+        ));
     }
 
     #[test]

@@ -1,19 +1,22 @@
 //! Experiment harness for the PODC 2013 dual-graph broadcast reproduction.
 //!
-//! This crate turns the algorithms of [`dradio_core`] and the adversaries of
-//! [`dradio_adversary`] into the measured tables that reproduce Figure 1 of
-//! the paper (and the empirically checkable lemmas):
+//! Every experiment describes its workloads as [`dradio_scenario`] values —
+//! declarative (topology × algorithm × adversary × problem) specs — and
+//! measures them with the parallel [`ScenarioRunner`]; this crate adds the
+//! analysis layers on top:
 //!
-//! * [`stats`] — summary statistics over repeated trials;
+//! * [`stats`] — summary statistics (re-exported from the scenario crate);
 //! * [`table`] — plain-text and CSV rendering of result tables;
 //! * [`fit`] — least-squares fitting of measured round counts against the
 //!   asymptotic growth shapes the paper predicts (`log² n`, `n / log n`,
 //!   `√n / log n`, …), so each experiment can report *which* shape matches;
-//! * [`sweep`] — helpers for running a simulation many times and summarizing
-//!   the round complexity;
+//! * [`sweep`] — the measurement entry point over scenarios;
 //! * [`experiments`] — the experiment definitions E1–E8, each mapping to one
 //!   row (or supporting lemma) of Figure 1. `experiments::all()` is the
 //!   registry used by the `repro` binary and the Criterion benches.
+//!
+//! New workloads start from [`Scenario::on`](dradio_scenario::Scenario::on);
+//! see the [`dradio_scenario`] crate docs for the builder API.
 //!
 //! # Example
 //!
@@ -24,6 +27,8 @@
 //! let tables = e1.run(&cfg);
 //! assert!(!tables.is_empty());
 //! ```
+//!
+//! [`ScenarioRunner`]: dradio_scenario::ScenarioRunner
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,5 +41,5 @@ pub mod table;
 
 pub use fit::{best_fit, GrowthModel};
 pub use stats::Summary;
-pub use sweep::{measure_rounds, MeasureSpec};
+pub use sweep::{measure_rounds, Measurement};
 pub use table::Table;

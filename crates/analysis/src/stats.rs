@@ -1,146 +1,7 @@
 //! Summary statistics over repeated trials.
+//!
+//! [`Summary`] moved to [`dradio_scenario::stats`] so the scenario runner can
+//! aggregate trial measurements without depending on this crate; it is
+//! re-exported here for continuity.
 
-use std::fmt;
-
-/// Summary statistics of a set of measurements (round counts, usually).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct Summary {
-    /// Number of samples.
-    pub count: usize,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Sample standard deviation (0 for fewer than two samples).
-    pub std_dev: f64,
-    /// Smallest sample.
-    pub min: f64,
-    /// Largest sample.
-    pub max: f64,
-    /// Median (average of the two middle samples for even counts).
-    pub median: f64,
-}
-
-impl Summary {
-    /// Computes the summary of `samples`; an empty slice yields all zeros.
-    pub fn from_samples(samples: &[f64]) -> Self {
-        if samples.is_empty() {
-            return Summary::default();
-        }
-        let count = samples.len();
-        let mean = samples.iter().sum::<f64>() / count as f64;
-        let variance = if count > 1 {
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
-        } else {
-            0.0
-        };
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let median = if count % 2 == 1 {
-            sorted[count / 2]
-        } else {
-            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
-        };
-        Summary {
-            count,
-            mean,
-            std_dev: variance.sqrt(),
-            min: sorted[0],
-            max: sorted[count - 1],
-            median,
-        }
-    }
-
-    /// Computes the summary of integer samples.
-    pub fn from_counts(samples: &[usize]) -> Self {
-        let as_f64: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
-        Summary::from_samples(&as_f64)
-    }
-
-    /// Half-width of a ~95% normal-approximation confidence interval for the
-    /// mean.
-    pub fn ci95_half_width(&self) -> f64 {
-        if self.count < 2 {
-            0.0
-        } else {
-            1.96 * self.std_dev / (self.count as f64).sqrt()
-        }
-    }
-}
-
-impl fmt::Display for Summary {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{:.1} ± {:.1} (median {:.1}, range {:.0}–{:.0}, k={})",
-            self.mean,
-            self.ci95_half_width(),
-            self.median,
-            self.min,
-            self.max,
-            self.count
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_input_is_all_zero() {
-        let s = Summary::from_samples(&[]);
-        assert_eq!(s, Summary::default());
-        assert_eq!(s.ci95_half_width(), 0.0);
-    }
-
-    #[test]
-    fn single_sample() {
-        let s = Summary::from_samples(&[7.0]);
-        assert_eq!(s.count, 1);
-        assert_eq!(s.mean, 7.0);
-        assert_eq!(s.std_dev, 0.0);
-        assert_eq!(s.median, 7.0);
-        assert_eq!(s.min, 7.0);
-        assert_eq!(s.max, 7.0);
-    }
-
-    #[test]
-    fn known_values() {
-        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
-        assert_eq!(s.count, 8);
-        assert!((s.mean - 5.0).abs() < 1e-12);
-        // Sample std dev with n-1 denominator: sqrt(32/7).
-        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
-        assert!((s.median - 4.5).abs() < 1e-12);
-        assert_eq!(s.min, 2.0);
-        assert_eq!(s.max, 9.0);
-    }
-
-    #[test]
-    fn odd_count_median_is_middle_element() {
-        let s = Summary::from_samples(&[9.0, 1.0, 5.0]);
-        assert_eq!(s.median, 5.0);
-    }
-
-    #[test]
-    fn from_counts_matches_from_samples() {
-        let a = Summary::from_counts(&[1, 2, 3, 4]);
-        let b = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn ci_shrinks_with_more_samples() {
-        let few = Summary::from_samples(&[1.0, 3.0, 5.0, 7.0]);
-        let many: Vec<f64> = (0..100).map(|i| (i % 8) as f64).collect();
-        let many = Summary::from_samples(&many);
-        assert!(many.ci95_half_width() < few.ci95_half_width());
-    }
-
-    #[test]
-    fn display_is_compact() {
-        let s = Summary::from_samples(&[10.0, 12.0, 14.0]);
-        let shown = s.to_string();
-        assert!(shown.contains("12.0"));
-        assert!(shown.contains("k=3"));
-    }
-}
+pub use dradio_scenario::stats::Summary;

@@ -1,103 +1,56 @@
-//! Helpers for running a simulation many times and summarizing the cost.
+//! Measuring the round complexity of a scenario over repeated trials.
+//!
+//! The construction machinery lives in [`dradio_scenario`]: a [`Scenario`]
+//! pins down one (topology × algorithm × adversary × problem) combination
+//! and [`ScenarioRunner`] fans independent trials out across threads with
+//! deterministic per-trial seeds. This module re-exports the measurement
+//! types and adds the small conveniences the experiment definitions share.
 
-use dradio_graphs::DualGraph;
-use dradio_sim::{Assignment, LinkProcess, ProcessFactory, SimConfig, Simulator, StopCondition};
+pub use dradio_scenario::{Measurement, ScenarioRunner, TrialOutcome};
 
-use crate::stats::Summary;
+use dradio_scenario::Scenario;
 
-/// Everything needed to measure the round complexity of one (topology,
-/// algorithm, adversary, problem) combination.
-pub struct MeasureSpec<'a> {
-    /// The network to simulate.
-    pub dual: &'a DualGraph,
-    /// The algorithm (one process per node).
-    pub factory: ProcessFactory,
-    /// The problem's role assignment.
-    pub assignment: Assignment,
-    /// Builds a fresh adversary for each trial (adversaries are stateful).
-    pub link: Box<dyn Fn() -> Box<dyn LinkProcess> + 'a>,
-    /// The completion condition whose first-satisfaction round is measured.
-    pub stop: StopCondition,
-    /// Number of independent trials.
-    pub trials: usize,
-    /// Per-trial round budget; trials that do not complete contribute the
-    /// budget as a censored observation.
-    pub max_rounds: usize,
-    /// Base random seed; trial `t` uses `base_seed + t`.
-    pub base_seed: u64,
-}
-
-/// The result of measuring one specification.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Measurement {
-    /// Summary of the per-trial costs (completion round, or the budget for
-    /// censored trials).
-    pub rounds: Summary,
-    /// Fraction of trials that completed within the budget.
-    pub completion_rate: f64,
-    /// Mean number of collisions per trial (a contention diagnostic).
-    pub mean_collisions: f64,
-}
-
-/// Runs the specification and summarizes the measured costs.
+/// Runs `trials` independent trials of `scenario` (in parallel) and
+/// summarizes the costs.
 ///
 /// # Panics
 ///
-/// Panics if the specification is internally inconsistent (e.g. the
-/// assignment does not match the network size); experiment definitions are
-/// expected to construct consistent specs.
-pub fn measure_rounds(spec: &MeasureSpec<'_>) -> Measurement {
-    let mut costs = Vec::with_capacity(spec.trials);
-    let mut completed = 0usize;
-    let mut collisions = 0usize;
-    for trial in 0..spec.trials {
-        let sim = Simulator::new(
-            spec.dual.clone(),
-            spec.factory.clone(),
-            spec.assignment.clone(),
-            (spec.link)(),
-            SimConfig::default()
-                .with_seed(spec.base_seed.wrapping_add(trial as u64))
-                .with_max_rounds(spec.max_rounds),
-        )
-        .expect("measurement specification must be internally consistent");
-        let outcome = sim.run(spec.stop.clone());
-        if outcome.completed {
-            completed += 1;
-        }
-        collisions += outcome.metrics.collisions;
-        costs.push(outcome.cost());
-    }
-    Measurement {
-        rounds: Summary::from_counts(&costs),
-        completion_rate: completed as f64 / spec.trials.max(1) as f64,
-        mean_collisions: collisions as f64 / spec.trials.max(1) as f64,
-    }
+/// Panics if `trials` is zero; experiment configurations always request at
+/// least one trial, so a zero here is a programming error. Callers that need
+/// to handle the zero-trial case gracefully should use
+/// [`Scenario::run_trials`], which returns an explicit error instead.
+pub fn measure_rounds(scenario: &Scenario, trials: usize) -> Measurement {
+    scenario
+        .run_trials(trials)
+        .expect("experiment definitions always measure at least one trial")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dradio_core::algorithms::GlobalAlgorithm;
-    use dradio_core::problem::GlobalBroadcastProblem;
-    use dradio_graphs::{topology, NodeId};
-    use dradio_sim::StaticLinks;
+    use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
+
+    fn clique_scenario(
+        n: usize,
+        algorithm: GlobalAlgorithm,
+        max_rounds: usize,
+        seed: u64,
+    ) -> Scenario {
+        Scenario::on(TopologySpec::Clique { n })
+            .algorithm(algorithm)
+            .adversary(AdversarySpec::StaticNone)
+            .problem(ProblemSpec::GlobalFrom(0))
+            .seed(seed)
+            .max_rounds(max_rounds)
+            .build()
+            .expect("valid scenario")
+    }
 
     #[test]
     fn measures_a_simple_global_broadcast() {
-        let dual = topology::clique(16);
-        let problem = GlobalBroadcastProblem::new(NodeId::new(0));
-        let spec = MeasureSpec {
-            dual: &dual,
-            factory: GlobalAlgorithm::Bgi.factory(16, dual.max_degree()),
-            assignment: problem.assignment(16),
-            link: Box::new(|| Box::new(StaticLinks::none())),
-            stop: problem.stop_condition(),
-            trials: 5,
-            max_rounds: 2_000,
-            base_seed: 1,
-        };
-        let m = measure_rounds(&spec);
+        let scenario = clique_scenario(16, GlobalAlgorithm::Bgi, 2_000, 1);
+        let m = measure_rounds(&scenario, 5);
         assert_eq!(m.rounds.count, 5);
         assert_eq!(m.completion_rate, 1.0);
         assert!(m.rounds.mean >= 1.0);
@@ -107,19 +60,15 @@ mod tests {
     #[test]
     fn censored_trials_report_the_budget() {
         // Round robin on a line with an absurdly small budget cannot finish.
-        let dual = topology::line(32).unwrap();
-        let problem = GlobalBroadcastProblem::new(NodeId::new(0));
-        let spec = MeasureSpec {
-            dual: &dual,
-            factory: GlobalAlgorithm::RoundRobin.factory(32, 2),
-            assignment: problem.assignment(32),
-            link: Box::new(|| Box::new(StaticLinks::none())),
-            stop: problem.stop_condition(),
-            trials: 3,
-            max_rounds: 10,
-            base_seed: 2,
-        };
-        let m = measure_rounds(&spec);
+        let scenario = Scenario::on(TopologySpec::Line { n: 32 })
+            .algorithm(GlobalAlgorithm::RoundRobin)
+            .adversary(AdversarySpec::StaticNone)
+            .problem(ProblemSpec::GlobalFrom(0))
+            .seed(2)
+            .max_rounds(10)
+            .build()
+            .expect("valid scenario");
+        let m = measure_rounds(&scenario, 3);
         assert_eq!(m.completion_rate, 0.0);
         assert_eq!(m.rounds.mean, 10.0);
         assert_eq!(m.rounds.min, 10.0);
@@ -127,22 +76,16 @@ mod tests {
 
     #[test]
     fn different_seeds_give_varied_costs() {
-        let dual = topology::clique(32);
-        let problem = GlobalBroadcastProblem::new(NodeId::new(0));
-        let spec = MeasureSpec {
-            dual: &dual,
-            factory: GlobalAlgorithm::Bgi.factory(32, dual.max_degree()),
-            assignment: problem.assignment(32),
-            link: Box::new(|| Box::new(StaticLinks::none())),
-            stop: problem.stop_condition(),
-            trials: 8,
-            max_rounds: 5_000,
-            base_seed: 3,
-        };
-        let m = measure_rounds(&spec);
-        // With 8 independent trials of a randomized algorithm the spread is
-        // essentially never zero.
+        let scenario = clique_scenario(32, GlobalAlgorithm::Bgi, 5_000, 3);
+        let m = measure_rounds(&scenario, 8);
         assert!(m.rounds.max >= m.rounds.min);
         assert!(m.rounds.std_dev >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics_loudly() {
+        let scenario = clique_scenario(8, GlobalAlgorithm::Bgi, 100, 4);
+        let _ = measure_rounds(&scenario, 0);
     }
 }

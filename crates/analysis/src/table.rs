@@ -114,7 +114,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -173,6 +180,9 @@ mod tests {
     #[test]
     fn headers_accessible() {
         let t = sample();
-        assert_eq!(t.headers(), &["n".to_string(), "rounds".to_string(), "model".to_string()]);
+        assert_eq!(
+            t.headers(),
+            &["n".to_string(), "rounds".to_string(), "model".to_string()]
+        );
     }
 }

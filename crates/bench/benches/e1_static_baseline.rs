@@ -23,7 +23,13 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_global_once(n, GlobalAlgorithm::RoundRobin, adversary("none", n), true, seed)
+                run_global_once(
+                    n,
+                    GlobalAlgorithm::RoundRobin,
+                    adversary("none", n),
+                    true,
+                    seed,
+                )
             });
         });
     }

@@ -17,7 +17,13 @@ fn bench(c: &mut Criterion) {
                     let mut seed = 0u64;
                     b.iter(|| {
                         seed += 1;
-                        run_global_once(n, GlobalAlgorithm::Permuted, adversary(adv, n), false, seed)
+                        run_global_once(
+                            n,
+                            GlobalAlgorithm::Permuted,
+                            adversary(adv, n),
+                            false,
+                            seed,
+                        )
                     });
                 },
             );

@@ -13,14 +13,26 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_global_once(n, GlobalAlgorithm::Permuted, adversary("online", n), false, seed)
+                run_global_once(
+                    n,
+                    GlobalAlgorithm::Permuted,
+                    adversary("online", n),
+                    false,
+                    seed,
+                )
             });
         });
         group.bench_with_input(BenchmarkId::new("permuted_benign", n), &n, |b, &n| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_global_once(n, GlobalAlgorithm::Permuted, adversary("none", n), false, seed)
+                run_global_once(
+                    n,
+                    GlobalAlgorithm::Permuted,
+                    adversary("none", n),
+                    false,
+                    seed,
+                )
             });
         });
     }

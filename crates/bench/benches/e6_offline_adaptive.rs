@@ -13,14 +13,26 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_global_once(n, GlobalAlgorithm::Permuted, adversary("offline", n), false, seed)
+                run_global_once(
+                    n,
+                    GlobalAlgorithm::Permuted,
+                    adversary("offline", n),
+                    false,
+                    seed,
+                )
             });
         });
         group.bench_with_input(BenchmarkId::new("round_robin_blocked", n), &n, |b, &n| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_global_once(n, GlobalAlgorithm::RoundRobin, adversary("offline", n), false, seed)
+                run_global_once(
+                    n,
+                    GlobalAlgorithm::RoundRobin,
+                    adversary("offline", n),
+                    false,
+                    seed,
+                )
             });
         });
     }

@@ -16,13 +16,17 @@ fn bench(c: &mut Criterion) {
         });
     }
     for beta in [16usize, 32, 64] {
-        group.bench_with_input(BenchmarkId::new("reduction_bgi", beta), &beta, |b, &beta| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run_reduction_once(beta, seed)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reduction_bgi", beta),
+            &beta,
+            |b, &beta| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_reduction_once(beta, seed)
+                });
+            },
+        );
     }
     group.finish();
 }

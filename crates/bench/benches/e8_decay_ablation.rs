@@ -13,16 +13,32 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_global_once(n, GlobalAlgorithm::Bgi, adversary("decay-aware", n), false, seed)
+                run_global_once(
+                    n,
+                    GlobalAlgorithm::Bgi,
+                    adversary("decay-aware", n),
+                    false,
+                    seed,
+                )
             });
         });
-        group.bench_with_input(BenchmarkId::new("permuted_decay_attacked", n), &n, |b, &n| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run_global_once(n, GlobalAlgorithm::Permuted, adversary("decay-aware", n), false, seed)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("permuted_decay_attacked", n),
+            &n,
+            |b, &n| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_global_once(
+                        n,
+                        GlobalAlgorithm::Permuted,
+                        adversary("decay-aware", n),
+                        false,
+                        seed,
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

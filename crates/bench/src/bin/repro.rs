@@ -1,4 +1,5 @@
-//! `repro` — regenerate every experiment table of the PODC 2013 reproduction.
+//! `repro` — regenerate every experiment table of the PODC 2013 reproduction,
+//! or run an ad-hoc serialized scenario.
 //!
 //! Usage:
 //!
@@ -6,18 +7,68 @@
 //! cargo run -p dradio-bench --bin repro --release [-- OPTIONS]
 //!
 //! OPTIONS:
-//!     --smoke          tiny sizes, 1 trial (sanity check)
-//!     --quick          moderate sizes, 3 trials (default)
-//!     --full           larger sizes, 8 trials
-//!     --only <ID>      run only the experiment with this id (e.g. E5)
-//!     --csv            also print each table as CSV
-//!     --list           list experiments and exit
+//!     --smoke            tiny sizes, 1 trial (sanity check)
+//!     --quick            moderate sizes, 3 trials (default)
+//!     --full             larger sizes, 8 trials
+//!     --only <ID>        run only the experiment with this id (e.g. E5)
+//!     --csv              also print each table as CSV
+//!     --list             list experiments and exit
+//!     --scenario <JSON>  run a serialized ScenarioSpec instead of the
+//!                        experiments (use --trials to repeat it)
+//!     --trials <N>       trials for --scenario (default 8)
+//!     --example-scenario print a ScenarioSpec JSON template and exit
 //! ```
 
 use std::env;
 use std::process::ExitCode;
 
 use dradio_analysis::experiments::{self, ExperimentConfig};
+use dradio_core::algorithms::GlobalAlgorithm;
+use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
+
+fn run_scenario(json: &str, trials: usize) -> ExitCode {
+    let spec: ScenarioSpec = match serde_json::from_str(json) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("could not parse the scenario spec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match spec.build() {
+        Ok(scenario) => scenario,
+        Err(e) => {
+            eprintln!("could not build the scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("scenario: {scenario}");
+    match scenario.run_trials(trials) {
+        Ok(m) => {
+            println!("trials:      {trials}");
+            println!("rounds:      {}", m.rounds);
+            println!("completion:  {:.0}%", m.completion_rate * 100.0);
+            println!("collisions:  {:.1} per trial", m.mean_collisions);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("could not run the scenario: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn example_scenario() -> String {
+    let spec = ScenarioSpec {
+        topology: TopologySpec::DualClique { n: 64 },
+        algorithm: GlobalAlgorithm::Permuted.into(),
+        adversary: AdversarySpec::Iid { p: 0.5 },
+        problem: ProblemSpec::GlobalFrom(0),
+        seed: 1,
+        max_rounds: None,
+        collision_detection: false,
+    };
+    serde_json::to_string_pretty(&spec).expect("specs always serialize")
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -25,6 +76,8 @@ fn main() -> ExitCode {
     let mut only: Option<String> = None;
     let mut csv = false;
     let mut list = false;
+    let mut scenario_json: Option<String> = None;
+    let mut trials = 8usize;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -41,9 +94,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--scenario" => match iter.next() {
+                Some(json) => scenario_json = Some(json.clone()),
+                None => {
+                    eprintln!("--scenario requires a ScenarioSpec JSON argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trials" => match iter.next().and_then(|t| t.parse().ok()) {
+                Some(t) => trials = t,
+                None => {
+                    eprintln!("--trials requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--example-scenario" => {
+                println!("{}", example_scenario());
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 println!("repro: regenerate the PODC 2013 reproduction tables");
-                println!("options: --smoke | --quick | --full, --only <ID>, --csv, --list");
+                println!(
+                    "options: --smoke | --quick | --full, --only <ID>, --csv, --list, \
+                     --scenario <JSON> [--trials <N>], --example-scenario"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -51,6 +125,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(json) = scenario_json {
+        return run_scenario(&json, trials);
     }
 
     let registry = experiments::all();

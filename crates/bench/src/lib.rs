@@ -4,112 +4,112 @@
 //!
 //! * the `repro` binary (`cargo run -p dradio-bench --bin repro --release`),
 //!   which regenerates every experiment table (E1–E8, covering all rows of
-//!   the paper's Figure 1 plus the checkable lemmas);
+//!   the paper's Figure 1 plus the checkable lemmas) and can also run ad-hoc
+//!   serialized scenarios (`--scenario <json>`);
 //! * the Criterion benches in `benches/` (one per experiment), which time a
 //!   representative workload from each experiment so performance regressions
 //!   in the simulator or the algorithms are visible.
 //!
 //! The functions here are the small shared workloads the Criterion benches
-//! time. They are deliberately compact (single simulation runs, fixed sizes)
-//! so `cargo bench` completes in minutes; the full sweeps live in
-//! [`dradio_analysis::experiments`].
+//! time, all built through the [`dradio_scenario`] API. They are deliberately
+//! compact (single simulation runs, fixed sizes) so `cargo bench` completes
+//! in minutes; the full sweeps live in [`dradio_analysis::experiments`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dradio_adversary::{BraceletOblivious, DecayAwareOblivious, DenseSparseOnline, IidLinks, OmniscientOffline};
 use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
 use dradio_core::global::BgiGlobalBroadcast;
 use dradio_core::hitting::{play, HittingGame, SweepPlayer};
-use dradio_core::problem::{GlobalBroadcastProblem, LocalBroadcastProblem};
 use dradio_core::reduction::{run_reduction, ReductionConfig};
-use dradio_graphs::topology::{self, GeometricConfig};
-use dradio_graphs::NodeId;
-use dradio_sim::{LinkProcess, SimConfig, Simulator, StaticLinks};
+use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Measured cost (rounds to completion, or the budget if censored) of one
-/// global broadcast run.
+/// global broadcast run on a (dual) clique.
 pub fn run_global_once(
     n: usize,
     algorithm: GlobalAlgorithm,
-    link: Box<dyn LinkProcess>,
+    adversary: AdversarySpec,
     static_model: bool,
     seed: u64,
 ) -> usize {
-    let dual = if static_model {
-        topology::clique(n)
+    let topology = if static_model {
+        TopologySpec::Clique { n }
     } else {
-        topology::dual_clique(n).expect("even n")
+        TopologySpec::DualClique { n }
     };
-    let problem = GlobalBroadcastProblem::new(NodeId::new(0));
-    Simulator::new(
-        dual.clone(),
-        algorithm.factory(n, dual.max_degree()),
-        problem.assignment(n),
-        link,
-        SimConfig::default().with_seed(seed).with_max_rounds(200 * n + 2_000),
-    )
-    .expect("valid simulation")
-    .run(problem.stop_condition())
-    .cost()
+    Scenario::on(topology)
+        .algorithm(algorithm)
+        .adversary(adversary)
+        .problem(ProblemSpec::GlobalFrom(0))
+        .seed(seed)
+        .max_rounds(200 * n + 2_000)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .cost()
 }
 
 /// Measured cost of one local broadcast run on a random geometric deployment.
 pub fn run_geo_local_once(n: usize, algorithm: LocalAlgorithm, seed: u64) -> usize {
     let side = (n as f64 / 8.0).sqrt().max(1.5);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let dual = topology::random_geometric(&GeometricConfig::new(n, side, 1.5), &mut rng)
-        .expect("dense deployments connect");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed + 1);
-    let problem = LocalBroadcastProblem::random(&dual, (n / 4).max(1), &mut rng);
-    Simulator::new(
-        dual.clone(),
-        algorithm.factory(n, dual.max_degree()),
-        problem.assignment(n),
-        Box::new(IidLinks::new(0.5)),
-        SimConfig::default().with_seed(seed).with_max_rounds(40 * n + 4_000),
-    )
-    .expect("valid simulation")
-    .run(problem.stop_condition(&dual))
+    Scenario::on(TopologySpec::RandomGeometric {
+        n,
+        side,
+        r: 1.5,
+        seed,
+    })
+    .algorithm(algorithm)
+    .adversary(AdversarySpec::Iid { p: 0.5 })
+    .problem(ProblemSpec::LocalRandom {
+        count: (n / 4).max(1),
+        seed: seed + 1,
+    })
+    .seed(seed)
+    .max_rounds(40 * n + 4_000)
+    .build()
+    .expect("dense deployments connect")
+    .run()
     .cost()
 }
 
 /// Measured cost of one local broadcast run on the bracelet network under the
 /// isolated-broadcast-function attacker.
 pub fn run_bracelet_once(k: usize, seed: u64) -> usize {
-    let bracelet = topology::bracelet(k).expect("k >= 2");
-    let dual = bracelet.dual().clone();
-    let n = dual.len();
-    let problem = LocalBroadcastProblem::new(bracelet.heads_a());
-    Simulator::new(
-        dual.clone(),
-        LocalAlgorithm::StaticDecay.factory(n, dual.max_degree()),
-        problem.assignment(n),
-        Box::new(BraceletOblivious::new(&bracelet)),
-        SimConfig::default().with_seed(seed).with_max_rounds(300 + 40 * n),
-    )
-    .expect("valid simulation")
-    .run(problem.stop_condition(&dual))
-    .cost()
+    let n = 2 * k * k;
+    Scenario::on(TopologySpec::Bracelet { k })
+        .algorithm(LocalAlgorithm::StaticDecay)
+        .adversary(AdversarySpec::BraceletAttack)
+        .problem(ProblemSpec::LocalHeadsA)
+        .seed(seed)
+        .max_rounds(300 + 40 * n)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .cost()
 }
 
-/// Convenience constructors for the adversaries used by the benches.
-pub fn adversary(name: &str, n: usize) -> Box<dyn LinkProcess> {
+/// Convenience adversary specs for the benches, by short name.
+pub fn adversary(name: &str, n: usize) -> AdversarySpec {
     match name {
-        "none" => Box::new(StaticLinks::none()),
-        "all" => Box::new(StaticLinks::all()),
-        "iid" => Box::new(IidLinks::new(0.5)),
+        "none" => AdversarySpec::StaticNone,
+        "all" => AdversarySpec::StaticAll,
+        "iid" => AdversarySpec::Iid { p: 0.5 },
         "decay-aware" => {
             // Assume the source side (the first half of a dual clique) is the
             // transmitting set — the strongest oblivious prediction for the
             // global broadcast workloads these benches run.
-            let side_a: Vec<NodeId> = (0..n / 2).map(NodeId::new).collect();
-            Box::new(DecayAwareOblivious::for_network(n).assuming_transmitters(side_a))
+            AdversarySpec::DecayAware {
+                levels: None,
+                assumed_transmitters: (0..n / 2).collect(),
+            }
         }
-        "online" => Box::new(DenseSparseOnline::default()),
-        "offline" => Box::new(OmniscientOffline::new()),
+        "online" => AdversarySpec::DenseSparse {
+            density_factor: None,
+        },
+        "offline" => AdversarySpec::Omniscient,
         other => panic!("unknown adversary {other}"),
     }
 }
@@ -125,9 +125,15 @@ pub fn run_hitting_once(beta: u64, seed: u64) -> usize {
 /// One Theorem 3.1 reduction run (the E7 reduction workload).
 pub fn run_reduction_once(beta: usize, seed: u64) -> usize {
     let factory = BgiGlobalBroadcast::factory(2 * beta);
-    run_reduction(beta, beta / 2 + 1, &factory, &ReductionConfig::default(), seed)
-        .expect("valid game")
-        .total_guesses
+    run_reduction(
+        beta,
+        beta / 2 + 1,
+        &factory,
+        &ReductionConfig::default(),
+        seed,
+    )
+    .expect("valid game")
+    .total_guesses
 }
 
 #[cfg(test)]
@@ -136,7 +142,13 @@ mod tests {
 
     #[test]
     fn global_workload_completes() {
-        let cost = run_global_once(32, GlobalAlgorithm::Permuted, adversary("iid", 32), false, 1);
+        let cost = run_global_once(
+            32,
+            GlobalAlgorithm::Permuted,
+            adversary("iid", 32),
+            false,
+            1,
+        );
         assert!(cost > 0);
         assert!(cost < 200 * 32 + 2_000);
     }

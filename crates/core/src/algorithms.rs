@@ -26,7 +26,11 @@ pub enum GlobalAlgorithm {
 impl GlobalAlgorithm {
     /// All global algorithms, in presentation order.
     pub fn all() -> [GlobalAlgorithm; 3] {
-        [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted, GlobalAlgorithm::RoundRobin]
+        [
+            GlobalAlgorithm::Bgi,
+            GlobalAlgorithm::Permuted,
+            GlobalAlgorithm::RoundRobin,
+        ]
     }
 
     /// Short name used in tables.
@@ -49,6 +53,12 @@ impl GlobalAlgorithm {
         }
     }
 }
+
+serde::serde_enum!(GlobalAlgorithm {
+    Bgi,
+    Permuted,
+    RoundRobin
+});
 
 impl std::fmt::Display for GlobalAlgorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -102,6 +112,13 @@ impl LocalAlgorithm {
     }
 }
 
+serde::serde_enum!(LocalAlgorithm {
+    StaticDecay,
+    Uniform,
+    RoundRobin,
+    Geo
+});
+
 impl std::fmt::Display for LocalAlgorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
@@ -145,7 +162,10 @@ mod tests {
             .unwrap()
             .run(problem.stop_condition());
             assert!(outcome.completed, "{algorithm} failed on the static clique");
-            assert!(problem.verify(&dual, &outcome.history), "{algorithm} produced a bad history");
+            assert!(
+                problem.verify(&dual, &outcome.history),
+                "{algorithm} produced a bad history"
+            );
         }
     }
 
@@ -166,7 +186,10 @@ mod tests {
             .unwrap()
             .run(problem.stop_condition(&dual));
             assert!(outcome.completed, "{algorithm} failed on the static star");
-            assert!(problem.verify(&dual, &outcome.history), "{algorithm} produced a bad history");
+            assert!(
+                problem.verify(&dual, &outcome.history),
+                "{algorithm} produced a bad history"
+            );
         }
     }
 }

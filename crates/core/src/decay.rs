@@ -39,7 +39,9 @@ impl DecaySchedule {
     /// Creates a schedule with the given number of probability levels
     /// (minimum 1).
     pub fn new(levels: usize) -> Self {
-        DecaySchedule { levels: levels.max(1) }
+        DecaySchedule {
+            levels: levels.max(1),
+        }
     }
 
     /// Creates the schedule appropriate for a network of `n` nodes
@@ -101,7 +103,10 @@ impl PermutedDecaySchedule {
         // modulo bias over `levels` values is at most a factor 2 (and zero
         // when `levels` is a power of two).
         let bits_per_step = log2_ceil(levels).max(1);
-        PermutedDecaySchedule { levels, bits_per_step }
+        PermutedDecaySchedule {
+            levels,
+            bits_per_step,
+        }
     }
 
     /// Creates the schedule appropriate for a network of `n` nodes.
@@ -211,13 +216,13 @@ mod tests {
     fn permuted_levels_are_roughly_uniform() {
         let sched = PermutedDecaySchedule::new(8);
         let bits = BitString::random(1 << 15, &mut ChaCha8Rng::seed_from_u64(2));
-        let mut counts = vec![0usize; 9];
+        let mut counts = [0usize; 9];
         let steps = 4000;
         for step in 0..steps {
             counts[sched.level(&bits, step)] += 1;
         }
-        for level in 1..=8 {
-            let share = counts[level] as f64 / steps as f64;
+        for (level, &count) in counts.iter().enumerate().skip(1) {
+            let share = count as f64 / steps as f64;
             assert!(
                 (share - 0.125).abs() < 0.05,
                 "level {level} occurs with frequency {share}"
@@ -232,7 +237,9 @@ mod tests {
         let sched = PermutedDecaySchedule::new(8);
         let fixed = DecaySchedule::new(8);
         let bits = BitString::random(8192, &mut ChaCha8Rng::seed_from_u64(3));
-        let differing = (0..200).filter(|&s| sched.level(&bits, s) != fixed.level(s)).count();
+        let differing = (0..200)
+            .filter(|&s| sched.level(&bits, s) != fixed.level(s))
+            .count();
         assert!(differing > 100, "only {differing} of 200 steps differ");
     }
 
@@ -241,7 +248,9 @@ mod tests {
         let sched = PermutedDecaySchedule::new(8);
         let a = BitString::random(8192, &mut ChaCha8Rng::seed_from_u64(10));
         let b = BitString::random(8192, &mut ChaCha8Rng::seed_from_u64(11));
-        let differing = (0..200).filter(|&s| sched.level(&a, s) != sched.level(&b, s)).count();
+        let differing = (0..200)
+            .filter(|&s| sched.level(&a, s) != sched.level(&b, s))
+            .count();
         assert!(differing > 100);
     }
 

@@ -10,27 +10,19 @@
 use std::sync::Arc;
 
 use dradio_sim::sampling::bernoulli;
-use dradio_sim::{
-    Action, Feedback, Message, Process, ProcessContext, ProcessFactory, Role, Round,
-};
+use dradio_sim::{Action, Feedback, Message, Process, ProcessContext, ProcessFactory, Role, Round};
 use rand::RngCore;
 
 use crate::decay::DecaySchedule;
 use crate::kinds;
 
 /// Configuration for [`BgiGlobalBroadcast`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BgiConfig {
     /// Number of decay probability levels (defaults to `⌈log₂ n⌉`).
     pub levels: Option<usize>,
     /// Payload attached to the source message.
     pub payload: u64,
-}
-
-impl Default for BgiConfig {
-    fn default() -> Self {
-        BgiConfig { levels: None, payload: 0 }
-    }
 }
 
 /// Constructor for the BGI global broadcast algorithm.
@@ -55,10 +47,15 @@ impl BgiGlobalBroadcast {
 
     /// Builds a process factory with an explicit configuration.
     pub fn factory_with(n: usize, config: BgiConfig) -> ProcessFactory {
-        let levels = config.levels.unwrap_or_else(|| DecaySchedule::for_network(n).levels());
+        let levels = config
+            .levels
+            .unwrap_or_else(|| DecaySchedule::for_network(n).levels());
         Arc::new(move |ctx: &ProcessContext| {
-            Box::new(BgiProcess::new(ctx, DecaySchedule::new(levels), config.payload))
-                as Box<dyn Process>
+            Box::new(BgiProcess::new(
+                ctx,
+                DecaySchedule::new(levels),
+                config.payload,
+            )) as Box<dyn Process>
         })
     }
 }
@@ -83,7 +80,13 @@ impl BgiProcess {
 impl BgiProcess {
     /// Creates the process for one node.
     pub fn new(ctx: &ProcessContext, schedule: DecaySchedule, payload: u64) -> Self {
-        BgiProcess { id: ctx.id, role: ctx.role, schedule, payload, message: None }
+        BgiProcess {
+            id: ctx.id,
+            role: ctx.role,
+            schedule,
+            payload,
+            message: None,
+        }
     }
 
     /// The decay schedule in use.
@@ -236,18 +239,28 @@ mod tests {
         assert!(outcome.completed);
         // Crude sanity bound: cost should be far below n*D (the round robin
         // cost) for this size.
-        assert!(outcome.cost() < n * d, "cost {} not better than round robin", outcome.cost());
+        assert!(
+            outcome.cost() < n * d,
+            "cost {} not better than round robin",
+            outcome.cost()
+        );
     }
 
     #[test]
     fn factory_respects_custom_levels() {
         let factory = BgiGlobalBroadcast::factory_with(
             1024,
-            BgiConfig { levels: Some(3), payload: 9 },
+            BgiConfig {
+                levels: Some(3),
+                payload: 9,
+            },
         );
         let p = factory(&ctx(Role::Source, 1024));
         // The custom level count caps the schedule period at 3.
-        assert!((p.transmit_probability(Round::new(3)) - p.transmit_probability(Round::new(0))).abs() < 1e-12);
+        assert!(
+            (p.transmit_probability(Round::new(3)) - p.transmit_probability(Round::new(0))).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -50,14 +50,22 @@ impl PermutedConfig {
     pub fn scaled(n: usize) -> Self {
         let log_n = log2_ceil(n).max(1);
         let log_log_n = log2_ceil(log_n).max(1);
-        PermutedConfig { levels: None, seed_bits: (4 * log_n * log_n * log_log_n).max(128), payload: 0 }
+        PermutedConfig {
+            levels: None,
+            seed_bits: (4 * log_n * log_n * log_log_n).max(128),
+            payload: 0,
+        }
     }
 
     /// The paper's constant: `32 log² n log log n` bits.
     pub fn paper(n: usize) -> Self {
         let log_n = log2_ceil(n).max(1);
         let log_log_n = log2_ceil(log_n).max(1);
-        PermutedConfig { levels: None, seed_bits: (32 * log_n * log_n * log_log_n).max(128), payload: 0 }
+        PermutedConfig {
+            levels: None,
+            seed_bits: (32 * log_n * log_n * log_log_n).max(128),
+            payload: 0,
+        }
     }
 }
 
@@ -84,8 +92,11 @@ impl PermutedGlobalBroadcast {
     pub fn factory_with(n: usize, config: PermutedConfig) -> ProcessFactory {
         let levels = config.levels.unwrap_or_else(|| log2_ceil(n).max(1));
         Arc::new(move |ctx: &ProcessContext| {
-            Box::new(PermutedProcess::new(ctx, PermutedDecaySchedule::new(levels), config))
-                as Box<dyn Process>
+            Box::new(PermutedProcess::new(
+                ctx,
+                PermutedDecaySchedule::new(levels),
+                config,
+            )) as Box<dyn Process>
         })
     }
 }
@@ -102,8 +113,18 @@ pub struct PermutedProcess {
 
 impl PermutedProcess {
     /// Creates the process for one node.
-    pub fn new(ctx: &ProcessContext, schedule: PermutedDecaySchedule, config: PermutedConfig) -> Self {
-        PermutedProcess { id: ctx.id, role: ctx.role, schedule, config, message: None }
+    pub fn new(
+        ctx: &ProcessContext,
+        schedule: PermutedDecaySchedule,
+        config: PermutedConfig,
+    ) -> Self {
+        PermutedProcess {
+            id: ctx.id,
+            role: ctx.role,
+            schedule,
+            config,
+            message: None,
+        }
     }
 
     /// The permuted schedule in use.
@@ -119,7 +140,12 @@ impl Process for PermutedProcess {
             // begins*: an oblivious link process has already committed to its
             // schedule and cannot depend on them.
             let bits = BitString::random(self.config.seed_bits, rng);
-            self.message = Some(Message::with_bits(self.id, kinds::DATA, self.config.payload, bits));
+            self.message = Some(Message::with_bits(
+                self.id,
+                kinds::DATA,
+                self.config.payload,
+                bits,
+            ));
         }
     }
 
@@ -175,14 +201,25 @@ mod tests {
     fn source_attaches_fresh_random_bits() {
         let n = 64;
         let cfg = PermutedConfig::scaled(n);
-        let mut a = PermutedProcess::new(&ctx(Role::Source, n), PermutedDecaySchedule::for_network(n), cfg);
-        let mut b = PermutedProcess::new(&ctx(Role::Source, n), PermutedDecaySchedule::for_network(n), cfg);
+        let mut a = PermutedProcess::new(
+            &ctx(Role::Source, n),
+            PermutedDecaySchedule::for_network(n),
+            cfg,
+        );
+        let mut b = PermutedProcess::new(
+            &ctx(Role::Source, n),
+            PermutedDecaySchedule::for_network(n),
+            cfg,
+        );
         a.on_start(&mut ChaCha8Rng::seed_from_u64(1));
         b.on_start(&mut ChaCha8Rng::seed_from_u64(2));
         let bits_a = a.message.as_ref().unwrap().bits().clone();
         let bits_b = b.message.as_ref().unwrap().bits().clone();
         assert_eq!(bits_a.len(), cfg.seed_bits);
-        assert_ne!(bits_a, bits_b, "different executions must use different bits");
+        assert_ne!(
+            bits_a, bits_b,
+            "different executions must use different bits"
+        );
     }
 
     #[test]
@@ -204,7 +241,11 @@ mod tests {
         let m = source.message.clone().unwrap();
 
         let mut relay = PermutedProcess::new(&ctx(Role::Relay, n), sched, cfg);
-        relay.on_feedback(Round::ZERO, &Feedback::Received(m.clone()), &mut ChaCha8Rng::seed_from_u64(4));
+        relay.on_feedback(
+            Round::ZERO,
+            &Feedback::Received(m.clone()),
+            &mut ChaCha8Rng::seed_from_u64(4),
+        );
         assert!(relay.is_informed());
         // Both now quote identical transmit probabilities every round: the
         // coordination property Lemma 4.2 needs.

@@ -9,9 +9,7 @@
 
 use std::sync::Arc;
 
-use dradio_sim::{
-    Action, Feedback, Message, Process, ProcessContext, ProcessFactory, Role, Round,
-};
+use dradio_sim::{Action, Feedback, Message, Process, ProcessContext, ProcessFactory, Role, Round};
 use rand::RngCore;
 
 use crate::kinds;
@@ -49,7 +47,12 @@ pub struct RoundRobinGlobalProcess {
 impl RoundRobinGlobalProcess {
     /// Creates the process for one node of an `n`-node network.
     pub fn new(ctx: &ProcessContext, n: usize) -> Self {
-        RoundRobinGlobalProcess { id: ctx.id, role: ctx.role, n: n.max(1), message: None }
+        RoundRobinGlobalProcess {
+            id: ctx.id,
+            role: ctx.role,
+            n: n.max(1),
+            message: None,
+        }
     }
 
     fn my_slot(&self, round: Round) -> bool {
@@ -128,7 +131,11 @@ mod tests {
     fn never_collides_and_always_completes() {
         // Round robin is deterministic and collision free, so it finishes on
         // every connected static graph within n * D rounds.
-        for dual in [topology::line(10).unwrap(), topology::clique(10), topology::ring(10).unwrap()] {
+        for dual in [
+            topology::line(10).unwrap(),
+            topology::clique(10),
+            topology::ring(10).unwrap(),
+        ] {
             let n = dual.len();
             let d = properties::diameter(dual.g()).unwrap().max(1);
             let problem = GlobalBroadcastProblem::new(NodeId::new(0));

@@ -66,7 +66,12 @@ impl HittingGame {
         if beta < 2 || target == 0 || target > beta {
             return Err(HittingError { beta, target });
         }
-        Ok(HittingGame { beta, target, guesses_made: 0, won: false })
+        Ok(HittingGame {
+            beta,
+            target,
+            guesses_made: 0,
+            won: false,
+        })
     }
 
     /// Creates a game with a uniformly random target.

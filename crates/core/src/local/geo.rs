@@ -131,7 +131,9 @@ impl GeoLocalBroadcast {
 
     /// Builds a process factory with an explicit configuration.
     pub fn factory_with(config: GeoConfig) -> ProcessFactory {
-        Arc::new(move |ctx: &ProcessContext| Box::new(GeoProcess::new(ctx, config)) as Box<dyn Process>)
+        Arc::new(move |ctx: &ProcessContext| {
+            Box::new(GeoProcess::new(ctx, config)) as Box<dyn Process>
+        })
     }
 }
 
@@ -177,7 +179,9 @@ impl GeoProcess {
     pub fn stage(&self, round: Round) -> GeoStage {
         let init = self.config.init_rounds();
         if round.index() < init {
-            GeoStage::Initialization { phase: round.index() / self.config.phase_rounds.max(1) }
+            GeoStage::Initialization {
+                phase: round.index() / self.config.phase_rounds.max(1),
+            }
         } else {
             GeoStage::Broadcast {
                 iteration: (round.index() - init) / self.config.iteration_rounds.max(1),
@@ -236,7 +240,7 @@ impl GeoProcess {
         let inv = self.config.inverse_participation.max(1) as u64;
         let width = log2_ceil(self.config.inverse_participation.max(2)).max(1) + 1;
         if seed.is_empty() || seed.len() < width {
-            return iteration as u64 % inv == 0;
+            return (iteration as u64).is_multiple_of(inv);
         }
         let positions = seed.len() - width + 1;
         // Offset the participation bits away from the permutation bits by a
@@ -244,7 +248,7 @@ impl GeoProcess {
         // positions.
         let offset = ((iteration * width).wrapping_mul(2_654_435_761) % positions) % positions;
         let value = seed.value(offset, width).expect("offset within bounds");
-        value % inv == 0
+        value.is_multiple_of(inv)
     }
 
     /// The transmit probability implied by the current state for `round`
@@ -262,7 +266,9 @@ impl GeoProcess {
                 }
             }
             GeoStage::Broadcast { iteration } => {
-                let Some(payload_seed) = self.committed.as_ref() else { return 0.0 };
+                let Some(payload_seed) = self.committed.as_ref() else {
+                    return 0.0;
+                };
                 if self.payload.is_none() {
                     return 0.0;
                 }
@@ -295,7 +301,10 @@ impl Process for GeoProcess {
                 return Action::Listen;
             }
             if self.is_leader && bernoulli(rng, self.gossip_probability()) {
-                let seed = self.committed.clone().expect("leaders committed at election");
+                let seed = self
+                    .committed
+                    .clone()
+                    .expect("leaders committed at election");
                 return Action::Transmit(Message::with_bits(self.id, kinds::SEED, 0, seed));
             }
             return Action::Listen;
@@ -305,8 +314,13 @@ impl Process for GeoProcess {
         if round.index() == init_rounds || self.committed.is_none() {
             self.finish_initialization(rng);
         }
-        let Some(payload) = self.payload.clone() else { return Action::Listen };
-        let seed = self.committed.clone().expect("committed after initialization");
+        let Some(payload) = self.payload.clone() else {
+            return Action::Listen;
+        };
+        let seed = self
+            .committed
+            .clone()
+            .expect("committed after initialization");
         let iteration = (round.index() - init_rounds) / self.config.iteration_rounds.max(1);
         if !self.participates(&seed, iteration) {
             return Action::Listen;
@@ -321,7 +335,10 @@ impl Process for GeoProcess {
 
     fn on_feedback(&mut self, _round: Round, feedback: &Feedback, _rng: &mut dyn RngCore) {
         if let Some(m) = feedback.message() {
-            if m.kind() == kinds::SEED && self.active && !self.is_leader && self.heard_seed.is_none()
+            if m.kind() == kinds::SEED
+                && self.active
+                && !self.is_leader
+                && self.heard_seed.is_none()
             {
                 self.heard_seed = Some(m.bits().clone());
             }
@@ -368,12 +385,31 @@ mod tests {
 
     #[test]
     fn stage_boundaries_follow_configuration() {
-        let cfg = GeoConfig { phase_rounds: 10, num_phases: 3, iteration_rounds: 5, seed_bits: 64, inverse_participation: 4, levels: 4 };
+        let cfg = GeoConfig {
+            phase_rounds: 10,
+            num_phases: 3,
+            iteration_rounds: 5,
+            seed_bits: 64,
+            inverse_participation: 4,
+            levels: 4,
+        };
         let p = GeoProcess::new(&ctx(0, Role::Relay, 64, 8), cfg);
-        assert_eq!(p.stage(Round::new(0)), GeoStage::Initialization { phase: 0 });
-        assert_eq!(p.stage(Round::new(25)), GeoStage::Initialization { phase: 2 });
-        assert_eq!(p.stage(Round::new(30)), GeoStage::Broadcast { iteration: 0 });
-        assert_eq!(p.stage(Round::new(41)), GeoStage::Broadcast { iteration: 2 });
+        assert_eq!(
+            p.stage(Round::new(0)),
+            GeoStage::Initialization { phase: 0 }
+        );
+        assert_eq!(
+            p.stage(Round::new(25)),
+            GeoStage::Initialization { phase: 2 }
+        );
+        assert_eq!(
+            p.stage(Round::new(30)),
+            GeoStage::Broadcast { iteration: 0 }
+        );
+        assert_eq!(
+            p.stage(Round::new(41)),
+            GeoStage::Broadcast { iteration: 2 }
+        );
     }
 
     #[test]
@@ -459,7 +495,10 @@ mod tests {
         }
         let rate = participating as f64 / trials as f64;
         let target = 1.0 / cfg.inverse_participation as f64;
-        assert!((rate - target).abs() < 0.08, "rate {rate} vs target {target}");
+        assert!(
+            (rate - target).abs() < 0.08,
+            "rate {rate} vs target {target}"
+        );
     }
 
     #[test]
@@ -476,11 +515,9 @@ mod tests {
     #[test]
     fn solves_local_broadcast_on_geometric_graphs() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let dual = topology::random_geometric(
-            &topology::GeometricConfig::new(60, 4.0, 1.5),
-            &mut rng,
-        )
-        .unwrap();
+        let dual =
+            topology::random_geometric(&topology::GeometricConfig::new(60, 4.0, 1.5), &mut rng)
+                .unwrap();
         let n = dual.len();
         let broadcasters: Vec<NodeId> = (0..n).step_by(4).map(NodeId::new).collect();
         let problem = LocalBroadcastProblem::new(broadcasters.clone());
@@ -509,7 +546,9 @@ mod tests {
             GeoLocalBroadcast::factory(n, n - 1),
             Assignment::local(n, &broadcasters),
             Box::new(StaticLinks::none()),
-            SimConfig::default().with_seed(9).with_max_rounds(GeoConfig::scaled(n, n - 1).init_rounds()),
+            SimConfig::default()
+                .with_seed(9)
+                .with_max_rounds(GeoConfig::scaled(n, n - 1).init_rounds()),
         )
         .unwrap()
         .run(dradio_sim::StopCondition::max_rounds());

@@ -48,7 +48,11 @@ impl RoundRobinLocalProcess {
     pub fn new(ctx: &ProcessContext, n: usize) -> Self {
         let message = (ctx.role == Role::Broadcaster)
             .then(|| Message::plain(ctx.id, kinds::DATA, ctx.id.index() as u64));
-        RoundRobinLocalProcess { id: ctx.id, n: n.max(1), message }
+        RoundRobinLocalProcess {
+            id: ctx.id,
+            n: n.max(1),
+            message,
+        }
     }
 }
 
@@ -104,7 +108,11 @@ mod tests {
             )
             .unwrap()
             .run(problem.stop_condition(&dual));
-            assert!(outcome.completed, "round robin must finish within n rounds on {}", dual.name());
+            assert!(
+                outcome.completed,
+                "round robin must finish within n rounds on {}",
+                dual.name()
+            );
             assert!(outcome.cost() <= n);
             assert_eq!(outcome.metrics.collisions, 0);
             assert!(problem.verify(&dual, &outcome.history));

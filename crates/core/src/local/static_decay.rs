@@ -143,11 +143,9 @@ mod tests {
     #[test]
     fn solves_local_broadcast_on_geometric_graphs() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let dual = topology::random_geometric(
-            &topology::GeometricConfig::new(60, 4.0, 1.5),
-            &mut rng,
-        )
-        .unwrap();
+        let dual =
+            topology::random_geometric(&topology::GeometricConfig::new(60, 4.0, 1.5), &mut rng)
+                .unwrap();
         let n = dual.len();
         let broadcasters: Vec<NodeId> = (0..n).step_by(3).map(NodeId::new).collect();
         let problem = LocalBroadcastProblem::new(broadcasters.clone());

@@ -87,7 +87,10 @@ impl LocalBroadcastProblem {
     pub fn new(mut broadcasters: Vec<NodeId>) -> Self {
         broadcasters.sort_unstable();
         broadcasters.dedup();
-        LocalBroadcastProblem { broadcasters, include_broadcasters: false }
+        LocalBroadcastProblem {
+            broadcasters,
+            include_broadcasters: false,
+        }
     }
 
     /// Samples `count` distinct broadcasters uniformly at random from the
@@ -98,7 +101,10 @@ impl LocalBroadcastProblem {
     /// Panics if `count` exceeds the number of nodes.
     pub fn random<R: Rng + ?Sized>(dual: &DualGraph, count: usize, rng: &mut R) -> Self {
         let n = dual.len();
-        assert!(count <= n, "cannot sample {count} broadcasters from {n} nodes");
+        assert!(
+            count <= n,
+            "cannot sample {count} broadcasters from {n} nodes"
+        );
         let mut ids: Vec<usize> = (0..n).collect();
         // Partial Fisher-Yates shuffle.
         for i in 0..count {
@@ -235,7 +241,10 @@ mod tests {
         let p = LocalBroadcastProblem::new(vec![NodeId::new(0), NodeId::new(1)]);
         assert_eq!(p.receivers(&dual), vec![NodeId::new(2)]);
         let p = p.include_broadcasters(true);
-        assert_eq!(p.receivers(&dual), vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            p.receivers(&dual),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
     }
 
     #[test]
@@ -307,7 +316,11 @@ mod tests {
         let dual = topology::star(5).unwrap();
         let p = LocalBroadcastProblem::new(vec![NodeId::new(1), NodeId::new(2)]);
         match p.stop_condition(&dual) {
-            StopCondition::NodesReceivedKindFrom { receivers, senders, kind } => {
+            StopCondition::NodesReceivedKindFrom {
+                receivers,
+                senders,
+                kind,
+            } => {
                 assert_eq!(receivers, vec![NodeId::new(0)]);
                 assert_eq!(senders, vec![NodeId::new(1), NodeId::new(2)]);
                 assert_eq!(kind, kinds::DATA);

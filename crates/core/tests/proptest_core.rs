@@ -169,7 +169,7 @@ proptest! {
     #[test]
     fn log2_ceil_matches_definition(x in 1usize..1_000_000) {
         let k = log2_ceil(x);
-        prop_assert!(1usize.checked_shl(k as u32).map_or(true, |p| p >= x));
+        prop_assert!(1usize.checked_shl(k as u32).is_none_or(|p| p >= x));
         if k > 0 {
             prop_assert!(1usize << (k - 1) < x);
         }
@@ -183,10 +183,9 @@ proptest! {
 fn permuted_broadcast_completes_on_random_geometric_networks() {
     for seed in 0..3u64 {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let Ok(dual) = topology::random_geometric(
-            &topology::GeometricConfig::new(50, 2.5, 1.5),
-            &mut rng,
-        ) else {
+        let Ok(dual) =
+            topology::random_geometric(&topology::GeometricConfig::new(50, 2.5, 1.5), &mut rng)
+        else {
             continue;
         };
         let n = dual.len();

@@ -54,18 +54,31 @@ impl DualGraph {
     ///   `g_prime`.
     pub fn new(g: Graph, g_prime: Graph) -> Result<Self> {
         if g.len() != g_prime.len() {
-            return Err(GraphError::LayerSizeMismatch { g: g.len(), g_prime: g_prime.len() });
+            return Err(GraphError::LayerSizeMismatch {
+                g: g.len(),
+                g_prime: g_prime.len(),
+            });
         }
         if let Some(missing) = g.first_missing_in(&g_prime) {
             return Err(GraphError::NotContained { missing });
         }
-        Ok(DualGraph { g, g_prime, embedding: None, name: String::from("dual") })
+        Ok(DualGraph {
+            g,
+            g_prime,
+            embedding: None,
+            name: String::from("dual"),
+        })
     }
 
     /// Creates a *static* dual graph with `G = G'`, i.e. the classic protocol
     /// model over `g`.
     pub fn static_model(g: Graph) -> Self {
-        DualGraph { g_prime: g.clone(), g, embedding: None, name: String::from("static") }
+        DualGraph {
+            g_prime: g.clone(),
+            g,
+            embedding: None,
+            name: String::from("static"),
+        }
     }
 
     /// Attaches a Euclidean embedding (used by geographic topologies).
@@ -172,7 +185,10 @@ impl DualGraph {
     /// Returns [`GraphError::MissingEmbedding`] if the dual graph has no
     /// embedding attached.
     pub fn satisfies_geographic_constraint(&self, r: f64) -> Result<bool> {
-        let emb = self.embedding.as_ref().ok_or(GraphError::MissingEmbedding)?;
+        let emb = self
+            .embedding
+            .as_ref()
+            .ok_or(GraphError::MissingEmbedding)?;
         for u in self.g.nodes() {
             for v in self.g.nodes() {
                 if u >= v {
@@ -212,7 +228,12 @@ mod tests {
 
     fn triangle_line() -> (Graph, Graph) {
         let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).build().unwrap();
-        let gp = GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(0, 2).build().unwrap();
+        let gp = GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build()
+            .unwrap();
         (g, gp)
     }
 

@@ -67,7 +67,10 @@ impl fmt::Display for GraphError {
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::MissingEmbedding => {
-                write!(f, "operation requires a Euclidean embedding but none is attached")
+                write!(
+                    f,
+                    "operation requires a Euclidean embedding but none is attached"
+                )
             }
         }
     }
@@ -82,11 +85,20 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<GraphError> = vec![
-            GraphError::NodeOutOfRange { node: NodeId::new(9), n: 4 },
-            GraphError::SelfLoop { node: NodeId::new(1) },
-            GraphError::NotContained { missing: (NodeId::new(0), NodeId::new(1)) },
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(9),
+                n: 4,
+            },
+            GraphError::SelfLoop {
+                node: NodeId::new(1),
+            },
+            GraphError::NotContained {
+                missing: (NodeId::new(0), NodeId::new(1)),
+            },
             GraphError::LayerSizeMismatch { g: 3, g_prime: 4 },
-            GraphError::InvalidParameter { reason: "n must be even".to_string() },
+            GraphError::InvalidParameter {
+                reason: "n must be even".to_string(),
+            },
             GraphError::Disconnected,
             GraphError::MissingEmbedding,
         ];
@@ -106,9 +118,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(GraphError::Disconnected, GraphError::Disconnected);
-        assert_ne!(
-            GraphError::Disconnected,
-            GraphError::MissingEmbedding
-        );
+        assert_ne!(GraphError::Disconnected, GraphError::MissingEmbedding);
     }
 }

@@ -109,7 +109,10 @@ impl Embedding {
 
     /// Iterates over `(node, point)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Point)> + '_ {
-        self.points.iter().enumerate().map(|(i, &p)| (NodeId::new(i), p))
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (NodeId::new(i), p))
     }
 
     /// Bounding box `(min, max)` of all points, or `None` for an empty

@@ -97,7 +97,7 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
-        let words = (n.saturating_mul(n) + 63) / 64;
+        let words = n.saturating_mul(n).div_ceil(64);
         Graph {
             n,
             adjacency: vec![Vec::new(); n],
@@ -224,7 +224,10 @@ impl Graph {
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n).map(|i| self.adjacency[i].len()).max().unwrap_or(0)
+        (0..self.n)
+            .map(|i| self.adjacency[i].len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates over all vertices.
@@ -253,7 +256,10 @@ impl Graph {
     /// Returns [`GraphError::LayerSizeMismatch`] if the vertex counts differ.
     pub fn union(&self, other: &Graph) -> Result<Graph> {
         if self.n != other.n {
-            return Err(GraphError::LayerSizeMismatch { g: self.n, g_prime: other.n });
+            return Err(GraphError::LayerSizeMismatch {
+                g: self.n,
+                g_prime: other.n,
+            });
         }
         let mut g = self.clone();
         for e in other.edges() {
@@ -305,7 +311,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder for a graph with `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: BTreeSet::new() }
+        GraphBuilder {
+            n,
+            edges: BTreeSet::new(),
+        }
     }
 
     /// Adds an undirected edge by raw index; duplicates are ignored.
@@ -399,7 +408,12 @@ mod tests {
     fn add_edge_rejects_self_loop() {
         let mut g = Graph::empty(3);
         let err = g.add_edge(NodeId::new(1), NodeId::new(1)).unwrap_err();
-        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+        assert_eq!(
+            err,
+            GraphError::SelfLoop {
+                node: NodeId::new(1)
+            }
+        );
     }
 
     #[test]
@@ -418,7 +432,11 @@ mod tests {
         g.add_edge(NodeId::new(2), NodeId::new(4)).unwrap();
         g.add_edge(NodeId::new(2), NodeId::new(0)).unwrap();
         g.add_edge(NodeId::new(2), NodeId::new(3)).unwrap();
-        let nbrs: Vec<usize> = g.neighbors(NodeId::new(2)).iter().map(|v| v.index()).collect();
+        let nbrs: Vec<usize> = g
+            .neighbors(NodeId::new(2))
+            .iter()
+            .map(|v| v.index())
+            .collect();
         assert_eq!(nbrs, vec![0, 3, 4]);
     }
 
@@ -452,7 +470,10 @@ mod tests {
     fn union_rejects_size_mismatch() {
         let a = Graph::empty(3);
         let b = Graph::empty(4);
-        assert!(matches!(a.union(&b), Err(GraphError::LayerSizeMismatch { .. })));
+        assert!(matches!(
+            a.union(&b),
+            Err(GraphError::LayerSizeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -461,7 +482,10 @@ mod tests {
         let big = GraphBuilder::new(4).edge(0, 1).edge(1, 2).build().unwrap();
         assert!(small.is_subgraph_of(&big));
         assert!(!big.is_subgraph_of(&small));
-        assert_eq!(big.first_missing_in(&small), Some((NodeId::new(1), NodeId::new(2))));
+        assert_eq!(
+            big.first_missing_in(&small),
+            Some((NodeId::new(1), NodeId::new(2)))
+        );
         assert_eq!(small.first_missing_in(&big), None);
     }
 

@@ -196,7 +196,10 @@ mod tests {
     use crate::graph::GraphBuilder;
 
     fn path(n: usize) -> Graph {
-        GraphBuilder::new(n).edges((1..n).map(|i| (i - 1, i))).build().unwrap()
+        GraphBuilder::new(n)
+            .edges((1..n).map(|i| (i - 1, i)))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -267,7 +270,10 @@ mod tests {
 
     #[test]
     fn degree_stats_on_star() {
-        let g = GraphBuilder::new(5).edges((1..5).map(|i| (0, i))).build().unwrap();
+        let g = GraphBuilder::new(5)
+            .edges((1..5).map(|i| (0, i)))
+            .build()
+            .unwrap();
         let stats = degree_stats(&g);
         assert_eq!(stats.min, 1);
         assert_eq!(stats.max, 4);

@@ -109,7 +109,12 @@ impl RegionDecomposition {
             adjacent.sort_unstable();
             neighbors.insert(region, adjacent);
         }
-        Ok(RegionDecomposition { node_region, members, neighbors, r })
+        Ok(RegionDecomposition {
+            node_region,
+            members,
+            neighbors,
+            r,
+        })
     }
 
     /// The geographic parameter the decomposition was built for.
@@ -145,7 +150,10 @@ impl RegionDecomposition {
     /// Neighboring regions of `region` (regions containing a `G'` neighbor of
     /// one of its members).
     pub fn neighboring_regions(&self, region: RegionId) -> &[RegionId] {
-        self.neighbors.get(&region).map(Vec::as_slice).unwrap_or(&[])
+        self.neighbors
+            .get(&region)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Iterates over all non-empty regions.
@@ -248,7 +256,10 @@ mod tests {
     fn gamma_bound_grows_with_r_but_is_constant_in_n() {
         assert!(RegionDecomposition::gamma_bound(1.0) < RegionDecomposition::gamma_bound(3.0));
         // Same r, different networks: the bound does not depend on n.
-        assert_eq!(RegionDecomposition::gamma_bound(1.5), RegionDecomposition::gamma_bound(1.5));
+        assert_eq!(
+            RegionDecomposition::gamma_bound(1.5),
+            RegionDecomposition::gamma_bound(1.5)
+        );
     }
 
     #[test]

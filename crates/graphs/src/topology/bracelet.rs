@@ -147,7 +147,9 @@ pub fn bracelet_with_clasp(k: usize, t: usize) -> Result<Bracelet> {
     let mut bands_b = Vec::with_capacity(k);
     for (side_offset, bands) in [(0usize, &mut bands_a), (k * k, &mut bands_b)] {
         for band in 0..k {
-            let nodes: Vec<NodeId> = (0..k).map(|pos| band_node(side_offset, band, pos)).collect();
+            let nodes: Vec<NodeId> = (0..k)
+                .map(|pos| band_node(side_offset, band, pos))
+                .collect();
             for pair in nodes.windows(2) {
                 g.add_edge(pair[0], pair[1])?;
             }
@@ -182,9 +184,14 @@ pub fn bracelet_with_clasp(k: usize, t: usize) -> Result<Bracelet> {
         }
     }
 
-    let dual = DualGraph::new(g, g_prime)?
-        .with_name(format!("bracelet(k={k}, n={n}, clasp={t})"));
-    Ok(Bracelet { dual, bands_a, bands_b, clasp, k })
+    let dual = DualGraph::new(g, g_prime)?.with_name(format!("bracelet(k={k}, n={n}, clasp={t})"));
+    Ok(Bracelet {
+        dual,
+        bands_a,
+        bands_b,
+        clasp,
+        k,
+    })
 }
 
 #[cfg(test)]
@@ -254,7 +261,10 @@ mod tests {
         let a1 = b.heads_a()[0];
         let nbrs: Vec<NodeId> = b.dual().g_prime_neighbors(a1).to_vec();
         let independent = properties::greedy_independent_subset(b.dual().g_prime(), &nbrs);
-        assert!(independent >= k - 1, "independence {independent} too small for k = {k}");
+        assert!(
+            independent >= k - 1,
+            "independence {independent} too small for k = {k}"
+        );
     }
 
     #[test]
@@ -276,7 +286,10 @@ mod tests {
                 assert!(b.dual().g().has_edge(pair[0], pair[1]));
             }
             // Heads are not G-adjacent to interior nodes of other bands.
-            assert_eq!(b.dual().g().degree(band[0]).min(4), b.dual().g().degree(band[0]).min(4));
+            assert_eq!(
+                b.dual().g().degree(band[0]).min(4),
+                b.dual().g().degree(band[0]).min(4)
+            );
         }
     }
 

@@ -91,7 +91,7 @@ impl DualClique {
 /// # Ok::<(), dradio_graphs::GraphError>(())
 /// ```
 pub fn dual_clique(n: usize) -> Result<DualGraph> {
-    if n < 4 || n % 2 != 0 {
+    if n < 4 || !n.is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             reason: format!("dual clique requires even n >= 4, got {n}"),
         });
@@ -112,7 +112,7 @@ pub fn dual_clique(n: usize) -> Result<DualGraph> {
 /// Returns [`GraphError::InvalidParameter`] if `n` is odd, `n < 4`, or the
 /// bridge endpoints are on the wrong sides.
 pub fn dual_clique_with_bridge(n: usize, t_a: usize, t_b: usize) -> Result<DualClique> {
-    if n < 4 || n % 2 != 0 {
+    if n < 4 || !n.is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             reason: format!("dual clique requires even n >= 4, got {n}"),
         });
@@ -138,8 +138,8 @@ pub fn dual_clique_with_bridge(n: usize, t_a: usize, t_b: usize) -> Result<DualC
     }
     g.add_edge(NodeId::new(t_a), NodeId::new(t_b))?;
     let g_prime = Graph::complete(n);
-    let dual = DualGraph::new(g, g_prime)?
-        .with_name(format!("dual-clique(n={n}, bridge=({t_a},{t_b}))"));
+    let dual =
+        DualGraph::new(g, g_prime)?.with_name(format!("dual-clique(n={n}, bridge=({t_a},{t_b}))"));
     Ok(DualClique {
         dual,
         a: (0..half).map(NodeId::new).collect(),

@@ -33,7 +33,12 @@ pub struct GeometricConfig {
 impl GeometricConfig {
     /// Creates a configuration with the default attempt budget (200).
     pub fn new(n: usize, side: f64, r: f64) -> Self {
-        GeometricConfig { n, side, r, max_attempts: 200 }
+        GeometricConfig {
+            n,
+            side,
+            r,
+            max_attempts: 200,
+        }
     }
 
     /// Sets the attempt budget for sampling a connected deployment.
@@ -44,7 +49,9 @@ impl GeometricConfig {
 
     fn validate(&self) -> Result<()> {
         if self.n == 0 {
-            return Err(GraphError::InvalidParameter { reason: "n must be >= 1".into() });
+            return Err(GraphError::InvalidParameter {
+                reason: "n must be >= 1".into(),
+            });
         }
         if self.r < 1.0 {
             return Err(GraphError::InvalidParameter {
@@ -120,12 +127,20 @@ pub fn random_geometric<R: Rng + ?Sized>(
     config.validate()?;
     for _ in 0..config.max_attempts {
         let points: Vec<Point> = (0..config.n)
-            .map(|_| Point::new(rng.gen_range(0.0..config.side), rng.gen_range(0.0..config.side)))
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..config.side),
+                    rng.gen_range(0.0..config.side),
+                )
+            })
             .collect();
         let dual = dual_from_points(
             points,
             config.r,
-            format!("geometric(n={}, side={:.1}, r={:.1})", config.n, config.side, config.r),
+            format!(
+                "geometric(n={}, side={:.1}, r={:.1})",
+                config.n, config.side, config.r
+            ),
         )?;
         if properties::is_connected(dual.g()) {
             return Ok(dual);
@@ -164,7 +179,11 @@ pub fn grid_geometric(cols: usize, rows: usize, spacing: f64, r: f64) -> Result<
             points.push(Point::new(col as f64 * spacing, row as f64 * spacing));
         }
     }
-    dual_from_points(points, r, format!("grid-geometric({cols}x{rows}, s={spacing:.2}, r={r:.1})"))
+    dual_from_points(
+        points,
+        r,
+        format!("grid-geometric({cols}x{rows}, s={spacing:.2}, r={r:.1})"),
+    )
 }
 
 #[cfg(test)]
@@ -212,7 +231,10 @@ mod tests {
         // 3 nodes in a 100x100 area will essentially never form a connected
         // unit-disk graph.
         let cfg = GeometricConfig::new(3, 100.0, 1.0).with_max_attempts(5);
-        assert_eq!(random_geometric(&cfg, &mut rng).unwrap_err(), GraphError::Disconnected);
+        assert_eq!(
+            random_geometric(&cfg, &mut rng).unwrap_err(),
+            GraphError::Disconnected
+        );
     }
 
     #[test]
@@ -246,7 +268,11 @@ mod tests {
 
     #[test]
     fn dual_from_points_respects_thresholds() {
-        let points = vec![Point::new(0.0, 0.0), Point::new(0.9, 0.0), Point::new(2.4, 0.0)];
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.9, 0.0),
+            Point::new(2.4, 0.0),
+        ];
         let dual = dual_from_points(points, 1.6, "manual").unwrap();
         let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
         assert!(dual.g().has_edge(a, b)); // distance 0.9 <= 1

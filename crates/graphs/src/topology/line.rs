@@ -22,7 +22,9 @@ use crate::Result;
 /// ```
 pub fn line(n: usize) -> Result<DualGraph> {
     if n == 0 {
-        return Err(GraphError::InvalidParameter { reason: "line requires n >= 1".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "line requires n >= 1".into(),
+        });
     }
     let mut g = Graph::empty(n);
     for i in 1..n {
@@ -38,7 +40,9 @@ pub fn line(n: usize) -> Result<DualGraph> {
 /// Returns [`GraphError::InvalidParameter`] if `n < 3`.
 pub fn ring(n: usize) -> Result<DualGraph> {
     if n < 3 {
-        return Err(GraphError::InvalidParameter { reason: "ring requires n >= 3".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "ring requires n >= 3".into(),
+        });
     }
     let mut g = Graph::empty(n);
     for i in 0..n {
@@ -58,7 +62,9 @@ pub fn ring(n: usize) -> Result<DualGraph> {
 /// Returns [`GraphError::InvalidParameter`] if `n < 2`.
 pub fn star(n: usize) -> Result<DualGraph> {
     if n < 2 {
-        return Err(GraphError::InvalidParameter { reason: "star requires n >= 2".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "star requires n >= 2".into(),
+        });
     }
     let mut g = Graph::empty(n);
     for i in 1..n {
@@ -154,7 +160,10 @@ mod tests {
         assert_eq!(d.len(), 20);
         assert!(properties::is_connected(d.g()));
         let diam = properties::diameter(d.g()).unwrap();
-        assert!(diam >= 4 && diam <= 2 * 4 + 2, "diameter {diam} out of expected range");
+        assert!(
+            (4..=2 * 4 + 2).contains(&diam),
+            "diameter {diam} out of expected range"
+        );
         assert!(line_of_cliques(0, 3).is_err());
         assert!(line_of_cliques(3, 0).is_err());
     }

@@ -22,7 +22,7 @@ mod line;
 mod random;
 mod tree;
 
-pub use bracelet::{bracelet, Bracelet};
+pub use bracelet::{bracelet, bracelet_with_clasp, Bracelet};
 pub use clique::{clique, dual_clique, dual_clique_with_bridge, DualClique};
 pub use geometric::{grid_geometric, random_geometric, GeometricConfig};
 pub use grid::{grid, torus};

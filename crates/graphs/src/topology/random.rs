@@ -63,7 +63,9 @@ pub fn erdos_renyi_dual<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<DualGraph> {
     if n == 0 {
-        return Err(GraphError::InvalidParameter { reason: "n must be >= 1".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "n must be >= 1".into(),
+        });
     }
     if !(0.0..=1.0).contains(&p_dynamic) {
         return Err(GraphError::InvalidParameter {
@@ -89,7 +91,9 @@ pub fn erdos_renyi_dual<R: Rng + ?Sized>(
         }
     }
     DualGraph::new(g, g_prime).map(|d| {
-        d.with_name(format!("erdos-renyi(n={n}, p={p_reliable:.2}, q={p_dynamic:.2})"))
+        d.with_name(format!(
+            "erdos-renyi(n={n}, p={p_reliable:.2}, q={p_dynamic:.2})"
+        ))
     })
 }
 

@@ -38,9 +38,11 @@ pub fn balanced_tree(branching: usize, depth: usize) -> Result<DualGraph> {
     let mut n: usize = 0;
     let mut level: usize = 1;
     for _ in 0..=depth {
-        n = n.checked_add(level).ok_or_else(|| GraphError::InvalidParameter {
-            reason: "tree too large".into(),
-        })?;
+        n = n
+            .checked_add(level)
+            .ok_or_else(|| GraphError::InvalidParameter {
+                reason: "tree too large".into(),
+            })?;
         level = level.saturating_mul(branching);
         if n > (1 << 22) {
             return Err(GraphError::InvalidParameter {

@@ -1,0 +1,281 @@
+//! Declarative adversary (link process) specifications.
+
+use dradio_adversary::{
+    BraceletOblivious, DecayAwareOblivious, DenseSparseOnline, GilbertElliottLinks,
+    GreedyCollisionOnline, IidLinks, OmniscientOffline, ScheduleLinks,
+};
+use dradio_graphs::{Edge, NodeId};
+use dradio_sim::{AdversaryClass, LinkProcess, StaticLinks};
+
+use crate::error::{Result, ScenarioError};
+use crate::topology::BuiltTopology;
+
+/// Every link process in [`dradio_adversary`] (plus the degenerate
+/// [`StaticLinks`] baselines from [`dradio_sim`]), as a pure, serializable
+/// value.
+///
+/// Adversaries are stateful, so a spec is a *recipe*: the runner builds one
+/// fresh link process per trial from it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdversarySpec {
+    /// Never activate a dynamic edge: the static protocol model over `G`.
+    StaticNone,
+    /// Activate every dynamic edge every round: the protocol model over `G'`.
+    StaticAll,
+    /// Each dynamic edge present i.i.d. with probability `p` each round.
+    Iid {
+        /// Per-round, per-edge activation probability.
+        p: f64,
+    },
+    /// Bursty per-edge Gilbert–Elliott on/off chains.
+    GilbertElliott {
+        /// Probability a good edge turns bad each round.
+        p_fail: f64,
+        /// Probability a bad edge recovers each round.
+        p_recover: f64,
+    },
+    /// An arbitrary precomputed schedule: round `r` activates the dynamic
+    /// edges listed at index `r` (cycling past the end).
+    Schedule {
+        /// Per-round lists of `(u, v)` node-index pairs to activate.
+        rounds: Vec<Vec<(usize, usize)>>,
+    },
+    /// The Section 4.1 schedule-aware attack on fixed-order Decay.
+    DecayAware {
+        /// Decay levels the victim cycles through; `None` derives
+        /// `⌈log₂ n⌉` from the network size at build time.
+        levels: Option<usize>,
+        /// Node indices the attacker assumes may transmit; empty means
+        /// "derive from the role assignment at execution start".
+        assumed_transmitters: Vec<usize>,
+    },
+    /// The Theorem 4.3 isolated-broadcast-function attacker. Only valid on
+    /// bracelet topologies (it needs the band structure).
+    BraceletAttack,
+    /// The Theorem 3.1 dense/sparse expectation-threshold online attacker.
+    DenseSparse {
+        /// Density threshold factor; `None` uses the attacker's default.
+        density_factor: Option<f64>,
+    },
+    /// The frontier collision online attacker.
+    GreedyCollision,
+    /// The omniscient offline blocker (sees the round's actions).
+    Omniscient,
+    /// A link process supplied directly through
+    /// [`ScenarioBuilder::custom_adversary`](crate::ScenarioBuilder::custom_adversary).
+    ///
+    /// The name is recorded for serialized specs; the closure itself is not
+    /// serialized, so building a deserialized `Custom` spec fails with
+    /// [`ScenarioError::CustomUnavailable`] unless re-attached.
+    Custom {
+        /// Descriptive name of the attached link process.
+        name: String,
+    },
+}
+
+serde::serde_enum!(AdversarySpec {
+    StaticNone,
+    StaticAll,
+    Iid { p: f64 },
+    GilbertElliott { p_fail: f64, p_recover: f64 },
+    Schedule { rounds: Vec<Vec<(usize, usize)>> },
+    DecayAware { levels: Option<usize>, assumed_transmitters: Vec<usize> },
+    BraceletAttack,
+    DenseSparse { density_factor: Option<f64> },
+    GreedyCollision,
+    Omniscient,
+    Custom { name: String },
+});
+
+impl AdversarySpec {
+    /// A short human-readable label for tables and traces.
+    pub fn label(&self) -> String {
+        match self {
+            AdversarySpec::StaticNone => "static-none".into(),
+            AdversarySpec::StaticAll => "static-all".into(),
+            AdversarySpec::Iid { p } => format!("iid({p})"),
+            AdversarySpec::GilbertElliott { p_fail, p_recover } => {
+                format!("bursty({p_fail},{p_recover})")
+            }
+            AdversarySpec::Schedule { rounds } => format!("schedule({} rounds)", rounds.len()),
+            AdversarySpec::DecayAware { .. } => "decay-aware".into(),
+            AdversarySpec::BraceletAttack => "bracelet-oblivious".into(),
+            AdversarySpec::DenseSparse { .. } => "dense-sparse".into(),
+            AdversarySpec::GreedyCollision => "greedy-collision".into(),
+            AdversarySpec::Omniscient => "omniscient-offline".into(),
+            AdversarySpec::Custom { name } => format!("custom({name})"),
+        }
+    }
+
+    /// The capability class the built adversary will declare, when it is
+    /// known from the spec alone (`None` for [`AdversarySpec::Custom`]).
+    pub fn class(&self) -> Option<AdversaryClass> {
+        match self {
+            AdversarySpec::StaticNone
+            | AdversarySpec::StaticAll
+            | AdversarySpec::Iid { .. }
+            | AdversarySpec::GilbertElliott { .. }
+            | AdversarySpec::Schedule { .. }
+            | AdversarySpec::DecayAware { .. }
+            | AdversarySpec::BraceletAttack => Some(AdversaryClass::Oblivious),
+            AdversarySpec::DenseSparse { .. } | AdversarySpec::GreedyCollision => {
+                Some(AdversaryClass::OnlineAdaptive)
+            }
+            AdversarySpec::Omniscient => Some(AdversaryClass::OfflineAdaptive),
+            AdversarySpec::Custom { .. } => None,
+        }
+    }
+
+    /// Builds one fresh link process for a trial on `topology`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScenarioError::Incompatible`] if the spec needs construction
+    ///   metadata the topology does not carry (bracelet attack elsewhere).
+    /// * [`ScenarioError::CustomUnavailable`] for [`AdversarySpec::Custom`].
+    pub fn build(&self, topology: &BuiltTopology) -> Result<Box<dyn LinkProcess>> {
+        Ok(match self {
+            AdversarySpec::StaticNone => Box::new(StaticLinks::none()),
+            AdversarySpec::StaticAll => Box::new(StaticLinks::all()),
+            AdversarySpec::Iid { p } => Box::new(IidLinks::new(*p)),
+            AdversarySpec::GilbertElliott { p_fail, p_recover } => {
+                Box::new(GilbertElliottLinks::new(*p_fail, *p_recover))
+            }
+            AdversarySpec::Schedule { rounds } => {
+                let schedule: Vec<Vec<Edge>> = rounds
+                    .iter()
+                    .map(|round| {
+                        round
+                            .iter()
+                            .map(|&(u, v)| Edge::new(NodeId::new(u), NodeId::new(v)))
+                            .collect()
+                    })
+                    .collect();
+                Box::new(ScheduleLinks::new(schedule))
+            }
+            AdversarySpec::DecayAware {
+                levels,
+                assumed_transmitters,
+            } => {
+                let attacker = match levels {
+                    Some(levels) => DecayAwareOblivious::new(*levels),
+                    None => DecayAwareOblivious::for_network(topology.len()),
+                };
+                if assumed_transmitters.is_empty() {
+                    Box::new(attacker)
+                } else {
+                    let nodes: Vec<NodeId> = assumed_transmitters
+                        .iter()
+                        .map(|&i| NodeId::new(i))
+                        .collect();
+                    Box::new(attacker.assuming_transmitters(nodes))
+                }
+            }
+            AdversarySpec::BraceletAttack => {
+                let bracelet =
+                    topology
+                        .bracelet
+                        .as_ref()
+                        .ok_or_else(|| ScenarioError::Incompatible {
+                            reason: "the bracelet attack needs a bracelet topology (its band \
+                                 structure drives the pre-simulation)"
+                                .into(),
+                        })?;
+                Box::new(BraceletOblivious::new(bracelet))
+            }
+            AdversarySpec::DenseSparse { density_factor } => match density_factor {
+                Some(f) => Box::new(DenseSparseOnline::new(*f)),
+                None => Box::new(DenseSparseOnline::default()),
+            },
+            AdversarySpec::GreedyCollision => Box::new(GreedyCollisionOnline::new()),
+            AdversarySpec::Omniscient => Box::new(OmniscientOffline::new()),
+            AdversarySpec::Custom { .. } => {
+                return Err(ScenarioError::CustomUnavailable { what: "adversary" });
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologySpec;
+
+    fn all_declarative() -> Vec<AdversarySpec> {
+        vec![
+            AdversarySpec::StaticNone,
+            AdversarySpec::StaticAll,
+            AdversarySpec::Iid { p: 0.5 },
+            AdversarySpec::GilbertElliott {
+                p_fail: 0.1,
+                p_recover: 0.1,
+            },
+            AdversarySpec::Schedule {
+                rounds: vec![vec![(0, 5)], vec![]],
+            },
+            AdversarySpec::DecayAware {
+                levels: None,
+                assumed_transmitters: vec![0, 1],
+            },
+            AdversarySpec::DenseSparse {
+                density_factor: None,
+            },
+            AdversarySpec::GreedyCollision,
+            AdversarySpec::Omniscient,
+        ]
+    }
+
+    #[test]
+    fn every_declarative_spec_builds_on_the_dual_clique() {
+        let topo = TopologySpec::DualClique { n: 8 }.build().unwrap();
+        for spec in all_declarative() {
+            let link = spec
+                .build(&topo)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", spec.label()));
+            assert_eq!(
+                Some(link.class()),
+                spec.class(),
+                "{} class mismatch",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn bracelet_attack_needs_a_bracelet() {
+        let clique = TopologySpec::DualClique { n: 8 }.build().unwrap();
+        let err = match AdversarySpec::BraceletAttack.build(&clique) {
+            Err(e) => e,
+            Ok(_) => panic!("bracelet attack must be rejected on a clique"),
+        };
+        assert!(matches!(err, ScenarioError::Incompatible { .. }));
+
+        let bracelet = TopologySpec::Bracelet { k: 3 }.build().unwrap();
+        let link = AdversarySpec::BraceletAttack.build(&bracelet).unwrap();
+        assert_eq!(link.class(), AdversaryClass::Oblivious);
+    }
+
+    #[test]
+    fn every_capability_class_is_represented() {
+        let classes: Vec<AdversaryClass> = all_declarative()
+            .iter()
+            .filter_map(AdversarySpec::class)
+            .collect();
+        for class in [
+            AdversaryClass::Oblivious,
+            AdversaryClass::OnlineAdaptive,
+            AdversaryClass::OfflineAdaptive,
+        ] {
+            assert!(classes.contains(&class), "{class} not covered by any spec");
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_serde() {
+        for spec in all_declarative() {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: AdversarySpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Errors produced while resolving or running a scenario.
+
+use std::fmt;
+
+use dradio_graphs::GraphError;
+use dradio_sim::SimError;
+
+/// Everything that can go wrong while building or running a [`Scenario`].
+///
+/// [`Scenario`]: crate::Scenario
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A required builder component was never supplied.
+    Missing {
+        /// Which component is missing ("algorithm", "problem", …).
+        what: &'static str,
+    },
+    /// Two supplied components cannot be combined (e.g. a global algorithm
+    /// with a local problem, or a bracelet attack on a non-bracelet
+    /// topology).
+    Incompatible {
+        /// Human-readable explanation of the conflict.
+        reason: String,
+    },
+    /// A spec variant that carries an attached runtime value (custom
+    /// topology, custom factory) was built without that value — typically
+    /// after deserializing a spec that was never serializable in full.
+    CustomUnavailable {
+        /// Which custom component is unavailable.
+        what: &'static str,
+    },
+    /// The topology generator rejected its parameters.
+    Topology(GraphError),
+    /// The simulator rejected the assembled components.
+    Sim(SimError),
+    /// `run_trials` was asked for zero trials; an empty measurement has no
+    /// meaningful summary, so the runner refuses instead of returning NaN-free
+    /// zeros.
+    NoTrials,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Missing { what } => {
+                write!(f, "scenario is missing its {what}")
+            }
+            ScenarioError::Incompatible { reason } => {
+                write!(f, "incompatible scenario components: {reason}")
+            }
+            ScenarioError::CustomUnavailable { what } => {
+                write!(
+                    f,
+                    "the scenario spec names a custom {what} but no {what} value is attached; \
+                     custom components must be re-attached through the builder"
+                )
+            }
+            ScenarioError::Topology(e) => write!(f, "topology construction failed: {e}"),
+            ScenarioError::Sim(e) => write!(f, "simulation construction failed: {e}"),
+            ScenarioError::NoTrials => {
+                write!(f, "run_trials requires at least one trial (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Topology(e) => Some(e),
+            ScenarioError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ScenarioError {
+    fn from(e: GraphError) -> Self {
+        ScenarioError::Topology(e)
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(e: SimError) -> Self {
+        ScenarioError::Sim(e)
+    }
+}
+
+/// Convenient result alias for fallible scenario operations.
+pub type Result<T> = std::result::Result<T, ScenarioError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(ScenarioError, &str)> = vec![
+            (
+                ScenarioError::Missing { what: "algorithm" },
+                "missing its algorithm",
+            ),
+            (
+                ScenarioError::Incompatible { reason: "x".into() },
+                "incompatible scenario components",
+            ),
+            (
+                ScenarioError::CustomUnavailable { what: "topology" },
+                "custom topology",
+            ),
+            (ScenarioError::NoTrials, "at least one trial"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+        }
+    }
+}

@@ -108,7 +108,11 @@ mod tests {
         let r = Feedback::Received(msg());
         assert!(r.is_reception());
         assert_eq!(r.message(), Some(&msg()));
-        for f in [Feedback::Silence, Feedback::Collision, Feedback::Transmitted] {
+        for f in [
+            Feedback::Silence,
+            Feedback::Collision,
+            Feedback::Transmitted,
+        ] {
             assert!(!f.is_reception());
             assert_eq!(f.message(), None);
         }

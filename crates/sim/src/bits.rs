@@ -41,19 +41,22 @@ impl BitString {
 
     /// Generates `len` bits of uniform and independent randomness from `rng`.
     pub fn random(len: usize, rng: &mut dyn RngCore) -> Self {
-        let word_count = (len + 63) / 64;
+        let word_count = len.div_ceil(64);
         let mut words = Vec::with_capacity(word_count);
         for _ in 0..word_count {
             words.push(rng.next_u64());
         }
         // Zero the unused tail bits so equality is structural.
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = words.last_mut() {
                 let keep = len % 64;
                 *last &= (1u64 << keep) - 1;
             }
         }
-        BitString { words: Arc::new(words), len }
+        BitString {
+            words: Arc::new(words),
+            len,
+        }
     }
 
     /// Builds a bit string from booleans (index 0 first).
@@ -61,7 +64,7 @@ impl BitString {
         let mut words = Vec::new();
         let mut len = 0usize;
         for b in bools {
-            if len % 64 == 0 {
+            if len.is_multiple_of(64) {
                 words.push(0u64);
             }
             if b {
@@ -70,7 +73,10 @@ impl BitString {
             }
             len += 1;
         }
-        BitString { words: Arc::new(words), len }
+        BitString {
+            words: Arc::new(words),
+            len,
+        }
     }
 
     /// Number of bits.
@@ -109,12 +115,18 @@ impl BitString {
 
     /// Creates a cursor that consumes the string from the beginning.
     pub fn reader(&self) -> BitReader {
-        BitReader { bits: self.clone(), pos: 0 }
+        BitReader {
+            bits: self.clone(),
+            pos: 0,
+        }
     }
 
     /// Creates a cursor positioned at bit `start`.
     pub fn reader_at(&self, start: usize) -> BitReader {
-        BitReader { bits: self.clone(), pos: start.min(self.len) }
+        BitReader {
+            bits: self.clone(),
+            pos: start.min(self.len),
+        }
     }
 }
 
@@ -124,7 +136,15 @@ impl fmt::Debug for BitString {
         if self.len <= 32 {
             write!(f, ", bits=")?;
             for i in 0..self.len {
-                write!(f, "{}", if self.bit(i).expect("in range") { '1' } else { '0' })?;
+                write!(
+                    f,
+                    "{}",
+                    if self.bit(i).expect("in range") {
+                        '1'
+                    } else {
+                        '0'
+                    }
+                )?;
             }
         }
         write!(f, ")")

@@ -23,7 +23,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_rounds: 100_000, seed: 0, collision_detection: false }
+        SimConfig {
+            max_rounds: 100_000,
+            seed: 0,
+            collision_detection: false,
+        }
     }
 }
 
@@ -78,7 +82,9 @@ impl SimConfig {
     /// Returns [`SimError::InvalidConfig`] if the horizon is zero.
     pub fn validate(&self) -> Result<()> {
         if self.max_rounds == 0 {
-            return Err(SimError::InvalidConfig { reason: "max_rounds must be at least 1".into() });
+            return Err(SimError::InvalidConfig {
+                reason: "max_rounds must be at least 1".into(),
+            });
         }
         Ok(())
     }
@@ -112,6 +118,9 @@ mod tests {
     #[test]
     fn zero_horizon_is_rejected() {
         let cfg = SimConfig::default().with_max_rounds(0);
-        assert!(matches!(cfg.validate(), Err(SimError::InvalidConfig { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimError::InvalidConfig { .. })
+        ));
     }
 }

@@ -44,8 +44,10 @@ impl ExecutionOutcome {
 }
 
 /// Derives a per-stream seed from the master seed (splitmix64 finalizer, so
-/// adjacent node indices get uncorrelated streams).
-fn derive_seed(master: u64, stream: u64) -> u64 {
+/// adjacent stream indices get uncorrelated streams). The engine uses it for
+/// per-node and adversary random streams; the scenario runner reuses it to
+/// derive independent per-trial master seeds.
+pub fn derive_stream_seed(master: u64, stream: u64) -> u64 {
     let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -91,7 +93,10 @@ impl Simulator {
             return Err(SimError::EmptyNetwork);
         }
         if assignment.len() != n {
-            return Err(SimError::AssignmentSizeMismatch { network: n, assignment: assignment.len() });
+            return Err(SimError::AssignmentSizeMismatch {
+                network: n,
+                assignment: assignment.len(),
+            });
         }
         let max_degree = dual.max_degree();
         let mut processes = Vec::with_capacity(n);
@@ -99,10 +104,22 @@ impl Simulator {
         for u in NodeId::all(n) {
             let ctx = ProcessContext::new(u, n, max_degree, assignment.role(u));
             processes.push(factory(&ctx));
-            node_rngs.push(ChaCha8Rng::seed_from_u64(derive_seed(config.seed(), u.index() as u64)));
+            node_rngs.push(ChaCha8Rng::seed_from_u64(derive_stream_seed(
+                config.seed(),
+                u.index() as u64,
+            )));
         }
-        let adversary_rng = ChaCha8Rng::seed_from_u64(derive_seed(config.seed(), u64::MAX));
-        Ok(Simulator { dual, processes, link, node_rngs, adversary_rng, config, factory, assignment })
+        let adversary_rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(config.seed(), u64::MAX));
+        Ok(Simulator {
+            dual,
+            processes,
+            link,
+            node_rngs,
+            adversary_rng,
+            config,
+            factory,
+            assignment,
+        })
     }
 
     /// The network being simulated.
@@ -175,7 +192,12 @@ impl Simulator {
             let transmit_probs: Option<Vec<f64>> = if class == AdversaryClass::Oblivious {
                 None
             } else {
-                Some(self.processes.iter().map(|p| p.transmit_probability(round)).collect())
+                Some(
+                    self.processes
+                        .iter()
+                        .map(|p| p.transmit_probability(round))
+                        .collect(),
+                )
             };
 
             // 2. Processes pick their actions using their private coins.
@@ -203,7 +225,8 @@ impl Simulator {
             let mut active_edges: Vec<Edge> = Vec::with_capacity(decision.len());
             for edge in decision.edges() {
                 let (u, v) = edge.endpoints();
-                let is_dynamic = self.dual.g_prime().has_edge(u, v) && !self.dual.g().has_edge(u, v);
+                let is_dynamic =
+                    self.dual.g_prime().has_edge(u, v) && !self.dual.g().has_edge(u, v);
                 if is_dynamic && !active_edges.contains(edge) {
                     active_edges.push(*edge);
                 } else if !is_dynamic {
@@ -239,7 +262,12 @@ impl Simulator {
                 }
                 let mut heard: Option<(NodeId, &crate::message::Message)> = None;
                 let mut count = 0usize;
-                for &v in self.dual.g_neighbors(u).iter().chain(extra_adjacency[u.index()].iter()) {
+                for &v in self
+                    .dual
+                    .g_neighbors(u)
+                    .iter()
+                    .chain(extra_adjacency[u.index()].iter())
+                {
                     if let Some(m) = transmitting[v.index()] {
                         count += 1;
                         heard = Some((v, m));
@@ -253,7 +281,11 @@ impl Simulator {
                     1 => {
                         let (sender, message) = heard.expect("count == 1 implies a sender");
                         metrics.deliveries += 1;
-                        deliveries.push(Delivery { receiver: u, sender, message: message.clone() });
+                        deliveries.push(Delivery {
+                            receiver: u,
+                            sender,
+                            message: message.clone(),
+                        });
                         Feedback::Received(message.clone())
                     }
                     _ => {
@@ -275,7 +307,12 @@ impl Simulator {
 
             // 6. Record and evaluate the stop condition.
             tracker.observe(&deliveries);
-            history.push(RoundRecord { round, transmitters, active_dynamic_edges: active_edges, deliveries });
+            history.push(RoundRecord {
+                round,
+                transmitters,
+                active_dynamic_edges: active_edges,
+                deliveries,
+            });
             metrics.rounds = rounds_executed;
 
             if tracker.is_done() {
@@ -645,7 +682,10 @@ mod tests {
             dual,
             beacon_factory(),
             Assignment::global(3, NodeId::new(0)),
-            Box::new(SharedSpy { class, flags: flags.clone() }),
+            Box::new(SharedSpy {
+                class,
+                flags: flags.clone(),
+            }),
             SimConfig::default().with_max_rounds(2),
         )
         .unwrap();
@@ -657,11 +697,22 @@ mod tests {
     #[test]
     fn adversary_views_are_scoped_by_class() {
         // Silence the unused-struct warning for the illustrative ViewSpy.
-        let _ = ViewSpy { class: AdversaryClass::Oblivious, saw_history: false, saw_probs: false, saw_actions: false };
+        let _ = ViewSpy {
+            class: AdversaryClass::Oblivious,
+            saw_history: false,
+            saw_probs: false,
+            saw_actions: false,
+        };
 
         assert_eq!(spy_views(AdversaryClass::Oblivious), (false, false, false));
-        assert_eq!(spy_views(AdversaryClass::OnlineAdaptive), (true, true, false));
-        assert_eq!(spy_views(AdversaryClass::OfflineAdaptive), (true, true, true));
+        assert_eq!(
+            spy_views(AdversaryClass::OnlineAdaptive),
+            (true, true, false)
+        );
+        assert_eq!(
+            spy_views(AdversaryClass::OfflineAdaptive),
+            (true, true, true)
+        );
     }
 
     #[test]

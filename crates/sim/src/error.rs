@@ -31,7 +31,10 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::AssignmentSizeMismatch { network, assignment } => write!(
+            SimError::AssignmentSizeMismatch {
+                network,
+                assignment,
+            } => write!(
                 f,
                 "role assignment covers {assignment} nodes but the network has {network}"
             ),
@@ -52,11 +55,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::AssignmentSizeMismatch { network: 5, assignment: 3 };
+        let e = SimError::AssignmentSizeMismatch {
+            network: 5,
+            assignment: 3,
+        };
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains('3'));
         assert!(!SimError::EmptyNetwork.to_string().is_empty());
-        assert!(SimError::InvalidConfig { reason: "x".into() }.to_string().contains('x'));
+        assert!(SimError::InvalidConfig { reason: "x".into() }
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

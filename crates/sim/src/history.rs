@@ -49,7 +49,10 @@ pub struct History {
 impl History {
     /// Creates an empty history for a network of `n` nodes.
     pub fn new(n: usize) -> Self {
-        History { n, records: Vec::new() }
+        History {
+            n,
+            records: Vec::new(),
+        }
     }
 
     /// Number of nodes in the network the history describes.
@@ -84,21 +87,29 @@ impl History {
 
     /// Appends a round record (engine use).
     pub fn push(&mut self, record: RoundRecord) {
-        debug_assert_eq!(record.round.index(), self.records.len(), "rounds must be recorded in order");
+        debug_assert_eq!(
+            record.round.index(),
+            self.records.len(),
+            "rounds must be recorded in order"
+        );
         self.records.push(record);
     }
 
     /// Returns `true` if `node` has received at least one message of any
     /// kind.
     pub fn received_any(&self, node: NodeId) -> bool {
-        self.records.iter().any(|r| r.deliveries.iter().any(|d| d.receiver == node))
+        self.records
+            .iter()
+            .any(|r| r.deliveries.iter().any(|d| d.receiver == node))
     }
 
     /// Returns `true` if `node` has received at least one message of `kind`.
     pub fn received_kind(&self, node: NodeId, kind: MessageKind) -> bool {
-        self.records
-            .iter()
-            .any(|r| r.deliveries.iter().any(|d| d.receiver == node && d.message.kind() == kind))
+        self.records.iter().any(|r| {
+            r.deliveries
+                .iter()
+                .any(|d| d.receiver == node && d.message.kind() == kind)
+        })
     }
 
     /// First round in which `node` received a message of `kind`.
@@ -127,7 +138,10 @@ impl History {
 
     /// Number of rounds in which `node` transmitted.
     pub fn transmissions_of(&self, node: NodeId) -> usize {
-        self.records.iter().filter(|r| r.transmitters.contains(&node)).count()
+        self.records
+            .iter()
+            .filter(|r| r.transmitters.contains(&node))
+            .count()
     }
 
     /// Total number of successful receptions across the execution.
@@ -214,7 +228,10 @@ mod tests {
         assert!(!h.received_any(NodeId::new(2)));
         assert!(h.received_kind(NodeId::new(1), KIND_A));
         assert!(!h.received_kind(NodeId::new(1), KIND_B));
-        assert_eq!(h.first_reception(NodeId::new(3), KIND_B), Some(Round::new(1)));
+        assert_eq!(
+            h.first_reception(NodeId::new(3), KIND_B),
+            Some(Round::new(1))
+        );
         assert_eq!(h.first_reception(NodeId::new(3), KIND_A), None);
     }
 

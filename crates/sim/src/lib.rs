@@ -86,10 +86,12 @@ pub mod stop;
 pub use action::{Action, Feedback};
 pub use bits::{BitReader, BitString};
 pub use config::SimConfig;
-pub use engine::{ExecutionOutcome, Simulator};
+pub use engine::{derive_stream_seed, ExecutionOutcome, Simulator};
 pub use error::SimError;
 pub use history::{Delivery, History, RoundRecord};
-pub use link::{AdversaryClass, AdversarySetup, AdversaryView, LinkDecision, LinkProcess, StaticLinks};
+pub use link::{
+    AdversaryClass, AdversarySetup, AdversaryView, LinkDecision, LinkProcess, StaticLinks,
+};
 pub use message::{Message, MessageKind};
 pub use metrics::Metrics;
 pub use process::{Assignment, Process, ProcessContext, ProcessFactory, Role};

@@ -54,7 +54,9 @@ impl LinkDecision {
 
     /// Activate every dynamic edge of `dual`: the round topology is `G'`.
     pub fn all_dynamic(dual: &DualGraph) -> Self {
-        LinkDecision { edges: dual.dynamic_edges() }
+        LinkDecision {
+            edges: dual.dynamic_edges(),
+        }
     }
 
     /// Activate exactly the given edges.
@@ -121,7 +123,13 @@ impl<'a> AdversaryView<'a> {
         transmit_probabilities: Option<&'a [f64]>,
         actions: Option<&'a [Action]>,
     ) -> Self {
-        AdversaryView { round, n, history, transmit_probabilities, actions }
+        AdversaryView {
+            round,
+            n,
+            history,
+            transmit_probabilities,
+            actions,
+        }
     }
 
     /// The round being decided.
@@ -193,12 +201,18 @@ pub struct StaticLinks {
 impl StaticLinks {
     /// Never activate dynamic edges (communication happens over `G` only).
     pub fn none() -> Self {
-        StaticLinks { include_all: false, cached: Vec::new() }
+        StaticLinks {
+            include_all: false,
+            cached: Vec::new(),
+        }
     }
 
     /// Activate every dynamic edge every round (communication over `G'`).
     pub fn all() -> Self {
-        StaticLinks { include_all: true, cached: Vec::new() }
+        StaticLinks {
+            include_all: true,
+            cached: Vec::new(),
+        }
     }
 }
 
@@ -290,7 +304,12 @@ mod tests {
         let dual = topology::dual_clique(8).unwrap();
         let factory = dummy_factory();
         let assignment = Assignment::relays(8);
-        let setup = AdversarySetup { dual: &dual, factory: &factory, assignment: &assignment, horizon: 10 };
+        let setup = AdversarySetup {
+            dual: &dual,
+            factory: &factory,
+            assignment: &assignment,
+            horizon: 10,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(0);
 
         let mut none = StaticLinks::none();
@@ -301,7 +320,10 @@ mod tests {
 
         let mut all = StaticLinks::all();
         all.on_start(&setup, &mut rng);
-        assert_eq!(all.decide(&view, &mut rng).len(), dual.dynamic_edges().len());
+        assert_eq!(
+            all.decide(&view, &mut rng).len(),
+            dual.dynamic_edges().len()
+        );
         assert_eq!(all.name(), "static-all");
         assert_eq!(all.class(), AdversaryClass::Oblivious);
     }

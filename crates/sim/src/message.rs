@@ -69,12 +69,22 @@ pub struct Message {
 impl Message {
     /// Creates a message with no attached bit string.
     pub fn plain(source: NodeId, kind: MessageKind, payload: u64) -> Self {
-        Message { source, kind, payload, bits: BitString::empty() }
+        Message {
+            source,
+            kind,
+            payload,
+            bits: BitString::empty(),
+        }
     }
 
     /// Creates a message carrying coordination bits.
     pub fn with_bits(source: NodeId, kind: MessageKind, payload: u64, bits: BitString) -> Self {
-        Message { source, kind, payload, bits }
+        Message {
+            source,
+            kind,
+            payload,
+            bits,
+        }
     }
 
     /// The node that originated the message content.
@@ -100,7 +110,10 @@ impl Message {
     /// Returns a copy of this message re-originated by `source` (used when a
     /// relaying algorithm wants to track who forwarded the content).
     pub fn reoriginated(&self, source: NodeId) -> Message {
-        Message { source, ..self.clone() }
+        Message {
+            source,
+            ..self.clone()
+        }
     }
 }
 

@@ -91,9 +91,23 @@ mod tests {
 
     #[test]
     fn display_mentions_all_counters() {
-        let m = Metrics { rounds: 1, transmissions: 2, deliveries: 3, collisions: 4, idle_listens: 5, rejected_link_edges: 6 };
+        let m = Metrics {
+            rounds: 1,
+            transmissions: 2,
+            deliveries: 3,
+            collisions: 4,
+            idle_listens: 5,
+            rejected_link_edges: 6,
+        };
         let s = m.to_string();
-        for needle in ["rounds=1", "tx=2", "rx=3", "collisions=4", "idle=5", "rejected-edges=6"] {
+        for needle in [
+            "rounds=1",
+            "tx=2",
+            "rx=3",
+            "collisions=4",
+            "idle=5",
+            "rejected-edges=6",
+        ] {
             assert!(s.contains(needle), "missing {needle} in {s}");
         }
     }

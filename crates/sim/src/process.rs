@@ -51,7 +51,12 @@ pub struct ProcessContext {
 impl ProcessContext {
     /// Creates a context.
     pub fn new(id: NodeId, n: usize, max_degree: usize, role: Role) -> Self {
-        ProcessContext { id, n, max_degree, role }
+        ProcessContext {
+            id,
+            n,
+            max_degree,
+            role,
+        }
     }
 
     /// `⌈log₂ n⌉`, the quantity written `log n` throughout the paper, with a
@@ -148,7 +153,9 @@ impl Assignment {
     /// All nodes are relays (no designated broadcasters); useful for running
     /// subroutines in isolation.
     pub fn relays(n: usize) -> Self {
-        Assignment { roles: vec![Role::Relay; n] }
+        Assignment {
+            roles: vec![Role::Relay; n],
+        }
     }
 
     /// Global broadcast: `source` is the source, everyone else a relay.
@@ -157,7 +164,10 @@ impl Assignment {
     ///
     /// Panics if `source` is out of range.
     pub fn global(n: usize, source: NodeId) -> Self {
-        assert!(source.index() < n, "source {source} out of range for n = {n}");
+        assert!(
+            source.index() < n,
+            "source {source} out of range for n = {n}"
+        );
         let mut roles = vec![Role::Relay; n];
         roles[source.index()] = Role::Source;
         Assignment { roles }
@@ -225,7 +235,10 @@ impl Assignment {
 
     /// Iterates over `(node, role)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Role)> + '_ {
-        self.roles.iter().enumerate().map(|(i, &r)| (NodeId::new(i), r))
+        self.roles
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (NodeId::new(i), r))
     }
 }
 

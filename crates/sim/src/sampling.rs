@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn uniform_index_respects_bound() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let mut seen = vec![false; 7];
+        let mut seen = [false; 7];
         for _ in 0..2000 {
             let i = uniform_index(&mut rng, 7);
             assert!(i < 7);

@@ -62,7 +62,10 @@ impl StopCondition {
 
     /// Global broadcast completion: everyone but `source` receives `kind`.
     pub fn global_broadcast(kind: MessageKind, source: NodeId) -> Self {
-        StopCondition::AllReceivedKind { kind, exempt: vec![source] }
+        StopCondition::AllReceivedKind {
+            kind,
+            exempt: vec![source],
+        }
     }
 
     /// Local broadcast completion: every node in `receivers` hears some node
@@ -79,7 +82,11 @@ impl StopCondition {
         senders: Vec<NodeId>,
         kind: MessageKind,
     ) -> Self {
-        StopCondition::NodesReceivedKindFrom { receivers, senders, kind }
+        StopCondition::NodesReceivedKindFrom {
+            receivers,
+            senders,
+            kind,
+        }
     }
 
     /// Largest node index referenced by the condition, used by the engine to
@@ -94,7 +101,9 @@ impl StopCondition {
                 nodes.iter().map(|u| u.index()).collect()
             }
             StopCondition::NodesReceivedFrom { receivers, senders }
-            | StopCondition::NodesReceivedKindFrom { receivers, senders, .. } => receivers
+            | StopCondition::NodesReceivedKindFrom {
+                receivers, senders, ..
+            } => receivers
                 .iter()
                 .chain(senders.iter())
                 .map(|u| u.index())
@@ -152,12 +161,19 @@ impl StopTracker {
                 (Some(pending), count)
             }
         };
-        StopTracker { condition, pending, pending_count, n }
+        StopTracker {
+            condition,
+            pending,
+            pending_count,
+            n,
+        }
     }
 
     /// Feeds the deliveries of one round into the tracker.
     pub fn observe(&mut self, deliveries: &[Delivery]) {
-        let Some(pending) = self.pending.as_mut() else { return };
+        let Some(pending) = self.pending.as_mut() else {
+            return;
+        };
         for d in deliveries {
             let idx = d.receiver.index();
             if idx >= self.n || !pending[idx] {
@@ -248,7 +264,10 @@ mod tests {
 
     #[test]
     fn nodes_received_kind_subset() {
-        let cond = StopCondition::NodesReceivedKind { nodes: vec![NodeId::new(2)], kind: KIND };
+        let cond = StopCondition::NodesReceivedKind {
+            nodes: vec![NodeId::new(2)],
+            kind: KIND,
+        };
         let mut t = StopTracker::new(cond, 4);
         assert_eq!(t.pending_nodes(), vec![NodeId::new(2)]);
         // Deliveries to other nodes do not matter.
@@ -275,7 +294,10 @@ mod tests {
 
     #[test]
     fn duplicate_deliveries_do_not_underflow() {
-        let cond = StopCondition::NodesReceivedKind { nodes: vec![NodeId::new(0)], kind: KIND };
+        let cond = StopCondition::NodesReceivedKind {
+            nodes: vec![NodeId::new(0)],
+            kind: KIND,
+        };
         let mut t = StopTracker::new(cond, 2);
         t.observe(&[delivery(0, 1, KIND), delivery(0, 1, KIND)]);
         t.observe(&[delivery(0, 1, KIND)]);

@@ -6,8 +6,8 @@ use std::sync::Arc;
 use dradio_graphs::topology::{self, GeometricConfig};
 use dradio_graphs::{DualGraph, NodeId};
 use dradio_sim::{
-    Action, Assignment, Message, MessageKind, Process, ProcessContext, ProcessFactory, Role,
-    Round, SimConfig, Simulator, StaticLinks, StopCondition,
+    Action, Assignment, Message, MessageKind, Process, ProcessContext, ProcessFactory, Role, Round,
+    SimConfig, Simulator, StaticLinks, StopCondition,
 };
 use proptest::prelude::*;
 use rand::{Rng, RngCore, SeedableRng};
@@ -42,7 +42,8 @@ impl Process for RandomTalker {
 
 fn talker_factory(p: f64) -> ProcessFactory {
     Arc::new(move |ctx: &ProcessContext| {
-        let msg = (ctx.role != Role::Relay).then(|| Message::plain(ctx.id, DATA, ctx.id.index() as u64));
+        let msg =
+            (ctx.role != Role::Relay).then(|| Message::plain(ctx.id, DATA, ctx.id.index() as u64));
         Box::new(RandomTalker { p, msg }) as Box<dyn Process>
     })
 }
@@ -62,12 +63,21 @@ fn arb_network() -> impl Strategy<Value = DualGraph> {
     ]
 }
 
-fn run(dual: DualGraph, p: f64, seed: u64, rounds: usize, all_links: bool) -> dradio_sim::ExecutionOutcome {
+fn run(
+    dual: DualGraph,
+    p: f64,
+    seed: u64,
+    rounds: usize,
+    all_links: bool,
+) -> dradio_sim::ExecutionOutcome {
     let n = dual.len();
     let broadcasters: Vec<NodeId> = NodeId::all(n).filter(|u| u.index() % 2 == 0).collect();
     let assignment = Assignment::local(n, &broadcasters);
-    let link: Box<dyn dradio_sim::LinkProcess> =
-        if all_links { Box::new(StaticLinks::all()) } else { Box::new(StaticLinks::none()) };
+    let link: Box<dyn dradio_sim::LinkProcess> = if all_links {
+        Box::new(StaticLinks::all())
+    } else {
+        Box::new(StaticLinks::none())
+    };
     Simulator::new(
         dual,
         talker_factory(p),
@@ -252,7 +262,12 @@ fn relay_chain_floods_line() {
                 _ => Action::Listen,
             }
         }
-        fn on_feedback(&mut self, _round: Round, feedback: &dradio_sim::Feedback, _rng: &mut dyn RngCore) {
+        fn on_feedback(
+            &mut self,
+            _round: Round,
+            feedback: &dradio_sim::Feedback,
+            _rng: &mut dyn RngCore,
+        ) {
             if let Some(m) = feedback.message() {
                 if self.have.is_none() {
                     self.have = Some(m.clone());

@@ -10,45 +10,61 @@
 
 use dradio::prelude::*;
 
-fn run_one(
-    dual: &DualGraph,
-    algorithm: GlobalAlgorithm,
-    link: Box<dyn LinkProcess>,
-    seed: u64,
-) -> Result<(usize, bool), Box<dyn std::error::Error>> {
-    let problem = GlobalBroadcastProblem::new(NodeId::new(0));
-    let outcome = Simulator::new(
-        dual.clone(),
-        algorithm.factory(dual.len(), dual.max_degree()),
-        problem.assignment(dual.len()),
-        link,
-        SimConfig::default().with_seed(seed).with_max_rounds(60_000),
-    )?
-    .run(problem.stop_condition());
-    Ok((outcome.cost(), outcome.completed))
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 128;
-    let dual = topology::dual_clique(n)?;
-    println!("global broadcast on {dual}\n");
-    println!("{:<20} {:<18} {:>10} {:>10}", "adversary class", "adversary", "rounds", "done");
+    println!("global broadcast on the dual clique, n = {n}\n");
+    println!(
+        "{:<20} {:<18} {:>10} {:>10}",
+        "adversary class", "adversary", "rounds", "done"
+    );
 
-    let cases: Vec<(&str, &str, Box<dyn Fn() -> Box<dyn LinkProcess>>)> = vec![
-        ("(static model)", "no dynamic links", Box::new(|| Box::new(StaticLinks::none()))),
-        ("oblivious", "iid(0.5)", Box::new(|| Box::new(IidLinks::new(0.5)))),
-        ("oblivious", "bursty", Box::new(|| Box::new(GilbertElliottLinks::new(0.1, 0.1)))),
-        ("oblivious", "decay-aware", Box::new(move || {
-            let side_a: Vec<NodeId> = (0..n / 2).map(NodeId::new).collect();
-            Box::new(DecayAwareOblivious::for_network(n).assuming_transmitters(side_a))
-        })),
-        ("online adaptive", "dense/sparse", Box::new(|| Box::new(DenseSparseOnline::default()))),
-        ("offline adaptive", "omniscient", Box::new(|| Box::new(OmniscientOffline::new()))),
+    let cases: Vec<(&str, &str, AdversarySpec)> = vec![
+        (
+            "(static model)",
+            "no dynamic links",
+            AdversarySpec::StaticNone,
+        ),
+        ("oblivious", "iid(0.5)", AdversarySpec::Iid { p: 0.5 }),
+        (
+            "oblivious",
+            "bursty",
+            AdversarySpec::GilbertElliott {
+                p_fail: 0.1,
+                p_recover: 0.1,
+            },
+        ),
+        (
+            "oblivious",
+            "decay-aware",
+            AdversarySpec::DecayAware {
+                levels: None,
+                assumed_transmitters: (0..n / 2).collect(),
+            },
+        ),
+        (
+            "online adaptive",
+            "dense/sparse",
+            AdversarySpec::DenseSparse {
+                density_factor: None,
+            },
+        ),
+        ("offline adaptive", "omniscient", AdversarySpec::Omniscient),
     ];
 
-    for (class, name, make_link) in &cases {
-        let (rounds, done) = run_one(&dual, GlobalAlgorithm::Permuted, make_link(), 7)?;
-        println!("{class:<20} {name:<18} {rounds:>10} {done:>10}");
+    for (class, name, adversary) in cases {
+        let scenario = Scenario::on(TopologySpec::DualClique { n })
+            .algorithm(GlobalAlgorithm::Permuted)
+            .adversary(adversary)
+            .problem(ProblemSpec::GlobalFrom(0))
+            .seed(7)
+            .max_rounds(60_000)
+            .build()?;
+        let outcome = scenario.run();
+        println!(
+            "{class:<20} {name:<18} {:>10} {:>10}",
+            outcome.cost(),
+            outcome.completed
+        );
     }
 
     println!(

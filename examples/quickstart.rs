@@ -11,46 +11,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 64-node dual clique: two reliable cliques joined by a single reliable
     // bridge; every other pair is connected only by an unreliable link that
     // the adversary controls round by round.
-    let dual = topology::dual_clique(64)?;
-    println!("network: {dual}");
-
+    //
     // The adversary: independent 50% loss on every unreliable link, an
     // oblivious "environmental" model.
-    let adversary = IidLinks::new(0.5);
-
+    //
     // The algorithm: the paper's permuted-decay global broadcast (Theorem
     // 4.1), which stays fast against any oblivious adversary.
-    let problem = GlobalBroadcastProblem::new(NodeId::new(0));
-    let outcome = Simulator::new(
-        dual.clone(),
-        GlobalAlgorithm::Permuted.factory(dual.len(), dual.max_degree()),
-        problem.assignment(dual.len()),
-        Box::new(adversary),
-        SimConfig::default().with_seed(42).with_max_rounds(20_000),
-    )?
-    .run(problem.stop_condition());
+    let scenario = Scenario::on(TopologySpec::DualClique { n: 64 })
+        .algorithm(GlobalAlgorithm::Permuted)
+        .adversary(AdversarySpec::Iid { p: 0.5 })
+        .problem(ProblemSpec::GlobalFrom(0))
+        .seed(42)
+        .max_rounds(20_000)
+        .build()?;
+    println!("network: {}", scenario.dual());
+    println!("scenario: {scenario}");
 
+    let outcome = scenario.run();
     println!(
         "broadcast {} in {} rounds ({} transmissions, {} collisions)",
-        if outcome.completed { "completed" } else { "did NOT complete" },
+        if outcome.completed {
+            "completed"
+        } else {
+            "did NOT complete"
+        },
         outcome.cost(),
         outcome.metrics.transmissions,
         outcome.metrics.collisions,
     );
-    assert!(problem.verify(&dual, &outcome.history));
+    assert!(scenario.verify(&outcome.history));
 
-    // Compare with the classic fixed-schedule decay under the same adversary.
-    let outcome_bgi = Simulator::new(
-        dual.clone(),
-        GlobalAlgorithm::Bgi.factory(dual.len(), dual.max_degree()),
-        problem.assignment(dual.len()),
-        Box::new(IidLinks::new(0.5)),
-        SimConfig::default().with_seed(42).with_max_rounds(20_000),
-    )?
-    .run(problem.stop_condition());
+    // Scenarios are values: store this one and rebuild it later, bit-for-bit.
+    println!("\nas JSON: {}", serde_json::to_string(scenario.spec())?);
+
+    // Compare with the classic fixed-schedule decay under the same adversary
+    // — same scenario, one field swapped.
+    let bgi = Scenario::on(TopologySpec::DualClique { n: 64 })
+        .algorithm(GlobalAlgorithm::Bgi)
+        .adversary(AdversarySpec::Iid { p: 0.5 })
+        .problem(ProblemSpec::GlobalFrom(0))
+        .seed(42)
+        .max_rounds(20_000)
+        .build()?;
     println!(
-        "plain decay under the same adversary: {} rounds",
-        outcome_bgi.cost()
+        "\nplain decay under the same adversary: {} rounds",
+        bgi.run().cost()
+    );
+
+    // And eight independent trials of each, run in parallel with
+    // deterministic per-trial seeds.
+    println!(
+        "over 8 trials: permuted {} vs plain {}",
+        scenario.run_trials(8)?.rounds,
+        bgi.run_trials(8)?.rounds,
     );
     Ok(())
 }

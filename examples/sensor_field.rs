@@ -12,44 +12,66 @@
 //! cargo run --release --example sensor_field
 //! ```
 
+use dradio::graphs::RegionDecomposition;
 use dradio::prelude::*;
-use dradio::graphs::topology::GeometricConfig;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 150;
     let side = (n as f64 / 8.0).sqrt();
-    let mut rng = ChaCha8Rng::seed_from_u64(2024);
-    let dual = topology::random_geometric(&GeometricConfig::new(n, side, 1.5), &mut rng)?;
-    let regions = dradio::graphs::RegionDecomposition::build(&dual, 1.5)?;
-    println!("deployment: {dual}");
+    let deployment = TopologySpec::RandomGeometric {
+        n,
+        side,
+        r: 1.5,
+        seed: 2024,
+    };
+    let alarms = ProblemSpec::LocalRandom {
+        count: n / 4,
+        seed: 2025,
+    };
+
+    // The deployment and the alarm set are pinned by their own spec seeds, so
+    // every algorithm below runs on the identical network and broadcaster
+    // set.
+    let scenarios: Vec<(LocalAlgorithm, Scenario)> = [
+        LocalAlgorithm::Geo,
+        LocalAlgorithm::StaticDecay,
+        LocalAlgorithm::RoundRobin,
+    ]
+    .into_iter()
+    .map(|algorithm| {
+        let scenario = Scenario::on(deployment.clone())
+            .algorithm(algorithm)
+            .adversary(AdversarySpec::GilbertElliott {
+                p_fail: 0.1,
+                p_recover: 0.2,
+            })
+            .problem(alarms.clone())
+            .seed(9)
+            .max_rounds(40 * n + 4_000)
+            .build()
+            .expect("dense deployments connect");
+        (algorithm, scenario)
+    })
+    .collect();
+
+    let first = &scenarios[0].1;
+    let regions = RegionDecomposition::build(first.dual(), 1.5)?;
+    println!("deployment: {}", first.dual());
     println!(
         "region decomposition: {} regions, at most {} neighboring regions (gamma bound {})",
         regions.region_count(),
         regions.max_region_neighbors(),
-        dradio::graphs::RegionDecomposition::gamma_bound(1.5),
+        RegionDecomposition::gamma_bound(1.5),
     );
-
-    // A quarter of the sensors raise an alarm.
-    let problem = LocalBroadcastProblem::random(&dual, n / 4, &mut rng);
     println!(
-        "{} broadcasters, {} receivers must hear an alarm\n",
-        problem.broadcasters().len(),
-        problem.receivers(&dual).len()
+        "{} broadcasters raise an alarm\n",
+        first.assignment().broadcasters().len()
     );
 
     println!("{:<16} {:>10} {:>12}", "algorithm", "rounds", "collisions");
-    for algorithm in [LocalAlgorithm::Geo, LocalAlgorithm::StaticDecay, LocalAlgorithm::RoundRobin] {
-        let outcome = Simulator::new(
-            dual.clone(),
-            algorithm.factory(n, dual.max_degree()),
-            problem.assignment(n),
-            Box::new(GilbertElliottLinks::new(0.1, 0.2)),
-            SimConfig::default().with_seed(9).with_max_rounds(40 * n + 4_000),
-        )?
-        .run(problem.stop_condition(&dual));
-        assert!(problem.verify(&dual, &outcome.history) || !outcome.completed);
+    for (algorithm, scenario) in &scenarios {
+        let outcome = scenario.run();
+        assert!(scenario.verify(&outcome.history) || !outcome.completed);
         println!(
             "{:<16} {:>10} {:>12}",
             algorithm.name(),

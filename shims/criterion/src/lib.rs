@@ -1,0 +1,178 @@
+//! Offline stand-in for the slice of `criterion` this workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_with_input`, and `Bencher::iter`.
+//!
+//! Timing is a plain wall-clock mean over `sample_size` runs after one
+//! warm-up run — adequate for spotting order-of-magnitude regressions in the
+//! simulation workloads, with none of the real crate's statistics, plotting
+//! or comparison machinery.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// An opaque barrier preventing the optimizer from deleting a computation.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifies one benchmark within a group as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Passed to the measured closure; runs and times the workload.
+pub struct Bencher {
+    iterations: usize,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once to warm up and then `sample_size`
+    /// times for the measurement.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        let _warmup = black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured runs per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark over an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            total: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        let mean = bencher
+            .total
+            .checked_div(bencher.iterations as u32)
+            .unwrap_or_default();
+        println!(
+            "{}/{}: {:>12.3?} mean over {} runs",
+            self.name, id, mean, bencher.iterations
+        );
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// Runs one benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Ends the group (printing is immediate, so this is bookkeeping only).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Declares a benchmark group function list (mirrors the real macro's
+/// `criterion_group!(benches, f, g, ...)` form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times_workloads() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 7), &7usize, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                (0..n).sum::<usize>()
+            });
+        });
+        group.finish();
+        // One warm-up + three measured runs.
+        assert_eq!(calls, 4);
+        assert_eq!(criterion.ran, 1);
+    }
+
+    #[test]
+    fn id_formats_as_name_slash_parameter() {
+        assert_eq!(BenchmarkId::new("bgi", 64).to_string(), "bgi/64");
+    }
+}

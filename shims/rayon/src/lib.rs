@@ -1,0 +1,169 @@
+//! Offline stand-in for the slice of `rayon` this workspace uses:
+//! `(range).into_par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Work really is fanned out across OS threads (one per available core,
+//! capped by the job count) with dynamic self-scheduling over an atomic
+//! index, and results are written back by index — so output order equals
+//! input order regardless of scheduling, exactly like rayon's indexed
+//! parallel iterators.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// The parallel iterator produced.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator over a `Range<usize>`.
+#[derive(Debug, Clone)]
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+impl ParRange {
+    /// Maps each index through `f` in parallel.
+    pub fn map<T, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParRange::map`], awaiting a `collect`.
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Runs the map on every index, in parallel, and collects the results in
+    /// index order.
+    pub fn collect<T, C>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        C: From<Vec<T>>,
+    {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        if len == 0 {
+            return Vec::new().into();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(len);
+        if threads <= 1 {
+            let out: Vec<T> = (start..self.range.end).map(&self.f).collect();
+            return out.into();
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let value = f(start + i);
+                    *slots[i].lock().expect("no panics hold the slot lock") = Some(value);
+                });
+            }
+        });
+        let out: Vec<T> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker threads joined")
+                    .expect("every index was scheduled exactly once")
+            })
+            .collect();
+        out.into()
+    }
+}
+
+/// Mirrors `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread::ThreadId;
+
+    #[test]
+    fn collect_preserves_index_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let out: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..257)
+            .into_par_iter()
+            .map(|i| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+            .collect();
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn work_spreads_across_threads_when_cores_allow() {
+        let ids: Vec<ThreadId> = (0..64)
+            .into_par_iter()
+            .map(|_| {
+                // Give the scheduler a chance to interleave.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                std::thread::current().id()
+            })
+            .collect();
+        let distinct: HashSet<ThreadId> = ids.into_iter().collect();
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if cores > 1 {
+            assert!(
+                distinct.len() > 1,
+                "expected parallel execution on {cores} cores"
+            );
+        }
+    }
+}

@@ -16,8 +16,12 @@
 //! * [`core`] — the broadcast algorithms (Decay, Permuted Decay, BGI, the
 //!   geographic local broadcast) plus the β-hitting game and the Theorem 3.1
 //!   reduction;
+//! * [`scenario`] — the declarative [`Scenario`](scenario::Scenario) API:
+//!   every (topology × algorithm × adversary × problem) combination as a
+//!   printable, storable value, with a parallel deterministic trial runner —
+//!   **the entry point for running simulations**;
 //! * [`analysis`] — the experiment harness reproducing Figure 1 (experiments
-//!   E1–E8).
+//!   E1–E8), built on the scenario layer.
 //!
 //! # Quickstart
 //!
@@ -26,26 +30,28 @@
 //!
 //! // A 64-node network: two reliable cliques joined by one reliable bridge,
 //! // every other pair connected by an unreliable link (the paper's "dual
-//! // clique" lower-bound topology).
-//! let dual = topology::dual_clique(64)?;
+//! // clique" lower-bound topology). Global broadcast from node 0 with the
+//! // paper's permuted-decay algorithm, against an adversary that flips every
+//! // unreliable link on and off independently each round.
+//! let scenario = Scenario::on(TopologySpec::DualClique { n: 64 })
+//!     .algorithm(GlobalAlgorithm::Permuted)
+//!     .adversary(AdversarySpec::Iid { p: 0.5 })
+//!     .problem(ProblemSpec::GlobalFrom(0))
+//!     .seed(7)
+//!     .max_rounds(20_000)
+//!     .build()?;
 //!
-//! // Global broadcast from node 0 with the paper's permuted-decay algorithm,
-//! // against an adversary that flips every unreliable link on and off
-//! // independently each round.
-//! let problem = GlobalBroadcastProblem::new(NodeId::new(0));
-//! let outcome = Simulator::new(
-//!     dual.clone(),
-//!     GlobalAlgorithm::Permuted.factory(dual.len(), dual.max_degree()),
-//!     problem.assignment(dual.len()),
-//!     Box::new(IidLinks::new(0.5)),
-//!     SimConfig::default().with_seed(7).with_max_rounds(20_000),
-//! )?
-//! .run(problem.stop_condition());
-//!
+//! // One execution:
+//! let outcome = scenario.run();
 //! assert!(outcome.completed);
-//! assert!(problem.verify(&dual, &outcome.history));
+//! assert!(scenario.verify(&outcome.history));
 //! println!("broadcast finished in {} rounds", outcome.cost());
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//!
+//! // Eight independent trials, fanned out across threads with
+//! // deterministic per-trial seeds:
+//! let measurement = scenario.run_trials(8)?;
+//! assert_eq!(measurement.completion_rate, 1.0);
+//! # Ok::<(), dradio::scenario::ScenarioError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,6 +61,7 @@ pub use dradio_adversary as adversary;
 pub use dradio_analysis as analysis;
 pub use dradio_core as core;
 pub use dradio_graphs as graphs;
+pub use dradio_scenario as scenario;
 pub use dradio_sim as sim;
 
 /// A convenient set of the most commonly used items.
@@ -67,6 +74,10 @@ pub mod prelude {
     pub use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
     pub use dradio_core::problem::{GlobalBroadcastProblem, LocalBroadcastProblem};
     pub use dradio_graphs::{properties, topology, DualGraph, Graph, NodeId};
+    pub use dradio_scenario::{
+        AdversarySpec, AlgorithmSpec, Measurement, ProblemSpec, Scenario, ScenarioRunner,
+        ScenarioSpec, TopologySpec,
+    };
     pub use dradio_sim::{
         Action, AdversaryClass, Assignment, ExecutionOutcome, Feedback, LinkProcess, Message,
         MessageKind, Process, ProcessContext, ProcessFactory, Role, Round, SimConfig, Simulator,
@@ -87,5 +98,17 @@ mod tests {
         let _ = GlobalAlgorithm::all();
         let _ = LocalAlgorithm::all();
         let _ = ExperimentConfig::smoke();
+    }
+
+    #[test]
+    fn prelude_builds_scenarios() {
+        let scenario = Scenario::on(TopologySpec::Clique { n: 8 })
+            .algorithm(GlobalAlgorithm::Bgi)
+            .adversary(AdversarySpec::StaticNone)
+            .problem(ProblemSpec::GlobalFrom(0))
+            .build()
+            .expect("valid scenario");
+        let outcome = scenario.run();
+        assert!(outcome.completed);
     }
 }

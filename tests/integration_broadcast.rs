@@ -1,86 +1,104 @@
 //! Cross-crate integration tests: every algorithm × adversary class × topology
-//! combination that the paper's Figure 1 speaks about, at small scale.
+//! combination that the paper's Figure 1 speaks about, at small scale — all
+//! constructed through the declarative `Scenario` API.
 
 use dradio::prelude::*;
-use dradio::graphs::topology::GeometricConfig;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
-fn run_global(
-    dual: &DualGraph,
+fn global_scenario(
+    topology: TopologySpec,
     algorithm: GlobalAlgorithm,
-    link: Box<dyn LinkProcess>,
+    adversary: AdversarySpec,
     max_rounds: usize,
     seed: u64,
-) -> (ExecutionOutcome, GlobalBroadcastProblem) {
-    let problem = GlobalBroadcastProblem::new(NodeId::new(0));
-    let outcome = Simulator::new(
-        dual.clone(),
-        algorithm.factory(dual.len(), dual.max_degree()),
-        problem.assignment(dual.len()),
-        link,
-        SimConfig::default().with_seed(seed).with_max_rounds(max_rounds),
-    )
-    .expect("valid simulation")
-    .run(problem.stop_condition());
-    (outcome, problem)
+) -> Scenario {
+    Scenario::on(topology)
+        .algorithm(algorithm)
+        .adversary(adversary)
+        .problem(ProblemSpec::GlobalFrom(0))
+        .seed(seed)
+        .max_rounds(max_rounds)
+        .build()
+        .expect("valid scenario")
 }
 
-fn run_local(
-    dual: &DualGraph,
+fn local_scenario(
+    topology: TopologySpec,
     algorithm: LocalAlgorithm,
-    broadcasters: Vec<NodeId>,
-    link: Box<dyn LinkProcess>,
+    problem: ProblemSpec,
+    adversary: AdversarySpec,
     max_rounds: usize,
     seed: u64,
-) -> (ExecutionOutcome, LocalBroadcastProblem) {
-    let problem = LocalBroadcastProblem::new(broadcasters);
-    let outcome = Simulator::new(
-        dual.clone(),
-        algorithm.factory(dual.len(), dual.max_degree()),
-        problem.assignment(dual.len()),
-        link,
-        SimConfig::default().with_seed(seed).with_max_rounds(max_rounds),
-    )
-    .expect("valid simulation")
-    .run(problem.stop_condition(dual));
-    (outcome, problem)
+) -> Scenario {
+    Scenario::on(topology)
+        .algorithm(algorithm)
+        .adversary(adversary)
+        .problem(problem)
+        .seed(seed)
+        .max_rounds(max_rounds)
+        .build()
+        .expect("valid scenario")
 }
 
 #[test]
 fn every_global_algorithm_completes_under_benign_oblivious_adversaries() {
-    let dual = topology::dual_clique(32).unwrap();
     for algorithm in GlobalAlgorithm::all() {
-        for adversary in ["none", "all", "iid"] {
-            let link: Box<dyn LinkProcess> = match adversary {
-                "none" => Box::new(StaticLinks::none()),
-                "all" => Box::new(StaticLinks::all()),
-                _ => Box::new(IidLinks::new(0.5)),
-            };
-            let (outcome, problem) = run_global(&dual, algorithm, link, 20_000, 3);
-            assert!(outcome.completed, "{algorithm} under {adversary} did not complete");
-            assert!(problem.verify(&dual, &outcome.history), "{algorithm} under {adversary} incorrect");
+        for adversary in [
+            AdversarySpec::StaticNone,
+            AdversarySpec::StaticAll,
+            AdversarySpec::Iid { p: 0.5 },
+        ] {
+            let scenario = global_scenario(
+                TopologySpec::DualClique { n: 32 },
+                algorithm,
+                adversary.clone(),
+                20_000,
+                3,
+            );
+            let outcome = scenario.run();
+            assert!(
+                outcome.completed,
+                "{algorithm} under {} did not complete",
+                adversary.label()
+            );
+            assert!(
+                scenario.verify(&outcome.history),
+                "{algorithm} under {} incorrect",
+                adversary.label()
+            );
         }
     }
 }
 
 #[test]
 fn every_local_algorithm_completes_on_geographic_graphs() {
-    let mut rng = ChaCha8Rng::seed_from_u64(11);
-    let dual = topology::random_geometric(&GeometricConfig::new(60, 2.7, 1.5), &mut rng).unwrap();
-    let n = dual.len();
-    let broadcasters: Vec<NodeId> = (0..n).step_by(4).map(NodeId::new).collect();
+    let deployment = TopologySpec::RandomGeometric {
+        n: 60,
+        side: 2.7,
+        r: 1.5,
+        seed: 11,
+    };
+    // A fixed quarter of the nodes broadcast.
+    let broadcasters: Vec<usize> = (0..60).step_by(4).collect();
     for algorithm in LocalAlgorithm::all() {
-        let (outcome, problem) = run_local(
-            &dual,
+        let scenario = local_scenario(
+            deployment.clone(),
             algorithm,
-            broadcasters.clone(),
-            Box::new(GilbertElliottLinks::new(0.1, 0.2)),
-            40 * n + 4_000,
+            ProblemSpec::Local {
+                broadcasters: broadcasters.clone(),
+            },
+            AdversarySpec::GilbertElliott {
+                p_fail: 0.1,
+                p_recover: 0.2,
+            },
+            40 * 60 + 4_000,
             5,
         );
-        assert!(outcome.completed, "{algorithm} did not complete on the geometric graph");
-        assert!(problem.verify(&dual, &outcome.history), "{algorithm} incorrect");
+        let outcome = scenario.run();
+        assert!(
+            outcome.completed,
+            "{algorithm} did not complete on the geometric graph"
+        );
+        assert!(scenario.verify(&outcome.history), "{algorithm} incorrect");
     }
 }
 
@@ -90,10 +108,24 @@ fn online_adaptive_attack_separates_dual_clique_from_static_model() {
     // same (constant-diameter) topology is polylog under no dynamic links but
     // slows dramatically under the online adaptive dense/sparse attacker.
     let n = 64;
-    let dual = topology::dual_clique(n).unwrap();
-    let (benign, _) = run_global(&dual, GlobalAlgorithm::Permuted, Box::new(StaticLinks::none()), 60_000, 7);
-    let (attacked, _) =
-        run_global(&dual, GlobalAlgorithm::Permuted, Box::new(DenseSparseOnline::default()), 60_000, 7);
+    let benign = global_scenario(
+        TopologySpec::DualClique { n },
+        GlobalAlgorithm::Permuted,
+        AdversarySpec::StaticNone,
+        60_000,
+        7,
+    )
+    .run();
+    let attacked = global_scenario(
+        TopologySpec::DualClique { n },
+        GlobalAlgorithm::Permuted,
+        AdversarySpec::DenseSparse {
+            density_factor: None,
+        },
+        60_000,
+        7,
+    )
+    .run();
     assert!(benign.completed);
     assert!(
         attacked.cost() >= 3 * benign.cost(),
@@ -106,13 +138,22 @@ fn online_adaptive_attack_separates_dual_clique_from_static_model() {
 #[test]
 fn offline_adaptive_is_at_least_as_strong_as_online_adaptive() {
     let n = 32;
-    let dual = topology::dual_clique(n).unwrap();
-    let (online, _) =
-        run_global(&dual, GlobalAlgorithm::Bgi, Box::new(DenseSparseOnline::default()), 40_000, 9);
-    let (offline, _) =
-        run_global(&dual, GlobalAlgorithm::Bgi, Box::new(OmniscientOffline::new()), 40_000, 9);
+    let run = |adversary: AdversarySpec| {
+        global_scenario(
+            TopologySpec::DualClique { n },
+            GlobalAlgorithm::Bgi,
+            adversary,
+            40_000,
+            9,
+        )
+        .run()
+    };
+    let online = run(AdversarySpec::DenseSparse {
+        density_factor: None,
+    });
+    let offline = run(AdversarySpec::Omniscient);
     // Both attacks slow the algorithm well past the benign polylog cost.
-    let (benign, _) = run_global(&dual, GlobalAlgorithm::Bgi, Box::new(StaticLinks::none()), 40_000, 9);
+    let benign = run(AdversarySpec::StaticNone);
     assert!(online.cost() > benign.cost());
     assert!(offline.cost() > benign.cost());
 }
@@ -123,44 +164,55 @@ fn round_robin_is_immune_to_every_adversary() {
     // no adversary class can create collisions; it completes within n rounds
     // per hop regardless.
     let n = 24;
-    let dual = topology::dual_clique(n).unwrap();
-    for adversary in ["none", "all", "iid", "online", "offline"] {
-        let link: Box<dyn LinkProcess> = match adversary {
-            "none" => Box::new(StaticLinks::none()),
-            "all" => Box::new(StaticLinks::all()),
-            "iid" => Box::new(IidLinks::new(0.5)),
-            "online" => Box::new(DenseSparseOnline::default()),
-            _ => Box::new(OmniscientOffline::new()),
-        };
-        let (outcome, problem) = run_global(&dual, GlobalAlgorithm::RoundRobin, link, 10 * n * n, 13);
-        assert!(outcome.completed, "round robin under {adversary} did not complete");
-        assert!(problem.verify(&dual, &outcome.history));
-        assert_eq!(outcome.metrics.collisions, 0, "round robin collided under {adversary}");
+    for adversary in [
+        AdversarySpec::StaticNone,
+        AdversarySpec::StaticAll,
+        AdversarySpec::Iid { p: 0.5 },
+        AdversarySpec::DenseSparse {
+            density_factor: None,
+        },
+        AdversarySpec::Omniscient,
+    ] {
+        let scenario = global_scenario(
+            TopologySpec::DualClique { n },
+            GlobalAlgorithm::RoundRobin,
+            adversary.clone(),
+            10 * n * n,
+            13,
+        );
+        let outcome = scenario.run();
+        assert!(
+            outcome.completed,
+            "round robin under {} did not complete",
+            adversary.label()
+        );
+        assert!(scenario.verify(&outcome.history));
+        assert_eq!(
+            outcome.metrics.collisions,
+            0,
+            "round robin collided under {}",
+            adversary.label()
+        );
     }
 }
 
 #[test]
 fn bracelet_attack_starves_the_clasp_longer_than_benign_links() {
-    let bracelet = dradio::graphs::topology::bracelet(4).unwrap();
-    let dual = bracelet.dual().clone();
-    let n = dual.len();
-    let heads = bracelet.heads_a();
-    let (benign, _) = run_local(
-        &dual,
-        LocalAlgorithm::StaticDecay,
-        heads.clone(),
-        Box::new(StaticLinks::none()),
-        40 * n + 300,
-        17,
-    );
-    let (attacked, _) = run_local(
-        &dual,
-        LocalAlgorithm::StaticDecay,
-        heads,
-        Box::new(BraceletOblivious::new(&bracelet)),
-        40 * n + 300,
-        17,
-    );
+    let k = 4;
+    let n = 2 * k * k;
+    let run = |adversary: AdversarySpec| {
+        local_scenario(
+            TopologySpec::Bracelet { k },
+            LocalAlgorithm::StaticDecay,
+            ProblemSpec::LocalHeadsA,
+            adversary,
+            40 * n + 300,
+            17,
+        )
+        .run()
+    };
+    let benign = run(AdversarySpec::StaticNone);
+    let attacked = run(AdversarySpec::BraceletAttack);
     assert!(benign.completed);
     assert!(
         attacked.cost() as f64 >= benign.cost() as f64,
@@ -172,10 +224,15 @@ fn bracelet_attack_starves_the_clasp_longer_than_benign_links() {
 
 #[test]
 fn executions_are_reproducible_end_to_end() {
-    let dual = topology::dual_clique(32).unwrap();
     let run = || {
-        let (outcome, _) =
-            run_global(&dual, GlobalAlgorithm::Permuted, Box::new(IidLinks::new(0.4)), 20_000, 99);
+        let outcome = global_scenario(
+            TopologySpec::DualClique { n: 32 },
+            GlobalAlgorithm::Permuted,
+            AdversarySpec::Iid { p: 0.4 },
+            20_000,
+            99,
+        )
+        .run();
         (outcome.cost(), outcome.metrics)
     };
     assert_eq!(run(), run());
@@ -184,13 +241,20 @@ fn executions_are_reproducible_end_to_end() {
 #[test]
 fn geographic_constraint_holds_for_generated_deployments() {
     for seed in 0..5u64 {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        if let Ok(dual) =
-            topology::random_geometric(&GeometricConfig::new(40, 2.5, 1.5), &mut rng)
-        {
+        let spec = TopologySpec::RandomGeometric {
+            n: 40,
+            side: 2.5,
+            r: 1.5,
+            seed,
+        };
+        if let Ok(built) = spec.build() {
+            let dual = &built.dual;
             assert!(dual.satisfies_geographic_constraint(1.5).unwrap());
-            let regions = dradio::graphs::RegionDecomposition::build(&dual, 1.5).unwrap();
-            assert!(regions.max_region_neighbors() <= dradio::graphs::RegionDecomposition::gamma_bound(1.5));
+            let regions = dradio::graphs::RegionDecomposition::build(dual, 1.5).unwrap();
+            assert!(
+                regions.max_region_neighbors()
+                    <= dradio::graphs::RegionDecomposition::gamma_bound(1.5)
+            );
         }
     }
 }
