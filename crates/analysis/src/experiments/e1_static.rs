@@ -3,13 +3,19 @@
 //! Global broadcast: `Θ(D log(n/D) + log² n)`; local broadcast:
 //! `Θ(log n log Δ)`. These are the reference points every dual-graph result
 //! is compared against.
+//!
+//! Each table is a thin [`CampaignSpec`] executed through the campaign
+//! engine; rendering looks measurements up by scenario, so the table's row
+//! order is independent of the campaign's expansion order.
 
 use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
 use dradio_graphs::properties;
-use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
+use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
-use crate::sweep::measure_rounds;
+use crate::sweep::{
+    measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup, TrialPolicy,
+};
 use crate::table::Table;
 
 /// Experiment E1: static-model global and local broadcast baselines.
@@ -30,23 +36,42 @@ impl Experiment for E1StaticBaselines {
          Theta(log n log Delta) rounds when there are no dynamic links"
     }
 
-    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
-        vec![
-            self.global_constant_diameter(cfg),
-            self.global_diameter_sweep(cfg),
-            self.local_degree_sweep(cfg),
-        ]
+    fn run(&self, cfg: &ExperimentConfig) -> Result<Vec<Table>, CampaignError> {
+        Ok(vec![
+            self.global_constant_diameter(cfg)?,
+            self.global_diameter_sweep(cfg)?,
+            self.local_degree_sweep(cfg)?,
+        ])
     }
 }
 
 impl E1StaticBaselines {
     /// Global broadcast on static cliques (D = 1): the `log² n` term.
-    fn global_constant_diameter(&self, cfg: &ExperimentConfig) -> Table {
+    fn global_constant_diameter(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
         let sizes = cfg.pick(
             &[16usize, 32],
             &[32, 64, 128, 256],
             &[32, 64, 128, 256, 512, 1024],
         );
+        let algorithms = [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted];
+        let campaign = CampaignSpec::named("e1a-static-cliques")
+            .seed(cfg.seed)
+            .trials(TrialPolicy::Fixed(cfg.trials))
+            .group(
+                SweepGroup::product(
+                    sizes.iter().map(|&n| TopologySpec::Clique { n }).collect(),
+                    algorithms.iter().map(|&a| a.into()).collect(),
+                    vec![AdversarySpec::StaticNone],
+                    vec![ProblemSpec::GlobalFrom(0)],
+                )
+                .rounds(RoundsRule::PerNode {
+                    per_node: 200,
+                    base: 0,
+                    min_nodes: 16,
+                }),
+            );
+        let store = run_campaign(&campaign)?;
+
         let mut table = Table::new(
             "E1a: global broadcast on static cliques (D = 1)",
             vec![
@@ -60,16 +85,17 @@ impl E1StaticBaselines {
         );
         let mut series: Vec<(f64, f64)> = Vec::new();
         for &n in &sizes {
-            for algorithm in [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted] {
-                let scenario = Scenario::on(TopologySpec::Clique { n })
-                    .algorithm(algorithm)
-                    .adversary(AdversarySpec::StaticNone)
-                    .problem(ProblemSpec::GlobalFrom(0))
-                    .seed(cfg.seed)
-                    .max_rounds(200 * n.max(16))
-                    .build()
-                    .expect("static clique scenario");
-                let m = measure_rounds(&scenario, cfg.trials);
+            for algorithm in algorithms {
+                let scenario = ScenarioSpec {
+                    topology: TopologySpec::Clique { n },
+                    algorithm: algorithm.into(),
+                    adversary: AdversarySpec::StaticNone,
+                    problem: ProblemSpec::GlobalFrom(0),
+                    seed: cfg.seed,
+                    max_rounds: Some(200 * n.max(16)),
+                    collision_detection: false,
+                };
+                let m = measurement_for(&store, &scenario)?;
                 let log_n = (n.max(2) as f64).log2();
                 if algorithm == GlobalAlgorithm::Bgi {
                     series.push((n as f64, m.rounds.mean));
@@ -84,16 +110,42 @@ impl E1StaticBaselines {
                 ]);
             }
         }
-        table.with_caption(format!(
+        Ok(table.with_caption(format!(
             "paper: O(log^2 n) on constant-diameter graphs; BGI series {}",
             fit_note(&series)
-        ))
+        )))
     }
 
     /// Global broadcast on lines of cliques: the `D log n` term.
-    fn global_diameter_sweep(&self, cfg: &ExperimentConfig) -> Table {
+    fn global_diameter_sweep(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
         let clique_size = 8usize;
         let counts = cfg.pick(&[2usize, 4], &[2, 4, 8, 16], &[2, 4, 8, 16, 32, 64]);
+        // The old per-point budget 400·max(cliques, 4) expressed per node:
+        // n = 8·cliques, so 400·max(cliques, 4) = 50·max(n, 32).
+        let campaign = CampaignSpec::named("e1b-line-of-cliques")
+            .seed(cfg.seed + 1)
+            .trials(TrialPolicy::Fixed(cfg.trials))
+            .group(
+                SweepGroup::product(
+                    counts
+                        .iter()
+                        .map(|&cliques| TopologySpec::LineOfCliques {
+                            cliques,
+                            clique_size,
+                        })
+                        .collect(),
+                    vec![GlobalAlgorithm::Bgi.into()],
+                    vec![AdversarySpec::StaticNone],
+                    vec![ProblemSpec::GlobalFrom(0)],
+                )
+                .rounds(RoundsRule::PerNode {
+                    per_node: 50,
+                    base: 0,
+                    min_nodes: 32,
+                }),
+            );
+        let store = run_campaign(&campaign)?;
+
         let mut table = Table::new(
             "E1b: global broadcast on static lines of cliques (diameter sweep)",
             vec![
@@ -107,20 +159,23 @@ impl E1StaticBaselines {
         );
         let mut series: Vec<(f64, f64)> = Vec::new();
         for &cliques in &counts {
-            let scenario = Scenario::on(TopologySpec::LineOfCliques {
+            let topology = TopologySpec::LineOfCliques {
                 cliques,
                 clique_size,
-            })
-            .algorithm(GlobalAlgorithm::Bgi)
-            .adversary(AdversarySpec::StaticNone)
-            .problem(ProblemSpec::GlobalFrom(0))
-            .seed(cfg.seed + 1)
-            .max_rounds(400 * cliques.max(4))
-            .build()
-            .expect("line-of-cliques scenario");
-            let n = scenario.dual().len();
-            let d = properties::diameter(scenario.dual().g()).expect("connected");
-            let m = measure_rounds(&scenario, cfg.trials);
+            };
+            let scenario = ScenarioSpec {
+                topology: topology.clone(),
+                algorithm: GlobalAlgorithm::Bgi.into(),
+                adversary: AdversarySpec::StaticNone,
+                problem: ProblemSpec::GlobalFrom(0),
+                seed: cfg.seed + 1,
+                max_rounds: Some(50 * (clique_size * cliques).max(32)),
+                collision_detection: false,
+            };
+            let m = measurement_for(&store, &scenario)?;
+            let built = topology.build()?;
+            let n = built.len();
+            let d = properties::diameter(built.dual.g()).expect("connected");
             let log_n = (n.max(2) as f64).log2();
             series.push((d as f64, m.rounds.mean));
             table.push_row(vec![
@@ -132,19 +187,44 @@ impl E1StaticBaselines {
                 fmt1(m.rounds.mean / (d as f64 * log_n)),
             ]);
         }
-        table.with_caption(format!(
+        Ok(table.with_caption(format!(
             "paper: O(D log n + log^2 n); measured vs diameter {}",
             fit_note(&series)
-        ))
+        )))
     }
 
     /// Local broadcast on static stars: the `log n log Δ` scaling in Δ.
-    fn local_degree_sweep(&self, cfg: &ExperimentConfig) -> Table {
+    fn local_degree_sweep(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
         let degrees = cfg.pick(
             &[4usize, 8],
             &[4, 8, 16, 32, 64],
             &[4, 8, 16, 32, 64, 128, 256],
         );
+        let algorithms = [LocalAlgorithm::StaticDecay, LocalAlgorithm::Uniform];
+        // A small broadcaster set (4 leaves) inside a degree-Delta
+        // neighborhood: decay adapts to the actual contention (log Delta
+        // levels), the uniform 1/Delta baseline pays Delta/|B| rounds. The
+        // broadcaster set depends on n, so each degree is its own group.
+        let broadcasters = |n: usize| -> Vec<usize> { (1..n.min(5)).collect() };
+        let mut campaign = CampaignSpec::named("e1c-static-stars")
+            .seed(cfg.seed + 2)
+            .trials(TrialPolicy::Fixed(cfg.trials));
+        for &delta in &degrees {
+            let n = delta + 1;
+            campaign = campaign.group(
+                SweepGroup::product(
+                    vec![TopologySpec::Star { n }],
+                    algorithms.iter().map(|&a| a.into()).collect(),
+                    vec![AdversarySpec::StaticNone],
+                    vec![ProblemSpec::Local {
+                        broadcasters: broadcasters(n),
+                    }],
+                )
+                .rounds(RoundsRule::Fixed(200 * delta.max(8))),
+            );
+        }
+        let store = run_campaign(&campaign)?;
+
         let mut table = Table::new(
             "E1c: local broadcast on static stars (degree sweep)",
             vec![
@@ -159,22 +239,19 @@ impl E1StaticBaselines {
         let mut series: Vec<(f64, f64)> = Vec::new();
         for &delta in &degrees {
             let n = delta + 1;
-            // A small broadcaster set (4 leaves) inside a degree-Delta
-            // neighborhood: decay adapts to the actual contention (log Delta
-            // levels), the uniform 1/Delta baseline pays Delta/|B| rounds.
-            let broadcasters: Vec<usize> = (1..n.min(5)).collect();
-            for algorithm in [LocalAlgorithm::StaticDecay, LocalAlgorithm::Uniform] {
-                let scenario = Scenario::on(TopologySpec::Star { n })
-                    .algorithm(algorithm)
-                    .adversary(AdversarySpec::StaticNone)
-                    .problem(ProblemSpec::Local {
-                        broadcasters: broadcasters.clone(),
-                    })
-                    .seed(cfg.seed + 2)
-                    .max_rounds(200 * delta.max(8))
-                    .build()
-                    .expect("star scenario");
-                let m = measure_rounds(&scenario, cfg.trials);
+            for algorithm in algorithms {
+                let scenario = ScenarioSpec {
+                    topology: TopologySpec::Star { n },
+                    algorithm: algorithm.into(),
+                    adversary: AdversarySpec::StaticNone,
+                    problem: ProblemSpec::Local {
+                        broadcasters: broadcasters(n),
+                    },
+                    seed: cfg.seed + 2,
+                    max_rounds: Some(200 * delta.max(8)),
+                    collision_detection: false,
+                };
+                let m = measurement_for(&store, &scenario)?;
                 let log_n = (n.max(2) as f64).log2();
                 let log_delta = (delta.max(2) as f64).log2();
                 if algorithm == LocalAlgorithm::StaticDecay {
@@ -190,11 +267,11 @@ impl E1StaticBaselines {
                 ]);
             }
         }
-        table.with_caption(format!(
+        Ok(table.with_caption(format!(
             "paper: Theta(log n log Delta) for decay; the uniform 1/Delta baseline needs \
              Theta((Delta/|B|) log n) rounds and falls behind as Delta grows; decay series vs Delta {}",
             fit_note(&series)
-        ))
+        )))
     }
 }
 
@@ -204,7 +281,7 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_three_tables() {
-        let tables = E1StaticBaselines.run(&ExperimentConfig::smoke());
+        let tables = E1StaticBaselines.run(&ExperimentConfig::smoke()).unwrap();
         assert_eq!(tables.len(), 3);
         assert!(tables[0].title().contains("E1a"));
         assert!(tables[1].title().contains("E1b"));
@@ -226,7 +303,7 @@ mod tests {
             trials: 3,
             ..ExperimentConfig::quick()
         };
-        let table = E1StaticBaselines.local_degree_sweep(&cfg);
+        let table = E1StaticBaselines.local_degree_sweep(&cfg).unwrap();
         let rows = table.rows();
         let last_decay: f64 = rows[rows.len() - 2][3].parse().unwrap();
         let last_uniform: f64 = rows[rows.len() - 1][3].parse().unwrap();

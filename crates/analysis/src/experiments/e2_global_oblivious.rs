@@ -6,10 +6,12 @@
 //! attack that hurts plain decay.
 
 use dradio_core::algorithms::GlobalAlgorithm;
-use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
+use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
-use crate::sweep::measure_rounds;
+use crate::sweep::{
+    measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup, TrialPolicy,
+};
 use crate::table::Table;
 
 /// Experiment E2: permuted-decay global broadcast under oblivious adversaries.
@@ -30,8 +32,8 @@ impl Experiment for E2GlobalOblivious {
          oblivious link process"
     }
 
-    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
-        vec![self.adversary_sweep(cfg), self.size_scaling(cfg)]
+    fn run(&self, cfg: &ExperimentConfig) -> Result<Vec<Table>, CampaignError> {
+        Ok(vec![self.adversary_sweep(cfg)?, self.size_scaling(cfg)?])
     }
 }
 
@@ -63,11 +65,26 @@ impl E2GlobalOblivious {
     }
 
     /// Fixed network size, every oblivious adversary, both decay variants.
-    fn adversary_sweep(&self, cfg: &ExperimentConfig) -> Table {
+    fn adversary_sweep(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
         let n = *cfg
             .pick(&[32usize], &[128], &[256])
             .first()
             .expect("non-empty");
+        let algorithms = [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted];
+        let campaign = CampaignSpec::named("e2a-adversary-sweep")
+            .seed(cfg.seed + 10)
+            .trials(TrialPolicy::Fixed(cfg.trials))
+            .group(
+                SweepGroup::product(
+                    vec![TopologySpec::DualClique { n }],
+                    algorithms.iter().map(|&a| a.into()).collect(),
+                    Self::adversaries(n).into_iter().map(|(_, a)| a).collect(),
+                    vec![ProblemSpec::GlobalFrom(0)],
+                )
+                .rounds(RoundsRule::Fixed(60 * n.max(16))),
+            );
+        let store = run_campaign(&campaign)?;
+
         let mut table = Table::new(
             format!("E2a: dual clique n = {n}, every oblivious adversary"),
             vec![
@@ -79,16 +96,17 @@ impl E2GlobalOblivious {
             ],
         );
         for (adversary_name, adversary) in Self::adversaries(n) {
-            for algorithm in [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted] {
-                let scenario = Scenario::on(TopologySpec::DualClique { n })
-                    .algorithm(algorithm)
-                    .adversary(adversary.clone())
-                    .problem(ProblemSpec::GlobalFrom(0))
-                    .seed(cfg.seed + 10)
-                    .max_rounds(60 * n.max(16))
-                    .build()
-                    .expect("dual clique scenario");
-                let m = measure_rounds(&scenario, cfg.trials);
+            for algorithm in algorithms {
+                let scenario = ScenarioSpec {
+                    topology: TopologySpec::DualClique { n },
+                    algorithm: algorithm.into(),
+                    adversary: adversary.clone(),
+                    problem: ProblemSpec::GlobalFrom(0),
+                    seed: cfg.seed + 10,
+                    max_rounds: Some(60 * n.max(16)),
+                    collision_detection: false,
+                };
+                let m = measurement_for(&store, &scenario)?;
                 table.push_row(vec![
                     adversary_name.to_string(),
                     algorithm.name().to_string(),
@@ -98,20 +116,41 @@ impl E2GlobalOblivious {
                 ]);
             }
         }
-        table.with_caption(
+        Ok(table.with_caption(
             "paper: the permuted variant stays fast under every oblivious adversary; plain decay is \
              the vulnerable baseline (compare the decay-aware row)",
-        )
+        ))
     }
 
     /// Scaling of the permuted algorithm with n on constant-diameter dual
     /// cliques under an i.i.d. oblivious adversary.
-    fn size_scaling(&self, cfg: &ExperimentConfig) -> Table {
+    fn size_scaling(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
         let sizes = cfg.pick(
             &[16usize, 32],
             &[32, 64, 128, 256],
             &[64, 128, 256, 512, 1024],
         );
+        let campaign = CampaignSpec::named("e2b-size-scaling")
+            .seed(cfg.seed + 11)
+            .trials(TrialPolicy::Fixed(cfg.trials))
+            .group(
+                SweepGroup::product(
+                    sizes
+                        .iter()
+                        .map(|&n| TopologySpec::DualClique { n })
+                        .collect(),
+                    vec![GlobalAlgorithm::Permuted.into()],
+                    vec![AdversarySpec::Iid { p: 0.5 }],
+                    vec![ProblemSpec::GlobalFrom(0)],
+                )
+                .rounds(RoundsRule::PerNode {
+                    per_node: 60,
+                    base: 0,
+                    min_nodes: 16,
+                }),
+            );
+        let store = run_campaign(&campaign)?;
+
         let mut table = Table::new(
             "E2b: permuted-decay global broadcast scaling (dual clique, iid(0.5) adversary)",
             vec![
@@ -124,15 +163,16 @@ impl E2GlobalOblivious {
         );
         let mut series: Vec<(f64, f64)> = Vec::new();
         for &n in &sizes {
-            let scenario = Scenario::on(TopologySpec::DualClique { n })
-                .algorithm(GlobalAlgorithm::Permuted)
-                .adversary(AdversarySpec::Iid { p: 0.5 })
-                .problem(ProblemSpec::GlobalFrom(0))
-                .seed(cfg.seed + 11)
-                .max_rounds(60 * n.max(16))
-                .build()
-                .expect("dual clique scenario");
-            let m = measure_rounds(&scenario, cfg.trials);
+            let scenario = ScenarioSpec {
+                topology: TopologySpec::DualClique { n },
+                algorithm: GlobalAlgorithm::Permuted.into(),
+                adversary: AdversarySpec::Iid { p: 0.5 },
+                problem: ProblemSpec::GlobalFrom(0),
+                seed: cfg.seed + 11,
+                max_rounds: Some(60 * n.max(16)),
+                collision_detection: false,
+            };
+            let m = measurement_for(&store, &scenario)?;
             let log_n = (n.max(2) as f64).log2();
             series.push((n as f64, m.rounds.mean));
             table.push_row(vec![
@@ -143,10 +183,10 @@ impl E2GlobalOblivious {
                 fmt1(m.rounds.mean / (log_n * log_n)),
             ]);
         }
-        table.with_caption(format!(
+        Ok(table.with_caption(format!(
             "paper: O(D log n + log^2 n) with D = O(1), i.e. polylogarithmic; {}",
             fit_note(&series)
-        ))
+        )))
     }
 }
 
@@ -156,7 +196,7 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_two_tables() {
-        let tables = E2GlobalOblivious.run(&ExperimentConfig::smoke());
+        let tables = E2GlobalOblivious.run(&ExperimentConfig::smoke()).unwrap();
         assert_eq!(tables.len(), 2);
         assert!(tables[0].title().contains("E2a"));
         assert!(tables[1].title().contains("E2b"));
@@ -164,7 +204,9 @@ mod tests {
 
     #[test]
     fn permuted_completes_under_every_adversary_at_smoke_scale() {
-        let table = E2GlobalOblivious.adversary_sweep(&ExperimentConfig::smoke());
+        let table = E2GlobalOblivious
+            .adversary_sweep(&ExperimentConfig::smoke())
+            .unwrap();
         for row in table.rows() {
             if row[1] == "permuted-decay" {
                 assert_eq!(

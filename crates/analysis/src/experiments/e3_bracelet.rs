@@ -8,10 +8,12 @@
 //! decay and uniform local broadcast algorithms with and without the attack.
 
 use dradio_core::algorithms::LocalAlgorithm;
-use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
+use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
-use crate::sweep::measure_rounds;
+use crate::sweep::{
+    measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup, TrialPolicy,
+};
 use crate::table::Table;
 
 /// Experiment E3: the bracelet-network oblivious lower bound.
@@ -32,8 +34,32 @@ impl Experiment for E3BraceletLowerBound {
          Omega(sqrt(n)/log n) rounds for local broadcast"
     }
 
-    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
+    fn run(&self, cfg: &ExperimentConfig) -> Result<Vec<Table>, CampaignError> {
         let band_lengths = cfg.pick(&[3usize, 4], &[3, 4, 5, 6, 8], &[4, 6, 8, 10, 12, 16]);
+        let algorithms = [LocalAlgorithm::StaticDecay, LocalAlgorithm::Uniform];
+        let adversaries = [AdversarySpec::StaticNone, AdversarySpec::BraceletAttack];
+        let campaign = CampaignSpec::named("e3-bracelet")
+            .seed(cfg.seed + 20)
+            .trials(TrialPolicy::Fixed(cfg.trials))
+            .group(
+                SweepGroup::product(
+                    band_lengths
+                        .iter()
+                        .map(|&k| TopologySpec::Bracelet { k })
+                        .collect(),
+                    algorithms.iter().map(|&a| a.into()).collect(),
+                    adversaries.to_vec(),
+                    vec![ProblemSpec::LocalHeadsA],
+                )
+                // The old per-point budget 300 + 40·n, affine in n = 2k².
+                .rounds(RoundsRule::PerNode {
+                    per_node: 40,
+                    base: 300,
+                    min_nodes: 0,
+                }),
+            );
+        let store = run_campaign(&campaign)?;
+
         let mut table = Table::new(
             "E3: local broadcast in the bracelet network (broadcasters = heads of side A)",
             vec![
@@ -50,22 +76,19 @@ impl Experiment for E3BraceletLowerBound {
         for &k in &band_lengths {
             let n = 2 * k * k;
             let sqrt_over_log = (n as f64).sqrt() / (n.max(2) as f64).log2();
-            for algorithm in [LocalAlgorithm::StaticDecay, LocalAlgorithm::Uniform] {
-                for attacked in [false, true] {
-                    let adversary = if attacked {
-                        AdversarySpec::BraceletAttack
-                    } else {
-                        AdversarySpec::StaticNone
+            for algorithm in algorithms {
+                for adversary in &adversaries {
+                    let attacked = adversary == &AdversarySpec::BraceletAttack;
+                    let scenario = ScenarioSpec {
+                        topology: TopologySpec::Bracelet { k },
+                        algorithm: algorithm.into(),
+                        adversary: adversary.clone(),
+                        problem: ProblemSpec::LocalHeadsA,
+                        seed: cfg.seed + 20,
+                        max_rounds: Some(300 + 40 * n),
+                        collision_detection: false,
                     };
-                    let scenario = Scenario::on(TopologySpec::Bracelet { k })
-                        .algorithm(algorithm)
-                        .adversary(adversary.clone())
-                        .problem(ProblemSpec::LocalHeadsA)
-                        .seed(cfg.seed + 20)
-                        .max_rounds(300 + 40 * n)
-                        .build()
-                        .expect("bracelet scenario");
-                    let m = measure_rounds(&scenario, cfg.trials);
+                    let m = measurement_for(&store, &scenario)?;
                     if attacked && algorithm == LocalAlgorithm::StaticDecay {
                         attacked_series.push((n as f64, m.rounds.mean));
                     }
@@ -81,7 +104,7 @@ impl Experiment for E3BraceletLowerBound {
                 }
             }
         }
-        vec![table.with_caption(format!(
+        Ok(vec![table.with_caption(format!(
             "context: Theorem 4.3 is an existential bound — it holds because the adversary does not \
              know where the clasp sits, which a direct simulation (with a fixed, known clasp) cannot \
              exhibit; the table checks the attack never helps the algorithm and that the attacker's \
@@ -89,7 +112,7 @@ impl Experiment for E3BraceletLowerBound {
              quantitative Omega(sqrt(n)/log n) argument itself is exercised through the hitting-game \
              reduction of E7; attacked static-decay {}",
             fit_note(&attacked_series)
-        ))]
+        ))])
     }
 }
 
@@ -99,7 +122,9 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_rows_for_every_combination() {
-        let tables = E3BraceletLowerBound.run(&ExperimentConfig::smoke());
+        let tables = E3BraceletLowerBound
+            .run(&ExperimentConfig::smoke())
+            .unwrap();
         assert_eq!(tables.len(), 1);
         // 2 band lengths x 2 algorithms x 2 adversaries = 8 rows.
         assert_eq!(tables[0].rows().len(), 8);
@@ -107,7 +132,9 @@ mod tests {
 
     #[test]
     fn attack_is_no_faster_than_benign_links() {
-        let tables = E3BraceletLowerBound.run(&ExperimentConfig::smoke());
+        let tables = E3BraceletLowerBound
+            .run(&ExperimentConfig::smoke())
+            .unwrap();
         let rows = tables[0].rows();
         // Rows come in (benign, attacked) pairs per algorithm; compare means.
         for pair in rows.chunks(2) {

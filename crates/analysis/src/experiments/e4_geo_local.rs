@@ -7,10 +7,12 @@
 //! the general-graph lower bound of E3.
 
 use dradio_core::algorithms::LocalAlgorithm;
-use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
+use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
-use crate::sweep::measure_rounds;
+use crate::sweep::{
+    measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup, TrialPolicy,
+};
 use crate::table::Table;
 
 /// Experiment E4: geographic local broadcast under oblivious adversaries.
@@ -31,14 +33,19 @@ impl Experiment for E4GeoLocal {
          O(log^2 n log Delta) rounds against any oblivious adversary"
     }
 
-    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
-        vec![self.size_scaling(cfg), self.adversary_comparison(cfg)]
+    fn run(&self, cfg: &ExperimentConfig) -> Result<Vec<Table>, CampaignError> {
+        Ok(vec![
+            self.size_scaling(cfg)?,
+            self.adversary_comparison(cfg)?,
+        ])
     }
 }
 
 impl E4GeoLocal {
     /// A connected geographic deployment with roughly constant density (so
-    /// `Δ` stays bounded while `n` grows), as a pure topology spec.
+    /// `Δ` stays bounded while `n` grows), as a pure topology spec. The
+    /// spec's own seed pins the deployment: every cell that names it runs on
+    /// the identical network.
     fn deployment(n: usize, seed: u64) -> TopologySpec {
         let side = (n as f64 / 8.0).sqrt().max(1.5);
         TopologySpec::RandomGeometric {
@@ -50,12 +57,38 @@ impl E4GeoLocal {
     }
 
     /// Scaling with n at roughly constant density, iid adversary.
-    fn size_scaling(&self, cfg: &ExperimentConfig) -> Table {
+    fn size_scaling(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
         let sizes = cfg.pick(
             &[40usize, 60],
             &[60, 100, 160, 240],
             &[80, 160, 320, 480, 640],
         );
+        let algorithms = [
+            LocalAlgorithm::Geo,
+            LocalAlgorithm::StaticDecay,
+            LocalAlgorithm::RoundRobin,
+        ];
+        let problem = |i: usize, n: usize| ProblemSpec::LocalRandom {
+            count: (n / 4).max(1),
+            seed: cfg.seed + 100 + i as u64,
+        };
+        // The problem and deployment vary per size, so each size is a group.
+        let mut campaign = CampaignSpec::named("e4a-geo-scaling")
+            .seed(cfg.seed + 30)
+            .trials(TrialPolicy::Fixed(cfg.trials));
+        for (i, &n) in sizes.iter().enumerate() {
+            campaign = campaign.group(
+                SweepGroup::product(
+                    vec![Self::deployment(n, cfg.seed + i as u64)],
+                    algorithms.iter().map(|&a| a.into()).collect(),
+                    vec![AdversarySpec::Iid { p: 0.5 }],
+                    vec![problem(i, n)],
+                )
+                .rounds(RoundsRule::Fixed(40 * n + 4_000)),
+            );
+        }
+        let store = run_campaign(&campaign)?;
+
         let mut table = Table::new(
             "E4a: geographic local broadcast scaling (iid(0.5) adversary, ~constant density)",
             vec![
@@ -69,30 +102,21 @@ impl E4GeoLocal {
         );
         let mut geo_series: Vec<(f64, f64)> = Vec::new();
         for (i, &n) in sizes.iter().enumerate() {
-            let problem = ProblemSpec::LocalRandom {
-                count: (n / 4).max(1),
-                seed: cfg.seed + 100 + i as u64,
-            };
-            // Sample the O(n^2) deployment once per size; the per-algorithm
-            // scenarios share it.
             let deployment = Self::deployment(n, cfg.seed + i as u64);
-            let built = deployment.build().expect("dense deployments connect");
-            let delta = built.max_degree();
-            for algorithm in [
-                LocalAlgorithm::Geo,
-                LocalAlgorithm::StaticDecay,
-                LocalAlgorithm::RoundRobin,
-            ] {
-                let scenario = Scenario::on(deployment.clone())
-                    .with_topology(built.clone())
-                    .algorithm(algorithm)
-                    .adversary(AdversarySpec::Iid { p: 0.5 })
-                    .problem(problem.clone())
-                    .seed(cfg.seed + 30)
-                    .max_rounds(40 * n + 4_000)
-                    .build()
-                    .expect("valid scenario");
-                let m = measure_rounds(&scenario, cfg.trials);
+            // Rebuild the (seed-pinned) deployment once per size for the
+            // degree column.
+            let delta = deployment.build()?.max_degree();
+            for algorithm in algorithms {
+                let scenario = ScenarioSpec {
+                    topology: deployment.clone(),
+                    algorithm: algorithm.into(),
+                    adversary: AdversarySpec::Iid { p: 0.5 },
+                    problem: problem(i, n),
+                    seed: cfg.seed + 30,
+                    max_rounds: Some(40 * n + 4_000),
+                    collision_detection: false,
+                };
+                let m = measurement_for(&store, &scenario)?;
                 let log_n = (n.max(2) as f64).log2();
                 let log_delta = (delta.max(2) as f64).log2();
                 if algorithm == LocalAlgorithm::Geo {
@@ -108,15 +132,15 @@ impl E4GeoLocal {
                 ]);
             }
         }
-        table.with_caption(format!(
+        Ok(table.with_caption(format!(
             "paper: O(log^2 n log Delta), i.e. polylogarithmic growth vs the round-robin O(n); geo \
              series {}",
             fit_note(&geo_series)
-        ))
+        )))
     }
 
     /// Fixed deployment, several oblivious adversaries.
-    fn adversary_comparison(&self, cfg: &ExperimentConfig) -> Table {
+    fn adversary_comparison(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
         let n = *cfg
             .pick(&[50usize], &[120], &[240])
             .first()
@@ -137,27 +161,41 @@ impl E4GeoLocal {
                 },
             ),
         ];
-        // One shared deployment for the whole table (every cell runs on the
-        // identical network).
+        let algorithms = [LocalAlgorithm::Geo, LocalAlgorithm::StaticDecay];
+        // One seed-pinned deployment for the whole table (every cell runs on
+        // the identical network).
         let deployment = Self::deployment(n, cfg.seed + 7);
-        let built = deployment.build().expect("dense deployments connect");
-        let delta = built.max_degree();
+        let campaign = CampaignSpec::named("e4b-geo-adversaries")
+            .seed(cfg.seed + 31)
+            .trials(TrialPolicy::Fixed(cfg.trials))
+            .group(
+                SweepGroup::product(
+                    vec![deployment.clone()],
+                    algorithms.iter().map(|&a| a.into()).collect(),
+                    adversaries.iter().map(|(_, a)| a.clone()).collect(),
+                    vec![problem.clone()],
+                )
+                .rounds(RoundsRule::Fixed(40 * n + 4_000)),
+            );
+        let store = run_campaign(&campaign)?;
+
+        let delta = deployment.build()?.max_degree();
         let mut table = Table::new(
             format!("E4b: geographic local broadcast, n = {n}, Delta = {delta}, adversary sweep"),
             vec!["adversary", "algorithm", "rounds (mean)", "completion"],
         );
         for (adversary_name, adversary) in &adversaries {
-            for algorithm in [LocalAlgorithm::Geo, LocalAlgorithm::StaticDecay] {
-                let scenario = Scenario::on(deployment.clone())
-                    .with_topology(built.clone())
-                    .algorithm(algorithm)
-                    .adversary(adversary.clone())
-                    .problem(problem.clone())
-                    .seed(cfg.seed + 31)
-                    .max_rounds(40 * n + 4_000)
-                    .build()
-                    .expect("valid scenario");
-                let m = measure_rounds(&scenario, cfg.trials);
+            for algorithm in algorithms {
+                let scenario = ScenarioSpec {
+                    topology: deployment.clone(),
+                    algorithm: algorithm.into(),
+                    adversary: adversary.clone(),
+                    problem: problem.clone(),
+                    seed: cfg.seed + 31,
+                    max_rounds: Some(40 * n + 4_000),
+                    collision_detection: false,
+                };
+                let m = measurement_for(&store, &scenario)?;
                 table.push_row(vec![
                     adversary_name.to_string(),
                     algorithm.name().to_string(),
@@ -166,10 +204,10 @@ impl E4GeoLocal {
                 ]);
             }
         }
-        table.with_caption(
+        Ok(table.with_caption(
             "paper: the geographic algorithm tolerates every oblivious adversary; the grey-zone \
              links only help or hinder by constant factors",
-        )
+        ))
     }
 }
 
@@ -179,7 +217,7 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_two_tables() {
-        let tables = E4GeoLocal.run(&ExperimentConfig::smoke());
+        let tables = E4GeoLocal.run(&ExperimentConfig::smoke()).unwrap();
         assert_eq!(tables.len(), 2);
         assert!(tables[0].title().contains("E4a"));
         assert!(tables[1].title().contains("E4b"));
@@ -187,7 +225,7 @@ mod tests {
 
     #[test]
     fn every_smoke_row_completes() {
-        let tables = E4GeoLocal.run(&ExperimentConfig::smoke());
+        let tables = E4GeoLocal.run(&ExperimentConfig::smoke()).unwrap();
         for table in &tables {
             for row in table.rows() {
                 assert!(

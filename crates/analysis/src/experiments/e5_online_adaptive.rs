@@ -7,10 +7,12 @@
 //! transmission in a sparse round (a `1/n`-style event).
 
 use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
-use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
+use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
-use crate::sweep::measure_rounds;
+use crate::sweep::{
+    measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup, TrialPolicy,
+};
 use crate::table::Table;
 
 /// Experiment E5: the dense/sparse online adaptive attacker on the dual
@@ -32,14 +34,57 @@ impl Experiment for E5OnlineAdaptive {
          Omega(n / log n) rounds even on constant-diameter graphs"
     }
 
-    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
-        vec![self.global_scaling(cfg), self.local_scaling(cfg)]
+    fn run(&self, cfg: &ExperimentConfig) -> Result<Vec<Table>, CampaignError> {
+        Ok(vec![self.global_scaling(cfg)?, self.local_scaling(cfg)?])
+    }
+}
+
+fn attacked() -> AdversarySpec {
+    AdversarySpec::DenseSparse {
+        density_factor: None,
     }
 }
 
 impl E5OnlineAdaptive {
-    fn global_scaling(&self, cfg: &ExperimentConfig) -> Table {
+    fn global_scaling(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
         let sizes = cfg.pick(&[16usize, 32], &[16, 32, 64, 128], &[32, 64, 128, 256, 512]);
+        let algorithms = [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted];
+        let topologies: Vec<TopologySpec> = sizes
+            .iter()
+            .map(|&n| TopologySpec::DualClique { n })
+            .collect();
+        let algorithm_axis: Vec<_> = algorithms.iter().map(|&a| a.into()).collect();
+        // Attacked and benign runs use distinct seeds (as the original
+        // experiment did), so they are separate groups of one campaign.
+        let rounds = RoundsRule::PerNode {
+            per_node: 200,
+            base: 2_000,
+            min_nodes: 0,
+        };
+        let campaign = CampaignSpec::named("e5a-online-global")
+            .trials(TrialPolicy::Fixed(cfg.trials))
+            .group(
+                SweepGroup::product(
+                    topologies.clone(),
+                    algorithm_axis.clone(),
+                    vec![attacked()],
+                    vec![ProblemSpec::GlobalFrom(0)],
+                )
+                .seed(cfg.seed + 40)
+                .rounds(rounds),
+            )
+            .group(
+                SweepGroup::product(
+                    topologies,
+                    algorithm_axis,
+                    vec![AdversarySpec::StaticNone],
+                    vec![ProblemSpec::GlobalFrom(0)],
+                )
+                .seed(cfg.seed + 41)
+                .rounds(rounds),
+            );
+        let store = run_campaign(&campaign)?;
+
         let mut table = Table::new(
             "E5a: global broadcast on the dual clique, online adaptive adversary",
             vec![
@@ -54,49 +99,82 @@ impl E5OnlineAdaptive {
         );
         let mut attacked_series: Vec<(f64, f64)> = Vec::new();
         for &n in &sizes {
-            for algorithm in [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted] {
-                let measure = |adversary: AdversarySpec, seed: u64| {
-                    let scenario = Scenario::on(TopologySpec::DualClique { n })
-                        .algorithm(algorithm)
-                        .adversary(adversary)
-                        .problem(ProblemSpec::GlobalFrom(0))
-                        .seed(seed)
-                        .max_rounds(200 * n + 2_000)
-                        .build()
-                        .expect("dual clique scenario");
-                    measure_rounds(&scenario, cfg.trials)
+            for algorithm in algorithms {
+                let scenario = |adversary: AdversarySpec, seed: u64| ScenarioSpec {
+                    topology: TopologySpec::DualClique { n },
+                    algorithm: algorithm.into(),
+                    adversary,
+                    problem: ProblemSpec::GlobalFrom(0),
+                    seed,
+                    max_rounds: Some(200 * n + 2_000),
+                    collision_detection: false,
                 };
-                let attacked = measure(
-                    AdversarySpec::DenseSparse {
-                        density_factor: None,
-                    },
-                    cfg.seed + 40,
-                );
-                let benign = measure(AdversarySpec::StaticNone, cfg.seed + 41);
+                let attacked_m = measurement_for(&store, &scenario(attacked(), cfg.seed + 40))?;
+                let benign =
+                    measurement_for(&store, &scenario(AdversarySpec::StaticNone, cfg.seed + 41))?;
                 let n_over_log = n as f64 / (n.max(2) as f64).log2();
                 if algorithm == GlobalAlgorithm::Permuted {
-                    attacked_series.push((n as f64, attacked.rounds.mean));
+                    attacked_series.push((n as f64, attacked_m.rounds.mean));
                 }
                 table.push_row(vec![
                     n.to_string(),
                     algorithm.name().to_string(),
-                    fmt1(attacked.rounds.mean),
+                    fmt1(attacked_m.rounds.mean),
                     fmt1(benign.rounds.mean),
-                    fmt1(attacked.rounds.mean / benign.rounds.mean.max(1.0)),
-                    fmt1(attacked.rounds.mean / n_over_log),
-                    format!("{:.0}%", attacked.completion_rate * 100.0),
+                    fmt1(attacked_m.rounds.mean / benign.rounds.mean.max(1.0)),
+                    fmt1(attacked_m.rounds.mean / n_over_log),
+                    format!("{:.0}%", attacked_m.completion_rate * 100.0),
                 ]);
             }
         }
-        table.with_caption(format!(
+        Ok(table.with_caption(format!(
             "paper: attacked cost grows like Omega(n/log n) while the benign cost stays \
              polylogarithmic; permuted-decay attacked series {}",
             fit_note(&attacked_series)
-        ))
+        )))
     }
 
-    fn local_scaling(&self, cfg: &ExperimentConfig) -> Table {
+    fn local_scaling(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
         let sizes = cfg.pick(&[16usize, 32], &[16, 32, 64, 128], &[32, 64, 128, 256, 512]);
+        let algorithms = [LocalAlgorithm::StaticDecay, LocalAlgorithm::Uniform];
+        let topologies: Vec<TopologySpec> = sizes
+            .iter()
+            .map(|&n| TopologySpec::DualCliqueWithBridge {
+                n,
+                t_a: 0,
+                t_b: n / 2,
+            })
+            .collect();
+        let algorithm_axis: Vec<_> = algorithms.iter().map(|&a| a.into()).collect();
+        let rounds = RoundsRule::PerNode {
+            per_node: 200,
+            base: 2_000,
+            min_nodes: 0,
+        };
+        let campaign = CampaignSpec::named("e5b-online-local")
+            .trials(TrialPolicy::Fixed(cfg.trials))
+            .group(
+                SweepGroup::product(
+                    topologies.clone(),
+                    algorithm_axis.clone(),
+                    vec![attacked()],
+                    vec![ProblemSpec::LocalSideA],
+                )
+                .seed(cfg.seed + 42)
+                .rounds(rounds),
+            )
+            .group(
+                SweepGroup::product(
+                    topologies,
+                    algorithm_axis,
+                    vec![AdversarySpec::StaticNone],
+                    vec![ProblemSpec::LocalSideA],
+                )
+                .seed(cfg.seed + 43)
+                .rounds(rounds),
+            );
+        let store = run_campaign(&campaign)?;
+
         let mut table = Table::new(
             "E5b: local broadcast on the dual clique (B = side A), online adaptive adversary",
             vec![
@@ -110,47 +188,41 @@ impl E5OnlineAdaptive {
         );
         let mut attacked_series: Vec<(f64, f64)> = Vec::new();
         for &n in &sizes {
-            for algorithm in [LocalAlgorithm::StaticDecay, LocalAlgorithm::Uniform] {
-                let measure = |adversary: AdversarySpec, seed: u64| {
-                    let scenario = Scenario::on(TopologySpec::DualCliqueWithBridge {
+            for algorithm in algorithms {
+                let scenario = |adversary: AdversarySpec, seed: u64| ScenarioSpec {
+                    topology: TopologySpec::DualCliqueWithBridge {
                         n,
                         t_a: 0,
                         t_b: n / 2,
-                    })
-                    .algorithm(algorithm)
-                    .adversary(adversary)
-                    .problem(ProblemSpec::LocalSideA)
-                    .seed(seed)
-                    .max_rounds(200 * n + 2_000)
-                    .build()
-                    .expect("dual clique scenario");
-                    measure_rounds(&scenario, cfg.trials)
-                };
-                let attacked = measure(
-                    AdversarySpec::DenseSparse {
-                        density_factor: None,
                     },
-                    cfg.seed + 42,
-                );
-                let benign = measure(AdversarySpec::StaticNone, cfg.seed + 43);
+                    algorithm: algorithm.into(),
+                    adversary,
+                    problem: ProblemSpec::LocalSideA,
+                    seed,
+                    max_rounds: Some(200 * n + 2_000),
+                    collision_detection: false,
+                };
+                let attacked_m = measurement_for(&store, &scenario(attacked(), cfg.seed + 42))?;
+                let benign =
+                    measurement_for(&store, &scenario(AdversarySpec::StaticNone, cfg.seed + 43))?;
                 let n_over_log = n as f64 / (n.max(2) as f64).log2();
                 if algorithm == LocalAlgorithm::StaticDecay {
-                    attacked_series.push((n as f64, attacked.rounds.mean));
+                    attacked_series.push((n as f64, attacked_m.rounds.mean));
                 }
                 table.push_row(vec![
                     n.to_string(),
                     algorithm.name().to_string(),
-                    fmt1(attacked.rounds.mean),
+                    fmt1(attacked_m.rounds.mean),
                     fmt1(benign.rounds.mean),
-                    fmt1(attacked.rounds.mean / n_over_log),
-                    format!("{:.0}%", attacked.completion_rate * 100.0),
+                    fmt1(attacked_m.rounds.mean / n_over_log),
+                    format!("{:.0}%", attacked_m.completion_rate * 100.0),
                 ]);
             }
         }
-        table.with_caption(format!(
+        Ok(table.with_caption(format!(
             "paper: same Omega(n/log n) threshold for local broadcast; static-decay attacked series {}",
             fit_note(&attacked_series)
-        ))
+        )))
     }
 }
 
@@ -160,7 +232,7 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_two_tables() {
-        let tables = E5OnlineAdaptive.run(&ExperimentConfig::smoke());
+        let tables = E5OnlineAdaptive.run(&ExperimentConfig::smoke()).unwrap();
         assert_eq!(tables.len(), 2);
     }
 
@@ -172,7 +244,7 @@ mod tests {
             trials: 16,
             ..ExperimentConfig::smoke()
         };
-        let table = E5OnlineAdaptive.global_scaling(&cfg);
+        let table = E5OnlineAdaptive.global_scaling(&cfg).unwrap();
         // Compare the attacked and benign columns on the last row (largest n,
         // permuted algorithm).
         let last = table.rows().last().unwrap().clone();

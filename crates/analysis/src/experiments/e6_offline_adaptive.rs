@@ -8,10 +8,13 @@
 //! response.
 
 use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
-use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
+use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
-use crate::sweep::measure_rounds;
+use crate::sweep::{
+    measurement_for, run_campaign, CampaignError, CampaignSpec, ResultStore, RoundsRule,
+    SweepGroup, TrialPolicy,
+};
 use crate::table::Table;
 
 /// Experiment E6: the omniscient offline adaptive blocker on the dual clique.
@@ -32,8 +35,68 @@ impl Experiment for E6OfflineAdaptive {
          constant-diameter graphs; round robin achieves O(n) for local broadcast"
     }
 
-    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
+    fn run(&self, cfg: &ExperimentConfig) -> Result<Vec<Table>, CampaignError> {
         let sizes = cfg.pick(&[8usize, 16], &[16, 32, 64, 128], &[32, 64, 128, 256]);
+        let rounds = RoundsRule::PerNode {
+            per_node: 200,
+            base: 2_000,
+            min_nodes: 0,
+        };
+
+        let global_algorithms = [GlobalAlgorithm::Permuted, GlobalAlgorithm::RoundRobin];
+        let global_campaign = CampaignSpec::named("e6a-offline-global")
+            .seed(cfg.seed + 50)
+            .trials(TrialPolicy::Fixed(cfg.trials))
+            .group(
+                SweepGroup::product(
+                    sizes
+                        .iter()
+                        .map(|&n| TopologySpec::DualClique { n })
+                        .collect(),
+                    global_algorithms.iter().map(|&a| a.into()).collect(),
+                    vec![AdversarySpec::Omniscient],
+                    vec![ProblemSpec::GlobalFrom(0)],
+                )
+                .rounds(rounds),
+            );
+        let global_store = run_campaign(&global_campaign)?;
+        let global = self.global_table(cfg, &sizes, &global_algorithms, &global_store)?;
+
+        let local_algorithms = [LocalAlgorithm::StaticDecay, LocalAlgorithm::RoundRobin];
+        let local_campaign = CampaignSpec::named("e6b-offline-local")
+            .seed(cfg.seed + 51)
+            .trials(TrialPolicy::Fixed(cfg.trials))
+            .group(
+                SweepGroup::product(
+                    sizes
+                        .iter()
+                        .map(|&n| TopologySpec::DualCliqueWithBridge {
+                            n,
+                            t_a: 0,
+                            t_b: n / 2,
+                        })
+                        .collect(),
+                    local_algorithms.iter().map(|&a| a.into()).collect(),
+                    vec![AdversarySpec::Omniscient],
+                    vec![ProblemSpec::LocalSideA],
+                )
+                .rounds(rounds),
+            );
+        let local_store = run_campaign(&local_campaign)?;
+        let local = self.local_table(cfg, &sizes, &local_algorithms, &local_store)?;
+
+        Ok(vec![global, local])
+    }
+}
+
+impl E6OfflineAdaptive {
+    fn global_table(
+        &self,
+        cfg: &ExperimentConfig,
+        sizes: &[usize],
+        algorithms: &[GlobalAlgorithm],
+        store: &ResultStore,
+    ) -> Result<Table, CampaignError> {
         let mut global = Table::new(
             "E6a: global broadcast on the dual clique, offline adaptive adversary",
             vec![
@@ -45,17 +108,18 @@ impl Experiment for E6OfflineAdaptive {
             ],
         );
         let mut randomized_series: Vec<(f64, f64)> = Vec::new();
-        for &n in &sizes {
-            for algorithm in [GlobalAlgorithm::Permuted, GlobalAlgorithm::RoundRobin] {
-                let scenario = Scenario::on(TopologySpec::DualClique { n })
-                    .algorithm(algorithm)
-                    .adversary(AdversarySpec::Omniscient)
-                    .problem(ProblemSpec::GlobalFrom(0))
-                    .seed(cfg.seed + 50)
-                    .max_rounds(200 * n + 2_000)
-                    .build()
-                    .expect("dual clique scenario");
-                let m = measure_rounds(&scenario, cfg.trials);
+        for &n in sizes {
+            for &algorithm in algorithms {
+                let scenario = ScenarioSpec {
+                    topology: TopologySpec::DualClique { n },
+                    algorithm: algorithm.into(),
+                    adversary: AdversarySpec::Omniscient,
+                    problem: ProblemSpec::GlobalFrom(0),
+                    seed: cfg.seed + 50,
+                    max_rounds: Some(200 * n + 2_000),
+                    collision_detection: false,
+                };
+                let m = measurement_for(store, &scenario)?;
                 if algorithm == GlobalAlgorithm::Permuted {
                     randomized_series.push((n as f64, m.rounds.mean));
                 }
@@ -68,11 +132,19 @@ impl Experiment for E6OfflineAdaptive {
                 ]);
             }
         }
-        let global = global.with_caption(format!(
+        Ok(global.with_caption(format!(
             "paper: Omega(n) for every algorithm; randomized decay attacked series {}",
             fit_note(&randomized_series)
-        ));
+        )))
+    }
 
+    fn local_table(
+        &self,
+        cfg: &ExperimentConfig,
+        sizes: &[usize],
+        algorithms: &[LocalAlgorithm],
+        store: &ResultStore,
+    ) -> Result<Table, CampaignError> {
         let mut local = Table::new(
             "E6b: local broadcast on the dual clique (B = side A), offline adaptive adversary",
             vec![
@@ -83,21 +155,22 @@ impl Experiment for E6OfflineAdaptive {
                 "rounds / n",
             ],
         );
-        for &n in &sizes {
-            for algorithm in [LocalAlgorithm::StaticDecay, LocalAlgorithm::RoundRobin] {
-                let scenario = Scenario::on(TopologySpec::DualCliqueWithBridge {
-                    n,
-                    t_a: 0,
-                    t_b: n / 2,
-                })
-                .algorithm(algorithm)
-                .adversary(AdversarySpec::Omniscient)
-                .problem(ProblemSpec::LocalSideA)
-                .seed(cfg.seed + 51)
-                .max_rounds(200 * n + 2_000)
-                .build()
-                .expect("dual clique scenario");
-                let m = measure_rounds(&scenario, cfg.trials);
+        for &n in sizes {
+            for &algorithm in algorithms {
+                let scenario = ScenarioSpec {
+                    topology: TopologySpec::DualCliqueWithBridge {
+                        n,
+                        t_a: 0,
+                        t_b: n / 2,
+                    },
+                    algorithm: algorithm.into(),
+                    adversary: AdversarySpec::Omniscient,
+                    problem: ProblemSpec::LocalSideA,
+                    seed: cfg.seed + 51,
+                    max_rounds: Some(200 * n + 2_000),
+                    collision_detection: false,
+                };
+                let m = measurement_for(store, &scenario)?;
                 local.push_row(vec![
                     n.to_string(),
                     algorithm.name().to_string(),
@@ -107,11 +180,10 @@ impl Experiment for E6OfflineAdaptive {
                 ]);
             }
         }
-        let local = local.with_caption(
+        Ok(local.with_caption(
             "paper: round robin completes within n rounds under any link process (footnote 4), \
              matching the Omega(n) lower bound up to constants",
-        );
-        vec![global, local]
+        ))
     }
 }
 
@@ -121,13 +193,13 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_two_tables() {
-        let tables = E6OfflineAdaptive.run(&ExperimentConfig::smoke());
+        let tables = E6OfflineAdaptive.run(&ExperimentConfig::smoke()).unwrap();
         assert_eq!(tables.len(), 2);
     }
 
     #[test]
     fn round_robin_local_broadcast_stays_within_n_rounds() {
-        let tables = E6OfflineAdaptive.run(&ExperimentConfig::smoke());
+        let tables = E6OfflineAdaptive.run(&ExperimentConfig::smoke()).unwrap();
         for row in tables[1].rows() {
             if row[1] == "round-robin" {
                 let n: f64 = row[0].parse().unwrap();

@@ -18,6 +18,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::experiments::{fmt1, Experiment, ExperimentConfig};
 use crate::stats::Summary;
+use crate::sweep::CampaignError;
 use crate::table::Table;
 
 /// Experiment E7: the β-hitting game and the broadcast-to-hitting reduction.
@@ -39,8 +40,11 @@ impl Experiment for E7HittingGame {
          O(f(2 beta) log beta) rounds (Theorem 3.1)"
     }
 
-    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
-        vec![self.players(cfg), self.reduction(cfg)]
+    // E7 plays the abstract β-hitting game rather than sweeping scenarios,
+    // so it has no campaign definition — but it reports through the same
+    // fallible interface as the scenario experiments.
+    fn run(&self, cfg: &ExperimentConfig) -> Result<Vec<Table>, CampaignError> {
+        Ok(vec![self.players(cfg), self.reduction(cfg)])
     }
 }
 
@@ -152,7 +156,7 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_two_tables() {
-        let tables = E7HittingGame.run(&ExperimentConfig::smoke());
+        let tables = E7HittingGame.run(&ExperimentConfig::smoke()).unwrap();
         assert_eq!(tables.len(), 2);
         assert!(tables[0].rows().len() >= 4);
         assert!(tables[1].rows().len() >= 2);

@@ -21,7 +21,7 @@ use dradio_core::algorithms::GlobalAlgorithm;
 use dradio_core::decay::{DecaySchedule, PermutedDecaySchedule};
 use dradio_core::kinds;
 use dradio_graphs::{DualGraph, GraphBuilder};
-use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
+use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, ScenarioSpec, TopologySpec};
 use dradio_sim::process::log2_ceil;
 use dradio_sim::sampling::bernoulli;
 use dradio_sim::{
@@ -31,7 +31,9 @@ use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::experiments::{fmt1, Experiment, ExperimentConfig};
-use crate::sweep::measure_rounds;
+use crate::sweep::{
+    measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup, TrialPolicy,
+};
 use crate::table::Table;
 
 /// Experiment E8: fixed vs permuted decay under the schedule-aware oblivious
@@ -53,8 +55,11 @@ impl Experiment for E8DecayAblation {
          decay call still delivers with probability > 1/2 (Lemma 4.2)"
     }
 
-    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table> {
-        vec![self.grey_star(cfg), self.dual_clique_comparison(cfg)]
+    fn run(&self, cfg: &ExperimentConfig) -> Result<Vec<Table>, CampaignError> {
+        Ok(vec![
+            self.grey_star(cfg)?,
+            self.dual_clique_comparison(cfg)?,
+        ])
     }
 }
 
@@ -142,7 +147,13 @@ impl E8DecayAblation {
     }
 
     /// Rounds until the grey-star receiver hears some broadcaster.
-    fn grey_star(&self, cfg: &ExperimentConfig) -> Table {
+    ///
+    /// This table cannot be a campaign: the topology is hand-built and every
+    /// trial attaches a *different* hand-written factory (a fresh shared bit
+    /// string), neither of which a declarative, serializable cell can carry.
+    /// It runs through `Scenario` directly but reports errors like the
+    /// campaign-backed tables instead of panicking.
+    fn grey_star(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
         let grey_sizes = cfg.pick(&[8usize, 16], &[8, 16, 32, 64], &[16, 32, 64, 128, 256]);
         let reliable = 2usize;
         let mut table = Table::new(
@@ -186,8 +197,7 @@ impl E8DecayAblation {
                         })
                         .seed(cfg.seed + 71 + t as u64)
                         .max_rounds(400 * levels)
-                        .build()
-                        .expect("grey star scenario");
+                        .build()?;
                     let cost = scenario.run().cost();
                     if cost <= call_length {
                         within_call += 1;
@@ -204,37 +214,56 @@ impl E8DecayAblation {
                 ]);
             }
         }
-        table.with_caption(
+        Ok(table.with_caption(
             "paper (Lemma 4.2): one permuted decay call delivers with probability > 1/2 even under \
              an oblivious adversary; the fixed schedule's delivery rate collapses as the grey \
              degree grows",
-        )
+        ))
     }
 
-    /// Network-scale comparison on the dual clique.
-    fn dual_clique_comparison(&self, cfg: &ExperimentConfig) -> Table {
+    /// Network-scale comparison on the dual clique, as a campaign. The
+    /// decay-aware attacker's assumed-transmitter set depends on n (it
+    /// correctly assumes only the source's clique side transmits until the
+    /// bridge carries the message across), so each size is its own group.
+    fn dual_clique_comparison(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
         let sizes = cfg.pick(&[16usize, 32], &[32, 64, 128], &[64, 128, 256, 512]);
+        let algorithms = [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted];
+        let adversary = |n: usize| AdversarySpec::DecayAware {
+            levels: None,
+            assumed_transmitters: (0..n / 2).collect(),
+        };
+        let mut campaign = CampaignSpec::named("e8b-decay-aware-clique")
+            .seed(cfg.seed + 72)
+            .trials(TrialPolicy::Fixed(cfg.trials));
+        for &n in &sizes {
+            campaign = campaign.group(
+                SweepGroup::product(
+                    vec![TopologySpec::DualClique { n }],
+                    algorithms.iter().map(|&a| a.into()).collect(),
+                    vec![adversary(n)],
+                    vec![ProblemSpec::GlobalFrom(0)],
+                )
+                .rounds(RoundsRule::Fixed(100 * n + 2_000)),
+            );
+        }
+        let store = run_campaign(&campaign)?;
+
         let mut table = Table::new(
             "E8b: global broadcast on the dual clique under the decay-aware oblivious adversary",
             vec!["n", "algorithm", "rounds (mean)", "completion"],
         );
         for &n in &sizes {
-            for algorithm in [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted] {
-                let scenario = Scenario::on(TopologySpec::DualClique { n })
-                    .algorithm(algorithm)
-                    // The attacker assumes (correctly) that only the source's
-                    // side of the clique transmits until the bridge carries
-                    // the message across.
-                    .adversary(AdversarySpec::DecayAware {
-                        levels: None,
-                        assumed_transmitters: (0..n / 2).collect(),
-                    })
-                    .problem(ProblemSpec::GlobalFrom(0))
-                    .seed(cfg.seed + 72)
-                    .max_rounds(100 * n + 2_000)
-                    .build()
-                    .expect("dual clique scenario");
-                let m = measure_rounds(&scenario, cfg.trials);
+            for algorithm in algorithms {
+                let scenario = ScenarioSpec {
+                    topology: TopologySpec::DualClique { n },
+                    algorithm: algorithm.into(),
+                    adversary: adversary(n),
+                    problem: ProblemSpec::GlobalFrom(0),
+                    seed: cfg.seed + 72,
+                    max_rounds: Some(100 * n + 2_000),
+                    collision_detection: false,
+                };
+                let m = measurement_for(&store, &scenario)?;
                 table.push_row(vec![
                     n.to_string(),
                     algorithm.name().to_string(),
@@ -243,12 +272,12 @@ impl E8DecayAblation {
                 ]);
             }
         }
-        table.with_caption(
+        Ok(table.with_caption(
             "context: on the dual clique every receiver keeps ~n/2 reliable broadcaster neighbors, \
              so even plain decay resists the oblivious schedule attack here (both variants stay \
              polylogarithmic); the schedule attack bites when receivers depend on grey-zone links \
              for most of their broadcaster connectivity — that regime is measured in E8a",
-        )
+        ))
     }
 }
 
@@ -270,7 +299,7 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_two_tables() {
-        let tables = E8DecayAblation.run(&ExperimentConfig::smoke());
+        let tables = E8DecayAblation.run(&ExperimentConfig::smoke()).unwrap();
         assert_eq!(tables.len(), 2);
         assert!(tables[0].title().contains("E8a"));
         assert!(tables[1].title().contains("E8b"));
@@ -278,7 +307,9 @@ mod tests {
 
     #[test]
     fn permuted_is_not_slower_than_fixed_on_the_grey_star() {
-        let table = E8DecayAblation.grey_star(&ExperimentConfig::smoke());
+        let table = E8DecayAblation
+            .grey_star(&ExperimentConfig::smoke())
+            .unwrap();
         // Rows alternate fixed/permuted per grey size; compare the largest.
         let rows = table.rows();
         let fixed: f64 = rows[rows.len() - 2][3].parse().unwrap();

@@ -25,6 +25,7 @@ pub use e7_hitting::E7HittingGame;
 pub use e8_decay_ablation::E8DecayAblation;
 
 use crate::fit::best_fit;
+use crate::sweep::CampaignError;
 use crate::table::Table;
 
 /// How much work an experiment run should do.
@@ -99,7 +100,17 @@ pub trait Experiment: Sync + Send {
     fn paper_claim(&self) -> &'static str;
 
     /// Runs the experiment and returns its tables.
-    fn run(&self, cfg: &ExperimentConfig) -> Vec<Table>;
+    ///
+    /// Scenario-sweep experiments define themselves as
+    /// [`CampaignSpec`](crate::sweep::CampaignSpec)s and execute through the
+    /// campaign engine, so misconfiguration (zero trials, incompatible
+    /// components) propagates as an error instead of panicking mid-sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError`] when a campaign fails to validate or a cell fails to
+    /// build or run.
+    fn run(&self, cfg: &ExperimentConfig) -> Result<Vec<Table>, CampaignError>;
 }
 
 /// The registry of all experiments in presentation order.
@@ -179,7 +190,9 @@ mod tests {
     fn every_experiment_runs_at_smoke_scale() {
         let cfg = ExperimentConfig::smoke();
         for experiment in all() {
-            let tables = experiment.run(&cfg);
+            let tables = experiment
+                .run(&cfg)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", experiment.id()));
             assert!(!tables.is_empty(), "{} produced no tables", experiment.id());
             for table in &tables {
                 assert!(

@@ -10,13 +10,20 @@
 //! * [`fit`] — least-squares fitting of measured round counts against the
 //!   asymptotic growth shapes the paper predicts (`log² n`, `n / log n`,
 //!   `√n / log n`, …), so each experiment can report *which* shape matches;
-//! * [`sweep`] — the measurement entry point over scenarios;
+//! * [`sweep`] — the measurement entry point over scenario sweeps, built on
+//!   the [`dradio_campaign`] engine (declarative
+//!   [`CampaignSpec`](sweep::CampaignSpec)s executed with work-stealing
+//!   parallelism across cells);
 //! * [`experiments`] — the experiment definitions E1–E8, each mapping to one
 //!   row (or supporting lemma) of Figure 1. `experiments::all()` is the
-//!   registry used by the `repro` binary and the Criterion benches.
+//!   registry used by the `repro` binary and the Criterion benches. The
+//!   scenario-sweep experiments are thin campaign definitions; the `repro`
+//!   binary can also run hand-written campaigns with a persistent, resumable
+//!   result store (`repro campaign run --campaign <json>`).
 //!
 //! New workloads start from [`Scenario::on`](dradio_scenario::Scenario::on);
-//! see the [`dradio_scenario`] crate docs for the builder API.
+//! see the [`dradio_scenario`] crate docs for the builder API and the
+//! [`dradio_campaign`] crate docs for sweeps.
 //!
 //! # Example
 //!
@@ -24,8 +31,9 @@
 //! use dradio_analysis::experiments::{self, ExperimentConfig};
 //! let cfg = ExperimentConfig::smoke();
 //! let e1 = &experiments::all()[0];
-//! let tables = e1.run(&cfg);
+//! let tables = e1.run(&cfg)?;
 //! assert!(!tables.is_empty());
+//! # Ok::<(), dradio_analysis::sweep::CampaignError>(())
 //! ```
 //!
 //! [`ScenarioRunner`]: dradio_scenario::ScenarioRunner
@@ -41,5 +49,5 @@ pub mod table;
 
 pub use fit::{best_fit, GrowthModel};
 pub use stats::Summary;
-pub use sweep::{measure_rounds, Measurement};
+pub use sweep::{run_campaign, CampaignError, CampaignSpec, Measurement};
 pub use table::Table;

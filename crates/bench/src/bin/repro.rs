@@ -1,28 +1,43 @@
 //! `repro` — regenerate every experiment table of the PODC 2013 reproduction,
-//! or run an ad-hoc serialized scenario.
+//! run an ad-hoc serialized scenario, or drive a persistent measurement
+//! campaign.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p dradio-bench --bin repro --release [-- OPTIONS]
+//! cargo run -p dradio-bench --bin repro --release -- campaign <run|resume|report> \
+//!     --campaign <json-or-path> [--store <path>]
 //!
 //! OPTIONS:
-//!     --smoke            tiny sizes, 1 trial (sanity check)
-//!     --quick            moderate sizes, 3 trials (default)
-//!     --full             larger sizes, 8 trials
-//!     --only <ID>        run only the experiment with this id (e.g. E5)
-//!     --csv              also print each table as CSV
-//!     --list             list experiments and exit
-//!     --scenario <JSON>  run a serialized ScenarioSpec instead of the
-//!                        experiments (use --trials to repeat it)
-//!     --trials <N>       trials for --scenario (default 8)
-//!     --example-scenario print a ScenarioSpec JSON template and exit
+//!     --smoke             tiny sizes, 1 trial (sanity check)
+//!     --quick             moderate sizes, 3 trials (default)
+//!     --full              larger sizes, 8 trials
+//!     --only <ID>         run only the experiment with this id (e.g. E5)
+//!     --csv               also print each table as CSV
+//!     --list              list experiments and exit
+//!     --scenario <JSON>   run a serialized ScenarioSpec instead of the
+//!                         experiments (use --trials to repeat it)
+//!     --trials <N>        trials for --scenario (default 8)
+//!     --example-scenario  print a ScenarioSpec JSON template and exit
+//!     --example-campaign  print a CampaignSpec JSON template and exit
+//!
+//! CAMPAIGN SUBCOMMANDS (all take --campaign <inline JSON or file path>):
+//!     campaign run        execute every cell missing from the store
+//!                         (creates the store; resumes it if it exists)
+//!     campaign resume     like run, but requires the store to exist already
+//!     campaign report     render the stored results as a table (no execution)
+//!     --store <path>      JSONL result store (default: <name>.campaign.jsonl)
 //! ```
 
 use std::env;
 use std::process::ExitCode;
 
 use dradio_analysis::experiments::{self, ExperimentConfig};
+use dradio_analysis::Table;
+use dradio_campaign::{
+    CampaignRunner, CampaignSpec, ResultStore, RoundsRule, SweepGroup, TrialPolicy,
+};
 use dradio_core::algorithms::GlobalAlgorithm;
 use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
@@ -70,8 +85,207 @@ fn example_scenario() -> String {
     serde_json::to_string_pretty(&spec).expect("specs always serialize")
 }
 
+/// A small 2-axis sweep (network size × algorithm) with adaptive trial
+/// allocation — the template for `--campaign`, also exercised by CI.
+fn example_campaign() -> CampaignSpec {
+    CampaignSpec::named("example-clique-sweep")
+        .seed(1)
+        .trials(TrialPolicy::Adaptive {
+            min: 2,
+            max: 8,
+            relative_width: 0.2,
+        })
+        .group(
+            SweepGroup::product(
+                vec![
+                    TopologySpec::DualClique { n: 16 },
+                    TopologySpec::DualClique { n: 32 },
+                ],
+                vec![
+                    GlobalAlgorithm::Bgi.into(),
+                    GlobalAlgorithm::Permuted.into(),
+                ],
+                vec![AdversarySpec::Iid { p: 0.5 }],
+                vec![ProblemSpec::GlobalFrom(0)],
+            )
+            .rounds(RoundsRule::PerNode {
+                per_node: 60,
+                base: 0,
+                min_nodes: 16,
+            }),
+        )
+}
+
+/// Renders a store's records as the standard result table.
+fn campaign_table(spec: &CampaignSpec, store: &ResultStore) -> Table {
+    let mut table = Table::new(
+        format!("campaign {:?} ({} cells measured)", spec.name, store.len()),
+        vec![
+            "topology",
+            "algorithm",
+            "adversary",
+            "problem",
+            "seed",
+            "trials",
+            "rounds (mean ± ci95)",
+            "median",
+            "p95",
+            "completion",
+        ],
+    );
+    for record in store.records() {
+        let s = &record.cell.scenario;
+        let m = &record.measurement;
+        table.push_row(vec![
+            s.topology.label(),
+            s.algorithm.name().to_string(),
+            s.adversary.label(),
+            s.problem.label(),
+            s.seed.to_string(),
+            record.trials_run.to_string(),
+            format!("{:.1} ± {:.1}", m.rounds.mean, m.rounds.ci95_half_width()),
+            format!("{:.1}", m.rounds.median),
+            format!("{:.1}", m.rounds.p95),
+            format!("{:.0}%", m.completion_rate * 100.0),
+        ]);
+    }
+    table
+}
+
+/// Loads a campaign spec from inline JSON or a file path.
+fn load_campaign(arg: &str) -> Result<CampaignSpec, String> {
+    let json = if arg.trim_start().starts_with('{') {
+        arg.to_string()
+    } else {
+        std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?
+    };
+    serde_json::from_str(&json).map_err(|e| format!("could not parse the campaign spec: {e}"))
+}
+
+fn campaign_command(args: &[String]) -> ExitCode {
+    let Some(action) = args.first().map(String::as_str) else {
+        eprintln!("campaign needs an action: run | resume | report");
+        return ExitCode::FAILURE;
+    };
+    if !matches!(action, "run" | "resume" | "report") {
+        eprintln!("unknown campaign action {action}; use run, resume, or report");
+        return ExitCode::FAILURE;
+    }
+    let mut campaign_arg: Option<String> = None;
+    let mut store_arg: Option<String> = None;
+    let mut csv = false;
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--campaign" => match iter.next() {
+                Some(v) => campaign_arg = Some(v.clone()),
+                None => {
+                    eprintln!("--campaign requires a JSON string or file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--store" => match iter.next() {
+                Some(v) => store_arg = Some(v.clone()),
+                None => {
+                    eprintln!("--store requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--csv" => csv = true,
+            other => {
+                eprintln!("unknown campaign option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(campaign_arg) = campaign_arg else {
+        eprintln!("campaign {action} requires --campaign <json-or-path>");
+        return ExitCode::FAILURE;
+    };
+    let spec = match load_campaign(&campaign_arg) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let store_path = store_arg.unwrap_or_else(|| format!("{}.campaign.jsonl", spec.name));
+
+    // Only `run` may create the store; `resume` and `report` address an
+    // existing one (report must not leave an empty file behind).
+    if action != "run" && !std::path::Path::new(&store_path).exists() {
+        eprintln!(
+            "campaign {action}: store {store_path} does not exist; use `campaign run` to start one"
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut store = match ResultStore::open(&store_path) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{spec}");
+    println!(
+        "store: {store_path} ({} cells already measured)",
+        store.len()
+    );
+
+    if action != "report" {
+        match CampaignRunner::new(&spec).run(&mut store) {
+            Ok(report) => {
+                println!(
+                    "cells: {} total, {} skipped (already measured), {} executed",
+                    report.total, report.skipped, report.executed
+                );
+            }
+            Err(e) => {
+                eprintln!("campaign failed: {e}");
+                eprintln!(
+                    "(the {} cells committed so far are safe in {store_path}; \
+                     rerun `campaign resume` after fixing the problem)",
+                    store.len()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let table = campaign_table(&spec, &store);
+    println!("{}", table.render());
+    if csv {
+        println!("```csv");
+        print!("{}", table.to_csv());
+        println!("```");
+    }
+    if action == "report" {
+        match spec.expand() {
+            Ok(cells) => {
+                let missing = cells
+                    .iter()
+                    .filter(|cell| !store.contains(&cell.key()))
+                    .count();
+                if missing > 0 {
+                    println!("({missing} of {} cells not yet measured)", cells.len());
+                }
+            }
+            Err(e) => {
+                eprintln!("campaign spec does not expand: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("campaign") {
+        return campaign_command(&args[1..]);
+    }
+
     let mut cfg = ExperimentConfig::quick();
     let mut only: Option<String> = None;
     let mut csv = false;
@@ -112,11 +326,23 @@ fn main() -> ExitCode {
                 println!("{}", example_scenario());
                 return ExitCode::SUCCESS;
             }
+            "--example-campaign" => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&example_campaign())
+                        .expect("campaigns always serialize")
+                );
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 println!("repro: regenerate the PODC 2013 reproduction tables");
                 println!(
                     "options: --smoke | --quick | --full, --only <ID>, --csv, --list, \
-                     --scenario <JSON> [--trials <N>], --example-scenario"
+                     --scenario <JSON> [--trials <N>], --example-scenario, --example-campaign"
+                );
+                println!(
+                    "campaigns: campaign <run|resume|report> --campaign <json-or-path> \
+                     [--store <path>] [--csv]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -154,7 +380,14 @@ fn main() -> ExitCode {
         println!("=== {} — {} ===", experiment.id(), experiment.title());
         println!("paper claim: {}", experiment.paper_claim());
         println!();
-        for table in experiment.run(&cfg) {
+        let tables = match experiment.run(&cfg) {
+            Ok(tables) => tables,
+            Err(e) => {
+                eprintln!("{} failed: {e}", experiment.id());
+                return ExitCode::FAILURE;
+            }
+        };
+        for table in tables {
             println!("{}", table.render());
             if csv {
                 println!("```csv");

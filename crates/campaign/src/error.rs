@@ -1,0 +1,133 @@
+//! Errors produced while expanding, storing, or running a campaign.
+
+use std::fmt;
+
+use dradio_scenario::ScenarioError;
+
+/// Everything that can go wrong in the campaign engine.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The campaign spec is malformed (empty axis, zero-trial policy, …).
+    /// Misconfiguration is a spec-validation error, never a panic: a campaign
+    /// asking for zero trials surfaces here before any cell runs.
+    Spec {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A cell failed to build or run (incompatible components, rejected
+    /// topology parameters, …). Carries the offending cell's label.
+    Cell {
+        /// Display label of the failing cell.
+        cell: String,
+        /// The underlying scenario error.
+        source: ScenarioError,
+    },
+    /// A cell's execution panicked on a worker thread — a bug in a lower
+    /// layer, captured so the campaign fails cleanly instead of wedging the
+    /// in-order committer on a slot that would never fill.
+    CellPanicked {
+        /// Display label of the panicking cell.
+        cell: String,
+        /// The panic payload, if it was a string.
+        reason: String,
+    },
+    /// A scenario operation failed outside any campaign cell (e.g. an
+    /// experiment's bespoke non-campaign path building a scenario).
+    Scenario(ScenarioError),
+    /// The result store could not be read, parsed, or written.
+    Store {
+        /// Human-readable explanation (path + cause).
+        reason: String,
+    },
+}
+
+impl CampaignError {
+    /// Creates a spec-validation error.
+    pub fn spec(reason: impl Into<String>) -> Self {
+        CampaignError::Spec {
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates a store error.
+    pub fn store(reason: impl Into<String>) -> Self {
+        CampaignError::Store {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Spec { reason } => write!(f, "invalid campaign spec: {reason}"),
+            CampaignError::Cell { cell, source } => {
+                write!(f, "campaign cell [{cell}] failed: {source}")
+            }
+            CampaignError::CellPanicked { cell, reason } => {
+                write!(f, "campaign cell [{cell}] panicked: {reason}")
+            }
+            CampaignError::Scenario(source) => write!(f, "scenario failed: {source}"),
+            CampaignError::Store { reason } => write!(f, "campaign result store: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Cell { source, .. } | CampaignError::Scenario(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScenarioError> for CampaignError {
+    fn from(source: ScenarioError) -> Self {
+        CampaignError::Scenario(source)
+    }
+}
+
+/// Convenient result alias for fallible campaign operations.
+pub type Result<T> = std::result::Result<T, CampaignError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases = vec![
+            (CampaignError::spec("no groups"), "invalid campaign spec"),
+            (
+                CampaignError::Cell {
+                    cell: "clique(8) × bgi".into(),
+                    source: ScenarioError::NoTrials,
+                },
+                "campaign cell [clique(8) × bgi]",
+            ),
+            (
+                CampaignError::CellPanicked {
+                    cell: "clique(8) × bgi".into(),
+                    reason: "index out of bounds".into(),
+                },
+                "panicked: index out of bounds",
+            ),
+            (
+                CampaignError::Scenario(ScenarioError::NoTrials),
+                "scenario failed",
+            ),
+            (CampaignError::store("short read"), "result store"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn scenario_errors_convert() {
+        let err: CampaignError = ScenarioError::NoTrials.into();
+        assert!(matches!(err, CampaignError::Scenario(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

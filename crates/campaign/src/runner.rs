@@ -1,0 +1,459 @@
+//! Executing a campaign: work-stealing across cells, streaming committed
+//! results to the store in deterministic order.
+//!
+//! # Execution model
+//!
+//! Pending cells (those whose key is absent from the store) are claimed by
+//! worker threads off a shared atomic counter — dynamic self-scheduling, so a
+//! slow cell never idles the other workers. Finished measurements are handed
+//! to a committer that appends them to the [`ResultStore`] strictly in
+//! cell-expansion order. Two consequences:
+//!
+//! * **Determinism** — the store's byte content depends only on the campaign
+//!   spec, never on thread scheduling (measurements are deterministic per
+//!   cell; commit order is fixed).
+//! * **Resumability** — a killed run leaves a clean expansion-order prefix
+//!   (plus at most one torn line the store discards), and a resumed run
+//!   appends exactly the missing suffix, reproducing the uninterrupted store
+//!   byte for byte.
+//!
+//! Trials *within* a cell run sequentially when cells run in parallel (the
+//! cell fan-out already saturates the cores); when only one cell is pending
+//! the runner drops to the scenario layer's parallel trial runner instead.
+//! Both modes produce identical measurements by the scenario runner's
+//! parallel-equals-sequential guarantee.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use dradio_scenario::{Measurement, Scenario, ScenarioRunner, TrialOutcome};
+
+use crate::error::{CampaignError, Result};
+use crate::spec::{CampaignSpec, CellSpec, TrialPolicy};
+use crate::store::{CellRecord, ResultStore};
+
+/// What a [`CampaignRunner::run`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunReport {
+    /// Total cells in the campaign's expansion.
+    pub total: usize,
+    /// Cells skipped because the store already held them.
+    pub skipped: usize,
+    /// Cells executed (and appended) by this call.
+    pub executed: usize,
+}
+
+/// Executes the cells of a [`CampaignSpec`] against a [`ResultStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignRunner<'a> {
+    spec: &'a CampaignSpec,
+    threads: Option<usize>,
+}
+
+impl<'a> CampaignRunner<'a> {
+    /// Creates a runner over `spec` with automatic thread-count selection.
+    pub fn new(spec: &'a CampaignSpec) -> Self {
+        CampaignRunner {
+            spec,
+            threads: None,
+        }
+    }
+
+    /// Overrides the worker thread count (`1` forces fully sequential cell
+    /// execution; measurements are identical either way).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Runs every cell not already present in `store`, appending results in
+    /// cell-expansion order.
+    ///
+    /// # Errors
+    ///
+    /// * [`CampaignError::Spec`] if the campaign fails to validate or expand.
+    /// * [`CampaignError::Cell`] if a cell fails to build or run; cells
+    ///   committed before the failure remain in the store, so a fixed spec
+    ///   can resume past them.
+    /// * [`CampaignError::Store`] on store I/O failures.
+    pub fn run(&self, store: &mut ResultStore) -> Result<RunReport> {
+        let cells = self.spec.expand()?;
+        let total = cells.len();
+        let pending: Vec<CellSpec> = cells
+            .into_iter()
+            .filter(|cell| !store.contains(&cell.key()))
+            .collect();
+        let skipped = total - pending.len();
+        if pending.is_empty() {
+            return Ok(RunReport {
+                total,
+                skipped,
+                executed: 0,
+            });
+        }
+
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+            .min(pending.len());
+
+        let executed = if threads <= 1 {
+            // Sequential cells: let each cell parallelize its own trials.
+            let mut executed = 0;
+            for cell in &pending {
+                store.append(run_cell(cell, true)?)?;
+                executed += 1;
+            }
+            executed
+        } else {
+            self.run_parallel(&pending, threads, store)?
+        };
+
+        Ok(RunReport {
+            total,
+            skipped,
+            executed,
+        })
+    }
+
+    /// Convenience: runs the whole campaign into a fresh in-memory store.
+    ///
+    /// # Errors
+    ///
+    /// See [`CampaignRunner::run`].
+    pub fn run_in_memory(&self) -> Result<ResultStore> {
+        let mut store = ResultStore::in_memory();
+        self.run(&mut store)?;
+        Ok(store)
+    }
+
+    /// Work-stealing execution: workers claim cell indices off an atomic
+    /// counter; the calling thread commits results in expansion order as they
+    /// become available.
+    fn run_parallel(
+        &self,
+        pending: &[CellSpec],
+        threads: usize,
+        store: &mut ResultStore,
+    ) -> Result<usize> {
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let slots: Mutex<Vec<Option<Result<CellRecord>>>> =
+            Mutex::new((0..pending.len()).map(|_| None).collect());
+        let ready = Condvar::new();
+
+        let mut executed = 0usize;
+        let mut failure: Option<CampaignError> = None;
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= pending.len() {
+                        break;
+                    }
+                    // Trials run sequentially here — the cell fan-out owns
+                    // the cores. Panics are captured into the slot: an empty
+                    // slot would wedge the in-order committer forever.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_cell(&pending[i], false)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(CampaignError::CellPanicked {
+                            cell: pending[i].label(),
+                            reason: panic_reason(payload.as_ref()),
+                        })
+                    });
+                    let mut slots = ready_lock(&slots);
+                    slots[i] = Some(result);
+                    drop(slots);
+                    ready.notify_all();
+                });
+            }
+
+            // In-order committer: wait for slot `commit`, append, advance.
+            for commit in 0..pending.len() {
+                let result = {
+                    let mut slots = ready_lock(&slots);
+                    loop {
+                        if let Some(result) = slots[commit].take() {
+                            break result;
+                        }
+                        slots = ready
+                            .wait(slots)
+                            .expect("campaign workers do not poison the slot lock");
+                    }
+                };
+                match result.and_then(|record| store.append(record)) {
+                    Ok(()) => executed += 1,
+                    Err(e) => {
+                        // Stop claiming new cells; in-flight cells finish and
+                        // are discarded. The store keeps the committed prefix.
+                        stop.store(true, Ordering::Relaxed);
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            // Unblock any worker between claim and publish.
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(executed),
+        }
+    }
+}
+
+fn ready_lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock()
+        .expect("campaign workers do not poison the slot lock")
+}
+
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
+    }
+}
+
+/// Builds and measures one cell.
+fn run_cell(cell: &CellSpec, parallel_trials: bool) -> Result<CellRecord> {
+    let at_cell = |source| CampaignError::Cell {
+        cell: cell.label(),
+        source,
+    };
+    let scenario: Scenario = cell.scenario.clone().build().map_err(at_cell)?;
+    let runner = if parallel_trials {
+        ScenarioRunner::new(&scenario)
+    } else {
+        ScenarioRunner::new(&scenario).sequential()
+    };
+    let outcomes = match cell.trials {
+        TrialPolicy::Fixed(trials) => runner.collect_trials(trials).map_err(at_cell)?,
+        TrialPolicy::Adaptive {
+            min,
+            max,
+            relative_width,
+        } => adaptive_trials(&runner, min, max, relative_width).map_err(at_cell)?,
+    };
+    let measurement = Measurement::from_trials(&outcomes).map_err(at_cell)?;
+    Ok(CellRecord {
+        key: cell.key(),
+        cell: cell.clone(),
+        trials_run: outcomes.len(),
+        measurement,
+    })
+}
+
+/// Adaptive allocation: run `min` trials, then keep doubling (capped at
+/// `max`) until the mean-cost CI is tighter than `relative_width · mean`.
+///
+/// Trial `t` always runs with `runner.trial_seed(t)`, and the stopping rule
+/// is evaluated on the prefix of outcomes in index order — so the allocated
+/// count, like the outcomes themselves, is a pure function of the cell spec.
+fn adaptive_trials(
+    runner: &ScenarioRunner<'_>,
+    min: usize,
+    max: usize,
+    relative_width: f64,
+) -> dradio_scenario::Result<Vec<TrialOutcome>> {
+    let mut outcomes = runner.collect_trials(min.min(max))?;
+    loop {
+        let summary = Measurement::from_trials(&outcomes)?.rounds;
+        if outcomes.len() >= max || summary.relative_ci95() <= relative_width {
+            return Ok(outcomes);
+        }
+        let target = (outcomes.len() * 2).min(max);
+        for t in outcomes.len()..target {
+            outcomes.push(runner.run_trial(t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{RoundsRule, SweepGroup};
+    use dradio_core::algorithms::GlobalAlgorithm;
+    use dradio_scenario::{AdversarySpec, ProblemSpec, TopologySpec};
+
+    fn small_campaign() -> CampaignSpec {
+        CampaignSpec::named("runner-test")
+            .seed(5)
+            .trials(TrialPolicy::Fixed(3))
+            .group(
+                SweepGroup::product(
+                    vec![
+                        TopologySpec::Clique { n: 8 },
+                        TopologySpec::Clique { n: 16 },
+                    ],
+                    vec![
+                        GlobalAlgorithm::Bgi.into(),
+                        GlobalAlgorithm::Permuted.into(),
+                    ],
+                    vec![AdversarySpec::StaticNone],
+                    vec![ProblemSpec::GlobalFrom(0)],
+                )
+                .rounds(RoundsRule::Fixed(2_000)),
+            )
+    }
+
+    #[test]
+    fn runs_every_cell_once_in_expansion_order() {
+        let campaign = small_campaign();
+        let store = CampaignRunner::new(&campaign).run_in_memory().unwrap();
+        let cells = campaign.expand().unwrap();
+        assert_eq!(store.len(), cells.len());
+        for (record, cell) in store.records().iter().zip(&cells) {
+            assert_eq!(record.key, cell.key());
+            assert_eq!(&record.cell, cell);
+            assert_eq!(record.trials_run, 3);
+            assert_eq!(record.measurement.rounds.count, 3);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_cell_execution_agree() {
+        let campaign = small_campaign();
+        let parallel = CampaignRunner::new(&campaign)
+            .threads(4)
+            .run_in_memory()
+            .unwrap();
+        let sequential = CampaignRunner::new(&campaign)
+            .threads(1)
+            .run_in_memory()
+            .unwrap();
+        assert_eq!(parallel.records(), sequential.records());
+    }
+
+    #[test]
+    fn campaign_measurements_match_direct_scenario_runs() {
+        let campaign = small_campaign();
+        let store = CampaignRunner::new(&campaign).run_in_memory().unwrap();
+        for record in store.records() {
+            let direct = record
+                .cell
+                .scenario
+                .clone()
+                .build()
+                .unwrap()
+                .run_trials(3)
+                .unwrap();
+            assert_eq!(record.measurement, direct, "{}", record.cell.label());
+        }
+    }
+
+    #[test]
+    fn resume_skips_present_cells() {
+        let campaign = small_campaign();
+        let mut store = ResultStore::in_memory();
+        // Pre-commit the first two cells.
+        let cells = campaign.expand().unwrap();
+        for cell in &cells[..2] {
+            store.append(run_cell(cell, false).unwrap()).unwrap();
+        }
+        let report = CampaignRunner::new(&campaign).run(&mut store).unwrap();
+        assert_eq!(report.total, 4);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.executed, 2);
+        // Identical to an uninterrupted run.
+        let fresh = CampaignRunner::new(&campaign).run_in_memory().unwrap();
+        assert_eq!(store.records(), fresh.records());
+        // A second resume is a no-op.
+        let again = CampaignRunner::new(&campaign).run(&mut store).unwrap();
+        assert_eq!(again.executed, 0);
+        assert_eq!(again.skipped, 4);
+    }
+
+    #[test]
+    fn failing_cells_keep_the_committed_prefix() {
+        // Second group's problem references an out-of-range node, so its
+        // cells fail to build while the first group's cells succeed.
+        let campaign = CampaignSpec::named("failing")
+            .trials(TrialPolicy::Fixed(1))
+            .group(SweepGroup::cell(
+                TopologySpec::Clique { n: 8 },
+                GlobalAlgorithm::Bgi,
+                AdversarySpec::StaticNone,
+                ProblemSpec::GlobalFrom(0),
+            ))
+            .group(SweepGroup::cell(
+                TopologySpec::Clique { n: 8 },
+                GlobalAlgorithm::Bgi,
+                AdversarySpec::StaticNone,
+                ProblemSpec::GlobalFrom(99),
+            ));
+        let mut store = ResultStore::in_memory();
+        let err = CampaignRunner::new(&campaign).run(&mut store).unwrap_err();
+        assert!(matches!(err, CampaignError::Cell { .. }), "{err}");
+        assert_eq!(store.len(), 1, "the good cell was committed");
+    }
+
+    #[test]
+    fn adaptive_allocation_is_deterministic_and_bounded() {
+        let campaign = CampaignSpec::named("adaptive")
+            .seed(11)
+            .trials(TrialPolicy::Adaptive {
+                min: 2,
+                max: 32,
+                relative_width: 0.05,
+            })
+            .group(
+                SweepGroup::cell(
+                    TopologySpec::DualClique { n: 16 },
+                    GlobalAlgorithm::Permuted,
+                    AdversarySpec::Iid { p: 0.5 },
+                    ProblemSpec::GlobalFrom(0),
+                )
+                .rounds(RoundsRule::Fixed(20_000)),
+            );
+        let a = CampaignRunner::new(&campaign).run_in_memory().unwrap();
+        let b = CampaignRunner::new(&campaign).run_in_memory().unwrap();
+        assert_eq!(a.records(), b.records());
+        let record = &a.records()[0];
+        assert!(record.trials_run >= 2 && record.trials_run <= 32);
+        assert_eq!(record.measurement.rounds.count, record.trials_run);
+        // Either the precision target was met or the budget was exhausted.
+        assert!(
+            record.measurement.rounds.relative_ci95() <= 0.05 || record.trials_run == 32,
+            "stopped at {} trials with relative CI {}",
+            record.trials_run,
+            record.measurement.rounds.relative_ci95(),
+        );
+    }
+
+    #[test]
+    fn adaptive_stops_early_on_tight_series() {
+        // A deterministic broadcast (no randomness in cost): the CI collapses
+        // to zero immediately, so allocation stops at min.
+        let campaign = CampaignSpec::named("tight")
+            .trials(TrialPolicy::Adaptive {
+                min: 2,
+                max: 64,
+                relative_width: 0.10,
+            })
+            .group(
+                SweepGroup::cell(
+                    TopologySpec::Clique { n: 8 },
+                    GlobalAlgorithm::RoundRobin,
+                    AdversarySpec::StaticNone,
+                    ProblemSpec::GlobalFrom(0),
+                )
+                .rounds(RoundsRule::Fixed(1_000)),
+            );
+        let store = CampaignRunner::new(&campaign).run_in_memory().unwrap();
+        assert_eq!(store.records()[0].trials_run, 2);
+    }
+}

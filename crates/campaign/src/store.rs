@@ -1,0 +1,385 @@
+//! The append-only, truncation-tolerant JSONL result store.
+//!
+//! One line per measured cell:
+//!
+//! ```json
+//! {"key":"<16-hex content hash>","cell":{...},"trials_run":8,"measurement":{...}}
+//! ```
+//!
+//! The store is the campaign engine's unit of durability. Records are
+//! appended — never rewritten — in cell-expansion order, each with its own
+//! `write` call, so a killed run leaves a valid prefix plus at most one
+//! half-written final line. [`ResultStore::open`] recovers by parsing the
+//! intact prefix and truncating the damaged tail; resuming then re-runs
+//! exactly the missing cells, which (because measurements and the trial-seed
+//! derivation are deterministic) reproduces the uninterrupted store byte for
+//! byte.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use dradio_scenario::{Measurement, ScenarioSpec};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::error::{CampaignError, Result};
+use crate::spec::CellSpec;
+
+/// One stored measurement: the cell, how many trials actually ran (relevant
+/// under adaptive allocation), and the aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// The cell's content-hash key ([`CellSpec::key`]).
+    pub key: String,
+    /// The measured cell.
+    pub cell: CellSpec,
+    /// Number of trials the measurement aggregates.
+    pub trials_run: usize,
+    /// The aggregated measurement.
+    pub measurement: Measurement,
+}
+
+impl Serialize for CellRecord {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("key".into(), self.key.to_value()),
+            ("cell".into(), self.cell.to_value()),
+            ("trials_run".into(), self.trials_run.to_value()),
+            ("measurement".into(), self.measurement.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CellRecord {
+    fn from_value(value: &Value) -> std::result::Result<Self, serde::Error> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde::Error::new(format!("CellRecord is missing {name:?}")))
+        };
+        Ok(CellRecord {
+            key: String::from_value(field("key")?)?,
+            cell: CellSpec::from_value(field("cell")?)?,
+            trials_run: usize::from_value(field("trials_run")?)?,
+            measurement: Measurement::from_value(field("measurement")?)?,
+        })
+    }
+}
+
+/// The campaign result store: an in-memory index over an (optional)
+/// append-only JSONL file.
+#[derive(Debug)]
+pub struct ResultStore {
+    records: Vec<CellRecord>,
+    index: HashMap<String, usize>,
+    file: Option<File>,
+    path: Option<PathBuf>,
+}
+
+impl ResultStore {
+    /// A purely in-memory store (no persistence) — what the experiment
+    /// harness uses.
+    pub fn in_memory() -> Self {
+        ResultStore {
+            records: Vec::new(),
+            index: HashMap::new(),
+            file: None,
+            path: None,
+        }
+    }
+
+    /// Opens (or creates) a file-backed store.
+    ///
+    /// An existing file is loaded as the resume state. A half-written final
+    /// line — the signature of a killed run — is discarded and truncated away
+    /// so subsequent appends continue from the last intact record.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Store`] on I/O failures, malformed non-final lines,
+    /// or records whose stored key does not match their cell content (a
+    /// hand-edited or format-drifted store).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| CampaignError::store(format!("cannot open {}: {e}", path.display())))?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)
+            .map_err(|e| CampaignError::store(format!("cannot read {}: {e}", path.display())))?;
+
+        let mut records: Vec<CellRecord> = Vec::new();
+        let mut valid_bytes = 0usize;
+        let mut lines = text.split_inclusive('\n').peekable();
+        while let Some(line) = lines.next() {
+            let is_last = lines.peek().is_none();
+            let terminated = line.ends_with('\n');
+            match serde_json::from_str::<CellRecord>(line.trim_end_matches('\n')) {
+                Ok(record) if terminated => {
+                    if record.cell.key() != record.key {
+                        return Err(CampaignError::store(format!(
+                            "{}: record {} has key {} but its cell hashes to {}; \
+                             the store was edited or the format drifted",
+                            path.display(),
+                            records.len(),
+                            record.key,
+                            record.cell.key(),
+                        )));
+                    }
+                    valid_bytes += line.len();
+                    records.push(record);
+                }
+                // Only an *unterminated* final line can be the torn tail of
+                // a killed append: each record is written with its trailing
+                // newline in a single call, and JSON lines carry no raw
+                // newlines. Drop it and let resume re-measure that cell.
+                _ if is_last && !terminated => break,
+                // A newline-terminated line that fails to parse — anywhere,
+                // including the last line — is external corruption, never a
+                // torn append; refuse to silently destroy it.
+                Err(e) => {
+                    return Err(CampaignError::store(format!(
+                        "{}: malformed record on line {}: {e}",
+                        path.display(),
+                        records.len() + 1,
+                    )));
+                }
+                // split_inclusive only leaves the final line unterminated.
+                Ok(_) => unreachable!("unterminated interior line"),
+            }
+        }
+        if valid_bytes < text.len() {
+            file.set_len(valid_bytes as u64).map_err(|e| {
+                CampaignError::store(format!(
+                    "cannot truncate torn tail of {}: {e}",
+                    path.display()
+                ))
+            })?;
+        }
+
+        let index = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.key.clone(), i))
+            .collect();
+        Ok(ResultStore {
+            records,
+            index,
+            file: Some(file),
+            path: Some(path),
+        })
+    }
+
+    /// The backing file path, if the store is persistent.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in append (= cell-expansion) order.
+    pub fn records(&self) -> &[CellRecord] {
+        &self.records
+    }
+
+    /// Whether a cell key is already measured.
+    pub fn contains(&self, key: &str) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Looks a record up by cell key.
+    pub fn get(&self, key: &str) -> Option<&CellRecord> {
+        self.index.get(key).map(|&i| &self.records[i])
+    }
+
+    /// Looks a record up by the scenario it measured (linear scan; stores are
+    /// small). Table-rendering code uses this to fetch measurements in
+    /// presentation order, independent of expansion order.
+    pub fn for_scenario(&self, scenario: &ScenarioSpec) -> Option<&CellRecord> {
+        self.records.iter().find(|r| &r.cell.scenario == scenario)
+    }
+
+    /// Appends a record (and persists it, for file-backed stores).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Store`] on duplicate keys or write failures.
+    pub fn append(&mut self, record: CellRecord) -> Result<()> {
+        if self.contains(&record.key) {
+            return Err(CampaignError::store(format!(
+                "duplicate append of cell {} ({})",
+                record.key,
+                record.cell.label(),
+            )));
+        }
+        if let Some(file) = &mut self.file {
+            let mut line = serde_json::to_string(&record).expect("records always serialize");
+            line.push('\n');
+            // One write call per record: a kill can tear at most the final
+            // line, which open() knows how to discard.
+            file.write_all(line.as_bytes()).map_err(|e| {
+                CampaignError::store(format!("cannot append record {}: {e}", record.key))
+            })?;
+        }
+        self.index.insert(record.key.clone(), self.records.len());
+        self.records.push(record);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TrialPolicy;
+    use dradio_core::algorithms::GlobalAlgorithm;
+    use dradio_scenario::{AdversarySpec, ProblemSpec, Summary, TopologySpec};
+
+    fn record(n: usize) -> CellRecord {
+        let cell = CellSpec {
+            scenario: ScenarioSpec {
+                topology: TopologySpec::Clique { n },
+                algorithm: GlobalAlgorithm::Bgi.into(),
+                adversary: AdversarySpec::StaticNone,
+                problem: ProblemSpec::GlobalFrom(0),
+                seed: 1,
+                max_rounds: Some(100),
+                collision_detection: false,
+            },
+            trials: TrialPolicy::Fixed(2),
+        };
+        CellRecord {
+            key: cell.key(),
+            cell,
+            trials_run: 2,
+            measurement: Measurement {
+                rounds: Summary::from_counts(&[n, n + 2]),
+                completion_rate: 1.0,
+                mean_collisions: 0.5,
+            },
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "dradio-campaign-store-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn in_memory_stores_index_by_key() {
+        let mut store = ResultStore::in_memory();
+        assert!(store.is_empty());
+        let r = record(8);
+        let key = r.key.clone();
+        store.append(r.clone()).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&key));
+        assert_eq!(store.get(&key), Some(&r));
+        assert_eq!(store.for_scenario(&r.cell.scenario), Some(&r));
+        assert!(store.for_scenario(&record(16).cell.scenario).is_none());
+        // Duplicate appends are programming errors, not silent overwrites.
+        assert!(store.append(r).is_err());
+    }
+
+    #[test]
+    fn file_backed_store_round_trips() {
+        let path = temp_path("roundtrip");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append(record(8)).unwrap();
+            store.append(record(16)).unwrap();
+        }
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.records(), &[record(8), record(16)]);
+        assert_eq!(store.path(), Some(path.as_path()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_truncated() {
+        let path = temp_path("torn");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append(record(8)).unwrap();
+            store.append(record(16)).unwrap();
+        }
+        // Simulate a kill mid-append: chop the file inside the last line.
+        let full = std::fs::read_to_string(&path).unwrap();
+        let cut = full.len() - 17;
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.records(), &[record(8)], "only the intact prefix");
+        // The damaged bytes are gone from disk too.
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert!(on_disk.ends_with('\n'));
+        assert_eq!(on_disk.lines().count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn terminated_malformed_final_line_is_a_hard_error() {
+        // A line that ends in '\n' but fails to parse cannot be a torn
+        // append (records are written newline-included in one call); it must
+        // be reported, not silently truncated away.
+        let path = temp_path("terminated-garbage");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append(record(8)).unwrap();
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("this is not json\n");
+        std::fs::write(&path, &text).unwrap();
+        assert!(ResultStore::open(&path).is_err());
+        // The file is untouched — nothing was truncated.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_interior_lines_are_hard_errors() {
+        let path = temp_path("interior");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append(record(8)).unwrap();
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = format!("this is not json\n{text}");
+        std::fs::write(&path, text).unwrap();
+        assert!(ResultStore::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn edited_records_are_rejected_by_the_key_check() {
+        let path = temp_path("edited");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append(record(8)).unwrap();
+            store.append(record(16)).unwrap();
+        }
+        // Tamper with the first record's cell but keep its stored key.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("\"n\":8", "\"n\":12", 1);
+        assert_ne!(text, tampered);
+        std::fs::write(&path, tampered).unwrap();
+        assert!(ResultStore::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

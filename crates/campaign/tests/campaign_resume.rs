@@ -1,0 +1,156 @@
+//! Integration tests for the campaign engine's durability story: a campaign
+//! killed mid-run (truncated JSONL store, including a half-written last
+//! line) resumes to a store byte-for-byte identical to an uninterrupted run,
+//! reusing exactly the per-trial seeds a fresh run would use.
+
+use std::path::PathBuf;
+
+use dradio_campaign::{
+    CampaignRunner, CampaignSpec, ResultStore, RoundsRule, SweepGroup, TrialPolicy,
+};
+use dradio_core::algorithms::GlobalAlgorithm;
+use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioRunner, TopologySpec};
+
+fn campaign() -> CampaignSpec {
+    CampaignSpec::named("resume-test")
+        .seed(21)
+        .trials(TrialPolicy::Fixed(3))
+        .group(
+            SweepGroup::product(
+                vec![
+                    TopologySpec::Clique { n: 8 },
+                    TopologySpec::Clique { n: 12 },
+                    TopologySpec::DualClique { n: 8 },
+                ],
+                vec![
+                    GlobalAlgorithm::Bgi.into(),
+                    GlobalAlgorithm::Permuted.into(),
+                ],
+                vec![AdversarySpec::StaticNone, AdversarySpec::Iid { p: 0.5 }],
+                vec![ProblemSpec::GlobalFrom(0)],
+            )
+            .rounds(RoundsRule::Fixed(20_000)),
+        )
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "dradio-campaign-{tag}-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn run_to_file(spec: &CampaignSpec, path: &PathBuf) -> ResultStore {
+    let mut store = ResultStore::open(path).expect("store opens");
+    CampaignRunner::new(spec)
+        .run(&mut store)
+        .expect("campaign runs");
+    store
+}
+
+/// The headline resume guarantee: interrupt after a prefix of cells — with
+/// the final record torn mid-line, as a kill during a write would leave it —
+/// and the resumed store equals the uninterrupted store byte for byte.
+#[test]
+fn killed_campaign_resumes_to_an_identical_store() {
+    let spec = campaign();
+
+    // Reference: one uninterrupted run.
+    let full_path = temp_store("full");
+    run_to_file(&spec, &full_path);
+    let uninterrupted = std::fs::read(&full_path).expect("store exists");
+    assert!(!uninterrupted.is_empty());
+
+    // "Kill" the campaign at several points: keep k complete records plus a
+    // half-written line of record k+1, then resume.
+    let text = String::from_utf8(uninterrupted.clone()).expect("store is utf-8");
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(text.match_indices('\n').map(|(i, _)| i + 1))
+        .collect();
+    let total = text.lines().count();
+    assert_eq!(total, spec.expand().unwrap().len());
+
+    for keep in [0usize, 1, total / 2, total - 1] {
+        let partial_path = temp_store(&format!("partial-{keep}"));
+        // Prefix of `keep` records + roughly half of the next line.
+        let next_line_end = line_starts.get(keep + 1).copied().unwrap_or(text.len());
+        let torn_cut = line_starts[keep] + (next_line_end - line_starts[keep]) / 2;
+        std::fs::write(&partial_path, &text.as_bytes()[..torn_cut]).unwrap();
+
+        let mut store = ResultStore::open(&partial_path).expect("torn store opens");
+        assert_eq!(store.len(), keep, "torn tail discarded");
+        let report = CampaignRunner::new(&spec)
+            .run(&mut store)
+            .expect("resume runs");
+        assert_eq!(report.skipped, keep);
+        assert_eq!(report.executed, total - keep);
+
+        let resumed = std::fs::read(&partial_path).expect("resumed store exists");
+        assert_eq!(
+            resumed, uninterrupted,
+            "resume after {keep} cells diverged from the uninterrupted store"
+        );
+        let _ = std::fs::remove_file(&partial_path);
+    }
+    let _ = std::fs::remove_file(&full_path);
+}
+
+/// Resumed cells run with exactly the per-trial seeds a fresh run derives:
+/// the store persists only the cell spec, so this is the trial-seed
+/// derivation contract documented in `dradio_scenario::runner` at work.
+#[test]
+fn resumed_cells_reuse_the_fresh_runs_trial_seeds() {
+    let spec = campaign();
+    let cells = spec.expand().unwrap();
+
+    // The store round-trips every cell spec through JSON; the rebuilt
+    // scenario must derive the same seeds trial for trial.
+    let path = temp_store("seeds");
+    run_to_file(&spec, &path);
+    let store = ResultStore::open(&path).expect("store reopens");
+    assert_eq!(store.len(), cells.len());
+
+    for (record, cell) in store.records().iter().zip(&cells) {
+        let fresh = cell.scenario.clone().build().expect("fresh cell builds");
+        let resumed = record
+            .cell
+            .scenario
+            .clone()
+            .build()
+            .expect("stored cell rebuilds");
+        let fresh_runner = ScenarioRunner::new(&fresh);
+        let resumed_runner = ScenarioRunner::new(&resumed);
+        for t in 0..record.trials_run {
+            assert_eq!(
+                fresh_runner.trial_seed(t),
+                resumed_runner.trial_seed(t),
+                "trial {t} of {} reseeded differently after the store round trip",
+                record.cell.label(),
+            );
+        }
+        // And the measurement a resumed run would produce is the stored one.
+        let remeasured = resumed.run_trials(record.trials_run).unwrap();
+        assert_eq!(remeasured, record.measurement);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A resume with nothing missing rewrites nothing: the bytes on disk do not
+/// change, and the report says zero executed.
+#[test]
+fn resume_of_a_complete_store_is_a_byte_level_noop() {
+    let spec = campaign();
+    let path = temp_store("noop");
+    run_to_file(&spec, &path);
+    let before = std::fs::read(&path).unwrap();
+
+    let mut store = ResultStore::open(&path).unwrap();
+    let report = CampaignRunner::new(&spec).run(&mut store).unwrap();
+    assert_eq!(report.executed, 0);
+    assert_eq!(report.skipped, report.total);
+    assert_eq!(std::fs::read(&path).unwrap(), before);
+    let _ = std::fs::remove_file(&path);
+}

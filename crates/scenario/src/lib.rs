@@ -60,7 +60,7 @@ pub mod topology;
 pub use adversary::AdversarySpec;
 pub use error::{Result, ScenarioError};
 pub use problem::{AlgorithmSpec, ProblemSpec, ResolvedProblem};
-pub use runner::{Measurement, ScenarioRunner, TrialOutcome};
+pub use runner::{Measurement, ScenarioRunner, TrialOutcome, TRIAL_STREAM_BASE};
 pub use scenario::{LinkBuilder, Scenario, ScenarioBuilder, ScenarioSpec};
 pub use stats::Summary;
 pub use topology::{BuiltTopology, TopologySpec};

@@ -9,9 +9,28 @@
 //! * the result depends only on `(scenario spec, trial count)` — never on
 //!   thread scheduling. The parallel and sequential modes produce identical
 //!   [`Measurement`]s.
+//!
+//! # The trial-seed derivation contract
+//!
+//! ```text
+//! trial_seed(t) = derive_stream_seed(scenario.seed, TRIAL_STREAM_BASE ^ t)
+//! ```
+//!
+//! where [`derive_stream_seed`] is the engine's splitmix64 finalizer and
+//! [`TRIAL_STREAM_BASE`] is the fixed constant `0x5CE7_AB10_0000_0000`. This
+//! is a **stable, persistence-facing contract**, not an implementation
+//! detail: campaign result stores (`dradio-campaign`) persist only the cell's
+//! [`ScenarioSpec`](crate::ScenarioSpec) and trial count, and a resumed
+//! campaign must regenerate exactly the seeds a fresh run would use for the
+//! still-missing cells — otherwise "partial run + resume" and "one
+//! uninterrupted run" would diverge. Changing the constant or the finalizer
+//! invalidates every stored measurement; tests in this module and in
+//! `dradio-campaign` pin the derivation.
 
 use dradio_sim::derive_stream_seed;
 use rayon::prelude::*;
+
+use serde::{Deserialize, Serialize, Value};
 
 use crate::error::{Result, ScenarioError};
 use crate::scenario::Scenario;
@@ -44,6 +63,31 @@ pub struct Measurement {
     pub mean_collisions: f64,
 }
 
+impl Serialize for Measurement {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("rounds".into(), self.rounds.to_value()),
+            ("completion_rate".into(), self.completion_rate.to_value()),
+            ("mean_collisions".into(), self.mean_collisions.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Measurement {
+    fn from_value(value: &Value) -> std::result::Result<Self, serde::Error> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde::Error::new(format!("Measurement is missing {name:?}")))
+        };
+        Ok(Measurement {
+            rounds: Summary::from_value(field("rounds")?)?,
+            completion_rate: f64::from_value(field("completion_rate")?)?,
+            mean_collisions: f64::from_value(field("mean_collisions")?)?,
+        })
+    }
+}
+
 impl Measurement {
     /// Aggregates trial outcomes.
     ///
@@ -71,7 +115,11 @@ impl Measurement {
 /// streams (which start at 0 for the *derived* seed, not the scenario seed —
 /// but a distinct constant keeps the two families visibly separate in traces
 /// and guards against accidental reuse of trial 0 ≡ scenario seed).
-const TRIAL_STREAM_BASE: u64 = 0x5CE7_AB10_0000_0000;
+///
+/// Part of the persistence contract documented at the [module level](self):
+/// campaign result stores assume `trial_seed(t)` is reproducible from the
+/// serialized scenario spec alone, so this constant must never change.
+pub const TRIAL_STREAM_BASE: u64 = 0x5CE7_AB10_0000_0000;
 
 /// Runs independent trials of a [`Scenario`] and summarizes the costs.
 ///
@@ -218,6 +266,43 @@ mod tests {
             !seeds.contains(&s.seed()),
             "trial seeds differ from the scenario seed"
         );
+    }
+
+    /// Pins the module-level trial-seed derivation contract: the exact
+    /// constant and finalizer that campaign result stores depend on. If this
+    /// test needs editing, every persisted store is invalidated — bump a
+    /// store format version instead of silently changing the derivation.
+    #[test]
+    fn trial_seed_contract_is_pinned() {
+        // An independent splitmix64-finalizer reimplementation.
+        fn finalize(master: u64, stream: u64) -> u64 {
+            let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let s = scenario(0xFEED);
+        let runner = ScenarioRunner::new(&s);
+        for t in 0..32 {
+            assert_eq!(
+                runner.trial_seed(t),
+                finalize(0xFEED, TRIAL_STREAM_BASE ^ t as u64),
+                "trial {t} seed diverged from the documented derivation"
+            );
+        }
+        // And one literal value, so even a coordinated change to both sides
+        // of the equation above cannot slip through unnoticed.
+        assert_eq!(
+            runner.trial_seed(0),
+            finalize(0xFEED, 0x5CE7_AB10_0000_0000)
+        );
+    }
+
+    #[test]
+    fn measurement_serde_round_trips() {
+        let m = scenario(3).run_trials(4).unwrap();
+        let back = Measurement::from_value(&m.to_value()).unwrap();
+        assert_eq!(m, back);
     }
 
     #[test]

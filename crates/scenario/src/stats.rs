@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize, Value};
+
 /// Summary statistics of a set of measurements (round counts, usually).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
@@ -17,6 +19,8 @@ pub struct Summary {
     pub max: f64,
     /// Median (average of the two middle samples for even counts).
     pub median: f64,
+    /// 95th percentile (nearest-rank on the sorted samples).
+    pub p95: f64,
 }
 
 impl Summary {
@@ -39,6 +43,11 @@ impl Summary {
         } else {
             (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
         };
+        // Nearest-rank p95: the smallest sample with at least 95% of the
+        // distribution at or below it. Exact for the small trial counts the
+        // runner produces (no interpolation to keep stored values reproducible
+        // across platforms).
+        let rank = ((0.95 * count as f64).ceil() as usize).clamp(1, count);
         Summary {
             count,
             mean,
@@ -46,6 +55,7 @@ impl Summary {
             min: sorted[0],
             max: sorted[count - 1],
             median,
+            p95: sorted[rank - 1],
         }
     }
 
@@ -63,6 +73,58 @@ impl Summary {
         } else {
             1.96 * self.std_dev / (self.count as f64).sqrt()
         }
+    }
+
+    /// The ~95% normal-approximation confidence interval for the mean, as
+    /// `(lower, upper)` bounds. Collapses to `(mean, mean)` for fewer than
+    /// two samples.
+    pub fn mean_ci95(&self) -> (f64, f64) {
+        let h = self.ci95_half_width();
+        (self.mean - h, self.mean + h)
+    }
+
+    /// Half-width of the 95% CI relative to the mean — the quantity adaptive
+    /// trial allocation compares against a requested precision. Zero when the
+    /// mean is zero (a degenerate series needs no more trials).
+    pub fn relative_ci95(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.ci95_half_width() / self.mean.abs()
+        }
+    }
+}
+
+impl Serialize for Summary {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("count".into(), self.count.to_value()),
+            ("mean".into(), self.mean.to_value()),
+            ("std_dev".into(), self.std_dev.to_value()),
+            ("min".into(), self.min.to_value()),
+            ("max".into(), self.max.to_value()),
+            ("median".into(), self.median.to_value()),
+            ("p95".into(), self.p95.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Summary {
+    fn from_value(value: &Value) -> std::result::Result<Self, serde::Error> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde::Error::new(format!("Summary is missing {name:?}")))
+        };
+        Ok(Summary {
+            count: usize::from_value(field("count")?)?,
+            mean: f64::from_value(field("mean")?)?,
+            std_dev: f64::from_value(field("std_dev")?)?,
+            min: f64::from_value(field("min")?)?,
+            max: f64::from_value(field("max")?)?,
+            median: f64::from_value(field("median")?)?,
+            p95: f64::from_value(field("p95")?)?,
+        })
     }
 }
 
@@ -142,5 +204,45 @@ mod tests {
         let shown = s.to_string();
         assert!(shown.contains("12.0"));
         assert!(shown.contains("k=3"));
+    }
+
+    #[test]
+    fn p95_is_nearest_rank() {
+        // 20 samples: rank ceil(0.95 * 20) = 19, i.e. the 19th smallest.
+        let samples: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(Summary::from_samples(&samples).p95, 19.0);
+        // Small counts fall back to the maximum.
+        assert_eq!(Summary::from_samples(&[3.0, 1.0, 2.0]).p95, 3.0);
+        assert_eq!(Summary::from_samples(&[7.0]).p95, 7.0);
+        // The known_values sample: rank ceil(0.95 * 8) = 8 -> the maximum.
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.p95, 9.0);
+    }
+
+    #[test]
+    fn mean_ci95_brackets_the_mean() {
+        let s = Summary::from_samples(&[1.0, 3.0, 5.0, 7.0]);
+        let (lo, hi) = s.mean_ci95();
+        assert!(lo < s.mean && s.mean < hi);
+        assert!((hi - s.mean - s.ci95_half_width()).abs() < 1e-12);
+        // Degenerate cases collapse to the mean itself.
+        assert_eq!(Summary::from_samples(&[4.0]).mean_ci95(), (4.0, 4.0));
+    }
+
+    #[test]
+    fn relative_ci95_is_scale_free() {
+        let s = Summary::from_samples(&[10.0, 12.0, 14.0]);
+        let scaled = Summary::from_samples(&[100.0, 120.0, 140.0]);
+        assert!((s.relative_ci95() - scaled.relative_ci95()).abs() < 1e-12);
+        assert_eq!(Summary::from_samples(&[0.0, 0.0]).relative_ci95(), 0.0);
+    }
+
+    #[test]
+    fn summary_serde_round_trips() {
+        use serde::{Deserialize, Serialize};
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let back = Summary::from_value(&s.to_value()).unwrap();
+        assert_eq!(s, back);
+        assert!(Summary::from_value(&serde::Value::Null).is_err());
     }
 }

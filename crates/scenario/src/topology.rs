@@ -213,6 +213,44 @@ impl TopologySpec {
         }
     }
 
+    /// The number of nodes the spec describes, computable without building
+    /// the network (`None` for [`TopologySpec::Custom`], whose size lives in
+    /// the attached graph). Campaign round-budget rules use this to scale
+    /// per-cell budgets with the network size before any topology is built.
+    pub fn node_count(&self) -> Option<usize> {
+        match *self {
+            TopologySpec::Clique { n }
+            | TopologySpec::DualClique { n }
+            | TopologySpec::DualCliqueWithBridge { n, .. }
+            | TopologySpec::Line { n }
+            | TopologySpec::Ring { n }
+            | TopologySpec::Star { n }
+            | TopologySpec::RandomGeometric { n, .. }
+            | TopologySpec::ErdosRenyiDual { n, .. } => Some(n),
+            TopologySpec::Bracelet { k } | TopologySpec::BraceletWithClasp { k, .. } => {
+                Some(2 * k * k)
+            }
+            TopologySpec::LineOfCliques {
+                cliques,
+                clique_size,
+            } => Some(cliques * clique_size),
+            TopologySpec::Grid { cols, rows }
+            | TopologySpec::Torus { cols, rows }
+            | TopologySpec::GridGeometric { cols, rows, .. } => Some(cols * rows),
+            TopologySpec::BalancedTree { branching, depth } => {
+                // 1 + b + b² + … + b^depth nodes.
+                let mut total = 1usize;
+                let mut level = 1usize;
+                for _ in 0..depth {
+                    level = level.saturating_mul(branching);
+                    total = total.saturating_add(level);
+                }
+                Some(total)
+            }
+            TopologySpec::Custom { .. } => None,
+        }
+    }
+
     /// Builds the network this spec describes.
     ///
     /// # Errors
@@ -390,7 +428,18 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} failed: {e}", spec.label()));
             assert!(!built.is_empty(), "{} is empty", spec.label());
             assert!(!spec.label().is_empty());
+            assert_eq!(
+                spec.node_count(),
+                Some(built.len()),
+                "{} predicted the wrong node count",
+                spec.label()
+            );
         }
+        assert_eq!(
+            TopologySpec::Custom { name: "x".into() }.node_count(),
+            None,
+            "custom topologies have no derivable size"
+        );
     }
 
     #[test]

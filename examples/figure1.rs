@@ -20,7 +20,10 @@ fn main() {
     for experiment in experiments::all() {
         println!("=== {} — {} ===", experiment.id(), experiment.title());
         println!("paper claim: {}\n", experiment.paper_claim());
-        for table in experiment.run(&cfg) {
+        let tables = experiment
+            .run(&cfg)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", experiment.id()));
+        for table in tables {
             println!("{}", table.render());
         }
     }

@@ -20,8 +20,12 @@
 //!   every (topology × algorithm × adversary × problem) combination as a
 //!   printable, storable value, with a parallel deterministic trial runner —
 //!   **the entry point for running simulations**;
+//! * [`campaign`] — declarative parameter sweeps over scenarios
+//!   ([`CampaignSpec`](campaign::CampaignSpec)) executed with work-stealing
+//!   parallelism across cells and streamed to a persistent, resumable JSONL
+//!   result store — **the entry point for large measurement runs**;
 //! * [`analysis`] — the experiment harness reproducing Figure 1 (experiments
-//!   E1–E8), built on the scenario layer.
+//!   E1–E8), defined as campaigns over the scenario layer.
 //!
 //! # Quickstart
 //!
@@ -59,6 +63,7 @@
 
 pub use dradio_adversary as adversary;
 pub use dradio_analysis as analysis;
+pub use dradio_campaign as campaign;
 pub use dradio_core as core;
 pub use dradio_graphs as graphs;
 pub use dradio_scenario as scenario;
@@ -71,6 +76,10 @@ pub mod prelude {
         GreedyCollisionOnline, IidLinks, OmniscientOffline, ScheduleLinks,
     };
     pub use dradio_analysis::experiments::{self, Experiment, ExperimentConfig};
+    pub use dradio_campaign::{
+        CampaignError, CampaignRunner, CampaignSpec, CellRecord, CellSpec, ResultStore, RoundsRule,
+        RunReport, SweepGroup, TrialPolicy,
+    };
     pub use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
     pub use dradio_core::problem::{GlobalBroadcastProblem, LocalBroadcastProblem};
     pub use dradio_graphs::{properties, topology, DualGraph, Graph, NodeId};

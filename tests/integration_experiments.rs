@@ -15,7 +15,7 @@ fn experiment_tables_render_and_export_csv() {
     // E7 is the cheapest experiment; use it to check the table plumbing.
     let e7 = &experiments::all()[6];
     assert_eq!(e7.id(), "E7");
-    let tables = e7.run(&cfg);
+    let tables = e7.run(&cfg).expect("E7 runs at smoke scale");
     assert!(!tables.is_empty());
     for table in &tables {
         let rendered = table.render();
@@ -47,6 +47,63 @@ fn paper_claims_reference_the_right_bounds() {
     assert!(claim("E6").contains("Omega(n)"));
     assert!(claim("E7").contains("k/(beta-1)"));
     assert!(claim("E8").contains("1/2"));
+}
+
+/// The campaign engine reproduces the exact measurements the scenario runner
+/// produces directly — the regression guard for the experiments' rewrite onto
+/// campaigns: same specs + same seeds + same trial counts ⇒ same
+/// `Measurement`s, whichever engine executes them.
+#[test]
+fn campaign_engine_reproduces_direct_scenario_measurements() {
+    let cfg = ExperimentConfig::smoke();
+    // The same cells E1a measures at smoke scale, hand-rolled the
+    // pre-campaign way: one Scenario + ScenarioRunner per (n, algorithm).
+    let sizes = [16usize, 32];
+    let algorithms = [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted];
+
+    let campaign = CampaignSpec::named("e1a-equivalence")
+        .seed(cfg.seed)
+        .trials(TrialPolicy::Fixed(cfg.trials))
+        .group(
+            SweepGroup::product(
+                sizes.iter().map(|&n| TopologySpec::Clique { n }).collect(),
+                algorithms.iter().map(|&a| a.into()).collect(),
+                vec![AdversarySpec::StaticNone],
+                vec![ProblemSpec::GlobalFrom(0)],
+            )
+            .rounds(RoundsRule::PerNode {
+                per_node: 200,
+                base: 0,
+                min_nodes: 16,
+            }),
+        );
+    let store = CampaignRunner::new(&campaign)
+        .run_in_memory()
+        .expect("campaign runs");
+
+    for &n in &sizes {
+        for algorithm in algorithms {
+            let scenario = Scenario::on(TopologySpec::Clique { n })
+                .algorithm(algorithm)
+                .adversary(AdversarySpec::StaticNone)
+                .problem(ProblemSpec::GlobalFrom(0))
+                .seed(cfg.seed)
+                .max_rounds(200 * n.max(16))
+                .build()
+                .expect("valid scenario");
+            let direct = scenario.run_trials(cfg.trials).expect("trials run");
+            let stored = store
+                .for_scenario(scenario.spec())
+                .unwrap_or_else(|| panic!("no stored cell for n = {n}"));
+            assert_eq!(
+                stored.measurement,
+                direct,
+                "campaign and direct measurements diverged for n = {n}, {}",
+                algorithm.name()
+            );
+            assert_eq!(stored.trials_run, cfg.trials);
+        }
+    }
 }
 
 #[test]
