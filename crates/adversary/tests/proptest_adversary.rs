@@ -12,7 +12,7 @@ use dradio_graphs::{topology, DualGraph, NodeId};
 use dradio_sim::sampling::bernoulli;
 use dradio_sim::{
     Action, AdversaryClass, Assignment, LinkProcess, Message, MessageKind, Process, ProcessContext,
-    ProcessFactory, Role, Round, SimConfig, Simulator, StopCondition,
+    ProcessFactory, RecordMode, Role, Round, SimConfig, Simulator, StopCondition,
 };
 use proptest::prelude::*;
 use rand::RngCore;
@@ -76,6 +76,16 @@ fn run(
     seed: u64,
     rounds: usize,
 ) -> dradio_sim::ExecutionOutcome {
+    run_mode(dual, adversary, seed, rounds, RecordMode::Full)
+}
+
+fn run_mode(
+    dual: &DualGraph,
+    adversary: Box<dyn LinkProcess>,
+    seed: u64,
+    rounds: usize,
+    mode: RecordMode,
+) -> dradio_sim::ExecutionOutcome {
     let n = dual.len();
     let broadcasters: Vec<NodeId> = NodeId::all(n).filter(|u| u.index() % 2 == 0).collect();
     Simulator::new(
@@ -83,7 +93,10 @@ fn run(
         talker_factory(0.4),
         Assignment::local(n, &broadcasters),
         adversary,
-        SimConfig::default().with_seed(seed).with_max_rounds(rounds),
+        SimConfig::default()
+            .with_seed(seed)
+            .with_max_rounds(rounds)
+            .with_record_mode(mode),
     )
     .expect("valid simulation")
     .run(StopCondition::max_rounds())
@@ -124,6 +137,44 @@ proptest! {
         prop_assert_eq!(DenseSparseOnline::default().class(), AdversaryClass::OnlineAdaptive);
         prop_assert_eq!(GreedyCollisionOnline::new().class(), AdversaryClass::OnlineAdaptive);
         prop_assert_eq!(OmniscientOffline::new().class(), AdversaryClass::OfflineAdaptive);
+    }
+
+    /// Audit of the engine's history-free fast path: every adversary that
+    /// declares itself oblivious runs without promotion under
+    /// `RecordMode::None` (no history retained), every adaptive one is
+    /// promoted to full recording — and the measured metrics are identical
+    /// in both modes either way.
+    #[test]
+    fn oblivious_adversaries_engage_the_fast_path(
+        dual in arb_dual(),
+        adversary_index in 0usize..7,
+        seed in 0u64..100,
+    ) {
+        let class = make_adversary(adversary_index, dual.len()).class();
+        let full = run_mode(&dual, make_adversary(adversary_index, dual.len()), seed, 12, RecordMode::Full);
+        let fast = run_mode(&dual, make_adversary(adversary_index, dual.len()), seed, 12, RecordMode::None);
+        prop_assert_eq!(full.metrics, fast.metrics, "recording must not change behaviour");
+        prop_assert_eq!(full.rounds_executed, fast.rounds_executed);
+        if class == AdversaryClass::Oblivious {
+            prop_assert_eq!(fast.record_mode, RecordMode::None, "fast path must engage");
+            prop_assert!(fast.history.is_empty());
+        } else {
+            prop_assert_eq!(fast.record_mode, RecordMode::Full, "adaptive classes need history");
+            prop_assert_eq!(&fast.history, &full.history);
+        }
+    }
+
+    /// The bracelet attacker (oblivious, but constructed from topology
+    /// metadata) also stays on the fast path.
+    #[test]
+    fn bracelet_attacker_engages_the_fast_path(k in 2usize..5, seed in 0u64..50) {
+        let bracelet = topology::bracelet(k).unwrap();
+        let dual = bracelet.dual().clone();
+        let full = run_mode(&dual, Box::new(BraceletOblivious::new(&bracelet)), seed, 10, RecordMode::Full);
+        let fast = run_mode(&dual, Box::new(BraceletOblivious::new(&bracelet)), seed, 10, RecordMode::None);
+        prop_assert_eq!(full.metrics, fast.metrics);
+        prop_assert_eq!(fast.record_mode, RecordMode::None);
+        prop_assert!(fast.history.is_empty());
     }
 
     /// The bracelet attacker produces valid decisions on bracelets of any

@@ -1,0 +1,160 @@
+//! Engine hot-path benches.
+//!
+//! * `round/*` times a fixed number of simulator rounds (steady-state
+//!   uniform-probability broadcasters, so every seed runs exactly the same
+//!   number of rounds) on clique, grid, and random geometric topologies at
+//!   n ∈ {64, 256, 1024}. The printed mean is for `ROUNDS` rounds; divide by
+//!   `ROUNDS` for the per-round cost.
+//! * `campaign/*` times the campaign orchestration overhead per cell:
+//!   expansion, content-hash keying, and store appends — the costs that must
+//!   stay invisible next to the simulation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dradio_bench::engine_workload;
+use dradio_campaign::{CampaignSpec, CellRecord, ResultStore, RoundsRule, SweepGroup, TrialPolicy};
+use dradio_core::algorithms::GlobalAlgorithm;
+use dradio_scenario::{AdversarySpec, Measurement, ProblemSpec, RecordMode, Summary, TopologySpec};
+
+/// Rounds per measured workload run.
+const ROUNDS: usize = 32;
+
+/// Transmit probability of every node (steady contention, no completion).
+const P: f64 = 0.1;
+
+fn grid_side(n: usize) -> usize {
+    (n as f64).sqrt().round() as usize
+}
+
+fn topologies(n: usize) -> Vec<(&'static str, TopologySpec, AdversarySpec)> {
+    vec![
+        (
+            "clique",
+            TopologySpec::Clique { n },
+            AdversarySpec::StaticNone,
+        ),
+        (
+            "grid",
+            TopologySpec::Grid {
+                cols: grid_side(n),
+                rows: grid_side(n),
+            },
+            AdversarySpec::StaticNone,
+        ),
+        (
+            "random",
+            TopologySpec::RandomGeometric {
+                n,
+                side: (n as f64 / 8.0).sqrt().max(1.5),
+                r: 1.5,
+                seed: 9,
+            },
+            AdversarySpec::Iid { p: 0.5 },
+        ),
+    ]
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_round");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        for (name, topology, adversary) in topologies(n) {
+            // Topology generation is hoisted out of the timed region: the
+            // bench times the engine (simulator construction + ROUNDS
+            // rounds), not the graph builders.
+            let built = topology.build().expect("bench topology builds");
+            for (suffix, mode) in [("full", RecordMode::Full), ("none", RecordMode::None)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}_{suffix}"), n),
+                    &n,
+                    |b, _| {
+                        let mut seed = 0u64;
+                        b.iter(|| {
+                            seed += 1;
+                            engine_workload(&built, &adversary, P, ROUNDS, seed, mode)
+                                .metrics
+                                .deliveries
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn example_sweep() -> CampaignSpec {
+    CampaignSpec::named("bench-sweep")
+        .seed(3)
+        .trials(TrialPolicy::Fixed(2))
+        .group(
+            SweepGroup::product(
+                (3..9).map(|k| TopologySpec::Clique { n: 1 << k }).collect(),
+                vec![
+                    GlobalAlgorithm::Bgi.into(),
+                    GlobalAlgorithm::Permuted.into(),
+                    GlobalAlgorithm::RoundRobin.into(),
+                ],
+                vec![AdversarySpec::StaticNone, AdversarySpec::Iid { p: 0.5 }],
+                vec![ProblemSpec::GlobalFrom(0)],
+            )
+            .rounds(RoundsRule::PerNode {
+                per_node: 100,
+                base: 1_000,
+                min_nodes: 8,
+            }),
+        )
+}
+
+fn bench_campaign_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_overhead");
+    group.sample_size(50);
+
+    let spec = example_sweep();
+    let cells = spec.expand().expect("bench sweep expands");
+    group.bench_with_input(
+        BenchmarkId::new("expand", cells.len()),
+        &cells.len(),
+        |b, _| {
+            b.iter(|| spec.expand().expect("bench sweep expands").len());
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("key", cells.len()),
+        &cells.len(),
+        |b, _| {
+            b.iter(|| cells.iter().map(|cell| cell.key().len()).sum::<usize>());
+        },
+    );
+
+    let records: Vec<CellRecord> = cells
+        .iter()
+        .map(|cell| CellRecord {
+            key: cell.key(),
+            cell: cell.clone(),
+            trials_run: 2,
+            measurement: Measurement {
+                rounds: Summary::from_counts(&[10, 12]),
+                completion_rate: 1.0,
+                mean_collisions: 3.5,
+            },
+        })
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("store_append", records.len()),
+        &records.len(),
+        |b, _| {
+            b.iter(|| {
+                let mut store = ResultStore::in_memory();
+                for record in &records {
+                    store.append(record.clone()).expect("in-memory append");
+                }
+                store.len()
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds, bench_campaign_overhead);
+criterion_main!(benches);

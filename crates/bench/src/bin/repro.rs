@@ -28,6 +28,8 @@
 //!     campaign resume     like run, but requires the store to exist already
 //!     campaign report     render the stored results as a table (no execution)
 //!     --store <path>      JSONL result store (default: <name>.campaign.jsonl)
+//!     --progress          emit a `cells done/total, cells/sec, ETA` line to
+//!                         stderr after each committed cell
 //! ```
 
 use std::env;
@@ -174,6 +176,7 @@ fn campaign_command(args: &[String]) -> ExitCode {
     let mut campaign_arg: Option<String> = None;
     let mut store_arg: Option<String> = None;
     let mut csv = false;
+    let mut progress = false;
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -192,6 +195,7 @@ fn campaign_command(args: &[String]) -> ExitCode {
                 }
             },
             "--csv" => csv = true,
+            "--progress" => progress = true,
             other => {
                 eprintln!("unknown campaign option {other}");
                 return ExitCode::FAILURE;
@@ -234,7 +238,10 @@ fn campaign_command(args: &[String]) -> ExitCode {
     );
 
     if action != "report" {
-        match CampaignRunner::new(&spec).run(&mut store) {
+        match CampaignRunner::new(&spec)
+            .progress(progress)
+            .run(&mut store)
+        {
             Ok(report) => {
                 println!(
                     "cells: {} total, {} skipped (already measured), {} executed",
@@ -342,7 +349,7 @@ fn main() -> ExitCode {
                 );
                 println!(
                     "campaigns: campaign <run|resume|report> --campaign <json-or-path> \
-                     [--store <path>] [--csv]"
+                     [--store <path>] [--csv] [--progress]"
                 );
                 return ExitCode::SUCCESS;
             }

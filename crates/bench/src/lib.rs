@@ -18,13 +18,85 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
 use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
 use dradio_core::global::BgiGlobalBroadcast;
 use dradio_core::hitting::{play, HittingGame, SweepPlayer};
 use dradio_core::reduction::{run_reduction, ReductionConfig};
 use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
-use rand::SeedableRng;
+use dradio_sim::{
+    Action, Assignment, ExecutionOutcome, Message, MessageKind, Process, ProcessContext,
+    ProcessFactory, RecordMode, Round, SimConfig, Simulator, StopCondition,
+};
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Message kind used by the [`engine_workload`] broadcasters.
+pub const ENGINE_BENCH_KIND: MessageKind = MessageKind::new(40);
+
+/// A process that transmits with a fixed probability every round — the
+/// steady-state contention workload the engine benches time. Unlike the real
+/// algorithms it never completes, so a fixed horizon measures exactly
+/// `horizon` rounds of engine work.
+struct UniformBeacon {
+    p: f64,
+    msg: Message,
+}
+
+impl Process for UniformBeacon {
+    fn on_round(&mut self, _round: Round, rng: &mut dyn RngCore) -> Action {
+        if dradio_sim::sampling::bernoulli(rng, self.p) {
+            Action::Transmit(self.msg.clone())
+        } else {
+            Action::Listen
+        }
+    }
+    fn transmit_probability(&self, _round: Round) -> f64 {
+        self.p
+    }
+    fn name(&self) -> &'static str {
+        "uniform-beacon"
+    }
+}
+
+/// Runs exactly `rounds` rounds of the engine on a pre-built topology with
+/// every node transmitting i.i.d. with probability `p` under `adversary`,
+/// and returns the outcome. This is the hot-path microbenchmark workload: it
+/// exercises simulator construction, action collection, link filtering,
+/// reception, feedback, and recording, with none of the algorithm-level
+/// early termination that would make the round count depend on the seed —
+/// and none of the topology-generation cost, which callers hoist out of the
+/// timed region.
+pub fn engine_workload(
+    built: &dradio_scenario::BuiltTopology,
+    adversary: &AdversarySpec,
+    p: f64,
+    rounds: usize,
+    seed: u64,
+    record_mode: RecordMode,
+) -> ExecutionOutcome {
+    let link = adversary.build(built).expect("bench adversary builds");
+    let n = built.dual.len();
+    let factory: ProcessFactory = Arc::new(move |ctx: &ProcessContext| {
+        Box::new(UniformBeacon {
+            p,
+            msg: Message::plain(ctx.id, ENGINE_BENCH_KIND, ctx.id.index() as u64),
+        }) as Box<dyn Process>
+    });
+    Simulator::new(
+        built.dual.clone(),
+        factory,
+        Assignment::relays(n),
+        link,
+        SimConfig::default()
+            .with_seed(seed)
+            .with_max_rounds(rounds)
+            .with_record_mode(record_mode),
+    )
+    .expect("bench simulator builds")
+    .run(StopCondition::max_rounds())
+}
 
 /// Measured cost (rounds to completion, or the budget if censored) of one
 /// global broadcast run on a (dual) clique.

@@ -25,6 +25,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use dradio_scenario::{Measurement, Scenario, ScenarioRunner, TrialOutcome};
 
@@ -48,6 +49,7 @@ pub struct RunReport {
 pub struct CampaignRunner<'a> {
     spec: &'a CampaignSpec,
     threads: Option<usize>,
+    progress: bool,
 }
 
 impl<'a> CampaignRunner<'a> {
@@ -56,6 +58,7 @@ impl<'a> CampaignRunner<'a> {
         CampaignRunner {
             spec,
             threads: None,
+            progress: false,
         }
     }
 
@@ -63,6 +66,14 @@ impl<'a> CampaignRunner<'a> {
     /// execution; measurements are identical either way).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Enables a per-commit progress line on stderr (`cells done/total,
+    /// cells/sec, ETA`). Off by default so captured output stays stable;
+    /// stdout and the store are never touched.
+    pub fn progress(mut self, enabled: bool) -> Self {
+        self.progress = enabled;
         self
     }
 
@@ -101,16 +112,22 @@ impl<'a> CampaignRunner<'a> {
             })
             .min(pending.len());
 
+        let meter = self
+            .progress
+            .then(|| ProgressMeter::new(pending.len(), skipped));
         let executed = if threads <= 1 {
             // Sequential cells: let each cell parallelize its own trials.
             let mut executed = 0;
             for cell in &pending {
                 store.append(run_cell(cell, true)?)?;
                 executed += 1;
+                if let Some(meter) = &meter {
+                    meter.tick(executed);
+                }
             }
             executed
         } else {
-            self.run_parallel(&pending, threads, store)?
+            self.run_parallel(&pending, threads, store, meter.as_ref())?
         };
 
         Ok(RunReport {
@@ -139,6 +156,7 @@ impl<'a> CampaignRunner<'a> {
         pending: &[CellSpec],
         threads: usize,
         store: &mut ResultStore,
+        meter: Option<&ProgressMeter>,
     ) -> Result<usize> {
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
@@ -192,7 +210,12 @@ impl<'a> CampaignRunner<'a> {
                     }
                 };
                 match result.and_then(|record| store.append(record)) {
-                    Ok(()) => executed += 1,
+                    Ok(()) => {
+                        executed += 1;
+                        if let Some(meter) = meter {
+                            meter.tick(executed);
+                        }
+                    }
                     Err(e) => {
                         // Stop claiming new cells; in-flight cells finish and
                         // are discarded. The store keeps the committed prefix.
@@ -210,6 +233,46 @@ impl<'a> CampaignRunner<'a> {
             Some(e) => Err(e),
             None => Ok(executed),
         }
+    }
+}
+
+/// Stderr progress reporting for long campaign runs. The runner commits in
+/// expansion order, so "cells committed" is an honest prefix of the work and
+/// the throughput estimate is simply commits over elapsed wall time.
+#[derive(Debug)]
+struct ProgressMeter {
+    started: Instant,
+    pending: usize,
+    skipped: usize,
+}
+
+impl ProgressMeter {
+    fn new(pending: usize, skipped: usize) -> Self {
+        ProgressMeter {
+            started: Instant::now(),
+            pending,
+            skipped,
+        }
+    }
+
+    /// Reports `done` of the pending cells as committed.
+    fn tick(&self, done: usize) {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.pending.saturating_sub(done);
+        let eta = if rate > 0.0 {
+            format!("{:.0}s", remaining as f64 / rate)
+        } else {
+            String::from("?")
+        };
+        eprintln!(
+            "campaign: {done}/{} cells done ({} skipped), {rate:.2} cells/s, ETA {eta}",
+            self.pending, self.skipped
+        );
     }
 }
 
@@ -239,7 +302,8 @@ fn run_cell(cell: &CellSpec, parallel_trials: bool) -> Result<CellRecord> {
         ScenarioRunner::new(&scenario)
     } else {
         ScenarioRunner::new(&scenario).sequential()
-    };
+    }
+    .record_mode(cell.record_mode);
     let outcomes = match cell.trials {
         TrialPolicy::Fixed(trials) => runner.collect_trials(trials).map_err(at_cell)?,
         TrialPolicy::Adaptive {
@@ -352,6 +416,26 @@ mod tests {
                 .run_trials(3)
                 .unwrap();
             assert_eq!(record.measurement, direct, "{}", record.cell.label());
+        }
+    }
+
+    #[test]
+    fn full_recording_cells_measure_identically() {
+        // The fast default (RecordMode::None) and full recording produce the
+        // same stored records — recording only changes what the engine
+        // retains, never what it measures.
+        let fast = small_campaign();
+        let mut recorded = small_campaign();
+        for group in &mut recorded.groups {
+            group.record_mode = dradio_scenario::RecordMode::Full;
+        }
+        let a = CampaignRunner::new(&fast).run_in_memory().unwrap();
+        let b = CampaignRunner::new(&recorded).run_in_memory().unwrap();
+        assert_eq!(a.records().len(), b.records().len());
+        for (x, y) in a.records().iter().zip(b.records()) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.measurement, y.measurement);
+            assert_eq!(x.trials_run, y.trials_run);
         }
     }
 

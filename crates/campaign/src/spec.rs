@@ -10,7 +10,9 @@
 
 use std::fmt;
 
-use dradio_scenario::{AdversarySpec, AlgorithmSpec, ProblemSpec, ScenarioSpec, TopologySpec};
+use dradio_scenario::{
+    AdversarySpec, AlgorithmSpec, ProblemSpec, RecordMode, ScenarioSpec, TopologySpec,
+};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::error::{CampaignError, Result};
@@ -174,6 +176,11 @@ pub struct SweepGroup {
     pub rounds: RoundsRule,
     /// Diagnostic collision-detection mode.
     pub collision_detection: bool,
+    /// How much of each trial execution the engine retains (default
+    /// [`RecordMode::None`]: cells only keep aggregate measurements, so
+    /// recording history per trial is pure overhead). Not part of a cell's
+    /// identity — measurements are identical under every mode.
+    pub record_mode: RecordMode,
 }
 
 impl SweepGroup {
@@ -193,6 +200,7 @@ impl SweepGroup {
             trials: None,
             rounds: RoundsRule::ScenarioDefault,
             collision_detection: false,
+            record_mode: RecordMode::None,
         }
     }
 
@@ -232,6 +240,13 @@ impl SweepGroup {
     /// Enables the diagnostic collision-detection mode for this group.
     pub fn collision_detection(mut self, enabled: bool) -> Self {
         self.collision_detection = enabled;
+        self
+    }
+
+    /// Overrides the record mode this group's cells run with (default
+    /// [`RecordMode::None`]).
+    pub fn record_mode(mut self, record_mode: RecordMode) -> Self {
+        self.record_mode = record_mode;
         self
     }
 
@@ -297,6 +312,7 @@ impl Serialize for SweepGroup {
                 "collision_detection".into(),
                 self.collision_detection.to_value(),
             ),
+            ("record_mode".into(), self.record_mode.to_value()),
         ])
     }
 }
@@ -328,6 +344,10 @@ impl Deserialize for SweepGroup {
             collision_detection: match value.get("collision_detection") {
                 Some(v) => bool::from_value(v)?,
                 None => false,
+            },
+            record_mode: match value.get("record_mode") {
+                Some(v) => RecordMode::from_value(v)?,
+                None => RecordMode::None,
             },
         })
     }
@@ -429,6 +449,7 @@ impl CampaignSpec {
                                     collision_detection: group.collision_detection,
                                 },
                                 trials,
+                                record_mode: group.record_mode,
                             };
                             if seen.insert(cell.key()) {
                                 cells.push(cell);
@@ -499,16 +520,34 @@ pub struct CellSpec {
     pub scenario: ScenarioSpec,
     /// How many trials to run.
     pub trials: TrialPolicy,
+    /// How much of each trial execution the engine retains. **Not part of
+    /// the cell's identity**: measurements are identical under every mode
+    /// (pinned by the equivalence tests), so two cells differing only in
+    /// record mode are the same measurement and share a store record.
+    pub record_mode: RecordMode,
 }
 
 impl CellSpec {
     /// The content-hash key of this cell: FNV-1a 64 over the canonical
-    /// (compact) JSON serialization, hex-encoded.
+    /// (compact) JSON serialization of its *identity* — the scenario and the
+    /// trial policy, deliberately excluding the record mode (see the field
+    /// documentation) — hex-encoded.
     ///
     /// Stable across processes — the serialization is deterministic (ordered
     /// maps, shortest-round-trip floats) and the hash has no random state.
     pub fn key(&self) -> String {
-        let canonical = serde_json::to_string(self).expect("cell specs always serialize");
+        /// The slice of a [`CellSpec`] that defines "the same measurement".
+        struct CellIdentity<'a>(&'a CellSpec);
+        impl Serialize for CellIdentity<'_> {
+            fn to_value(&self) -> Value {
+                Value::Map(vec![
+                    ("scenario".into(), self.0.scenario.to_value()),
+                    ("trials".into(), self.0.trials.to_value()),
+                ])
+            }
+        }
+        let canonical =
+            serde_json::to_string(&CellIdentity(self)).expect("cell specs always serialize");
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for byte in canonical.bytes() {
             hash ^= u64::from(byte);
@@ -528,6 +567,7 @@ impl Serialize for CellSpec {
         Value::Map(vec![
             ("scenario".into(), self.scenario.to_value()),
             ("trials".into(), self.trials.to_value()),
+            ("record_mode".into(), self.record_mode.to_value()),
         ])
     }
 }
@@ -542,6 +582,11 @@ impl Deserialize for CellSpec {
         Ok(CellSpec {
             scenario: ScenarioSpec::from_value(field("scenario")?)?,
             trials: TrialPolicy::from_value(field("trials")?)?,
+            // Absent in stores written before record modes existed.
+            record_mode: match value.get("record_mode") {
+                Some(v) => RecordMode::from_value(v)?,
+                None => RecordMode::None,
+            },
         })
     }
 }
@@ -683,6 +728,32 @@ mod tests {
             ProblemSpec::GlobalFrom(0),
         ));
         assert!(custom.expand().is_err());
+    }
+
+    #[test]
+    fn record_mode_is_not_part_of_cell_identity() {
+        let fast = sample_campaign();
+        let mut recorded = sample_campaign();
+        recorded.groups[0].record_mode = RecordMode::Full;
+        let fast_cells = fast.expand().unwrap();
+        let recorded_cells = recorded.expand().unwrap();
+        for (a, b) in fast_cells.iter().zip(&recorded_cells) {
+            assert_eq!(a.record_mode, RecordMode::None);
+            assert_eq!(b.record_mode, RecordMode::Full);
+            assert_eq!(a.key(), b.key(), "record mode must not change the key");
+        }
+        // And the serialized cell still round-trips the mode.
+        let json = serde_json::to_string(&recorded_cells[0]).unwrap();
+        let back: CellSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.record_mode, RecordMode::Full);
+        // Stores written before record modes existed deserialize to the
+        // default fast mode.
+        let legacy = serde_json::to_string(&fast_cells[0])
+            .unwrap()
+            .replace(",\"record_mode\":\"None\"", "");
+        let back: CellSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.record_mode, RecordMode::None);
+        assert_eq!(back.key(), fast_cells[0].key());
     }
 
     #[test]

@@ -258,6 +258,7 @@ mod tests {
                 collision_detection: false,
             },
             trials: TrialPolicy::Fixed(2),
+            record_mode: dradio_scenario::RecordMode::None,
         };
         CellRecord {
             key: cell.key(),

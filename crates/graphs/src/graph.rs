@@ -74,6 +74,13 @@ impl fmt::Display for Edge {
 /// queries), which is the access pattern the round simulator needs: "who are
 /// the transmitting neighbors of `u` this round?".
 ///
+/// The bit matrix is stored row-aligned: every vertex owns
+/// [`row_words`](Graph::row_words) consecutive `u64` words, so a whole
+/// adjacency row is available as a word slice through
+/// [`neighbor_bits`](Graph::neighbor_bits). The simulator intersects these
+/// rows with its packed transmitter bitset to resolve reception 64 candidate
+/// neighbors at a time instead of chasing `Vec<NodeId>` chains per listener.
+///
 /// # Example
 ///
 /// ```
@@ -84,12 +91,17 @@ impl fmt::Display for Edge {
 /// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
 /// assert_eq!(g.degree(NodeId::new(1)), 2);
 /// assert_eq!(g.edge_count(), 2);
+/// // Row 1 has bits 0 and 2 set.
+/// assert_eq!(g.neighbor_bits(NodeId::new(1)), &[0b101]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
+    /// Words per adjacency row (`⌈n / 64⌉`).
+    words_per_row: usize,
     adjacency: Vec<Vec<NodeId>>,
-    /// Bit matrix (row-major, upper-triangular usage) for O(1) membership.
+    /// Row-aligned bit matrix: bit `v` of row `u` (word `u·words_per_row +
+    /// v/64`) is set iff the edge `(u, v)` is present.
     bits: Vec<u64>,
     edge_count: usize,
 }
@@ -97,11 +109,12 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
-        let words = n.saturating_mul(n).div_ceil(64);
+        let words_per_row = n.div_ceil(64);
         Graph {
             n,
+            words_per_row,
             adjacency: vec![Vec::new(); n],
-            bits: vec![0u64; words],
+            bits: vec![0u64; n.saturating_mul(words_per_row)],
             edge_count: 0,
         }
     }
@@ -134,7 +147,23 @@ impl Graph {
     }
 
     fn bit_index(&self, u: NodeId, v: NodeId) -> usize {
-        u.index() * self.n + v.index()
+        u.index() * self.words_per_row * 64 + v.index()
+    }
+
+    /// Number of `u64` words in each adjacency-row bitset (`⌈n / 64⌉`).
+    pub fn row_words(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed adjacency row of `u`: bit `v` (word `v / 64`, bit `v % 64`)
+    /// is set iff the edge `(u, v)` is present. Out-of-range nodes have an
+    /// empty row.
+    pub fn neighbor_bits(&self, u: NodeId) -> &[u64] {
+        if u.index() >= self.n {
+            return &[];
+        }
+        let start = u.index() * self.words_per_row;
+        &self.bits[start..start + self.words_per_row]
     }
 
     fn check_node(&self, node: NodeId) -> Result<()> {
@@ -497,6 +526,38 @@ mod tests {
             .unwrap();
         assert_eq!(g.edge_count(), 2);
         assert!(GraphBuilder::new(2).edge(0, 5).build().is_err());
+    }
+
+    #[test]
+    fn neighbor_bits_mirror_the_adjacency_lists() {
+        // 70 nodes forces two words per row.
+        let mut g = Graph::empty(70);
+        assert_eq!(g.row_words(), 2);
+        g.add_edge(NodeId::new(3), NodeId::new(65)).unwrap();
+        g.add_edge(NodeId::new(3), NodeId::new(0)).unwrap();
+        let row = g.neighbor_bits(NodeId::new(3));
+        assert_eq!(row.len(), 2);
+        assert_eq!(row[0], 1u64); // bit 0
+        assert_eq!(row[1], 1u64 << 1); // bit 65 = word 1, bit 1
+                                       // Every row agrees with the adjacency list, for every node.
+        for u in g.nodes() {
+            let row = g.neighbor_bits(u);
+            for v in g.nodes() {
+                let from_bits = row[v.index() / 64] >> (v.index() % 64) & 1 == 1;
+                assert_eq!(from_bits, g.neighbors(u).contains(&v), "({u}, {v})");
+            }
+        }
+        // Out-of-range rows are empty.
+        assert!(g.neighbor_bits(NodeId::new(99)).is_empty());
+    }
+
+    #[test]
+    fn neighbor_bits_clear_on_removal() {
+        let mut g = Graph::complete(5);
+        g.remove_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        let row = g.neighbor_bits(NodeId::new(1));
+        assert_eq!(row[0] >> 2 & 1, 0);
+        assert_eq!(g.neighbor_bits(NodeId::new(2))[0] >> 1 & 1, 0);
     }
 
     #[test]

@@ -64,3 +64,7 @@ pub use runner::{Measurement, ScenarioRunner, TrialOutcome, TRIAL_STREAM_BASE};
 pub use scenario::{LinkBuilder, Scenario, ScenarioBuilder, ScenarioSpec};
 pub use stats::Summary;
 pub use topology::{BuiltTopology, TopologySpec};
+
+// Re-exported so scenario and campaign callers can select a record mode
+// without depending on `dradio-sim` directly.
+pub use dradio_sim::RecordMode;

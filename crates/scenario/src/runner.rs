@@ -27,7 +27,7 @@
 //! invalidates every stored measurement; tests in this module and in
 //! `dradio-campaign` pin the derivation.
 
-use dradio_sim::derive_stream_seed;
+use dradio_sim::{derive_stream_seed, RecordMode};
 use rayon::prelude::*;
 
 use serde::{Deserialize, Serialize, Value};
@@ -128,24 +128,41 @@ pub const TRIAL_STREAM_BASE: u64 = 0x5CE7_AB10_0000_0000;
 /// deterministic — [`ScenarioRunner::sequential`] produces the identical
 /// [`Measurement`] and exists for verification and single-threaded
 /// environments.
+///
+/// Trials run with [`RecordMode::None`] by default: a [`TrialOutcome`] keeps
+/// only the cost, completion flag, and collision count, so the engine skips
+/// history recording entirely. The measured quantities are identical under
+/// every mode (the engine's behaviour does not depend on what it retains,
+/// and adaptive adversaries auto-promote to full recording), which the crate
+/// tests pin; use [`ScenarioRunner::record_mode`] to opt back into retained
+/// histories when debugging.
 #[derive(Debug, Clone, Copy)]
 pub struct ScenarioRunner<'a> {
     scenario: &'a Scenario,
     parallel: bool,
+    record_mode: RecordMode,
 }
 
 impl<'a> ScenarioRunner<'a> {
-    /// Creates a parallel runner over `scenario`.
+    /// Creates a parallel, history-free runner over `scenario`.
     pub fn new(scenario: &'a Scenario) -> Self {
         ScenarioRunner {
             scenario,
             parallel: true,
+            record_mode: RecordMode::None,
         }
     }
 
     /// Switches the runner to sequential (in-thread) execution.
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
+        self
+    }
+
+    /// Overrides the record mode trials run with (default
+    /// [`RecordMode::None`]; measurements are identical under every mode).
+    pub fn record_mode(mut self, record_mode: RecordMode) -> Self {
+        self.record_mode = record_mode;
         self
     }
 
@@ -157,7 +174,7 @@ impl<'a> ScenarioRunner<'a> {
     /// Runs one trial by index.
     pub fn run_trial(&self, trial: usize) -> TrialOutcome {
         let seed = self.trial_seed(trial);
-        let outcome = self.scenario.run_with_seed(seed);
+        let outcome = self.scenario.run_with(seed, self.record_mode);
         TrialOutcome {
             trial,
             seed,
@@ -295,6 +312,27 @@ mod tests {
         assert_eq!(
             runner.trial_seed(0),
             finalize(0xFEED, 0x5CE7_AB10_0000_0000)
+        );
+    }
+
+    #[test]
+    fn record_modes_do_not_change_measurements() {
+        let s = scenario(13);
+        let runner = ScenarioRunner::new(&s);
+        let fast = runner.run_trials(6).unwrap();
+        let full = runner.record_mode(RecordMode::Full).run_trials(6).unwrap();
+        let collisions_only = runner
+            .record_mode(RecordMode::CollisionsOnly)
+            .run_trials(6)
+            .unwrap();
+        assert_eq!(fast, full);
+        assert_eq!(fast, collisions_only);
+        assert_eq!(
+            runner.collect_trials(6).unwrap(),
+            runner
+                .record_mode(RecordMode::Full)
+                .collect_trials(6)
+                .unwrap()
         );
     }
 

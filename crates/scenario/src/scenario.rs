@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use dradio_graphs::DualGraph;
 use dradio_sim::{
-    Assignment, ExecutionOutcome, History, LinkProcess, ProcessFactory, SimConfig, Simulator,
-    StopCondition,
+    Assignment, ExecutionOutcome, History, LinkProcess, ProcessFactory, RecordMode, SimConfig,
+    Simulator, StopCondition,
 };
 use serde::{Deserialize, Serialize, Value};
 
@@ -146,6 +146,7 @@ pub struct ScenarioBuilder {
     seed: u64,
     max_rounds: Option<usize>,
     collision_detection: bool,
+    record_mode: RecordMode,
 }
 
 impl ScenarioBuilder {
@@ -161,6 +162,7 @@ impl ScenarioBuilder {
             seed: 0,
             max_rounds: None,
             collision_detection: false,
+            record_mode: RecordMode::Full,
         }
     }
 
@@ -232,6 +234,17 @@ impl ScenarioBuilder {
     /// Enables the diagnostic collision-detection mode.
     pub fn collision_detection(mut self, enabled: bool) -> Self {
         self.collision_detection = enabled;
+        self
+    }
+
+    /// Sets how much of each execution is retained (default
+    /// [`RecordMode::Full`], so [`Scenario::run`] keeps the history that
+    /// [`Scenario::verify`] inspects). Trial fan-out through
+    /// [`ScenarioRunner`] defaults to [`RecordMode::None`] instead — see its
+    /// documentation. Executions against adaptive adversary classes always
+    /// auto-promote to `Full`.
+    pub fn record_mode(mut self, record_mode: RecordMode) -> Self {
+        self.record_mode = record_mode;
         self
     }
 
@@ -357,6 +370,7 @@ impl ScenarioBuilder {
             resolved,
             max_rounds,
             collision_detection: self.collision_detection,
+            record_mode: self.record_mode,
         })
     }
 }
@@ -377,6 +391,7 @@ pub struct Scenario {
     resolved: ResolvedProblem,
     max_rounds: usize,
     collision_detection: bool,
+    record_mode: RecordMode,
 }
 
 impl Scenario {
@@ -429,6 +444,12 @@ impl Scenario {
         self.max_rounds
     }
 
+    /// The record mode single executions run with (the requested mode; the
+    /// engine promotes to [`RecordMode::Full`] for adaptive adversaries).
+    pub fn record_mode(&self) -> RecordMode {
+        self.record_mode
+    }
+
     /// Runs one execution with the scenario's own seed.
     pub fn run(&self) -> ExecutionOutcome {
         self.run_with_seed(self.spec.seed)
@@ -437,10 +458,18 @@ impl Scenario {
     /// Runs one execution with an explicit master seed (the runner uses this
     /// with derived per-trial seeds).
     pub fn run_with_seed(&self, seed: u64) -> ExecutionOutcome {
+        self.run_with(seed, self.record_mode)
+    }
+
+    /// Runs one execution with an explicit master seed and record mode
+    /// (overriding the scenario's own mode; [`ScenarioRunner`] uses this for
+    /// its history-free trial fan-out).
+    pub fn run_with(&self, seed: u64, record_mode: RecordMode) -> ExecutionOutcome {
         let config = SimConfig::default()
             .with_seed(seed)
             .with_max_rounds(self.max_rounds)
-            .with_collision_detection(self.collision_detection);
+            .with_collision_detection(self.collision_detection)
+            .with_record_mode(record_mode);
         Simulator::new(
             self.topology.dual.clone(),
             self.factory.clone(),
@@ -658,6 +687,32 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, ScenarioError::Sim(_)));
+    }
+
+    #[test]
+    fn scenario_record_mode_defaults_to_full_and_is_settable() {
+        let scenario = permuted_iid(16, 7);
+        assert_eq!(scenario.record_mode(), RecordMode::Full);
+        let outcome = scenario.run();
+        assert!(
+            !outcome.history.is_empty(),
+            "run() keeps history for verify"
+        );
+
+        let fast = Scenario::on(TopologySpec::DualClique { n: 16 })
+            .algorithm(GlobalAlgorithm::Permuted)
+            .adversary(AdversarySpec::Iid { p: 0.5 })
+            .problem(ProblemSpec::GlobalFrom(0))
+            .seed(7)
+            .max_rounds(20_000)
+            .record_mode(RecordMode::None)
+            .build()
+            .unwrap();
+        let light = fast.run();
+        assert!(light.history.is_empty());
+        // Identical behaviour: same cost and metrics as the recorded run.
+        assert_eq!(light.metrics, outcome.metrics);
+        assert_eq!(light.completion_round, outcome.completion_round);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::error::SimError;
+use crate::recorder::RecordMode;
 use crate::Result;
 
 /// Configuration of a single execution.
@@ -8,17 +9,19 @@ use crate::Result;
 /// # Example
 ///
 /// ```
-/// use dradio_sim::SimConfig;
+/// use dradio_sim::{RecordMode, SimConfig};
 /// let cfg = SimConfig::default().with_seed(42).with_max_rounds(5_000);
 /// assert_eq!(cfg.seed(), 42);
 /// assert_eq!(cfg.max_rounds(), 5_000);
 /// assert!(!cfg.collision_detection());
+/// assert_eq!(cfg.record_mode(), RecordMode::Full);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     max_rounds: usize,
     seed: u64,
     collision_detection: bool,
+    record_mode: RecordMode,
 }
 
 impl Default for SimConfig {
@@ -27,6 +30,7 @@ impl Default for SimConfig {
             max_rounds: 100_000,
             seed: 0,
             collision_detection: false,
+            record_mode: RecordMode::Full,
         }
     }
 }
@@ -60,6 +64,15 @@ impl SimConfig {
         self
     }
 
+    /// Selects how much of the execution the engine retains (default
+    /// [`RecordMode::Full`]). Executions against adaptive adversary classes
+    /// auto-promote to `Full` regardless — see
+    /// [`RecordMode::effective_for`].
+    pub fn with_record_mode(mut self, record_mode: RecordMode) -> Self {
+        self.record_mode = record_mode;
+        self
+    }
+
     /// The round horizon.
     pub fn max_rounds(&self) -> usize {
         self.max_rounds
@@ -73,6 +86,11 @@ impl SimConfig {
     /// Whether collision detection is enabled.
     pub fn collision_detection(&self) -> bool {
         self.collision_detection
+    }
+
+    /// The requested record mode.
+    pub fn record_mode(&self) -> RecordMode {
+        self.record_mode
     }
 
     /// Validates the configuration.
@@ -109,10 +127,12 @@ mod tests {
         let cfg = SimConfig::default()
             .with_max_rounds(10)
             .with_seed(99)
-            .with_collision_detection(true);
+            .with_collision_detection(true)
+            .with_record_mode(RecordMode::None);
         assert_eq!(cfg.max_rounds(), 10);
         assert_eq!(cfg.seed(), 99);
         assert!(cfg.collision_detection());
+        assert_eq!(cfg.record_mode(), RecordMode::None);
     }
 
     #[test]

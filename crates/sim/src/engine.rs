@@ -11,6 +11,7 @@ use crate::history::{Delivery, History, RoundRecord};
 use crate::link::{AdversaryClass, AdversarySetup, AdversaryView, LinkProcess};
 use crate::metrics::Metrics;
 use crate::process::{Assignment, Process, ProcessContext, ProcessFactory};
+use crate::recorder::{RecordMode, Recorder};
 use crate::round::Round;
 use crate::stop::{StopCondition, StopTracker};
 use crate::Result;
@@ -24,10 +25,19 @@ pub struct ExecutionOutcome {
     pub rounds_executed: usize,
     /// The round in which the stop condition became satisfied, if it did.
     pub completion_round: Option<Round>,
-    /// Complete per-round history of the execution.
+    /// Per-round history of the execution. Complete when [`record_mode`]
+    /// is [`RecordMode::Full`]; empty otherwise.
+    ///
+    /// [`record_mode`]: ExecutionOutcome::record_mode
     pub history: History,
-    /// Aggregate counters.
+    /// Aggregate counters (identical under every record mode).
     pub metrics: Metrics,
+    /// The record mode the execution effectively ran with, after the
+    /// adaptive-adversary promotion rule (see [`RecordMode::effective_for`]).
+    pub record_mode: RecordMode,
+    /// Collisions per executed round; retained under [`RecordMode::Full`]
+    /// and [`RecordMode::CollisionsOnly`], empty under [`RecordMode::None`].
+    pub collisions_per_round: Vec<usize>,
 }
 
 impl ExecutionOutcome {
@@ -135,6 +145,10 @@ impl Simulator {
     /// Runs the execution until `stop` is satisfied or the round horizon is
     /// reached, consuming the simulator.
     ///
+    /// How much of the execution is retained is governed by the
+    /// configuration's [`RecordMode`] (default [`RecordMode::Full`]);
+    /// behaviour and [`Metrics`] are identical under every mode.
+    ///
     /// # Panics
     ///
     /// Panics if `stop` references nodes outside the network (a programming
@@ -151,7 +165,9 @@ impl Simulator {
         let n = self.dual.len();
         let horizon = self.config.max_rounds();
         let class = self.link.class();
-        let mut history = History::new(n);
+        let adaptive = class != AdversaryClass::Oblivious;
+        let offline = class == AdversaryClass::OfflineAdaptive;
+        let mut recorder = Recorder::new(self.config.record_mode(), class, n);
         let mut metrics = Metrics::default();
         let mut tracker = StopTracker::new(stop, n);
 
@@ -175,144 +191,213 @@ impl Simulator {
         if tracker.is_done() {
             // Degenerate conditions (e.g. empty receiver set) are complete
             // before any round executes.
+            let record_mode = recorder.mode();
+            let (history, collisions_per_round) = recorder.finish();
             return ExecutionOutcome {
                 completed: true,
                 rounds_executed: 0,
                 completion_round: None,
                 history,
                 metrics,
+                record_mode,
+                collisions_per_round,
             };
         }
+
+        // All per-round working memory lives in the scratch and is cleared,
+        // never reallocated, between rounds. Networks with no dynamic edges
+        // (`G = G'`) skip the dynamic-adjacency rows entirely.
+        let mut scratch = RoundScratch::new(n, self.dual.g().row_words(), !self.dual.is_static());
 
         for round in Round::range(horizon) {
             rounds_executed += 1;
 
             // 1. Expected behaviour (visible to adaptive adversaries) must be
             //    captured before any round-r coin is flipped.
-            let transmit_probs: Option<Vec<f64>> = if class == AdversaryClass::Oblivious {
-                None
-            } else {
-                Some(
-                    self.processes
-                        .iter()
-                        .map(|p| p.transmit_probability(round))
-                        .collect(),
-                )
-            };
+            if adaptive {
+                scratch.transmit_probs.clear();
+                scratch
+                    .transmit_probs
+                    .extend(self.processes.iter().map(|p| p.transmit_probability(round)));
+            }
 
             // 2. Processes pick their actions using their private coins.
-            let actions: Vec<Action> = self
-                .processes
-                .iter_mut()
-                .enumerate()
-                .map(|(i, p)| p.on_round(round, &mut self.node_rngs[i]))
-                .collect();
+            scratch.actions.clear();
+            for (i, p) in self.processes.iter_mut().enumerate() {
+                scratch
+                    .actions
+                    .push(p.on_round(round, &mut self.node_rngs[i]));
+            }
 
             // 3. The link process fixes the dynamic edges, seeing only what
-            //    its class entitles it to.
+            //    its class entitles it to (the recorder's history is complete
+            //    here: adaptive classes auto-promote to full recording).
             let decision = {
                 let view = AdversaryView::new(
                     round,
                     n,
-                    (class != AdversaryClass::Oblivious).then_some(&history),
-                    transmit_probs.as_deref(),
-                    (class == AdversaryClass::OfflineAdaptive).then_some(actions.as_slice()),
+                    adaptive.then(|| recorder.history()),
+                    adaptive.then_some(scratch.transmit_probs.as_slice()),
+                    offline.then_some(scratch.actions.as_slice()),
                 );
                 self.link.decide(&view, &mut self.adversary_rng)
             };
 
-            // Filter the decision down to genuine dynamic edges.
-            let mut active_edges: Vec<Edge> = Vec::with_capacity(decision.len());
+            // Filter the decision down to genuine dynamic edges. The dynamic
+            // adjacency bit rows double as an O(1) duplicate check.
+            scratch.clear_dynamic();
+            scratch.active_edges.clear();
             for edge in decision.edges() {
                 let (u, v) = edge.endpoints();
                 let is_dynamic =
                     self.dual.g_prime().has_edge(u, v) && !self.dual.g().has_edge(u, v);
-                if is_dynamic && !active_edges.contains(edge) {
-                    active_edges.push(*edge);
-                } else if !is_dynamic {
+                if !is_dynamic {
                     metrics.rejected_link_edges += 1;
+                } else if !scratch.dynamic_bit(u, v) {
+                    scratch.set_dynamic(u, v);
+                    scratch.active_edges.push(*edge);
                 }
             }
 
-            // Dynamic adjacency for this round.
-            let mut extra_adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-            for edge in &active_edges {
-                let (u, v) = edge.endpoints();
-                extra_adjacency[u.index()].push(v);
-                extra_adjacency[v.index()].push(u);
-            }
-
-            // 4. Reception under the collision rule.
-            let transmitting: Vec<Option<&crate::message::Message>> =
-                actions.iter().map(Action::message).collect();
-            let mut transmitters: Vec<NodeId> = Vec::new();
-            for (i, m) in transmitting.iter().enumerate() {
-                if m.is_some() {
-                    transmitters.push(NodeId::new(i));
+            // 4. Reception under the collision rule, from the packed
+            //    transmitter bitset.
+            scratch.transmitters.clear();
+            scratch.transmitter_bits.iter_mut().for_each(|w| *w = 0);
+            for (i, action) in scratch.actions.iter().enumerate() {
+                if action.is_transmit() {
+                    scratch.transmitter_bits[i / 64] |= 1u64 << (i % 64);
+                    scratch.transmitters.push(NodeId::new(i));
                 }
             }
-            metrics.transmissions += transmitters.len();
+            let transmitter_count = scratch.transmitters.len();
+            metrics.transmissions += transmitter_count;
 
-            let mut deliveries = Vec::new();
-            let mut feedbacks: Vec<Feedback> = Vec::with_capacity(n);
-            for u in NodeId::all(n) {
-                if transmitting[u.index()].is_some() {
-                    feedbacks.push(Feedback::Transmitted);
-                    continue;
+            scratch.feedbacks.clear();
+            // Deliveries are materialized only under full recording; feedback
+            // and stop evaluation never need the allocation.
+            let mut deliveries: Vec<Delivery> = Vec::new();
+            let mut round_collisions = 0usize;
+
+            if transmitter_count == 0 {
+                // Nobody transmitted: every node listens into silence.
+                metrics.idle_listens += n;
+                for _ in 0..n {
+                    scratch.feedbacks.push(Feedback::Silence);
                 }
-                let mut heard: Option<(NodeId, &crate::message::Message)> = None;
-                let mut count = 0usize;
-                for &v in self
-                    .dual
-                    .g_neighbors(u)
-                    .iter()
-                    .chain(extra_adjacency[u.index()].iter())
-                {
-                    if let Some(m) = transmitting[v.index()] {
-                        count += 1;
-                        heard = Some((v, m));
+            } else {
+                let g = self.dual.g();
+                let words = g.row_words();
+                let use_dynamic = !scratch.active_edges.is_empty();
+                // Below this transmitter count, probing each transmitter with
+                // O(1) bit queries beats scanning the whole adjacency row.
+                let probe_transmitters = transmitter_count <= words;
+                for u in NodeId::all(n) {
+                    let u_idx = u.index();
+                    if scratch.transmitter_bits[u_idx / 64] >> (u_idx % 64) & 1 == 1 {
+                        scratch.feedbacks.push(Feedback::Transmitted);
+                        continue;
                     }
-                }
-                let feedback = match count {
-                    0 => {
-                        metrics.idle_listens += 1;
-                        Feedback::Silence
-                    }
-                    1 => {
-                        let (sender, message) = heard.expect("count == 1 implies a sender");
-                        metrics.deliveries += 1;
-                        deliveries.push(Delivery {
-                            receiver: u,
-                            sender,
-                            message: message.clone(),
-                        });
-                        Feedback::Received(message.clone())
-                    }
-                    _ => {
-                        metrics.collisions += 1;
-                        if self.config.collision_detection() {
-                            Feedback::Collision
-                        } else {
-                            Feedback::Silence
+                    // Count transmitting neighbors, capped at 2 (the collision
+                    // rule only distinguishes 0 / 1 / "several"), picking the
+                    // cheapest of three equivalent strategies per listener:
+                    // walk the adjacency list testing transmitter bits (low
+                    // degree), probe each transmitter with O(1) edge queries
+                    // (few transmitters), or intersect the packed adjacency
+                    // row with the transmitter bitset (dense rounds).
+                    let mut count = 0usize;
+                    let mut sender = 0usize;
+                    let degree = g.degree(u);
+                    if !use_dynamic && degree <= transmitter_count && degree <= words * 2 {
+                        for &v in g.neighbors(u) {
+                            let v_idx = v.index();
+                            if scratch.transmitter_bits[v_idx / 64] >> (v_idx % 64) & 1 == 1 {
+                                count += 1;
+                                if count >= 2 {
+                                    break;
+                                }
+                                sender = v_idx;
+                            }
+                        }
+                    } else if probe_transmitters {
+                        for &v in &scratch.transmitters {
+                            let connected =
+                                g.has_edge(u, v) || (use_dynamic && scratch.dynamic_bit(u, v));
+                            if connected {
+                                count += 1;
+                                if count >= 2 {
+                                    break;
+                                }
+                                sender = v.index();
+                            }
+                        }
+                    } else {
+                        let row = g.neighbor_bits(u);
+                        let dyn_row = scratch.dynamic_row(u_idx);
+                        for w in 0..words {
+                            let mut hit = row[w] & scratch.transmitter_bits[w];
+                            if use_dynamic {
+                                hit |= dyn_row[w] & scratch.transmitter_bits[w];
+                            }
+                            if hit != 0 {
+                                count += hit.count_ones() as usize;
+                                if count >= 2 {
+                                    break;
+                                }
+                                sender = w * 64 + hit.trailing_zeros() as usize;
+                            }
                         }
                     }
-                };
-                feedbacks.push(feedback);
+                    let feedback = match count {
+                        0 => {
+                            metrics.idle_listens += 1;
+                            Feedback::Silence
+                        }
+                        1 => {
+                            let sender = NodeId::new(sender);
+                            let message = scratch.actions[sender.index()]
+                                .message()
+                                .expect("a set transmitter bit implies a message");
+                            metrics.deliveries += 1;
+                            tracker.observe_one(u, sender, message.kind());
+                            if recorder.wants_history() {
+                                deliveries.push(Delivery {
+                                    receiver: u,
+                                    sender,
+                                    message: message.clone(),
+                                });
+                            }
+                            Feedback::Received(message.clone())
+                        }
+                        _ => {
+                            metrics.collisions += 1;
+                            round_collisions += 1;
+                            if self.config.collision_detection() {
+                                Feedback::Collision
+                            } else {
+                                Feedback::Silence
+                            }
+                        }
+                    };
+                    scratch.feedbacks.push(feedback);
+                }
             }
 
             // 5. Deliver feedback to the processes.
-            for (i, feedback) in feedbacks.iter().enumerate() {
+            for (i, feedback) in scratch.feedbacks.iter().enumerate() {
                 self.processes[i].on_feedback(round, feedback, &mut self.node_rngs[i]);
             }
 
-            // 6. Record and evaluate the stop condition.
-            tracker.observe(&deliveries);
-            history.push(RoundRecord {
-                round,
-                transmitters,
-                active_dynamic_edges: active_edges,
-                deliveries,
-            });
+            // 6. Record and evaluate the stop condition (already observed
+            //    delivery by delivery, in ascending receiver order).
+            recorder.push_collisions(round_collisions);
+            if recorder.wants_history() {
+                recorder.push(RoundRecord {
+                    round,
+                    transmitters: scratch.transmitters.clone(),
+                    active_dynamic_edges: scratch.active_edges.clone(),
+                    deliveries,
+                });
+            }
             metrics.rounds = rounds_executed;
 
             if tracker.is_done() {
@@ -322,12 +407,106 @@ impl Simulator {
         }
 
         metrics.rounds = rounds_executed;
+        let record_mode = recorder.mode();
+        let (history, collisions_per_round) = recorder.finish();
         ExecutionOutcome {
             completed: completion_round.is_some(),
             rounds_executed,
             completion_round,
             history,
             metrics,
+            record_mode,
+            collisions_per_round,
+        }
+    }
+}
+
+/// Reusable per-round working memory for [`Simulator::run`]: every buffer is
+/// cleared, never reallocated, between rounds, so the steady-state round loop
+/// performs no heap allocation beyond what the processes themselves do
+/// (under [`RecordMode::Full`], the retained round records are additionally
+/// built per round, exactly as before the scratch existed).
+///
+/// The transmitter set is kept both as a sorted `Vec<NodeId>` (for history
+/// records and transmitter probing) and as a packed `u64` bitset aligned
+/// with [`dradio_graphs::Graph::neighbor_bits`], so reception resolves 64
+/// candidate neighbors per word instead of chasing adjacency `Vec`s. Dynamic
+/// edges activated by the link process live in equally packed per-node bit
+/// rows; only rows actually touched in a round are cleared afterwards.
+#[derive(Debug)]
+struct RoundScratch {
+    /// Per-node actions of the current round.
+    actions: Vec<Action>,
+    /// Per-node transmit probabilities (adaptive adversaries only).
+    transmit_probs: Vec<f64>,
+    /// Per-node end-of-round feedback.
+    feedbacks: Vec<Feedback>,
+    /// Transmitting nodes, ascending.
+    transmitters: Vec<NodeId>,
+    /// Packed transmitter bitset (bit `v` set iff node `v` transmits).
+    transmitter_bits: Vec<u64>,
+    /// Packed per-node dynamic adjacency rows for the current round
+    /// (`words_per_row` words per node; empty when the network is static).
+    dynamic_rows: Vec<u64>,
+    /// Nodes whose dynamic row was written this round (cleared lazily).
+    touched_rows: Vec<usize>,
+    /// The deduplicated genuine dynamic edges of the current round.
+    active_edges: Vec<Edge>,
+    /// Words per packed row.
+    words_per_row: usize,
+}
+
+impl RoundScratch {
+    fn new(n: usize, words_per_row: usize, has_dynamic_edges: bool) -> Self {
+        RoundScratch {
+            actions: Vec::with_capacity(n),
+            transmit_probs: Vec::with_capacity(n),
+            feedbacks: Vec::with_capacity(n),
+            transmitters: Vec::with_capacity(n),
+            transmitter_bits: vec![0u64; words_per_row],
+            dynamic_rows: if has_dynamic_edges {
+                vec![0u64; n.saturating_mul(words_per_row)]
+            } else {
+                Vec::new()
+            },
+            touched_rows: Vec::new(),
+            active_edges: Vec::new(),
+            words_per_row,
+        }
+    }
+
+    /// Zeroes the dynamic rows touched by the previous round.
+    fn clear_dynamic(&mut self) {
+        for &row in &self.touched_rows {
+            let start = row * self.words_per_row;
+            self.dynamic_rows[start..start + self.words_per_row].fill(0);
+        }
+        self.touched_rows.clear();
+    }
+
+    /// Returns `true` if the dynamic edge `(u, v)` is active this round.
+    fn dynamic_bit(&self, u: NodeId, v: NodeId) -> bool {
+        let idx = u.index() * self.words_per_row + v.index() / 64;
+        self.dynamic_rows[idx] >> (v.index() % 64) & 1 == 1
+    }
+
+    /// Activates the dynamic edge `(u, v)` for this round.
+    fn set_dynamic(&mut self, u: NodeId, v: NodeId) {
+        let (ui, vi) = (u.index(), v.index());
+        self.dynamic_rows[ui * self.words_per_row + vi / 64] |= 1u64 << (vi % 64);
+        self.dynamic_rows[vi * self.words_per_row + ui / 64] |= 1u64 << (ui % 64);
+        self.touched_rows.push(ui);
+        self.touched_rows.push(vi);
+    }
+
+    /// The packed dynamic adjacency row of node `u` (all zeroes when the
+    /// network is static).
+    fn dynamic_row(&self, u: usize) -> &[u64] {
+        if self.dynamic_rows.is_empty() {
+            &[]
+        } else {
+            let start = u * self.words_per_row;
+            &self.dynamic_rows[start..start + self.words_per_row]
         }
     }
 }
@@ -713,6 +892,156 @@ mod tests {
             spy_views(AdversaryClass::OfflineAdaptive),
             (true, true, true)
         );
+    }
+
+    /// A link process that proposes the same dynamic edge several times per
+    /// round (plus one non-dynamic edge), to pin the engine's deduplication.
+    struct RepeatingAdversary;
+    impl LinkProcess for RepeatingAdversary {
+        fn class(&self) -> AdversaryClass {
+            AdversaryClass::Oblivious
+        }
+        fn decide(&mut self, _view: &AdversaryView<'_>, _rng: &mut dyn RngCore) -> LinkDecision {
+            // On the dual clique of 4 (sides {0,1} / {2,3}, bridge (1,2)),
+            // (0,2) and (0,3) are dynamic; (0,1) is reliable.
+            let dynamic = Edge::new(NodeId::new(0), NodeId::new(2));
+            let other = Edge::new(NodeId::new(0), NodeId::new(3));
+            let reliable = Edge::new(NodeId::new(0), NodeId::new(1));
+            LinkDecision::from_edges(vec![dynamic, other, dynamic, reliable, dynamic])
+        }
+    }
+
+    #[test]
+    fn repeated_link_edges_are_deduplicated_once_per_round() {
+        let dual = topology::dual_clique(4).unwrap();
+        let sim = Simulator::new(
+            dual,
+            beacon_factory(),
+            Assignment::global(4, NodeId::new(0)),
+            Box::new(RepeatingAdversary),
+            SimConfig::default().with_max_rounds(3),
+        )
+        .unwrap();
+        let out = sim.run(StopCondition::max_rounds());
+        for record in out.history.records() {
+            assert_eq!(
+                record.active_dynamic_edges,
+                vec![
+                    Edge::new(NodeId::new(0), NodeId::new(2)),
+                    Edge::new(NodeId::new(0), NodeId::new(3)),
+                ],
+                "duplicates dropped, first-occurrence order kept"
+            );
+        }
+        // Only the reliable proposal is rejected; duplicates are not.
+        assert_eq!(out.metrics.rejected_link_edges, 3);
+        // The dynamic edges genuinely carry: both far-side nodes hear node 0.
+        assert!(out.history.received_kind(NodeId::new(2), DATA));
+        assert!(out.history.received_kind(NodeId::new(3), DATA));
+    }
+
+    #[test]
+    fn record_modes_agree_on_behaviour_and_metrics() {
+        use crate::recorder::RecordMode;
+        let run_with = |mode: RecordMode| {
+            let dual = topology::dual_clique(8).unwrap();
+            Simulator::new(
+                dual,
+                all_broadcasters_factory(),
+                Assignment::local(8, &[NodeId::new(0), NodeId::new(1), NodeId::new(4)]),
+                Box::new(StaticLinks::all()),
+                SimConfig::default()
+                    .with_max_rounds(12)
+                    .with_seed(3)
+                    .with_record_mode(mode),
+            )
+            .unwrap()
+            .run(StopCondition::max_rounds())
+        };
+        let full = run_with(RecordMode::Full);
+        let collisions_only = run_with(RecordMode::CollisionsOnly);
+        let none = run_with(RecordMode::None);
+
+        assert_eq!(full.metrics, collisions_only.metrics);
+        assert_eq!(full.metrics, none.metrics);
+        assert_eq!(full.rounds_executed, none.rounds_executed);
+        assert_eq!(full.completion_round, none.completion_round);
+
+        assert_eq!(full.record_mode, RecordMode::Full);
+        assert_eq!(full.history.len(), 12);
+        assert_eq!(full.collisions_per_round.len(), 12);
+        assert_eq!(
+            full.collisions_per_round.iter().sum::<usize>(),
+            full.metrics.collisions
+        );
+
+        assert_eq!(collisions_only.record_mode, RecordMode::CollisionsOnly);
+        assert!(collisions_only.history.is_empty());
+        assert_eq!(
+            collisions_only.collisions_per_round,
+            full.collisions_per_round
+        );
+
+        assert_eq!(none.record_mode, RecordMode::None);
+        assert!(none.history.is_empty());
+        assert!(none.collisions_per_round.is_empty());
+    }
+
+    #[test]
+    fn stop_conditions_fire_identically_without_recording() {
+        use crate::recorder::RecordMode;
+        let run_with = |mode: RecordMode| {
+            let dual = topology::star(6).unwrap();
+            Simulator::new(
+                dual,
+                beacon_factory(),
+                Assignment::global(6, NodeId::new(0)),
+                Box::new(StaticLinks::none()),
+                SimConfig::default()
+                    .with_max_rounds(100)
+                    .with_record_mode(mode),
+            )
+            .unwrap()
+            .run(StopCondition::global_broadcast(DATA, NodeId::new(0)))
+        };
+        let full = run_with(RecordMode::Full);
+        let none = run_with(RecordMode::None);
+        assert!(full.completed && none.completed);
+        assert_eq!(full.completion_round, none.completion_round);
+        assert_eq!(full.cost(), none.cost());
+        assert_eq!(full.metrics, none.metrics);
+    }
+
+    #[test]
+    fn adaptive_adversaries_promote_to_full_recording() {
+        use crate::recorder::RecordMode;
+        // An online-adaptive adversary asked to run without recording still
+        // sees (and the outcome still carries) the full history.
+        struct NeedsHistory;
+        impl LinkProcess for NeedsHistory {
+            fn class(&self) -> AdversaryClass {
+                AdversaryClass::OnlineAdaptive
+            }
+            fn decide(&mut self, view: &AdversaryView<'_>, _rng: &mut dyn RngCore) -> LinkDecision {
+                let history = view.history().expect("adaptive classes see history");
+                assert_eq!(history.len(), view.round().index());
+                LinkDecision::none()
+            }
+        }
+        let dual = topology::line(3).unwrap();
+        let sim = Simulator::new(
+            dual,
+            beacon_factory(),
+            Assignment::global(3, NodeId::new(0)),
+            Box::new(NeedsHistory),
+            SimConfig::default()
+                .with_max_rounds(5)
+                .with_record_mode(RecordMode::None),
+        )
+        .unwrap();
+        let out = sim.run(StopCondition::max_rounds());
+        assert_eq!(out.record_mode, RecordMode::Full);
+        assert_eq!(out.history.len(), 5);
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub mod link;
 pub mod message;
 pub mod metrics;
 pub mod process;
+pub mod recorder;
 pub mod round;
 pub mod sampling;
 pub mod stop;
@@ -95,6 +96,7 @@ pub use link::{
 pub use message::{Message, MessageKind};
 pub use metrics::Metrics;
 pub use process::{Assignment, Process, ProcessContext, ProcessFactory, Role};
+pub use recorder::{RecordMode, Recorder};
 pub use round::Round;
 pub use stop::StopCondition;
 

@@ -1,0 +1,247 @@
+//! Pluggable history recording for the execution engine.
+//!
+//! Most consumers of an execution never read its [`History`]: a scenario
+//! trial keeps only the cost, completion flag, and collision count, yet the
+//! engine would happily clone every delivered [`Message`](crate::Message)
+//! into per-round records nobody looks at. [`RecordMode`] lets the caller
+//! declare up front what the execution's history is *for*, and the
+//! [`Recorder`] skips everything the declared consumer does not demand.
+//!
+//! # The auto-promotion rule
+//!
+//! Adaptive link processes are entitled to see the execution history through
+//! the previous round ([`AdversaryView::history`](crate::AdversaryView)), so
+//! an execution against an [`AdversaryClass::OnlineAdaptive`] or
+//! [`AdversaryClass::OfflineAdaptive`] adversary **must** retain full
+//! history regardless of what the caller asked for. The recorder therefore
+//! promotes itself to [`RecordMode::Full`] whenever the adversary class is
+//! not [`AdversaryClass::Oblivious`]; the requested and effective modes are
+//! both observable, and behaviour (every coin flip, every delivery, every
+//! metric) is identical across modes — only what is *retained* differs.
+
+use crate::history::{History, RoundRecord};
+use crate::link::AdversaryClass;
+
+/// How much of an execution the engine retains.
+///
+/// The measured quantities — [`Metrics`](crate::Metrics), completion, cost —
+/// are identical under every mode; recording only changes what the returned
+/// [`ExecutionOutcome`](crate::ExecutionOutcome) carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecordMode {
+    /// Keep the complete per-round [`History`] (every transmitter list,
+    /// active dynamic edge, and delivered message), exactly as the engine
+    /// always recorded it. The default.
+    #[default]
+    Full,
+    /// Keep only a per-round collision count
+    /// ([`ExecutionOutcome::collisions_per_round`](crate::ExecutionOutcome::collisions_per_round));
+    /// no round records or message clones.
+    CollisionsOnly,
+    /// Keep nothing beyond the aggregate metrics: the returned history is
+    /// empty. The fastest mode, intended for trial fan-out where only the
+    /// [`Metrics`](crate::Metrics)-derived quantities are read.
+    None,
+}
+
+serde::serde_enum!(RecordMode {
+    Full,
+    CollisionsOnly,
+    None,
+});
+
+impl RecordMode {
+    /// The mode an execution against an adversary of `class` actually runs
+    /// with: adaptive classes force [`RecordMode::Full`] because the
+    /// adversary's view borrows the history (see the
+    /// [module documentation](self)).
+    pub fn effective_for(self, class: AdversaryClass) -> RecordMode {
+        if class == AdversaryClass::Oblivious {
+            self
+        } else {
+            RecordMode::Full
+        }
+    }
+
+    /// Returns `true` if this mode retains per-round [`RoundRecord`]s.
+    pub fn records_history(self) -> bool {
+        matches!(self, RecordMode::Full)
+    }
+
+    /// Returns `true` if this mode retains per-round collision counts.
+    pub fn records_collisions(self) -> bool {
+        !matches!(self, RecordMode::None)
+    }
+}
+
+impl std::fmt::Display for RecordMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordMode::Full => write!(f, "full"),
+            RecordMode::CollisionsOnly => write!(f, "collisions-only"),
+            RecordMode::None => write!(f, "none"),
+        }
+    }
+}
+
+/// The engine's recording sink: accumulates whatever the effective
+/// [`RecordMode`] retains and hands it back at the end of the run.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    requested: RecordMode,
+    effective: RecordMode,
+    history: History,
+    collisions_per_round: Vec<usize>,
+}
+
+impl Recorder {
+    /// Creates a recorder for a network of `n` nodes, promoting `requested`
+    /// to [`RecordMode::Full`] when `class` is adaptive.
+    pub fn new(requested: RecordMode, class: AdversaryClass, n: usize) -> Self {
+        let effective = requested.effective_for(class);
+        Recorder {
+            requested,
+            effective,
+            history: History::new(n),
+            collisions_per_round: Vec::new(),
+        }
+    }
+
+    /// The mode the caller asked for.
+    pub fn requested(&self) -> RecordMode {
+        self.requested
+    }
+
+    /// The mode in effect after auto-promotion.
+    pub fn mode(&self) -> RecordMode {
+        self.effective
+    }
+
+    /// Returns `true` if the engine must assemble full [`RoundRecord`]s.
+    pub fn wants_history(&self) -> bool {
+        self.effective.records_history()
+    }
+
+    /// The history recorded so far (empty unless the effective mode is
+    /// [`RecordMode::Full`]); the engine lends it to adaptive adversaries.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Appends a fully assembled round record (effective mode
+    /// [`RecordMode::Full`] only; a no-op otherwise, so callers may guard
+    /// record assembly with [`Recorder::wants_history`] purely for speed).
+    pub fn push(&mut self, record: RoundRecord) {
+        if self.effective.records_history() {
+            self.history.push(record);
+        }
+    }
+
+    /// Appends one round's collision count (retained under
+    /// [`RecordMode::Full`] and [`RecordMode::CollisionsOnly`]).
+    pub fn push_collisions(&mut self, collisions: usize) {
+        if self.effective.records_collisions() {
+            self.collisions_per_round.push(collisions);
+        }
+    }
+
+    /// Consumes the recorder, returning the retained history and per-round
+    /// collision counts (either may be empty depending on the mode).
+    pub fn finish(self) -> (History, Vec<usize>) {
+        (self.history, self.collisions_per_round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::Round;
+
+    fn record(round: usize) -> RoundRecord {
+        RoundRecord {
+            round: Round::new(round),
+            transmitters: vec![],
+            active_dynamic_edges: vec![],
+            deliveries: vec![],
+        }
+    }
+
+    #[test]
+    fn default_mode_is_full() {
+        assert_eq!(RecordMode::default(), RecordMode::Full);
+        assert!(RecordMode::Full.records_history());
+        assert!(RecordMode::Full.records_collisions());
+        assert!(!RecordMode::CollisionsOnly.records_history());
+        assert!(RecordMode::CollisionsOnly.records_collisions());
+        assert!(!RecordMode::None.records_history());
+        assert!(!RecordMode::None.records_collisions());
+    }
+
+    #[test]
+    fn adaptive_classes_force_full_recording() {
+        for mode in [
+            RecordMode::Full,
+            RecordMode::CollisionsOnly,
+            RecordMode::None,
+        ] {
+            assert_eq!(mode.effective_for(AdversaryClass::Oblivious), mode);
+            assert_eq!(
+                mode.effective_for(AdversaryClass::OnlineAdaptive),
+                RecordMode::Full
+            );
+            assert_eq!(
+                mode.effective_for(AdversaryClass::OfflineAdaptive),
+                RecordMode::Full
+            );
+        }
+    }
+
+    #[test]
+    fn recorder_retains_by_effective_mode() {
+        let mut full = Recorder::new(RecordMode::Full, AdversaryClass::Oblivious, 4);
+        assert!(full.wants_history());
+        full.push(record(0));
+        full.push_collisions(3);
+        let (history, collisions) = full.finish();
+        assert_eq!(history.len(), 1);
+        assert_eq!(collisions, vec![3]);
+
+        let mut collisions_only =
+            Recorder::new(RecordMode::CollisionsOnly, AdversaryClass::Oblivious, 4);
+        assert!(!collisions_only.wants_history());
+        collisions_only.push_collisions(2);
+        let (history, collisions) = collisions_only.finish();
+        assert!(history.is_empty());
+        assert_eq!(collisions, vec![2]);
+
+        let mut none = Recorder::new(RecordMode::None, AdversaryClass::Oblivious, 4);
+        assert!(!none.wants_history());
+        none.push_collisions(9);
+        let (history, collisions) = none.finish();
+        assert!(history.is_empty());
+        assert!(collisions.is_empty());
+    }
+
+    #[test]
+    fn recorder_promotes_for_adaptive_adversaries() {
+        let promoted = Recorder::new(RecordMode::None, AdversaryClass::OnlineAdaptive, 4);
+        assert_eq!(promoted.requested(), RecordMode::None);
+        assert_eq!(promoted.mode(), RecordMode::Full);
+        assert!(promoted.wants_history());
+    }
+
+    #[test]
+    fn mode_round_trips_through_serde_and_displays() {
+        use serde::{Deserialize, Serialize};
+        for mode in [
+            RecordMode::Full,
+            RecordMode::CollisionsOnly,
+            RecordMode::None,
+        ] {
+            assert_eq!(RecordMode::from_value(&mode.to_value()), Ok(mode));
+        }
+        assert_eq!(RecordMode::None.to_string(), "none");
+        assert_eq!(RecordMode::CollisionsOnly.to_string(), "collisions-only");
+        assert_eq!(RecordMode::Full.to_string(), "full");
+    }
+}

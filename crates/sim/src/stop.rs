@@ -171,27 +171,37 @@ impl StopTracker {
 
     /// Feeds the deliveries of one round into the tracker.
     pub fn observe(&mut self, deliveries: &[Delivery]) {
+        for d in deliveries {
+            self.observe_one(d.receiver, d.sender, d.message.kind());
+        }
+    }
+
+    /// Feeds a single delivery into the tracker without requiring a
+    /// materialized [`Delivery`]: the engine's fast path calls this with the
+    /// `(receiver, sender, kind)` triple so stop evaluation never forces a
+    /// message clone.
+    pub fn observe_one(&mut self, receiver: NodeId, sender: NodeId, kind: MessageKind) {
         let Some(pending) = self.pending.as_mut() else {
             return;
         };
-        for d in deliveries {
-            let idx = d.receiver.index();
-            if idx >= self.n || !pending[idx] {
-                continue;
-            }
-            let satisfied = match &self.condition {
-                StopCondition::MaxRounds => false,
-                StopCondition::AllReceivedKind { kind, .. }
-                | StopCondition::NodesReceivedKind { kind, .. } => d.message.kind() == *kind,
-                StopCondition::NodesReceivedFrom { senders, .. } => senders.contains(&d.sender),
-                StopCondition::NodesReceivedKindFrom { senders, kind, .. } => {
-                    d.message.kind() == *kind && senders.contains(&d.sender)
-                }
-            };
-            if satisfied {
-                pending[idx] = false;
-                self.pending_count -= 1;
-            }
+        let idx = receiver.index();
+        if idx >= self.n || !pending[idx] {
+            return;
+        }
+        let satisfied = match &self.condition {
+            StopCondition::MaxRounds => false,
+            StopCondition::AllReceivedKind { kind: want, .. }
+            | StopCondition::NodesReceivedKind { kind: want, .. } => kind == *want,
+            StopCondition::NodesReceivedFrom { senders, .. } => senders.contains(&sender),
+            StopCondition::NodesReceivedKindFrom {
+                senders,
+                kind: want,
+                ..
+            } => kind == *want && senders.contains(&sender),
+        };
+        if satisfied {
+            pending[idx] = false;
+            self.pending_count -= 1;
         }
     }
 

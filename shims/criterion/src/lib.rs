@@ -80,18 +80,26 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let mut bencher = Bencher {
-            iterations: self.sample_size,
+            iterations: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size
+            },
             total: Duration::ZERO,
         };
         f(&mut bencher, input);
-        let mean = bencher
-            .total
-            .checked_div(bencher.iterations as u32)
-            .unwrap_or_default();
-        println!(
-            "{}/{}: {:>12.3?} mean over {} runs",
-            self.name, id, mean, bencher.iterations
-        );
+        if self.criterion.test_mode {
+            println!("{}/{}: test mode, 1 run, ok", self.name, id);
+        } else {
+            let mean = bencher
+                .total
+                .checked_div(bencher.iterations as u32)
+                .unwrap_or_default();
+            println!(
+                "{}/{}: {:>12.3?} mean over {} runs",
+                self.name, id, mean, bencher.iterations
+            );
+        }
         self.criterion.ran += 1;
         self
     }
@@ -112,9 +120,26 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug, Default)]
 pub struct Criterion {
     ran: usize,
+    test_mode: bool,
 }
 
 impl Criterion {
+    /// Builds a harness configured from the benchmark binary's command line
+    /// (mirroring the real crate's `--test` flag, which runs every benchmark
+    /// exactly once without measuring — the CI smoke mode).
+    pub fn from_args() -> Self {
+        Criterion {
+            ran: 0,
+            test_mode: std::env::args().any(|arg| arg == "--test"),
+        }
+    }
+
+    /// Switches the harness into test mode (each benchmark runs once).
+    pub fn with_test_mode(mut self, enabled: bool) -> Self {
+        self.test_mode = enabled;
+        self
+    }
+
     /// Starts a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
@@ -133,7 +158,7 @@ impl Criterion {
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         pub fn $group() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::from_args();
             $( $target(&mut criterion); )+
         }
     };
@@ -174,5 +199,22 @@ mod tests {
     #[test]
     fn id_formats_as_name_slash_parameter() {
         assert_eq!(BenchmarkId::new("bgi", 64).to_string(), "bgi/64");
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut criterion = Criterion::default().with_test_mode(true);
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(50);
+        let mut calls = 0usize;
+        group.bench_function(BenchmarkId::new("noop", 0), |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        group.finish();
+        // One warm-up + one measured run, regardless of sample size.
+        assert_eq!(calls, 2);
+        assert_eq!(criterion.ran, 1);
     }
 }

@@ -89,8 +89,8 @@ pub mod prelude {
     };
     pub use dradio_sim::{
         Action, AdversaryClass, Assignment, ExecutionOutcome, Feedback, LinkProcess, Message,
-        MessageKind, Process, ProcessContext, ProcessFactory, Role, Round, SimConfig, Simulator,
-        StaticLinks, StopCondition,
+        MessageKind, Process, ProcessContext, ProcessFactory, RecordMode, Role, Round, SimConfig,
+        Simulator, StaticLinks, StopCondition,
     };
 }
 

@@ -1,0 +1,182 @@
+//! Record-mode equivalence across the entire registry: for every registered
+//! algorithm × adversary × problem spec class, the [`Measurement`] (and the
+//! per-trial outcomes behind it) under `RecordMode::None` is identical to
+//! `RecordMode::Full` with the same seeds and trial counts. Recording is a
+//! retention decision, never a behavioural one; this suite is the proof the
+//! campaign layer leans on when it runs every cell history-free.
+
+use dradio::prelude::*;
+
+const TRIALS: usize = 3;
+
+/// Every declarative adversary spec that builds on a plain dual clique /
+/// geometric topology (the bracelet attack needs bracelet metadata and gets
+/// its own combination below).
+fn general_adversaries() -> Vec<AdversarySpec> {
+    vec![
+        AdversarySpec::StaticNone,
+        AdversarySpec::StaticAll,
+        AdversarySpec::Iid { p: 0.5 },
+        AdversarySpec::GilbertElliott {
+            p_fail: 0.2,
+            p_recover: 0.3,
+        },
+        AdversarySpec::Schedule {
+            rounds: vec![vec![(0, 9)], vec![]],
+        },
+        AdversarySpec::DecayAware {
+            levels: None,
+            assumed_transmitters: vec![0, 1],
+        },
+        AdversarySpec::DenseSparse {
+            density_factor: None,
+        },
+        AdversarySpec::GreedyCollision,
+        AdversarySpec::Omniscient,
+    ]
+}
+
+/// Every (algorithm spec × problem spec class) combination on a topology
+/// that supports it, crossed later with every adversary.
+fn algorithm_problem_topologies() -> Vec<(AlgorithmSpec, ProblemSpec, TopologySpec)> {
+    let mut combos: Vec<(AlgorithmSpec, ProblemSpec, TopologySpec)> = Vec::new();
+    // Global algorithms × the global problem class.
+    for algorithm in GlobalAlgorithm::all() {
+        combos.push((
+            algorithm.into(),
+            ProblemSpec::GlobalFrom(0),
+            TopologySpec::DualClique { n: 16 },
+        ));
+    }
+    // Local algorithms × every local problem class. Explicit and sampled
+    // broadcaster sets run on the dual clique; the side-A class needs the
+    // bridge-carrying variant; the geographic deployment exercises networks
+    // with an embedding.
+    for algorithm in LocalAlgorithm::all() {
+        combos.push((
+            algorithm.into(),
+            ProblemSpec::Local {
+                broadcasters: vec![0, 3, 9],
+            },
+            TopologySpec::DualClique { n: 16 },
+        ));
+        combos.push((
+            algorithm.into(),
+            ProblemSpec::LocalRandom { count: 4, seed: 5 },
+            TopologySpec::RandomGeometric {
+                n: 24,
+                side: 2.0,
+                r: 1.5,
+                seed: 11,
+            },
+        ));
+        combos.push((
+            algorithm.into(),
+            ProblemSpec::LocalSideA,
+            TopologySpec::DualCliqueWithBridge {
+                n: 16,
+                t_a: 2,
+                t_b: 11,
+            },
+        ));
+    }
+    combos
+}
+
+fn assert_modes_agree(label: &str, scenario: &Scenario) {
+    let runner = ScenarioRunner::new(scenario);
+    let fast = runner
+        .collect_trials(TRIALS)
+        .unwrap_or_else(|e| panic!("{label}: fast trials failed: {e}"));
+    let full = runner
+        .record_mode(RecordMode::Full)
+        .collect_trials(TRIALS)
+        .unwrap_or_else(|e| panic!("{label}: full trials failed: {e}"));
+    assert_eq!(
+        fast, full,
+        "{label}: trial outcomes diverged between RecordMode::None and Full"
+    );
+    let fast_measurement = Measurement::from_trials(&fast).expect("non-empty");
+    let full_measurement = Measurement::from_trials(&full).expect("non-empty");
+    assert_eq!(
+        fast_measurement, full_measurement,
+        "{label}: measurements diverged between RecordMode::None and Full"
+    );
+}
+
+#[test]
+fn every_algorithm_adversary_problem_combination_measures_identically() {
+    for (algorithm, problem, topology) in algorithm_problem_topologies() {
+        for adversary in general_adversaries() {
+            let label = format!(
+                "{} × {} × {}",
+                algorithm.name(),
+                adversary.label(),
+                problem.label()
+            );
+            let scenario = Scenario::on(topology.clone())
+                .algorithm(algorithm.clone())
+                .adversary(adversary.clone())
+                .problem(problem.clone())
+                .seed(31)
+                .max_rounds(600)
+                .build()
+                .unwrap_or_else(|e| panic!("{label}: build failed: {e}"));
+            assert_modes_agree(&label, &scenario);
+        }
+    }
+}
+
+#[test]
+fn bracelet_attack_combination_measures_identically() {
+    // The remaining registered adversary: the bracelet attacker, on the only
+    // problem/topology class it is defined for.
+    let scenario = Scenario::on(TopologySpec::Bracelet { k: 3 })
+        .algorithm(LocalAlgorithm::StaticDecay)
+        .adversary(AdversarySpec::BraceletAttack)
+        .problem(ProblemSpec::LocalHeadsA)
+        .seed(31)
+        .max_rounds(600)
+        .build()
+        .expect("bracelet scenario builds");
+    assert_modes_agree("static-decay × bracelet-attack × local-heads-a", &scenario);
+}
+
+#[test]
+fn custom_components_measure_identically() {
+    // The escape-hatch classes (custom algorithm + custom adversary) go
+    // through the same engine; pin them too.
+    use dradio::sim::sampling::bernoulli;
+    use rand::RngCore;
+    use std::sync::Arc;
+
+    struct Chatter {
+        msg: Message,
+    }
+    impl Process for Chatter {
+        fn on_round(&mut self, _round: Round, rng: &mut dyn RngCore) -> Action {
+            if bernoulli(rng, 0.3) {
+                Action::Transmit(self.msg.clone())
+            } else {
+                Action::Listen
+            }
+        }
+        fn transmit_probability(&self, _round: Round) -> f64 {
+            0.3
+        }
+    }
+    let factory: ProcessFactory = Arc::new(|ctx: &ProcessContext| {
+        Box::new(Chatter {
+            msg: Message::plain(ctx.id, MessageKind::new(7), 0),
+        }) as Box<dyn Process>
+    });
+    let scenario = Scenario::on(TopologySpec::DualClique { n: 12 })
+        .custom_algorithm("chatter", factory)
+        .custom_adversary("all-links", || Box::new(StaticLinks::all()))
+        .problem(ProblemSpec::GlobalFrom(0))
+        .seed(9)
+        .max_rounds(400)
+        .build()
+        .expect("custom scenario builds");
+    assert_modes_agree("chatter × all-links × global-from(0)", &scenario);
+}
