@@ -192,6 +192,13 @@ impl LinkProcess for BraceletOblivious {
         }
     }
 
+    fn reset(&mut self) -> bool {
+        // `dynamic_edges` and the dense-round labels are recomputed by
+        // `on_start` (from the adversary stream of the next execution's
+        // seed); the band structure and config are immutable.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "bracelet-oblivious"
     }
@@ -232,8 +239,9 @@ mod tests {
         let broadcasters: Vec<NodeId> = NodeId::all(dual.len()).collect();
         let factory = talker_factory(1.0);
         let assignment = Assignment::local(dual.len(), &broadcasters);
+        let shared = std::sync::Arc::new(dual.clone());
         let setup = AdversarySetup {
-            dual: &dual,
+            dual: &shared,
             factory: &factory,
             assignment: &assignment,
             horizon: 50,
@@ -255,8 +263,9 @@ mod tests {
         // Probability-0 talkers never broadcast: all rounds sparse.
         let factory = talker_factory(0.0);
         let assignment = Assignment::relays(dual.len());
+        let shared = std::sync::Arc::new(dual.clone());
         let setup = AdversarySetup {
-            dual: &dual,
+            dual: &shared,
             factory: &factory,
             assignment: &assignment,
             horizon: 50,

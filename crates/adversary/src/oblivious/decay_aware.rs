@@ -189,6 +189,12 @@ impl LinkProcess for DecayAwareOblivious {
         LinkDecision::from_edges(active)
     }
 
+    fn reset(&mut self) -> bool {
+        // Both per-receiver indexes are rebuilt by `on_start`; the attack
+        // parameters are immutable.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "decay-aware"
     }

@@ -67,6 +67,11 @@ impl LinkProcess for IidLinks {
         LinkDecision::from_edges(edges)
     }
 
+    fn reset(&mut self) -> bool {
+        // `dynamic` is rewritten by `on_start`; there is no other state.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "iid-links"
     }
@@ -148,6 +153,11 @@ impl LinkProcess for GilbertElliottLinks {
             }
         }
         LinkDecision::from_edges(active)
+    }
+
+    fn reset(&mut self) -> bool {
+        // `dynamic`, `good`, and `started` are all rewritten by `on_start`.
+        true
     }
 
     fn name(&self) -> &'static str {

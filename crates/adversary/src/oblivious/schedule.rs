@@ -54,6 +54,11 @@ impl LinkProcess for ScheduleLinks {
         LinkDecision::from_edges(self.schedule[idx].clone())
     }
 
+    fn reset(&mut self) -> bool {
+        // The schedule is immutable; there is no per-execution state.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "schedule"
     }

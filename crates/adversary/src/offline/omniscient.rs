@@ -19,6 +19,8 @@
 //! of the dual clique), letting the algorithm proceed normally elsewhere —
 //! useful for experiments that want to isolate the cross-cut delay.
 
+use std::sync::Arc;
+
 use dradio_graphs::{DualGraph, Edge, NodeId};
 use dradio_sim::{AdversaryClass, AdversarySetup, AdversaryView, LinkDecision, LinkProcess};
 use rand::RngCore;
@@ -28,7 +30,7 @@ use rand::RngCore;
 pub struct OmniscientOffline {
     /// If non-empty, only these nodes are protected from receiving.
     protect: Vec<NodeId>,
-    dual: Option<DualGraph>,
+    dual: Option<Arc<DualGraph>>,
 }
 
 impl OmniscientOffline {
@@ -101,6 +103,13 @@ impl LinkProcess for OmniscientOffline {
         active.sort_unstable();
         active.dedup();
         LinkDecision::from_edges(active)
+    }
+
+    fn reset(&mut self) -> bool {
+        // The cached handle is re-captured by `on_start` (an Arc bump, not
+        // a graph copy); dropping it restores the just-constructed state.
+        self.dual = None;
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -91,6 +91,14 @@ impl LinkProcess for DenseSparseOnline {
         }
     }
 
+    fn reset(&mut self) -> bool {
+        // The threshold and edge list are rewritten by `on_start`; only the
+        // diagnostic round counters accumulate across decisions.
+        self.dense_rounds_seen = 0;
+        self.sparse_rounds_seen = 0;
+        true
+    }
+
     fn name(&self) -> &'static str {
         "dense-sparse-online"
     }

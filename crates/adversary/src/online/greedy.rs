@@ -10,6 +10,8 @@
 //! edges from additional likely transmitters towards the node to push the
 //! expectation up and provoke a collision instead.
 
+use std::sync::Arc;
+
 use dradio_graphs::{DualGraph, Edge, NodeId};
 use dradio_sim::{AdversaryClass, AdversarySetup, AdversaryView, LinkDecision, LinkProcess};
 use rand::RngCore;
@@ -24,7 +26,7 @@ pub struct GreedyCollisionOnline {
     danger_high: f64,
     /// Expected-transmitter level the attacker tries to reach when attacking.
     target: f64,
-    dual: Option<DualGraph>,
+    dual: Option<Arc<DualGraph>>,
 }
 
 impl GreedyCollisionOnline {
@@ -109,6 +111,13 @@ impl LinkProcess for GreedyCollisionOnline {
         active.sort_unstable();
         active.dedup();
         LinkDecision::from_edges(active)
+    }
+
+    fn reset(&mut self) -> bool {
+        // The cached handle is re-captured by `on_start` (an Arc bump, not
+        // a graph copy); dropping it restores the just-constructed state.
+        self.dual = None;
+        true
     }
 
     fn name(&self) -> &'static str {

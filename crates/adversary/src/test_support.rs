@@ -47,13 +47,14 @@ pub fn talker_factory(p: f64) -> ProcessFactory {
     })
 }
 
-/// Returns a cloned network plus a simple factory/assignment pair, for tests
-/// that need to call `on_start` directly.
-pub fn setup_ctx(dual: &DualGraph) -> (DualGraph, ProcessFactory, Assignment) {
+/// Returns a shared handle to the network plus a simple factory/assignment
+/// pair, for tests that need to call `on_start` directly (the
+/// `AdversarySetup` borrows the `Arc`, as the engine's does).
+pub fn setup_ctx(dual: &DualGraph) -> (Arc<DualGraph>, ProcessFactory, Assignment) {
     let n = dual.len();
     let broadcasters: Vec<NodeId> = NodeId::all(n).collect();
     (
-        dual.clone(),
+        Arc::new(dual.clone()),
         talker_factory(0.3),
         Assignment::local(n, &broadcasters),
     )

@@ -5,15 +5,21 @@
 //!   number of rounds) on clique, grid, and random geometric topologies at
 //!   n ∈ {64, 256, 1024}. The printed mean is for `ROUNDS` rounds; divide by
 //!   `ROUNDS` for the per-round cost.
+//! * `trials_per_sec/*` times many *short* executions (the shape of most
+//!   campaign cells) through a reused [`dradio_sim::TrialExecutor`] versus a
+//!   fresh simulator per trial — isolating per-trial setup amortization,
+//!   which is what dominates once the round loop itself is cheap. The
+//!   printed mean is for `TRIALS` trials; trials/sec = `TRIALS` / mean.
 //! * `campaign/*` times the campaign orchestration overhead per cell:
 //!   expansion, content-hash keying, and store appends — the costs that must
 //!   stay invisible next to the simulation itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dradio_bench::engine_workload;
+use dradio_bench::{engine_executor, engine_workload};
 use dradio_campaign::{CampaignSpec, CellRecord, ResultStore, RoundsRule, SweepGroup, TrialPolicy};
 use dradio_core::algorithms::GlobalAlgorithm;
 use dradio_scenario::{AdversarySpec, Measurement, ProblemSpec, RecordMode, Summary, TopologySpec};
+use dradio_sim::derive_stream_seed;
 
 /// Rounds per measured workload run.
 const ROUNDS: usize = 32;
@@ -77,6 +83,65 @@ fn bench_rounds(c: &mut Criterion) {
                     },
                 );
             }
+        }
+    }
+    group.finish();
+}
+
+/// Rounds per trial in the trials/sec group: short on purpose, so per-trial
+/// setup (the quantity the executor amortizes away) dominates the fresh
+/// baseline the way it dominates short campaign cells.
+const SHORT_ROUNDS: usize = 4;
+
+/// Trials per measured iteration of the trials/sec group.
+const TRIALS: usize = 16;
+
+fn bench_trials_per_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trials_per_sec");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        for (name, topology, adversary) in topologies(n) {
+            let built = topology.build().expect("bench topology builds");
+            // Reused: one executor, per-trial cost is the execution alone.
+            group.bench_with_input(BenchmarkId::new(format!("{name}_reused"), n), &n, |b, _| {
+                let mut executor = engine_executor(&built, &adversary, P, SHORT_ROUNDS);
+                let mut batch = 0u64;
+                b.iter(|| {
+                    batch += 1;
+                    (0..TRIALS as u64)
+                        .map(|t| {
+                            let seed = derive_stream_seed(batch, t);
+                            executor.execute(seed, RecordMode::None).metrics.deliveries
+                        })
+                        .sum::<usize>()
+                });
+            });
+            // Fresh: the pre-reuse fan-out shape — every trial copies the
+            // network and constructs a simulator from scratch (identical
+            // outcomes, pinned by the lib tests).
+            group.bench_with_input(BenchmarkId::new(format!("{name}_fresh"), n), &n, |b, _| {
+                let mut batch = 0u64;
+                b.iter(|| {
+                    batch += 1;
+                    (0..TRIALS as u64)
+                        .map(|t| {
+                            let seed = derive_stream_seed(batch, t);
+                            let per_trial =
+                                dradio_scenario::BuiltTopology::plain(built.dual.as_ref().clone());
+                            engine_workload(
+                                &per_trial,
+                                &adversary,
+                                P,
+                                SHORT_ROUNDS,
+                                seed,
+                                RecordMode::None,
+                            )
+                            .metrics
+                            .deliveries
+                        })
+                        .sum::<usize>()
+                });
+            });
         }
     }
     group.finish();
@@ -156,5 +221,10 @@ fn bench_campaign_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rounds, bench_campaign_overhead);
+criterion_group!(
+    benches,
+    bench_rounds,
+    bench_trials_per_sec,
+    bench_campaign_overhead
+);
 criterion_main!(benches);

@@ -26,8 +26,9 @@ use dradio_core::hitting::{play, HittingGame, SweepPlayer};
 use dradio_core::reduction::{run_reduction, ReductionConfig};
 use dradio_scenario::{AdversarySpec, ProblemSpec, Scenario, TopologySpec};
 use dradio_sim::{
-    Action, Assignment, ExecutionOutcome, Message, MessageKind, Process, ProcessContext,
-    ProcessFactory, RecordMode, Round, SimConfig, Simulator, StopCondition,
+    Action, Assignment, ExecutionOutcome, LinkFactory, Message, MessageKind, Process,
+    ProcessContext, ProcessFactory, RecordMode, Round, SimConfig, Simulator, StopCondition,
+    TrialExecutor,
 };
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -85,7 +86,7 @@ pub fn engine_workload(
         }) as Box<dyn Process>
     });
     Simulator::new(
-        built.dual.clone(),
+        std::sync::Arc::clone(&built.dual),
         factory,
         Assignment::relays(n),
         link,
@@ -96,6 +97,41 @@ pub fn engine_workload(
     )
     .expect("bench simulator builds")
     .run(StopCondition::max_rounds())
+}
+
+/// A reusable [`TrialExecutor`] over the [`engine_workload`] configuration:
+/// same processes, adversary recipe, and horizon, but built once so the
+/// per-trial cost is the execution alone. `executor.execute(seed, mode)`
+/// produces exactly the outcome of `engine_workload(..., seed, mode)`; the
+/// trials/sec benches compare the two to measure setup amortization.
+pub fn engine_executor(
+    built: &dradio_scenario::BuiltTopology,
+    adversary: &AdversarySpec,
+    p: f64,
+    rounds: usize,
+) -> TrialExecutor {
+    let n = built.dual.len();
+    let factory: ProcessFactory = Arc::new(move |ctx: &ProcessContext| {
+        Box::new(UniformBeacon {
+            p,
+            msg: Message::plain(ctx.id, ENGINE_BENCH_KIND, ctx.id.index() as u64),
+        }) as Box<dyn Process>
+    });
+    let spec = adversary.clone();
+    let topology = built.clone();
+    let link: LinkFactory =
+        Arc::new(move || spec.build(&topology).expect("bench adversary builds"));
+    TrialExecutor::new(
+        Arc::clone(&built.dual),
+        factory,
+        Assignment::relays(n),
+        link,
+        StopCondition::max_rounds(),
+        SimConfig::default()
+            .with_max_rounds(rounds)
+            .with_record_mode(RecordMode::None),
+    )
+    .expect("bench executor builds")
 }
 
 /// Measured cost (rounds to completion, or the budget if censored) of one
@@ -223,6 +259,18 @@ mod tests {
         );
         assert!(cost > 0);
         assert!(cost < 200 * 32 + 2_000);
+    }
+
+    #[test]
+    fn engine_executor_matches_engine_workload() {
+        let built = TopologySpec::DualClique { n: 16 }.build().unwrap();
+        let adversary = AdversarySpec::Iid { p: 0.5 };
+        let mut executor = engine_executor(&built, &adversary, 0.2, 12);
+        for seed in 0..5u64 {
+            let reused = executor.execute(seed, RecordMode::None);
+            let fresh = engine_workload(&built, &adversary, 0.2, 12, seed, RecordMode::None);
+            assert_eq!(reused, fresh, "seed {seed}");
+        }
     }
 
     #[test]

@@ -23,11 +23,15 @@
 //! Both modes produce identical measurements by the scenario runner's
 //! parallel-equals-sequential guarantee.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-use dradio_scenario::{Measurement, Scenario, ScenarioRunner, TrialOutcome};
+use dradio_scenario::{
+    BuiltTopology, Measurement, Moments, Scenario, ScenarioBuilder, ScenarioRunner, TopologySpec,
+    TrialOutcome,
+};
 
 use crate::error::{CampaignError, Result};
 use crate::spec::{CampaignSpec, CellSpec, TrialPolicy};
@@ -103,6 +107,11 @@ impl<'a> CampaignRunner<'a> {
             });
         }
 
+        // Build every distinct topology once for the whole campaign; cells
+        // that sweep algorithm × adversary × problem over one network share
+        // the built graph instead of regenerating it per cell.
+        let topologies = TopologyCache::build(&pending);
+
         let threads = self
             .threads
             .unwrap_or_else(|| {
@@ -119,7 +128,7 @@ impl<'a> CampaignRunner<'a> {
             // Sequential cells: let each cell parallelize its own trials.
             let mut executed = 0;
             for cell in &pending {
-                store.append(run_cell(cell, true)?)?;
+                store.append(run_cell(cell, true, &topologies)?)?;
                 executed += 1;
                 if let Some(meter) = &meter {
                     meter.tick(executed);
@@ -127,7 +136,7 @@ impl<'a> CampaignRunner<'a> {
             }
             executed
         } else {
-            self.run_parallel(&pending, threads, store, meter.as_ref())?
+            self.run_parallel(&pending, threads, store, meter.as_ref(), &topologies)?
         };
 
         Ok(RunReport {
@@ -157,6 +166,7 @@ impl<'a> CampaignRunner<'a> {
         threads: usize,
         store: &mut ResultStore,
         meter: Option<&ProgressMeter>,
+        topologies: &TopologyCache,
     ) -> Result<usize> {
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
@@ -181,7 +191,7 @@ impl<'a> CampaignRunner<'a> {
                     // the cores. Panics are captured into the slot: an empty
                     // slot would wedge the in-order committer forever.
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_cell(&pending[i], false)
+                        run_cell(&pending[i], false, topologies)
                     }))
                     .unwrap_or_else(|payload| {
                         Err(CampaignError::CellPanicked {
@@ -291,13 +301,79 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Builds and measures one cell.
-fn run_cell(cell: &CellSpec, parallel_trials: bool) -> Result<CellRecord> {
+/// A campaign-wide cache of built topologies, keyed by the canonical JSON
+/// serialization of the [`TopologySpec`] (specs carry their own seeds, so
+/// equal content means equal network). Built once per run, before the cell
+/// fan-out, so cells sweeping algorithm × adversary × problem over one
+/// topology share a single [`BuiltTopology`] — whose network is an
+/// `Arc<DualGraph>`, making the per-cell handoff a pointer copy.
+///
+/// The cache is invisible in the results: a cell built from a cached
+/// topology has the same spec, key, seeds, and measurement as one that
+/// rebuilt the network itself (pinned by this module's tests).
+///
+/// Memory trade-off: every distinct built topology stays resident until the
+/// run finishes (previously each cell dropped its graph after measuring).
+/// Campaigns sweeping many *large* distinct networks pay peak memory for
+/// all of them at once; scoping the cache per topology group is an open
+/// ROADMAP item.
+#[derive(Debug, Default)]
+struct TopologyCache {
+    built: HashMap<String, BuiltTopology>,
+}
+
+impl TopologyCache {
+    /// An empty cache: every cell falls back to building its own topology.
+    #[cfg(test)]
+    fn empty() -> Self {
+        TopologyCache::default()
+    }
+
+    /// Builds every distinct topology of `cells` once. A topology whose
+    /// generator fails is simply left out of the cache: the cells using it
+    /// then fail through their own per-cell build, at their position in
+    /// commit order — so earlier cells still run and commit, exactly as
+    /// they did when every cell built its own network, and a corrected
+    /// spec can resume past the committed prefix.
+    fn build(cells: &[CellSpec]) -> Self {
+        let mut built: HashMap<String, BuiltTopology> = HashMap::new();
+        for cell in cells {
+            let key = Self::key(&cell.scenario.topology);
+            if built.contains_key(&key) {
+                continue;
+            }
+            if let Ok(topology) = cell.scenario.topology.build() {
+                built.insert(key, topology);
+            }
+        }
+        TopologyCache { built }
+    }
+
+    fn key(spec: &TopologySpec) -> String {
+        serde_json::to_string(spec).expect("topology specs always serialize")
+    }
+
+    fn get(&self, spec: &TopologySpec) -> Option<&BuiltTopology> {
+        self.built.get(&Self::key(spec))
+    }
+}
+
+/// Builds and measures one cell, reusing the campaign's built topology when
+/// the cache holds it.
+fn run_cell(
+    cell: &CellSpec,
+    parallel_trials: bool,
+    topologies: &TopologyCache,
+) -> Result<CellRecord> {
     let at_cell = |source| CampaignError::Cell {
         cell: cell.label(),
         source,
     };
-    let scenario: Scenario = cell.scenario.clone().build().map_err(at_cell)?;
+    let mut builder = ScenarioBuilder::from_spec(cell.scenario.clone());
+    if let Some(topology) = topologies.get(&cell.scenario.topology) {
+        builder = builder.with_topology(topology.clone());
+    }
+    let scenario: Scenario = builder.build().map_err(at_cell)?;
     let runner = if parallel_trials {
         ScenarioRunner::new(&scenario)
     } else {
@@ -327,21 +403,45 @@ fn run_cell(cell: &CellSpec, parallel_trials: bool) -> Result<CellRecord> {
 /// Trial `t` always runs with `runner.trial_seed(t)`, and the stopping rule
 /// is evaluated on the prefix of outcomes in index order — so the allocated
 /// count, like the outcomes themselves, is a pure function of the cell spec.
+///
+/// Incremental on both axes: all trials run through one reused
+/// [`TrialExecutor`](dradio_scenario::TrialExecutor), and the stopping rule
+/// reads a running [`Moments`] accumulator, so each doubling costs O(new
+/// trials) instead of re-summarizing the full cost vector. The module tests
+/// pin that the stopping decisions match a full recompute. (Welford and the
+/// summary's two-pass variance can differ in the last ULPs, so a cost
+/// series whose relative CI lands *exactly* on the requested width could in
+/// principle stop differently — the pinned cases and the CI store-stability
+/// check guard the realistic range; the stored `Measurement` itself is
+/// always the exact full-vector summary, unchanged.)
 fn adaptive_trials(
     runner: &ScenarioRunner<'_>,
     min: usize,
     max: usize,
     relative_width: f64,
 ) -> dradio_scenario::Result<Vec<TrialOutcome>> {
+    // First batch through the runner's own fan-out (parallel when the cell
+    // owns the cores), folded into the running moments afterwards.
     let mut outcomes = runner.collect_trials(min.min(max))?;
+    let mut moments = Moments::new();
+    for outcome in &outcomes {
+        moments.push(outcome.cost as f64);
+    }
+    if outcomes.len() >= max || moments.relative_ci95() <= relative_width {
+        return Ok(outcomes);
+    }
+    // Doublings run through one reused executor; each new trial is one O(1)
+    // moments update plus the execution itself.
+    let mut executor = runner.executor();
     loop {
-        let summary = Measurement::from_trials(&outcomes)?.rounds;
-        if outcomes.len() >= max || summary.relative_ci95() <= relative_width {
-            return Ok(outcomes);
-        }
         let target = (outcomes.len() * 2).min(max);
         for t in outcomes.len()..target {
-            outcomes.push(runner.run_trial(t));
+            let outcome = runner.run_trial_on(&mut executor, t);
+            moments.push(outcome.cost as f64);
+            outcomes.push(outcome);
+        }
+        if outcomes.len() >= max || moments.relative_ci95() <= relative_width {
+            return Ok(outcomes);
         }
     }
 }
@@ -446,7 +546,9 @@ mod tests {
         // Pre-commit the first two cells.
         let cells = campaign.expand().unwrap();
         for cell in &cells[..2] {
-            store.append(run_cell(cell, false).unwrap()).unwrap();
+            store
+                .append(run_cell(cell, false, &TopologyCache::empty()).unwrap())
+                .unwrap();
         }
         let report = CampaignRunner::new(&campaign).run(&mut store).unwrap();
         assert_eq!(report.total, 4);
@@ -516,6 +618,167 @@ mod tests {
             record.trials_run,
             record.measurement.rounds.relative_ci95(),
         );
+    }
+
+    #[test]
+    fn failing_topology_cells_keep_the_committed_prefix() {
+        // The second group's topology generator rejects its parameters (a
+        // dual clique needs even n). The topology cache must not turn that
+        // into an up-front abort: the first group's cell still runs and
+        // commits, and the failure surfaces at the bad cell's own position.
+        let campaign = CampaignSpec::named("failing-topology")
+            .trials(TrialPolicy::Fixed(1))
+            .group(SweepGroup::cell(
+                TopologySpec::Clique { n: 8 },
+                GlobalAlgorithm::Bgi,
+                AdversarySpec::StaticNone,
+                ProblemSpec::GlobalFrom(0),
+            ))
+            .group(SweepGroup::cell(
+                TopologySpec::DualClique { n: 7 },
+                GlobalAlgorithm::Bgi,
+                AdversarySpec::StaticNone,
+                ProblemSpec::GlobalFrom(0),
+            ));
+        let mut store = ResultStore::in_memory();
+        let err = CampaignRunner::new(&campaign).run(&mut store).unwrap_err();
+        assert!(matches!(err, CampaignError::Cell { .. }), "{err}");
+        assert_eq!(store.len(), 1, "the good cell was committed");
+    }
+
+    #[test]
+    fn topology_cache_preserves_keys_measurements_and_store_bytes() {
+        // Many cells over few topologies — the configuration the cache
+        // exists for. The cached run must be indistinguishable from one
+        // where every cell rebuilds its own network.
+        let campaign = CampaignSpec::named("cache-equivalence")
+            .seed(13)
+            .trials(TrialPolicy::Fixed(2))
+            .group(
+                SweepGroup::product(
+                    vec![
+                        TopologySpec::DualClique { n: 16 },
+                        TopologySpec::RandomGeometric {
+                            n: 24,
+                            side: 2.0,
+                            r: 1.5,
+                            seed: 4,
+                        },
+                    ],
+                    vec![
+                        GlobalAlgorithm::Bgi.into(),
+                        GlobalAlgorithm::Permuted.into(),
+                        GlobalAlgorithm::RoundRobin.into(),
+                    ],
+                    vec![AdversarySpec::StaticNone, AdversarySpec::Iid { p: 0.5 }],
+                    vec![ProblemSpec::GlobalFrom(0)],
+                )
+                .rounds(RoundsRule::Fixed(2_000)),
+            );
+        let cells = campaign.expand().unwrap();
+        let cached = CampaignRunner::new(&campaign).run_in_memory().unwrap();
+
+        // Reference: per-cell topology builds, bypassing the cache entirely.
+        let mut fresh = ResultStore::in_memory();
+        for cell in &cells {
+            fresh
+                .append(run_cell(cell, false, &TopologyCache::empty()).unwrap())
+                .unwrap();
+        }
+
+        assert_eq!(cached.records(), fresh.records());
+        for (a, b) in cached.records().iter().zip(fresh.records()) {
+            assert_eq!(a.key, b.key, "{}", a.cell.label());
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap(),
+                "store line bytes diverged for {}",
+                a.cell.label()
+            );
+        }
+    }
+
+    /// The pre-incremental adaptive allocator, kept verbatim as the
+    /// reference: full `Measurement` recompute per doubling, fresh simulator
+    /// per appended trial.
+    fn reference_adaptive(
+        runner: &ScenarioRunner<'_>,
+        min: usize,
+        max: usize,
+        relative_width: f64,
+    ) -> Vec<TrialOutcome> {
+        let mut outcomes = runner.collect_trials(min.min(max)).unwrap();
+        loop {
+            let summary = Measurement::from_trials(&outcomes).unwrap().rounds;
+            if outcomes.len() >= max || summary.relative_ci95() <= relative_width {
+                return outcomes;
+            }
+            let target = (outcomes.len() * 2).min(max);
+            for t in outcomes.len()..target {
+                outcomes.push(runner.run_trial(t));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_adaptive_matches_full_recompute() {
+        // Across several cells (noisy and degenerate cost series, different
+        // widths), the Welford-moments stopping rule allocates exactly the
+        // trials the full-recompute rule allocated, with identical outcomes.
+        let cases = vec![
+            (
+                SweepGroup::cell(
+                    TopologySpec::DualClique { n: 16 },
+                    GlobalAlgorithm::Permuted,
+                    AdversarySpec::Iid { p: 0.5 },
+                    ProblemSpec::GlobalFrom(0),
+                )
+                .rounds(RoundsRule::Fixed(20_000)),
+                (2usize, 64usize, 0.05f64),
+                7u64,
+            ),
+            (
+                SweepGroup::cell(
+                    TopologySpec::DualClique { n: 16 },
+                    GlobalAlgorithm::Bgi,
+                    AdversarySpec::GilbertElliott {
+                        p_fail: 0.2,
+                        p_recover: 0.3,
+                    },
+                    ProblemSpec::GlobalFrom(0),
+                )
+                .rounds(RoundsRule::Fixed(20_000)),
+                (3, 48, 0.10),
+                11,
+            ),
+            (
+                // Deterministic costs: the CI collapses immediately.
+                SweepGroup::cell(
+                    TopologySpec::Clique { n: 8 },
+                    GlobalAlgorithm::RoundRobin,
+                    AdversarySpec::StaticNone,
+                    ProblemSpec::GlobalFrom(0),
+                )
+                .rounds(RoundsRule::Fixed(1_000)),
+                (2, 64, 0.10),
+                0,
+            ),
+        ];
+        for (group, (min, max, width), seed) in cases {
+            let campaign = CampaignSpec::named("adaptive-pin").seed(seed).group(group);
+            let cells = campaign.expand().unwrap();
+            let scenario = cells[0].scenario.clone().build().unwrap();
+            let runner = ScenarioRunner::new(&scenario).sequential();
+            let incremental = adaptive_trials(&runner, min, max, width).unwrap();
+            let reference = reference_adaptive(&runner, min, max, width);
+            assert_eq!(
+                incremental.len(),
+                reference.len(),
+                "{}: allocated trial counts diverged",
+                cells[0].label()
+            );
+            assert_eq!(incremental, reference, "{}", cells[0].label());
+        }
     }
 
     #[test]

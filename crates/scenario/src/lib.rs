@@ -62,9 +62,9 @@ pub use error::{Result, ScenarioError};
 pub use problem::{AlgorithmSpec, ProblemSpec, ResolvedProblem};
 pub use runner::{Measurement, ScenarioRunner, TrialOutcome, TRIAL_STREAM_BASE};
 pub use scenario::{LinkBuilder, Scenario, ScenarioBuilder, ScenarioSpec};
-pub use stats::Summary;
+pub use stats::{Moments, Summary};
 pub use topology::{BuiltTopology, TopologySpec};
 
-// Re-exported so scenario and campaign callers can select a record mode
-// without depending on `dradio-sim` directly.
-pub use dradio_sim::RecordMode;
+// Re-exported so scenario and campaign callers can select a record mode or
+// hold a reusable executor without depending on `dradio-sim` directly.
+pub use dradio_sim::{RecordMode, TrialExecutor};

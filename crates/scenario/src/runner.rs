@@ -27,7 +27,7 @@
 //! invalidates every stored measurement; tests in this module and in
 //! `dradio-campaign` pin the derivation.
 
-use dradio_sim::{derive_stream_seed, RecordMode};
+use dradio_sim::{derive_stream_seed, RecordMode, TrialExecutor};
 use rayon::prelude::*;
 
 use serde::{Deserialize, Serialize, Value};
@@ -100,11 +100,19 @@ impl Measurement {
         if trials.is_empty() {
             return Err(ScenarioError::NoTrials);
         }
-        let costs: Vec<usize> = trials.iter().map(|t| t.cost).collect();
-        let completed = trials.iter().filter(|t| t.completed).count();
-        let collisions: usize = trials.iter().map(|t| t.collisions).sum();
+        // One streaming pass: the completion and collision tallies ride
+        // along while the costs flow into the summary's single buffer (the
+        // one the order statistics later sort; no further intermediates).
+        let mut completed = 0usize;
+        let mut collisions = 0usize;
+        let mut costs: Vec<f64> = Vec::with_capacity(trials.len());
+        for trial in trials {
+            completed += usize::from(trial.completed);
+            collisions += trial.collisions;
+            costs.push(trial.cost as f64);
+        }
         Ok(Measurement {
-            rounds: Summary::from_counts(&costs),
+            rounds: Summary::from_iter(costs),
             completion_rate: completed as f64 / trials.len() as f64,
             mean_collisions: collisions as f64 / trials.len() as f64,
         })
@@ -171,7 +179,17 @@ impl<'a> ScenarioRunner<'a> {
         derive_stream_seed(self.scenario.seed(), TRIAL_STREAM_BASE ^ trial as u64)
     }
 
-    /// Runs one trial by index.
+    /// A reusable [`TrialExecutor`] over the scenario (see
+    /// [`Scenario::executor`]). The fan-out paths create one per worker and
+    /// run every trial of that worker through it; results are identical to
+    /// one fresh simulator per trial, just without the per-trial setup.
+    pub fn executor(&self) -> TrialExecutor {
+        self.scenario.executor()
+    }
+
+    /// Runs one trial by index (a fresh single-shot execution; for many
+    /// trials prefer [`ScenarioRunner::run_trial_on`] with a reused
+    /// executor — the outcomes are identical).
     pub fn run_trial(&self, trial: usize) -> TrialOutcome {
         let seed = self.trial_seed(trial);
         let outcome = self.scenario.run_with(seed, self.record_mode);
@@ -184,8 +202,27 @@ impl<'a> ScenarioRunner<'a> {
         }
     }
 
+    /// Runs one trial by index on a reused executor.
+    pub fn run_trial_on(&self, executor: &mut TrialExecutor, trial: usize) -> TrialOutcome {
+        let seed = self.trial_seed(trial);
+        let outcome = executor.execute(seed, self.record_mode);
+        TrialOutcome {
+            trial,
+            seed,
+            cost: outcome.cost(),
+            completed: outcome.completed,
+            collisions: outcome.metrics.collisions,
+        }
+    }
+
     /// Runs `trials` independent trials and returns their outcomes in trial
     /// order.
+    ///
+    /// Each worker (one in sequential mode) builds a single [`TrialExecutor`]
+    /// and reuses it for all its trials, so the per-trial cost is the
+    /// execution itself — no network copy, no scratch reallocation, no
+    /// process-vector growth. Outcomes depend only on the trial index, never
+    /// on which worker (or executor) ran a trial.
     ///
     /// # Errors
     ///
@@ -197,10 +234,16 @@ impl<'a> ScenarioRunner<'a> {
         let outcomes: Vec<TrialOutcome> = if self.parallel {
             (0..trials)
                 .into_par_iter()
-                .map(|t| self.run_trial(t))
+                .map_init(
+                    || self.executor(),
+                    |executor, t| self.run_trial_on(executor, t),
+                )
                 .collect()
         } else {
-            (0..trials).map(|t| self.run_trial(t)).collect()
+            let mut executor = self.executor();
+            (0..trials)
+                .map(|t| self.run_trial_on(&mut executor, t))
+                .collect()
         };
         Ok(outcomes)
     }
@@ -256,6 +299,25 @@ mod tests {
             runner.collect_trials(6).unwrap(),
             runner.sequential().collect_trials(6).unwrap()
         );
+    }
+
+    #[test]
+    fn reused_executor_trials_match_one_shot_trials() {
+        let s = scenario(21);
+        let runner = ScenarioRunner::new(&s);
+        let mut executor = runner.executor();
+        for t in 0..6 {
+            assert_eq!(
+                runner.run_trial_on(&mut executor, t),
+                runner.run_trial(t),
+                "trial {t} diverged between the reused executor and a fresh simulator"
+            );
+        }
+        // Out-of-order and repeated trials reproduce too: outcomes depend on
+        // the trial index only, never on executor history.
+        for t in [3usize, 0, 5, 3] {
+            assert_eq!(runner.run_trial_on(&mut executor, t), runner.run_trial(t));
+        }
     }
 
     #[test]

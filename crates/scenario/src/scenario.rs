@@ -6,7 +6,7 @@ use std::sync::Arc;
 use dradio_graphs::DualGraph;
 use dradio_sim::{
     Assignment, ExecutionOutcome, History, LinkProcess, ProcessFactory, RecordMode, SimConfig,
-    Simulator, StopCondition,
+    Simulator, StopCondition, TrialExecutor,
 };
 use serde::{Deserialize, Serialize, Value};
 
@@ -17,8 +17,11 @@ use crate::runner::{Measurement, ScenarioRunner};
 use crate::topology::{BuiltTopology, TopologySpec};
 
 /// Builds one fresh link process per trial. Adversaries are stateful, so the
-/// scenario stores this recipe rather than an instance.
-pub type LinkBuilder = Arc<dyn Fn() -> Box<dyn LinkProcess> + Send + Sync>;
+/// scenario stores this recipe rather than an instance. This is the engine's
+/// [`LinkFactory`](dradio_sim::LinkFactory) type: a scenario hands its recipe
+/// straight to the [`TrialExecutor`]s it creates, which only invoke it when a
+/// spent link process cannot [`reset`](LinkProcess::reset) itself.
+pub type LinkBuilder = dradio_sim::LinkFactory;
 
 /// The pure-value description of a scenario: what to simulate, against whom,
 /// and from which seed.
@@ -471,7 +474,7 @@ impl Scenario {
             .with_collision_detection(self.collision_detection)
             .with_record_mode(record_mode);
         Simulator::new(
-            self.topology.dual.clone(),
+            Arc::clone(&self.topology.dual),
             self.factory.clone(),
             self.assignment.clone(),
             (self.link)(),
@@ -479,6 +482,33 @@ impl Scenario {
         )
         .expect("scenario components were validated at build time")
         .run(self.stop.clone())
+    }
+
+    /// A reusable [`TrialExecutor`] over this scenario: the network is shared
+    /// (never copied), and the per-trial mutable state — processes, random
+    /// streams, stop tracking, round scratch — is reused in place across
+    /// [`execute`](TrialExecutor::execute) calls. Each worker of a trial
+    /// fan-out holds one.
+    ///
+    /// `executor.execute(seed, mode)` produces exactly the outcome of
+    /// [`Scenario::run_with(seed, mode)`](Scenario::run_with); the root
+    /// `integration_executor` suite pins this for every registered component
+    /// class.
+    pub fn executor(&self) -> TrialExecutor {
+        let config = SimConfig::default()
+            .with_seed(self.spec.seed)
+            .with_max_rounds(self.max_rounds)
+            .with_collision_detection(self.collision_detection)
+            .with_record_mode(self.record_mode);
+        TrialExecutor::new(
+            Arc::clone(&self.topology.dual),
+            self.factory.clone(),
+            self.assignment.clone(),
+            self.link.clone(),
+            self.stop.clone(),
+            config,
+        )
+        .expect("scenario components were validated at build time")
     }
 
     /// Checks a recorded history against the problem's correctness
@@ -730,7 +760,7 @@ mod tests {
             .problem(ProblemSpec::LocalRandom { count: 4, seed: 1 })
             .build()
             .unwrap();
-        assert_eq!(scenario.dual(), &built.dual);
+        assert_eq!(scenario.dual(), built.dual.as_ref());
         assert_eq!(scenario.spec().topology, spec);
     }
 }

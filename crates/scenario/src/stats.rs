@@ -26,6 +26,16 @@ pub struct Summary {
 impl Summary {
     /// Computes the summary of `samples`; an empty slice yields all zeros.
     pub fn from_samples(samples: &[f64]) -> Self {
+        Summary::from_owned(samples.to_vec())
+    }
+
+    /// Computes the summary of integer samples.
+    pub fn from_counts(samples: &[usize]) -> Self {
+        Summary::from_iter(samples.iter().map(|&x| x as f64))
+    }
+
+    /// The single-buffer implementation behind every constructor.
+    fn from_owned(mut samples: Vec<f64>) -> Self {
         if samples.is_empty() {
             return Summary::default();
         }
@@ -36,8 +46,8 @@ impl Summary {
         } else {
             0.0
         };
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let sorted = samples;
         let median = if count % 2 == 1 {
             sorted[count / 2]
         } else {
@@ -57,12 +67,6 @@ impl Summary {
             median,
             p95: sorted[rank - 1],
         }
-    }
-
-    /// Computes the summary of integer samples.
-    pub fn from_counts(samples: &[usize]) -> Self {
-        let as_f64: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
-        Summary::from_samples(&as_f64)
     }
 
     /// Half-width of a ~95% normal-approximation confidence interval for the
@@ -86,6 +90,91 @@ impl Summary {
     /// Half-width of the 95% CI relative to the mean — the quantity adaptive
     /// trial allocation compares against a requested precision. Zero when the
     /// mean is zero (a degenerate series needs no more trials).
+    pub fn relative_ci95(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.ci95_half_width() / self.mean.abs()
+        }
+    }
+}
+
+/// Computes the summary from any stream of samples, buffering them exactly
+/// once (the one buffer the order statistics need to sort). Numerically
+/// identical to [`Summary::from_samples`] over the collected sequence: the
+/// mean and variance are accumulated in iteration order, before the buffer
+/// is sorted.
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        Summary::from_owned(samples.into_iter().collect())
+    }
+}
+
+/// Streaming (Welford) accumulator of the moments the adaptive trial
+/// allocator's stopping rule needs: count, mean, and sample variance.
+///
+/// Pushing a sample is O(1), so evaluating the rule after each doubling
+/// costs only the new trials — unlike recomputing a [`Summary`] from the
+/// full cost vector, which is what this type replaces in the campaign
+/// layer. The derived quantities ([`Moments::std_dev`],
+/// [`Moments::relative_ci95`]) use the same formulas as `Summary`, and the
+/// campaign tests pin that the incremental rule makes the same stopping
+/// decisions as a full recompute.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    count: usize,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's `M2`).
+    m2: f64,
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Moments::default()
+    }
+
+    /// Folds one sample into the moments.
+    pub fn push(&mut self, sample: f64) {
+        self.count += 1;
+        let delta = sample - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (sample - self.mean);
+    }
+
+    /// Number of samples accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (`n - 1` denominator; 0 for fewer than two
+    /// samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.count > 1 {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Half-width of a ~95% normal-approximation confidence interval for the
+    /// mean (matches [`Summary::ci95_half_width`]).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95% CI relative to the mean (matches
+    /// [`Summary::relative_ci95`]): the quantity adaptive trial allocation
+    /// compares against its requested precision. Zero when the mean is zero.
     pub fn relative_ci95(&self) -> f64 {
         if self.mean == 0.0 {
             0.0
@@ -235,6 +324,49 @@ mod tests {
         let scaled = Summary::from_samples(&[100.0, 120.0, 140.0]);
         assert!((s.relative_ci95() - scaled.relative_ci95()).abs() < 1e-12);
         assert_eq!(Summary::from_samples(&[0.0, 0.0]).relative_ci95(), 0.0);
+    }
+
+    #[test]
+    fn from_iter_matches_from_samples() {
+        let samples = [9.0, 1.0, 5.0, 5.0, 2.0, 8.0, 4.0];
+        assert_eq!(
+            Summary::from_iter(samples.iter().copied()),
+            Summary::from_samples(&samples)
+        );
+        assert_eq!(Summary::from_iter(std::iter::empty()), Summary::default());
+    }
+
+    #[test]
+    fn moments_track_summary_statistics() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut moments = Moments::new();
+        for (i, &x) in samples.iter().enumerate() {
+            moments.push(x);
+            let summary = Summary::from_samples(&samples[..=i]);
+            assert_eq!(moments.count(), summary.count);
+            assert!((moments.mean() - summary.mean).abs() < 1e-12);
+            assert!((moments.std_dev() - summary.std_dev).abs() < 1e-12);
+            assert!((moments.ci95_half_width() - summary.ci95_half_width()).abs() < 1e-12);
+            assert!((moments.relative_ci95() - summary.relative_ci95()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moments_degenerate_cases_match_summary() {
+        let empty = Moments::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.std_dev(), 0.0);
+        assert_eq!(empty.relative_ci95(), 0.0);
+
+        let mut one = Moments::new();
+        one.push(7.0);
+        assert_eq!(one.mean(), 7.0);
+        assert_eq!(one.ci95_half_width(), 0.0);
+
+        let mut zeros = Moments::new();
+        zeros.push(0.0);
+        zeros.push(0.0);
+        assert_eq!(zeros.relative_ci95(), 0.0, "zero mean needs no more trials");
     }
 
     #[test]

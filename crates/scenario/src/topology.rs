@@ -5,6 +5,8 @@
 //! generators carry their own seed so that the spec alone pins the network
 //! down exactly: the same spec always builds the same [`DualGraph`].
 
+use std::sync::Arc;
+
 use dradio_graphs::topology::{self, Bracelet, DualClique, GeometricConfig};
 use dradio_graphs::DualGraph;
 use rand::SeedableRng;
@@ -266,7 +268,7 @@ impl TopologySpec {
             TopologySpec::DualCliqueWithBridge { n, t_a, t_b } => {
                 let dc = topology::dual_clique_with_bridge(n, t_a, t_b)?;
                 BuiltTopology {
-                    dual: dc.dual().clone(),
+                    dual: Arc::new(dc.dual().clone()),
                     bracelet: None,
                     dual_clique: Some(dc),
                 }
@@ -274,7 +276,7 @@ impl TopologySpec {
             TopologySpec::Bracelet { k } => {
                 let b = topology::bracelet(k)?;
                 BuiltTopology {
-                    dual: b.dual().clone(),
+                    dual: Arc::new(b.dual().clone()),
                     bracelet: Some(b),
                     dual_clique: None,
                 }
@@ -282,7 +284,7 @@ impl TopologySpec {
             TopologySpec::BraceletWithClasp { k, t } => {
                 let b = topology::bracelet_with_clasp(k, t)?;
                 BuiltTopology {
-                    dual: b.dual().clone(),
+                    dual: Arc::new(b.dual().clone()),
                     bracelet: Some(b),
                     dual_clique: None,
                 }
@@ -337,10 +339,16 @@ impl TopologySpec {
 /// metadata some adversaries and problems need (the bracelet band structure
 /// for [`BraceletOblivious`](dradio_adversary::BraceletOblivious), the clique
 /// sides for side-A broadcaster sets).
+///
+/// The network is held behind an [`Arc`] so that everything downstream — the
+/// [`Scenario`](crate::Scenario), every [`Simulator`](dradio_sim::Simulator)
+/// and [`TrialExecutor`](dradio_sim::TrialExecutor) built from it, and the
+/// campaign layer's topology cache — shares one graph instance instead of
+/// copying the adjacency structure per trial or per cell.
 #[derive(Debug, Clone)]
 pub struct BuiltTopology {
-    /// The network.
-    pub dual: DualGraph,
+    /// The network, shared by every execution over this topology.
+    pub dual: Arc<DualGraph>,
     /// Band/clasp metadata when the spec was a bracelet.
     pub bracelet: Option<Bracelet>,
     /// Side/bridge metadata when the spec was a dual clique with an explicit
@@ -349,10 +357,11 @@ pub struct BuiltTopology {
 }
 
 impl BuiltTopology {
-    /// Wraps a bare dual graph with no construction metadata.
-    pub fn plain(dual: DualGraph) -> Self {
+    /// Wraps a bare dual graph (owned or already shared) with no
+    /// construction metadata.
+    pub fn plain(dual: impl Into<Arc<DualGraph>>) -> Self {
         BuiltTopology {
-            dual,
+            dual: dual.into(),
             bracelet: None,
             dual_clique: None,
         }

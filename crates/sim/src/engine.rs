@@ -1,23 +1,23 @@
 //! The round-by-round execution engine.
 
-use dradio_graphs::{DualGraph, Edge, NodeId};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
-use crate::action::{Action, Feedback};
+use dradio_graphs::DualGraph;
+
 use crate::config::SimConfig;
 use crate::error::SimError;
-use crate::history::{Delivery, History, RoundRecord};
-use crate::link::{AdversaryClass, AdversarySetup, AdversaryView, LinkProcess};
+use crate::executor::TrialExecutor;
+use crate::history::History;
+use crate::link::LinkProcess;
 use crate::metrics::Metrics;
-use crate::process::{Assignment, Process, ProcessContext, ProcessFactory};
-use crate::recorder::{RecordMode, Recorder};
+use crate::process::{Assignment, ProcessFactory};
+use crate::recorder::RecordMode;
 use crate::round::Round;
-use crate::stop::{StopCondition, StopTracker};
+use crate::stop::StopCondition;
 use crate::Result;
 
 /// The result of running an execution.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionOutcome {
     /// Whether the stop condition was satisfied before the horizon.
     pub completed: bool,
@@ -66,23 +66,26 @@ pub fn derive_stream_seed(master: u64, stream: u64) -> u64 {
 
 /// A configured dual-graph radio network simulation.
 ///
+/// A `Simulator` is single-shot: [`Simulator::run`] consumes it. Internally
+/// it is a thin shell over [`TrialExecutor`] — the reusable harness callers
+/// with many trials of the same configuration should use directly — so the
+/// two produce identical executions by construction.
+///
 /// See the [crate documentation](crate) for the model and an end-to-end
 /// example.
 pub struct Simulator {
-    dual: DualGraph,
-    processes: Vec<Box<dyn Process>>,
+    dual: Arc<DualGraph>,
     link: Box<dyn LinkProcess>,
-    node_rngs: Vec<ChaCha8Rng>,
-    adversary_rng: ChaCha8Rng,
     config: SimConfig,
     factory: ProcessFactory,
     assignment: Assignment,
 }
 
 impl Simulator {
-    /// Builds a simulation: instantiates one process per node from `factory`
-    /// and derives deterministic per-node random streams from the master
-    /// seed.
+    /// Builds a simulation over `dual` (accepted owned or as a shared
+    /// [`Arc`], so fan-out callers never copy the network). Processes and
+    /// the deterministic per-node random streams are instantiated by
+    /// [`Simulator::run`], derived from the configured master seed.
     ///
     /// # Errors
     ///
@@ -91,12 +94,13 @@ impl Simulator {
     ///   different number of nodes.
     /// * [`SimError::InvalidConfig`] if the configuration is invalid.
     pub fn new(
-        dual: DualGraph,
+        dual: impl Into<Arc<DualGraph>>,
         factory: ProcessFactory,
         assignment: Assignment,
         link: Box<dyn LinkProcess>,
         config: SimConfig,
     ) -> Result<Self> {
+        let dual = dual.into();
         config.validate()?;
         let n = dual.len();
         if n == 0 {
@@ -108,24 +112,9 @@ impl Simulator {
                 assignment: assignment.len(),
             });
         }
-        let max_degree = dual.max_degree();
-        let mut processes = Vec::with_capacity(n);
-        let mut node_rngs = Vec::with_capacity(n);
-        for u in NodeId::all(n) {
-            let ctx = ProcessContext::new(u, n, max_degree, assignment.role(u));
-            processes.push(factory(&ctx));
-            node_rngs.push(ChaCha8Rng::seed_from_u64(derive_stream_seed(
-                config.seed(),
-                u.index() as u64,
-            )));
-        }
-        let adversary_rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(config.seed(), u64::MAX));
         Ok(Simulator {
             dual,
-            processes,
             link,
-            node_rngs,
-            adversary_rng,
             config,
             factory,
             assignment,
@@ -149,365 +138,38 @@ impl Simulator {
     /// configuration's [`RecordMode`] (default [`RecordMode::Full`]);
     /// behaviour and [`Metrics`] are identical under every mode.
     ///
+    /// Implemented on top of [`TrialExecutor`]: the simulator wraps its
+    /// parts into a single-shot executor and runs one trial with the
+    /// configured seed and record mode, so the two entry points cannot
+    /// diverge.
+    ///
     /// # Panics
     ///
     /// Panics if `stop` references nodes outside the network (a programming
     /// error in the experiment setup, not a runtime condition).
-    pub fn run(mut self, stop: StopCondition) -> ExecutionOutcome {
-        if let Some(max_index) = stop.max_node_index() {
-            assert!(
-                max_index < self.dual.len(),
-                "stop condition references node {max_index} but the network has {} nodes",
-                self.dual.len()
-            );
-        }
-
-        let n = self.dual.len();
-        let horizon = self.config.max_rounds();
-        let class = self.link.class();
-        let adaptive = class != AdversaryClass::Oblivious;
-        let offline = class == AdversaryClass::OfflineAdaptive;
-        let mut recorder = Recorder::new(self.config.record_mode(), class, n);
-        let mut metrics = Metrics::default();
-        let mut tracker = StopTracker::new(stop, n);
-
-        // Start-of-execution hooks.
-        {
-            let setup = AdversarySetup {
-                dual: &self.dual,
-                factory: &self.factory,
-                assignment: &self.assignment,
-                horizon,
-            };
-            self.link.on_start(&setup, &mut self.adversary_rng);
-        }
-        for (i, process) in self.processes.iter_mut().enumerate() {
-            process.on_start(&mut self.node_rngs[i]);
-        }
-
-        let mut completion_round = None;
-        let mut rounds_executed = 0usize;
-
-        if tracker.is_done() {
-            // Degenerate conditions (e.g. empty receiver set) are complete
-            // before any round executes.
-            let record_mode = recorder.mode();
-            let (history, collisions_per_round) = recorder.finish();
-            return ExecutionOutcome {
-                completed: true,
-                rounds_executed: 0,
-                completion_round: None,
-                history,
-                metrics,
-                record_mode,
-                collisions_per_round,
-            };
-        }
-
-        // All per-round working memory lives in the scratch and is cleared,
-        // never reallocated, between rounds. Networks with no dynamic edges
-        // (`G = G'`) skip the dynamic-adjacency rows entirely.
-        let mut scratch = RoundScratch::new(n, self.dual.g().row_words(), !self.dual.is_static());
-
-        for round in Round::range(horizon) {
-            rounds_executed += 1;
-
-            // 1. Expected behaviour (visible to adaptive adversaries) must be
-            //    captured before any round-r coin is flipped.
-            if adaptive {
-                scratch.transmit_probs.clear();
-                scratch
-                    .transmit_probs
-                    .extend(self.processes.iter().map(|p| p.transmit_probability(round)));
-            }
-
-            // 2. Processes pick their actions using their private coins.
-            scratch.actions.clear();
-            for (i, p) in self.processes.iter_mut().enumerate() {
-                scratch
-                    .actions
-                    .push(p.on_round(round, &mut self.node_rngs[i]));
-            }
-
-            // 3. The link process fixes the dynamic edges, seeing only what
-            //    its class entitles it to (the recorder's history is complete
-            //    here: adaptive classes auto-promote to full recording).
-            let decision = {
-                let view = AdversaryView::new(
-                    round,
-                    n,
-                    adaptive.then(|| recorder.history()),
-                    adaptive.then_some(scratch.transmit_probs.as_slice()),
-                    offline.then_some(scratch.actions.as_slice()),
-                );
-                self.link.decide(&view, &mut self.adversary_rng)
-            };
-
-            // Filter the decision down to genuine dynamic edges. The dynamic
-            // adjacency bit rows double as an O(1) duplicate check.
-            scratch.clear_dynamic();
-            scratch.active_edges.clear();
-            for edge in decision.edges() {
-                let (u, v) = edge.endpoints();
-                let is_dynamic =
-                    self.dual.g_prime().has_edge(u, v) && !self.dual.g().has_edge(u, v);
-                if !is_dynamic {
-                    metrics.rejected_link_edges += 1;
-                } else if !scratch.dynamic_bit(u, v) {
-                    scratch.set_dynamic(u, v);
-                    scratch.active_edges.push(*edge);
-                }
-            }
-
-            // 4. Reception under the collision rule, from the packed
-            //    transmitter bitset.
-            scratch.transmitters.clear();
-            scratch.transmitter_bits.iter_mut().for_each(|w| *w = 0);
-            for (i, action) in scratch.actions.iter().enumerate() {
-                if action.is_transmit() {
-                    scratch.transmitter_bits[i / 64] |= 1u64 << (i % 64);
-                    scratch.transmitters.push(NodeId::new(i));
-                }
-            }
-            let transmitter_count = scratch.transmitters.len();
-            metrics.transmissions += transmitter_count;
-
-            scratch.feedbacks.clear();
-            // Deliveries are materialized only under full recording; feedback
-            // and stop evaluation never need the allocation.
-            let mut deliveries: Vec<Delivery> = Vec::new();
-            let mut round_collisions = 0usize;
-
-            if transmitter_count == 0 {
-                // Nobody transmitted: every node listens into silence.
-                metrics.idle_listens += n;
-                for _ in 0..n {
-                    scratch.feedbacks.push(Feedback::Silence);
-                }
-            } else {
-                let g = self.dual.g();
-                let words = g.row_words();
-                let use_dynamic = !scratch.active_edges.is_empty();
-                // Below this transmitter count, probing each transmitter with
-                // O(1) bit queries beats scanning the whole adjacency row.
-                let probe_transmitters = transmitter_count <= words;
-                for u in NodeId::all(n) {
-                    let u_idx = u.index();
-                    if scratch.transmitter_bits[u_idx / 64] >> (u_idx % 64) & 1 == 1 {
-                        scratch.feedbacks.push(Feedback::Transmitted);
-                        continue;
-                    }
-                    // Count transmitting neighbors, capped at 2 (the collision
-                    // rule only distinguishes 0 / 1 / "several"), picking the
-                    // cheapest of three equivalent strategies per listener:
-                    // walk the adjacency list testing transmitter bits (low
-                    // degree), probe each transmitter with O(1) edge queries
-                    // (few transmitters), or intersect the packed adjacency
-                    // row with the transmitter bitset (dense rounds).
-                    let mut count = 0usize;
-                    let mut sender = 0usize;
-                    let degree = g.degree(u);
-                    if !use_dynamic && degree <= transmitter_count && degree <= words * 2 {
-                        for &v in g.neighbors(u) {
-                            let v_idx = v.index();
-                            if scratch.transmitter_bits[v_idx / 64] >> (v_idx % 64) & 1 == 1 {
-                                count += 1;
-                                if count >= 2 {
-                                    break;
-                                }
-                                sender = v_idx;
-                            }
-                        }
-                    } else if probe_transmitters {
-                        for &v in &scratch.transmitters {
-                            let connected =
-                                g.has_edge(u, v) || (use_dynamic && scratch.dynamic_bit(u, v));
-                            if connected {
-                                count += 1;
-                                if count >= 2 {
-                                    break;
-                                }
-                                sender = v.index();
-                            }
-                        }
-                    } else {
-                        let row = g.neighbor_bits(u);
-                        let dyn_row = scratch.dynamic_row(u_idx);
-                        for w in 0..words {
-                            let mut hit = row[w] & scratch.transmitter_bits[w];
-                            if use_dynamic {
-                                hit |= dyn_row[w] & scratch.transmitter_bits[w];
-                            }
-                            if hit != 0 {
-                                count += hit.count_ones() as usize;
-                                if count >= 2 {
-                                    break;
-                                }
-                                sender = w * 64 + hit.trailing_zeros() as usize;
-                            }
-                        }
-                    }
-                    let feedback = match count {
-                        0 => {
-                            metrics.idle_listens += 1;
-                            Feedback::Silence
-                        }
-                        1 => {
-                            let sender = NodeId::new(sender);
-                            let message = scratch.actions[sender.index()]
-                                .message()
-                                .expect("a set transmitter bit implies a message");
-                            metrics.deliveries += 1;
-                            tracker.observe_one(u, sender, message.kind());
-                            if recorder.wants_history() {
-                                deliveries.push(Delivery {
-                                    receiver: u,
-                                    sender,
-                                    message: message.clone(),
-                                });
-                            }
-                            Feedback::Received(message.clone())
-                        }
-                        _ => {
-                            metrics.collisions += 1;
-                            round_collisions += 1;
-                            if self.config.collision_detection() {
-                                Feedback::Collision
-                            } else {
-                                Feedback::Silence
-                            }
-                        }
-                    };
-                    scratch.feedbacks.push(feedback);
-                }
-            }
-
-            // 5. Deliver feedback to the processes.
-            for (i, feedback) in scratch.feedbacks.iter().enumerate() {
-                self.processes[i].on_feedback(round, feedback, &mut self.node_rngs[i]);
-            }
-
-            // 6. Record and evaluate the stop condition (already observed
-            //    delivery by delivery, in ascending receiver order).
-            recorder.push_collisions(round_collisions);
-            if recorder.wants_history() {
-                recorder.push(RoundRecord {
-                    round,
-                    transmitters: scratch.transmitters.clone(),
-                    active_dynamic_edges: scratch.active_edges.clone(),
-                    deliveries,
-                });
-            }
-            metrics.rounds = rounds_executed;
-
-            if tracker.is_done() {
-                completion_round = Some(round);
-                break;
-            }
-        }
-
-        metrics.rounds = rounds_executed;
-        let record_mode = recorder.mode();
-        let (history, collisions_per_round) = recorder.finish();
-        ExecutionOutcome {
-            completed: completion_round.is_some(),
-            rounds_executed,
-            completion_round,
-            history,
-            metrics,
-            record_mode,
-            collisions_per_round,
-        }
+    pub fn run(self, stop: StopCondition) -> ExecutionOutcome {
+        let seed = self.config.seed();
+        let record_mode = self.config.record_mode();
+        let mut executor = TrialExecutor::single_shot(
+            self.dual,
+            self.factory,
+            self.assignment,
+            self.link,
+            stop,
+            self.config,
+        )
+        .expect("simulator inputs were validated at construction");
+        executor.execute(seed, record_mode)
     }
 }
 
-/// Reusable per-round working memory for [`Simulator::run`]: every buffer is
-/// cleared, never reallocated, between rounds, so the steady-state round loop
-/// performs no heap allocation beyond what the processes themselves do
-/// (under [`RecordMode::Full`], the retained round records are additionally
-/// built per round, exactly as before the scratch existed).
-///
-/// The transmitter set is kept both as a sorted `Vec<NodeId>` (for history
-/// records and transmitter probing) and as a packed `u64` bitset aligned
-/// with [`dradio_graphs::Graph::neighbor_bits`], so reception resolves 64
-/// candidate neighbors per word instead of chasing adjacency `Vec`s. Dynamic
-/// edges activated by the link process live in equally packed per-node bit
-/// rows; only rows actually touched in a round are cleared afterwards.
-#[derive(Debug)]
-struct RoundScratch {
-    /// Per-node actions of the current round.
-    actions: Vec<Action>,
-    /// Per-node transmit probabilities (adaptive adversaries only).
-    transmit_probs: Vec<f64>,
-    /// Per-node end-of-round feedback.
-    feedbacks: Vec<Feedback>,
-    /// Transmitting nodes, ascending.
-    transmitters: Vec<NodeId>,
-    /// Packed transmitter bitset (bit `v` set iff node `v` transmits).
-    transmitter_bits: Vec<u64>,
-    /// Packed per-node dynamic adjacency rows for the current round
-    /// (`words_per_row` words per node; empty when the network is static).
-    dynamic_rows: Vec<u64>,
-    /// Nodes whose dynamic row was written this round (cleared lazily).
-    touched_rows: Vec<usize>,
-    /// The deduplicated genuine dynamic edges of the current round.
-    active_edges: Vec<Edge>,
-    /// Words per packed row.
-    words_per_row: usize,
-}
-
-impl RoundScratch {
-    fn new(n: usize, words_per_row: usize, has_dynamic_edges: bool) -> Self {
-        RoundScratch {
-            actions: Vec::with_capacity(n),
-            transmit_probs: Vec::with_capacity(n),
-            feedbacks: Vec::with_capacity(n),
-            transmitters: Vec::with_capacity(n),
-            transmitter_bits: vec![0u64; words_per_row],
-            dynamic_rows: if has_dynamic_edges {
-                vec![0u64; n.saturating_mul(words_per_row)]
-            } else {
-                Vec::new()
-            },
-            touched_rows: Vec::new(),
-            active_edges: Vec::new(),
-            words_per_row,
-        }
-    }
-
-    /// Zeroes the dynamic rows touched by the previous round.
-    fn clear_dynamic(&mut self) {
-        for &row in &self.touched_rows {
-            let start = row * self.words_per_row;
-            self.dynamic_rows[start..start + self.words_per_row].fill(0);
-        }
-        self.touched_rows.clear();
-    }
-
-    /// Returns `true` if the dynamic edge `(u, v)` is active this round.
-    fn dynamic_bit(&self, u: NodeId, v: NodeId) -> bool {
-        let idx = u.index() * self.words_per_row + v.index() / 64;
-        self.dynamic_rows[idx] >> (v.index() % 64) & 1 == 1
-    }
-
-    /// Activates the dynamic edge `(u, v)` for this round.
-    fn set_dynamic(&mut self, u: NodeId, v: NodeId) {
-        let (ui, vi) = (u.index(), v.index());
-        self.dynamic_rows[ui * self.words_per_row + vi / 64] |= 1u64 << (vi % 64);
-        self.dynamic_rows[vi * self.words_per_row + ui / 64] |= 1u64 << (ui % 64);
-        self.touched_rows.push(ui);
-        self.touched_rows.push(vi);
-    }
-
-    /// The packed dynamic adjacency row of node `u` (all zeroes when the
-    /// network is static).
-    fn dynamic_row(&self, u: usize) -> &[u64] {
-        if self.dynamic_rows.is_empty() {
-            &[]
-        } else {
-            let start = u * self.words_per_row;
-            &self.dynamic_rows[start..start + self.words_per_row]
-        }
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("n", &self.dual.len())
+            .field("link", &self.link.name())
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -530,10 +192,11 @@ pub fn run_simulation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::link::{LinkDecision, StaticLinks};
+    use crate::action::Action;
+    use crate::link::{AdversaryClass, AdversaryView, LinkDecision, StaticLinks};
     use crate::message::{Message, MessageKind};
-    use crate::process::Role;
-    use dradio_graphs::topology;
+    use crate::process::{Process, ProcessContext, Role};
+    use dradio_graphs::{topology, Edge, NodeId};
     use rand::RngCore;
     use std::sync::Arc;
 
@@ -589,8 +252,7 @@ mod tests {
             Box::new(StaticLinks::none()),
             SimConfig::default(),
         )
-        .err()
-        .expect("size mismatch must be rejected");
+        .expect_err("size mismatch must be rejected");
         assert!(matches!(err, SimError::AssignmentSizeMismatch { .. }));
 
         let err = Simulator::new(
@@ -600,8 +262,7 @@ mod tests {
             Box::new(StaticLinks::none()),
             SimConfig::default().with_max_rounds(0),
         )
-        .err()
-        .expect("zero horizon must be rejected");
+        .expect_err("zero horizon must be rejected");
         assert!(matches!(err, SimError::InvalidConfig { .. }));
     }
 

@@ -1,0 +1,842 @@
+//! Reusable trial execution: build the expensive parts once, run many seeds.
+//!
+//! [`Simulator`](crate::Simulator) is a single-shot value: constructing one
+//! copies the network, boxes one process per node, and seeds every random
+//! stream — and [`Simulator::run`](crate::Simulator::run) consumes it. For a
+//! lone execution that is the right shape, but trial fan-out (hundreds of
+//! short executions of the same scenario under different seeds) pays the
+//! whole setup bill per trial, and after the round loop itself was made
+//! allocation-free that bill *dominates* short executions.
+//!
+//! A [`TrialExecutor`] splits the state by lifetime instead:
+//!
+//! * **shared, immutable across trials** — the network (held as an
+//!   [`Arc<DualGraph>`], never cloned), the process factory, the role
+//!   assignment, the stop condition, and the configuration;
+//! * **owned, reused across trials** — the process vector (the `Vec` is
+//!   cleared and refilled, not reallocated), the per-node RNG vector
+//!   (reseeded in place), the adversary RNG, the link process (reused when
+//!   [`LinkProcess::reset`] succeeds, rebuilt from the [`LinkFactory`]
+//!   otherwise), the [`StopTracker`] (reset in place), and the round
+//!   scratch memory.
+//!
+//! [`TrialExecutor::execute`] is *deterministically equivalent* to building
+//! a fresh `Simulator` with the same seed and running it: the per-node and
+//! adversary streams are derived from the seed exactly as
+//! [`Simulator::new`](crate::Simulator::new) derives them, and the round
+//! loop is the same code (`Simulator::run` is implemented on top of this
+//! type). The root `integration_executor` test suite pins outcome equality
+//! across every registered algorithm × adversary × problem class.
+
+use std::sync::Arc;
+
+use dradio_graphs::{DualGraph, Edge, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::action::{Action, Feedback};
+use crate::config::SimConfig;
+use crate::engine::{derive_stream_seed, ExecutionOutcome};
+use crate::error::SimError;
+use crate::history::{Delivery, RoundRecord};
+use crate::link::{AdversaryClass, AdversarySetup, AdversaryView, LinkProcess};
+use crate::metrics::Metrics;
+use crate::process::{Assignment, Process, ProcessContext, ProcessFactory};
+use crate::recorder::{RecordMode, Recorder};
+use crate::round::Round;
+use crate::stop::{StopCondition, StopTracker};
+use crate::Result;
+
+/// Builds one fresh link process per execution. Adversaries are stateful, so
+/// reusable executors store this recipe; it is only invoked when the previous
+/// trial's process cannot [`reset`](LinkProcess::reset) itself.
+pub type LinkFactory = Arc<dyn Fn() -> Box<dyn LinkProcess> + Send + Sync>;
+
+/// A reusable execution harness over one fixed (network × algorithm ×
+/// assignment × adversary recipe × stop condition) combination.
+///
+/// See the [module documentation](self) for the sharing/reuse split and the
+/// equivalence guarantee.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use dradio_graphs::topology;
+/// use dradio_sim::{
+///     Action, Assignment, LinkFactory, Message, MessageKind, Process, ProcessContext,
+///     ProcessFactory, RecordMode, Round, SimConfig, StaticLinks, StopCondition, TrialExecutor,
+/// };
+///
+/// struct Beacon(Option<Message>);
+/// impl Process for Beacon {
+///     fn on_round(&mut self, _round: Round, _rng: &mut dyn rand::RngCore) -> Action {
+///         match &self.0 {
+///             Some(m) => Action::Transmit(m.clone()),
+///             None => Action::Listen,
+///         }
+///     }
+/// }
+///
+/// let factory: ProcessFactory = Arc::new(|ctx: &ProcessContext| {
+///     let msg = (ctx.id.index() == 0).then(|| Message::plain(ctx.id, MessageKind::new(1), 7));
+///     Box::new(Beacon(msg)) as Box<dyn Process>
+/// });
+/// let link: LinkFactory = Arc::new(|| Box::new(StaticLinks::none()));
+/// let mut executor = TrialExecutor::new(
+///     topology::star(5)?,
+///     factory,
+///     Assignment::relays(5),
+///     link,
+///     StopCondition::max_rounds(),
+///     SimConfig::default().with_max_rounds(3),
+/// )?;
+/// for seed in 0..10 {
+///     let outcome = executor.execute(seed, RecordMode::None);
+///     assert_eq!(outcome.metrics.deliveries, 3 * 4); // 4 leaves hear the hub, 3 rounds
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TrialExecutor {
+    dual: Arc<DualGraph>,
+    factory: ProcessFactory,
+    assignment: Assignment,
+    config: SimConfig,
+    link_factory: Option<LinkFactory>,
+    link: Option<Box<dyn LinkProcess>>,
+    /// Whether the stored link process has served an execution (a fresh one
+    /// may be used as-is; a spent one must reset or be rebuilt).
+    link_spent: bool,
+    contexts: Vec<ProcessContext>,
+    processes: Vec<Box<dyn Process>>,
+    node_rngs: Vec<ChaCha8Rng>,
+    adversary_rng: ChaCha8Rng,
+    tracker: StopTracker,
+    scratch: RoundScratch,
+}
+
+impl TrialExecutor {
+    /// Builds an executor whose link process is created (and, when
+    /// [`LinkProcess::reset`] declines, re-created) through `link_factory`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyNetwork`] if the network has no nodes.
+    /// * [`SimError::AssignmentSizeMismatch`] if `assignment` covers a
+    ///   different number of nodes.
+    /// * [`SimError::InvalidConfig`] if the configuration is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop` references nodes outside the network (a programming
+    /// error in the experiment setup, not a runtime condition).
+    pub fn new(
+        dual: impl Into<Arc<DualGraph>>,
+        factory: ProcessFactory,
+        assignment: Assignment,
+        link_factory: LinkFactory,
+        stop: StopCondition,
+        config: SimConfig,
+    ) -> Result<Self> {
+        let link = link_factory();
+        Self::build(
+            dual.into(),
+            factory,
+            assignment,
+            Some(link_factory),
+            link,
+            stop,
+            config,
+        )
+    }
+
+    /// Builds a single-shot executor around an already-boxed link process
+    /// ([`Simulator::run`](crate::Simulator::run) uses this); without a
+    /// factory, only the first execution is guaranteed a rebuildable link.
+    pub(crate) fn single_shot(
+        dual: Arc<DualGraph>,
+        factory: ProcessFactory,
+        assignment: Assignment,
+        link: Box<dyn LinkProcess>,
+        stop: StopCondition,
+        config: SimConfig,
+    ) -> Result<Self> {
+        Self::build(dual, factory, assignment, None, link, stop, config)
+    }
+
+    fn build(
+        dual: Arc<DualGraph>,
+        factory: ProcessFactory,
+        assignment: Assignment,
+        link_factory: Option<LinkFactory>,
+        link: Box<dyn LinkProcess>,
+        stop: StopCondition,
+        config: SimConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let n = dual.len();
+        if n == 0 {
+            return Err(SimError::EmptyNetwork);
+        }
+        if assignment.len() != n {
+            return Err(SimError::AssignmentSizeMismatch {
+                network: n,
+                assignment: assignment.len(),
+            });
+        }
+        if let Some(max_index) = stop.max_node_index() {
+            assert!(
+                max_index < n,
+                "stop condition references node {max_index} but the network has {n} nodes"
+            );
+        }
+        let max_degree = dual.max_degree();
+        let contexts: Vec<ProcessContext> = NodeId::all(n)
+            .map(|u| ProcessContext::new(u, n, max_degree, assignment.role(u)))
+            .collect();
+        let scratch = RoundScratch::new(n, dual.g().row_words(), !dual.is_static());
+        Ok(TrialExecutor {
+            tracker: StopTracker::new(stop, n),
+            dual,
+            factory,
+            assignment,
+            config,
+            link_factory,
+            link: Some(link),
+            link_spent: false,
+            contexts,
+            processes: Vec::with_capacity(n),
+            node_rngs: Vec::with_capacity(n),
+            adversary_rng: ChaCha8Rng::seed_from_u64(0),
+            scratch,
+        })
+    }
+
+    /// The network being simulated.
+    pub fn dual(&self) -> &DualGraph {
+        &self.dual
+    }
+
+    /// The configuration in effect (its seed and record mode are superseded
+    /// per execution by [`TrialExecutor::execute`]'s arguments).
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs one independent execution from `seed`, retaining as much of it
+    /// as `record_mode` asks for.
+    ///
+    /// Equivalent — outcome for outcome — to
+    /// `Simulator::new(..., config.with_seed(seed).with_record_mode(record_mode))?.run(stop)`
+    /// with the same components, but without re-copying the network,
+    /// reallocating the per-round scratch, or reseeding streams from
+    /// scratch-allocated state.
+    pub fn execute(&mut self, seed: u64, record_mode: RecordMode) -> ExecutionOutcome {
+        let n = self.dual.len();
+        // Per-node and adversary streams, derived exactly as Simulator::new
+        // derives them, reseeded in place.
+        self.node_rngs
+            .resize_with(n, || ChaCha8Rng::seed_from_u64(0));
+        for (u, rng) in self.node_rngs.iter_mut().enumerate() {
+            *rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(seed, u as u64));
+        }
+        self.adversary_rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(seed, u64::MAX));
+        // Fresh processes into the reused vector.
+        self.processes.clear();
+        for ctx in &self.contexts {
+            self.processes.push((self.factory)(ctx));
+        }
+        // The link process: first use as built, afterwards reset-in-place or
+        // rebuild from the recipe.
+        let rebuild = |factory: &Option<LinkFactory>| {
+            factory.as_ref().expect(
+                "this executor has no link factory (single-shot construction) and its \
+                 link process does not support reset, so it cannot run a second trial",
+            )()
+        };
+        let mut link = match self.link.take() {
+            Some(link) if !self.link_spent => link,
+            Some(mut link) => {
+                if link.reset() {
+                    link
+                } else {
+                    rebuild(&self.link_factory)
+                }
+            }
+            None => rebuild(&self.link_factory),
+        };
+        self.link_spent = true;
+        self.tracker.reset();
+        self.scratch.reset();
+        let outcome = self.run_rounds(link.as_mut(), record_mode);
+        self.link = Some(link);
+        outcome
+    }
+
+    /// The round loop (shared verbatim by `Simulator::run`, which wraps a
+    /// single-shot executor around its parts).
+    fn run_rounds(
+        &mut self,
+        link: &mut dyn LinkProcess,
+        record_mode: RecordMode,
+    ) -> ExecutionOutcome {
+        let n = self.dual.len();
+        let horizon = self.config.max_rounds();
+        let class = link.class();
+        let adaptive = class != AdversaryClass::Oblivious;
+        let offline = class == AdversaryClass::OfflineAdaptive;
+        let mut recorder = Recorder::new(record_mode, class, n);
+        let mut metrics = Metrics::default();
+        let scratch = &mut self.scratch;
+
+        // Start-of-execution hooks.
+        {
+            let setup = AdversarySetup {
+                dual: &self.dual,
+                factory: &self.factory,
+                assignment: &self.assignment,
+                horizon,
+            };
+            link.on_start(&setup, &mut self.adversary_rng);
+        }
+        for (i, process) in self.processes.iter_mut().enumerate() {
+            process.on_start(&mut self.node_rngs[i]);
+        }
+
+        let mut completion_round = None;
+        let mut rounds_executed = 0usize;
+
+        if self.tracker.is_done() {
+            // Degenerate conditions (e.g. empty receiver set) are complete
+            // before any round executes.
+            let record_mode = recorder.mode();
+            let (history, collisions_per_round) = recorder.finish();
+            return ExecutionOutcome {
+                completed: true,
+                rounds_executed: 0,
+                completion_round: None,
+                history,
+                metrics,
+                record_mode,
+                collisions_per_round,
+            };
+        }
+
+        for round in Round::range(horizon) {
+            rounds_executed += 1;
+
+            // 1. Expected behaviour (visible to adaptive adversaries) must be
+            //    captured before any round-r coin is flipped.
+            if adaptive {
+                scratch.transmit_probs.clear();
+                scratch
+                    .transmit_probs
+                    .extend(self.processes.iter().map(|p| p.transmit_probability(round)));
+            }
+
+            // 2. Processes pick their actions using their private coins.
+            scratch.actions.clear();
+            for (i, p) in self.processes.iter_mut().enumerate() {
+                scratch
+                    .actions
+                    .push(p.on_round(round, &mut self.node_rngs[i]));
+            }
+
+            // 3. The link process fixes the dynamic edges, seeing only what
+            //    its class entitles it to (the recorder's history is complete
+            //    here: adaptive classes auto-promote to full recording).
+            let decision = {
+                let view = AdversaryView::new(
+                    round,
+                    n,
+                    adaptive.then(|| recorder.history()),
+                    adaptive.then_some(scratch.transmit_probs.as_slice()),
+                    offline.then_some(scratch.actions.as_slice()),
+                );
+                link.decide(&view, &mut self.adversary_rng)
+            };
+
+            // Filter the decision down to genuine dynamic edges. The dynamic
+            // adjacency bit rows double as an O(1) duplicate check.
+            scratch.clear_dynamic();
+            scratch.active_edges.clear();
+            for edge in decision.edges() {
+                let (u, v) = edge.endpoints();
+                let is_dynamic =
+                    self.dual.g_prime().has_edge(u, v) && !self.dual.g().has_edge(u, v);
+                if !is_dynamic {
+                    metrics.rejected_link_edges += 1;
+                } else if !scratch.dynamic_bit(u, v) {
+                    scratch.set_dynamic(u, v);
+                    scratch.active_edges.push(*edge);
+                }
+            }
+
+            // 4. Reception under the collision rule, from the packed
+            //    transmitter bitset.
+            scratch.transmitters.clear();
+            scratch.transmitter_bits.iter_mut().for_each(|w| *w = 0);
+            for (i, action) in scratch.actions.iter().enumerate() {
+                if action.is_transmit() {
+                    scratch.transmitter_bits[i / 64] |= 1u64 << (i % 64);
+                    scratch.transmitters.push(NodeId::new(i));
+                }
+            }
+            let transmitter_count = scratch.transmitters.len();
+            metrics.transmissions += transmitter_count;
+
+            scratch.feedbacks.clear();
+            // Deliveries are materialized only under full recording; feedback
+            // and stop evaluation never need the allocation.
+            let mut deliveries: Vec<Delivery> = Vec::new();
+            let mut round_collisions = 0usize;
+
+            if transmitter_count == 0 {
+                // Nobody transmitted: every node listens into silence.
+                metrics.idle_listens += n;
+                for _ in 0..n {
+                    scratch.feedbacks.push(Feedback::Silence);
+                }
+            } else {
+                let g = self.dual.g();
+                let words = g.row_words();
+                let use_dynamic = !scratch.active_edges.is_empty();
+                // Below this transmitter count, probing each transmitter with
+                // O(1) bit queries beats scanning the whole adjacency row.
+                let probe_transmitters = transmitter_count <= words;
+                for u in NodeId::all(n) {
+                    let u_idx = u.index();
+                    if scratch.transmitter_bits[u_idx / 64] >> (u_idx % 64) & 1 == 1 {
+                        scratch.feedbacks.push(Feedback::Transmitted);
+                        continue;
+                    }
+                    // Count transmitting neighbors, capped at 2 (the collision
+                    // rule only distinguishes 0 / 1 / "several"), picking the
+                    // cheapest of three equivalent strategies per listener:
+                    // walk the adjacency list testing transmitter bits (low
+                    // degree), probe each transmitter with O(1) edge queries
+                    // (few transmitters), or intersect the packed adjacency
+                    // row with the transmitter bitset (dense rounds).
+                    let mut count = 0usize;
+                    let mut sender = 0usize;
+                    let degree = g.degree(u);
+                    if !use_dynamic && degree <= transmitter_count && degree <= words * 2 {
+                        for &v in g.neighbors(u) {
+                            let v_idx = v.index();
+                            if scratch.transmitter_bits[v_idx / 64] >> (v_idx % 64) & 1 == 1 {
+                                count += 1;
+                                if count >= 2 {
+                                    break;
+                                }
+                                sender = v_idx;
+                            }
+                        }
+                    } else if probe_transmitters {
+                        for &v in &scratch.transmitters {
+                            let connected =
+                                g.has_edge(u, v) || (use_dynamic && scratch.dynamic_bit(u, v));
+                            if connected {
+                                count += 1;
+                                if count >= 2 {
+                                    break;
+                                }
+                                sender = v.index();
+                            }
+                        }
+                    } else {
+                        let row = g.neighbor_bits(u);
+                        let dyn_row = scratch.dynamic_row(u_idx);
+                        for w in 0..words {
+                            let mut hit = row[w] & scratch.transmitter_bits[w];
+                            if use_dynamic {
+                                hit |= dyn_row[w] & scratch.transmitter_bits[w];
+                            }
+                            if hit != 0 {
+                                count += hit.count_ones() as usize;
+                                if count >= 2 {
+                                    break;
+                                }
+                                sender = w * 64 + hit.trailing_zeros() as usize;
+                            }
+                        }
+                    }
+                    let feedback = match count {
+                        0 => {
+                            metrics.idle_listens += 1;
+                            Feedback::Silence
+                        }
+                        1 => {
+                            let sender = NodeId::new(sender);
+                            let message = scratch.actions[sender.index()]
+                                .message()
+                                .expect("a set transmitter bit implies a message");
+                            metrics.deliveries += 1;
+                            self.tracker.observe_one(u, sender, message.kind());
+                            if recorder.wants_history() {
+                                deliveries.push(Delivery {
+                                    receiver: u,
+                                    sender,
+                                    message: message.clone(),
+                                });
+                            }
+                            Feedback::Received(message.clone())
+                        }
+                        _ => {
+                            metrics.collisions += 1;
+                            round_collisions += 1;
+                            if self.config.collision_detection() {
+                                Feedback::Collision
+                            } else {
+                                Feedback::Silence
+                            }
+                        }
+                    };
+                    scratch.feedbacks.push(feedback);
+                }
+            }
+
+            // 5. Deliver feedback to the processes.
+            for (i, feedback) in scratch.feedbacks.iter().enumerate() {
+                self.processes[i].on_feedback(round, feedback, &mut self.node_rngs[i]);
+            }
+
+            // 6. Record and evaluate the stop condition (already observed
+            //    delivery by delivery, in ascending receiver order).
+            recorder.push_collisions(round_collisions);
+            if recorder.wants_history() {
+                recorder.push(RoundRecord {
+                    round,
+                    transmitters: scratch.transmitters.clone(),
+                    active_dynamic_edges: scratch.active_edges.clone(),
+                    deliveries,
+                });
+            }
+            metrics.rounds = rounds_executed;
+
+            if self.tracker.is_done() {
+                completion_round = Some(round);
+                break;
+            }
+        }
+
+        metrics.rounds = rounds_executed;
+        let record_mode = recorder.mode();
+        let (history, collisions_per_round) = recorder.finish();
+        ExecutionOutcome {
+            completed: completion_round.is_some(),
+            rounds_executed,
+            completion_round,
+            history,
+            metrics,
+            record_mode,
+            collisions_per_round,
+        }
+    }
+}
+
+impl std::fmt::Debug for TrialExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrialExecutor")
+            .field("n", &self.dual.len())
+            .field("config", &self.config)
+            .field("reusable_link", &self.link_factory.is_some())
+            .finish()
+    }
+}
+
+/// Reusable per-round working memory: every buffer is cleared, never
+/// reallocated, between rounds, so the steady-state round loop performs no
+/// heap allocation beyond what the processes themselves do (under
+/// [`RecordMode::Full`], the retained round records are additionally built
+/// per round, exactly as before the scratch existed).
+///
+/// The transmitter set is kept both as a sorted `Vec<NodeId>` (for history
+/// records and transmitter probing) and as a packed `u64` bitset aligned
+/// with [`dradio_graphs::Graph::neighbor_bits`], so reception resolves 64
+/// candidate neighbors per word instead of chasing adjacency `Vec`s. Dynamic
+/// edges activated by the link process live in equally packed per-node bit
+/// rows; only rows actually touched in a round are cleared afterwards.
+#[derive(Debug)]
+struct RoundScratch {
+    /// Per-node actions of the current round.
+    actions: Vec<Action>,
+    /// Per-node transmit probabilities (adaptive adversaries only).
+    transmit_probs: Vec<f64>,
+    /// Per-node end-of-round feedback.
+    feedbacks: Vec<Feedback>,
+    /// Transmitting nodes, ascending.
+    transmitters: Vec<NodeId>,
+    /// Packed transmitter bitset (bit `v` set iff node `v` transmits).
+    transmitter_bits: Vec<u64>,
+    /// Packed per-node dynamic adjacency rows for the current round
+    /// (`words_per_row` words per node; empty when the network is static).
+    dynamic_rows: Vec<u64>,
+    /// Nodes whose dynamic row was written this round (cleared lazily).
+    touched_rows: Vec<usize>,
+    /// The deduplicated genuine dynamic edges of the current round.
+    active_edges: Vec<Edge>,
+    /// Words per packed row.
+    words_per_row: usize,
+}
+
+impl RoundScratch {
+    fn new(n: usize, words_per_row: usize, has_dynamic_edges: bool) -> Self {
+        RoundScratch {
+            actions: Vec::with_capacity(n),
+            transmit_probs: Vec::with_capacity(n),
+            feedbacks: Vec::with_capacity(n),
+            transmitters: Vec::with_capacity(n),
+            transmitter_bits: vec![0u64; words_per_row],
+            dynamic_rows: if has_dynamic_edges {
+                vec![0u64; n.saturating_mul(words_per_row)]
+            } else {
+                Vec::new()
+            },
+            touched_rows: Vec::new(),
+            active_edges: Vec::new(),
+            words_per_row,
+        }
+    }
+
+    /// Clears every buffer (keeping capacity) so the scratch can serve a new
+    /// execution; within an execution the round loop clears incrementally.
+    fn reset(&mut self) {
+        self.actions.clear();
+        self.transmit_probs.clear();
+        self.feedbacks.clear();
+        self.transmitters.clear();
+        self.transmitter_bits.iter_mut().for_each(|w| *w = 0);
+        self.clear_dynamic();
+        self.active_edges.clear();
+    }
+
+    /// Zeroes the dynamic rows touched by the previous round.
+    fn clear_dynamic(&mut self) {
+        for &row in &self.touched_rows {
+            let start = row * self.words_per_row;
+            self.dynamic_rows[start..start + self.words_per_row].fill(0);
+        }
+        self.touched_rows.clear();
+    }
+
+    /// Returns `true` if the dynamic edge `(u, v)` is active this round.
+    fn dynamic_bit(&self, u: NodeId, v: NodeId) -> bool {
+        let idx = u.index() * self.words_per_row + v.index() / 64;
+        self.dynamic_rows[idx] >> (v.index() % 64) & 1 == 1
+    }
+
+    /// Activates the dynamic edge `(u, v)` for this round.
+    fn set_dynamic(&mut self, u: NodeId, v: NodeId) {
+        let (ui, vi) = (u.index(), v.index());
+        self.dynamic_rows[ui * self.words_per_row + vi / 64] |= 1u64 << (vi % 64);
+        self.dynamic_rows[vi * self.words_per_row + ui / 64] |= 1u64 << (ui % 64);
+        self.touched_rows.push(ui);
+        self.touched_rows.push(vi);
+    }
+
+    /// The packed dynamic adjacency row of node `u` (all zeroes when the
+    /// network is static).
+    fn dynamic_row(&self, u: usize) -> &[u64] {
+        if self.dynamic_rows.is_empty() {
+            &[]
+        } else {
+            let start = u * self.words_per_row;
+            &self.dynamic_rows[start..start + self.words_per_row]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::StaticLinks;
+    use crate::message::{Message, MessageKind};
+    use crate::process::Role;
+    use crate::Simulator;
+    use dradio_graphs::topology;
+    use rand::RngCore;
+
+    const DATA: MessageKind = MessageKind::new(1);
+
+    /// Source transmits with probability 1/2; relays stay silent.
+    struct CoinBeacon {
+        msg: Option<Message>,
+    }
+
+    impl Process for CoinBeacon {
+        fn on_round(&mut self, _round: Round, rng: &mut dyn RngCore) -> Action {
+            match &self.msg {
+                Some(m) if crate::sampling::bernoulli(rng, 0.5) => Action::Transmit(m.clone()),
+                _ => Action::Listen,
+            }
+        }
+        fn transmit_probability(&self, _round: Round) -> f64 {
+            if self.msg.is_some() {
+                0.5
+            } else {
+                0.0
+            }
+        }
+    }
+
+    fn coin_factory() -> ProcessFactory {
+        Arc::new(|ctx: &ProcessContext| {
+            let msg = (ctx.role == Role::Source).then(|| Message::plain(ctx.id, DATA, 7));
+            Box::new(CoinBeacon { msg }) as Box<dyn Process>
+        })
+    }
+
+    fn star_executor() -> TrialExecutor {
+        let link: LinkFactory = Arc::new(|| Box::new(StaticLinks::none()));
+        TrialExecutor::new(
+            topology::star(6).unwrap(),
+            coin_factory(),
+            Assignment::global(6, NodeId::new(0)),
+            link,
+            StopCondition::global_broadcast(DATA, NodeId::new(0)),
+            SimConfig::default().with_max_rounds(50),
+        )
+        .expect("executor builds")
+    }
+
+    fn star_simulator(seed: u64, mode: RecordMode) -> ExecutionOutcome {
+        Simulator::new(
+            topology::star(6).unwrap(),
+            coin_factory(),
+            Assignment::global(6, NodeId::new(0)),
+            Box::new(StaticLinks::none()),
+            SimConfig::default()
+                .with_max_rounds(50)
+                .with_seed(seed)
+                .with_record_mode(mode),
+        )
+        .unwrap()
+        .run(StopCondition::global_broadcast(DATA, NodeId::new(0)))
+    }
+
+    #[test]
+    fn reused_executor_matches_fresh_simulators() {
+        let mut executor = star_executor();
+        for seed in 0..20u64 {
+            for mode in [RecordMode::Full, RecordMode::None] {
+                let reused = executor.execute(seed, mode);
+                let fresh = star_simulator(seed, mode);
+                assert_eq!(reused, fresh, "seed {seed} mode {mode} diverged");
+            }
+        }
+        // Seed order does not matter either: re-running an earlier seed
+        // reproduces its outcome exactly.
+        let replay = executor.execute(3, RecordMode::Full);
+        assert_eq!(replay, star_simulator(3, RecordMode::Full));
+    }
+
+    #[test]
+    fn executor_validates_like_the_simulator() {
+        let link: LinkFactory = Arc::new(|| Box::new(StaticLinks::none()));
+        let err = TrialExecutor::new(
+            topology::line(3).unwrap(),
+            coin_factory(),
+            Assignment::relays(2),
+            link.clone(),
+            StopCondition::max_rounds(),
+            SimConfig::default(),
+        )
+        .expect_err("size mismatch must be rejected");
+        assert!(matches!(err, SimError::AssignmentSizeMismatch { .. }));
+
+        let err = TrialExecutor::new(
+            topology::line(3).unwrap(),
+            coin_factory(),
+            Assignment::relays(3),
+            link,
+            StopCondition::max_rounds(),
+            SimConfig::default().with_max_rounds(0),
+        )
+        .expect_err("zero horizon must be rejected");
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "stop condition references node")]
+    fn executor_rejects_out_of_range_stop_conditions() {
+        let link: LinkFactory = Arc::new(|| Box::new(StaticLinks::none()));
+        let _ = TrialExecutor::new(
+            topology::line(3).unwrap(),
+            coin_factory(),
+            Assignment::relays(3),
+            link,
+            StopCondition::global_broadcast(DATA, NodeId::new(9)),
+            SimConfig::default(),
+        );
+    }
+
+    /// A link process that refuses to reset, counting its constructions.
+    struct NoReset {
+        _probe: Arc<()>,
+    }
+    impl LinkProcess for NoReset {
+        fn class(&self) -> AdversaryClass {
+            AdversaryClass::Oblivious
+        }
+        fn decide(
+            &mut self,
+            _view: &AdversaryView<'_>,
+            _rng: &mut dyn RngCore,
+        ) -> crate::link::LinkDecision {
+            crate::link::LinkDecision::none()
+        }
+    }
+
+    #[test]
+    fn non_resettable_links_are_rebuilt_from_the_factory() {
+        let probe = Arc::new(());
+        let handle = Arc::clone(&probe);
+        let link: LinkFactory = Arc::new(move || {
+            Box::new(NoReset {
+                _probe: Arc::clone(&handle),
+            })
+        });
+        let mut executor = TrialExecutor::new(
+            topology::line(4).unwrap(),
+            coin_factory(),
+            Assignment::global(4, NodeId::new(0)),
+            link,
+            StopCondition::max_rounds(),
+            SimConfig::default().with_max_rounds(5),
+        )
+        .unwrap();
+        // strong count: probe + factory capture + 1 live link instance.
+        assert_eq!(Arc::strong_count(&probe), 3);
+        let _ = executor.execute(1, RecordMode::None);
+        let _ = executor.execute(2, RecordMode::None);
+        // Still exactly one live instance: each trial's rebuild replaced it.
+        assert_eq!(Arc::strong_count(&probe), 3);
+    }
+
+    #[test]
+    fn resettable_links_are_reused_not_rebuilt() {
+        let builds = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = Arc::clone(&builds);
+        let link: LinkFactory = Arc::new(move || {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Box::new(StaticLinks::all())
+        });
+        let mut executor = TrialExecutor::new(
+            topology::dual_clique(6).unwrap(),
+            coin_factory(),
+            Assignment::global(6, NodeId::new(0)),
+            link,
+            StopCondition::max_rounds(),
+            SimConfig::default().with_max_rounds(5),
+        )
+        .unwrap();
+        for seed in 0..4 {
+            let _ = executor.execute(seed, RecordMode::None);
+        }
+        assert_eq!(
+            builds.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "a resettable link process is built exactly once"
+        );
+    }
+}

@@ -74,6 +74,7 @@ pub mod bits;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod executor;
 pub mod history;
 pub mod link;
 pub mod message;
@@ -89,6 +90,7 @@ pub use bits::{BitReader, BitString};
 pub use config::SimConfig;
 pub use engine::{derive_stream_seed, ExecutionOutcome, Simulator};
 pub use error::SimError;
+pub use executor::{LinkFactory, TrialExecutor};
 pub use history::{Delivery, History, RoundRecord};
 pub use link::{
     AdversaryClass, AdversarySetup, AdversaryView, LinkDecision, LinkProcess, StaticLinks,

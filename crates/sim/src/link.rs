@@ -1,6 +1,7 @@
 //! Link processes (adversaries) controlling the dynamic edges.
 
 use std::fmt;
+use std::sync::Arc;
 
 use dradio_graphs::{DualGraph, Edge};
 use rand::RngCore;
@@ -87,8 +88,10 @@ impl LinkDecision {
 /// All three adversary classes receive this setup — "the network topology and
 /// algorithm description" are known even to the oblivious adversary.
 pub struct AdversarySetup<'a> {
-    /// The dual graph being simulated.
-    pub dual: &'a DualGraph,
+    /// The dual graph being simulated, behind the engine's shared handle:
+    /// adversaries that keep the network around across rounds should store
+    /// `setup.dual.clone()` (an [`Arc`] bump), never a deep graph copy.
+    pub dual: &'a Arc<DualGraph>,
     /// The algorithm under attack (so the adversary can pre-simulate it).
     pub factory: &'a ProcessFactory,
     /// The problem-level role assignment.
@@ -180,6 +183,22 @@ pub trait LinkProcess: Send {
     /// Chooses the dynamic edges for the round described by `view`.
     fn decide(&mut self, view: &AdversaryView<'_>, rng: &mut dyn RngCore) -> LinkDecision;
 
+    /// Restores the process to its just-constructed state so the same boxed
+    /// value can serve another independent execution, returning `true` on
+    /// success.
+    ///
+    /// [`TrialExecutor`](crate::TrialExecutor) calls this between trials; on
+    /// `false` (the default) it rebuilds the process from its
+    /// [`LinkFactory`](crate::LinkFactory) recipe instead — always correct,
+    /// just one boxing per trial slower. The engine invokes
+    /// [`LinkProcess::on_start`] at the beginning of *every* execution, so
+    /// state that is unconditionally (re)initialized there needs no handling
+    /// here; only return `true` if everything else is back to its
+    /// post-construction value.
+    fn reset(&mut self) -> bool {
+        false
+    }
+
     /// Short adversary name for traces and tables.
     fn name(&self) -> &'static str {
         "link-process"
@@ -233,6 +252,11 @@ impl LinkProcess for StaticLinks {
         } else {
             LinkDecision::none()
         }
+    }
+
+    fn reset(&mut self) -> bool {
+        // `cached` is rewritten by `on_start` whenever it is read.
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -301,7 +325,7 @@ mod tests {
 
     #[test]
     fn static_links_decisions() {
-        let dual = topology::dual_clique(8).unwrap();
+        let dual = Arc::new(topology::dual_clique(8).unwrap());
         let factory = dummy_factory();
         let assignment = Assignment::relays(8);
         let setup = AdversarySetup {

@@ -127,45 +127,66 @@ pub struct StopTracker {
 impl StopTracker {
     /// Creates a tracker for a network of `n` nodes.
     pub fn new(condition: StopCondition, n: usize) -> Self {
-        let (pending, pending_count) = match &condition {
-            StopCondition::MaxRounds => (None, 0),
+        let mut tracker = StopTracker {
+            condition,
+            pending: None,
+            pending_count: 0,
+            n,
+        };
+        tracker.reset();
+        tracker
+    }
+
+    /// Restores the tracker to its just-constructed state, reusing the
+    /// pending buffer: [`TrialExecutor`](crate::TrialExecutor) calls this
+    /// between trials instead of rebuilding the tracker.
+    pub fn reset(&mut self) {
+        let n = self.n;
+        match &self.condition {
+            StopCondition::MaxRounds => {
+                self.pending = None;
+                self.pending_count = 0;
+            }
             StopCondition::AllReceivedKind { exempt, .. } => {
-                let mut pending = vec![true; n];
+                let pending = Self::refill(&mut self.pending, n, true);
                 for u in exempt {
                     if u.index() < n {
                         pending[u.index()] = false;
                     }
                 }
-                let count = pending.iter().filter(|&&p| p).count();
-                (Some(pending), count)
+                self.pending_count = pending.iter().filter(|&&p| p).count();
             }
             StopCondition::NodesReceivedKind { nodes, .. } => {
-                let mut pending = vec![false; n];
+                let pending = Self::refill(&mut self.pending, n, false);
                 for u in nodes {
                     if u.index() < n {
                         pending[u.index()] = true;
                     }
                 }
-                let count = pending.iter().filter(|&&p| p).count();
-                (Some(pending), count)
+                self.pending_count = pending.iter().filter(|&&p| p).count();
             }
             StopCondition::NodesReceivedFrom { receivers, .. }
             | StopCondition::NodesReceivedKindFrom { receivers, .. } => {
-                let mut pending = vec![false; n];
+                let pending = Self::refill(&mut self.pending, n, false);
                 for u in receivers {
                     if u.index() < n {
                         pending[u.index()] = true;
                     }
                 }
-                let count = pending.iter().filter(|&&p| p).count();
-                (Some(pending), count)
+                self.pending_count = pending.iter().filter(|&&p| p).count();
             }
-        };
-        StopTracker {
-            condition,
-            pending,
-            pending_count,
-            n,
+        }
+    }
+
+    /// Fills the pending buffer with `value`, reusing its allocation.
+    fn refill(slot: &mut Option<Vec<bool>>, n: usize, value: bool) -> &mut Vec<bool> {
+        match slot {
+            Some(pending) => {
+                pending.clear();
+                pending.resize(n, value);
+                pending
+            }
+            None => slot.insert(vec![value; n]),
         }
     }
 

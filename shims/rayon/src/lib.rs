@@ -1,5 +1,6 @@
 //! Offline stand-in for the slice of `rayon` this workspace uses:
-//! `(range).into_par_iter().map(f).collect::<Vec<_>>()`.
+//! `(range).into_par_iter().map(f).collect::<Vec<_>>()` and the
+//! per-worker-state variant `map_init(init, f)`.
 //!
 //! Work really is fanned out across OS threads (one per available core,
 //! capped by the job count) with dynamic self-scheduling over an atomic
@@ -46,6 +47,24 @@ impl ParRange {
     {
         ParMap {
             range: self.range,
+            f,
+        }
+    }
+
+    /// Maps each index through `f` in parallel, threading a per-worker state
+    /// created by `init` through every call that worker makes — rayon's
+    /// `map_init`. Like rayon, `init` may be invoked more than once (here:
+    /// exactly once per worker thread), so results must not depend on how
+    /// indices are grouped onto states.
+    pub fn map_init<S, T, INIT, F>(self, init: INIT, f: F) -> ParMapInit<INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+        T: Send,
+    {
+        ParMapInit {
+            range: self.range,
+            init,
             f,
         }
     }
@@ -107,6 +126,71 @@ impl<F> ParMap<F> {
     }
 }
 
+/// The result of [`ParRange::map_init`], awaiting a `collect`.
+pub struct ParMapInit<INIT, F> {
+    range: Range<usize>,
+    init: INIT,
+    f: F,
+}
+
+impl<INIT, F> ParMapInit<INIT, F> {
+    /// Runs the map on every index, in parallel with one state per worker,
+    /// and collects the results in index order.
+    pub fn collect<S, T, C>(self) -> C
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+        T: Send,
+        C: From<Vec<T>>,
+    {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        if len == 0 {
+            return Vec::new().into();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(len);
+        if threads <= 1 {
+            let mut state = (self.init)();
+            let out: Vec<T> = (start..self.range.end)
+                .map(|i| (self.f)(&mut state, i))
+                .collect();
+            return out.into();
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let init = &self.init;
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        let value = f(&mut state, start + i);
+                        *slots[i].lock().expect("no panics hold the slot lock") = Some(value);
+                    }
+                });
+            }
+        });
+        let out: Vec<T> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker threads joined")
+                    .expect("every index was scheduled exactly once")
+            })
+            .collect();
+        out.into()
+    }
+}
+
 /// Mirrors `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelIterator;
@@ -143,6 +227,43 @@ mod tests {
             .collect();
         assert_eq!(counter.load(Ordering::Relaxed), 257);
         assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn map_init_matches_map_and_reuses_state_per_worker() {
+        let out: Vec<usize> = (0..500)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |calls, i| {
+                    *calls += 1;
+                    i * 3
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..500).map(|i| i * 3).collect::<Vec<_>>());
+
+        // Every index runs exactly once, summed across all worker states.
+        let total = AtomicUsize::new(0);
+        let _: Vec<()> = (0..257)
+            .into_par_iter()
+            .map_init(
+                || (),
+                |(), _| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .collect();
+        assert_eq!(total.load(Ordering::Relaxed), 257);
+
+        // Empty ranges never invoke init or f.
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = (5..5)
+            .into_par_iter()
+            .map_init(|| inits.fetch_add(1, Ordering::Relaxed), |_, i| i)
+            .collect();
+        assert!(out.is_empty());
+        assert_eq!(inits.load(Ordering::Relaxed), 0);
     }
 
     #[test]

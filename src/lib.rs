@@ -88,9 +88,9 @@ pub mod prelude {
         ScenarioSpec, TopologySpec,
     };
     pub use dradio_sim::{
-        Action, AdversaryClass, Assignment, ExecutionOutcome, Feedback, LinkProcess, Message,
-        MessageKind, Process, ProcessContext, ProcessFactory, RecordMode, Role, Round, SimConfig,
-        Simulator, StaticLinks, StopCondition,
+        Action, AdversaryClass, Assignment, ExecutionOutcome, Feedback, LinkFactory, LinkProcess,
+        Message, MessageKind, Process, ProcessContext, ProcessFactory, RecordMode, Role, Round,
+        SimConfig, Simulator, StaticLinks, StopCondition, TrialExecutor,
     };
 }
 
