@@ -1,0 +1,128 @@
+//! Rendering contention-over-time curves as result tables.
+//!
+//! A [`ContentionCurve`] holds per-round collision statistics streamed over
+//! a cell's trials (see the scenario crate). Curves can span thousands of
+//! rounds, so the tables bucket them: the round axis is split into at most
+//! `buckets` equal windows and each cell shows the mean collisions per round
+//! within its window. Multiple curves (e.g. one per algorithm) render side
+//! by side over a shared round axis, which is how the contention experiments
+//! (E2, E8) compare schedules.
+
+use dradio_scenario::ContentionCurve;
+
+use crate::table::Table;
+
+/// The default bucket count for curve tables: compact enough for a terminal,
+/// fine enough that the early contention spike and the tail both show.
+pub const DEFAULT_BUCKETS: usize = 16;
+
+/// Splits `rounds` into at most `buckets` near-equal windows, returned as
+/// `start..end` ranges in order. Every round is covered exactly once; with
+/// fewer rounds than buckets each round gets its own window.
+pub fn bucket_ranges(rounds: usize, buckets: usize) -> Vec<std::ops::Range<usize>> {
+    if rounds == 0 || buckets == 0 {
+        return Vec::new();
+    }
+    let buckets = buckets.min(rounds);
+    (0..buckets)
+        .map(|b| (b * rounds / buckets)..((b + 1) * rounds / buckets))
+        .collect()
+}
+
+/// Renders labelled contention curves as one table over a shared round axis.
+///
+/// The axis spans the longest curve; shorter curves read as zero past their
+/// end (their trials had all finished — no contention). Returns an empty
+/// table (headers only) when every curve is empty.
+pub fn contention_table(
+    title: impl Into<String>,
+    curves: &[(String, &ContentionCurve)],
+    buckets: usize,
+) -> Table {
+    let mut headers = vec!["rounds".to_string()];
+    headers.extend(curves.iter().map(|(label, _)| label.clone()));
+    let mut table = Table::new(title, headers);
+    let rounds = curves.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+    for range in bucket_ranges(rounds, buckets) {
+        let mut row = vec![if range.len() <= 1 {
+            format!("{}", range.start + 1)
+        } else {
+            format!("{}–{}", range.start + 1, range.end)
+        }];
+        for (_, curve) in curves {
+            row.push(format!("{:.2}", curve.mean_over(range.clone())));
+        }
+        table.push_row(row);
+    }
+    table.with_caption(format!(
+        "mean collisions per round (averaged within each round window, over \
+         all trials; {} trials per curve)",
+        curves
+            .iter()
+            .map(|(_, c)| c.trials().to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(trials: &[&[usize]]) -> ContentionCurve {
+        let mut c = ContentionCurve::new();
+        for t in trials {
+            c.push_trial(t);
+        }
+        c
+    }
+
+    #[test]
+    fn bucket_ranges_cover_every_round_once() {
+        for (rounds, buckets) in [(10usize, 4usize), (3, 8), (100, 16), (7, 7), (1, 1)] {
+            let ranges = bucket_ranges(rounds, buckets);
+            assert!(ranges.len() <= buckets);
+            let covered: Vec<usize> = ranges.iter().flat_map(|r| r.clone()).collect();
+            assert_eq!(
+                covered,
+                (0..rounds).collect::<Vec<_>>(),
+                "{rounds}/{buckets}"
+            );
+        }
+        assert!(bucket_ranges(0, 4).is_empty());
+        assert!(bucket_ranges(4, 0).is_empty());
+    }
+
+    #[test]
+    fn contention_table_buckets_and_labels() {
+        let a = curve(&[&[4, 2, 0, 0], &[0, 2, 0, 0]]);
+        let b = curve(&[&[1, 1]]);
+        let table = contention_table(
+            "contention",
+            &[("fixed".into(), &a), ("permuted".into(), &b)],
+            2,
+        );
+        assert_eq!(table.headers(), &["rounds", "fixed", "permuted"]);
+        assert_eq!(table.rows().len(), 2);
+        // First window: rounds 1–2 → a: (2 + 2)/2 = 2, b: 1.
+        assert_eq!(table.rows()[0], vec!["1–2", "2.00", "1.00"]);
+        // Second window: a decays to 0; b has no rounds there → 0.
+        assert_eq!(table.rows()[1], vec!["3–4", "0.00", "0.00"]);
+        assert!(table.caption().contains("2/1 trials"));
+    }
+
+    #[test]
+    fn empty_curves_render_headers_only() {
+        let empty = ContentionCurve::new();
+        let table = contention_table("empty", &[("x".into(), &empty)], 8);
+        assert!(table.rows().is_empty());
+    }
+
+    #[test]
+    fn single_round_windows_label_plainly() {
+        let a = curve(&[&[3, 1]]);
+        let table = contention_table("tiny", &[("a".into(), &a)], 8);
+        assert_eq!(table.rows()[0][0], "1");
+        assert_eq!(table.rows()[1][0], "2");
+    }
+}

@@ -105,7 +105,7 @@ impl E1StaticBaselines {
                     algorithm.name().to_string(),
                     fmt1(m.rounds.mean),
                     fmt1(m.rounds.median),
-                    format!("{:.0}%", m.completion_rate * 100.0),
+                    format!("{:.0}%", m.completion_rate() * 100.0),
                     fmt1(m.rounds.mean / (log_n * log_n)),
                 ]);
             }
@@ -183,7 +183,7 @@ impl E1StaticBaselines {
                 n.to_string(),
                 d.to_string(),
                 fmt1(m.rounds.mean),
-                format!("{:.0}%", m.completion_rate * 100.0),
+                format!("{:.0}%", m.completion_rate() * 100.0),
                 fmt1(m.rounds.mean / (d as f64 * log_n)),
             ]);
         }
@@ -262,7 +262,7 @@ impl E1StaticBaselines {
                     n.to_string(),
                     algorithm.name().to_string(),
                     fmt1(m.rounds.mean),
-                    format!("{:.0}%", m.completion_rate * 100.0),
+                    format!("{:.0}%", m.completion_rate() * 100.0),
                     fmt1(m.rounds.mean / (log_n * log_delta)),
                 ]);
             }

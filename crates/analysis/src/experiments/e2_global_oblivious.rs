@@ -8,7 +8,9 @@
 use dradio_core::algorithms::GlobalAlgorithm;
 use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
-use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
+use crate::experiments::{
+    dual_clique_contention_table, fit_note, fmt1, ContentionSetup, Experiment, ExperimentConfig,
+};
 use crate::sweep::{
     measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup, TrialPolicy,
 };
@@ -33,7 +35,11 @@ impl Experiment for E2GlobalOblivious {
     }
 
     fn run(&self, cfg: &ExperimentConfig) -> Result<Vec<Table>, CampaignError> {
-        Ok(vec![self.adversary_sweep(cfg)?, self.size_scaling(cfg)?])
+        Ok(vec![
+            self.adversary_sweep(cfg)?,
+            self.size_scaling(cfg)?,
+            self.contention_over_time(cfg)?,
+        ])
     }
 }
 
@@ -112,7 +118,7 @@ impl E2GlobalOblivious {
                     algorithm.name().to_string(),
                     fmt1(m.rounds.mean),
                     fmt1(m.rounds.median),
-                    format!("{:.0}%", m.completion_rate * 100.0),
+                    format!("{:.0}%", m.completion_rate() * 100.0),
                 ]);
             }
         }
@@ -179,7 +185,7 @@ impl E2GlobalOblivious {
                 n.to_string(),
                 fmt1(m.rounds.mean),
                 fmt1(m.rounds.median),
-                format!("{:.0}%", m.completion_rate * 100.0),
+                format!("{:.0}%", m.completion_rate() * 100.0),
                 fmt1(m.rounds.mean / (log_n * log_n)),
             ]);
         }
@@ -188,6 +194,28 @@ impl E2GlobalOblivious {
             fit_note(&series)
         )))
     }
+
+    /// Contention over time on the dual clique under the i.i.d. adversary:
+    /// how collision pressure decays as broadcast saturates, for both decay
+    /// variants (streamed from `CollisionsOnly` recording; see
+    /// [`dual_clique_contention_table`]).
+    fn contention_over_time(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
+        let n = *cfg
+            .pick(&[32usize], &[128], &[256])
+            .first()
+            .expect("non-empty");
+        dual_clique_contention_table(
+            format!("E2c: contention over time (dual clique n = {n}, iid(0.5) adversary)"),
+            ContentionSetup {
+                campaign_name: "e2c-contention",
+                seed: cfg.seed + 12,
+                n,
+                adversary: AdversarySpec::Iid { p: 0.5 },
+                max_rounds: 60 * n.max(16),
+                trials: (cfg.trials * 4).max(4),
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -195,11 +223,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn smoke_run_produces_two_tables() {
+    fn smoke_run_produces_three_tables() {
         let tables = E2GlobalOblivious.run(&ExperimentConfig::smoke()).unwrap();
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
         assert!(tables[0].title().contains("E2a"));
         assert!(tables[1].title().contains("E2b"));
+        assert!(tables[2].title().contains("E2c"));
+    }
+
+    #[test]
+    fn contention_curve_is_nontrivial_at_smoke_scale() {
+        let table = E2GlobalOblivious
+            .contention_over_time(&ExperimentConfig::smoke())
+            .unwrap();
+        assert!(table.rows().len() > 1, "more than one round window");
+        // Broadcast on a dual clique collides early on: at least one window
+        // of one algorithm shows nonzero mean contention.
+        let nonzero = table
+            .rows()
+            .iter()
+            .flat_map(|row| &row[1..])
+            .any(|cell| cell.parse::<f64>().unwrap() > 0.0);
+        assert!(nonzero, "the streamed curve should not be identically zero");
     }
 
     #[test]

@@ -5,14 +5,19 @@
 //! bands' isolated broadcast functions can starve the clasp receiver for
 //! `Ω(√n / log n)` rounds against any *uncoordinated* local broadcast
 //! algorithm. The experiment measures the completion time of the static-model
-//! decay and uniform local broadcast algorithms with and without the attack.
+//! decay and uniform local broadcast algorithms with and without the attack,
+//! reporting completion rates with ~95% Wilson score intervals; trials are
+//! allocated adaptively against the Wilson width ([`StopRule::CompletionCi`])
+//! because the claim is about *completion probability*, not mean cost.
+//!
+//! [`StopRule::CompletionCi`]: crate::sweep::StopRule::CompletionCi
 
 use dradio_core::algorithms::LocalAlgorithm;
 use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
 use crate::sweep::{
-    measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup, TrialPolicy,
+    measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup,
 };
 use crate::table::Table;
 
@@ -40,7 +45,7 @@ impl Experiment for E3BraceletLowerBound {
         let adversaries = [AdversarySpec::StaticNone, AdversarySpec::BraceletAttack];
         let campaign = CampaignSpec::named("e3-bracelet")
             .seed(cfg.seed + 20)
-            .trials(TrialPolicy::Fixed(cfg.trials))
+            .trials(cfg.completion_policy())
             .group(
                 SweepGroup::product(
                     band_lengths
@@ -68,7 +73,8 @@ impl Experiment for E3BraceletLowerBound {
                 "algorithm",
                 "adversary",
                 "rounds (mean)",
-                "completion",
+                "completion (wilson 95%)",
+                "trials",
                 "rounds / (sqrt(n)/log n)",
             ],
         );
@@ -98,7 +104,8 @@ impl Experiment for E3BraceletLowerBound {
                         algorithm.name().to_string(),
                         adversary.label(),
                         fmt1(m.rounds.mean),
-                        format!("{:.0}%", m.completion_rate * 100.0),
+                        m.completion.to_string(),
+                        m.rounds.count.to_string(),
                         fmt1(m.rounds.mean / sqrt_over_log),
                     ]);
                 }

@@ -127,7 +127,7 @@ impl E4GeoLocal {
                     delta.to_string(),
                     algorithm.name().to_string(),
                     fmt1(m.rounds.mean),
-                    format!("{:.0}%", m.completion_rate * 100.0),
+                    format!("{:.0}%", m.completion_rate() * 100.0),
                     fmt1(m.rounds.mean / (log_n * log_n * log_delta)),
                 ]);
             }
@@ -200,7 +200,7 @@ impl E4GeoLocal {
                     adversary_name.to_string(),
                     algorithm.name().to_string(),
                     fmt1(m.rounds.mean),
-                    format!("{:.0}%", m.completion_rate * 100.0),
+                    format!("{:.0}%", m.completion_rate() * 100.0),
                 ]);
             }
         }

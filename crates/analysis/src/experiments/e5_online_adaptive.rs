@@ -5,13 +5,19 @@
 //! progress across the clique boundary requires either a globally lone
 //! transmitter (rare once many nodes are informed) or a bridge-endpoint
 //! transmission in a sparse round (a `1/n`-style event).
+//!
+//! Being a lower-bound experiment, completion rates carry the claim: they
+//! are reported with ~95% Wilson score intervals, and trials are allocated
+//! adaptively against the Wilson width
+//! ([`StopRule::CompletionCi`](crate::sweep::StopRule::CompletionCi)) rather
+//! than against mean-cost precision.
 
 use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};
 use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
 use crate::experiments::{fit_note, fmt1, Experiment, ExperimentConfig};
 use crate::sweep::{
-    measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup, TrialPolicy,
+    measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup,
 };
 use crate::table::Table;
 
@@ -62,7 +68,7 @@ impl E5OnlineAdaptive {
             min_nodes: 0,
         };
         let campaign = CampaignSpec::named("e5a-online-global")
-            .trials(TrialPolicy::Fixed(cfg.trials))
+            .trials(cfg.completion_policy())
             .group(
                 SweepGroup::product(
                     topologies.clone(),
@@ -94,7 +100,7 @@ impl E5OnlineAdaptive {
                 "benign rounds",
                 "slowdown",
                 "attacked / (n/log n)",
-                "completion",
+                "completion (wilson 95%)",
             ],
         );
         let mut attacked_series: Vec<(f64, f64)> = Vec::new();
@@ -123,7 +129,7 @@ impl E5OnlineAdaptive {
                     fmt1(benign.rounds.mean),
                     fmt1(attacked_m.rounds.mean / benign.rounds.mean.max(1.0)),
                     fmt1(attacked_m.rounds.mean / n_over_log),
-                    format!("{:.0}%", attacked_m.completion_rate * 100.0),
+                    attacked_m.completion.to_string(),
                 ]);
             }
         }
@@ -152,7 +158,7 @@ impl E5OnlineAdaptive {
             min_nodes: 0,
         };
         let campaign = CampaignSpec::named("e5b-online-local")
-            .trials(TrialPolicy::Fixed(cfg.trials))
+            .trials(cfg.completion_policy())
             .group(
                 SweepGroup::product(
                     topologies.clone(),
@@ -183,7 +189,7 @@ impl E5OnlineAdaptive {
                 "attacked rounds",
                 "benign rounds",
                 "attacked / (n/log n)",
-                "completion",
+                "completion (wilson 95%)",
             ],
         );
         let mut attacked_series: Vec<(f64, f64)> = Vec::new();
@@ -215,7 +221,7 @@ impl E5OnlineAdaptive {
                     fmt1(attacked_m.rounds.mean),
                     fmt1(benign.rounds.mean),
                     fmt1(attacked_m.rounds.mean / n_over_log),
-                    format!("{:.0}%", attacked_m.completion_rate * 100.0),
+                    attacked_m.completion.to_string(),
                 ]);
             }
         }

@@ -127,7 +127,7 @@ impl E6OfflineAdaptive {
                     n.to_string(),
                     algorithm.name().to_string(),
                     fmt1(m.rounds.mean),
-                    format!("{:.0}%", m.completion_rate * 100.0),
+                    format!("{:.0}%", m.completion_rate() * 100.0),
                     fmt1(m.rounds.mean / n as f64),
                 ]);
             }
@@ -175,7 +175,7 @@ impl E6OfflineAdaptive {
                     n.to_string(),
                     algorithm.name().to_string(),
                     fmt1(m.rounds.mean),
-                    format!("{:.0}%", m.completion_rate * 100.0),
+                    format!("{:.0}%", m.completion_rate() * 100.0),
                     fmt1(m.rounds.mean / n as f64),
                 ]);
             }

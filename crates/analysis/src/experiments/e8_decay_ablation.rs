@@ -30,7 +30,9 @@ use dradio_sim::{
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::experiments::{fmt1, Experiment, ExperimentConfig};
+use crate::experiments::{
+    dual_clique_contention_table, fmt1, ContentionSetup, Experiment, ExperimentConfig,
+};
 use crate::sweep::{
     measurement_for, run_campaign, CampaignError, CampaignSpec, RoundsRule, SweepGroup, TrialPolicy,
 };
@@ -59,6 +61,7 @@ impl Experiment for E8DecayAblation {
         Ok(vec![
             self.grey_star(cfg)?,
             self.dual_clique_comparison(cfg)?,
+            self.contention_over_time(cfg)?,
         ])
     }
 }
@@ -268,7 +271,7 @@ impl E8DecayAblation {
                     n.to_string(),
                     algorithm.name().to_string(),
                     fmt1(m.rounds.mean),
-                    format!("{:.0}%", m.completion_rate * 100.0),
+                    format!("{:.0}%", m.completion_rate() * 100.0),
                 ]);
             }
         }
@@ -278,6 +281,31 @@ impl E8DecayAblation {
              polylogarithmic); the schedule attack bites when receivers depend on grey-zone links \
              for most of their broadcaster connectivity — that regime is measured in E8a",
         ))
+    }
+
+    /// Contention over time under the decay-aware schedule attack: the fixed
+    /// schedule's collisions cluster at the rounds the attacker targets,
+    /// while the permuted schedule spreads them (streamed from
+    /// `CollisionsOnly` recording; see [`dual_clique_contention_table`]).
+    fn contention_over_time(&self, cfg: &ExperimentConfig) -> Result<Table, CampaignError> {
+        let n = *cfg
+            .pick(&[32usize], &[128], &[512])
+            .first()
+            .expect("non-empty");
+        dual_clique_contention_table(
+            format!("E8c: contention over time (dual clique n = {n}, decay-aware adversary)"),
+            ContentionSetup {
+                campaign_name: "e8c-contention",
+                seed: cfg.seed + 73,
+                n,
+                adversary: AdversarySpec::DecayAware {
+                    levels: None,
+                    assumed_transmitters: (0..n / 2).collect(),
+                },
+                max_rounds: 100 * n + 2_000,
+                trials: (cfg.trials * 4).max(4),
+            },
+        )
     }
 }
 
@@ -298,11 +326,26 @@ mod tests {
     }
 
     #[test]
-    fn smoke_run_produces_two_tables() {
+    fn smoke_run_produces_three_tables() {
         let tables = E8DecayAblation.run(&ExperimentConfig::smoke()).unwrap();
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
         assert!(tables[0].title().contains("E8a"));
         assert!(tables[1].title().contains("E8b"));
+        assert!(tables[2].title().contains("E8c"));
+    }
+
+    #[test]
+    fn contention_curves_are_nontrivial_at_smoke_scale() {
+        let table = E8DecayAblation
+            .contention_over_time(&ExperimentConfig::smoke())
+            .unwrap();
+        assert!(table.rows().len() > 1, "more than one round window");
+        let nonzero = table
+            .rows()
+            .iter()
+            .flat_map(|row| &row[1..])
+            .any(|cell| cell.parse::<f64>().unwrap() > 0.0);
+        assert!(nonzero, "the streamed curve should not be identically zero");
     }
 
     #[test]

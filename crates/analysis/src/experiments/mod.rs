@@ -24,8 +24,15 @@ pub use e6_offline_adaptive::E6OfflineAdaptive;
 pub use e7_hitting::E7HittingGame;
 pub use e8_decay_ablation::E8DecayAblation;
 
+use dradio_core::algorithms::GlobalAlgorithm;
+use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
+
+use crate::curves::{contention_table, DEFAULT_BUCKETS};
 use crate::fit::best_fit;
-use crate::sweep::CampaignError;
+use crate::sweep::{
+    measurement_for, run_campaign, CampaignError, CampaignSpec, ContentionCurve, RoundsRule,
+    StopRule, SweepGroup, TrialPolicy,
+};
 use crate::table::Table;
 
 /// How much work an experiment run should do.
@@ -86,6 +93,22 @@ impl ExperimentConfig {
             Scale::Full => full.to_vec(),
         }
     }
+
+    /// The completion-targeted adaptive trial policy the lower-bound
+    /// experiments (E3, E5) run with: start from the configured trial count
+    /// and keep doubling (up to `4 · trials`, at least 8) until the ~95%
+    /// Wilson interval on the completion rate is within ±25 percentage
+    /// points. Their claims are about *whether* broadcast finishes under
+    /// attack, so precision on the completion probability — not on the mean
+    /// cost — is what earns extra trials.
+    pub fn completion_policy(&self) -> TrialPolicy {
+        TrialPolicy::Adaptive {
+            min: self.trials,
+            max: (self.trials * 4).max(8),
+            relative_width: 0.25,
+            stop: StopRule::CompletionCi,
+        }
+    }
 }
 
 /// One experiment of the reproduction.
@@ -130,6 +153,79 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
 /// Formats a float with one decimal for table cells.
 pub(crate) fn fmt1(x: f64) -> String {
     format!("{x:.1}")
+}
+
+/// One contention-over-time comparison: a dual clique, an adversary, and
+/// the execution budget, shared by the E2c and E8c tables.
+pub(crate) struct ContentionSetup {
+    /// Campaign name (also used in the missing-curve error).
+    pub campaign_name: &'static str,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Dual-clique size.
+    pub n: usize,
+    /// The link process under which contention is measured.
+    pub adversary: AdversarySpec,
+    /// Per-trial round budget.
+    pub max_rounds: usize,
+    /// Trials per cell.
+    pub trials: usize,
+}
+
+/// Runs a curve-streaming campaign comparing both decay variants on one
+/// dual clique and renders their contention-over-time curves side by side —
+/// the shape shared by the contention tables of E2 (i.i.d. adversary) and
+/// E8 (decay-aware adversary). The cells record under `CollisionsOnly`
+/// (auto-promoted from the history-free default; the adversaries are
+/// oblivious, so never to `Full`).
+pub(crate) fn dual_clique_contention_table(
+    title: String,
+    setup: ContentionSetup,
+) -> Result<Table, CampaignError> {
+    let ContentionSetup {
+        campaign_name,
+        seed,
+        n,
+        adversary,
+        max_rounds,
+        trials,
+    } = setup;
+    let algorithms = [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted];
+    let campaign = CampaignSpec::named(campaign_name)
+        .seed(seed)
+        .trials(TrialPolicy::Fixed(trials))
+        .group(
+            SweepGroup::product(
+                vec![TopologySpec::DualClique { n }],
+                algorithms.iter().map(|&a| a.into()).collect(),
+                vec![adversary.clone()],
+                vec![ProblemSpec::GlobalFrom(0)],
+            )
+            .rounds(RoundsRule::Fixed(max_rounds))
+            .curve(true),
+        );
+    let store = run_campaign(&campaign)?;
+
+    let mut curves: Vec<(String, &ContentionCurve)> = Vec::new();
+    for algorithm in algorithms {
+        let scenario = ScenarioSpec {
+            topology: TopologySpec::DualClique { n },
+            algorithm: algorithm.into(),
+            adversary: adversary.clone(),
+            problem: ProblemSpec::GlobalFrom(0),
+            seed,
+            max_rounds: Some(max_rounds),
+            collision_detection: false,
+        };
+        let m = measurement_for(&store, &scenario)?;
+        let curve = m.contention.as_ref().ok_or_else(|| {
+            CampaignError::spec(format!(
+                "{campaign_name} asked for a curve but the measurement for {scenario} has none"
+            ))
+        })?;
+        curves.push((algorithm.name().to_string(), curve));
+    }
+    Ok(contention_table(title, &curves, DEFAULT_BUCKETS))
 }
 
 /// Produces a "best fit" annotation for a measured series.

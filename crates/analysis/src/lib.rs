@@ -7,6 +7,9 @@
 //!
 //! * [`stats`] — summary statistics (re-exported from the scenario crate);
 //! * [`table`] — plain-text and CSV rendering of result tables;
+//! * [`curves`] — bucketed rendering of the contention-over-time curves
+//!   campaign cells can stream (`SweepGroup::curve`), as tables over a
+//!   shared round axis;
 //! * [`fit`] — least-squares fitting of measured round counts against the
 //!   asymptotic growth shapes the paper predicts (`log² n`, `n / log n`,
 //!   `√n / log n`, …), so each experiment can report *which* shape matches;
@@ -41,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod curves;
 pub mod experiments;
 pub mod fit;
 pub mod stats;
 pub mod sweep;
 pub mod table;
 
+pub use curves::contention_table;
 pub use fit::{best_fit, GrowthModel};
 pub use stats::Summary;
 pub use sweep::{run_campaign, CampaignError, CampaignSpec, Measurement};

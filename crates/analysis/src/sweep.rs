@@ -19,9 +19,9 @@
 
 pub use dradio_campaign::{
     CampaignError, CampaignRunner, CampaignSpec, CellRecord, CellSpec, ResultStore, RoundsRule,
-    RunReport, SweepGroup, TrialPolicy,
+    RunReport, StopRule, SweepGroup, TrialPolicy,
 };
-pub use dradio_scenario::{Measurement, ScenarioRunner, TrialOutcome};
+pub use dradio_scenario::{Completion, ContentionCurve, Measurement, ScenarioRunner, TrialOutcome};
 
 use dradio_scenario::ScenarioSpec;
 
@@ -83,7 +83,7 @@ mod tests {
         let store = run_campaign(&clique_campaign(16, 5)).unwrap();
         let m = &store.records()[0].measurement;
         assert_eq!(m.rounds.count, 5);
-        assert_eq!(m.completion_rate, 1.0);
+        assert_eq!(m.completion_rate(), 1.0);
         assert!(m.rounds.mean >= 1.0);
         assert!(m.rounds.mean < 2_000.0);
     }
@@ -125,7 +125,7 @@ mod tests {
             );
         let store = run_campaign(&campaign).unwrap();
         let m = &store.records()[0].measurement;
-        assert_eq!(m.completion_rate, 0.0);
+        assert_eq!(m.completion_rate(), 0.0);
         assert_eq!(m.rounds.mean, 10.0);
         assert_eq!(m.rounds.min, 10.0);
     }

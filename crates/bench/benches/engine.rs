@@ -9,7 +9,12 @@
 //!   campaign cells) through a reused [`dradio_sim::TrialExecutor`] versus a
 //!   fresh simulator per trial — isolating per-trial setup amortization,
 //!   which is what dominates once the round loop itself is cheap. The
-//!   printed mean is for `TRIALS` trials; trials/sec = `TRIALS` / mean.
+//!   printed mean is for `TRIALS` trials; trials/sec = `TRIALS` / mean. The
+//!   `*_curve` variant runs the same reused-executor trials under
+//!   `RecordMode::CollisionsOnly` and streams each trial's collision curve
+//!   into a `ContentionCurve` — the cost a `"curve": true` campaign cell
+//!   pays over the history-free default, pinning the cheap-by-default
+//!   instrumentation claim with numbers.
 //! * `campaign/*` times the campaign orchestration overhead per cell:
 //!   expansion, content-hash keying, and store appends — the costs that must
 //!   stay invisible next to the simulation itself.
@@ -18,7 +23,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dradio_bench::{engine_executor, engine_workload};
 use dradio_campaign::{CampaignSpec, CellRecord, ResultStore, RoundsRule, SweepGroup, TrialPolicy};
 use dradio_core::algorithms::GlobalAlgorithm;
-use dradio_scenario::{AdversarySpec, Measurement, ProblemSpec, RecordMode, Summary, TopologySpec};
+use dradio_scenario::{
+    AdversarySpec, Completion, ContentionCurve, Measurement, ProblemSpec, RecordMode, Summary,
+    TopologySpec,
+};
 use dradio_sim::derive_stream_seed;
 
 /// Rounds per measured workload run.
@@ -116,6 +124,27 @@ fn bench_trials_per_sec(c: &mut Criterion) {
                         .sum::<usize>()
                 });
             });
+            // Curve: the reused executor under CollisionsOnly recording,
+            // with each trial's per-round collision counts streamed into a
+            // shared contention curve — what a curve-requesting campaign
+            // cell pays per trial over the history-free default.
+            group.bench_with_input(BenchmarkId::new(format!("{name}_curve"), n), &n, |b, _| {
+                let mut executor = engine_executor(&built, &adversary, P, SHORT_ROUNDS);
+                let mut batch = 0u64;
+                b.iter(|| {
+                    batch += 1;
+                    let mut curve = ContentionCurve::new();
+                    let total: usize = (0..TRIALS as u64)
+                        .map(|t| {
+                            let seed = derive_stream_seed(batch, t);
+                            let outcome = executor.execute(seed, RecordMode::CollisionsOnly);
+                            curve.push_trial(&outcome.collisions_per_round);
+                            outcome.metrics.deliveries
+                        })
+                        .sum();
+                    total + curve.len()
+                });
+            });
             // Fresh: the pre-reuse fan-out shape — every trial copies the
             // network and constructs a simulator from scratch (identical
             // outcomes, pinned by the lib tests).
@@ -200,8 +229,12 @@ fn bench_campaign_overhead(c: &mut Criterion) {
             trials_run: 2,
             measurement: Measurement {
                 rounds: Summary::from_counts(&[10, 12]),
-                completion_rate: 1.0,
+                completion: Completion {
+                    completed: 2,
+                    trials: 2,
+                },
                 mean_collisions: 3.5,
+                contention: None,
             },
         })
         .collect();

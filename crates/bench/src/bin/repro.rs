@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run -p dradio-bench --bin repro --release [-- OPTIONS]
-//! cargo run -p dradio-bench --bin repro --release -- campaign <run|resume|report> \
+//! cargo run -p dradio-bench --bin repro --release -- campaign <run|resume|report|compact> \
 //!     --campaign <json-or-path> [--store <path>]
 //!
 //! OPTIONS:
@@ -27,9 +27,15 @@
 //!                         (creates the store; resumes it if it exists)
 //!     campaign resume     like run, but requires the store to exist already
 //!     campaign report     render the stored results as a table (no execution)
+//!     campaign compact    rewrite the store keeping only records in the
+//!                         spec's expansion, in expansion order (refuses to
+//!                         touch a store that fails its integrity checks)
 //!     --store <path>      JSONL result store (default: <name>.campaign.jsonl)
 //!     --progress          emit a `cells done/total, cells/sec, ETA` line to
 //!                         stderr after each committed cell
+//!     --curves            with report: also render each stored
+//!                         contention-over-time curve (cells measured with
+//!                         "curve": true) as a bucketed table
 //! ```
 
 use std::env;
@@ -38,7 +44,7 @@ use std::process::ExitCode;
 use dradio_analysis::experiments::{self, ExperimentConfig};
 use dradio_analysis::Table;
 use dradio_campaign::{
-    CampaignRunner, CampaignSpec, ResultStore, RoundsRule, SweepGroup, TrialPolicy,
+    CampaignRunner, CampaignSpec, ResultStore, RoundsRule, StopRule, SweepGroup, TrialPolicy,
 };
 use dradio_core::algorithms::GlobalAlgorithm;
 use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
@@ -63,7 +69,7 @@ fn run_scenario(json: &str, trials: usize) -> ExitCode {
         Ok(m) => {
             println!("trials:      {trials}");
             println!("rounds:      {}", m.rounds);
-            println!("completion:  {:.0}%", m.completion_rate * 100.0);
+            println!("completion:  {}", m.completion);
             println!("collisions:  {:.1} per trial", m.mean_collisions);
             ExitCode::SUCCESS
         }
@@ -88,7 +94,10 @@ fn example_scenario() -> String {
 }
 
 /// A small 2-axis sweep (network size × algorithm) with adaptive trial
-/// allocation — the template for `--campaign`, also exercised by CI.
+/// allocation — the template for `--campaign`, also exercised by CI. The
+/// second group showcases the completion-targeted stop rule
+/// ([`StopRule::CompletionCi`]) and contention-curve streaming
+/// (`"curve": true`, reported by `campaign report --curves`).
 fn example_campaign() -> CampaignSpec {
     CampaignSpec::named("example-clique-sweep")
         .seed(1)
@@ -96,6 +105,7 @@ fn example_campaign() -> CampaignSpec {
             min: 2,
             max: 8,
             relative_width: 0.2,
+            stop: StopRule::MeanCostCi,
         })
         .group(
             SweepGroup::product(
@@ -116,6 +126,22 @@ fn example_campaign() -> CampaignSpec {
                 min_nodes: 16,
             }),
         )
+        .group(
+            SweepGroup::cell(
+                TopologySpec::DualClique { n: 16 },
+                GlobalAlgorithm::Permuted,
+                AdversarySpec::Iid { p: 0.5 },
+                ProblemSpec::GlobalFrom(0),
+            )
+            .trials(TrialPolicy::Adaptive {
+                min: 2,
+                max: 16,
+                relative_width: 0.25,
+                stop: StopRule::CompletionCi,
+            })
+            .rounds(RoundsRule::Fixed(960))
+            .curve(true),
+        )
 }
 
 /// Renders a store's records as the standard result table.
@@ -132,7 +158,7 @@ fn campaign_table(spec: &CampaignSpec, store: &ResultStore) -> Table {
             "rounds (mean ± ci95)",
             "median",
             "p95",
-            "completion",
+            "completion (wilson 95%)",
         ],
     );
     for record in store.records() {
@@ -148,7 +174,7 @@ fn campaign_table(spec: &CampaignSpec, store: &ResultStore) -> Table {
             format!("{:.1} ± {:.1}", m.rounds.mean, m.rounds.ci95_half_width()),
             format!("{:.1}", m.rounds.median),
             format!("{:.1}", m.rounds.p95),
-            format!("{:.0}%", m.completion_rate * 100.0),
+            m.completion.to_string(),
         ]);
     }
     table
@@ -166,17 +192,18 @@ fn load_campaign(arg: &str) -> Result<CampaignSpec, String> {
 
 fn campaign_command(args: &[String]) -> ExitCode {
     let Some(action) = args.first().map(String::as_str) else {
-        eprintln!("campaign needs an action: run | resume | report");
+        eprintln!("campaign needs an action: run | resume | report | compact");
         return ExitCode::FAILURE;
     };
-    if !matches!(action, "run" | "resume" | "report") {
-        eprintln!("unknown campaign action {action}; use run, resume, or report");
+    if !matches!(action, "run" | "resume" | "report" | "compact") {
+        eprintln!("unknown campaign action {action}; use run, resume, report, or compact");
         return ExitCode::FAILURE;
     }
     let mut campaign_arg: Option<String> = None;
     let mut store_arg: Option<String> = None;
     let mut csv = false;
     let mut progress = false;
+    let mut curves = false;
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -196,6 +223,7 @@ fn campaign_command(args: &[String]) -> ExitCode {
             },
             "--csv" => csv = true,
             "--progress" => progress = true,
+            "--curves" => curves = true,
             other => {
                 eprintln!("unknown campaign option {other}");
                 return ExitCode::FAILURE;
@@ -215,14 +243,33 @@ fn campaign_command(args: &[String]) -> ExitCode {
     };
     let store_path = store_arg.unwrap_or_else(|| format!("{}.campaign.jsonl", spec.name));
 
-    // Only `run` may create the store; `resume` and `report` address an
-    // existing one (report must not leave an empty file behind).
+    // Only `run` may create the store; `resume`, `report`, and `compact`
+    // address an existing one (none of them should leave an empty file
+    // behind).
     if action != "run" && !std::path::Path::new(&store_path).exists() {
         eprintln!(
             "campaign {action}: store {store_path} does not exist; use `campaign run` to start one"
         );
         return ExitCode::FAILURE;
     }
+
+    if action == "compact" {
+        // Compaction validates the store itself (and refuses to rewrite
+        // anything if the integrity checks fail).
+        match ResultStore::compact(&spec, &store_path) {
+            Ok(report) => {
+                println!("{spec}");
+                println!("compacted {store_path}: {report}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("campaign compact failed: {e}");
+                eprintln!("({store_path} was left untouched)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let mut store = match ResultStore::open(&store_path) {
         Ok(store) => store,
         Err(e) => {
@@ -266,6 +313,26 @@ fn campaign_command(args: &[String]) -> ExitCode {
         println!("```csv");
         print!("{}", table.to_csv());
         println!("```");
+    }
+    if curves {
+        let mut rendered = 0usize;
+        for record in store.records() {
+            if let Some(curve) = &record.measurement.contention {
+                let table = dradio_analysis::contention_table(
+                    format!("contention: {}", record.cell.label()),
+                    &[(record.cell.scenario.algorithm.name().to_string(), curve)],
+                    dradio_analysis::curves::DEFAULT_BUCKETS,
+                );
+                println!("{}", table.render());
+                rendered += 1;
+            }
+        }
+        if rendered == 0 {
+            println!(
+                "(no stored measurement carries a contention curve; set \"curve\": true \
+                 on a sweep group to stream one)"
+            );
+        }
     }
     if action == "report" {
         match spec.expand() {

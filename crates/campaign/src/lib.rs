@@ -20,8 +20,15 @@
 //!   expansion order, so *partial run + resume* produces a store
 //!   byte-for-byte identical to one uninterrupted run.
 //! * Adaptive trial allocation — [`TrialPolicy::Adaptive`] keeps adding
-//!   trials to a cell (doubling, up to a cap) until the 95% confidence
-//!   interval of the mean cost is tighter than a requested relative width.
+//!   trials to a cell (doubling, up to a cap) until its [`StopRule`]'s
+//!   target statistic is tighter than a requested width: the 95% confidence
+//!   interval of the mean cost, or the Wilson score interval of the
+//!   completion rate (the right target for lower-bound experiments).
+//! * Typed multi-statistic measurements — cells record a rounds summary,
+//!   exact completion counts, and (with [`SweepGroup::curve`]) a streamed
+//!   mean contention-over-time curve from `CollisionsOnly` recording;
+//!   stores written before these fields existed load, resume, and
+//!   re-serialize byte-identically.
 //!
 //! # Example
 //!
@@ -66,5 +73,5 @@ pub mod store;
 
 pub use error::{CampaignError, Result};
 pub use runner::{CampaignRunner, RunReport};
-pub use spec::{CampaignSpec, CellSpec, RoundsRule, SweepGroup, TrialPolicy};
-pub use store::{CellRecord, ResultStore};
+pub use spec::{CampaignSpec, CellSpec, RoundsRule, StopRule, SweepGroup, TrialPolicy};
+pub use store::{CellRecord, CompactReport, ResultStore};

@@ -21,7 +21,21 @@
 //! cell fan-out already saturates the cores); when only one cell is pending
 //! the runner drops to the scenario layer's parallel trial runner instead.
 //! Both modes produce identical measurements by the scenario runner's
-//! parallel-equals-sequential guarantee.
+//! parallel-equals-sequential guarantee. Curve-streaming cells
+//! ([`CellSpec::curve`]) always run their trials sequentially through one
+//! executor so each trial's collision curve folds straight into the
+//! measurement — their scalar statistics are identical either way.
+//!
+//! # Topology residency
+//!
+//! Distinct topologies are built at most once per run and shared by every
+//! cell that sweeps over them, but the cache is *scoped*: each topology is
+//! built lazily when its first cell runs and dropped as soon as its **last
+//! pending cell commits** (a per-topology reference count), so a campaign
+//! sweeping many large distinct networks holds only the graphs its in-flight
+//! window actually needs instead of all of them until the run ends. The
+//! cache is invisible in the results — keys, measurements, and store bytes
+//! are identical with and without it (pinned by this module's tests).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -29,12 +43,12 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use dradio_scenario::{
-    BuiltTopology, Measurement, Moments, Scenario, ScenarioBuilder, ScenarioRunner, TopologySpec,
-    TrialOutcome,
+    BuiltTopology, Measurement, Scenario, ScenarioBuilder, ScenarioRunner, TopologySpec,
+    TrialAccumulator,
 };
 
 use crate::error::{CampaignError, Result};
-use crate::spec::{CampaignSpec, CellSpec, TrialPolicy};
+use crate::spec::{CampaignSpec, CellSpec, StopRule, TrialPolicy};
 use crate::store::{CellRecord, ResultStore};
 
 /// What a [`CampaignRunner::run`] call did.
@@ -107,10 +121,10 @@ impl<'a> CampaignRunner<'a> {
             });
         }
 
-        // Build every distinct topology once for the whole campaign; cells
-        // that sweep algorithm × adversary × problem over one network share
-        // the built graph instead of regenerating it per cell.
-        let topologies = TopologyCache::build(&pending);
+        // One scoped cache for the whole run: each distinct topology is
+        // built once, on first use, and dropped when its last pending cell
+        // commits.
+        let topologies = TopologyCache::for_pending(&pending);
 
         let threads = self
             .threads
@@ -129,6 +143,7 @@ impl<'a> CampaignRunner<'a> {
             let mut executed = 0;
             for cell in &pending {
                 store.append(run_cell(cell, true, &topologies)?)?;
+                topologies.committed(&cell.scenario.topology);
                 executed += 1;
                 if let Some(meter) = &meter {
                     meter.tick(executed);
@@ -221,6 +236,13 @@ impl<'a> CampaignRunner<'a> {
                 };
                 match result.and_then(|record| store.append(record)) {
                     Ok(()) => {
+                        // The committed cell releases its topology
+                        // reference; the last release drops the graph. Any
+                        // still-pending cell sharing the topology holds a
+                        // reference of its own, and cells commit strictly
+                        // in expansion order, so nothing evicted here can
+                        // be needed again.
+                        topologies.committed(&pending[commit].scenario.topology);
                         executed += 1;
                         if let Some(meter) = meter {
                             meter.tick(executed);
@@ -301,25 +323,39 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A campaign-wide cache of built topologies, keyed by the canonical JSON
+/// One topology's slot in the scoped cache.
+#[derive(Debug, Default)]
+struct CacheEntry {
+    /// Pending cells that still reference this topology (committed cells
+    /// have released theirs). The graph is dropped when this reaches zero.
+    remaining: AtomicUsize,
+    /// The built topology, present between first use and last commit.
+    slot: Mutex<Option<BuiltTopology>>,
+}
+
+/// A run-scoped cache of built topologies, keyed by the canonical JSON
 /// serialization of the [`TopologySpec`] (specs carry their own seeds, so
-/// equal content means equal network). Built once per run, before the cell
-/// fan-out, so cells sweeping algorithm × adversary × problem over one
-/// topology share a single [`BuiltTopology`] — whose network is an
-/// `Arc<DualGraph>`, making the per-cell handoff a pointer copy.
+/// equal content means equal network).
+///
+/// Each distinct topology is built **lazily** — by whichever worker first
+/// runs a cell referencing it (later cells of the same topology share the
+/// built graph, whose network is an `Arc<DualGraph>`, so the handoff is a
+/// pointer copy) — and **evicted eagerly**: the in-order committer releases
+/// one reference per committed cell, and the release that drops the count to
+/// zero drops the graph. Peak residency is therefore bounded by the
+/// topologies of the cells between the commit frontier and the claim
+/// frontier, not by the campaign's full topology axis.
 ///
 /// The cache is invisible in the results: a cell built from a cached
 /// topology has the same spec, key, seeds, and measurement as one that
-/// rebuilt the network itself (pinned by this module's tests).
-///
-/// Memory trade-off: every distinct built topology stays resident until the
-/// run finishes (previously each cell dropped its graph after measuring).
-/// Campaigns sweeping many *large* distinct networks pay peak memory for
-/// all of them at once; scoping the cache per topology group is an open
-/// ROADMAP item.
+/// rebuilt the network itself, and eviction cannot affect any of them
+/// (pinned by this module's tests). A topology whose generator fails is
+/// simply never cached: the cells using it fail through their own per-cell
+/// build, at their position in commit order — so earlier cells still run
+/// and commit, and a corrected spec can resume past the committed prefix.
 #[derive(Debug, Default)]
 struct TopologyCache {
-    built: HashMap<String, BuiltTopology>,
+    entries: HashMap<String, CacheEntry>,
 }
 
 impl TopologyCache {
@@ -329,37 +365,66 @@ impl TopologyCache {
         TopologyCache::default()
     }
 
-    /// Builds every distinct topology of `cells` once. A topology whose
-    /// generator fails is simply left out of the cache: the cells using it
-    /// then fail through their own per-cell build, at their position in
-    /// commit order — so earlier cells still run and commit, exactly as
-    /// they did when every cell built its own network, and a corrected
-    /// spec can resume past the committed prefix.
-    fn build(cells: &[CellSpec]) -> Self {
-        let mut built: HashMap<String, BuiltTopology> = HashMap::new();
+    /// Prepares reference counts for every distinct topology of `cells`
+    /// (one reference per pending cell). Nothing is built yet.
+    fn for_pending(cells: &[CellSpec]) -> Self {
+        let mut entries: HashMap<String, CacheEntry> = HashMap::new();
         for cell in cells {
-            let key = Self::key(&cell.scenario.topology);
-            if built.contains_key(&key) {
-                continue;
-            }
-            if let Ok(topology) = cell.scenario.topology.build() {
-                built.insert(key, topology);
-            }
+            entries
+                .entry(Self::key(&cell.scenario.topology))
+                .or_default()
+                .remaining
+                .fetch_add(1, Ordering::Relaxed);
         }
-        TopologyCache { built }
+        TopologyCache { entries }
     }
 
     fn key(spec: &TopologySpec) -> String {
         serde_json::to_string(spec).expect("topology specs always serialize")
     }
 
-    fn get(&self, spec: &TopologySpec) -> Option<&BuiltTopology> {
-        self.built.get(&Self::key(spec))
+    /// The built topology for `spec`, building it on first use. `None` when
+    /// the spec is not tracked (tests) or its generator fails — the caller
+    /// then builds (and fails) through its own scenario build.
+    fn get(&self, spec: &TopologySpec) -> Option<BuiltTopology> {
+        let entry = self.entries.get(&Self::key(spec))?;
+        let mut slot = entry
+            .slot
+            .lock()
+            .expect("topology builders do not poison the cache lock");
+        if slot.is_none() {
+            *slot = spec.build().ok();
+        }
+        slot.clone()
+    }
+
+    /// Releases one reference after a cell over `spec` committed; the last
+    /// release drops the built graph.
+    fn committed(&self, spec: &TopologySpec) {
+        let Some(entry) = self.entries.get(&Self::key(spec)) else {
+            return;
+        };
+        if entry.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *entry
+                .slot
+                .lock()
+                .expect("topology builders do not poison the cache lock") = None;
+        }
+    }
+
+    /// How many built topologies are currently resident (for the eviction
+    /// tests).
+    #[cfg(test)]
+    fn resident(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.slot.lock().unwrap().is_some())
+            .count()
     }
 }
 
-/// Builds and measures one cell, reusing the campaign's built topology when
-/// the cache holds it.
+/// Builds and measures one cell, sharing the campaign's built topology when
+/// the cache tracks it.
 fn run_cell(
     cell: &CellSpec,
     parallel_trials: bool,
@@ -371,7 +436,7 @@ fn run_cell(
     };
     let mut builder = ScenarioBuilder::from_spec(cell.scenario.clone());
     if let Some(topology) = topologies.get(&cell.scenario.topology) {
-        builder = builder.with_topology(topology.clone());
+        builder = builder.with_topology(topology);
     }
     let scenario: Scenario = builder.build().map_err(at_cell)?;
     let runner = if parallel_trials {
@@ -379,34 +444,69 @@ fn run_cell(
     } else {
         ScenarioRunner::new(&scenario).sequential()
     }
-    .record_mode(cell.record_mode);
-    let outcomes = match cell.trials {
-        TrialPolicy::Fixed(trials) => runner.collect_trials(trials).map_err(at_cell)?,
+    .record_mode(cell.record_mode)
+    .curve(cell.curve);
+    let (measurement, trials_run) = match cell.trials {
+        TrialPolicy::Fixed(trials) => {
+            let measurement = if cell.curve {
+                // Stream each trial's collision curve into the measurement:
+                // one executor, trial-index order, no per-trial retention.
+                if trials == 0 {
+                    return Err(at_cell(dradio_scenario::ScenarioError::NoTrials));
+                }
+                let mut acc = runner.accumulator();
+                let mut executor = runner.executor();
+                for t in 0..trials {
+                    runner.run_trial_into(&mut executor, t, &mut acc);
+                }
+                acc.finish().map_err(at_cell)?
+            } else {
+                Measurement::from_trials(&runner.collect_trials(trials).map_err(at_cell)?)
+                    .map_err(at_cell)?
+            };
+            (measurement, trials)
+        }
         TrialPolicy::Adaptive {
             min,
             max,
             relative_width,
-        } => adaptive_trials(&runner, min, max, relative_width).map_err(at_cell)?,
+            stop,
+        } => {
+            let measurement =
+                adaptive_trials(&runner, min, max, relative_width, stop).map_err(at_cell)?;
+            let trials_run = measurement.rounds.count;
+            (measurement, trials_run)
+        }
     };
-    let measurement = Measurement::from_trials(&outcomes).map_err(at_cell)?;
     Ok(CellRecord {
         key: cell.key(),
         cell: cell.clone(),
-        trials_run: outcomes.len(),
+        trials_run,
         measurement,
     })
 }
 
+/// Evaluates an adaptive stop rule against the running aggregates.
+fn stop_satisfied(acc: &TrialAccumulator, stop: StopRule, relative_width: f64) -> bool {
+    match stop {
+        StopRule::MeanCostCi => acc.cost_moments().relative_ci95() <= relative_width,
+        StopRule::CompletionCi => acc.completion().wilson_half_width() <= relative_width,
+    }
+}
+
 /// Adaptive allocation: run `min` trials, then keep doubling (capped at
-/// `max`) until the mean-cost CI is tighter than `relative_width · mean`.
+/// `max`) until the [`StopRule`]'s target statistic is tighter than
+/// `relative_width` — the mean-cost ~95% CI relative to the mean, or the
+/// Wilson ~95% half-width of the completion rate.
 ///
 /// Trial `t` always runs with `runner.trial_seed(t)`, and the stopping rule
 /// is evaluated on the prefix of outcomes in index order — so the allocated
 /// count, like the outcomes themselves, is a pure function of the cell spec.
 ///
-/// Incremental on both axes: all trials run through one reused
+/// Incremental on both axes: all doubling trials run through one reused
 /// [`TrialExecutor`](dradio_scenario::TrialExecutor), and the stopping rule
-/// reads a running [`Moments`] accumulator, so each doubling costs O(new
+/// reads the [`TrialAccumulator`]'s running aggregates (Welford cost
+/// moments, integer completion counts), so each doubling costs O(new
 /// trials) instead of re-summarizing the full cost vector. The module tests
 /// pin that the stopping decisions match a full recompute. (Welford and the
 /// summary's two-pass variance can differ in the last ULPs, so a cost
@@ -414,34 +514,47 @@ fn run_cell(
 /// principle stop differently — the pinned cases and the CI store-stability
 /// check guard the realistic range; the stored `Measurement` itself is
 /// always the exact full-vector summary, unchanged.)
+///
+/// On a curve-streaming runner ([`ScenarioRunner::curve`]) every trial —
+/// including the first batch — runs sequentially through the executor so its
+/// collision curve folds into the measurement as it completes.
 fn adaptive_trials(
     runner: &ScenarioRunner<'_>,
     min: usize,
     max: usize,
     relative_width: f64,
-) -> dradio_scenario::Result<Vec<TrialOutcome>> {
-    // First batch through the runner's own fan-out (parallel when the cell
-    // owns the cores), folded into the running moments afterwards.
-    let mut outcomes = runner.collect_trials(min.min(max))?;
-    let mut moments = Moments::new();
-    for outcome in &outcomes {
-        moments.push(outcome.cost as f64);
+    stop: StopRule,
+) -> dradio_scenario::Result<Measurement> {
+    let first = min.min(max);
+    if first == 0 {
+        return Err(dradio_scenario::ScenarioError::NoTrials);
     }
-    if outcomes.len() >= max || moments.relative_ci95() <= relative_width {
-        return Ok(outcomes);
-    }
-    // Doublings run through one reused executor; each new trial is one O(1)
-    // moments update plus the execution itself.
+    let mut acc = runner.accumulator();
     let mut executor = runner.executor();
-    loop {
-        let target = (outcomes.len() * 2).min(max);
-        for t in outcomes.len()..target {
-            let outcome = runner.run_trial_on(&mut executor, t);
-            moments.push(outcome.cost as f64);
-            outcomes.push(outcome);
+    if runner.has_curve() {
+        // Curves stream trial by trial; the fan-out path cannot fold them.
+        for t in 0..first {
+            runner.run_trial_into(&mut executor, t, &mut acc);
         }
-        if outcomes.len() >= max || moments.relative_ci95() <= relative_width {
-            return Ok(outcomes);
+    } else {
+        // First batch through the runner's own fan-out (parallel when the
+        // cell owns the cores), folded into the running aggregates after.
+        for outcome in runner.collect_trials(first)? {
+            acc.push(&outcome.metrics);
+        }
+    }
+    if acc.len() >= max || stop_satisfied(&acc, stop, relative_width) {
+        return acc.finish();
+    }
+    // Doublings run through the reused executor; each new trial is one O(1)
+    // aggregate update plus the execution itself.
+    loop {
+        let target = (acc.len() * 2).min(max);
+        for t in acc.len()..target {
+            runner.run_trial_into(&mut executor, t, &mut acc);
+        }
+        if acc.len() >= max || stop_satisfied(&acc, stop, relative_width) {
+            return acc.finish();
         }
     }
 }
@@ -451,7 +564,7 @@ mod tests {
     use super::*;
     use crate::spec::{RoundsRule, SweepGroup};
     use dradio_core::algorithms::GlobalAlgorithm;
-    use dradio_scenario::{AdversarySpec, ProblemSpec, TopologySpec};
+    use dradio_scenario::{AdversarySpec, ProblemSpec, RecordMode, TopologySpec, TrialOutcome};
 
     fn small_campaign() -> CampaignSpec {
         CampaignSpec::named("runner-test")
@@ -527,7 +640,7 @@ mod tests {
         let fast = small_campaign();
         let mut recorded = small_campaign();
         for group in &mut recorded.groups {
-            group.record_mode = dradio_scenario::RecordMode::Full;
+            group.record_mode = RecordMode::Full;
         }
         let a = CampaignRunner::new(&fast).run_in_memory().unwrap();
         let b = CampaignRunner::new(&recorded).run_in_memory().unwrap();
@@ -537,6 +650,44 @@ mod tests {
             assert_eq!(x.measurement, y.measurement);
             assert_eq!(x.trials_run, y.trials_run);
         }
+    }
+
+    #[test]
+    fn curve_cells_add_contention_without_changing_scalars() {
+        let plain = small_campaign();
+        let mut curved = small_campaign();
+        for group in &mut curved.groups {
+            group.curve = true;
+        }
+        let a = CampaignRunner::new(&plain).run_in_memory().unwrap();
+        let b = CampaignRunner::new(&curved).run_in_memory().unwrap();
+        assert_eq!(a.records().len(), b.records().len());
+        for (x, y) in a.records().iter().zip(b.records()) {
+            // Same identity: a curve is presentation, not measurement.
+            assert_eq!(x.key, y.key, "curve must not change cell keys");
+            assert_eq!(x.trials_run, y.trials_run);
+            // Scalar statistics identical; only the curve is new.
+            assert_eq!(x.measurement.rounds, y.measurement.rounds);
+            assert_eq!(x.measurement.completion, y.measurement.completion);
+            assert_eq!(x.measurement.mean_collisions, y.measurement.mean_collisions);
+            assert!(x.measurement.contention.is_none());
+            let curve = y.measurement.contention.as_ref().expect("curve requested");
+            assert_eq!(curve.trials(), y.trials_run);
+            assert_eq!(
+                curve.len(),
+                y.measurement.rounds.max as usize,
+                "the curve spans the longest trial"
+            );
+            // The curve came from CollisionsOnly recording, not Full.
+            assert_eq!(y.cell.record_mode, RecordMode::CollisionsOnly);
+            assert!(y.cell.curve);
+        }
+        // Parallel and sequential cell execution agree for curve cells too.
+        let c = CampaignRunner::new(&curved)
+            .threads(1)
+            .run_in_memory()
+            .unwrap();
+        assert_eq!(b.records(), c.records());
     }
 
     #[test]
@@ -595,6 +746,7 @@ mod tests {
                 min: 2,
                 max: 32,
                 relative_width: 0.05,
+                stop: StopRule::MeanCostCi,
             })
             .group(
                 SweepGroup::cell(
@@ -617,6 +769,93 @@ mod tests {
             "stopped at {} trials with relative CI {}",
             record.trials_run,
             record.measurement.rounds.relative_ci95(),
+        );
+    }
+
+    #[test]
+    fn completion_ci_adaptive_stops_on_wilson_width() {
+        // A deterministic always-completing cell: the mean-cost CI collapses
+        // at 2 trials, but the Wilson half-width at p̂ = 1 is z²/(2(n + z²)),
+        // which first dips under 0.2 at n = 6 — so doubling from 2 stops at
+        // 8, not 2. The two stop rules are thereby demonstrably different,
+        // and the completion rule demonstrably tracks the Wilson width.
+        let cell = |stop| {
+            CampaignSpec::named("completion-adaptive")
+                .trials(TrialPolicy::Adaptive {
+                    min: 2,
+                    max: 64,
+                    relative_width: 0.2,
+                    stop,
+                })
+                .group(
+                    SweepGroup::cell(
+                        TopologySpec::Clique { n: 8 },
+                        GlobalAlgorithm::RoundRobin,
+                        AdversarySpec::StaticNone,
+                        ProblemSpec::GlobalFrom(0),
+                    )
+                    .rounds(RoundsRule::Fixed(1_000)),
+                )
+        };
+        let mean = CampaignRunner::new(&cell(StopRule::MeanCostCi))
+            .run_in_memory()
+            .unwrap();
+        assert_eq!(mean.records()[0].trials_run, 2, "cost CI collapses at min");
+
+        let completion = CampaignRunner::new(&cell(StopRule::CompletionCi))
+            .run_in_memory()
+            .unwrap();
+        let record = &completion.records()[0];
+        assert_eq!(
+            record.trials_run, 8,
+            "doubling stops at the first count whose Wilson half-width \
+             is within 0.2"
+        );
+        assert_eq!(record.measurement.completion_rate(), 1.0);
+        assert!(record.measurement.completion.wilson_half_width() <= 0.2);
+        // The preceding doubling (4 trials) was genuinely too wide.
+        let four = dradio_scenario::Completion {
+            completed: 4,
+            trials: 4,
+        };
+        assert!(four.wilson_half_width() > 0.2);
+        // Different stop rules are different measurements: distinct keys.
+        let mean_cells = cell(StopRule::MeanCostCi).expand().unwrap();
+        let completion_cells = cell(StopRule::CompletionCi).expand().unwrap();
+        assert_ne!(mean_cells[0].key(), completion_cells[0].key());
+        // Determinism across runs.
+        let again = CampaignRunner::new(&cell(StopRule::CompletionCi))
+            .run_in_memory()
+            .unwrap();
+        assert_eq!(completion.records(), again.records());
+    }
+
+    #[test]
+    fn completion_ci_adaptive_with_curve_streams_both() {
+        let campaign = CampaignSpec::named("completion-curve")
+            .trials(TrialPolicy::Adaptive {
+                min: 2,
+                max: 16,
+                relative_width: 0.25,
+                stop: StopRule::CompletionCi,
+            })
+            .group(
+                SweepGroup::cell(
+                    TopologySpec::DualClique { n: 16 },
+                    GlobalAlgorithm::Permuted,
+                    AdversarySpec::Iid { p: 0.5 },
+                    ProblemSpec::GlobalFrom(0),
+                )
+                .rounds(RoundsRule::Fixed(2_000))
+                .curve(true),
+            );
+        let store = CampaignRunner::new(&campaign).run_in_memory().unwrap();
+        let record = &store.records()[0];
+        let curve = record.measurement.contention.as_ref().expect("curve");
+        assert_eq!(curve.trials(), record.trials_run);
+        assert_eq!(record.cell.record_mode, RecordMode::CollisionsOnly);
+        assert!(
+            record.trials_run == 16 || record.measurement.completion.wilson_half_width() <= 0.25
         );
     }
 
@@ -698,6 +937,68 @@ mod tests {
         }
     }
 
+    #[test]
+    fn scoped_cache_builds_lazily_and_evicts_on_last_commit() {
+        let campaign = small_campaign();
+        let cells = campaign.expand().unwrap();
+        // 4 cells over 2 topologies, 2 cells each, in topology-major order.
+        let cache = TopologyCache::for_pending(&cells);
+        assert_eq!(cache.resident(), 0, "nothing is built before first use");
+
+        // First use builds; second use shares the same network.
+        let first = cache.get(&cells[0].scenario.topology).expect("tracked");
+        assert_eq!(cache.resident(), 1);
+        let again = cache.get(&cells[1].scenario.topology).expect("tracked");
+        assert!(
+            std::sync::Arc::ptr_eq(&first.dual, &again.dual),
+            "cells over one topology share one graph"
+        );
+
+        // One commit keeps the graph (a pending cell still references it);
+        // the second — last — commit drops it.
+        cache.committed(&cells[0].scenario.topology);
+        assert_eq!(cache.resident(), 1);
+        cache.committed(&cells[1].scenario.topology);
+        assert_eq!(cache.resident(), 0, "last commit evicts the topology");
+
+        // The second topology is untouched by the first one's lifecycle.
+        let _second = cache.get(&cells[2].scenario.topology).expect("tracked");
+        assert_eq!(cache.resident(), 1);
+        cache.committed(&cells[2].scenario.topology);
+        cache.committed(&cells[3].scenario.topology);
+        assert_eq!(cache.resident(), 0);
+
+        // Untracked specs (and the empty cache) fall back to per-cell
+        // builds without panicking.
+        let empty = TopologyCache::empty();
+        assert!(empty.get(&cells[0].scenario.topology).is_none());
+        empty.committed(&cells[0].scenario.topology);
+    }
+
+    #[test]
+    fn scoped_cache_does_not_cache_failing_generators() {
+        let bad = TopologySpec::DualClique { n: 7 }; // needs even n
+        let cell = CellSpec {
+            scenario: dradio_scenario::ScenarioSpec {
+                topology: bad.clone(),
+                algorithm: GlobalAlgorithm::Bgi.into(),
+                adversary: AdversarySpec::StaticNone,
+                problem: ProblemSpec::GlobalFrom(0),
+                seed: 0,
+                max_rounds: Some(100),
+                collision_detection: false,
+            },
+            trials: TrialPolicy::Fixed(1),
+            record_mode: RecordMode::None,
+            curve: false,
+        };
+        let cache = TopologyCache::for_pending(std::slice::from_ref(&cell));
+        assert!(cache.get(&bad).is_none(), "failed builds are not cached");
+        assert_eq!(cache.resident(), 0);
+        // The cell itself fails through its own build, like before.
+        assert!(run_cell(&cell, false, &cache).is_err());
+    }
+
     /// The pre-incremental adaptive allocator, kept verbatim as the
     /// reference: full `Measurement` recompute per doubling, fresh simulator
     /// per appended trial.
@@ -769,15 +1070,21 @@ mod tests {
             let cells = campaign.expand().unwrap();
             let scenario = cells[0].scenario.clone().build().unwrap();
             let runner = ScenarioRunner::new(&scenario).sequential();
-            let incremental = adaptive_trials(&runner, min, max, width).unwrap();
+            let incremental =
+                adaptive_trials(&runner, min, max, width, StopRule::MeanCostCi).unwrap();
             let reference = reference_adaptive(&runner, min, max, width);
             assert_eq!(
-                incremental.len(),
+                incremental.rounds.count,
                 reference.len(),
                 "{}: allocated trial counts diverged",
                 cells[0].label()
             );
-            assert_eq!(incremental, reference, "{}", cells[0].label());
+            assert_eq!(
+                incremental,
+                Measurement::from_trials(&reference).unwrap(),
+                "{}",
+                cells[0].label()
+            );
         }
     }
 
@@ -790,6 +1097,7 @@ mod tests {
                 min: 2,
                 max: 64,
                 relative_width: 0.10,
+                stop: StopRule::MeanCostCi,
             })
             .group(
                 SweepGroup::cell(

@@ -17,14 +17,36 @@ use serde::{Deserialize, Serialize, Value};
 
 use crate::error::{CampaignError, Result};
 
+/// Which statistic an adaptive trial policy targets with its stopping rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopRule {
+    /// Stop when the ~95% CI for the *mean cost* is tighter than
+    /// `relative_width · mean` — the classic precision target for
+    /// upper-bound experiments, and the rule every pre-`StopRule` spec ran
+    /// with. The default.
+    #[default]
+    MeanCostCi,
+    /// Stop when the half-width of the ~95% **Wilson score interval** for
+    /// the *completion rate* is at most `relative_width` (an absolute
+    /// half-width on a probability; e.g. `0.1` for ±10 percentage points).
+    /// The right target for lower-bound experiments whose claim is "the
+    /// algorithm cannot finish", where mean-cost precision says little.
+    CompletionCi,
+}
+
+serde::serde_enum!(StopRule {
+    MeanCostCi,
+    CompletionCi,
+});
+
 /// How many trials a cell runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TrialPolicy {
     /// Exactly this many trials.
     Fixed(usize),
     /// Adaptive allocation: run at least `min` trials, then keep doubling the
-    /// trial count (capped at `max`) until the 95% confidence interval for
-    /// the mean cost is tighter than `relative_width · mean`.
+    /// trial count (capped at `max`) until the [`StopRule`]'s target
+    /// statistic is tighter than `relative_width`.
     ///
     /// Stopping is evaluated on the deterministic per-trial outcomes in index
     /// order, so the allocated count — like the measurements themselves —
@@ -34,15 +56,80 @@ pub enum TrialPolicy {
         min: usize,
         /// Hard upper bound on trials.
         max: usize,
-        /// Requested relative CI half-width (e.g. `0.05` for ±5%).
+        /// Requested precision: relative CI half-width for
+        /// [`StopRule::MeanCostCi`] (e.g. `0.05` for ±5%), absolute Wilson
+        /// half-width for [`StopRule::CompletionCi`].
         relative_width: f64,
+        /// The targeted statistic (defaults to [`StopRule::MeanCostCi`],
+        /// and is omitted from the serialized form at that default so every
+        /// pre-`StopRule` spec keeps its exact bytes — and therefore its
+        /// [`CellSpec::key`]).
+        stop: StopRule,
     },
 }
 
-serde::serde_enum!(TrialPolicy {
-    Fixed(usize),
-    Adaptive { min: usize, max: usize, relative_width: f64 },
-});
+// Hand-written (instead of `serde_enum!`) so the default stop rule
+// serializes to the exact pre-`StopRule` bytes: `{"Adaptive":{"min":..,
+// "max":..,"relative_width":..}}`, with a `"stop"` key appended only for
+// non-default rules. Cell keys hash this serialization, so the default
+// must stay byte-identical forever.
+impl Serialize for TrialPolicy {
+    fn to_value(&self) -> Value {
+        match self {
+            TrialPolicy::Fixed(trials) => Value::Map(vec![("Fixed".into(), trials.to_value())]),
+            TrialPolicy::Adaptive {
+                min,
+                max,
+                relative_width,
+                stop,
+            } => {
+                let mut fields = vec![
+                    ("min".into(), min.to_value()),
+                    ("max".into(), max.to_value()),
+                    ("relative_width".into(), relative_width.to_value()),
+                ];
+                if *stop != StopRule::default() {
+                    fields.push(("stop".into(), stop.to_value()));
+                }
+                Value::Map(vec![("Adaptive".into(), Value::Map(fields))])
+            }
+        }
+    }
+}
+
+impl Deserialize for TrialPolicy {
+    fn from_value(value: &Value) -> std::result::Result<Self, serde::Error> {
+        let (name, payload) = value
+            .as_variant()
+            .ok_or_else(|| serde::Error::expected("a TrialPolicy variant", value))?;
+        let payload =
+            payload.ok_or_else(|| serde::Error::new(format!("{name} needs a payload")))?;
+        match name {
+            "Fixed" => Ok(TrialPolicy::Fixed(usize::from_value(payload)?)),
+            "Adaptive" => {
+                let field = |field: &str| {
+                    payload.get(field).ok_or_else(|| {
+                        serde::Error::new(format!(
+                            "TrialPolicy::Adaptive is missing field {field:?}"
+                        ))
+                    })
+                };
+                Ok(TrialPolicy::Adaptive {
+                    min: usize::from_value(field("min")?)?,
+                    max: usize::from_value(field("max")?)?,
+                    relative_width: f64::from_value(field("relative_width")?)?,
+                    stop: match payload.get("stop") {
+                        Some(v) => StopRule::from_value(v)?,
+                        None => StopRule::default(),
+                    },
+                })
+            }
+            other => Err(serde::Error::new(format!(
+                "unknown TrialPolicy variant {other:?}"
+            ))),
+        }
+    }
+}
 
 impl TrialPolicy {
     /// Validates the policy.
@@ -61,6 +148,7 @@ impl TrialPolicy {
                 min,
                 max,
                 relative_width,
+                stop,
             } => {
                 if min == 0 {
                     Err(CampaignError::spec(
@@ -74,6 +162,11 @@ impl TrialPolicy {
                     Err(CampaignError::spec(format!(
                         "adaptive trial policy needs a positive finite relative width, \
                          got {relative_width}"
+                    )))
+                } else if stop == StopRule::CompletionCi && relative_width >= 1.0 {
+                    Err(CampaignError::spec(format!(
+                        "a completion-targeted stop rule needs a Wilson half-width target \
+                         below 1 (a probability half-width), got {relative_width}"
                     )))
                 } else {
                     Ok(())
@@ -181,6 +274,13 @@ pub struct SweepGroup {
     /// recording history per trial is pure overhead). Not part of a cell's
     /// identity — measurements are identical under every mode.
     pub record_mode: RecordMode,
+    /// Whether this group's cells stream a mean contention-over-time curve
+    /// into their measurements. Requesting a curve auto-promotes a
+    /// [`RecordMode::None`] cell to [`RecordMode::CollisionsOnly`] at
+    /// expansion time (per-round counts are needed; full history is not).
+    /// Like the record mode, this is **not** part of a cell's identity: the
+    /// scalar statistics are identical with and without the curve.
+    pub curve: bool,
 }
 
 impl SweepGroup {
@@ -201,6 +301,7 @@ impl SweepGroup {
             rounds: RoundsRule::ScenarioDefault,
             collision_detection: false,
             record_mode: RecordMode::None,
+            curve: false,
         }
     }
 
@@ -247,6 +348,13 @@ impl SweepGroup {
     /// [`RecordMode::None`]).
     pub fn record_mode(mut self, record_mode: RecordMode) -> Self {
         self.record_mode = record_mode;
+        self
+    }
+
+    /// Requests a mean contention-over-time curve in this group's
+    /// measurements (default off).
+    pub fn curve(mut self, enabled: bool) -> Self {
+        self.curve = enabled;
         self
     }
 
@@ -313,6 +421,7 @@ impl Serialize for SweepGroup {
                 self.collision_detection.to_value(),
             ),
             ("record_mode".into(), self.record_mode.to_value()),
+            ("curve".into(), self.curve.to_value()),
         ])
     }
 }
@@ -348,6 +457,10 @@ impl Deserialize for SweepGroup {
             record_mode: match value.get("record_mode") {
                 Some(v) => RecordMode::from_value(v)?,
                 None => RecordMode::None,
+            },
+            curve: match value.get("curve") {
+                Some(v) => bool::from_value(v)?,
+                None => false,
             },
         })
     }
@@ -438,6 +551,15 @@ impl CampaignSpec {
                 for algorithm in &group.algorithms {
                     for adversary in &group.adversaries {
                         for problem in &group.problems {
+                            // A curve needs per-round collision counts:
+                            // promote the history-free mode to
+                            // CollisionsOnly (never to Full).
+                            let record_mode =
+                                if group.curve && !group.record_mode.records_collisions() {
+                                    RecordMode::CollisionsOnly
+                                } else {
+                                    group.record_mode
+                                };
                             let cell = CellSpec {
                                 scenario: ScenarioSpec {
                                     topology: topology.clone(),
@@ -449,7 +571,8 @@ impl CampaignSpec {
                                     collision_detection: group.collision_detection,
                                 },
                                 trials,
-                                record_mode: group.record_mode,
+                                record_mode,
+                                curve: group.curve,
                             };
                             if seen.insert(cell.key()) {
                                 cells.push(cell);
@@ -525,6 +648,11 @@ pub struct CellSpec {
     /// (pinned by the equivalence tests), so two cells differing only in
     /// record mode are the same measurement and share a store record.
     pub record_mode: RecordMode,
+    /// Whether the cell streams a contention-over-time curve into its
+    /// measurement. Also **not part of the cell's identity** (the scalar
+    /// statistics are unchanged), and omitted from the serialized form when
+    /// off so pre-curve stores keep their exact bytes.
+    pub curve: bool,
 }
 
 impl CellSpec {
@@ -564,11 +692,15 @@ impl CellSpec {
 
 impl Serialize for CellSpec {
     fn to_value(&self) -> Value {
-        Value::Map(vec![
+        let mut fields = vec![
             ("scenario".into(), self.scenario.to_value()),
             ("trials".into(), self.trials.to_value()),
             ("record_mode".into(), self.record_mode.to_value()),
-        ])
+        ];
+        if self.curve {
+            fields.push(("curve".into(), self.curve.to_value()));
+        }
+        Value::Map(fields)
     }
 }
 
@@ -586,6 +718,11 @@ impl Deserialize for CellSpec {
             record_mode: match value.get("record_mode") {
                 Some(v) => RecordMode::from_value(v)?,
                 None => RecordMode::None,
+            },
+            // Absent in stores written before curves existed.
+            curve: match value.get("curve") {
+                Some(v) => bool::from_value(v)?,
+                None => false,
             },
         })
     }
@@ -693,21 +830,25 @@ mod tests {
                 min: 0,
                 max: 4,
                 relative_width: 0.1,
+                stop: StopRule::MeanCostCi,
             },
             TrialPolicy::Adaptive {
                 min: 4,
                 max: 2,
                 relative_width: 0.1,
+                stop: StopRule::MeanCostCi,
             },
             TrialPolicy::Adaptive {
                 min: 1,
                 max: 4,
                 relative_width: 0.0,
+                stop: StopRule::MeanCostCi,
             },
             TrialPolicy::Adaptive {
                 min: 1,
                 max: 4,
                 relative_width: f64::NAN,
+                stop: StopRule::MeanCostCi,
             },
         ] {
             assert!(bad.validate().is_err(), "{bad:?} should be rejected");
@@ -757,6 +898,144 @@ mod tests {
     }
 
     #[test]
+    fn default_stop_rule_keeps_the_legacy_policy_bytes() {
+        // The exact serialization every pre-StopRule spec produced — cell
+        // keys hash it, so it must never change for the default rule.
+        let legacy = TrialPolicy::Adaptive {
+            min: 2,
+            max: 8,
+            relative_width: 0.2,
+            stop: StopRule::MeanCostCi,
+        };
+        assert_eq!(
+            serde_json::to_string(&legacy).unwrap(),
+            "{\"Adaptive\":{\"min\":2,\"max\":8,\"relative_width\":0.2}}"
+        );
+        assert_eq!(
+            serde_json::to_string(&TrialPolicy::Fixed(3)).unwrap(),
+            "{\"Fixed\":3}"
+        );
+        // A non-default rule appends the stop key...
+        let completion = TrialPolicy::Adaptive {
+            min: 2,
+            max: 8,
+            relative_width: 0.2,
+            stop: StopRule::CompletionCi,
+        };
+        assert_eq!(
+            serde_json::to_string(&completion).unwrap(),
+            "{\"Adaptive\":{\"min\":2,\"max\":8,\"relative_width\":0.2,\"stop\":\"CompletionCi\"}}"
+        );
+        // ...and every shape round-trips, including legacy values without
+        // the key.
+        for policy in [legacy, completion, TrialPolicy::Fixed(3)] {
+            let json = serde_json::to_string(&policy).unwrap();
+            let back: TrialPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, policy);
+        }
+        let old: TrialPolicy =
+            serde_json::from_str("{\"Adaptive\":{\"min\":1,\"max\":4,\"relative_width\":0.5}}")
+                .unwrap();
+        assert_eq!(
+            old,
+            TrialPolicy::Adaptive {
+                min: 1,
+                max: 4,
+                relative_width: 0.5,
+                stop: StopRule::MeanCostCi,
+            }
+        );
+    }
+
+    #[test]
+    fn completion_stop_rules_change_cell_keys_but_defaults_do_not() {
+        let base = sample_campaign().trials(TrialPolicy::Adaptive {
+            min: 2,
+            max: 8,
+            relative_width: 0.2,
+            stop: StopRule::MeanCostCi,
+        });
+        let completion = sample_campaign().trials(TrialPolicy::Adaptive {
+            min: 2,
+            max: 8,
+            relative_width: 0.2,
+            stop: StopRule::CompletionCi,
+        });
+        for (a, b) in base
+            .expand()
+            .unwrap()
+            .iter()
+            .zip(&completion.expand().unwrap())
+        {
+            assert_ne!(
+                a.key(),
+                b.key(),
+                "a different stop rule allocates different trials — a \
+                 different measurement"
+            );
+        }
+        // Degenerate completion widths are rejected up front.
+        assert!(TrialPolicy::Adaptive {
+            min: 1,
+            max: 4,
+            relative_width: 1.0,
+            stop: StopRule::CompletionCi,
+        }
+        .validate()
+        .is_err());
+        assert!(TrialPolicy::Adaptive {
+            min: 1,
+            max: 4,
+            relative_width: 1.0,
+            stop: StopRule::MeanCostCi,
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn curve_groups_promote_history_free_cells_to_collisions_only() {
+        let mut campaign = sample_campaign();
+        campaign.groups[0].curve = true;
+        let cells = campaign.expand().unwrap();
+        for cell in &cells {
+            assert!(cell.curve);
+            assert_eq!(
+                cell.record_mode,
+                RecordMode::CollisionsOnly,
+                "a curve needs per-round counts — and must not promote to Full"
+            );
+        }
+        // An explicit Full mode is left alone; the builder sets the flag.
+        let mut full = sample_campaign();
+        full.groups[0] = full.groups[0]
+            .clone()
+            .curve(true)
+            .record_mode(RecordMode::Full);
+        for cell in &full.expand().unwrap() {
+            assert_eq!(cell.record_mode, RecordMode::Full);
+        }
+        // Like record mode, the curve flag is not part of the identity...
+        let plain_cells = sample_campaign().expand().unwrap();
+        for (a, b) in plain_cells.iter().zip(&cells) {
+            assert_eq!(a.key(), b.key(), "curve must not change the key");
+        }
+        // ...and it round-trips through cell serde, with absence meaning
+        // off (pre-curve stores).
+        let json = serde_json::to_string(&cells[0]).unwrap();
+        assert!(json.contains("\"curve\":true"));
+        let back: CellSpec = serde_json::from_str(&json).unwrap();
+        assert!(back.curve);
+        let plain_json = serde_json::to_string(&plain_cells[0]).unwrap();
+        assert!(
+            !plain_json.contains("curve"),
+            "curve-less cells keep the pre-curve bytes: {plain_json}"
+        );
+        let back: CellSpec = serde_json::from_str(&plain_json).unwrap();
+        assert!(!back.curve);
+    }
+
+    #[test]
     fn cell_keys_depend_only_on_content() {
         let cells = sample_campaign().expand().unwrap();
         let again = sample_campaign().expand().unwrap();
@@ -782,6 +1061,7 @@ mod tests {
                 min: 2,
                 max: 16,
                 relative_width: 0.25,
+                stop: StopRule::MeanCostCi,
             })
             .rounds(RoundsRule::PerNode {
                 per_node: 40,

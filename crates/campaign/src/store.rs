@@ -16,6 +16,7 @@
 //! byte.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -24,7 +25,7 @@ use dradio_scenario::{Measurement, ScenarioSpec};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::error::{CampaignError, Result};
-use crate::spec::CellSpec;
+use crate::spec::{CampaignSpec, CellSpec};
 
 /// One stored measurement: the cell, how many trials actually ran (relevant
 /// under adaptive allocation), and the aggregate.
@@ -237,6 +238,105 @@ impl ResultStore {
         self.records.push(record);
         Ok(())
     }
+
+    /// Compacts a file-backed store against a campaign spec: rewrites the
+    /// file keeping only the records in `spec`'s expansion, in expansion
+    /// order. Records from superseded campaign versions (keys no longer in
+    /// the expansion) are dropped; kept record lines are carried over **as
+    /// their original bytes** (not re-serialized), so reports over the
+    /// compacted store are identical and compaction is idempotent.
+    ///
+    /// The rewrite goes through a sibling temp file that atomically replaces
+    /// the original, and the original is **never truncated on failure**: the
+    /// store must exist and load cleanly first — a key-integrity failure (or
+    /// any other load error) aborts the compaction with the file untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Store`] if the store is missing, fails to load, or
+    /// fails to rewrite, and [`CampaignError::Spec`] if the campaign fails
+    /// to expand.
+    pub fn compact(spec: &CampaignSpec, path: impl AsRef<Path>) -> Result<CompactReport> {
+        let path = path.as_ref();
+        // `open` would create a missing file; compacting nothing into an
+        // empty store silently would hide a typo'd path.
+        if !path.exists() {
+            return Err(CampaignError::store(format!(
+                "cannot compact {}: the store does not exist",
+                path.display()
+            )));
+        }
+        // Refuses corrupted or tampered stores before any byte is written.
+        let store = ResultStore::open(path)?;
+        let cells = spec.expand()?;
+
+        // The kept lines are the original bytes: open() leaves the file as
+        // one newline-terminated line per loaded record (any torn tail was
+        // truncated away), so lines and records zip one to one.
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CampaignError::store(format!("cannot read {}: {e}", path.display())))?;
+        let lines: Vec<&str> = text.split_inclusive('\n').collect();
+        debug_assert_eq!(lines.len(), store.len());
+
+        let mut kept_lines = String::new();
+        let mut kept = 0usize;
+        let mut missing = 0usize;
+        for cell in &cells {
+            match store.index.get(&cell.key()) {
+                Some(&i) => {
+                    kept_lines.push_str(lines[i]);
+                    kept += 1;
+                }
+                None => missing += 1,
+            }
+        }
+        let dropped = store.len() - kept;
+        drop(store);
+
+        let tmp_path = {
+            let mut p = path.as_os_str().to_owned();
+            p.push(".compact-tmp");
+            PathBuf::from(p)
+        };
+        std::fs::write(&tmp_path, kept_lines).map_err(|e| {
+            CampaignError::store(format!("cannot write {}: {e}", tmp_path.display()))
+        })?;
+        std::fs::rename(&tmp_path, path).map_err(|e| {
+            CampaignError::store(format!(
+                "cannot replace {} with its compaction: {e}",
+                path.display()
+            ))
+        })?;
+        Ok(CompactReport {
+            cells: cells.len(),
+            kept,
+            dropped,
+            missing,
+        })
+    }
+}
+
+/// What a [`ResultStore::compact`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactReport {
+    /// Cells in the campaign's expansion.
+    pub cells: usize,
+    /// Records kept (present in both the store and the expansion).
+    pub kept: usize,
+    /// Records dropped (stored, but no longer in the expansion).
+    pub dropped: usize,
+    /// Expansion cells with no stored record yet (left for a future run).
+    pub missing: usize,
+}
+
+impl fmt::Display for CompactReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kept {} of {} cells, dropped {} stale records, {} not yet measured",
+            self.kept, self.cells, self.dropped, self.missing
+        )
+    }
 }
 
 #[cfg(test)]
@@ -244,7 +344,7 @@ mod tests {
     use super::*;
     use crate::spec::TrialPolicy;
     use dradio_core::algorithms::GlobalAlgorithm;
-    use dradio_scenario::{AdversarySpec, ProblemSpec, Summary, TopologySpec};
+    use dradio_scenario::{AdversarySpec, Completion, ProblemSpec, Summary, TopologySpec};
 
     fn record(n: usize) -> CellRecord {
         let cell = CellSpec {
@@ -259,6 +359,7 @@ mod tests {
             },
             trials: TrialPolicy::Fixed(2),
             record_mode: dradio_scenario::RecordMode::None,
+            curve: false,
         };
         CellRecord {
             key: cell.key(),
@@ -266,8 +367,12 @@ mod tests {
             trials_run: 2,
             measurement: Measurement {
                 rounds: Summary::from_counts(&[n, n + 2]),
-                completion_rate: 1.0,
+                completion: Completion {
+                    completed: 2,
+                    trials: 2,
+                },
                 mean_collisions: 0.5,
+                contention: None,
             },
         }
     }
@@ -364,6 +469,125 @@ mod tests {
         text = format!("this is not json\n{text}");
         std::fs::write(&path, text).unwrap();
         assert!(ResultStore::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A campaign whose expansion is exactly the `record(n)` cells for the
+    /// given sizes, in order.
+    fn campaign_over(sizes: &[usize]) -> CampaignSpec {
+        let mut spec = CampaignSpec::named("compaction").seed(1);
+        for &n in sizes {
+            spec = spec.group(
+                crate::spec::SweepGroup::cell(
+                    TopologySpec::Clique { n },
+                    GlobalAlgorithm::Bgi,
+                    AdversarySpec::StaticNone,
+                    ProblemSpec::GlobalFrom(0),
+                )
+                .trials(TrialPolicy::Fixed(2))
+                .rounds(crate::spec::RoundsRule::Fixed(100)),
+            );
+        }
+        spec
+    }
+
+    #[test]
+    fn compact_keeps_expansion_records_in_expansion_order() {
+        let path = temp_path("compact");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            // A stale record (not in the spec), plus two live ones appended
+            // in the *reverse* of expansion order.
+            store.append(record(64)).unwrap();
+            store.append(record(16)).unwrap();
+            store.append(record(8)).unwrap();
+        }
+        let spec = campaign_over(&[8, 16, 32]);
+        // Sanity: the synthetic records' keys match the spec's cells.
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells[0].key(), record(8).key);
+
+        let report = ResultStore::compact(&spec, &path).unwrap();
+        assert_eq!(
+            report,
+            CompactReport {
+                cells: 3,
+                kept: 2,
+                dropped: 1,
+                missing: 1,
+            }
+        );
+        assert!(report.to_string().contains("kept 2 of 3"));
+
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(
+            store.records(),
+            &[record(8), record(16)],
+            "expansion order, stale record dropped"
+        );
+        // Kept lines are byte-identical: compacting an already-compact
+        // store is the identity.
+        let bytes = std::fs::read(&path).unwrap();
+        ResultStore::compact(&spec, &path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_requires_an_existing_store() {
+        let path = temp_path("compact-missing");
+        assert!(
+            ResultStore::compact(&campaign_over(&[8]), &path).is_err(),
+            "compacting a nonexistent store must fail, not create one"
+        );
+        assert!(!path.exists(), "no empty store left behind");
+    }
+
+    #[test]
+    fn compact_preserves_original_line_bytes_verbatim() {
+        // A measurement whose floats would not re-serialize to the same
+        // bytes (completion_rate hand-rounded to 0.67): the cell is
+        // untouched so the key check passes, and compaction must carry the
+        // line over verbatim instead of re-serializing (and so rewriting)
+        // it.
+        let path = temp_path("compact-verbatim");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append(record(8)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let odd = text.replace("\"completion_rate\":1.0", "\"completion_rate\":0.67");
+        assert_ne!(text, odd);
+        std::fs::write(&path, &odd).unwrap();
+
+        ResultStore::compact(&campaign_over(&[8]), &path).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            odd,
+            "kept lines are original bytes, not a re-serialization"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_refuses_to_touch_a_corrupted_store() {
+        let path = temp_path("compact-corrupt");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append(record(8)).unwrap();
+            store.append(record(16)).unwrap();
+        }
+        // Tamper with a cell but keep its stored key: the key-integrity
+        // check must reject the store and leave every byte alone.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("\"n\":8", "\"n\":12", 1);
+        std::fs::write(&path, &tampered).unwrap();
+        assert!(ResultStore::compact(&campaign_over(&[8, 16]), &path).is_err());
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            tampered,
+            "a failed compaction must not truncate or rewrite the store"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

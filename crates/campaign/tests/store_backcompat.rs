@@ -1,0 +1,213 @@
+//! Store backwards compatibility, pinned against **verbatim bytes written by
+//! the pre-refactor binary** (the build preceding the typed-metrics
+//! pipeline: no `StopRule`, no `curve` flag, no `contention` field).
+//!
+//! The campaign engine's durability story rests on byte-stable stores: a
+//! resumed run must reproduce the uninterrupted store byte for byte, across
+//! binary versions. These tests pin that a store written by the old binary
+//!
+//! * **loads** under the new code (keys verify, counts reconstruct),
+//! * **reports** the same statistics (rates, summaries, trial counts),
+//! * **resumes** byte-identically (the new binary appends exactly the bytes
+//!   the old binary would have), and
+//! * **re-serializes** every record to its original line.
+//!
+//! The fixtures were captured by running the pre-refactor `repro` binary on
+//! its own `--example-campaign` output (an adaptive sweep) and on a small
+//! fixed-trials campaign with a fractional completion rate (exercising the
+//! completion-count reconstruction). If any of these tests fails, the store
+//! format has drifted — bump a format version rather than editing the
+//! fixtures.
+
+use dradio_campaign::{CampaignRunner, CampaignSpec, ResultStore, StopRule, TrialPolicy};
+
+/// `--example-campaign` of the pre-refactor binary (adaptive trial policy,
+/// serialized without a `stop` field).
+const GOLDEN_CAMPAIGN: &str = r#"{"name":"example-clique-sweep","seed":1,"trials":{"Adaptive":{"min":2,"max":8,"relative_width":0.2}},"groups":[{"topologies":[{"DualClique":{"n":16}},{"DualClique":{"n":32}}],"algorithms":[{"Global":"Bgi"},{"Global":"Permuted"}],"adversaries":[{"Iid":{"p":0.5}}],"problems":[{"GlobalFrom":0}],"seed":null,"trials":null,"rounds":{"PerNode":{"per_node":60,"base":0,"min_nodes":16}},"collision_detection":false,"record_mode":"None"}]}"#;
+
+/// The complete store the pre-refactor binary wrote for
+/// [`GOLDEN_CAMPAIGN`], byte for byte.
+const GOLDEN_STORE: &str = concat!(
+    r#"{"key":"126c8e1cc5cc097c","cell":{"scenario":{"topology":{"DualClique":{"n":16}},"algorithm":{"Global":"Bgi"},"adversary":{"Iid":{"p":0.5}},"problem":{"GlobalFrom":0},"seed":1,"max_rounds":960,"collision_detection":false},"trials":{"Adaptive":{"min":2,"max":8,"relative_width":0.2}},"record_mode":"None"},"trials_run":8,"measurement":{"rounds":{"count":8,"mean":9.25,"std_dev":6.08863109175031,"min":2.0,"max":19.0,"median":9.0,"p95":19.0},"completion_rate":1.0,"mean_collisions":29.25}}"#,
+    "\n",
+    r#"{"key":"a7a5e400c1b0ef0a","cell":{"scenario":{"topology":{"DualClique":{"n":16}},"algorithm":{"Global":"Permuted"},"adversary":{"Iid":{"p":0.5}},"problem":{"GlobalFrom":0},"seed":1,"max_rounds":960,"collision_detection":false},"trials":{"Adaptive":{"min":2,"max":8,"relative_width":0.2}},"record_mode":"None"},"trials_run":2,"measurement":{"rounds":{"count":2,"mean":5.5,"std_dev":0.7071067811865476,"min":5.0,"max":6.0,"median":5.5,"p95":6.0},"completion_rate":1.0,"mean_collisions":8.5}}"#,
+    "\n",
+    r#"{"key":"e9920d077e512d29","cell":{"scenario":{"topology":{"DualClique":{"n":32}},"algorithm":{"Global":"Bgi"},"adversary":{"Iid":{"p":0.5}},"problem":{"GlobalFrom":0},"seed":1,"max_rounds":1920,"collision_detection":false},"trials":{"Adaptive":{"min":2,"max":8,"relative_width":0.2}},"record_mode":"None"},"trials_run":8,"measurement":{"rounds":{"count":8,"mean":10.75,"std_dev":6.670832032063167,"min":4.0,"max":24.0,"median":10.0,"p95":24.0},"completion_rate":1.0,"mean_collisions":127.0}}"#,
+    "\n",
+    r#"{"key":"4b8885fac942a1c3","cell":{"scenario":{"topology":{"DualClique":{"n":32}},"algorithm":{"Global":"Permuted"},"adversary":{"Iid":{"p":0.5}},"problem":{"GlobalFrom":0},"seed":1,"max_rounds":1920,"collision_detection":false},"trials":{"Adaptive":{"min":2,"max":8,"relative_width":0.2}},"record_mode":"None"},"trials_run":8,"measurement":{"rounds":{"count":8,"mean":14.75,"std_dev":7.025463889106744,"min":9.0,"max":31.0,"median":12.0,"p95":31.0},"completion_rate":1.0,"mean_collisions":137.25}}"#,
+    "\n",
+);
+
+/// A pre-refactor store line with a fractional completion rate (2 of 3
+/// trials completed), exercising the rate → integer-count reconstruction.
+const GOLDEN_FRACTIONAL_CAMPAIGN: &str = r#"{"name":"golden-fixed","seed":1,"trials":{"Fixed":3},"groups":[{"topologies":[{"DualClique":{"n":16}}],"algorithms":[{"Global":"Bgi"}],"adversaries":[{"Iid":{"p":0.5}}],"problems":[{"GlobalFrom":0}],"seed":null,"trials":null,"rounds":{"Fixed":5},"collision_detection":false,"record_mode":"None"}]}"#;
+
+const GOLDEN_FRACTIONAL_STORE: &str = concat!(
+    r#"{"key":"ff4ffd889951a8fa","cell":{"scenario":{"topology":{"DualClique":{"n":16}},"algorithm":{"Global":"Bgi"},"adversary":{"Iid":{"p":0.5}},"problem":{"GlobalFrom":0},"seed":1,"max_rounds":5,"collision_detection":false},"trials":{"Fixed":3},"record_mode":"None"},"trials_run":3,"measurement":{"rounds":{"count":3,"mean":3.6666666666666665,"std_dev":1.5275252316519465,"min":2.0,"max":5.0,"median":4.0,"p95":5.0},"completion_rate":0.6666666666666666,"mean_collisions":10.333333333333334}}"#,
+    "\n",
+);
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "dradio-backcompat-{tag}-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn old_store_loads_and_reserializes_byte_identically() {
+    let path = temp_path("load");
+    std::fs::write(&path, GOLDEN_STORE).unwrap();
+    let store = ResultStore::open(&path).unwrap();
+    assert_eq!(store.len(), 4, "every old record loads");
+    // Loading a clean old store must not rewrite a single byte.
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), GOLDEN_STORE);
+
+    // Each record re-serializes to its original line: the new measurement
+    // shape (integer completion counts, optional contention) is invisible
+    // for curve-less records.
+    for (record, line) in store.records().iter().zip(GOLDEN_STORE.lines()) {
+        assert_eq!(
+            serde_json::to_string(record).unwrap(),
+            line,
+            "record {} drifted from its pre-refactor bytes",
+            record.key
+        );
+    }
+
+    // The loaded records report the same statistics the old binary printed,
+    // with the completion counts reconstructed exactly.
+    let first = &store.records()[0];
+    assert_eq!(first.trials_run, 8);
+    assert_eq!(first.measurement.rounds.count, 8);
+    assert_eq!(first.measurement.completion.completed, 8);
+    assert_eq!(first.measurement.completion.trials, 8);
+    assert_eq!(first.measurement.completion_rate(), 1.0);
+    assert!(first.measurement.contention.is_none());
+    // The old adaptive policy deserializes to the default stop rule.
+    assert_eq!(
+        first.cell.trials,
+        TrialPolicy::Adaptive {
+            min: 2,
+            max: 8,
+            relative_width: 0.2,
+            stop: StopRule::MeanCostCi,
+        }
+    );
+    assert!(!first.cell.curve);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn old_fractional_completion_rates_reconstruct_exact_counts() {
+    let path = temp_path("fraction");
+    std::fs::write(&path, GOLDEN_FRACTIONAL_STORE).unwrap();
+    let store = ResultStore::open(&path).unwrap();
+    let record = &store.records()[0];
+    assert_eq!(record.measurement.completion.completed, 2);
+    assert_eq!(record.measurement.completion.trials, 3);
+    // 2/3 re-divides to the identical f64, so the line is byte-stable.
+    assert_eq!(
+        serde_json::to_string(record).unwrap(),
+        GOLDEN_FRACTIONAL_STORE.trim_end_matches('\n')
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn old_cell_keys_are_unchanged_under_the_new_key_function() {
+    // CellSpec::key() over the old cells must reproduce the old hashes —
+    // otherwise every resume would re-measure (and duplicate) everything.
+    let path = temp_path("keys");
+    std::fs::write(&path, GOLDEN_STORE).unwrap();
+    let store = ResultStore::open(&path).unwrap();
+    let expected = [
+        "126c8e1cc5cc097c",
+        "a7a5e400c1b0ef0a",
+        "e9920d077e512d29",
+        "4b8885fac942a1c3",
+    ];
+    for (record, key) in store.records().iter().zip(expected) {
+        assert_eq!(record.key, key);
+        assert_eq!(record.cell.key(), key, "key function drifted");
+    }
+    // And the spec's own expansion still produces exactly these cells.
+    let spec: CampaignSpec = serde_json::from_str(GOLDEN_CAMPAIGN).unwrap();
+    let cells = spec.expand().unwrap();
+    assert_eq!(cells.len(), 4);
+    for (cell, key) in cells.iter().zip(expected) {
+        assert_eq!(cell.key(), key, "{}", cell.label());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn old_store_resumes_byte_identically_under_the_new_binary() {
+    // A partial old store — the first two records — resumed by the new
+    // code must complete to the old binary's full store byte for byte:
+    // same keys, same seeds, same measurements, same serialization.
+    let path = temp_path("resume");
+    let two_lines: String = GOLDEN_STORE
+        .lines()
+        .take(2)
+        .flat_map(|l| [l, "\n"])
+        .collect();
+    std::fs::write(&path, &two_lines).unwrap();
+
+    let spec: CampaignSpec = serde_json::from_str(GOLDEN_CAMPAIGN).unwrap();
+    let mut store = ResultStore::open(&path).unwrap();
+    let report = CampaignRunner::new(&spec).run(&mut store).unwrap();
+    assert_eq!(report.skipped, 2, "the old records are recognised");
+    assert_eq!(report.executed, 2, "only the missing suffix runs");
+    drop(store);
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        GOLDEN_STORE,
+        "resume under the new binary must reproduce the old store's bytes"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn fresh_runs_of_old_campaigns_reproduce_old_stores() {
+    // The strongest form: from an empty store, the new binary re-measures
+    // the old campaign to the exact bytes the old binary wrote.
+    for (campaign, golden, tag) in [
+        (GOLDEN_CAMPAIGN, GOLDEN_STORE, "fresh-adaptive"),
+        (
+            GOLDEN_FRACTIONAL_CAMPAIGN,
+            GOLDEN_FRACTIONAL_STORE,
+            "fresh-fixed",
+        ),
+    ] {
+        let path = temp_path(tag);
+        let spec: CampaignSpec = serde_json::from_str(campaign).unwrap();
+        let mut store = ResultStore::open(&path).unwrap();
+        CampaignRunner::new(&spec).run(&mut store).unwrap();
+        drop(store);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            golden,
+            "{tag}: the new binary's measurements drifted from the old ones"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn compacting_an_old_store_is_the_identity() {
+    // Every old record is in the old spec's expansion, so compaction keeps
+    // all of them — byte for byte, in the same order.
+    let path = temp_path("compact-old");
+    std::fs::write(&path, GOLDEN_STORE).unwrap();
+    let spec: CampaignSpec = serde_json::from_str(GOLDEN_CAMPAIGN).unwrap();
+    let report = ResultStore::compact(&spec, &path).unwrap();
+    assert_eq!(report.kept, 4);
+    assert_eq!(report.dropped, 0);
+    assert_eq!(report.missing, 0);
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), GOLDEN_STORE);
+    let _ = std::fs::remove_file(&path);
+}

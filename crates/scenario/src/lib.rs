@@ -60,11 +60,12 @@ pub mod topology;
 pub use adversary::AdversarySpec;
 pub use error::{Result, ScenarioError};
 pub use problem::{AlgorithmSpec, ProblemSpec, ResolvedProblem};
-pub use runner::{Measurement, ScenarioRunner, TrialOutcome, TRIAL_STREAM_BASE};
+pub use runner::{Measurement, ScenarioRunner, TrialAccumulator, TrialOutcome, TRIAL_STREAM_BASE};
 pub use scenario::{LinkBuilder, Scenario, ScenarioBuilder, ScenarioSpec};
-pub use stats::{Moments, Summary};
+pub use stats::{Completion, ContentionCurve, Moments, Summary};
 pub use topology::{BuiltTopology, TopologySpec};
 
-// Re-exported so scenario and campaign callers can select a record mode or
-// hold a reusable executor without depending on `dradio-sim` directly.
-pub use dradio_sim::{RecordMode, TrialExecutor};
+// Re-exported so scenario and campaign callers can select a record mode,
+// read typed per-trial metrics, or hold a reusable executor without
+// depending on `dradio-sim` directly.
+pub use dradio_sim::{RecordMode, TrialExecutor, TrialMetrics};

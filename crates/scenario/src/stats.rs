@@ -184,6 +184,242 @@ impl Moments {
     }
 }
 
+impl Moments {
+    /// An accumulator equal to pushing `count` zero samples (exact in
+    /// floating point: the mean and `M2` of an all-zero series are zero).
+    /// The contention-curve accumulator uses this to backfill rounds a
+    /// newly-seen longer trial introduces.
+    pub fn zeros(count: usize) -> Self {
+        Moments {
+            count,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    /// The raw sum of squared deviations (Welford's `M2`) — exposed so the
+    /// accumulator can be serialized and rebuilt exactly.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuilds an accumulator from its serialized parts. Inverse of
+    /// (`count()`, `mean()`, `m2()`); meant for deserialization, not for
+    /// hand-constructing statistics.
+    pub fn from_parts(count: usize, mean: f64, m2: f64) -> Self {
+        Moments { count, mean, m2 }
+    }
+}
+
+/// The z value of a two-sided ~95% normal interval, shared by the mean-cost
+/// CI ([`Summary::ci95_half_width`]) and the Wilson score interval
+/// ([`Completion::wilson_ci95`]).
+const Z95: f64 = 1.96;
+
+/// Completion statistics of a trial batch: how many of the trials met their
+/// stop condition within the round budget.
+///
+/// Stored as the exact integer counts, so the rate and its Wilson score
+/// interval are reproducible; serialized inside
+/// [`Measurement`](crate::Measurement) as the `completion_rate` field the
+/// pre-curve store format used (byte-compatible), with the counts rebuilt
+/// from the rate and the trial count on load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Completion {
+    /// Trials that completed within the budget.
+    pub completed: usize,
+    /// Total trials.
+    pub trials: usize,
+}
+
+impl Completion {
+    /// The completion fraction (`0` for an empty batch).
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.trials as f64
+        }
+    }
+
+    /// The ~95% Wilson score interval for the completion probability, as
+    /// `(lower, upper)`.
+    ///
+    /// Unlike the normal approximation it stays inside `[0, 1]` and remains
+    /// informative at the boundary rates the lower-bound experiments
+    /// produce (all trials censored, or all completed). Collapses to
+    /// `(rate, rate)` for an empty batch.
+    pub fn wilson_ci95(&self) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 0.0);
+        }
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z2 = Z95 * Z95;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let spread = Z95 * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        (center - spread, center + spread)
+    }
+
+    /// Half the width of the ~95% Wilson interval — the quantity a
+    /// completion-targeted adaptive stop rule compares against its requested
+    /// precision. Zero for an empty batch.
+    pub fn wilson_half_width(&self) -> f64 {
+        let (lo, hi) = self.wilson_ci95();
+        (hi - lo) / 2.0
+    }
+}
+
+impl fmt::Display for Completion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lo, hi) = self.wilson_ci95();
+        write!(
+            f,
+            "{:.0}% [{:.0}%, {:.0}%]",
+            self.rate() * 100.0,
+            lo * 100.0,
+            hi * 100.0
+        )
+    }
+}
+
+/// Mean contention over time: per-round [`Moments`] of the collision count,
+/// streamed one trial at a time — the aggregate never retains any per-trial
+/// curve.
+///
+/// Round `r` aggregates, over **all** trials of the batch, the number of
+/// collisions the engine observed in round `r`; a trial that finished (or
+/// was censored) before round `r` contributes zero, so every round's
+/// accumulator holds exactly `trials()` samples and the curve's tail decays
+/// as trials complete. Folding is deterministic in trial-index order, which
+/// is the order every aggregation path uses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ContentionCurve {
+    trials: usize,
+    per_round: Vec<Moments>,
+}
+
+impl ContentionCurve {
+    /// An empty curve (no trials folded yet).
+    pub fn new() -> Self {
+        ContentionCurve::default()
+    }
+
+    /// Folds one trial's per-round collision counts into the curve.
+    ///
+    /// O(max(len, curve len)): rounds beyond the trial's end take a zero
+    /// sample, and rounds this trial introduces are backfilled with the
+    /// zeros every earlier (shorter) trial implicitly contributed.
+    pub fn push_trial(&mut self, collisions_per_round: &[usize]) {
+        if collisions_per_round.len() > self.per_round.len() {
+            self.per_round
+                .resize(collisions_per_round.len(), Moments::zeros(self.trials));
+        }
+        for (r, moments) in self.per_round.iter_mut().enumerate() {
+            moments.push(collisions_per_round.get(r).copied().unwrap_or(0) as f64);
+        }
+        self.trials += 1;
+    }
+
+    /// Number of trials folded in.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Number of rounds the curve covers (the longest trial's length).
+    pub fn len(&self) -> usize {
+        self.per_round.len()
+    }
+
+    /// Returns `true` if no round was ever executed (or no trial folded).
+    pub fn is_empty(&self) -> bool {
+        self.per_round.is_empty()
+    }
+
+    /// Mean collisions in round `r` across all trials.
+    pub fn mean_at(&self, r: usize) -> f64 {
+        self.per_round.get(r).map_or(0.0, |m| m.mean())
+    }
+
+    /// Sample standard deviation of the round-`r` collision count.
+    pub fn std_dev_at(&self, r: usize) -> f64 {
+        self.per_round.get(r).map_or(0.0, |m| m.std_dev())
+    }
+
+    /// The mean curve as a vector (one entry per round).
+    pub fn means(&self) -> Vec<f64> {
+        self.per_round.iter().map(Moments::mean).collect()
+    }
+
+    /// Mean collisions per round averaged over a round range (empty or
+    /// out-of-range windows yield 0) — the bucketing primitive curve tables
+    /// use.
+    pub fn mean_over(&self, rounds: std::ops::Range<usize>) -> f64 {
+        let window: Vec<&Moments> = rounds
+            .clone()
+            .filter_map(|r| self.per_round.get(r))
+            .collect();
+        if window.is_empty() {
+            0.0
+        } else {
+            window.iter().map(|m| m.mean()).sum::<f64>() / window.len() as f64
+        }
+    }
+}
+
+impl Serialize for ContentionCurve {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("trials".into(), self.trials.to_value()),
+            (
+                "mean".into(),
+                self.per_round
+                    .iter()
+                    .map(Moments::mean)
+                    .collect::<Vec<f64>>()
+                    .to_value(),
+            ),
+            (
+                "m2".into(),
+                self.per_round
+                    .iter()
+                    .map(Moments::m2)
+                    .collect::<Vec<f64>>()
+                    .to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for ContentionCurve {
+    fn from_value(value: &Value) -> std::result::Result<Self, serde::Error> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde::Error::new(format!("ContentionCurve is missing {name:?}")))
+        };
+        let trials = usize::from_value(field("trials")?)?;
+        let mean = Vec::<f64>::from_value(field("mean")?)?;
+        let m2 = Vec::<f64>::from_value(field("m2")?)?;
+        if mean.len() != m2.len() {
+            return Err(serde::Error::new(format!(
+                "ContentionCurve mean/m2 length mismatch ({} vs {})",
+                mean.len(),
+                m2.len()
+            )));
+        }
+        Ok(ContentionCurve {
+            trials,
+            per_round: mean
+                .into_iter()
+                .zip(m2)
+                .map(|(mean, m2)| Moments::from_parts(trials, mean, m2))
+                .collect(),
+        })
+    }
+}
+
 impl Serialize for Summary {
     fn to_value(&self) -> Value {
         Value::Map(vec![
@@ -367,6 +603,142 @@ mod tests {
         zeros.push(0.0);
         zeros.push(0.0);
         assert_eq!(zeros.relative_ci95(), 0.0, "zero mean needs no more trials");
+    }
+
+    #[test]
+    fn wilson_interval_known_values() {
+        // All-success at n = 16: the closed form at p̂ = 1 gives
+        // lower = n / (n + z²), upper = 1.
+        let c = Completion {
+            completed: 16,
+            trials: 16,
+        };
+        let (lo, hi) = c.wilson_ci95();
+        let z2 = 1.96f64 * 1.96;
+        assert!((lo - 16.0 / (16.0 + z2)).abs() < 1e-12);
+        assert!((hi - 1.0).abs() < 1e-12);
+        assert!((c.wilson_half_width() - z2 / (2.0 * (16.0 + z2))).abs() < 1e-12);
+        // All-failure mirrors it.
+        let none = Completion {
+            completed: 0,
+            trials: 16,
+        };
+        let (lo, hi) = none.wilson_ci95();
+        assert!((lo - 0.0).abs() < 1e-12);
+        assert!((hi - z2 / (16.0 + z2)).abs() < 1e-12);
+        // The interval always brackets the rate and stays in [0, 1].
+        for (completed, trials) in [(1usize, 3usize), (2, 5), (7, 9), (50, 100)] {
+            let c = Completion { completed, trials };
+            let (lo, hi) = c.wilson_ci95();
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+            assert!(lo <= c.rate() && c.rate() <= hi, "{completed}/{trials}");
+        }
+    }
+
+    #[test]
+    fn wilson_width_shrinks_with_more_trials() {
+        let mut last = f64::INFINITY;
+        for n in [2usize, 8, 32, 128] {
+            let c = Completion {
+                completed: n / 2,
+                trials: n,
+            };
+            assert!(c.wilson_half_width() < last);
+            last = c.wilson_half_width();
+        }
+        // Degenerate empty batch.
+        assert_eq!(Completion::default().wilson_half_width(), 0.0);
+        assert_eq!(Completion::default().rate(), 0.0);
+    }
+
+    #[test]
+    fn completion_display_shows_rate_and_interval() {
+        let c = Completion {
+            completed: 3,
+            trials: 4,
+        };
+        let shown = c.to_string();
+        assert!(shown.starts_with("75%"), "{shown}");
+        assert!(shown.contains('['), "{shown}");
+    }
+
+    #[test]
+    fn contention_curve_streams_like_a_batch_recompute() {
+        // Trials of different lengths; shorter trials contribute zeros to
+        // the tail rounds.
+        let trials: Vec<Vec<usize>> = vec![vec![2, 1, 3], vec![4], vec![0, 2, 0, 5]];
+        let mut curve = ContentionCurve::new();
+        for t in &trials {
+            curve.push_trial(t);
+        }
+        assert_eq!(curve.trials(), 3);
+        assert_eq!(curve.len(), 4);
+        // Reference: per-round mean over all trials with implicit zeros.
+        for r in 0..4 {
+            let samples: Vec<f64> = trials
+                .iter()
+                .map(|t| t.get(r).copied().unwrap_or(0) as f64)
+                .collect();
+            let expected = Summary::from_samples(&samples);
+            assert!(
+                (curve.mean_at(r) - expected.mean).abs() < 1e-12,
+                "round {r}"
+            );
+            assert!(
+                (curve.std_dev_at(r) - expected.std_dev).abs() < 1e-12,
+                "round {r}"
+            );
+        }
+        assert_eq!(curve.means().len(), 4);
+        assert!((curve.mean_at(0) - 2.0).abs() < 1e-12);
+        // Out-of-range reads are zero, and bucketed means average in-range
+        // rounds only.
+        assert_eq!(curve.mean_at(99), 0.0);
+        assert!((curve.mean_over(0..2) - (2.0 + 1.0) / 2.0).abs() < 1e-12);
+        assert_eq!(curve.mean_over(7..9), 0.0);
+    }
+
+    #[test]
+    fn contention_curve_order_is_the_trial_index_order() {
+        // The accumulator is used strictly in trial-index order; pushing the
+        // same trials in that order twice reproduces the same curve exactly.
+        let trials: Vec<Vec<usize>> = vec![vec![1, 2], vec![3, 0, 1], vec![2]];
+        let mut a = ContentionCurve::new();
+        let mut b = ContentionCurve::new();
+        for t in &trials {
+            a.push_trial(t);
+            b.push_trial(t);
+        }
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn contention_curve_serde_round_trips_exactly() {
+        use serde::{Deserialize, Serialize};
+        let mut curve = ContentionCurve::new();
+        for t in [vec![2usize, 1, 3], vec![4], vec![0, 2, 0, 5]] {
+            curve.push_trial(&t);
+        }
+        let back = ContentionCurve::from_value(&curve.to_value()).unwrap();
+        assert_eq!(curve, back, "m2-based serde must be lossless");
+        // And re-serialization is byte-stable.
+        assert_eq!(
+            serde_json::to_string(&curve).unwrap(),
+            serde_json::to_string(&back).unwrap()
+        );
+        assert!(ContentionCurve::from_value(&serde::Value::Null).is_err());
+    }
+
+    #[test]
+    fn moments_zeros_matches_pushed_zeros() {
+        let mut pushed = Moments::new();
+        for _ in 0..5 {
+            pushed.push(0.0);
+        }
+        assert_eq!(Moments::zeros(5), pushed);
+        let rebuilt = Moments::from_parts(pushed.count(), pushed.mean(), pushed.m2());
+        assert_eq!(rebuilt, pushed);
     }
 
     #[test]

@@ -51,6 +51,37 @@ impl ExecutionOutcome {
             None => self.rounds_executed,
         }
     }
+
+    /// The typed per-trial measurement of this execution: cost, completion,
+    /// aggregate collisions, and — when the effective record mode retained
+    /// one — the per-round collision curve (cloned; use
+    /// [`ExecutionOutcome::into_trial_metrics`] to take it without copying).
+    pub fn trial_metrics(&self) -> crate::TrialMetrics {
+        crate::TrialMetrics {
+            rounds: self.cost(),
+            completed: self.completed,
+            collisions: self.metrics.collisions,
+            collisions_per_round: self
+                .record_mode
+                .records_collisions()
+                .then(|| self.collisions_per_round.clone()),
+        }
+    }
+
+    /// Consumes the outcome into its [`TrialMetrics`](crate::TrialMetrics),
+    /// moving the collision curve instead of cloning it.
+    pub fn into_trial_metrics(self) -> crate::TrialMetrics {
+        let rounds = self.cost();
+        crate::TrialMetrics {
+            rounds,
+            completed: self.completed,
+            collisions: self.metrics.collisions,
+            collisions_per_round: self
+                .record_mode
+                .records_collisions()
+                .then_some(self.collisions_per_round),
+        }
+    }
 }
 
 /// Derives a per-stream seed from the master seed (splitmix64 finalizer, so

@@ -96,7 +96,7 @@ pub use link::{
     AdversaryClass, AdversarySetup, AdversaryView, LinkDecision, LinkProcess, StaticLinks,
 };
 pub use message::{Message, MessageKind};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, TrialMetrics};
 pub use process::{Assignment, Process, ProcessContext, ProcessFactory, Role};
 pub use recorder::{RecordMode, Recorder};
 pub use round::Round;

@@ -48,6 +48,67 @@ impl Metrics {
     }
 }
 
+/// The typed per-trial measurement an execution boils down to: what the
+/// layers above the engine (scenario trials, campaign cells, analysis
+/// tables) aggregate.
+///
+/// Extracted from an [`ExecutionOutcome`](crate::ExecutionOutcome) via
+/// [`ExecutionOutcome::trial_metrics`](crate::ExecutionOutcome::trial_metrics)
+/// or [`into_trial_metrics`](crate::ExecutionOutcome::into_trial_metrics).
+/// Unlike the outcome it never carries a [`History`](crate::History), so it
+/// is cheap to move through trial fan-outs; the optional per-round collision
+/// curve is present exactly when the effective
+/// [`RecordMode`](crate::RecordMode) retained one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrialMetrics {
+    /// Rounds until completion, or the executed horizon for a censored
+    /// (timed-out) trial — the measured *cost*
+    /// ([`ExecutionOutcome::cost`](crate::ExecutionOutcome::cost)).
+    pub rounds: usize,
+    /// Whether the stop condition was met within the round budget.
+    pub completed: bool,
+    /// Total collisions observed over the whole execution (identical under
+    /// every record mode).
+    pub collisions: usize,
+    /// Collisions per executed round, when the effective record mode
+    /// retained them ([`RecordMode::records_collisions`]); `None` under
+    /// [`RecordMode::None`].
+    ///
+    /// [`RecordMode::records_collisions`]: crate::RecordMode::records_collisions
+    /// [`RecordMode::None`]: crate::RecordMode::None
+    pub collisions_per_round: Option<Vec<usize>>,
+}
+
+impl TrialMetrics {
+    /// The same metrics without the per-round curve (what scalar aggregation
+    /// paths keep per trial; curves are streamed into aggregates instead of
+    /// being retained trial by trial).
+    pub fn without_curve(&self) -> TrialMetrics {
+        TrialMetrics {
+            rounds: self.rounds,
+            completed: self.completed,
+            collisions: self.collisions,
+            collisions_per_round: None,
+        }
+    }
+}
+
+impl fmt::Display for TrialMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds={} completed={} collisions={}{}",
+            self.rounds,
+            self.completed,
+            self.collisions,
+            match &self.collisions_per_round {
+                Some(curve) => format!(" curve[{}]", curve.len()),
+                None => String::new(),
+            }
+        )
+    }
+}
+
 impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -87,6 +148,23 @@ mod tests {
         };
         assert!((m.transmissions_per_round() - 2.5).abs() < 1e-12);
         assert!((m.collision_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trial_metrics_without_curve_drops_only_the_curve() {
+        let with_curve = TrialMetrics {
+            rounds: 7,
+            completed: true,
+            collisions: 5,
+            collisions_per_round: Some(vec![1, 0, 4, 0, 0, 0, 0]),
+        };
+        let stripped = with_curve.without_curve();
+        assert_eq!(stripped.rounds, 7);
+        assert!(stripped.completed);
+        assert_eq!(stripped.collisions, 5);
+        assert_eq!(stripped.collisions_per_round, None);
+        assert!(with_curve.to_string().contains("curve[7]"));
+        assert!(!stripped.to_string().contains("curve"));
     }
 
     #[test]

@@ -54,7 +54,7 @@
 //! // Eight independent trials, fanned out across threads with
 //! // deterministic per-trial seeds:
 //! let measurement = scenario.run_trials(8)?;
-//! assert_eq!(measurement.completion_rate, 1.0);
+//! assert_eq!(measurement.completion_rate(), 1.0);
 //! # Ok::<(), dradio::scenario::ScenarioError>(())
 //! ```
 

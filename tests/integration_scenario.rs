@@ -138,9 +138,11 @@ fn measurements_match_single_runs_per_trial_seed() {
     let trials = runner.collect_trials(4).expect("trials > 0");
     for trial in trials {
         let outcome = scenario.run_with_seed(trial.seed);
-        assert_eq!(outcome.cost(), trial.cost);
-        assert_eq!(outcome.completed, trial.completed);
-        assert_eq!(outcome.metrics.collisions, trial.collisions);
+        assert_eq!(outcome.cost(), trial.cost());
+        assert_eq!(outcome.completed, trial.completed());
+        assert_eq!(outcome.metrics.collisions, trial.collisions());
+        // The full typed metrics agree too (outcomes carry scalars only).
+        assert_eq!(outcome.trial_metrics().without_curve(), trial.metrics);
     }
 }
 
