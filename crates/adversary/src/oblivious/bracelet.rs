@@ -144,6 +144,7 @@ impl BraceletOblivious {
                     heard = actions[i + 1].message();
                 }
                 let feedback = if count == 1 {
+                    // lint: allow(D4) -- `heard` is set whenever count reaches 1
                     Feedback::Received(heard.expect("count == 1").clone())
                 } else {
                     Feedback::Silence

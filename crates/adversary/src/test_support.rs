@@ -77,6 +77,7 @@ pub fn run_with_beacon(
         link,
         SimConfig::default().with_seed(seed).with_max_rounds(rounds),
     )
+    // lint: allow(D4) -- test-support harness; inputs are fixed known-good specs
     .expect("valid simulation")
     .run(StopCondition::max_rounds())
 }

@@ -175,6 +175,7 @@ impl E1StaticBaselines {
             let m = measurement_for(&store, &scenario)?;
             let built = topology.build()?;
             let n = built.len();
+            // lint: allow(D4) -- experiment topologies are connected by construction
             let d = properties::diameter(built.dual.g()).expect("connected");
             let log_n = (n.max(2) as f64).log2();
             series.push((d as f64, m.rounds.mean));

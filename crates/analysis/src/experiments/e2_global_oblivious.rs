@@ -75,6 +75,7 @@ impl E2GlobalOblivious {
         let n = *cfg
             .pick(&[32usize], &[128], &[256])
             .first()
+            // lint: allow(D4) -- pick() returns one of three non-empty literal slices
             .expect("non-empty");
         let algorithms = [GlobalAlgorithm::Bgi, GlobalAlgorithm::Permuted];
         let campaign = CampaignSpec::named("e2a-adversary-sweep")
@@ -203,6 +204,7 @@ impl E2GlobalOblivious {
         let n = *cfg
             .pick(&[32usize], &[128], &[256])
             .first()
+            // lint: allow(D4) -- pick() returns one of three non-empty literal slices
             .expect("non-empty");
         dual_clique_contention_table(
             format!("E2c: contention over time (dual clique n = {n}, iid(0.5) adversary)"),

@@ -144,6 +144,7 @@ impl E4GeoLocal {
         let n = *cfg
             .pick(&[50usize], &[120], &[240])
             .first()
+            // lint: allow(D4) -- pick() returns one of three non-empty literal slices
             .expect("non-empty");
         let problem = ProblemSpec::LocalRandom {
             count: (n / 4).max(1),

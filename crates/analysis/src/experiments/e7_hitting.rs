@@ -68,6 +68,7 @@ impl E7HittingGame {
                 let mut rounds = Vec::with_capacity(trials);
                 for _ in 0..trials {
                     let mut game =
+                        // lint: allow(D4) -- beta ranges over [2, 32] in this experiment
                         HittingGame::with_random_target(beta, &mut rng).expect("beta >= 2");
                     let won = match player_kind {
                         "sweep" => {
@@ -126,6 +127,7 @@ impl E7HittingGame {
                     &ReductionConfig::default(),
                     cfg.seed + 62 + t as u64,
                 )
+                // lint: allow(D4) -- reduction inputs are fixed valid parameters
                 .expect("valid game");
                 guesses.push(outcome.total_guesses);
                 rounds.push(outcome.simulated_rounds);

@@ -126,7 +126,9 @@ impl E8DecayAblation {
             g = g.edge(i, i + 1);
             gp = gp.edge(i, i + 1);
         }
+        // lint: allow(D4) -- path edges are in range and distinct
         DualGraph::new(g.build().expect("valid"), gp.build().expect("valid"))
+            // lint: allow(D4) -- G is a subgraph of G' by construction above
             .expect("containment holds")
             .with_name(format!("grey-star(reliable={reliable}, grey={grey})"))
     }
@@ -291,6 +293,7 @@ impl E8DecayAblation {
         let n = *cfg
             .pick(&[32usize], &[128], &[512])
             .first()
+            // lint: allow(D4) -- pick() returns one of three non-empty literal slices
             .expect("non-empty");
         dual_clique_contention_table(
             format!("E8c: contention over time (dual clique n = {n}, decay-aware adversary)"),

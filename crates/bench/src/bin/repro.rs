@@ -23,6 +23,10 @@
 //!     --example-campaign  print a CampaignSpec JSON template and exit
 //!
 //! CAMPAIGN SUBCOMMANDS (all take --campaign <inline JSON or file path>):
+//!     campaign check      statically validate the spec without running a
+//!                         cell: duplicate cells, degenerate or unreachable
+//!                         adaptive stop targets, and a per-group worst-case
+//!                         budget estimate (exits non-zero on warnings)
 //!     campaign run        execute every cell missing from the store
 //!                         (creates the store; resumes it if it exists)
 //!     campaign resume     like run, but requires the store to exist already
@@ -36,6 +40,11 @@
 //!     --curves            with report: also render each stored
 //!                         contention-over-time curve (cells measured with
 //!                         "curve": true) as a bucketed table
+//!
+//! STATIC ANALYSIS:
+//!     repro lint [--fix-hints]
+//!                         run the dradio-lint determinism & invariant pass
+//!                         over the workspace (same rules as CI)
 //! ```
 
 use std::env;
@@ -192,11 +201,11 @@ fn load_campaign(arg: &str) -> Result<CampaignSpec, String> {
 
 fn campaign_command(args: &[String]) -> ExitCode {
     let Some(action) = args.first().map(String::as_str) else {
-        eprintln!("campaign needs an action: run | resume | report | compact");
+        eprintln!("campaign needs an action: check | run | resume | report | compact");
         return ExitCode::FAILURE;
     };
-    if !matches!(action, "run" | "resume" | "report" | "compact") {
-        eprintln!("unknown campaign action {action}; use run, resume, report, or compact");
+    if !matches!(action, "check" | "run" | "resume" | "report" | "compact") {
+        eprintln!("unknown campaign action {action}; use check, run, resume, report, or compact");
         return ExitCode::FAILURE;
     }
     let mut campaign_arg: Option<String> = None;
@@ -241,6 +250,24 @@ fn campaign_command(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if action == "check" {
+        // Static validation only: no store is touched, no cell runs.
+        return match dradio_campaign::check(&spec) {
+            Ok(report) => {
+                print!("{report}");
+                if report.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("campaign check failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let store_path = store_arg.unwrap_or_else(|| format!("{}.campaign.jsonl", spec.name));
 
     // Only `run` may create the store; `resume`, `report`, and `compact`
@@ -354,10 +381,42 @@ fn campaign_command(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro lint [--fix-hints]`: the workspace static-analysis pass, from the
+/// binary everything else already runs through.
+fn lint_command(args: &[String]) -> ExitCode {
+    let mut fix_hints = false;
+    for arg in args {
+        match arg.as_str() {
+            "--fix-hints" => fix_hints = true,
+            other => {
+                eprintln!("unknown lint option {other}; repro lint takes only --fix-hints");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match dradio_lint::run_check(std::path::Path::new(".")) {
+        Ok(report) => {
+            print!("{}", report.render(fix_hints));
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("repro lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("campaign") {
         return campaign_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("lint") {
+        return lint_command(&args[1..]);
     }
 
     let mut cfg = ExperimentConfig::quick();
@@ -415,9 +474,10 @@ fn main() -> ExitCode {
                      --scenario <JSON> [--trials <N>], --example-scenario, --example-campaign"
                 );
                 println!(
-                    "campaigns: campaign <run|resume|report> --campaign <json-or-path> \
-                     [--store <path>] [--csv] [--progress]"
+                    "campaigns: campaign <check|run|resume|report|compact> --campaign \
+                     <json-or-path> [--store <path>] [--csv] [--progress]"
                 );
+                println!("lint: repro lint [--fix-hints] (workspace static analysis)");
                 return ExitCode::SUCCESS;
             }
             other => {

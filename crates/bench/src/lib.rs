@@ -18,6 +18,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// lint: allow-file(D4) -- bench workloads run fixed known-good specs under a
+// timing harness; aborting loudly on a broken fixture is the desired behavior
+// (a Result would be swallowed by Criterion's closure signature)
+
 use std::sync::Arc;
 
 use dradio_core::algorithms::{GlobalAlgorithm, LocalAlgorithm};

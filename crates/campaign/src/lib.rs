@@ -66,11 +66,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod error;
 pub mod runner;
 pub mod spec;
 pub mod store;
 
+pub use check::{check, CheckReport, CheckWarning, GroupBudget};
 pub use error::{CampaignError, Result};
 pub use runner::{CampaignRunner, RunReport};
 pub use spec::{CampaignSpec, CellSpec, RoundsRule, StopRule, SweepGroup, TrialPolicy};

@@ -133,6 +133,30 @@ mod tests {
     use dradio_sim::{SimConfig, Simulator, StaticLinks};
 
     #[test]
+    fn algorithm_specs_round_trip_and_keep_their_wire_names() {
+        // Pinned wire shape (serde-stability registry): unit variants
+        // serialize as bare strings of their Rust names. Campaign stores
+        // embed these — renaming a variant is a format break.
+        use serde::{Deserialize, Serialize, Value};
+        let global_wire = ["Bgi", "Permuted", "RoundRobin"];
+        for (algorithm, wire) in GlobalAlgorithm::all().iter().zip(global_wire) {
+            assert_eq!(algorithm.to_value(), Value::Str(wire.into()));
+            assert_eq!(
+                GlobalAlgorithm::from_value(&algorithm.to_value()),
+                Ok(*algorithm)
+            );
+        }
+        let local_wire = ["StaticDecay", "Uniform", "RoundRobin", "Geo"];
+        for (algorithm, wire) in LocalAlgorithm::all().iter().zip(local_wire) {
+            assert_eq!(algorithm.to_value(), Value::Str(wire.into()));
+            assert_eq!(
+                LocalAlgorithm::from_value(&algorithm.to_value()),
+                Ok(*algorithm)
+            );
+        }
+    }
+
+    #[test]
     fn names_are_unique() {
         let global: Vec<&str> = GlobalAlgorithm::all().iter().map(|a| a.name()).collect();
         let mut dedup = global.clone();

@@ -145,6 +145,7 @@ impl PermutedDecaySchedule {
         let offset = (step * self.bits_per_step) % positions;
         let raw = bits
             .value(offset, self.bits_per_step)
+            // lint: allow(D4) -- offset is reduced mod positions on the line above
             .expect("offset chosen within bounds");
         (raw % self.levels as u64) as usize + 1
     }

@@ -247,6 +247,7 @@ impl GeoProcess {
         // fixed stride so the two decisions are not read from identical
         // positions.
         let offset = ((iteration * width).wrapping_mul(2_654_435_761) % positions) % positions;
+        // lint: allow(D4) -- offset is reduced mod positions on the line above
         let value = seed.value(offset, width).expect("offset within bounds");
         value.is_multiple_of(inv)
     }
@@ -304,6 +305,7 @@ impl Process for GeoProcess {
                 let seed = self
                     .committed
                     .clone()
+                    // lint: allow(D4) -- leaders commit their seed when elected, before this state
                     .expect("leaders committed at election");
                 return Action::Transmit(Message::with_bits(self.id, kinds::SEED, 0, seed));
             }
@@ -320,6 +322,7 @@ impl Process for GeoProcess {
         let seed = self
             .committed
             .clone()
+            // lint: allow(D4) -- on_round commits a seed before any non-init round
             .expect("committed after initialization");
         let iteration = (round.index() - init_rounds) / self.config.iteration_rounds.max(1);
         if !self.participates(&seed, iteration) {

@@ -125,6 +125,7 @@ impl Graph {
         for i in 0..n {
             for j in (i + 1)..n {
                 g.add_edge(NodeId::new(i), NodeId::new(j))
+                    // lint: allow(D4) -- i < j < n by the loop bounds
                     .expect("indices are in range and distinct");
             }
         }

@@ -161,6 +161,7 @@ pub fn bracelet_with_clasp(k: usize, t: usize) -> Result<Bracelet> {
     let tails: Vec<NodeId> = bands_a
         .iter()
         .chain(bands_b.iter())
+        // lint: allow(D4) -- band size is validated positive before bands are built
         .map(|band| *band.last().expect("bands are non-empty"))
         .collect();
     for i in 0..tails.len() {

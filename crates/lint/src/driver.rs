@@ -1,0 +1,257 @@
+//! The workspace driver: file discovery, rule dispatch, and rendering.
+//!
+//! The walk is deliberately deterministic — directories are read, sorted,
+//! and visited in lexicographic order — so the diagnostic stream is
+//! byte-stable across runs and machines (the lint holds itself to the
+//! invariants it checks).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed};
+use crate::registry;
+use crate::rules::{check_file, FileContext, Finding};
+
+/// Repo-relative path of the serde-stability registry.
+pub const REGISTRY_PATH: &str = "crates/lint/serde_pins.txt";
+
+/// A fatal driver error (bad root, unreadable file) — distinct from lint
+/// findings, and mapped to exit code 2 by the CLI.
+#[derive(Debug)]
+pub struct DriverError(pub String);
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// `(repo-relative path, finding)` pairs, sorted by path then position.
+    pub findings: Vec<(String, Finding)>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders rustc-style diagnostics, one block per finding.
+    pub fn render(&self, fix_hints: bool) -> String {
+        let mut out = String::new();
+        for (path, f) in &self.findings {
+            out.push_str(&format!(
+                "{path}:{}:{}: [{} {}] {}\n",
+                f.line, f.col, f.rule, f.name, f.message
+            ));
+            if fix_hints {
+                out.push_str(&format!("  hint: {}\n", f.hint));
+            }
+        }
+        let noun = if self.findings.len() == 1 {
+            "finding"
+        } else {
+            "findings"
+        };
+        out.push_str(&format!(
+            "dradio-lint: {} {noun} across {} files\n",
+            self.findings.len(),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// Runs the full pass over the workspace rooted at `root` (must contain a
+/// `crates/` directory).
+pub fn run_check(root: &Path) -> Result<LintReport, DriverError> {
+    if !root.join("crates").is_dir() {
+        return Err(DriverError(format!(
+            "{} is not the workspace root (no crates/ directory); run from the repo root \
+             or pass --root",
+            root.display()
+        )));
+    }
+
+    let files = workspace_sources(root)?;
+    let mut lexed_files: Vec<(String, Lexed)> = Vec::with_capacity(files.len());
+    for path in &files {
+        let source = fs::read_to_string(path)
+            .map_err(|e| DriverError(format!("reading {}: {e}", path.display())))?;
+        lexed_files.push((relative(root, path), lex(&source)));
+    }
+
+    let mut report = LintReport {
+        files_scanned: lexed_files.len(),
+        ..LintReport::default()
+    };
+    for (rel, lexed) in &lexed_files {
+        let ctx = classify(rel);
+        for finding in check_file(&ctx, lexed) {
+            report.findings.push((rel.clone(), finding));
+        }
+    }
+
+    // D5 needs the whole tree at once.
+    let registry_file = root.join(REGISTRY_PATH);
+    match fs::read_to_string(&registry_file) {
+        Ok(content) => {
+            let (entries, parse_findings) = registry::parse_registry(&content);
+            for finding in parse_findings {
+                report.findings.push((REGISTRY_PATH.to_string(), finding));
+            }
+            report.findings.extend(registry::check_registry(
+                &entries,
+                &lexed_files,
+                REGISTRY_PATH,
+            ));
+        }
+        Err(_) => report.findings.push((
+            REGISTRY_PATH.to_string(),
+            Finding {
+                rule: "D5",
+                name: "serde-stability-registry",
+                line: 1,
+                col: 1,
+                message: "serde-stability registry is missing; every hand-written serde \
+                          format must map to a pinned-bytes test"
+                    .into(),
+                hint: format!("create {REGISTRY_PATH} (see crates/lint/README note)"),
+            },
+        )),
+    }
+
+    report.findings.sort_by(|a, b| {
+        (a.0.as_str(), a.1.line, a.1.col, a.1.rule).cmp(&(
+            b.0.as_str(),
+            b.1.line,
+            b.1.col,
+            b.1.rule,
+        ))
+    });
+    Ok(report)
+}
+
+/// Every `.rs` source under `src/` (facade) and `crates/*/src/`, sorted.
+/// Integration tests (`crates/*/tests/`) and the lint's own fixtures are
+/// outside `src/` and therefore never walked; shims are not workspace code.
+fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, DriverError> {
+    let mut files = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs(&facade, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| DriverError(format!("reading {}: {e}", crates_dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), DriverError> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| DriverError(format!("reading {}: {e}", dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Forward slashes keep diagnostics byte-identical across platforms.
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Derives the rule-scoping context from a repo-relative path.
+fn classify(rel: &str) -> FileContext {
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("facade")
+        .to_string();
+    let is_lib_root = rel.ends_with("src/lib.rs") || rel == "src/lib.rs";
+    let is_bin = rel.contains("/src/bin/") || rel.ends_with("src/main.rs");
+    FileContext {
+        crate_name,
+        is_lib_root,
+        is_bin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_workspace_shapes() {
+        let facade = classify("src/lib.rs");
+        assert_eq!(facade.crate_name, "facade");
+        assert!(facade.is_lib_root && !facade.is_bin);
+
+        let module = classify("crates/campaign/src/store.rs");
+        assert_eq!(module.crate_name, "campaign");
+        assert!(!module.is_lib_root && !module.is_bin);
+
+        let bin = classify("crates/bench/src/bin/repro.rs");
+        assert_eq!(bin.crate_name, "bench");
+        assert!(bin.is_bin);
+
+        let lint_main = classify("crates/lint/src/main.rs");
+        assert!(lint_main.is_bin);
+        assert!(classify("crates/sim/src/lib.rs").is_lib_root);
+    }
+
+    #[test]
+    fn render_is_stable_and_mentions_totals() {
+        let report = LintReport {
+            findings: vec![(
+                "crates/sim/src/engine.rs".to_string(),
+                Finding {
+                    rule: "D4",
+                    name: "panic-freedom",
+                    line: 7,
+                    col: 3,
+                    message: "msg".into(),
+                    hint: "do better".into(),
+                },
+            )],
+            files_scanned: 3,
+        };
+        let plain = report.render(false);
+        assert!(plain.contains("crates/sim/src/engine.rs:7:3: [D4 panic-freedom] msg"));
+        assert!(plain.contains("1 finding across 3 files"));
+        assert!(!plain.contains("hint:"));
+        assert!(report.render(true).contains("  hint: do better"));
+    }
+
+    #[test]
+    fn missing_root_is_a_driver_error_not_a_finding() {
+        let err = run_check(Path::new("/nonexistent-dradio-root"));
+        assert!(err.is_err());
+    }
+}

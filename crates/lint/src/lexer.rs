@@ -1,0 +1,544 @@
+//! A hand-rolled Rust lexer — just enough of the language to lint with.
+//!
+//! The environment this workspace builds in has no crates.io access, so
+//! `syn` is unavailable; the rules in [`crate::rules`] only ever need a
+//! *token* view of a file anyway. The lexer handles the parts of Rust's
+//! lexical grammar that would otherwise produce false positives:
+//!
+//! * string literals (plain, byte, raw with any `#` depth) — so the word
+//!   `HashMap` inside a diagnostic message is not an identifier;
+//! * nested block comments and line comments — comments are kept (with
+//!   positions) because suppression markers live in them;
+//! * lifetimes vs. char literals (`'a` vs `'a'` vs `'\n'`);
+//! * raw identifiers (`r#type`) without confusing them with raw strings
+//!   (`r#"..."#`).
+//!
+//! Everything else (numbers, punctuation) is tokenized coarsely: the rules
+//! match identifier/punctuation sequences and never inspect literals.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers, unprefixed).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (without the quote).
+    Lifetime,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// A string literal of any flavor (`"..."`, `b"..."`, `r#"..."#`).
+    StrLit,
+    /// A numeric literal.
+    NumLit,
+    /// A single punctuation character (`.`, `:`, `!`, `(`, …).
+    Punct,
+}
+
+/// One code token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token text (for [`TokenKind::StrLit`], the raw source slice).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+/// One comment (line or block) with its position and surroundings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The comment body *without* the `//`, `///`, `//!` or `/* */` fence.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based column the comment starts at.
+    pub col: u32,
+    /// Whether any code token precedes the comment on its starting line
+    /// (a *trailing* comment annotates its own line; a standalone comment
+    /// annotates the line below).
+    pub trailing: bool,
+}
+
+/// The lexed form of one source file: code tokens and comments, each with
+/// positions.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. The lexer never fails: unterminated constructs are
+/// consumed to end of input (the compiler is the authority on validity; the
+/// lint only needs positions to be right for code that compiles).
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Whether a code token has been produced on the current line.
+    code_on_line: bool,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            code_on_line: false,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters. Multi-byte
+    /// UTF-8 continuation bytes do not advance the column, so columns count
+    /// characters, not bytes.
+    fn bump(&mut self) {
+        if let Some(b) = self.peek(0) {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+                self.code_on_line = false;
+            } else if b & 0xC0 != 0x80 {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line, col),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line, col),
+                b'r' | b'b' if self.raw_or_byte_string(line, col) => {}
+                b'\'' => self.lifetime_or_char(line, col),
+                b'"' => self.string(line, col, 0),
+                b'0'..=b'9' => self.number(line, col),
+                b if is_ident_start(b) => self.ident(line, col),
+                _ => {
+                    self.push_token(TokenKind::Punct, (b as char).to_string(), line, col);
+                    self.bump();
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.code_on_line = true;
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let trailing = self.code_on_line;
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let body = &self.src[start..self.pos];
+        // Strip the fence: `//`, `///`, `//!` all start with `//`.
+        let mut text = String::from_utf8_lossy(body).into_owned();
+        text.drain(..2);
+        self.out.comments.push(Comment {
+            text,
+            line,
+            col,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let trailing = self.code_on_line;
+        let start = self.pos;
+        self.bump_n(2); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: consume to EOF
+            }
+        }
+        let body = &self.src[start..self.pos];
+        let mut text = String::from_utf8_lossy(body).into_owned();
+        text.drain(..2.min(text.len()));
+        for _ in 0..2 {
+            if text.ends_with('/') || text.ends_with('*') {
+                text.pop();
+            }
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            col,
+            trailing,
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, and raw
+    /// identifiers `r#ident`. Returns `false` if the `r`/`b` is an ordinary
+    /// identifier start (the caller then lexes it as one).
+    fn raw_or_byte_string(&mut self, line: u32, col: u32) -> bool {
+        let b0 = self.peek(0);
+        let (prefix_len, rest) = match (b0, self.peek(1)) {
+            (Some(b'r'), Some(b'"')) => (1, b'"'),
+            (Some(b'r'), Some(b'#')) => {
+                // Raw string `r#…"` vs raw identifier `r#ident`: scan the
+                // run of `#`s; a quote means raw string.
+                let mut k = 1;
+                while self.peek(k) == Some(b'#') {
+                    k += 1;
+                }
+                if self.peek(k) == Some(b'"') {
+                    (1, b'#')
+                } else {
+                    // Raw identifier: consume `r#` and lex the identifier,
+                    // recording it *without* the prefix so rules match it
+                    // like any other name.
+                    self.bump_n(2);
+                    let start = self.pos;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.push_token(TokenKind::Ident, text, line, col);
+                    return true;
+                }
+            }
+            (Some(b'b'), Some(b'"')) => (1, b'"'),
+            (Some(b'b'), Some(b'\'')) => {
+                self.bump(); // the `b`; char() consumes the quote onwards
+                self.char_literal(line, col);
+                return true;
+            }
+            (Some(b'b'), Some(b'r')) if matches!(self.peek(2), Some(b'"') | Some(b'#')) => (
+                2,
+                if self.peek(2) == Some(b'"') {
+                    b'"'
+                } else {
+                    b'#'
+                },
+            ),
+            _ => return false,
+        };
+        self.bump_n(prefix_len);
+        if rest == b'#' {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some(b'#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.string(line, col, hashes);
+        } else {
+            // `r"…"` / `b"…"`: raw (no escapes) only for the `r` forms.
+            let raw = self.src[self.pos - prefix_len] == b'r' || prefix_len == 2;
+            if raw {
+                self.string_raw_body(line, col, 0);
+            } else {
+                self.string(line, col, 0);
+            }
+        }
+        true
+    }
+
+    /// Lexes a string starting at the opening quote. `hashes > 0` means a
+    /// raw string closed by `"` followed by that many `#`.
+    fn string(&mut self, line: u32, col: u32, hashes: usize) {
+        if hashes > 0 {
+            self.string_raw_body(line, col, hashes);
+            return;
+        }
+        let start = self.pos;
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push_token(TokenKind::StrLit, text, line, col);
+    }
+
+    /// The body of a raw string: from the opening quote to `"` + `hashes`
+    /// `#`s, no escape processing.
+    fn string_raw_body(&mut self, line: u32, col: u32, hashes: usize) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        'scan: while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push_token(TokenKind::StrLit, text, line, col);
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    fn lifetime_or_char(&mut self, line: u32, col: u32) {
+        // `'` then ident-start: lifetime unless the ident run is one char
+        // long and followed by a closing `'` (then it is a char literal).
+        if self.peek(1).is_some_and(is_ident_start) {
+            let mut k = 2;
+            while self.peek(k).is_some_and(is_ident_continue) {
+                k += 1;
+            }
+            if !(k == 2 && self.peek(2) == Some(b'\'')) {
+                // Lifetime: consume `'` + identifier.
+                self.bump();
+                let start = self.pos;
+                self.bump_n(k - 1);
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.push_token(TokenKind::Lifetime, text, line, col);
+                return;
+            }
+        }
+        self.char_literal(line, col);
+    }
+
+    /// A char literal starting at the opening `'` (escapes included).
+    fn char_literal(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.bump_n(2);
+                // `\u{…}` and multi-char escapes: consume to the close quote.
+                while self.peek(0).is_some() && self.peek(0) != Some(b'\'') {
+                    self.bump();
+                }
+            }
+            Some(_) => self.bump(),
+            None => {}
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push_token(TokenKind::CharLit, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else if b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..n` does not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push_token(TokenKind::NumLit, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push_token(TokenKind::Ident, text, line, col);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn words_in_strings_are_not_identifiers() {
+        let src = r#"let msg = "HashMap inside a string"; let m = HashMap::new();"#;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|i| *i == "HashMap").count(), 1);
+        assert!(ids.contains(&"msg".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_single_tokens() {
+        let src = r##"let s = r#"quote " and HashMap stay inside"#; let t = s;"##;
+        let lexed = lex(src);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("HashMap"));
+        assert!(!idents(src).contains(&"HashMap".to_string()));
+        // Lexing continues correctly after the raw string.
+        assert!(idents(src).contains(&"t".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_without_hashes_and_byte_strings() {
+        let src = r##"let a = r"no escapes \"; let b = b"bytes"; let c = br#"raw bytes"#;"##;
+        let lexed = lex(src);
+        let strs = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .count();
+        assert_eq!(strs, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_plain_identifiers() {
+        let ids = idents("let r#type = 1; let x = r#type;");
+        assert_eq!(ids.iter().filter(|i| *i == "type").count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ let after = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+        assert!(idents(src).contains(&"after".to_string()));
+        // An `Instant` inside a comment is not a code token.
+        assert!(idents("/* Instant */ fn f() {}")
+            .iter()
+            .all(|i| i != "Instant"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str, c: char) { let y: char = 'a'; let s = 'static; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        // `'static` here is written as a (nonsensical but lexable) lifetime.
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["'a'"]);
+    }
+
+    #[test]
+    fn escaped_char_literals_lex_as_one_token() {
+        for src in ["let c = '\\n';", "let c = '\\'';", "let c = '\\u{1F600}';"] {
+            let lexed = lex(src);
+            assert_eq!(
+                lexed
+                    .tokens
+                    .iter()
+                    .filter(|t| t.kind == TokenKind::CharLit)
+                    .count(),
+                1,
+                "{src}"
+            );
+        }
+        let lexed = lex("let b = b'x';");
+        assert_eq!(lexed.tokens.last().map(|t| t.kind), Some(TokenKind::Punct));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::CharLit));
+    }
+
+    #[test]
+    fn comments_know_whether_they_trail_code() {
+        let src = "let x = 1; // trailing\n// standalone\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let src = "fn main() {\n    let x = 1;\n}\n";
+        let lexed = lex(src);
+        let x = lexed.tokens.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let src = "for i in 0..n { let f = 1.5; }";
+        let lexed = lex(src);
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::NumLit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "1.5"]);
+    }
+}

@@ -1,0 +1,21 @@
+//! dradio-lint: the workspace determinism & invariant static-analysis pass.
+//!
+//! The dual-graph broadcast reproduction rests on invariants that rustc
+//! cannot see: byte-reproducible stores, seed-pure trials, an
+//! allocation-free round loop, and pinned serde formats. This crate checks
+//! them statically — a hand-rolled lexer (no external parser), a marker
+//! grammar for justified suppressions, and six rules (D1–D6) described in
+//! [`rules`]. Run it as `cargo run -p dradio-lint -- check` or
+//! `repro lint`; CI fails on any finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod lexer;
+pub mod markers;
+pub mod registry;
+pub mod rules;
+
+pub use driver::{run_check, DriverError, LintReport, REGISTRY_PATH};
+pub use rules::{FileContext, Finding, DETERMINISM_CRATES};

@@ -1,0 +1,73 @@
+//! CLI for the workspace lint: `dradio-lint check [--root <dir>] [--fix-hints]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut root = PathBuf::from(".");
+    let mut fix_hints = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--fix-hints" => fix_hints = true,
+            "--root" => match iter.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if command != Some("check") {
+        return usage("missing command");
+    }
+    match dradio_lint::run_check(&root) {
+        Ok(report) => {
+            print!("{}", report.render(fix_hints));
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("dradio-lint: error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+dradio-lint: workspace determinism & invariant static analysis
+
+USAGE:
+    dradio-lint check [--root <dir>] [--fix-hints]
+
+RULES:
+    D1 no-unordered-iteration     HashMap/HashSet in determinism crates
+    D2 no-wall-clock-ambient-rng  Instant/SystemTime/thread_rng/rand::random
+    D3 no-alloc-in-hot-path       allocation inside `lint: hot-path` regions
+    D4 panic-freedom              unwrap/expect/panic!/todo! in library code
+    D5 serde-stability-registry   hand-written serde must map to a pin test
+    D6 crate-headers              unified #![forbid/warn] crate headers
+    M1 marker-syntax              malformed suppression markers
+    M2 unused-allow               suppressions that suppress nothing
+
+Suppress with `// lint: allow(<rule>) -- <justification>` (own line or the
+line below), `// lint: allow-file(<rule>) -- <justification>`, and mark hot
+regions with `// lint: hot-path` ... `// lint: end-hot-path`.
+
+Exit codes: 0 clean, 1 findings, 2 usage or I/O error.";
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("dradio-lint: {problem}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,294 @@
+//! Suppression and region markers, parsed out of comments.
+//!
+//! Three marker forms, all spelled inside ordinary comments:
+//!
+//! * `// lint: allow(D4) -- <justification>` — suppresses the listed rule(s)
+//!   on the marker's own line (trailing comment) or on the next code line
+//!   below (standalone comment; intervening comment lines — e.g. a wrapped
+//!   justification — are skipped). Several rules may be listed:
+//!   `allow(D3, D4)`. The justification after ` -- ` is **mandatory**: a
+//!   marker without one is itself a finding.
+//! * `// lint: allow-file(D2) -- <justification>` — suppresses the rule(s)
+//!   for the whole file.
+//! * `// lint: hot-path` … `// lint: end-hot-path` — delimits a region the
+//!   allocation rule (D3) applies *to* (everywhere else it is silent).
+//!
+//! Every `allow` marker must earn its keep: a marker that suppresses no
+//! finding is reported (`unused-allow`), so stale suppressions cannot
+//! accumulate.
+
+use crate::lexer::Comment;
+
+/// The scope of an allow marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowScope {
+    /// The marker's own line (trailing) or the line below (standalone).
+    Line(u32),
+    /// The entire file.
+    File,
+}
+
+/// One parsed `allow` marker.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule identifiers this marker suppresses (e.g. `["D4"]`).
+    pub rules: Vec<String>,
+    /// Where the suppression applies.
+    pub scope: AllowScope,
+    /// The marker's own position (for `unused-allow` reporting).
+    pub line: u32,
+    /// The marker's column.
+    pub col: u32,
+}
+
+/// A `hot-path` … `end-hot-path` region (1-based line range, inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotRegion {
+    /// First line of the region.
+    pub start: u32,
+    /// Last line of the region.
+    pub end: u32,
+}
+
+/// A malformed marker (bad syntax, missing justification, unbalanced
+/// region): reported as a finding by the driver.
+#[derive(Debug, Clone)]
+pub struct MarkerError {
+    /// 1-based line of the offending marker.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Everything marker-related found in one file.
+#[derive(Debug, Default)]
+pub struct Markers {
+    /// Parsed allow markers.
+    pub allows: Vec<Allow>,
+    /// Hot-path regions.
+    pub hot_regions: Vec<HotRegion>,
+    /// Syntax/structure errors.
+    pub errors: Vec<MarkerError>,
+}
+
+impl Markers {
+    /// Extracts markers from a file's comments.
+    pub fn parse(comments: &[Comment]) -> Markers {
+        let mut markers = Markers::default();
+        let mut open_hot: Option<u32> = None;
+        // Lines holding standalone comments: a standalone allow skips over
+        // them (wrapped justifications) to reach the code line it covers.
+        let standalone_lines: std::collections::BTreeSet<u32> = comments
+            .iter()
+            .filter(|c| !c.trailing)
+            .map(|c| c.line)
+            .collect();
+        for comment in comments {
+            let Some(body) = marker_body(&comment.text) else {
+                continue;
+            };
+            if body == "hot-path" {
+                if let Some(start) = open_hot {
+                    markers.errors.push(MarkerError {
+                        line: comment.line,
+                        col: comment.col,
+                        message: format!(
+                            "`lint: hot-path` opened again before the region from line {start} \
+                             was closed with `lint: end-hot-path`"
+                        ),
+                    });
+                } else {
+                    open_hot = Some(comment.line);
+                }
+            } else if body == "end-hot-path" {
+                match open_hot.take() {
+                    Some(start) => markers.hot_regions.push(HotRegion {
+                        start,
+                        end: comment.line,
+                    }),
+                    None => markers.errors.push(MarkerError {
+                        line: comment.line,
+                        col: comment.col,
+                        message: "`lint: end-hot-path` without a matching `lint: hot-path`".into(),
+                    }),
+                }
+            } else if let Some(rest) = body.strip_prefix("allow-file") {
+                match parse_allow(rest) {
+                    Ok(rules) => markers.allows.push(Allow {
+                        rules,
+                        scope: AllowScope::File,
+                        line: comment.line,
+                        col: comment.col,
+                    }),
+                    Err(message) => markers.errors.push(MarkerError {
+                        line: comment.line,
+                        col: comment.col,
+                        message,
+                    }),
+                }
+            } else if let Some(rest) = body.strip_prefix("allow") {
+                match parse_allow(rest) {
+                    Ok(rules) => {
+                        let target = if comment.trailing {
+                            comment.line
+                        } else {
+                            let mut line = comment.line + 1;
+                            while standalone_lines.contains(&line) {
+                                line += 1;
+                            }
+                            line
+                        };
+                        markers.allows.push(Allow {
+                            rules,
+                            scope: AllowScope::Line(target),
+                            line: comment.line,
+                            col: comment.col,
+                        });
+                    }
+                    Err(message) => markers.errors.push(MarkerError {
+                        line: comment.line,
+                        col: comment.col,
+                        message,
+                    }),
+                }
+            } else {
+                markers.errors.push(MarkerError {
+                    line: comment.line,
+                    col: comment.col,
+                    message: format!(
+                        "unknown lint marker {body:?}; expected `allow(<rules>) -- <why>`, \
+                         `allow-file(<rules>) -- <why>`, `hot-path`, or `end-hot-path`"
+                    ),
+                });
+            }
+        }
+        if let Some(start) = open_hot {
+            markers.errors.push(MarkerError {
+                line: start,
+                col: 1,
+                message: "`lint: hot-path` region is never closed with `lint: end-hot-path`".into(),
+            });
+        }
+        markers
+    }
+}
+
+/// `lint:`-prefixed comments are markers; everything else is prose.
+fn marker_body(comment_text: &str) -> Option<&str> {
+    let trimmed = comment_text.trim_start_matches(['/', '!']).trim_start();
+    trimmed.strip_prefix("lint:").map(str::trim)
+}
+
+/// Parses `(<rule>[, <rule>…]) -- <justification>`; the justification is
+/// mandatory and must be non-empty.
+fn parse_allow(rest: &str) -> Result<Vec<String>, String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("allow marker needs a rule list: `allow(<rule>) -- <why>`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("allow marker's rule list is missing its closing `)`".into());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("allow marker lists no rules".into());
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(justification) = after.strip_prefix("--") else {
+        return Err(
+            "allow marker is missing its justification: every suppression must say why \
+             (`allow(<rule>) -- <why>`)"
+                .into(),
+        );
+    };
+    if justification.trim().is_empty() {
+        return Err("allow marker's justification is empty; say why the rule is safe here".into());
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Markers {
+        Markers::parse(&lex(src).comments)
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let m = parse("let x = a.unwrap(); // lint: allow(D4) -- invariant upheld above\n");
+        assert_eq!(m.allows.len(), 1);
+        assert_eq!(m.allows[0].rules, ["D4"]);
+        assert_eq!(m.allows[0].scope, AllowScope::Line(1));
+        assert!(m.errors.is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_targets_the_next_line() {
+        let m = parse("// lint: allow(D2, D4) -- progress meter only\nlet t = Instant::now();\n");
+        assert_eq!(m.allows[0].rules, ["D2", "D4"]);
+        assert_eq!(m.allows[0].scope, AllowScope::Line(2));
+    }
+
+    #[test]
+    fn standalone_allow_skips_wrapped_justification_lines() {
+        let m = parse(
+            "// lint: allow(D2) -- wall-clock feeds only the progress\n\
+             // meter, never a measurement\nlet t = Instant::now();\n",
+        );
+        assert_eq!(m.allows[0].scope, AllowScope::Line(3));
+    }
+
+    #[test]
+    fn file_allows_and_hot_regions_parse() {
+        let m = parse(
+            "// lint: allow-file(D1) -- keys are re-sorted before serialization\n\
+             // lint: hot-path\nlet x = 1;\n// lint: end-hot-path\n",
+        );
+        assert_eq!(m.allows[0].scope, AllowScope::File);
+        assert_eq!(m.hot_regions, [HotRegion { start: 2, end: 4 }]);
+        assert!(m.errors.is_empty());
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        for bad in [
+            "// lint: allow(D4)\n",
+            "// lint: allow(D4) -- \n",
+            "// lint: allow() -- why\n",
+            "// lint: allow D4 -- why\n",
+            "// lint: allow(D4 -- why\n",
+            "// lint: frobnicate\n",
+        ] {
+            let m = parse(bad);
+            assert_eq!(m.errors.len(), 1, "{bad:?} should be rejected");
+            assert!(m.allows.is_empty(), "{bad:?} must not half-parse");
+        }
+    }
+
+    #[test]
+    fn unbalanced_hot_regions_are_errors() {
+        assert_eq!(parse("// lint: hot-path\n").errors.len(), 1);
+        assert_eq!(parse("// lint: end-hot-path\n").errors.len(), 1);
+        assert_eq!(
+            parse("// lint: hot-path\n// lint: hot-path\n// lint: end-hot-path\n")
+                .errors
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let m = parse("// nothing to see\n/* lint-free zone */\nlet x = 1;\n");
+        assert!(m.allows.is_empty() && m.errors.is_empty() && m.hot_regions.is_empty());
+    }
+}

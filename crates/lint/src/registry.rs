@@ -1,0 +1,311 @@
+//! D5: the serde-stability registry.
+//!
+//! Every hand-written serde implementation in the workspace (an
+//! `impl Serialize for T` block or a `serde_enum!(T { … })` invocation)
+//! encodes a byte format that store files and cell keys depend on. The
+//! registry (`crates/lint/serde_pins.txt`) maps each such type to the
+//! pinned-bytes test that locks its wire shape. The rule fails when:
+//!
+//! * a serde-defining site appears with no registry entry (a new format
+//!   shipped without a pin),
+//! * a registry entry goes stale (the type no longer defines serde where
+//!   the entry says it does), or
+//! * the named pin test does not exist in the named file.
+
+use crate::lexer::{Lexed, TokenKind};
+use crate::rules::{test_regions, Finding};
+
+/// One line of `serde_pins.txt`.
+#[derive(Debug, Clone)]
+pub struct PinEntry {
+    /// The serde-defining type.
+    pub type_name: String,
+    /// Repo-relative file defining the serde impl.
+    pub def_file: String,
+    /// Repo-relative file holding the pin test.
+    pub test_file: String,
+    /// Name of the pin test function.
+    pub test_fn: String,
+    /// Line in the registry file (for diagnostics).
+    pub line: u32,
+}
+
+/// A serde-defining site discovered in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerdeSite {
+    /// The implementing type.
+    pub type_name: String,
+    /// 1-based line of the `impl`/macro invocation.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Parses the registry file. Format: one entry per line,
+/// `Type <def-file> <test-file>::<test-fn>`, `#` comments, blank lines ok.
+/// Malformed lines come back as findings against the registry file.
+pub fn parse_registry(content: &str) -> (Vec<PinEntry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let parsed = match fields.as_slice() {
+            [type_name, def_file, test_ref] => {
+                test_ref
+                    .split_once("::")
+                    .map(|(test_file, test_fn)| PinEntry {
+                        type_name: type_name.to_string(),
+                        def_file: def_file.to_string(),
+                        test_file: test_file.to_string(),
+                        test_fn: test_fn.to_string(),
+                        line: line_no,
+                    })
+            }
+            _ => None,
+        };
+        match parsed {
+            Some(entry) => entries.push(entry),
+            None => findings.push(Finding {
+                rule: "D5",
+                name: "serde-stability-registry",
+                line: line_no,
+                col: 1,
+                message: format!(
+                    "malformed registry line {raw:?}; expected \
+                     `Type <def-file> <test-file>::<test-fn>`"
+                ),
+                hint: "fix the entry format in crates/lint/serde_pins.txt".into(),
+            }),
+        }
+    }
+    (entries, findings)
+}
+
+/// Finds serde-defining sites in one lexed file: `impl Serialize for T`
+/// (optionally with generics after `impl`) and `serde_enum!(T`. Sites inside
+/// `#[cfg(test)]` regions are ignored.
+pub fn serde_sites(lexed: &Lexed) -> Vec<SerdeSite> {
+    let tokens = &lexed.tokens;
+    let tests = test_regions(tokens);
+    let in_test = |line: u32| tests.iter().any(|&(s, e)| line >= s && line <= e);
+    let mut sites = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident && t.text == "impl" && !in_test(t.line) {
+            let mut j = i + 1;
+            // Skip an optional generic parameter list `<…>`.
+            if tokens.get(j).is_some_and(|t| t.text == "<") {
+                let mut depth = 0i32;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "<" => depth += 1,
+                        ">" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            let is_serialize_for = tokens.get(j).is_some_and(|t| t.text == "Serialize")
+                && tokens.get(j + 1).is_some_and(|t| t.text == "for")
+                && tokens
+                    .get(j + 2)
+                    .is_some_and(|t| t.kind == TokenKind::Ident);
+            if is_serialize_for {
+                let target = &tokens[j + 2];
+                sites.push(SerdeSite {
+                    type_name: target.text.clone(),
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+        } else if t.kind == TokenKind::Ident
+            && t.text == "serde_enum"
+            && !in_test(t.line)
+            && tokens.get(i + 1).is_some_and(|t| t.text == "!")
+            && tokens.get(i + 2).is_some_and(|t| t.text == "(")
+            && tokens
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            sites.push(SerdeSite {
+                type_name: tokens[i + 3].text.clone(),
+                line: t.line,
+                col: t.col,
+            });
+        }
+        i += 1;
+    }
+    sites
+}
+
+/// Whether a lexed file defines `fn <name>` anywhere (pin tests live inside
+/// `#[cfg(test)]` modules, so test regions are *not* excluded here).
+pub fn defines_fn(lexed: &Lexed, name: &str) -> bool {
+    lexed.tokens.windows(2).any(|w| {
+        w[0].kind == TokenKind::Ident
+            && w[0].text == "fn"
+            && w[1].kind == TokenKind::Ident
+            && w[1].text == name
+    })
+}
+
+/// Cross-checks detected sites against the registry. `files` maps
+/// repo-relative paths to their lexed contents; `registry_path` is the
+/// repo-relative registry path used for stale-entry diagnostics.
+///
+/// Returns `(file, finding)` pairs.
+pub fn check_registry(
+    entries: &[PinEntry],
+    files: &[(String, Lexed)],
+    registry_path: &str,
+) -> Vec<(String, Finding)> {
+    let mut findings = Vec::new();
+
+    // Unregistered sites: serde defined, no pin recorded.
+    for (path, lexed) in files {
+        for site in serde_sites(lexed) {
+            let registered = entries
+                .iter()
+                .any(|e| e.type_name == site.type_name && &e.def_file == path);
+            if !registered {
+                findings.push((
+                    path.clone(),
+                    Finding {
+                        rule: "D5",
+                        name: "serde-stability-registry",
+                        line: site.line,
+                        col: site.col,
+                        message: format!(
+                            "`{}` defines a serde byte format but has no entry in \
+                             crates/lint/serde_pins.txt; unpinned formats drift silently",
+                            site.type_name
+                        ),
+                        hint: format!(
+                            "write a pinned-bytes test for `{}` and register it: \
+                             `{} {path} <test-file>::<test-fn>`",
+                            site.type_name, site.type_name
+                        ),
+                    },
+                ));
+            }
+        }
+    }
+
+    // Stale entries and missing pin tests.
+    for entry in entries {
+        let defines_site = files.iter().any(|(path, lexed)| {
+            path == &entry.def_file
+                && serde_sites(lexed)
+                    .iter()
+                    .any(|s| s.type_name == entry.type_name)
+        });
+        if !defines_site {
+            findings.push((
+                registry_path.to_string(),
+                Finding {
+                    rule: "D5",
+                    name: "serde-stability-registry",
+                    line: entry.line,
+                    col: 1,
+                    message: format!(
+                        "stale registry entry: `{}` no longer defines serde in `{}`",
+                        entry.type_name, entry.def_file
+                    ),
+                    hint: "remove or update the entry".into(),
+                },
+            ));
+        }
+        let test_lexed = files.iter().find(|(path, _)| path == &entry.test_file);
+        let has_test = test_lexed.is_some_and(|(_, lexed)| defines_fn(lexed, &entry.test_fn));
+        if !has_test {
+            findings.push((
+                registry_path.to_string(),
+                Finding {
+                    rule: "D5",
+                    name: "serde-stability-registry",
+                    line: entry.line,
+                    col: 1,
+                    message: format!(
+                        "pin test `{}::{}` for `{}` does not exist",
+                        entry.test_file, entry.test_fn, entry.type_name
+                    ),
+                    hint: "point the entry at a real pinned-bytes test".into(),
+                },
+            ));
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.0.as_str(), a.1.line, a.1.col).cmp(&(b.0.as_str(), b.1.line, b.1.col)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn sites_are_detected_for_impls_macros_and_generics() {
+        let src = "impl Serialize for Foo { }\n\
+                   impl<'a> Serialize for Bar<'a> { }\n\
+                   serde::serde_enum!(Baz { A => \"a\" });\n\
+                   impl Display for NotSerde { }\n";
+        let names: Vec<String> = serde_sites(&lex(src))
+            .into_iter()
+            .map(|s| s.type_name)
+            .collect();
+        assert_eq!(names, ["Foo", "Bar", "Baz"]);
+    }
+
+    #[test]
+    fn sites_inside_test_modules_are_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n    impl Serialize for Scratch { }\n}\n";
+        assert!(serde_sites(&lex(src)).is_empty());
+    }
+
+    #[test]
+    fn registry_parses_and_rejects_malformed_lines() {
+        let content = "# comment\n\
+                       Foo crates/a/src/x.rs crates/a/src/x.rs::foo_pins\n\
+                       Broken line-without-test-ref\n";
+        let (entries, findings) = parse_registry(content);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].type_name, "Foo");
+        assert_eq!(entries[0].test_fn, "foo_pins");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn cross_check_flags_unregistered_stale_and_missing() {
+        let file = (
+            "crates/a/src/x.rs".to_string(),
+            lex("impl Serialize for Foo { }\nfn foo_pins() {}\n"),
+        );
+        let files = vec![file];
+        // Unregistered site.
+        let hits = check_registry(&[], &files, "crates/lint/serde_pins.txt");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].1.message.contains("no entry"));
+        // Fully registered: clean.
+        let (entries, _) = parse_registry("Foo crates/a/src/x.rs crates/a/src/x.rs::foo_pins\n");
+        assert!(check_registry(&entries, &files, "r").is_empty());
+        // Stale entry + missing test.
+        let (bad, _) = parse_registry("Gone crates/a/src/x.rs crates/a/src/x.rs::no_such_test\n");
+        let hits = check_registry(&bad, &files, "crates/lint/serde_pins.txt");
+        assert_eq!(hits.len(), 3, "stale + missing test + unregistered Foo");
+    }
+}

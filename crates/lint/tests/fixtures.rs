@@ -1,0 +1,188 @@
+//! Fixture corpus tests: one true-positive and one true-negative source
+//! file per rule under `tests/fixtures/`, each run through the real rule
+//! engine — and, end-to-end, through the real driver over a scratch
+//! workspace, asserting the report the CLI maps to its exit code.
+
+use dradio_lint::lexer::lex;
+use dradio_lint::registry::{check_registry, parse_registry};
+use dradio_lint::rules::check_file;
+use dradio_lint::{FileContext, Finding};
+
+const D1_VIOLATION: &str = include_str!("fixtures/d1_violation.rs");
+const D1_CLEAN: &str = include_str!("fixtures/d1_clean.rs");
+const D2_VIOLATION: &str = include_str!("fixtures/d2_violation.rs");
+const D2_CLEAN: &str = include_str!("fixtures/d2_clean.rs");
+const D3_VIOLATION: &str = include_str!("fixtures/d3_violation.rs");
+const D3_CLEAN: &str = include_str!("fixtures/d3_clean.rs");
+const D4_VIOLATION: &str = include_str!("fixtures/d4_violation.rs");
+const D4_CLEAN: &str = include_str!("fixtures/d4_clean.rs");
+const D5_VIOLATION: &str = include_str!("fixtures/d5_violation.rs");
+const D5_CLEAN: &str = include_str!("fixtures/d5_clean.rs");
+const D6_VIOLATION: &str = include_str!("fixtures/d6_violation.rs");
+const D6_CLEAN: &str = include_str!("fixtures/d6_clean.rs");
+const M1_VIOLATION: &str = include_str!("fixtures/m1_violation.rs");
+const M2_VIOLATION: &str = include_str!("fixtures/m2_violation.rs");
+const M_CLEAN: &str = include_str!("fixtures/m_clean.rs");
+
+fn ctx(crate_name: &str, is_lib_root: bool) -> FileContext {
+    FileContext {
+        crate_name: crate_name.to_string(),
+        is_lib_root,
+        is_bin: false,
+    }
+}
+
+fn findings(src: &str, ctx: &FileContext) -> Vec<Finding> {
+    check_file(ctx, &lex(src))
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn d1_flags_hash_collections_in_determinism_crates_only() {
+    let hits = findings(D1_VIOLATION, &ctx("sim", false));
+    assert!(hits.len() >= 2, "HashMap and HashSet should both fire");
+    assert!(rules_of(&hits).iter().all(|r| *r == "D1"), "{hits:?}");
+    // The same file is fine in a measurement crate — D1 is scoped.
+    assert!(findings(D1_VIOLATION, &ctx("analysis", false)).is_empty());
+    assert!(findings(D1_CLEAN, &ctx("sim", false)).is_empty());
+}
+
+#[test]
+fn d2_flags_clocks_and_ambient_rng() {
+    let hits = findings(D2_VIOLATION, &ctx("core", false));
+    assert!(rules_of(&hits).iter().all(|r| *r == "D2"), "{hits:?}");
+    let flagged: Vec<&str> = hits.iter().map(|f| f.message.as_str()).collect();
+    assert!(flagged.iter().any(|m| m.contains("`Instant`")));
+    assert!(flagged.iter().any(|m| m.contains("`random`")));
+    assert!(flagged.iter().any(|m| m.contains("`thread_rng`")));
+    assert!(findings(D2_CLEAN, &ctx("core", false)).is_empty());
+}
+
+#[test]
+fn d3_flags_allocation_only_inside_hot_regions() {
+    let hits = findings(D3_VIOLATION, &ctx("analysis", false));
+    assert_eq!(rules_of(&hits), ["D3", "D3", "D3"], "{hits:?}");
+    // The clean twin allocates too — but outside the region.
+    assert!(findings(D3_CLEAN, &ctx("analysis", false)).is_empty());
+}
+
+#[test]
+fn d4_flags_panic_capable_calls_outside_tests() {
+    let hits = findings(D4_VIOLATION, &ctx("analysis", false));
+    assert_eq!(rules_of(&hits), ["D4", "D4", "D4"], "{hits:?}");
+    // The clean twin unwraps inside #[cfg(test)], which every rule skips.
+    assert!(findings(D4_CLEAN, &ctx("analysis", false)).is_empty());
+}
+
+#[test]
+fn d5_flags_unregistered_serde_sites_and_accepts_pinned_ones() {
+    let violation = vec![(
+        "crates/sim/src/d5_violation.rs".to_string(),
+        lex(D5_VIOLATION),
+    )];
+    let hits = check_registry(&[], &violation, "crates/lint/serde_pins.txt");
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].1.message.contains("Unpinned"), "{hits:?}");
+
+    let clean = vec![("crates/sim/src/d5_clean.rs".to_string(), lex(D5_CLEAN))];
+    let (entries, parse_errors) = parse_registry(
+        "Pinned crates/sim/src/d5_clean.rs crates/sim/src/d5_clean.rs::pinned_serializes_to_null\n",
+    );
+    assert!(parse_errors.is_empty());
+    assert!(check_registry(&entries, &clean, "crates/lint/serde_pins.txt").is_empty());
+}
+
+#[test]
+fn d6_flags_missing_headers_on_lib_roots_only() {
+    let hits = findings(D6_VIOLATION, &ctx("sim", true));
+    assert_eq!(rules_of(&hits), ["D6", "D6"], "{hits:?}");
+    // Ordinary modules carry no header requirement.
+    assert!(findings(D6_VIOLATION, &ctx("sim", false)).is_empty());
+    assert!(findings(D6_CLEAN, &ctx("sim", true)).is_empty());
+}
+
+#[test]
+fn m1_flags_malformed_markers_and_the_finding_they_failed_to_suppress() {
+    let hits = findings(M1_VIOLATION, &ctx("analysis", false));
+    let m1: Vec<&Finding> = hits.iter().filter(|f| f.rule == "M1").collect();
+    assert_eq!(m1.len(), 2, "{hits:?}");
+    // A marker that fails to parse suppresses nothing: the D4 still fires.
+    assert!(rules_of(&hits).contains(&"D4"), "{hits:?}");
+}
+
+#[test]
+fn m2_flags_allows_that_suppress_nothing() {
+    let hits = findings(M2_VIOLATION, &ctx("analysis", false));
+    assert_eq!(rules_of(&hits), ["M2"], "{hits:?}");
+    // A justified allow that kills a real finding is silent on both sides.
+    assert!(findings(M_CLEAN, &ctx("analysis", false)).is_empty());
+}
+
+/// Builds a one-file scratch workspace, runs the real driver over it, and
+/// returns the report — the CLI exits non-zero exactly when `!is_clean()`.
+fn run_driver_on(fixture_src: &str, dest_rel: &str, registry: &str, tag: &str) -> bool {
+    let root =
+        std::env::temp_dir().join(format!("dradio-lint-fixture-{}-{tag}", std::process::id()));
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("scratch root resets");
+    }
+    let file = root.join(dest_rel);
+    std::fs::create_dir_all(file.parent().expect("fixture paths have parents"))
+        .expect("scratch dirs build");
+    std::fs::write(&file, fixture_src).expect("fixture writes");
+    let reg = root.join(dradio_lint::REGISTRY_PATH);
+    std::fs::create_dir_all(reg.parent().expect("registry path has a parent"))
+        .expect("registry dir builds");
+    std::fs::write(&reg, registry).expect("registry writes");
+    let report = dradio_lint::run_check(&root).expect("driver runs");
+    std::fs::remove_dir_all(&root).ok();
+    report.is_clean()
+}
+
+#[test]
+fn driver_reports_findings_on_every_violation_fixture() {
+    let cases: [(&str, &str, &str); 8] = [
+        (D1_VIOLATION, "crates/sim/src/d1_violation.rs", "d1"),
+        (D2_VIOLATION, "crates/sim/src/d2_violation.rs", "d2"),
+        (D3_VIOLATION, "crates/sim/src/d3_violation.rs", "d3"),
+        (D4_VIOLATION, "crates/sim/src/d4_violation.rs", "d4"),
+        (D5_VIOLATION, "crates/sim/src/d5_violation.rs", "d5"),
+        (D6_VIOLATION, "crates/sim/src/lib.rs", "d6"),
+        (M1_VIOLATION, "crates/sim/src/m1_violation.rs", "m1"),
+        (M2_VIOLATION, "crates/sim/src/m2_violation.rs", "m2"),
+    ];
+    for (src, dest, tag) in cases {
+        assert!(
+            !run_driver_on(src, dest, "", tag),
+            "{tag} violation fixture must produce findings"
+        );
+    }
+}
+
+#[test]
+fn driver_is_clean_on_every_clean_fixture() {
+    let cases: [(&str, &str, &str, &str); 7] = [
+        (D1_CLEAN, "crates/sim/src/d1_clean.rs", "", "d1c"),
+        (D2_CLEAN, "crates/sim/src/d2_clean.rs", "", "d2c"),
+        (D3_CLEAN, "crates/sim/src/d3_clean.rs", "", "d3c"),
+        (D4_CLEAN, "crates/sim/src/d4_clean.rs", "", "d4c"),
+        (
+            D5_CLEAN,
+            "crates/sim/src/d5_clean.rs",
+            "Pinned crates/sim/src/d5_clean.rs \
+             crates/sim/src/d5_clean.rs::pinned_serializes_to_null\n",
+            "d5c",
+        ),
+        (D6_CLEAN, "crates/sim/src/lib.rs", "", "d6c"),
+        (M_CLEAN, "crates/sim/src/m_clean.rs", "", "mc"),
+    ];
+    for (src, dest, registry, tag) in cases {
+        assert!(
+            run_driver_on(src, dest, registry, tag),
+            "{tag} clean fixture must produce no findings"
+        );
+    }
+}

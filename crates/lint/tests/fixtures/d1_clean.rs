@@ -1,0 +1,13 @@
+// D1 true negative: the same index built on ordered collections.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn index(keys: &[String]) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    let mut seen = BTreeSet::new();
+    for (i, key) in keys.iter().enumerate() {
+        if seen.insert(key.clone()) {
+            map.insert(key.clone(), i);
+        }
+    }
+    map
+}

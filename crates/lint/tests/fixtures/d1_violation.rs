@@ -1,0 +1,15 @@
+// D1 true positive: hash collections in a determinism-scoped crate. Their
+// iteration order is seeded per process, so anything they feed (serde
+// output, cell keys, store bytes) varies run to run.
+use std::collections::{HashMap, HashSet};
+
+pub fn index(keys: &[String]) -> HashMap<String, usize> {
+    let mut map = HashMap::new();
+    let mut seen = HashSet::new();
+    for (i, key) in keys.iter().enumerate() {
+        if seen.insert(key.clone()) {
+            map.insert(key.clone(), i);
+        }
+    }
+    map
+}

@@ -1,0 +1,8 @@
+// D2 true negative: all randomness flows from an explicit seed; no clocks.
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+pub fn seeded_coin(seed: u64) -> bool {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.next_u32() & 1 == 0
+}

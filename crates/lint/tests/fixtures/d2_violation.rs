@@ -1,0 +1,12 @@
+// D2 true positive: wall-clock time and ambient randomness in a
+// determinism-scoped crate. Both make a trial's outcome depend on something
+// other than the spec and its seed.
+use std::time::Instant;
+
+pub fn timed_coin() -> (bool, u128) {
+    let start = Instant::now();
+    let heads = rand::random();
+    let mut rng = rand::thread_rng();
+    let _ = rng.next_u32();
+    (heads, start.elapsed().as_millis())
+}

@@ -1,0 +1,14 @@
+// D3 true negative: the hot region only reuses a caller-owned scratch
+// buffer; the allocation sits outside the region where the rule is silent.
+pub fn sum_into(items: &[u32], scratch: &mut Vec<u32>) -> u32 {
+    scratch.clear();
+    let mut acc = 0;
+    // lint: hot-path
+    for item in items {
+        scratch.push(*item);
+        acc += *item;
+    }
+    // lint: end-hot-path
+    let copies = scratch.clone();
+    acc + copies.len() as u32
+}

@@ -1,0 +1,16 @@
+// D3 true positive: per-iteration allocation inside a declared hot-path
+// region — exactly the regression the zero-allocation round loop guards
+// against.
+pub fn sum_with_copies(items: &[u32]) -> u32 {
+    let mut acc = 0;
+    // lint: hot-path
+    for item in items {
+        let copy = items.to_vec();
+        let mut scratch = Vec::new();
+        scratch.push(copy[0]);
+        let label = format!("{item}");
+        acc += *item + label.len() as u32;
+    }
+    // lint: end-hot-path
+    acc
+}

@@ -1,0 +1,15 @@
+// D4 true negative: library code propagates options/results; unwrap is
+// fine inside the #[cfg(test)] module, which every rule skips.
+pub fn first(items: &[u32]) -> Option<u32> {
+    items.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(first(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,13 @@
+// D4 true positive: panic-capable calls in non-test library code with no
+// justification — one aborted campaign worker per reachable panic.
+pub fn first(items: &[u32]) -> u32 {
+    *items.first().unwrap()
+}
+
+pub fn checked(flag: bool) -> u32 {
+    if flag {
+        panic!("flag must be false");
+    }
+    let value: Result<u32, ()> = Ok(0);
+    value.expect("just constructed")
+}

@@ -1,0 +1,15 @@
+// D5 true negative: the serde impl is registered, and the registered pin
+// test exists in this file.
+pub struct Pinned;
+
+impl Serialize for Pinned {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pinned_serializes_to_null() {}
+}

@@ -1,0 +1,9 @@
+// D5 true positive: a hand-written serde impl with no entry in the
+// serde-stability registry — a byte format shipped without a pin test.
+pub struct Unpinned;
+
+impl Serialize for Unpinned {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}

@@ -1,0 +1,7 @@
+//! D6 true negative: a crate root carrying the unified header.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Does nothing, documented.
+pub fn nothing() {}

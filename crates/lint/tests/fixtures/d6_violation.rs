@@ -1,0 +1,3 @@
+//! D6 true positive: a crate root missing both unified header attributes.
+
+pub fn nothing() {}

@@ -1,0 +1,9 @@
+// M1 true positive: markers with broken syntax — a suppression without a
+// justification and an unknown marker verb.
+pub fn first(items: &[u32]) -> u32 {
+    // lint: allow(D4)
+    *items.first().unwrap()
+}
+
+// lint: frobnicate
+pub fn second() {}

@@ -1,0 +1,6 @@
+// M2 true positive: a well-formed allow that suppresses nothing — stale
+// suppressions hide future violations and must be deleted.
+// lint: allow(D4) -- nothing here panics anymore, the unwrap was removed
+pub fn safe() -> u32 {
+    7
+}

@@ -1,0 +1,6 @@
+// M1/M2 true negative: a justified allow that earns its keep by killing a
+// real D4 finding — no marker diagnostics, no rule diagnostics.
+pub fn first(items: &[u32]) -> u32 {
+    // lint: allow(D4) -- fixture contract: callers pass non-empty slices
+    *items.first().unwrap()
+}

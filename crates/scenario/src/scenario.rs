@@ -342,6 +342,7 @@ impl ScenarioBuilder {
                 let topo = topology.clone();
                 Arc::new(move || {
                     spec.build(&topo)
+                        // lint: allow(D4) -- adversary spec was validated at scenario build time
                         .expect("adversary spec was validated at scenario build time")
                 })
             }
@@ -480,6 +481,7 @@ impl Scenario {
             (self.link)(),
             config,
         )
+        // lint: allow(D4) -- components were validated when the scenario was built
         .expect("scenario components were validated at build time")
         .run(self.stop.clone())
     }
@@ -508,6 +510,7 @@ impl Scenario {
             self.stop.clone(),
             config,
         )
+        // lint: allow(D4) -- components were validated when the scenario was built
         .expect("scenario components were validated at build time")
     }
 

@@ -68,6 +68,8 @@ impl BitString {
                 words.push(0u64);
             }
             if b {
+                // lint: allow(D4) -- a word is pushed above whenever len crosses a
+                // 64-bit boundary, so last_mut() always sees at least one word
                 let last = words.last_mut().expect("word pushed above");
                 *last |= 1u64 << (len % 64);
             }
@@ -106,6 +108,7 @@ impl BitString {
         }
         let mut out = 0u64;
         for offset in 0..width {
+            // lint: allow(D4) -- start + width <= len was checked at function entry
             if self.bit(start + offset).expect("range checked") {
                 out |= 1u64 << offset;
             }
@@ -139,6 +142,7 @@ impl fmt::Debug for BitString {
                 write!(
                     f,
                     "{}",
+                    // lint: allow(D4) -- i ranges over 0..self.len, always in bounds
                     if self.bit(i).expect("in range") {
                         '1'
                     } else {

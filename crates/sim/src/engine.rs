@@ -189,6 +189,7 @@ impl Simulator {
             stop,
             self.config,
         )
+        // lint: allow(D4) -- the same inputs passed Simulator::new validation already
         .expect("simulator inputs were validated at construction");
         executor.execute(seed, record_mode)
     }
