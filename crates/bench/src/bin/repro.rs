@@ -22,7 +22,7 @@
 //!     --example-scenario  print a ScenarioSpec JSON template and exit
 //!     --example-campaign  print a CampaignSpec JSON template and exit
 //!
-//! CAMPAIGN SUBCOMMANDS (all take --campaign <inline JSON or file path>):
+//! CAMPAIGN SUBCOMMANDS (all but worker take --campaign <inline JSON or path>):
 //!     campaign check      statically validate the spec without running a
 //!                         cell: duplicate cells, degenerate or unreachable
 //!                         adaptive stop targets, and a per-group worst-case
@@ -34,7 +34,21 @@
 //!     campaign compact    rewrite the store keeping only records in the
 //!                         spec's expansion, in expansion order (refuses to
 //!                         touch a store that fails its integrity checks)
+//!     campaign fleet      distribute the pending cells across worker
+//!                         *processes* (--workers N), each appending to its
+//!                         own shard store <store>.shardK.jsonl; refuses specs
+//!                         that fail `campaign check`, re-assigns the work of
+//!                         crashed or hung workers, and is resumable
+//!     campaign worker     serve one fleet shard over stdin/stdout (spawned
+//!                         by `campaign fleet`; not for interactive use)
+//!     campaign merge      union shard stores into --store, in spec expansion
+//!                         order, byte-identical to a single-process run
+//!                         (shard paths are positional arguments)
 //!     --store <path>      JSONL result store (default: <name>.campaign.jsonl)
+//!     --threads <N>       run/resume/fleet: cap cell-runner threads (fleet
+//!                         forwards the cap to every worker)
+//!     --workers <N>       fleet: worker processes to spawn (default 2)
+//!     --hang-timeout <S>  fleet: declare a silent worker dead after S seconds
 //!     --progress          emit a `cells done/total, cells/sec, ETA` line to
 //!                         stderr after each committed cell
 //!     --curves            with report: also render each stored
@@ -48,7 +62,9 @@
 //! ```
 
 use std::env;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use dradio_analysis::experiments::{self, ExperimentConfig};
 use dradio_analysis::Table;
@@ -56,6 +72,7 @@ use dradio_campaign::{
     CampaignRunner, CampaignSpec, ResultStore, RoundsRule, StopRule, SweepGroup, TrialPolicy,
 };
 use dradio_core::algorithms::GlobalAlgorithm;
+use dradio_fleet::{run_fleet, run_worker, shard_store_path, FleetConfig, WorkerConfig};
 use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
 fn run_scenario(json: &str, trials: usize) -> ExitCode {
@@ -201,11 +218,20 @@ fn load_campaign(arg: &str) -> Result<CampaignSpec, String> {
 
 fn campaign_command(args: &[String]) -> ExitCode {
     let Some(action) = args.first().map(String::as_str) else {
-        eprintln!("campaign needs an action: check | run | resume | report | compact");
+        eprintln!(
+            "campaign needs an action: check | run | resume | report | compact | fleet | \
+             worker | merge"
+        );
         return ExitCode::FAILURE;
     };
-    if !matches!(action, "check" | "run" | "resume" | "report" | "compact") {
-        eprintln!("unknown campaign action {action}; use check, run, resume, report, or compact");
+    if !matches!(
+        action,
+        "check" | "run" | "resume" | "report" | "compact" | "fleet" | "worker" | "merge"
+    ) {
+        eprintln!(
+            "unknown campaign action {action}; use check, run, resume, report, compact, \
+             fleet, worker, or merge"
+        );
         return ExitCode::FAILURE;
     }
     let mut campaign_arg: Option<String> = None;
@@ -213,6 +239,13 @@ fn campaign_command(args: &[String]) -> ExitCode {
     let mut csv = false;
     let mut progress = false;
     let mut curves = false;
+    let mut threads = 0usize;
+    let mut workers = 2usize;
+    let mut shard = 0usize;
+    let mut exit_after: Option<usize> = None;
+    let mut worker_exit_after: Option<usize> = None;
+    let mut hang_timeout: Option<Duration> = None;
+    let mut shard_paths: Vec<PathBuf> = Vec::new();
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -233,12 +266,88 @@ fn campaign_command(args: &[String]) -> ExitCode {
             "--csv" => csv = true,
             "--progress" => progress = true,
             "--curves" => curves = true,
+            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => workers = n,
+                _ => {
+                    eprintln!("--workers requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shard" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => shard = n,
+                None => {
+                    eprintln!("--shard requires a shard index");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--exit-after" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => exit_after = Some(n),
+                _ => {
+                    eprintln!("--exit-after requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--worker-exit-after" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => worker_exit_after = Some(n),
+                _ => {
+                    eprintln!("--worker-exit-after requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--hang-timeout" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => hang_timeout = Some(Duration::from_secs_f64(s)),
+                _ => {
+                    eprintln!("--hang-timeout requires a positive number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if !other.starts_with('-') && action == "merge" => {
+                shard_paths.push(PathBuf::from(other));
+            }
             other => {
                 eprintln!("unknown campaign option {other}");
                 return ExitCode::FAILURE;
             }
         }
     }
+
+    if action == "worker" {
+        // A worker's stdout carries protocol frames for its coordinator —
+        // nothing human-readable goes there. The cells to run arrive over
+        // the wire, so no --campaign is needed.
+        let Some(store) = store_arg else {
+            eprintln!("campaign worker requires --store <shard store path>");
+            return ExitCode::FAILURE;
+        };
+        let config = WorkerConfig {
+            shard,
+            store: PathBuf::from(store),
+            threads,
+            exit_after,
+        };
+        let stdin = std::io::BufReader::new(std::io::stdin());
+        return match run_worker(&config, stdin, std::io::stdout()) {
+            Ok(report) => {
+                eprintln!(
+                    "worker {}: {} executed, {} skipped, {} failed ({} resumed)",
+                    report.shard, report.executed, report.skipped, report.failed, report.resumed
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("campaign worker failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let Some(campaign_arg) = campaign_arg else {
         eprintln!("campaign {action} requires --campaign <json-or-path>");
         return ExitCode::FAILURE;
@@ -269,6 +378,44 @@ fn campaign_command(args: &[String]) -> ExitCode {
     }
 
     let store_path = store_arg.unwrap_or_else(|| format!("{}.campaign.jsonl", spec.name));
+
+    if action == "merge" {
+        if shard_paths.is_empty() {
+            eprintln!(
+                "campaign merge needs at least one shard store path (positional), e.g. \
+                 `campaign merge --campaign spec.json --store out.jsonl out.shard0.jsonl \
+                 out.shard1.jsonl`"
+            );
+            return ExitCode::FAILURE;
+        }
+        return match ResultStore::merge(&spec, &store_path, &shard_paths) {
+            Ok(report) => {
+                println!("{spec}");
+                println!("merged into {store_path}: {report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("campaign merge failed: {e}");
+                eprintln!("({store_path} and the shard stores were left untouched)");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if action == "fleet" {
+        return fleet_command(
+            &spec,
+            &store_path,
+            FleetConfig {
+                workers,
+                threads,
+                progress,
+                hang_timeout,
+                worker_exit_after,
+                worker_command: None,
+            },
+        );
+    }
 
     // Only `run` may create the store; `resume`, `report`, and `compact`
     // address an existing one (none of them should leave an empty file
@@ -312,10 +459,11 @@ fn campaign_command(args: &[String]) -> ExitCode {
     );
 
     if action != "report" {
-        match CampaignRunner::new(&spec)
-            .progress(progress)
-            .run(&mut store)
-        {
+        let mut runner = CampaignRunner::new(&spec).progress(progress);
+        if threads > 0 {
+            runner = runner.threads(threads);
+        }
+        match runner.run(&mut store) {
             Ok(report) => {
                 println!(
                     "cells: {} total, {} skipped (already measured), {} executed",
@@ -379,6 +527,76 @@ fn campaign_command(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `campaign fleet`: a check-gated launch banner with a per-shard budget
+/// estimate, then the coordinator.
+fn fleet_command(spec: &CampaignSpec, store_path: &str, config: FleetConfig) -> ExitCode {
+    // The coordinator re-checks internally; checking here first prints the
+    // warnings the way `campaign check` does and sizes the banner.
+    let report = match dradio_campaign::check(spec) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("campaign fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !report.is_clean() {
+        print!("{report}");
+        eprintln!(
+            "campaign fleet: the spec has {} check warning(s); fix them (or run \
+             single-process `campaign run`) before fanning out across processes",
+            report.warnings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("{spec}");
+    let budget: Option<u64> = report.groups.iter().map(|g| g.max_rounds).sum();
+    match budget {
+        Some(total) => println!(
+            "fleet: {} workers over {} cells; worst-case budget ≈ {} rounds per shard \
+             (of {total} total)",
+            config.workers,
+            report.cells,
+            total.div_ceil(config.workers as u64)
+        ),
+        None => println!(
+            "fleet: {} workers over {} cells (unbounded round budget)",
+            config.workers, report.cells
+        ),
+    }
+    let workers = config.workers;
+    match run_fleet(spec, Path::new(store_path), &config) {
+        Ok(report) => {
+            println!(
+                "cells: {} total, {} skipped (already durable), {} completed, \
+                 {} re-assigned, {} worker(s)",
+                report.total, report.skipped, report.completed, report.reassigned, report.workers
+            );
+            let shards: Vec<String> = (0..workers)
+                .map(|k| shard_store_path(Path::new(store_path), k))
+                .filter(|p| p.exists())
+                .map(|p| p.display().to_string())
+                .collect();
+            if shards.is_empty() {
+                println!("(no shard stores written — nothing was pending)");
+            } else {
+                println!(
+                    "next: repro campaign merge --campaign <spec> --store {store_path} {}",
+                    shards.join(" ")
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("campaign fleet failed: {e}");
+            eprintln!(
+                "(completed cells are durable in the shard stores next to {store_path}; \
+                 rerun `campaign fleet` to resume)"
+            );
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `repro lint [--fix-hints]`: the workspace static-analysis pass, from the
@@ -475,7 +693,13 @@ fn main() -> ExitCode {
                 );
                 println!(
                     "campaigns: campaign <check|run|resume|report|compact> --campaign \
-                     <json-or-path> [--store <path>] [--csv] [--progress]"
+                     <json-or-path> [--store <path>] [--csv] [--progress] [--threads <N>]"
+                );
+                println!(
+                    "fleet: campaign fleet --campaign <json-or-path> [--store <path>] \
+                     [--workers <N>] [--threads <N>] [--hang-timeout <secs>]; \
+                     campaign merge --campaign <json-or-path> --store <out> <shard>...; \
+                     campaign worker (internal, spawned by fleet)"
                 );
                 println!("lint: repro lint [--fix-hints] (workspace static analysis)");
                 return ExitCode::SUCCESS;

@@ -436,6 +436,29 @@ impl TopologyCache {
     }
 }
 
+/// Builds and measures one cell in isolation — the entry point fleet worker
+/// processes use for the cells a coordinator assigns them.
+///
+/// Equivalent to the cell's slot in a full [`CampaignRunner`] run: same key,
+/// same measurement, same serialized bytes (the runner's topology cache is
+/// invisible in results, pinned by this module's tests), so shard stores
+/// written from `execute_cell` records merge byte-identically with a
+/// single-process store. `parallel_trials` mirrors the runner's two modes:
+/// `true` lets the cell's trials fan out across cores (right when the caller
+/// runs cells one at a time), `false` runs them sequentially (right when the
+/// caller runs many cells concurrently) — both produce identical
+/// measurements by the scenario runner's parallel-equals-sequential
+/// guarantee.
+///
+/// # Errors
+///
+/// [`CampaignError::Cell`] if the cell fails to build or run.
+pub fn execute_cell(cell: &CellSpec, parallel_trials: bool) -> Result<CellRecord> {
+    // A default (empty) cache tracks nothing, so the cell builds its own
+    // topology — correct for a worker that sees cells one at a time.
+    run_cell(cell, parallel_trials, &TopologyCache::default())
+}
+
 /// Builds and measures one cell, sharing the campaign's built topology when
 /// the cache tracks it.
 fn run_cell(
@@ -701,6 +724,25 @@ mod tests {
             .run_in_memory()
             .unwrap();
         assert_eq!(b.records(), c.records());
+    }
+
+    #[test]
+    fn execute_cell_matches_the_full_campaign_run() {
+        // The worker-process entry point must be indistinguishable from the
+        // cell's slot in a campaign run — keys, measurements, trial counts,
+        // and serialized bytes — in both trial-parallelism modes.
+        let campaign = small_campaign();
+        let store = CampaignRunner::new(&campaign).run_in_memory().unwrap();
+        for (record, cell) in store.records().iter().zip(campaign.expand().unwrap()) {
+            for parallel_trials in [false, true] {
+                let solo = execute_cell(&cell, parallel_trials).unwrap();
+                assert_eq!(&solo, record, "{}", cell.label());
+                assert_eq!(
+                    serde_json::to_string(&solo).unwrap(),
+                    serde_json::to_string(record).unwrap(),
+                );
+            }
+        }
     }
 
     #[test]

@@ -316,6 +316,129 @@ impl ResultStore {
             missing,
         })
     }
+
+    /// Merges shard stores into `out`: unions the keyed records of every
+    /// input (plus `out` itself, when it already exists — so a merge is
+    /// resumable and idempotent) and writes them in `spec`'s expansion
+    /// order, each kept line carried over **as its original bytes**. Because
+    /// measurements are pure functions of their cell spec, the fleet's
+    /// shard stores union into exactly the store a single-process run
+    /// writes, byte for byte.
+    ///
+    /// Overlapping shards are fine as long as they agree: byte-identical
+    /// duplicate records deduplicate (a cell re-assigned after a worker
+    /// crash lands in two shards), while two records for the same key with
+    /// different bytes are a hard error — that means non-deterministic or
+    /// tampered inputs, and silently picking one would hide it. Each input
+    /// loads through [`ResultStore::open`], so torn tails are truncated
+    /// like any killed-run store and key-integrity failures refuse the
+    /// merge before `out` is touched. The rewrite goes through a sibling
+    /// temp file that atomically replaces `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Store`] when `inputs` is empty, an input is missing,
+    /// an input fails its load-time integrity checks, two inputs conflict on
+    /// a key, or the rewrite fails; [`CampaignError::Spec`] if the campaign
+    /// fails to expand.
+    pub fn merge(
+        spec: &CampaignSpec,
+        out: impl AsRef<Path>,
+        inputs: &[impl AsRef<Path>],
+    ) -> Result<MergeReport> {
+        let out = out.as_ref();
+        if inputs.is_empty() {
+            return Err(CampaignError::store(
+                "merge needs at least one input shard store",
+            ));
+        }
+        let mut sources: Vec<PathBuf> = Vec::new();
+        if out.exists() {
+            sources.push(out.to_path_buf());
+        }
+        for input in inputs {
+            let input = input.as_ref();
+            // `open` would create a missing file; merging a typo'd shard
+            // path as an empty store would silently lose its records.
+            if !input.exists() {
+                return Err(CampaignError::store(format!(
+                    "cannot merge {}: the shard store does not exist",
+                    input.display()
+                )));
+            }
+            sources.push(input.to_path_buf());
+        }
+
+        // key -> (original line bytes, first source holding it).
+        let mut lines_by_key: BTreeMap<String, (String, PathBuf)> = BTreeMap::new();
+        let mut duplicates = 0usize;
+        for source in &sources {
+            // Load-time integrity: key checks reject tampered shards, torn
+            // tails truncate exactly as a resume would.
+            let store = ResultStore::open(source)?;
+            let text = std::fs::read_to_string(source).map_err(|e| {
+                CampaignError::store(format!("cannot read {}: {e}", source.display()))
+            })?;
+            let lines: Vec<&str> = text.split_inclusive('\n').collect();
+            debug_assert_eq!(lines.len(), store.len());
+            for (record, line) in store.records().iter().zip(&lines) {
+                match lines_by_key.get(&record.key) {
+                    None => {
+                        lines_by_key.insert(record.key.clone(), (line.to_string(), source.clone()));
+                    }
+                    Some((kept, _)) if kept == line => duplicates += 1,
+                    Some((_, first)) => {
+                        return Err(CampaignError::store(format!(
+                            "conflicting records for cell {} ({}): {} and {} disagree \
+                             byte-for-byte; refusing to pick one",
+                            record.key,
+                            record.cell.label(),
+                            first.display(),
+                            source.display(),
+                        )));
+                    }
+                }
+            }
+        }
+
+        let cells = spec.expand()?;
+        let mut kept_lines = String::new();
+        let mut merged = 0usize;
+        let mut missing = 0usize;
+        for cell in &cells {
+            match lines_by_key.get(&cell.key()) {
+                Some((line, _)) => {
+                    kept_lines.push_str(line);
+                    merged += 1;
+                }
+                None => missing += 1,
+            }
+        }
+        let stale = lines_by_key.len() - merged;
+
+        let tmp_path = {
+            let mut p = out.as_os_str().to_owned();
+            p.push(".merge-tmp");
+            PathBuf::from(p)
+        };
+        std::fs::write(&tmp_path, kept_lines).map_err(|e| {
+            CampaignError::store(format!("cannot write {}: {e}", tmp_path.display()))
+        })?;
+        std::fs::rename(&tmp_path, out).map_err(|e| {
+            CampaignError::store(format!(
+                "cannot replace {} with the merge: {e}",
+                out.display()
+            ))
+        })?;
+        Ok(MergeReport {
+            cells: cells.len(),
+            shards: inputs.len(),
+            merged,
+            duplicates,
+            stale,
+            missing,
+        })
+    }
 }
 
 /// What a [`ResultStore::compact`] call did.
@@ -337,6 +460,34 @@ impl fmt::Display for CompactReport {
             f,
             "kept {} of {} cells, dropped {} stale records, {} not yet measured",
             self.kept, self.cells, self.dropped, self.missing
+        )
+    }
+}
+
+/// What a [`ResultStore::merge`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeReport {
+    /// Cells in the campaign's expansion.
+    pub cells: usize,
+    /// Input shard stores unioned (not counting an existing output store).
+    pub shards: usize,
+    /// Expansion cells written to the merged store.
+    pub merged: usize,
+    /// Byte-identical duplicate records collapsed across inputs.
+    pub duplicates: usize,
+    /// Distinct records dropped because their key left the expansion.
+    pub stale: usize,
+    /// Expansion cells no input had measured yet.
+    pub missing: usize,
+}
+
+impl fmt::Display for MergeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "merged {} of {} cells from {} shards ({} duplicates collapsed, \
+             {} stale records dropped, {} not yet measured)",
+            self.merged, self.cells, self.shards, self.duplicates, self.stale, self.missing
         )
     }
 }
@@ -591,6 +742,166 @@ mod tests {
             "a failed compaction must not truncate or rewrite the store"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Writes `records` to a fresh temp store and returns its path.
+    fn shard_with(tag: &str, records: &[CellRecord]) -> PathBuf {
+        let path = temp_path(tag);
+        let mut store = ResultStore::open(&path).unwrap();
+        for record in records {
+            store.append(record.clone()).unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn merge_unions_shards_in_expansion_order() {
+        // Shards hold disjoint pieces of the campaign, out of expansion
+        // order; the merged store is the single-process store: every cell,
+        // expansion order, original bytes.
+        let a = shard_with("merge-a", &[record(16)]);
+        let b = shard_with("merge-b", &[record(8)]);
+        let out = temp_path("merge-out");
+        let spec = campaign_over(&[8, 16]);
+        let report = ResultStore::merge(&spec, &out, &[&a, &b]).unwrap();
+        assert_eq!(
+            report,
+            MergeReport {
+                cells: 2,
+                shards: 2,
+                merged: 2,
+                duplicates: 0,
+                stale: 0,
+                missing: 0,
+            }
+        );
+        assert!(report.to_string().contains("merged 2 of 2 cells"));
+        let merged = ResultStore::open(&out).unwrap();
+        assert_eq!(merged.records(), &[record(8), record(16)]);
+
+        // The merged bytes are exactly what appending in expansion order
+        // produces — the single-process store.
+        let reference = shard_with("merge-ref", &[record(8), record(16)]);
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            std::fs::read(&reference).unwrap()
+        );
+
+        // Merging again over the existing output is the identity (the
+        // output participates as a source, its records deduplicate).
+        let again = ResultStore::merge(&spec, &out, &[&a, &b]).unwrap();
+        assert_eq!(again.merged, 2);
+        assert_eq!(again.duplicates, 2);
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            std::fs::read(&reference).unwrap()
+        );
+        for p in [a, b, out, reference] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn merge_deduplicates_identical_overlapping_records() {
+        // A cell re-assigned after a worker crash lands in both shards with
+        // byte-identical records; the union keeps one copy.
+        let a = shard_with("merge-dup-a", &[record(8), record(16)]);
+        let b = shard_with("merge-dup-b", &[record(16)]);
+        let out = temp_path("merge-dup-out");
+        let report = ResultStore::merge(&campaign_over(&[8, 16]), &out, &[&a, &b]).unwrap();
+        assert_eq!(report.merged, 2);
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(
+            ResultStore::open(&out).unwrap().records(),
+            &[record(8), record(16)]
+        );
+        for p in [a, b, out] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn merge_refuses_conflicting_records_for_one_key() {
+        // Same cell (so the key-integrity check passes) but different
+        // measurement bytes: deterministic inputs can never produce this, so
+        // the merge must refuse rather than pick a side.
+        let a = shard_with("merge-conflict-a", &[record(8)]);
+        let b = shard_with("merge-conflict-b", &[record(8)]);
+        let text = std::fs::read_to_string(&b).unwrap();
+        let tampered = text.replace("\"completion_rate\":1.0", "\"completion_rate\":0.67");
+        assert_ne!(text, tampered);
+        std::fs::write(&b, tampered).unwrap();
+
+        let out = temp_path("merge-conflict-out");
+        let err = ResultStore::merge(&campaign_over(&[8]), &out, &[&a, &b]).unwrap_err();
+        assert!(err.to_string().contains("conflicting records"), "{err}");
+        assert!(!out.exists(), "a refused merge must not create the output");
+        for p in [a, b] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn merge_tolerates_a_torn_tail_in_one_shard() {
+        // A worker killed mid-append leaves a torn final line in its shard;
+        // the merge treats it like any killed-run store: the intact prefix
+        // merges, the torn cell counts as missing.
+        let a = shard_with("merge-torn-a", &[record(8)]);
+        let b = shard_with("merge-torn-b", &[record(16), record(32)]);
+        let full = std::fs::read_to_string(&b).unwrap();
+        std::fs::write(&b, &full[..full.len() - 17]).unwrap();
+
+        let out = temp_path("merge-torn-out");
+        let report = ResultStore::merge(&campaign_over(&[8, 16, 32]), &out, &[&a, &b]).unwrap();
+        assert_eq!(report.merged, 2);
+        assert_eq!(report.missing, 1, "the torn record is simply unmeasured");
+        assert_eq!(
+            ResultStore::open(&out).unwrap().records(),
+            &[record(8), record(16)]
+        );
+        for p in [a, b, out] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn merge_with_no_inputs_is_a_usage_error() {
+        let out = temp_path("merge-empty-out");
+        let inputs: [&Path; 0] = [];
+        let err = ResultStore::merge(&campaign_over(&[8]), &out, &inputs).unwrap_err();
+        assert!(err.to_string().contains("at least one input"), "{err}");
+        assert!(!out.exists());
+    }
+
+    #[test]
+    fn merge_requires_every_input_to_exist() {
+        // `open` would create a missing shard as an empty store — a typo'd
+        // path must fail loudly instead of merging nothing.
+        let a = shard_with("merge-missing-a", &[record(8)]);
+        let ghost = temp_path("merge-missing-ghost");
+        let out = temp_path("merge-missing-out");
+        let err = ResultStore::merge(&campaign_over(&[8]), &out, &[&a, &ghost]).unwrap_err();
+        assert!(err.to_string().contains("does not exist"), "{err}");
+        assert!(!ghost.exists(), "no empty shard left behind");
+        assert!(!out.exists());
+        let _ = std::fs::remove_file(a);
+    }
+
+    #[test]
+    fn merge_drops_stale_records_and_leaves_inputs_alone() {
+        // Records whose keys left the expansion are dropped from the output
+        // (like compact) but the input shards themselves are never rewritten.
+        let a = shard_with("merge-stale-a", &[record(64), record(8)]);
+        let before = std::fs::read(&a).unwrap();
+        let out = temp_path("merge-stale-out");
+        let report = ResultStore::merge(&campaign_over(&[8]), &out, &[&a]).unwrap();
+        assert_eq!(report.merged, 1);
+        assert_eq!(report.stale, 1);
+        assert_eq!(ResultStore::open(&out).unwrap().records(), &[record(8)]);
+        assert_eq!(std::fs::read(&a).unwrap(), before, "inputs are read-only");
+        for p in [a, out] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -1,0 +1,714 @@
+//! The coordinator half of the fleet: spec checking, cell sharding, worker
+//! process supervision, and crash re-assignment.
+//!
+//! [`run_fleet`] expands a campaign, diffs the expansion against whatever
+//! the output store and the shard stores already hold, and fans the pending
+//! cells out across `N` worker processes (each a `repro campaign worker`
+//! child speaking the line-delimited [`crate::protocol`] over
+//! stdin/stdout). The initial sharding is deterministic — pending cell `i`
+//! goes to worker `i mod N` — so shard store contents are reproducible
+//! run-to-run when nothing crashes.
+//!
+//! # Failure handling
+//!
+//! A worker that closes its stdout (crash, kill, clean exit) or stops
+//! responding past [`FleetConfig::hang_timeout`] is declared dead; its
+//! unacknowledged cells are re-assigned round-robin to the survivors. A
+//! worker that was killed *after* appending a cell but *before*
+//! acknowledging it leaves a durable record behind — the re-run produces
+//! byte-identical bytes in another shard and `campaign merge` collapses
+//! the pair. Only when every worker is dead with cells still owed does the
+//! fleet fail ([`FleetError::NoSurvivors`]); everything already appended
+//! stays durable and a rerun resumes from the shard stores.
+
+// lint: allow-file(D2) -- wall-clock here only tracks worker-process
+// liveness (spawn/last-frame times for hang detection); every measurement
+// is produced inside the workers from seeded RNGs.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+use dradio_campaign::{check, CampaignSpec, CellSpec, ResultStore};
+
+use crate::error::{FleetError, Result};
+use crate::protocol::{parse_frame, write_frame, CoordinatorFrame, WorkerFrame};
+
+/// How a fleet runs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker processes to spawn (capped at the pending-cell count).
+    pub workers: usize,
+    /// Cell-runner threads per worker (`0` keeps the worker default: one
+    /// runner with parallel trials). Forwarded as `--threads`.
+    pub threads: usize,
+    /// Report per-cell completions on stderr.
+    pub progress: bool,
+    /// Declare a worker dead when it has owed work and has not sent a frame
+    /// for this long. `None` trusts workers to either answer or crash.
+    pub hang_timeout: Option<Duration>,
+    /// Fault injection for tests and smoke runs: worker 0 is told to abort
+    /// (`--exit-after`) after this many fresh cells, exercising the
+    /// re-assignment path. `None` in real runs.
+    pub worker_exit_after: Option<usize>,
+    /// Override the worker argv (the shard flags are appended). `None`
+    /// re-invokes the current executable as `campaign worker`, which is
+    /// what the `repro` binary wants.
+    pub worker_command: Option<Vec<String>>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 2,
+            threads: 0,
+            progress: false,
+            hang_timeout: None,
+            worker_exit_after: None,
+            worker_command: None,
+        }
+    }
+}
+
+/// What a [`run_fleet`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetReport {
+    /// Cells in the campaign expansion.
+    pub total: usize,
+    /// Cells already durable (output store or shard stores) before launch.
+    pub skipped: usize,
+    /// Cells measured and acknowledged by this run.
+    pub completed: usize,
+    /// Cells re-assigned after a worker died or hung.
+    pub reassigned: usize,
+    /// Worker processes actually spawned.
+    pub workers: usize,
+}
+
+/// Where worker `shard`'s store lives for a fleet writing toward `store`:
+/// `results.jsonl` → `results.shard0.jsonl` (the `.shardN` lands before a
+/// `.jsonl` extension, after anything else).
+pub fn shard_store_path(store: &Path, shard: usize) -> PathBuf {
+    let text = store.to_string_lossy();
+    match text.strip_suffix(".jsonl") {
+        Some(stem) => PathBuf::from(format!("{stem}.shard{shard}.jsonl")),
+        None => PathBuf::from(format!("{text}.shard{shard}.jsonl")),
+    }
+}
+
+/// One worker's supervision state, generic over the assignment sink so the
+/// sharding logic is testable without processes.
+struct WorkerState<S: Write> {
+    /// Where `Assign` frames go (`None` once closed).
+    sink: Option<S>,
+    /// Assigned-but-unacknowledged cells, by key.
+    outstanding: BTreeMap<String, CellSpec>,
+    /// Still believed able to take work.
+    alive: bool,
+    /// When the worker last sent any frame (or was spawned).
+    last_heard: Instant,
+}
+
+impl<S: Write> WorkerState<S> {
+    fn new(sink: S) -> Self {
+        WorkerState {
+            sink: Some(sink),
+            outstanding: BTreeMap::new(),
+            alive: true,
+            last_heard: Instant::now(),
+        }
+    }
+
+    /// Declares the worker dead and takes back everything it still owed.
+    fn abandon(&mut self) -> Vec<CellSpec> {
+        self.alive = false;
+        self.sink = None;
+        std::mem::take(&mut self.outstanding)
+            .into_values()
+            .collect()
+    }
+}
+
+/// Writes one `Assign` to a worker; a failure means the worker is gone.
+fn try_assign<S: Write>(worker: &mut WorkerState<S>, cell: &CellSpec) -> Result<()> {
+    let Some(sink) = worker.sink.as_mut() else {
+        return Err(FleetError::io("worker sink already closed"));
+    };
+    write_frame(sink, &CoordinatorFrame::Assign { cell: cell.clone() })
+}
+
+/// Hands `cells` out round-robin starting at worker `start`, skipping dead
+/// workers. A worker whose pipe breaks mid-assignment is abandoned on the
+/// spot and its outstanding cells join the queue (counted in `reassigned`).
+///
+/// With every worker alive this reproduces the deterministic initial
+/// sharding: cell `i` lands on worker `(start + i) mod N`.
+fn distribute<S: Write>(
+    states: &mut [WorkerState<S>],
+    start: usize,
+    cells: Vec<CellSpec>,
+    reassigned: &mut usize,
+) -> Result<()> {
+    let n = states.len();
+    let mut queue: VecDeque<CellSpec> = cells.into();
+    let mut next = if n == 0 { 0 } else { start % n };
+    while let Some(cell) = queue.pop_front() {
+        let Some(k) = (0..n).map(|i| (next + i) % n).find(|&k| states[k].alive) else {
+            return Err(FleetError::NoSurvivors {
+                unassigned: queue.len() + 1,
+            });
+        };
+        match try_assign(&mut states[k], &cell) {
+            Ok(()) => {
+                states[k].outstanding.insert(cell.key(), cell);
+                next = (k + 1) % n;
+            }
+            Err(_) => {
+                let orphans = states[k].abandon();
+                *reassigned += orphans.len();
+                queue.push_front(cell);
+                queue.extend(orphans);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// What a worker's stdout reader forwards to the supervision loop.
+enum Event {
+    /// A parsed frame.
+    Frame(WorkerFrame),
+    /// An unparseable line — protocol corruption, the worker is untrusted
+    /// from here on.
+    Corrupt(String),
+    /// The worker's stdout closed: it exited or crashed.
+    Eof,
+}
+
+/// Collects the keys already durable in `path`, if it exists. A store that
+/// exists but fails validation is a hard error — fleeting past corruption
+/// would burn cycles re-measuring cells that merge would then refuse.
+fn known_keys(path: &Path, known: &mut BTreeSet<String>) -> Result<()> {
+    if !path.exists() {
+        return Ok(());
+    }
+    let store = ResultStore::open(path).map_err(FleetError::from)?;
+    for record in store.records() {
+        known.insert(record.key.clone());
+    }
+    Ok(())
+}
+
+/// Builds the argv for one worker process.
+fn worker_command(config: &FleetConfig, store: &Path, shard: usize) -> Result<Command> {
+    let mut cmd = match &config.worker_command {
+        Some(argv) => {
+            let Some((head, tail)) = argv.split_first() else {
+                return Err(FleetError::config("worker command must not be empty"));
+            };
+            let mut cmd = Command::new(head);
+            cmd.args(tail);
+            cmd
+        }
+        None => {
+            let exe = std::env::current_exe()
+                .map_err(|e| FleetError::io(format!("cannot locate own executable: {e}")))?;
+            let mut cmd = Command::new(exe);
+            cmd.args(["campaign", "worker"]);
+            cmd
+        }
+    };
+    cmd.arg("--store").arg(shard_store_path(store, shard));
+    cmd.arg("--shard").arg(shard.to_string());
+    if config.threads > 0 {
+        cmd.arg("--threads").arg(config.threads.to_string());
+    }
+    if shard == 0 {
+        if let Some(limit) = config.worker_exit_after {
+            cmd.arg("--exit-after").arg(limit.to_string());
+        }
+    }
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    Ok(cmd)
+}
+
+/// Runs a campaign across a fleet of local worker processes, each appending
+/// to its own shard store next to `store`. Finish with
+/// [`ResultStore::merge`] (`repro campaign merge`) to fold the shards into
+/// `store` itself.
+///
+/// # Errors
+///
+/// [`FleetError::SpecRejected`] when `campaign check` reports warnings —
+/// the coordinator refuses to fan a questionable sweep out across
+/// processes. [`FleetError::Worker`] when a worker reports a cell that
+/// cannot run, [`FleetError::NoSurvivors`] when every worker dies with
+/// cells still owed, [`FleetError::Io`]/[`FleetError::Config`] for spawn
+/// and configuration problems. Whatever completed before an error remains
+/// durable in the shard stores; rerunning resumes.
+pub fn run_fleet(spec: &CampaignSpec, store: &Path, config: &FleetConfig) -> Result<FleetReport> {
+    if config.workers == 0 {
+        return Err(FleetError::config("a fleet needs at least one worker"));
+    }
+    let report = check(spec).map_err(FleetError::from)?;
+    if !report.is_clean() {
+        return Err(FleetError::SpecRejected {
+            warnings: report.warnings.iter().map(|w| w.message.clone()).collect(),
+        });
+    }
+
+    let cells = spec.expand().map_err(FleetError::from)?;
+    let total = cells.len();
+    let mut known = BTreeSet::new();
+    known_keys(store, &mut known)?;
+    for shard in 0..config.workers {
+        known_keys(&shard_store_path(store, shard), &mut known)?;
+    }
+    let pending: Vec<CellSpec> = cells
+        .into_iter()
+        .filter(|cell| !known.contains(&cell.key()))
+        .collect();
+    let skipped = total - pending.len();
+    if pending.is_empty() {
+        return Ok(FleetReport {
+            total,
+            skipped,
+            ..FleetReport::default()
+        });
+    }
+
+    let worker_count = config.workers.min(pending.len());
+    let mut children: Vec<Child> = Vec::with_capacity(worker_count);
+    let mut states = Vec::with_capacity(worker_count);
+    let mut stdouts: Vec<(usize, ChildStdout)> = Vec::with_capacity(worker_count);
+    for shard in 0..worker_count {
+        let spawned = worker_command(config, store, shard).and_then(|mut cmd| {
+            let mut child = cmd
+                .spawn()
+                .map_err(|e| FleetError::io(format!("cannot spawn worker {shard}: {e}")))?;
+            match (child.stdin.take(), child.stdout.take()) {
+                (Some(stdin), Some(stdout)) => Ok((child, stdin, stdout)),
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    Err(FleetError::io("worker stdio was not piped"))
+                }
+            }
+        });
+        match spawned {
+            Ok((child, stdin, stdout)) => {
+                children.push(child);
+                states.push(WorkerState::new(stdin));
+                stdouts.push((shard, stdout));
+            }
+            Err(e) => {
+                // Reap whatever already launched before reporting.
+                for mut child in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(e);
+            }
+        }
+    }
+
+    let pending_count = pending.len();
+    let mut completed = 0usize;
+    let mut reassigned = 0usize;
+    let mut failure: Option<FleetError> = None;
+
+    std::thread::scope(|scope| {
+        // Readers first: each worker's stdout is drained into the event
+        // channel before any assignment is written, so neither side can
+        // block the other on a full pipe.
+        let (tx, rx) = mpsc::channel::<(usize, Event)>();
+        for (shard, stdout) in stdouts {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for line in BufReader::new(stdout).lines() {
+                    let Ok(line) = line else { break };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let event = match parse_frame::<WorkerFrame>(&line) {
+                        Ok(frame) => Event::Frame(frame),
+                        Err(e) => Event::Corrupt(e.to_string()),
+                    };
+                    let corrupt = matches!(event, Event::Corrupt(_));
+                    if tx.send((shard, event)).is_err() || corrupt {
+                        return;
+                    }
+                }
+                let _ = tx.send((shard, Event::Eof));
+            });
+        }
+        drop(tx);
+
+        if let Err(e) = distribute(&mut states, 0, pending, &mut reassigned) {
+            failure = Some(e);
+        }
+
+        while failure.is_none() && states.iter().any(|w| !w.outstanding.is_empty()) {
+            match rx.recv_timeout(Duration::from_millis(200)) {
+                Ok((shard, Event::Frame(frame))) => {
+                    states[shard].last_heard = Instant::now();
+                    match frame {
+                        WorkerFrame::Ready { .. } => {}
+                        WorkerFrame::Done { key, .. } => {
+                            if states[shard].outstanding.remove(&key).is_some() {
+                                completed += 1;
+                                if config.progress {
+                                    eprintln!(
+                                        "fleet: {completed}/{pending_count} cells done \
+                                         ({reassigned} re-assigned)"
+                                    );
+                                }
+                            }
+                        }
+                        WorkerFrame::Failed { key, reason } => {
+                            failure = Some(FleetError::worker(
+                                shard,
+                                format!("cell {key} cannot run: {reason}"),
+                            ));
+                        }
+                    }
+                }
+                Ok((shard, Event::Corrupt(reason))) => {
+                    // The worker's stream is garbage; kill it and hand its
+                    // work to the survivors.
+                    if config.progress {
+                        eprintln!("fleet: worker {shard} corrupted its stream ({reason}); killing");
+                    }
+                    let _ = children[shard].kill();
+                    let orphans = states[shard].abandon();
+                    reassigned += orphans.len();
+                    if let Err(e) = distribute(&mut states, shard + 1, orphans, &mut reassigned) {
+                        failure = Some(e);
+                    }
+                }
+                Ok((shard, Event::Eof)) => {
+                    let orphans = states[shard].abandon();
+                    if !orphans.is_empty() {
+                        if config.progress {
+                            eprintln!(
+                                "fleet: worker {shard} died owing {} cell(s); re-assigning",
+                                orphans.len()
+                            );
+                        }
+                        reassigned += orphans.len();
+                        if let Err(e) = distribute(&mut states, shard + 1, orphans, &mut reassigned)
+                        {
+                            failure = Some(e);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let Some(timeout) = config.hang_timeout else {
+                        continue;
+                    };
+                    for shard in 0..states.len() {
+                        if !states[shard].alive
+                            || states[shard].outstanding.is_empty()
+                            || states[shard].last_heard.elapsed() < timeout
+                        {
+                            continue;
+                        }
+                        if config.progress {
+                            eprintln!("fleet: worker {shard} is hung; killing and re-assigning");
+                        }
+                        let _ = children[shard].kill();
+                        let orphans = states[shard].abandon();
+                        reassigned += orphans.len();
+                        if let Err(e) = distribute(&mut states, shard + 1, orphans, &mut reassigned)
+                        {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every reader exited yet cells are outstanding: the
+                    // whole fleet is gone.
+                    let unassigned = states.iter().map(|w| w.outstanding.len()).sum();
+                    failure = Some(FleetError::NoSurvivors { unassigned });
+                }
+            }
+        }
+
+        // Shut down survivors: on success there is nothing left to assign,
+        // on failure we abandon whatever is still queued. Dropping the sink
+        // closes the worker's stdin, so even a worker that missed the
+        // Shutdown frame exits on EOF; the readers then see stdout close
+        // and the scope joins.
+        for state in &mut states {
+            if let Some(mut sink) = state.sink.take() {
+                let _ = write_frame(&mut sink, &CoordinatorFrame::Shutdown);
+            }
+        }
+    });
+
+    for mut child in children {
+        // On failure the fleet is being abandoned: don't wait for workers
+        // to drain queued cells (a kill at worst leaves a torn tail, which
+        // the stores tolerate).
+        if failure.is_some() {
+            let _ = child.kill();
+        }
+        let _ = child.wait();
+    }
+
+    match failure {
+        Some(error) => Err(error),
+        None => Ok(FleetReport {
+            total,
+            skipped,
+            completed,
+            reassigned,
+            workers: worker_count,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dradio_campaign::{CampaignRunner, RoundsRule, SweepGroup, TrialPolicy};
+    use dradio_core::algorithms::GlobalAlgorithm;
+    use dradio_scenario::{AdversarySpec, ProblemSpec, TopologySpec};
+
+    fn small_campaign() -> CampaignSpec {
+        CampaignSpec::named("fleet-test")
+            .seed(9)
+            .trials(TrialPolicy::Fixed(2))
+            .group(
+                SweepGroup::product(
+                    vec![
+                        TopologySpec::Clique { n: 8 },
+                        TopologySpec::Clique { n: 16 },
+                    ],
+                    vec![
+                        GlobalAlgorithm::Bgi.into(),
+                        GlobalAlgorithm::Permuted.into(),
+                    ],
+                    vec![AdversarySpec::StaticNone],
+                    vec![ProblemSpec::GlobalFrom(0)],
+                )
+                .rounds(RoundsRule::Fixed(2_000)),
+            )
+    }
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "dradio-fleet-coord-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn shard_stores_sit_next_to_the_output_store() {
+        assert_eq!(
+            shard_store_path(Path::new("results/run.campaign.jsonl"), 0),
+            Path::new("results/run.campaign.shard0.jsonl")
+        );
+        assert_eq!(
+            shard_store_path(Path::new("plain"), 12),
+            Path::new("plain.shard12.jsonl")
+        );
+    }
+
+    #[test]
+    fn distribution_is_round_robin_and_deterministic() {
+        let cells = small_campaign().expand().unwrap();
+        let mut states: Vec<WorkerState<Vec<u8>>> =
+            (0..3).map(|_| WorkerState::new(Vec::new())).collect();
+        let mut reassigned = 0;
+        distribute(&mut states, 0, cells.clone(), &mut reassigned).unwrap();
+        assert_eq!(reassigned, 0);
+        for (i, cell) in cells.iter().enumerate() {
+            assert!(
+                states[i % 3].outstanding.contains_key(&cell.key()),
+                "cell {i} must land on worker {}",
+                i % 3
+            );
+        }
+        // The wire carries exactly the assigned cells, in order.
+        let wire = String::from_utf8(states[0].sink.clone().unwrap()).unwrap();
+        let assigned: Vec<CoordinatorFrame> =
+            wire.lines().map(|l| parse_frame(l).unwrap()).collect();
+        assert_eq!(
+            assigned,
+            vec![
+                CoordinatorFrame::Assign {
+                    cell: cells[0].clone()
+                },
+                CoordinatorFrame::Assign {
+                    cell: cells[3].clone()
+                },
+            ]
+        );
+    }
+
+    /// A sink that fails every write, like the stdin of a dead child.
+    struct BrokenPipe;
+    impl Write for BrokenPipe {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "worker is gone",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Adapts the two sink shapes into one slice element type.
+    enum TestSink {
+        Ok(Vec<u8>),
+        Broken(BrokenPipe),
+    }
+    impl Write for TestSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            match self {
+                TestSink::Ok(v) => v.write(buf),
+                TestSink::Broken(b) => b.write(buf),
+            }
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn broken_pipes_cascade_to_the_survivors() {
+        let cells = small_campaign().expand().unwrap();
+        let mut states = vec![
+            WorkerState::new(TestSink::Broken(BrokenPipe)),
+            WorkerState::new(TestSink::Ok(Vec::new())),
+        ];
+        let mut reassigned = 0;
+        distribute(&mut states, 0, cells.clone(), &mut reassigned).unwrap();
+        assert!(!states[0].alive, "the broken worker is declared dead");
+        assert_eq!(
+            states[1].outstanding.len(),
+            cells.len(),
+            "the survivor absorbs everything"
+        );
+    }
+
+    #[test]
+    fn a_fleet_with_no_survivors_fails() {
+        let cells = small_campaign().expand().unwrap();
+        let mut states = vec![WorkerState::new(TestSink::Broken(BrokenPipe))];
+        let mut reassigned = 0;
+        let err = distribute(&mut states, 0, cells, &mut reassigned).unwrap_err();
+        assert!(
+            matches!(err, FleetError::NoSurvivors { unassigned: 4 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_workers_is_a_config_error() {
+        let err = run_fleet(
+            &small_campaign(),
+            Path::new("unused.jsonl"),
+            &FleetConfig {
+                workers: 0,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FleetError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn a_spec_that_fails_check_is_refused_before_any_spawn() {
+        // Duplicated groups make `campaign check` warn; the bogus worker
+        // command would fail loudly if the coordinator tried to spawn.
+        let dup = small_campaign().group(
+            SweepGroup::product(
+                vec![TopologySpec::Clique { n: 8 }],
+                vec![GlobalAlgorithm::Bgi.into()],
+                vec![AdversarySpec::StaticNone],
+                vec![ProblemSpec::GlobalFrom(0)],
+            )
+            .rounds(RoundsRule::Fixed(2_000)),
+        );
+        let err = run_fleet(
+            &dup,
+            Path::new("unused.jsonl"),
+            &FleetConfig {
+                worker_command: Some(vec!["/nonexistent-worker".into()]),
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap_err();
+        let FleetError::SpecRejected { warnings } = err else {
+            panic!("want SpecRejected, got {err}");
+        };
+        assert!(!warnings.is_empty());
+    }
+
+    #[test]
+    fn a_complete_store_launches_no_workers() {
+        let campaign = small_campaign();
+        let path = temp_store("complete");
+        let reference = CampaignRunner::new(&campaign).run_in_memory().unwrap();
+        let mut bytes = Vec::new();
+        for record in reference.records() {
+            bytes.extend_from_slice(serde_json::to_string(record).unwrap().as_bytes());
+            bytes.push(b'\n');
+        }
+        std::fs::write(&path, bytes).unwrap();
+
+        let report = run_fleet(
+            &campaign,
+            &path,
+            &FleetConfig {
+                // Spawning would explode; a complete store must not spawn.
+                worker_command: Some(vec!["/nonexistent-worker".into()]),
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.total, 4);
+        assert_eq!(report.skipped, 4);
+        assert_eq!(report.workers, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hung_workers_are_killed_and_the_fleet_reports_no_survivors() {
+        // `sh -c 'exec sleep 60'` ignores the appended shard flags, never
+        // sends Ready, and never exits on its own: pure hang (the exec
+        // makes kill() reach the sleep itself, so its stdout closes). With
+        // every worker hung there is nobody to re-assign to, so the fleet
+        // must kill them and fail quickly rather than wait forever.
+        let path = temp_store("hang");
+        let err = run_fleet(
+            &small_campaign(),
+            &path,
+            &FleetConfig {
+                workers: 2,
+                hang_timeout: Some(Duration::from_millis(400)),
+                worker_command: Some(vec!["sh".into(), "-c".into(), "exec sleep 60".into()]),
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, FleetError::NoSurvivors { unassigned: 4 }),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

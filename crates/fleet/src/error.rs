@@ -1,0 +1,165 @@
+//! Errors produced while coordinating, transporting, or executing fleet work.
+
+use std::fmt;
+
+use dradio_campaign::CampaignError;
+
+/// Everything that can go wrong in the fleet layer.
+#[derive(Debug)]
+pub enum FleetError {
+    /// `campaign check` rejected the spec: the coordinator refuses to fan a
+    /// questionable sweep out across processes. Carries the rendered
+    /// warnings.
+    SpecRejected {
+        /// The check warnings, one per line, as `campaign check` prints them.
+        warnings: Vec<String>,
+    },
+    /// The campaign layer failed (spec expansion, store I/O, cell
+    /// execution).
+    Campaign(CampaignError),
+    /// A wire frame failed to parse or write — a protocol bug or a
+    /// corrupted transport, never recoverable by retry.
+    Protocol {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A worker process could not be spawned, crashed with work that no
+    /// surviving worker could absorb, or reported a cell failure.
+    Worker {
+        /// The worker's shard index.
+        shard: usize,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Every worker died while cells were still unassigned — nobody is left
+    /// to absorb the re-assignments.
+    NoSurvivors {
+        /// Cells that were still waiting for a worker.
+        unassigned: usize,
+    },
+    /// The fleet configuration itself is unusable (zero workers, empty
+    /// worker command).
+    Config {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Transport-level I/O failed (pipe writes, child process plumbing).
+    Io {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl FleetError {
+    /// Creates a protocol error.
+    pub fn protocol(reason: impl Into<String>) -> Self {
+        FleetError::Protocol {
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates a transport I/O error.
+    pub fn io(reason: impl Into<String>) -> Self {
+        FleetError::Io {
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates a worker error.
+    pub fn worker(shard: usize, reason: impl Into<String>) -> Self {
+        FleetError::Worker {
+            shard,
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates a configuration error.
+    pub fn config(reason: impl Into<String>) -> Self {
+        FleetError::Config {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::SpecRejected { warnings } => {
+                write!(
+                    f,
+                    "campaign check rejected the spec ({} warning(s)); fix it or run \
+                     single-process `campaign run` to override",
+                    warnings.len()
+                )
+            }
+            FleetError::Campaign(source) => write!(f, "{source}"),
+            FleetError::Protocol { reason } => write!(f, "fleet protocol: {reason}"),
+            FleetError::Worker { shard, reason } => write!(f, "fleet worker {shard}: {reason}"),
+            FleetError::NoSurvivors { unassigned } => write!(
+                f,
+                "every fleet worker died with {unassigned} cell(s) still unassigned; \
+                 completed cells are durable in the shard stores — rerun to resume"
+            ),
+            FleetError::Config { reason } => write!(f, "fleet config: {reason}"),
+            FleetError::Io { reason } => write!(f, "fleet transport: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Campaign(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CampaignError> for FleetError {
+    fn from(source: CampaignError) -> Self {
+        FleetError::Campaign(source)
+    }
+}
+
+/// Convenient result alias for fallible fleet operations.
+pub type Result<T> = std::result::Result<T, FleetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases = vec![
+            (
+                FleetError::SpecRejected {
+                    warnings: vec!["dup".into()],
+                },
+                "rejected the spec",
+            ),
+            (
+                FleetError::Campaign(CampaignError::spec("no groups")),
+                "invalid campaign spec",
+            ),
+            (FleetError::protocol("bad frame"), "fleet protocol"),
+            (FleetError::worker(2, "crashed"), "fleet worker 2"),
+            (
+                FleetError::NoSurvivors { unassigned: 3 },
+                "3 cell(s) still unassigned",
+            ),
+            (FleetError::config("zero workers"), "fleet config"),
+            (FleetError::io("broken pipe"), "fleet transport"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn campaign_errors_convert_and_chain() {
+        let err: FleetError = CampaignError::store("short read").into();
+        assert!(matches!(err, FleetError::Campaign(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(std::error::Error::source(&FleetError::io("x")).is_none());
+    }
+}

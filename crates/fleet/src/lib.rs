@@ -1,0 +1,35 @@
+//! Distributed campaign execution: a coordinator sharding cells across
+//! local worker processes, and the merge-friendly shard stores they write.
+//!
+//! Single-process campaigns ([`dradio_campaign::CampaignRunner`]) already
+//! parallelize trials and cells across threads; this crate scales the same
+//! sweep across *processes*. The division of labor:
+//!
+//! * [`run_fleet`] (the **coordinator**) checks the spec, diffs the
+//!   expansion against existing stores, shards the pending cells
+//!   deterministically across `N` worker processes, supervises them, and
+//!   re-assigns the work of workers that crash or hang.
+//! * [`run_worker`] (a **worker**) serves one shard: it executes assigned
+//!   cells and appends each to its own shard store
+//!   ([`shard_store_path`]) *before* acknowledging it upstream.
+//! * [`dradio_campaign::ResultStore::merge`] (exposed as `repro campaign
+//!   merge`) folds the shard stores back into one store, byte-identical to
+//!   a single-process run — records are pure functions of their cell spec,
+//!   so shards union cleanly and duplicates collapse.
+//!
+//! Coordinator and worker speak the line-delimited JSON [`protocol`] over
+//! the worker's stdin/stdout; the framing is transport-agnostic, so a
+//! socket transport can replace the pipes without touching the protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod error;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{run_fleet, shard_store_path, FleetConfig, FleetReport};
+pub use error::{FleetError, Result};
+pub use protocol::{parse_frame, write_frame, CoordinatorFrame, WorkerFrame};
+pub use worker::{run_worker, WorkerConfig, WorkerReport, INJECTED_EXIT_CODE};
