@@ -47,6 +47,12 @@
 //!     --store <path>      JSONL result store (default: <name>.campaign.jsonl)
 //!     --threads <N>       run/resume/fleet: cap cell-runner threads (fleet
 //!                         forwards the cap to every worker)
+//!     --batch             run/resume/worker/fleet: bit-sliced batch trial
+//!                         execution — up to 64 trials per word pass;
+//!                         unbatchable cells (adaptive adversaries, history
+//!                         recording) fall back to scalar, and results are
+//!                         byte-identical either way (fleet forwards the
+//!                         flag to every worker)
 //!     --workers <N>       fleet: worker processes to spawn (default 2)
 //!     --hang-timeout <S>  fleet: declare a silent worker dead after S seconds
 //!     --progress          emit a `cells done/total, cells/sec, ETA` line to
@@ -59,6 +65,12 @@
 //!     repro lint [--fix-hints]
 //!                         run the dradio-lint determinism & invariant pass
 //!                         over the workspace (same rules as CI)
+//!
+//! MICRO-BENCH:
+//!     repro bench [--json] [--trials <N>]
+//!                         quick batch-vs-scalar trials/sec comparison on the
+//!                         engine workloads (clique / grid / random-geo at
+//!                         three sizes); --json also writes BENCH_batch.json
 //! ```
 
 use std::env;
@@ -240,6 +252,7 @@ fn campaign_command(args: &[String]) -> ExitCode {
     let mut progress = false;
     let mut curves = false;
     let mut threads = 0usize;
+    let mut batch = false;
     let mut workers = 2usize;
     let mut shard = 0usize;
     let mut exit_after: Option<usize> = None;
@@ -266,6 +279,7 @@ fn campaign_command(args: &[String]) -> ExitCode {
             "--csv" => csv = true,
             "--progress" => progress = true,
             "--curves" => curves = true,
+            "--batch" => batch = true,
             "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => threads = n,
                 _ => {
@@ -330,6 +344,7 @@ fn campaign_command(args: &[String]) -> ExitCode {
             shard,
             store: PathBuf::from(store),
             threads,
+            batch,
             exit_after,
         };
         let stdin = std::io::BufReader::new(std::io::stdin());
@@ -409,6 +424,7 @@ fn campaign_command(args: &[String]) -> ExitCode {
             FleetConfig {
                 workers,
                 threads,
+                batch,
                 progress,
                 hang_timeout,
                 worker_exit_after,
@@ -459,7 +475,7 @@ fn campaign_command(args: &[String]) -> ExitCode {
     );
 
     if action != "report" {
-        let mut runner = CampaignRunner::new(&spec).progress(progress);
+        let mut runner = CampaignRunner::new(&spec).progress(progress).batch(batch);
         if threads > 0 {
             runner = runner.threads(threads);
         }
@@ -551,14 +567,28 @@ fn fleet_command(spec: &CampaignSpec, store_path: &str, config: FleetConfig) -> 
         return ExitCode::FAILURE;
     }
     println!("{spec}");
-    let budget: Option<u64> = report.groups.iter().map(|g| g.max_rounds).sum();
+    // Each worker runs `threads.max(1)` cell runners concurrently, and
+    // `--batch` retires up to 64 trials per word pass, so the wall-clock
+    // proxy is rounds (or word passes) divided across every parallel
+    // stream — not one sequential scalar trial stream per worker.
+    let streams = (config.workers * config.threads.max(1)) as u64;
+    let budget: Option<u64> = if config.batch {
+        report.groups.iter().map(|g| g.max_batched_rounds).sum()
+    } else {
+        report.groups.iter().map(|g| g.max_rounds).sum()
+    };
+    let unit = if config.batch {
+        "word passes"
+    } else {
+        "rounds"
+    };
     match budget {
         Some(total) => println!(
-            "fleet: {} workers over {} cells; worst-case budget ≈ {} rounds per shard \
-             (of {total} total)",
+            "fleet: {} workers over {} cells; worst-case budget ≈ {} {unit} per \
+             parallel stream (of {total} total across {streams} streams)",
             config.workers,
             report.cells,
-            total.div_ceil(config.workers as u64)
+            total.div_ceil(streams)
         ),
         None => println!(
             "fleet: {} workers over {} cells (unbounded round budget)",
@@ -599,6 +629,223 @@ fn fleet_command(spec: &CampaignSpec, store_path: &str, config: FleetConfig) -> 
     }
 }
 
+/// One row of the `repro bench` batch-versus-scalar comparison.
+struct BatchBenchRow {
+    workload: &'static str,
+    n: usize,
+    trials: usize,
+    rounds: usize,
+    scalar_tps: f64,
+    batch_tps: f64,
+}
+
+impl BatchBenchRow {
+    fn speedup(&self) -> f64 {
+        if self.scalar_tps > 0.0 {
+            self.batch_tps / self.scalar_tps
+        } else {
+            0.0
+        }
+    }
+}
+
+impl serde::Serialize for BatchBenchRow {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("workload".into(), serde::Value::Str(self.workload.into())),
+            ("n".into(), serde::Value::UInt(self.n as u64)),
+            ("trials".into(), serde::Value::UInt(self.trials as u64)),
+            ("rounds".into(), serde::Value::UInt(self.rounds as u64)),
+            (
+                "scalar_trials_per_sec".into(),
+                serde::Value::Float(self.scalar_tps),
+            ),
+            (
+                "batch_trials_per_sec".into(),
+                serde::Value::Float(self.batch_tps),
+            ),
+            ("speedup".into(), serde::Value::Float(self.speedup())),
+        ])
+    }
+}
+
+/// The `BENCH_batch.json` document: `{"benches": [row, ...]}`.
+struct BatchBenchReport<'a> {
+    benches: &'a [BatchBenchRow],
+}
+
+impl serde::Serialize for BatchBenchReport<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![(
+            "benches".into(),
+            serde::Value::Seq(
+                self.benches
+                    .iter()
+                    .map(serde::Serialize::to_value)
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+/// `repro bench [--json]`: an in-binary trials/sec comparison of the scalar
+/// [`dradio_sim::TrialExecutor`] against the bit-sliced
+/// [`dradio_sim::BatchExecutor`] on the engine bench workloads. Unlike the
+/// Criterion benches this runs in seconds, prints one table, and with
+/// `--json` writes the numbers to `BENCH_batch.json` for CI trend tracking.
+fn bench_command(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut trials = 256usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--trials" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(t) if t > 0 => trials = t,
+                _ => {
+                    eprintln!("--trials requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown bench option {other}; repro bench takes --json and --trials");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    const ROUNDS: usize = 16;
+    const P: f64 = 0.1;
+    let workloads: Vec<(&'static str, Vec<TopologySpec>, AdversarySpec)> = vec![
+        (
+            "clique",
+            vec![64, 256, 1024]
+                .into_iter()
+                .map(|n| TopologySpec::Clique { n })
+                .collect(),
+            AdversarySpec::StaticNone,
+        ),
+        (
+            "grid",
+            vec![8, 16, 32]
+                .into_iter()
+                .map(|side| TopologySpec::Grid {
+                    cols: side,
+                    rows: side,
+                })
+                .collect(),
+            AdversarySpec::StaticNone,
+        ),
+        (
+            "random-geo",
+            vec![64, 256, 1024]
+                .into_iter()
+                .map(|n| TopologySpec::RandomGeometric {
+                    n,
+                    side: (n as f64 / 8.0).sqrt().max(1.5),
+                    r: 1.5,
+                    seed: 9,
+                })
+                .collect(),
+            AdversarySpec::Iid { p: 0.5 },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, specs, adversary) in workloads {
+        for spec in specs {
+            let built = match spec.build() {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("repro bench: {name} topology does not build: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let n = built.dual.len();
+            let mut scalar = dradio_bench::engine_executor(&built, &adversary, P, ROUNDS);
+            let mut batch = dradio_bench::engine_batch_executor(&built, &adversary, P, ROUNDS);
+            let seeds: Vec<u64> = (0..trials as u64)
+                .map(|t| dradio_sim::derive_stream_seed(0xBE7C4, t))
+                .collect();
+
+            let t0 = std::time::Instant::now();
+            let scalar_sum: usize = seeds
+                .iter()
+                .map(|&s| {
+                    scalar
+                        .execute(s, dradio_scenario::RecordMode::None)
+                        .metrics
+                        .deliveries
+                })
+                .sum();
+            let scalar_secs = t0.elapsed().as_secs_f64();
+
+            let t1 = std::time::Instant::now();
+            let batch_sum: usize = seeds
+                .chunks(dradio_scenario::MAX_LANES)
+                .flat_map(|lanes| {
+                    batch
+                        .execute_group(lanes, dradio_scenario::RecordMode::None)
+                        .expect("oblivious bench adversary is batchable")
+                })
+                .map(|o| o.metrics.deliveries)
+                .sum();
+            let batch_secs = t1.elapsed().as_secs_f64();
+
+            if scalar_sum != batch_sum {
+                eprintln!(
+                    "repro bench: batch/scalar outcome divergence on {name}/{n} \
+                     ({batch_sum} vs {scalar_sum} deliveries) — refusing to report timings"
+                );
+                return ExitCode::FAILURE;
+            }
+            rows.push(BatchBenchRow {
+                workload: name,
+                n,
+                trials,
+                rounds: ROUNDS,
+                scalar_tps: trials as f64 / scalar_secs.max(1e-9),
+                batch_tps: trials as f64 / batch_secs.max(1e-9),
+            });
+        }
+    }
+
+    println!("batch vs scalar trials/sec ({trials} trials x {ROUNDS} rounds, RecordMode::None)");
+    println!(
+        "{:<12} {:>6} {:>14} {:>14} {:>9}",
+        "workload", "n", "scalar t/s", "batch t/s", "speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:<12} {:>6} {:>14.0} {:>14.0} {:>8.2}x",
+            row.workload,
+            row.n,
+            row.scalar_tps,
+            row.batch_tps,
+            row.speedup()
+        );
+    }
+
+    if json {
+        let doc = BatchBenchReport { benches: &rows };
+        let path = Path::new("BENCH_batch.json");
+        match serde_json::to_string_pretty(&doc) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(path, body + "\n") {
+                    eprintln!("repro bench: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("repro bench: JSON serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// `repro lint [--fix-hints]`: the workspace static-analysis pass, from the
 /// binary everything else already runs through.
 fn lint_command(args: &[String]) -> ExitCode {
@@ -635,6 +882,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("lint") {
         return lint_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        return bench_command(&args[1..]);
     }
 
     let mut cfg = ExperimentConfig::quick();
@@ -702,6 +952,10 @@ fn main() -> ExitCode {
                      campaign worker (internal, spawned by fleet)"
                 );
                 println!("lint: repro lint [--fix-hints] (workspace static analysis)");
+                println!(
+                    "bench: repro bench [--json] [--trials <N>] (batch vs scalar trials/sec; \
+                     --json writes BENCH_batch.json)"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {

@@ -19,10 +19,10 @@
 
 use std::fmt;
 
-use dradio_scenario::Completion;
+use dradio_scenario::{AdversaryClass, Completion, MAX_LANES};
 
 use crate::error::Result;
-use crate::spec::{CampaignSpec, TrialPolicy};
+use crate::spec::{CampaignSpec, CellSpec, TrialPolicy};
 
 /// The worst-case budget of one sweep group.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +38,14 @@ pub struct GroupBudget {
     /// `max_trials · round_budget`. `None` when some round budget is not
     /// derivable from the spec (custom-sized topology under a default rule).
     pub max_rounds: Option<u64>,
+    /// Worst-case *executor round passes* under bit-sliced batch execution
+    /// (`--batch`): batchable cells advance up to 64 trials per pass, so
+    /// they contribute `⌈max_trials / 64⌉ · round_budget`; unbatchable cells
+    /// (adaptive or custom adversaries, history-recording modes) fall back
+    /// to scalar and contribute `max_trials · round_budget`. The honest
+    /// wall-clock proxy for a batched run — `max_rounds` stays the simulated
+    /// total. `None` exactly when `max_rounds` is.
+    pub max_batched_rounds: Option<u64>,
 }
 
 /// A non-fatal spec smell: the campaign runs, but not the way the author
@@ -133,7 +141,10 @@ pub fn check(spec: &CampaignSpec) -> Result<CheckReport> {
             TrialPolicy::Adaptive { max, .. } => max,
         };
         // Worst-case rounds: every trial of every cell runs to its budget.
+        // The batched estimate packs a batchable cell's trials into 64-wide
+        // lane groups, each advancing one round per executor pass.
         let mut rounds_total: Option<u64> = Some(0);
+        let mut batched_total: Option<u64> = Some(0);
         for cell in &cells {
             let budget = match cell.scenario.max_rounds {
                 Some(rounds) => Some(rounds as u64),
@@ -143,8 +154,17 @@ pub fn check(spec: &CampaignSpec) -> Result<CheckReport> {
                     .node_count()
                     .map(|n| 200 * n as u64 + 2_000),
             };
+            let batched_trials = if batchable(cell) {
+                (max_trials as u64).div_ceil(MAX_LANES as u64)
+            } else {
+                max_trials as u64
+            };
             rounds_total = match (rounds_total, budget) {
                 (Some(total), Some(b)) => Some(total.saturating_add(b * max_trials as u64)),
+                _ => None,
+            };
+            batched_total = match (batched_total, budget) {
+                (Some(total), Some(b)) => Some(total.saturating_add(b * batched_trials)),
                 _ => None,
             };
         }
@@ -153,6 +173,7 @@ pub fn check(spec: &CampaignSpec) -> Result<CheckReport> {
             cells: cells.len(),
             max_trials,
             max_rounds: rounds_total,
+            max_batched_rounds: batched_total,
         });
     }
 
@@ -162,6 +183,15 @@ pub fn check(spec: &CampaignSpec) -> Result<CheckReport> {
         cells: all_cells.len(),
         warnings,
     })
+}
+
+/// Whether a cell can run on the bit-sliced batch executor: oblivious
+/// adversary (adaptive and custom classes cannot be replayed lane-wise) and
+/// no history recording. Mirrors `Scenario::is_batchable` — spec-level, so
+/// the budget estimate needs no built components.
+fn batchable(cell: &CellSpec) -> bool {
+    cell.scenario.adversary.class() == Some(AdversaryClass::Oblivious)
+        && !cell.record_mode.records_history()
 }
 
 /// Policy-level smells: degenerate adaptivity and unreachable stop targets.
@@ -233,9 +263,12 @@ impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "campaign {:?}: {} distinct cells", self.name, self.cells)?;
         for g in &self.groups {
-            let rounds = match g.max_rounds {
-                Some(r) => format!("<= {r} simulated rounds"),
-                None => String::from("round budget not derivable from the spec"),
+            let rounds = match (g.max_rounds, g.max_batched_rounds) {
+                (Some(r), Some(b)) if b < r => {
+                    format!("<= {r} simulated rounds (<= {b} word passes with --batch)")
+                }
+                (Some(r), _) => format!("<= {r} simulated rounds"),
+                (None, _) => String::from("round budget not derivable from the spec"),
             };
             writeln!(
                 f,
@@ -371,6 +404,38 @@ mod tests {
             "{:?}",
             report.warnings
         );
+    }
+
+    #[test]
+    fn batched_budget_packs_lane_groups_only_for_batchable_cells() {
+        // 100 trials over a batchable (oblivious, history-free) cell: the
+        // batched estimate packs them into ⌈100/64⌉ = 2 lane groups.
+        let mut spec = CampaignSpec::named("batched-budget");
+        spec.trials = TrialPolicy::Fixed(100);
+        spec.groups
+            .push(cell_group(8).rounds(crate::spec::RoundsRule::Fixed(1_000)));
+        let report = check(&spec).unwrap();
+        assert_eq!(report.groups[0].max_rounds, Some(100 * 1_000));
+        assert_eq!(report.groups[0].max_batched_rounds, Some(2 * 1_000));
+        let text = report.to_string();
+        assert!(text.contains("<= 2000 word passes with --batch"), "{text}");
+
+        // An adaptive adversary cannot batch: both estimates agree, and the
+        // display drops the batch hint.
+        let mut adaptive = cell_group(8).rounds(crate::spec::RoundsRule::Fixed(1_000));
+        adaptive.adversaries = vec![AdversarySpec::GreedyCollision];
+        spec.groups = vec![adaptive];
+        let report = check(&spec).unwrap();
+        assert_eq!(report.groups[0].max_rounds, Some(100 * 1_000));
+        assert_eq!(report.groups[0].max_batched_rounds, Some(100 * 1_000));
+        assert!(!report.to_string().contains("--batch"));
+
+        // Full recording blocks batching too.
+        let mut recorded = cell_group(8).rounds(crate::spec::RoundsRule::Fixed(1_000));
+        recorded.record_mode = dradio_scenario::RecordMode::Full;
+        spec.groups = vec![recorded];
+        let report = check(&spec).unwrap();
+        assert_eq!(report.groups[0].max_batched_rounds, Some(100 * 1_000));
     }
 
     #[test]

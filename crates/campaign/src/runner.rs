@@ -70,6 +70,7 @@ pub struct CampaignRunner<'a> {
     spec: &'a CampaignSpec,
     threads: Option<usize>,
     progress: bool,
+    batch: bool,
 }
 
 impl<'a> CampaignRunner<'a> {
@@ -79,6 +80,7 @@ impl<'a> CampaignRunner<'a> {
             spec,
             threads: None,
             progress: false,
+            batch: false,
         }
     }
 
@@ -94,6 +96,16 @@ impl<'a> CampaignRunner<'a> {
     /// stdout and the store are never touched.
     pub fn progress(mut self, enabled: bool) -> Self {
         self.progress = enabled;
+        self
+    }
+
+    /// Requests bit-sliced batch trial execution for every cell of this run,
+    /// regardless of the per-cell [`CellSpec::batch`] flag (which still
+    /// applies on its own). A pure execution strategy: unbatchable cells
+    /// fall back to the scalar path, and batched cells produce bit-for-bit
+    /// the scalar measurements, so the store bytes are identical either way.
+    pub fn batch(mut self, enabled: bool) -> Self {
+        self.batch = enabled;
         self
     }
 
@@ -143,12 +155,15 @@ impl<'a> CampaignRunner<'a> {
         let executed = if threads <= 1 {
             // Sequential cells: let each cell parallelize its own trials.
             let mut executed = 0;
+            let mut trials_done = 0;
             for cell in &pending {
-                store.append(run_cell(cell, true, &topologies)?)?;
+                let record = run_cell(cell, true, &topologies, self.batch)?;
+                trials_done += record.trials_run;
+                store.append(record)?;
                 topologies.committed(&cell.scenario.topology);
                 executed += 1;
                 if let Some(meter) = &meter {
-                    meter.tick(executed);
+                    meter.tick(executed, trials_done);
                 }
             }
             executed
@@ -192,6 +207,7 @@ impl<'a> CampaignRunner<'a> {
         let ready = Condvar::new();
 
         let mut executed = 0usize;
+        let mut trials_done = 0usize;
         let mut failure: Option<CampaignError> = None;
 
         std::thread::scope(|scope| {
@@ -208,7 +224,7 @@ impl<'a> CampaignRunner<'a> {
                     // the cores. Panics are captured into the slot: an empty
                     // slot would wedge the in-order committer forever.
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_cell(&pending[i], false, topologies)
+                        run_cell(&pending[i], false, topologies, self.batch)
                     }))
                     .unwrap_or_else(|payload| {
                         Err(CampaignError::CellPanicked {
@@ -238,6 +254,7 @@ impl<'a> CampaignRunner<'a> {
                             .expect("campaign workers do not poison the slot lock");
                     }
                 };
+                let trials_run = result.as_ref().map(|r| r.trials_run).unwrap_or(0);
                 match result.and_then(|record| store.append(record)) {
                     Ok(()) => {
                         // The committed cell releases its topology
@@ -248,8 +265,9 @@ impl<'a> CampaignRunner<'a> {
                         // be needed again.
                         topologies.committed(&pending[commit].scenario.topology);
                         executed += 1;
+                        trials_done += trials_run;
                         if let Some(meter) = meter {
-                            meter.tick(executed);
+                            meter.tick(executed, trials_done);
                         }
                     }
                     Err(e) => {
@@ -292,11 +310,17 @@ impl ProgressMeter {
         }
     }
 
-    /// Reports `done` of the pending cells as committed.
-    fn tick(&self, done: usize) {
+    /// Reports `done` of the pending cells as committed, with `trials` total
+    /// trials executed so far across them.
+    fn tick(&self, done: usize, trials: usize) {
         let elapsed = self.started.elapsed().as_secs_f64();
         let rate = if elapsed > 0.0 {
             done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let trial_rate = if elapsed > 0.0 {
+            trials as f64 / elapsed
         } else {
             0.0
         };
@@ -307,7 +331,8 @@ impl ProgressMeter {
             String::from("?")
         };
         eprintln!(
-            "campaign: {done}/{} cells done ({} skipped), {rate:.2} cells/s, ETA {eta}",
+            "campaign: {done}/{} cells done ({} skipped), {rate:.2} cells/s, \
+             {trial_rate:.1} trials/s, ETA {eta}",
             self.pending, self.skipped
         );
     }
@@ -454,17 +479,34 @@ impl TopologyCache {
 ///
 /// [`CampaignError::Cell`] if the cell fails to build or run.
 pub fn execute_cell(cell: &CellSpec, parallel_trials: bool) -> Result<CellRecord> {
+    execute_cell_batched(cell, parallel_trials, false)
+}
+
+/// [`execute_cell`] with an execution-level batch request on top of the
+/// cell's own [`CellSpec::batch`] flag — what a `--batch` fleet worker runs.
+/// The record (and its serialized bytes) is identical either way.
+///
+/// # Errors
+///
+/// [`CampaignError::Cell`] if the cell fails to build or run.
+pub fn execute_cell_batched(
+    cell: &CellSpec,
+    parallel_trials: bool,
+    batch: bool,
+) -> Result<CellRecord> {
     // A default (empty) cache tracks nothing, so the cell builds its own
     // topology — correct for a worker that sees cells one at a time.
-    run_cell(cell, parallel_trials, &TopologyCache::default())
+    run_cell(cell, parallel_trials, &TopologyCache::default(), batch)
 }
 
 /// Builds and measures one cell, sharing the campaign's built topology when
-/// the cache tracks it.
+/// the cache tracks it. `batch` forces a bit-sliced trial fan-out on top of
+/// the cell's own flag (unbatchable cells still fall back to scalar).
 fn run_cell(
     cell: &CellSpec,
     parallel_trials: bool,
     topologies: &TopologyCache,
+    batch: bool,
 ) -> Result<CellRecord> {
     let at_cell = |source| CampaignError::Cell {
         cell: cell.label(),
@@ -481,21 +523,16 @@ fn run_cell(
         ScenarioRunner::new(&scenario).sequential()
     }
     .record_mode(cell.record_mode)
-    .curve(cell.curve);
+    .curve(cell.curve)
+    .batch(cell.batch || batch);
     let (measurement, trials_run) = match cell.trials {
         TrialPolicy::Fixed(trials) => {
             let measurement = if cell.curve {
                 // Stream each trial's collision curve into the measurement:
-                // one executor, trial-index order, no per-trial retention.
-                if trials == 0 {
-                    return Err(at_cell(dradio_scenario::ScenarioError::NoTrials));
-                }
-                let mut acc = runner.accumulator();
-                let mut executor = runner.executor();
-                for t in 0..trials {
-                    runner.run_trial_into(&mut executor, t, &mut acc);
-                }
-                acc.finish().map_err(at_cell)?
+                // trial-index order, no per-trial retention. The runner's
+                // curve path does exactly that (through one scalar executor,
+                // or lane groups of up to 64 trials when batching).
+                runner.run_trials(trials).map_err(at_cell)?
             } else {
                 Measurement::from_trials(&runner.collect_trials(trials).map_err(at_cell)?)
                     .map_err(at_cell)?
@@ -753,7 +790,7 @@ mod tests {
         let cells = campaign.expand().unwrap();
         for cell in &cells[..2] {
             store
-                .append(run_cell(cell, false, &TopologyCache::empty()).unwrap())
+                .append(run_cell(cell, false, &TopologyCache::empty(), false).unwrap())
                 .unwrap();
         }
         let report = CampaignRunner::new(&campaign).run(&mut store).unwrap();
@@ -976,7 +1013,7 @@ mod tests {
         let mut fresh = ResultStore::in_memory();
         for cell in &cells {
             fresh
-                .append(run_cell(cell, false, &TopologyCache::empty()).unwrap())
+                .append(run_cell(cell, false, &TopologyCache::empty(), false).unwrap())
                 .unwrap();
         }
 
@@ -1046,12 +1083,13 @@ mod tests {
             trials: TrialPolicy::Fixed(1),
             record_mode: RecordMode::None,
             curve: false,
+            batch: false,
         };
         let cache = TopologyCache::for_pending(std::slice::from_ref(&cell));
         assert!(cache.get(&bad).is_none(), "failed builds are not cached");
         assert_eq!(cache.resident(), 0);
         // The cell itself fails through its own build, like before.
-        assert!(run_cell(&cell, false, &cache).is_err());
+        assert!(run_cell(&cell, false, &cache, false).is_err());
     }
 
     /// The pre-incremental adaptive allocator, kept verbatim as the

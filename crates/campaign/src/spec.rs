@@ -281,6 +281,14 @@ pub struct SweepGroup {
     /// Like the record mode, this is **not** part of a cell's identity: the
     /// scalar statistics are identical with and without the curve.
     pub curve: bool,
+    /// Whether this group's cells request bit-sliced batch trial execution
+    /// (up to 64 trials per word pass; see
+    /// [`ScenarioRunner::batch`](dradio_scenario::ScenarioRunner::batch)).
+    /// A pure execution strategy: cells that cannot batch (adaptive or
+    /// custom adversaries, history-recording modes) fall back to the scalar
+    /// path, and batched cells produce bit-for-bit the scalar measurements —
+    /// so, like the record mode, this is **not** part of a cell's identity.
+    pub batch: bool,
 }
 
 impl SweepGroup {
@@ -302,6 +310,7 @@ impl SweepGroup {
             collision_detection: false,
             record_mode: RecordMode::None,
             curve: false,
+            batch: false,
         }
     }
 
@@ -358,6 +367,13 @@ impl SweepGroup {
         self
     }
 
+    /// Requests bit-sliced batch trial execution for this group's cells
+    /// (default off; unbatchable cells silently fall back to scalar).
+    pub fn batch(mut self, enabled: bool) -> Self {
+        self.batch = enabled;
+        self
+    }
+
     fn validate(&self, index: usize) -> Result<()> {
         let check_axis = |name: &str, len: usize| {
             if len == 0 {
@@ -408,7 +424,7 @@ impl SweepGroup {
 
 impl Serialize for SweepGroup {
     fn to_value(&self) -> Value {
-        Value::Map(vec![
+        let mut fields = vec![
             ("topologies".into(), self.topologies.to_value()),
             ("algorithms".into(), self.algorithms.to_value()),
             ("adversaries".into(), self.adversaries.to_value()),
@@ -422,7 +438,12 @@ impl Serialize for SweepGroup {
             ),
             ("record_mode".into(), self.record_mode.to_value()),
             ("curve".into(), self.curve.to_value()),
-        ])
+        ];
+        // Only-when-true, so pre-batch spec files keep their exact bytes.
+        if self.batch {
+            fields.push(("batch".into(), self.batch.to_value()));
+        }
+        Value::Map(fields)
     }
 }
 
@@ -459,6 +480,10 @@ impl Deserialize for SweepGroup {
                 None => RecordMode::None,
             },
             curve: match value.get("curve") {
+                Some(v) => bool::from_value(v)?,
+                None => false,
+            },
+            batch: match value.get("batch") {
                 Some(v) => bool::from_value(v)?,
                 None => false,
             },
@@ -573,6 +598,7 @@ impl CampaignSpec {
                                 trials,
                                 record_mode,
                                 curve: group.curve,
+                                batch: group.batch,
                             };
                             if seen.insert(cell.key()) {
                                 cells.push(cell);
@@ -653,6 +679,12 @@ pub struct CellSpec {
     /// statistics are unchanged), and omitted from the serialized form when
     /// off so pre-curve stores keep their exact bytes.
     pub curve: bool,
+    /// Whether the cell requests bit-sliced batch trial execution. A pure
+    /// execution strategy — batched cells produce bit-for-bit the scalar
+    /// measurements, and unbatchable cells fall back to scalar — so also
+    /// **not part of the cell's identity**, and omitted from the serialized
+    /// form when off so pre-batch stores keep their exact bytes.
+    pub batch: bool,
 }
 
 impl CellSpec {
@@ -702,6 +734,9 @@ impl Serialize for CellSpec {
         if self.curve {
             fields.push(("curve".into(), self.curve.to_value()));
         }
+        if self.batch {
+            fields.push(("batch".into(), self.batch.to_value()));
+        }
         Value::Map(fields)
     }
 }
@@ -723,6 +758,11 @@ impl Deserialize for CellSpec {
             },
             // Absent in stores written before curves existed.
             curve: match value.get("curve") {
+                Some(v) => bool::from_value(v)?,
+                None => false,
+            },
+            // Absent in stores written before batch execution existed.
+            batch: match value.get("batch") {
                 Some(v) => bool::from_value(v)?,
                 None => false,
             },
@@ -1035,6 +1075,40 @@ mod tests {
         );
         let back: CellSpec = serde_json::from_str(&plain_json).unwrap();
         assert!(!back.curve);
+    }
+
+    #[test]
+    fn batch_flag_stays_off_the_wire_and_out_of_keys_when_false() {
+        let mut campaign = sample_campaign();
+        campaign.groups[0] = campaign.groups[0].clone().batch(true);
+        let batched_cells = campaign.expand().unwrap();
+        let plain_cells = sample_campaign().expand().unwrap();
+        for (a, b) in plain_cells.iter().zip(&batched_cells) {
+            assert!(!a.batch);
+            assert!(b.batch);
+            // A pure execution strategy: batching must not change what the
+            // cell measures, so it must not change the key either.
+            assert_eq!(a.key(), b.key(), "batch must not change the key");
+        }
+        // Batched cells round-trip the flag...
+        let json = serde_json::to_string(&batched_cells[0]).unwrap();
+        assert!(json.contains("\"batch\":true"));
+        let back: CellSpec = serde_json::from_str(&json).unwrap();
+        assert!(back.batch);
+        // ...while batch-less cells keep the exact pre-batch store bytes,
+        // so `--batch` re-runs of old campaigns compare byte-for-byte.
+        let plain_json = serde_json::to_string(&plain_cells[0]).unwrap();
+        assert!(
+            !plain_json.contains("batch"),
+            "batch-less cells keep the pre-batch bytes: {plain_json}"
+        );
+        let back: CellSpec = serde_json::from_str(&plain_json).unwrap();
+        assert!(!back.batch);
+        // Groups serialize the flag only when set, too.
+        let group_json = serde_json::to_string(&sample_campaign().groups[0]).unwrap();
+        assert!(!group_json.contains("batch"));
+        let back: SweepGroup = serde_json::from_str(&group_json).unwrap();
+        assert!(!back.batch);
     }
 
     #[test]

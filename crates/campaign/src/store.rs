@@ -513,6 +513,7 @@ mod tests {
             trials: TrialPolicy::Fixed(2),
             record_mode: dradio_scenario::RecordMode::None,
             curve: false,
+            batch: false,
         };
         CellRecord {
             key: cell.key(),

@@ -45,6 +45,10 @@ pub struct FleetConfig {
     /// Cell-runner threads per worker (`0` keeps the worker default: one
     /// runner with parallel trials). Forwarded as `--threads`.
     pub threads: usize,
+    /// Bit-sliced batch trial execution in every worker (unbatchable cells
+    /// fall back to scalar; shard store bytes are identical either way).
+    /// Forwarded as `--batch`.
+    pub batch: bool,
     /// Report per-cell completions on stderr.
     pub progress: bool,
     /// Declare a worker dead when it has owed work and has not sent a frame
@@ -65,6 +69,7 @@ impl Default for FleetConfig {
         FleetConfig {
             workers: 2,
             threads: 0,
+            batch: false,
             progress: false,
             hang_timeout: None,
             worker_exit_after: None,
@@ -225,6 +230,9 @@ fn worker_command(config: &FleetConfig, store: &Path, shard: usize) -> Result<Co
     cmd.arg("--shard").arg(shard.to_string());
     if config.threads > 0 {
         cmd.arg("--threads").arg(config.threads.to_string());
+    }
+    if config.batch {
+        cmd.arg("--batch");
     }
     if shard == 0 {
         if let Some(limit) = config.worker_exit_after {

@@ -130,6 +130,7 @@ mod tests {
             trials: TrialPolicy::Fixed(1),
             record_mode: RecordMode::None,
             curve: false,
+            batch: false,
         }
     }
 

@@ -32,7 +32,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
-use dradio_campaign::{execute_cell, CellSpec, ResultStore};
+use dradio_campaign::{execute_cell_batched, CellSpec, ResultStore};
 
 use crate::error::{FleetError, Result};
 use crate::protocol::{parse_frame, write_frame, CoordinatorFrame, WorkerFrame};
@@ -54,6 +54,11 @@ pub struct WorkerConfig {
     /// parallel within each cell; `n > 1`: `n` cells concurrently, trials
     /// sequential per cell. Measurements are identical either way.
     pub threads: usize,
+    /// Whether to run each cell's trials through the bit-sliced batch
+    /// executor (unbatchable cells fall back to scalar). A pure execution
+    /// strategy: shard store bytes are identical either way. Forwarded from
+    /// the coordinator's `--batch`.
+    pub batch: bool,
     /// Fault injection for re-assignment tests: abort the process (exit
     /// code [`INJECTED_EXIT_CODE`], no `Done` frame, no cleanup) right
     /// after the n-th fresh cell is appended — exactly the crash window the
@@ -228,7 +233,7 @@ where
                         skipped.fetch_add(1, Ordering::Relaxed);
                         WorkerFrame::Done { key, trials_run }
                     } else {
-                        match execute_cell(&cell, parallel_trials) {
+                        match execute_cell_batched(&cell, parallel_trials, config.batch) {
                             Ok(record) => {
                                 let trials_run = record.trials_run;
                                 let appended = lock_store(store).append(record);
@@ -350,6 +355,7 @@ mod tests {
             shard: 3,
             store,
             threads,
+            batch: false,
             exit_after: None,
         }
     }

@@ -68,4 +68,6 @@ pub use topology::{BuiltTopology, TopologySpec};
 // Re-exported so scenario and campaign callers can select a record mode,
 // read typed per-trial metrics, or hold a reusable executor without
 // depending on `dradio-sim` directly.
-pub use dradio_sim::{RecordMode, TrialExecutor, TrialMetrics};
+pub use dradio_sim::{
+    AdversaryClass, BatchExecutor, RecordMode, TrialExecutor, TrialMetrics, MAX_LANES,
+};

@@ -40,7 +40,9 @@
 //! invalidates every stored measurement; tests in this module and in
 //! `dradio-campaign` pin the derivation.
 
-use dradio_sim::{derive_stream_seed, RecordMode, TrialExecutor, TrialMetrics};
+use dradio_sim::{
+    derive_stream_seed, BatchExecutor, RecordMode, TrialExecutor, TrialMetrics, MAX_LANES,
+};
 use rayon::prelude::*;
 
 use serde::{Deserialize, Serialize, Value};
@@ -299,6 +301,7 @@ pub struct ScenarioRunner<'a> {
     parallel: bool,
     record_mode: RecordMode,
     curve: bool,
+    batch: bool,
 }
 
 impl<'a> ScenarioRunner<'a> {
@@ -309,6 +312,7 @@ impl<'a> ScenarioRunner<'a> {
             parallel: true,
             record_mode: RecordMode::None,
             curve: false,
+            batch: false,
         }
     }
 
@@ -344,6 +348,34 @@ impl<'a> ScenarioRunner<'a> {
         self.curve
     }
 
+    /// Requests bit-sliced batch execution: trials fan out in lane groups of
+    /// up to [`MAX_LANES`] through a [`BatchExecutor`], each group advancing
+    /// all its live trials one round per word pass.
+    ///
+    /// The batch path is a pure execution strategy, never a semantics change:
+    /// lane `k` of a group produces bit-for-bit the outcome the scalar
+    /// executor produces for the same trial index, so every statistic —
+    /// measurements, curves, persisted stores — is identical with and without
+    /// it. Scenarios that cannot batch (adaptive or custom adversaries,
+    /// history-recording modes) silently fall back to the scalar path; see
+    /// [`ScenarioRunner::uses_batch`].
+    pub fn batch(mut self, enabled: bool) -> Self {
+        self.batch = enabled;
+        self
+    }
+
+    /// Whether batch execution was requested (regardless of batchability).
+    pub fn has_batch(&self) -> bool {
+        self.batch
+    }
+
+    /// Whether the trial fan-out will actually run bit-sliced: batch was
+    /// requested and the scenario is batchable under the effective record
+    /// mode ([`Scenario::is_batchable`]).
+    pub fn uses_batch(&self) -> bool {
+        self.batch && self.scenario.is_batchable(self.effective_record_mode())
+    }
+
     /// The record mode trials actually execute with: the configured mode,
     /// promoted to [`RecordMode::CollisionsOnly`] when a curve is requested
     /// and the mode retains no collisions.
@@ -366,6 +398,84 @@ impl<'a> ScenarioRunner<'a> {
     /// one fresh simulator per trial, just without the per-trial setup.
     pub fn executor(&self) -> TrialExecutor {
         self.scenario.executor()
+    }
+
+    /// The [`BatchExecutor`] the fan-out will use, when the batch path is
+    /// both requested and possible: [`ScenarioRunner::uses_batch`] must hold
+    /// and the scenario's actual link process must pass the executor's own
+    /// obliviousness check. `None` means the scalar path runs instead.
+    fn batch_executor_if_usable(&self) -> Option<BatchExecutor> {
+        if !self.uses_batch() {
+            return None;
+        }
+        self.scenario.batch_executor().ok()
+    }
+
+    /// Runs one lane group — trials `start..start + seeds.len()` — on a
+    /// reused batch executor, in trial order.
+    fn run_group_on(
+        &self,
+        executor: &mut BatchExecutor,
+        start: usize,
+        seeds: &[u64],
+    ) -> Vec<TrialOutcome> {
+        let outcomes = executor
+            .execute_group(seeds, self.effective_record_mode())
+            // lint: allow(D4) -- an identical construction was probed when the batch path was selected
+            .expect("group batchability was verified when the batch path was selected");
+        outcomes
+            .into_iter()
+            .zip(seeds)
+            .enumerate()
+            .map(|(k, (outcome, &seed))| TrialOutcome {
+                trial: start + k,
+                seed,
+                metrics: outcome.into_trial_metrics().without_curve(),
+            })
+            .collect()
+    }
+
+    /// The lane-group decomposition of a batch of `trials`: `(start, seeds)`
+    /// pairs covering `0..trials` in order, each at most [`MAX_LANES`] wide.
+    fn lane_groups(&self, trials: usize) -> Vec<(usize, Vec<u64>)> {
+        (0..trials)
+            .step_by(MAX_LANES)
+            .map(|start| {
+                let end = usize::min(start + MAX_LANES, trials);
+                (start, (start..end).map(|t| self.trial_seed(t)).collect())
+            })
+            .collect()
+    }
+
+    /// The bit-sliced analogue of the scalar fan-out in
+    /// [`collect_trials`](ScenarioRunner::collect_trials): lane groups fan
+    /// out across the rayon pool (one reused batch executor per worker), and
+    /// the per-group outcome vectors concatenate back into trial order.
+    fn collect_trials_batched(&self, mut first: BatchExecutor, trials: usize) -> Vec<TrialOutcome> {
+        let groups = self.lane_groups(trials);
+        let per_group: Vec<Vec<TrialOutcome>> = if self.parallel {
+            (0..groups.len())
+                .into_par_iter()
+                .map_init(
+                    || {
+                        self.scenario
+                            .batch_executor()
+                            // lint: allow(D4) -- an identical construction was probed when the batch path was selected
+                            .expect("an identical batch executor was constructed moments ago")
+                    },
+                    |executor, g| {
+                        let (start, seeds) = &groups[g];
+                        self.run_group_on(executor, *start, seeds)
+                    },
+                )
+                .collect()
+        } else {
+            groups
+                .into_iter()
+                .map(|(start, seeds)| self.run_group_on(&mut first, start, &seeds))
+                .collect()
+        };
+        per_group.concat()
     }
 
     /// Runs one trial by index (a fresh single-shot execution; for many
@@ -441,6 +551,9 @@ impl<'a> ScenarioRunner<'a> {
         if trials == 0 {
             return Err(ScenarioError::NoTrials);
         }
+        if let Some(executor) = self.batch_executor_if_usable() {
+            return Ok(self.collect_trials_batched(executor, trials));
+        }
         let outcomes: Vec<TrialOutcome> = if self.parallel {
             (0..trials)
                 .into_par_iter()
@@ -474,9 +587,25 @@ impl<'a> ScenarioRunner<'a> {
                 return Err(ScenarioError::NoTrials);
             }
             let mut acc = TrialAccumulator::with_curve();
-            let mut executor = self.executor();
-            for t in 0..trials {
-                self.run_trial_into(&mut executor, t, &mut acc);
+            if let Some(mut executor) = self.batch_executor_if_usable() {
+                // Curve streaming is inherently sequential, but each lane
+                // group still advances up to MAX_LANES trials per word pass;
+                // outcomes come back in lane (= trial) order, so the curve
+                // folds exactly as the scalar loop would fold it.
+                for (_start, seeds) in self.lane_groups(trials) {
+                    let outcomes = executor
+                        .execute_group(&seeds, self.effective_record_mode())
+                        // lint: allow(D4) -- an identical construction was probed when the batch path was selected
+                        .expect("group batchability was verified when the batch path was selected");
+                    for outcome in outcomes {
+                        acc.push(&outcome.into_trial_metrics());
+                    }
+                }
+            } else {
+                let mut executor = self.executor();
+                for t in 0..trials {
+                    self.run_trial_into(&mut executor, t, &mut acc);
+                }
             }
             acc.finish()
         } else {
@@ -778,6 +907,67 @@ mod tests {
         let legacy: Measurement = serde_json::from_str(&json).unwrap();
         assert_eq!(legacy.completion.trials, 4);
         assert_eq!(legacy, m);
+    }
+
+    #[test]
+    fn batch_fan_out_matches_scalar_everywhere() {
+        let s = scenario(31);
+        let runner = ScenarioRunner::new(&s);
+        let batched = runner.batch(true);
+        assert!(batched.has_batch());
+        assert!(batched.uses_batch(), "iid adversary + RecordMode::None");
+        // Trial-by-trial outcomes: ragged tail group (100 = 64 + 36), a
+        // group smaller than one lane word, and both execution strategies.
+        for trials in [100usize, 7, 64] {
+            assert_eq!(
+                batched.collect_trials(trials).unwrap(),
+                runner.collect_trials(trials).unwrap(),
+                "{trials} trials"
+            );
+            assert_eq!(
+                batched.sequential().collect_trials(trials).unwrap(),
+                runner.collect_trials(trials).unwrap(),
+                "{trials} trials, sequential lane groups"
+            );
+        }
+        // Measurements, with and without curve streaming.
+        assert_eq!(
+            batched.run_trials(70).unwrap(),
+            runner.run_trials(70).unwrap()
+        );
+        assert_eq!(
+            batched.curve(true).run_trials(70).unwrap(),
+            runner.curve(true).run_trials(70).unwrap(),
+            "batched lane groups stream the identical contention curve"
+        );
+    }
+
+    #[test]
+    fn unbatchable_runners_fall_back_to_scalar() {
+        let s = scenario(5);
+        let runner = ScenarioRunner::new(&s).batch(true);
+        // Full recording cannot batch; the fallback still answers.
+        let full = runner.record_mode(RecordMode::Full);
+        assert!(!full.uses_batch());
+        assert_eq!(
+            full.collect_trials(5).unwrap(),
+            ScenarioRunner::new(&s).collect_trials(5).unwrap()
+        );
+        // An adaptive adversary cannot batch either.
+        let adaptive = Scenario::on(TopologySpec::DualClique { n: 8 })
+            .algorithm(GlobalAlgorithm::Permuted)
+            .adversary(AdversarySpec::GreedyCollision)
+            .problem(ProblemSpec::GlobalFrom(0))
+            .seed(3)
+            .max_rounds(5_000)
+            .build()
+            .expect("valid scenario");
+        let adaptive_runner = ScenarioRunner::new(&adaptive).batch(true);
+        assert!(!adaptive_runner.uses_batch());
+        assert_eq!(
+            adaptive_runner.run_trials(4).unwrap(),
+            ScenarioRunner::new(&adaptive).run_trials(4).unwrap()
+        );
     }
 
     #[test]

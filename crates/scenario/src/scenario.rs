@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use dradio_graphs::DualGraph;
 use dradio_sim::{
-    Assignment, ExecutionOutcome, History, LinkProcess, ProcessFactory, RecordMode, SimConfig,
-    Simulator, StopCondition, TrialExecutor,
+    AdversaryClass, Assignment, BatchExecutor, ExecutionOutcome, History, LinkProcess,
+    ProcessFactory, RecordMode, SimConfig, Simulator, StopCondition, TrialExecutor,
 };
 use serde::{Deserialize, Serialize, Value};
 
@@ -512,6 +512,46 @@ impl Scenario {
         )
         // lint: allow(D4) -- components were validated when the scenario was built
         .expect("scenario components were validated at build time")
+    }
+
+    /// A reusable [`BatchExecutor`] over this scenario: the bit-sliced
+    /// counterpart of [`executor`](Scenario::executor), running up to
+    /// [`MAX_LANES`](dradio_sim::MAX_LANES) trials per word pass. Lane `k` of
+    /// a group seeded `[trial_seed(t0), trial_seed(t0+1), ..]` produces
+    /// exactly the outcome `executor().execute(trial_seed(t0+k), mode)`
+    /// would.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnsupportedBatch`](dradio_sim::SimError::UnsupportedBatch)
+    /// when the scenario's adversary is not oblivious; callers fall back to
+    /// the scalar executor (see [`Scenario::is_batchable`]).
+    pub fn batch_executor(&self) -> dradio_sim::Result<BatchExecutor> {
+        let config = SimConfig::default()
+            .with_seed(self.spec.seed)
+            .with_max_rounds(self.max_rounds)
+            .with_collision_detection(self.collision_detection)
+            .with_record_mode(self.record_mode);
+        BatchExecutor::new(
+            Arc::clone(&self.topology.dual),
+            self.factory.clone(),
+            self.assignment.clone(),
+            self.link.clone(),
+            self.stop.clone(),
+            config,
+        )
+    }
+
+    /// Whether trial fan-outs over this scenario may use the bit-sliced
+    /// [`BatchExecutor`] when asked to: the adversary must be declared
+    /// oblivious and `record_mode` must not record history. Custom adversary
+    /// specs (unknown class) and adaptive classes report `false`.
+    ///
+    /// This is a spec-level pre-check; [`Scenario::batch_executor`] re-checks
+    /// the actual link process it constructs.
+    pub fn is_batchable(&self, record_mode: RecordMode) -> bool {
+        self.spec.adversary.class() == Some(AdversaryClass::Oblivious)
+            && !record_mode.records_history()
     }
 
     /// Checks a recorded history against the problem's correctness

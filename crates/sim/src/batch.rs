@@ -1,0 +1,1675 @@
+//! Bit-sliced batch trial execution: up to 64 trials per adjacency-word pass.
+//!
+//! [`TrialExecutor`](crate::TrialExecutor) made trials cheap by reusing one
+//! harness across seeds, but every trial still walks the packed adjacency
+//! rows alone. A [`BatchExecutor`] runs a *lane group* of up to [`MAX_LANES`]
+//! trials in lockstep over one shared
+//! [`Arc<DualGraph>`](dradio_graphs::DualGraph): per-node per-trial state
+//! packs one bit per trial into `u64` lane masks, so reception and collision
+//! detection for the whole group resolve with word-wide AND/OR algebra — one
+//! pass over the transmitting neighbors serves all 64 trials.
+//!
+//! # Equivalence contract
+//!
+//! Lane `k` of a group produces **exactly** the [`ExecutionOutcome`] of
+//! `TrialExecutor::execute(seeds[k], mode)`: per-lane RNG streams are derived
+//! with [`derive_stream_seed`] precisely as the scalar path derives them, a
+//! per-lane [`StopTracker`] retires finished lanes (masked out while the rest
+//! of the group drains), and per-lane [`Metrics`] and collision curves follow
+//! the scalar bookkeeping rules. The root `integration_batch` suite pins this
+//! across every batchable registered algorithm × adversary × problem class.
+//!
+//! # What is refused
+//!
+//! * [`RecordMode::Full`] — retaining per-round history defeats lane packing
+//!   (and is what adaptive adversaries force); callers fall back to the
+//!   scalar executor.
+//! * Adaptive adversary classes — their views borrow the execution history.
+//! * Lane groups larger than [`MAX_LANES`].
+//!
+//! # The two execution paths
+//!
+//! The **generic path** drives one boxed [`Process`] per (lane, node), so it
+//! is correct for every oblivious-adversary scenario; lanes still share each
+//! adjacency pass during reception. The **fixed-rate kernel** engages when
+//! every process in the network opts into [`BatchProfile::FixedRate`]:
+//! transmit decisions for 8 interleaved ChaCha8 streams collapse to one
+//! threshold compare per random word, and no process objects run at all.
+
+use std::sync::Arc;
+
+use dradio_graphs::{DualGraph, Edge, Graph, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::action::{Action, Feedback};
+use crate::config::SimConfig;
+use crate::engine::{derive_stream_seed, ExecutionOutcome};
+use crate::error::SimError;
+use crate::executor::LinkFactory;
+use crate::history::History;
+use crate::link::{AdversaryClass, AdversarySetup, AdversaryView, LinkProcess};
+use crate::message::MessageKind;
+use crate::metrics::Metrics;
+use crate::process::{Assignment, BatchProfile, Process, ProcessContext, ProcessFactory};
+use crate::recorder::RecordMode;
+use crate::round::Round;
+use crate::stop::{StopCondition, StopTracker};
+use crate::Result;
+
+/// Maximum number of trials in one lane group: one bit per trial in a `u64`.
+pub const MAX_LANES: usize = 64;
+
+/// Interleaved ChaCha8 streams per block batch in the fixed-rate kernel.
+const STREAMS: usize = 8;
+
+/// Lane mask with the low `count` bits set.
+fn group_mask(count: usize) -> u64 {
+    if count >= MAX_LANES {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
+    }
+}
+
+/// A bit-sliced batch execution harness over one fixed (network × algorithm ×
+/// assignment × adversary recipe × stop condition) combination.
+///
+/// Construction mirrors [`TrialExecutor::new`](crate::TrialExecutor::new) and
+/// additionally refuses non-oblivious adversary recipes up front. See the
+/// [module documentation](self) for the equivalence contract.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use dradio_graphs::topology;
+/// use dradio_sim::{
+///     Action, Assignment, BatchExecutor, BatchProfile, LinkFactory, Message, MessageKind,
+///     Process, ProcessContext, ProcessFactory, RecordMode, Round, SimConfig, StaticLinks,
+///     StopCondition, TrialExecutor,
+/// };
+///
+/// struct Beacon(Option<Message>);
+/// impl Process for Beacon {
+///     fn on_round(&mut self, _round: Round, rng: &mut dyn rand::RngCore) -> Action {
+///         match &self.0 {
+///             Some(m) if dradio_sim::sampling::bernoulli(rng, 0.5) => Action::Transmit(m.clone()),
+///             _ => Action::Listen,
+///         }
+///     }
+///     fn batch_profile(&self) -> BatchProfile {
+///         BatchProfile::FixedRate {
+///             rate: if self.0.is_some() { 0.5 } else { 0.0 },
+///             message: self.0.clone(),
+///         }
+///     }
+/// }
+///
+/// let factory: ProcessFactory = Arc::new(|ctx: &ProcessContext| {
+///     let msg = (ctx.id.index() == 0).then(|| Message::plain(ctx.id, MessageKind::new(1), 7));
+///     Box::new(Beacon(msg)) as Box<dyn Process>
+/// });
+/// let link: LinkFactory = Arc::new(|| Box::new(StaticLinks::none()));
+/// let mut batch = BatchExecutor::new(
+///     topology::star(5)?,
+///     Arc::clone(&factory),
+///     Assignment::relays(5),
+///     Arc::clone(&link),
+///     StopCondition::max_rounds(),
+///     SimConfig::default().with_max_rounds(8),
+/// )?;
+/// let seeds: Vec<u64> = (0..10).collect();
+/// let outcomes = batch.execute_group(&seeds, RecordMode::None)?;
+/// // Lane k is bit-for-bit the scalar trial with seeds[k].
+/// let mut scalar = TrialExecutor::new(
+///     topology::star(5)?,
+///     factory,
+///     Assignment::relays(5),
+///     link,
+///     StopCondition::max_rounds(),
+///     SimConfig::default().with_max_rounds(8),
+/// )?;
+/// for (k, outcome) in outcomes.iter().enumerate() {
+///     assert_eq!(*outcome, scalar.execute(seeds[k], RecordMode::None));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct BatchExecutor {
+    dual: Arc<DualGraph>,
+    factory: ProcessFactory,
+    assignment: Assignment,
+    config: SimConfig,
+    link_factory: LinkFactory,
+    contexts: Vec<ProcessContext>,
+    tracker_template: StopTracker,
+    kernel: Option<KernelPlan>,
+    force_generic: bool,
+    lanes: Vec<Lane>,
+    shared: Shared,
+    kscratch: KernelScratch,
+}
+
+/// Per-lane state: everything one trial owns privately. The word-parallel
+/// passes live in [`Shared`]; a lane only holds what must not leak between
+/// trials (RNG streams, processes, the adversary, the stop tracker, and the
+/// outcome bookkeeping).
+struct Lane {
+    processes: Vec<Box<dyn Process>>,
+    actions: Vec<Action>,
+    node_rngs: Vec<ChaCha8Rng>,
+    adversary_rng: ChaCha8Rng,
+    link: Box<dyn LinkProcess>,
+    link_spent: bool,
+    tracker: StopTracker,
+    active_edges: Vec<Edge>,
+    metrics: Metrics,
+    collisions_per_round: Vec<usize>,
+    rounds_executed: usize,
+    completion_round: Option<Round>,
+    completed: bool,
+}
+
+impl Lane {
+    fn new(tracker: StopTracker, link: Box<dyn LinkProcess>) -> Self {
+        Lane {
+            processes: Vec::new(),
+            actions: Vec::new(),
+            node_rngs: Vec::new(),
+            adversary_rng: ChaCha8Rng::seed_from_u64(0),
+            link,
+            link_spent: false,
+            tracker,
+            active_edges: Vec::new(),
+            metrics: Metrics::default(),
+            collisions_per_round: Vec::new(),
+            rounds_executed: 0,
+            completion_round: None,
+            completed: false,
+        }
+    }
+}
+
+/// Word-parallel scratch shared by every lane of a group: per-node lane
+/// masks, the packed "any lane transmits" bitset, the saturating ≥1/≥2
+/// reception counters, and the per-(node, lane) sender table. All buffers
+/// are sized once at construction and reused across groups.
+struct Shared {
+    /// `transmit[u]`: lane mask of trials in which node `u` transmits.
+    transmit: Vec<u64>,
+    /// Packed bitset over nodes: bit `v` set iff `transmit[v] != 0`.
+    tx_any: Vec<u64>,
+    /// Lanes in which a listener heard ≥ 1 transmitting neighbor.
+    ge1: Vec<u64>,
+    /// Lanes in which a listener heard ≥ 2 transmitting neighbors.
+    ge2: Vec<u64>,
+    /// `senders[u * MAX_LANES + lane]`: the unique transmitting neighbor of
+    /// `u` in `lane`, valid only where `ge1 & !ge2` is set this round.
+    senders: Vec<u32>,
+    /// Packed duplicate-check rows for one lane's link decision
+    /// (`words_per_row` words per node, cleared lazily between lanes).
+    dedup_rows: Vec<u64>,
+    /// Row-word indices written into `dedup_rows` since the last clear.
+    dedup_touched: Vec<usize>,
+    words_per_row: usize,
+    /// Packed bitset over nodes: bit `u` set iff `u`'s static row is
+    /// complete (degree `n - 1`) — such listeners take the subtract-self
+    /// fast path in [`fold_reception`] instead of re-scanning the
+    /// transmitter set.
+    complete_rows: Vec<u64>,
+    /// Whether any bit of `complete_rows` is set (skips the global fold on
+    /// sparse graphs where no listener can use it).
+    has_complete_rows: bool,
+    /// `first_tx[v]`: lanes whose first transmitter in node order is `v`
+    /// this round (valid only when `has_complete_rows`).
+    first_tx: Vec<u64>,
+    /// `second_tx[v]`: lanes whose second transmitter in node order is `v`.
+    second_tx: Vec<u64>,
+}
+
+impl Shared {
+    fn new(g: &Graph, has_dynamic_edges: bool) -> Self {
+        let n = g.len();
+        let words_per_row = g.row_words();
+        let mut complete_rows = vec![0u64; words_per_row];
+        let mut has_complete_rows = false;
+        for u in 0..n {
+            let deg: usize = g
+                .neighbor_bits(NodeId::new(u))
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum();
+            if deg == n - 1 {
+                complete_rows[u / 64] |= 1u64 << (u % 64);
+                has_complete_rows = true;
+            }
+        }
+        Shared {
+            transmit: vec![0u64; n],
+            tx_any: vec![0u64; words_per_row],
+            ge1: vec![0u64; n],
+            ge2: vec![0u64; n],
+            senders: vec![0u32; n * MAX_LANES],
+            dedup_rows: if has_dynamic_edges {
+                vec![0u64; n.saturating_mul(words_per_row)]
+            } else {
+                Vec::new()
+            },
+            dedup_touched: Vec::new(),
+            words_per_row,
+            complete_rows,
+            has_complete_rows,
+            first_tx: if has_complete_rows {
+                vec![0u64; n]
+            } else {
+                Vec::new()
+            },
+            second_tx: if has_complete_rows {
+                vec![0u64; n]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Marks the dynamic edge `(u, v)` (endpoints already normalized by
+    /// [`Edge`]) as seen this lane; returns `true` if it already was.
+    fn dedup_test_and_set(&mut self, u: usize, v: usize) -> bool {
+        let idx = u * self.words_per_row + v / 64;
+        let bit = 1u64 << (v % 64);
+        let seen = self.dedup_rows[idx] & bit != 0;
+        if !seen {
+            if self.dedup_rows[idx] == 0 {
+                self.dedup_touched.push(idx);
+            }
+            self.dedup_rows[idx] |= bit;
+        }
+        seen
+    }
+
+    /// Zeroes the duplicate-check words touched since the last clear.
+    fn dedup_clear(&mut self) {
+        while let Some(idx) = self.dedup_touched.pop() {
+            self.dedup_rows[idx] = 0;
+        }
+    }
+}
+
+/// Precomputed fixed-rate transmit plan: which nodes flip a coin each round
+/// (and against what integer threshold), which always transmit, and the
+/// message kind each transmitting node delivers.
+struct KernelPlan {
+    /// Nodes with `0 < rate < 1`: `(node, threshold)` with
+    /// `bernoulli(rng, rate)  ⟺  (next_u64() >> 11) < threshold`.
+    coin: Vec<(u32, u64)>,
+    /// Nodes with `rate >= 1` (transmit every round).
+    always: Vec<u32>,
+    /// Message kind per node (meaningful only for transmitting nodes).
+    kinds: Vec<MessageKind>,
+}
+
+impl KernelPlan {
+    /// Probes one process per node; `None` unless every profile is
+    /// `FixedRate` with a coherent message.
+    fn probe(contexts: &[ProcessContext], factory: &ProcessFactory) -> Option<KernelPlan> {
+        let mut coin = Vec::new();
+        let mut always = Vec::new();
+        let mut kinds = vec![MessageKind::new(0); contexts.len()];
+        for (u, ctx) in contexts.iter().enumerate() {
+            match (factory)(ctx).batch_profile() {
+                BatchProfile::Generic => return None,
+                BatchProfile::FixedRate { rate, message } => {
+                    if rate <= 0.0 {
+                        continue; // never transmits; the message is irrelevant
+                    }
+                    // A positive rate with no message violates the profile
+                    // contract; treat the process as generic rather than
+                    // deliver nothing.
+                    let message = message?;
+                    kinds[u] = message.kind();
+                    if rate >= 1.0 {
+                        always.push(u as u32);
+                    } else {
+                        coin.push((u as u32, bernoulli_threshold(rate)));
+                    }
+                }
+            }
+        }
+        Some(KernelPlan {
+            coin,
+            always,
+            kinds,
+        })
+    }
+}
+
+/// Kernel-only scratch: interleaved ChaCha8 keys per (coin node, lane) and
+/// an 8-round transmit-mask buffer refilled one block batch at a time.
+struct KernelScratch {
+    /// `keys[ci * MAX_LANES + lane]`: ChaCha key of coin node `ci`'s stream
+    /// in `lane` (zero key for lanes beyond the group size).
+    keys: Vec<[u32; 8]>,
+    /// `t_buf[j * n + u]`: node `u`'s transmit lane mask for round
+    /// `8 * block + j`.
+    t_buf: Vec<u64>,
+}
+
+impl KernelScratch {
+    fn new() -> Self {
+        KernelScratch {
+            keys: Vec::new(),
+            t_buf: Vec::new(),
+        }
+    }
+}
+
+/// The integer threshold `T` with
+/// `uniform_f64(x) < rate  ⟺  (x >> 11) < T` for `0 < rate < 1`.
+///
+/// `uniform_f64` is `(x >> 11) as f64 * 2⁻⁵³`; the 53-bit integer converts
+/// exactly and the power-of-two scale is lossless, so the comparison is the
+/// real-number `k < rate·2⁵³` — which holds iff `k < ceil(rate·2⁵³)` whether
+/// or not `rate·2⁵³` is an integer. `rate·2⁵³` itself is an exact f64
+/// product (power-of-two scaling of a finite f64 below 1).
+fn bernoulli_threshold(rate: f64) -> u64 {
+    (rate * 9_007_199_254_740_992.0).ceil() as u64
+}
+
+/// One ChaCha quarter-round applied across all interleaved streams.
+// Indexed loops: each statement reads row `b`/`c`/`d` while writing row `a`
+// (etc.) of the same array, which iterator adapters cannot split-borrow, and
+// the stream-major index form is the shape the auto-vectorizer fuses into
+// one vector op per statement.
+#[allow(clippy::needless_range_loop)]
+#[inline(always)]
+fn quarter_round(s: &mut [[u32; STREAMS]; 16], a: usize, b: usize, c: usize, d: usize) {
+    for i in 0..STREAMS {
+        s[a][i] = s[a][i].wrapping_add(s[b][i]);
+    }
+    for i in 0..STREAMS {
+        s[d][i] = (s[d][i] ^ s[a][i]).rotate_left(16);
+    }
+    for i in 0..STREAMS {
+        s[c][i] = s[c][i].wrapping_add(s[d][i]);
+    }
+    for i in 0..STREAMS {
+        s[b][i] = (s[b][i] ^ s[c][i]).rotate_left(12);
+    }
+    for i in 0..STREAMS {
+        s[a][i] = s[a][i].wrapping_add(s[b][i]);
+    }
+    for i in 0..STREAMS {
+        s[d][i] = (s[d][i] ^ s[a][i]).rotate_left(8);
+    }
+    for i in 0..STREAMS {
+        s[c][i] = s[c][i].wrapping_add(s[d][i]);
+    }
+    for i in 0..STREAMS {
+        s[b][i] = (s[b][i] ^ s[c][i]).rotate_left(7);
+    }
+}
+
+/// One 64-byte ChaCha8 block at `counter` for [`STREAMS`] independent keys,
+/// word-major (`out[word][stream]`), bit-exact with `ChaCha8Rng`: word `w`
+/// of block `b` is the `16·b + w`-th `next_u32` of the stream.
+// lint: hot-path
+fn chacha8_blocks(keys: &[[u32; 8]], counter: u64, out: &mut [[u32; STREAMS]; 16]) {
+    let mut s: [[u32; STREAMS]; 16] = [[0; STREAMS]; 16];
+    let consts = [0x6170_7865u32, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    for w in 0..4 {
+        s[w] = [consts[w]; STREAMS];
+    }
+    for k in 0..8 {
+        for i in 0..STREAMS {
+            s[4 + k][i] = keys[i][k];
+        }
+    }
+    s[12] = [counter as u32; STREAMS];
+    s[13] = [(counter >> 32) as u32; STREAMS];
+    let input = s;
+    for _ in 0..4 {
+        quarter_round(&mut s, 0, 4, 8, 12);
+        quarter_round(&mut s, 1, 5, 9, 13);
+        quarter_round(&mut s, 2, 6, 10, 14);
+        quarter_round(&mut s, 3, 7, 11, 15);
+        quarter_round(&mut s, 0, 5, 10, 15);
+        quarter_round(&mut s, 1, 6, 11, 12);
+        quarter_round(&mut s, 2, 7, 8, 13);
+        quarter_round(&mut s, 3, 4, 9, 14);
+    }
+    for w in 0..16 {
+        for i in 0..STREAMS {
+            s[w][i] = s[w][i].wrapping_add(input[w][i]);
+        }
+    }
+    *out = s;
+}
+// lint: end-hot-path
+
+/// Expands a `seed_from_u64` seed into a ChaCha key exactly as the `rand`
+/// shim does (a SplitMix64 stream split into 32-bit halves).
+fn key_from_u64(mut state: u64) -> [u32; 8] {
+    let mut key = [0u32; 8];
+    for pair in 0..4 {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        key[2 * pair] = z as u32;
+        key[2 * pair + 1] = (z >> 32) as u32;
+    }
+    key
+}
+
+/// Adds a lane mask into a 4-plane vertical (bit-sliced) counter. Callers
+/// must flush before 16 adds accumulate.
+#[inline(always)]
+fn counter_add(planes: &mut [u64; 4], mut mask: u64) {
+    for plane in planes.iter_mut() {
+        let carry = *plane & mask;
+        *plane ^= mask;
+        mask = carry;
+    }
+    debug_assert_eq!(mask, 0, "vertical counter overflow: flush more often");
+}
+
+/// Drains a 4-plane vertical counter into per-lane totals.
+fn counter_flush(planes: &mut [u64; 4], out: &mut [usize; MAX_LANES]) {
+    for (i, plane) in planes.iter_mut().enumerate() {
+        let mut bits = *plane;
+        *plane = 0;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            out[lane] += 1 << i;
+        }
+    }
+}
+
+/// Runs one lane's link decision for `round`, filtering it down to genuine
+/// deduplicated dynamic edges exactly as the scalar executor does (rejected
+/// proposals are counted into the lane's metrics).
+// lint: hot-path
+fn decide_lane_edges(dual: &DualGraph, shared: &mut Shared, lane: &mut Lane, round: Round) {
+    let n = dual.len();
+    let decision = {
+        let view = AdversaryView::new(round, n, None, None, None);
+        lane.link.decide(&view, &mut lane.adversary_rng)
+    };
+    lane.active_edges.clear();
+    for edge in decision.edges() {
+        let (u, v) = edge.endpoints();
+        let is_dynamic = dual.g_prime().has_edge(u, v) && !dual.g().has_edge(u, v);
+        if !is_dynamic {
+            lane.metrics.rejected_link_edges += 1;
+        } else if !shared.dedup_test_and_set(u.index(), v.index()) {
+            lane.active_edges.push(*edge);
+        }
+    }
+    shared.dedup_clear();
+}
+// lint: end-hot-path
+
+/// Resolves reception for every lane at once: folds each transmitting
+/// neighbor's lane mask into saturating ≥1/≥2 counters per listener
+/// (recording the sender wherever a lane first reaches 1), then scatters
+/// each lane's active dynamic edges as single-bit updates — the fold
+/// commutes, so static-then-dynamic order matches the scalar count.
+///
+/// Listeners whose static row is complete (degree `n - 1`) share one global
+/// fold over the transmitter set instead of each re-scanning it: a listener
+/// `u` hears exactly the transmitters minus `u` itself, and "minus one
+/// element" resolves with ≥1/≥2/≥3 saturation plus each lane's first and
+/// second transmitter. That turns per-listener work from O(transmitters)
+/// into O(1) words — the difference between ~n² and ~n bit operations per
+/// round on a clique.
+// lint: hot-path
+fn fold_reception(dual: &DualGraph, shared: &mut Shared, lanes: &[Lane], live: u64) {
+    let g = dual.g();
+    let n = g.len();
+    let words = shared.words_per_row;
+    let mut any_transmit = false;
+    for w in shared.tx_any.iter_mut() {
+        *w = 0;
+    }
+    for u in 0..n {
+        if shared.transmit[u] != 0 {
+            shared.tx_any[u / 64] |= 1u64 << (u % 64);
+            any_transmit = true;
+        }
+    }
+    shared.ge1[..n].fill(0);
+    shared.ge2[..n].fill(0);
+    if any_transmit {
+        // Global fold, shared by every complete-row listener: saturating
+        // ≥1/≥2/≥3 lane counters over all transmitters in node order, plus
+        // each lane's first and second transmitter (every lane crosses each
+        // threshold once, so the per-bit loops run at most 64 times each).
+        let (mut g1, mut g2, mut g3) = (0u64, 0u64, 0u64);
+        let mut s1 = [0u32; MAX_LANES];
+        let mut s2 = [0u32; MAX_LANES];
+        if shared.has_complete_rows {
+            shared.first_tx[..n].fill(0);
+            shared.second_tx[..n].fill(0);
+            for w in 0..words {
+                let mut bits = shared.tx_any[w];
+                while bits != 0 {
+                    let v = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let tv = shared.transmit[v];
+                    let mut new1 = tv & !g1;
+                    shared.first_tx[v] = new1;
+                    while new1 != 0 {
+                        let lane = new1.trailing_zeros() as usize;
+                        new1 &= new1 - 1;
+                        s1[lane] = v as u32;
+                    }
+                    let mut new2 = tv & g1 & !g2;
+                    shared.second_tx[v] = new2;
+                    while new2 != 0 {
+                        let lane = new2.trailing_zeros() as usize;
+                        new2 &= new2 - 1;
+                        s2[lane] = v as u32;
+                    }
+                    g3 |= g2 & tv;
+                    g2 |= g1 & tv;
+                    g1 |= tv;
+                }
+            }
+        }
+        let exactly1 = g1 & !g2;
+        let exactly2 = g2 & !g3;
+        for u in 0..n {
+            if shared.complete_rows[u / 64] >> (u % 64) & 1 == 1 {
+                // Subtract-self: u hears every transmitter but itself. A
+                // lane leaves ≥1 only if u was its sole transmitter, and
+                // leaves ≥2 only if the lane had exactly two and u was one
+                // of them (≥3 minus one is still ≥2).
+                let ftx = shared.first_tx[u];
+                let involved = ftx | shared.second_tx[u];
+                let ge1 = g1 & !(exactly1 & ftx);
+                let ge2 = g2 & !(exactly2 & involved);
+                let mut delivered = ge1 & !ge2;
+                while delivered != 0 {
+                    let lane = delivered.trailing_zeros() as usize;
+                    delivered &= delivered - 1;
+                    // The unique audible transmitter, in scalar neighbor
+                    // order: the lane's first transmitter unless that was
+                    // u itself, then its second.
+                    shared.senders[u * MAX_LANES + lane] = if s1[lane] == u as u32 {
+                        s2[lane]
+                    } else {
+                        s1[lane]
+                    };
+                }
+                shared.ge1[u] = ge1;
+                shared.ge2[u] = ge2;
+                continue;
+            }
+            let row = g.neighbor_bits(NodeId::new(u));
+            let mut ge1 = 0u64;
+            let mut ge2 = 0u64;
+            'row: for (w, &row_bits) in row.iter().enumerate().take(words) {
+                let mut hits = row_bits & shared.tx_any[w];
+                while hits != 0 {
+                    let v = w * 64 + hits.trailing_zeros() as usize;
+                    hits &= hits - 1;
+                    let tv = shared.transmit[v];
+                    let mut newly = tv & !ge1;
+                    while newly != 0 {
+                        let lane = newly.trailing_zeros() as usize;
+                        newly &= newly - 1;
+                        shared.senders[u * MAX_LANES + lane] = v as u32;
+                    }
+                    ge2 |= ge1 & tv;
+                    ge1 |= tv;
+                    if ge2 == live {
+                        // Every live lane already collided at this listener;
+                        // further transmitters cannot change any category.
+                        break 'row;
+                    }
+                }
+            }
+            shared.ge1[u] = ge1;
+            shared.ge2[u] = ge2;
+        }
+    }
+    let mut mask = live;
+    while mask != 0 {
+        let lane_idx = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        let bit = 1u64 << lane_idx;
+        for edge in &lanes[lane_idx].active_edges {
+            let (a, b) = edge.endpoints();
+            let (a, b) = (a.index(), b.index());
+            if shared.transmit[b] & bit != 0 {
+                if shared.ge1[a] & bit == 0 {
+                    shared.ge1[a] |= bit;
+                    shared.senders[a * MAX_LANES + lane_idx] = b as u32;
+                } else {
+                    shared.ge2[a] |= bit;
+                }
+            }
+            if shared.transmit[a] & bit != 0 {
+                if shared.ge1[b] & bit == 0 {
+                    shared.ge1[b] |= bit;
+                    shared.senders[b * MAX_LANES + lane_idx] = a as u32;
+                } else {
+                    shared.ge2[b] |= bit;
+                }
+            }
+        }
+    }
+}
+// lint: end-hot-path
+
+/// End-of-round bookkeeping for every live lane: per-lane round counts and
+/// collision curve, then stop evaluation — a finished lane retires with
+/// `completion_round = round`, exactly like the scalar break.
+// lint: hot-path
+fn finish_round(
+    lanes: &mut [Lane],
+    live: &mut u64,
+    round: Round,
+    round_collisions: &[usize; MAX_LANES],
+    records_collisions: bool,
+) {
+    let mut mask = *live;
+    while mask != 0 {
+        let lane_idx = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        let lane = &mut lanes[lane_idx];
+        lane.rounds_executed += 1;
+        if records_collisions {
+            lane.collisions_per_round.push(round_collisions[lane_idx]);
+        }
+        lane.metrics.rounds = lane.rounds_executed;
+        if lane.tracker.is_done() {
+            lane.completion_round = Some(round);
+            lane.completed = true;
+            *live &= !(1u64 << lane_idx);
+        }
+    }
+}
+// lint: end-hot-path
+
+impl BatchExecutor {
+    /// Builds a batch executor over the same components as
+    /// [`TrialExecutor::new`](crate::TrialExecutor::new).
+    ///
+    /// # Errors
+    ///
+    /// Everything the scalar constructor rejects, plus
+    /// [`SimError::UnsupportedBatch`] when `link_factory` produces a
+    /// non-oblivious adversary (adaptive views borrow per-round history the
+    /// lanes do not retain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop` references nodes outside the network (a programming
+    /// error in the experiment setup, not a runtime condition).
+    pub fn new(
+        dual: impl Into<Arc<DualGraph>>,
+        factory: ProcessFactory,
+        assignment: Assignment,
+        link_factory: LinkFactory,
+        stop: StopCondition,
+        config: SimConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let dual = dual.into();
+        let n = dual.len();
+        if n == 0 {
+            return Err(SimError::EmptyNetwork);
+        }
+        if assignment.len() != n {
+            return Err(SimError::AssignmentSizeMismatch {
+                network: n,
+                assignment: assignment.len(),
+            });
+        }
+        if let Some(max_index) = stop.max_node_index() {
+            assert!(
+                max_index < n,
+                "stop condition references node {max_index} but the network has {n} nodes"
+            );
+        }
+        let probe = link_factory();
+        if probe.class() != AdversaryClass::Oblivious {
+            return Err(SimError::UnsupportedBatch {
+                reason: format!(
+                    "adversary class `{}` needs per-round history; run on the scalar executor",
+                    probe.class()
+                ),
+            });
+        }
+        let max_degree = dual.max_degree();
+        let contexts: Vec<ProcessContext> = NodeId::all(n)
+            .map(|u| ProcessContext::new(u, n, max_degree, assignment.role(u)))
+            .collect();
+        let kernel = KernelPlan::probe(&contexts, &factory);
+        let shared = Shared::new(dual.g(), !dual.is_static());
+        let tracker = StopTracker::new(stop, n);
+        let tracker_template = tracker.clone();
+        let lanes = vec![Lane::new(tracker, probe)];
+        Ok(BatchExecutor {
+            dual,
+            factory,
+            assignment,
+            config,
+            link_factory,
+            contexts,
+            tracker_template,
+            kernel,
+            force_generic: false,
+            lanes,
+            shared,
+            kscratch: KernelScratch::new(),
+        })
+    }
+
+    /// The network being simulated.
+    pub fn dual(&self) -> &DualGraph {
+        &self.dual
+    }
+
+    /// The configuration in effect (its seed and record mode are superseded
+    /// per group by [`BatchExecutor::execute_group`]'s arguments).
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Returns `true` if every process opted into
+    /// [`BatchProfile::FixedRate`], so groups run on the word-parallel
+    /// kernel instead of boxed per-lane processes.
+    pub fn has_kernel(&self) -> bool {
+        self.kernel.is_some()
+    }
+
+    /// Forces the generic boxed-process path even when the fixed-rate
+    /// kernel is available (a diagnostic knob; the equivalence suite uses
+    /// it to pin kernel == generic == scalar).
+    pub fn set_force_generic(&mut self, force: bool) {
+        self.force_generic = force;
+    }
+
+    /// Runs one independent trial per seed, all lanes in lockstep, and
+    /// returns the per-lane outcomes in seed order. Lane `k` is
+    /// outcome-for-outcome `TrialExecutor::execute(seeds[k], record_mode)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnsupportedBatch`] when `seeds` exceeds [`MAX_LANES`],
+    /// `record_mode` is [`RecordMode::Full`], or the link factory turned
+    /// adaptive since construction.
+    pub fn execute_group(
+        &mut self,
+        seeds: &[u64],
+        record_mode: RecordMode,
+    ) -> Result<Vec<ExecutionOutcome>> {
+        let count = seeds.len();
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        if count > MAX_LANES {
+            return Err(SimError::UnsupportedBatch {
+                reason: format!("lane groups hold at most {MAX_LANES} trials, got {count}"),
+            });
+        }
+        if record_mode.records_history() {
+            return Err(SimError::UnsupportedBatch {
+                reason: "RecordMode::Full retains per-round history; run on the scalar executor"
+                    .into(),
+            });
+        }
+        let kernel = self.kernel.is_some() && !self.force_generic;
+        self.prepare_group(seeds, kernel)?;
+        if !self.lanes[0].tracker.is_done() {
+            let live = group_mask(count);
+            if kernel {
+                self.run_kernel(live, record_mode);
+            } else {
+                self.run_generic(live, record_mode);
+            }
+        } else {
+            // Degenerate stop conditions (e.g. an empty receiver set) are
+            // complete before any round executes — in every lane at once,
+            // since all lanes share the condition.
+            for lane in self.lanes[..count].iter_mut() {
+                lane.completed = true;
+            }
+        }
+        let n = self.dual.len();
+        Ok(self.lanes[..count]
+            .iter_mut()
+            .map(|lane| ExecutionOutcome {
+                completed: lane.completed,
+                rounds_executed: lane.rounds_executed,
+                completion_round: lane.completion_round,
+                history: History::new(n),
+                metrics: lane.metrics,
+                record_mode,
+                collisions_per_round: std::mem::take(&mut lane.collisions_per_round),
+            })
+            .collect())
+    }
+
+    /// Reseeds (and where needed rebuilds) per-lane state for a new group
+    /// and runs the start-of-execution hooks, mirroring the scalar
+    /// executor's per-trial reseed step lane by lane.
+    fn prepare_group(&mut self, seeds: &[u64], kernel: bool) -> Result<()> {
+        let n = self.dual.len();
+        while self.lanes.len() < seeds.len() {
+            self.lanes.push(Lane::new(
+                self.tracker_template.clone(),
+                (self.link_factory)(),
+            ));
+        }
+        for (lane_idx, &seed) in seeds.iter().enumerate() {
+            let lane = &mut self.lanes[lane_idx];
+            if lane.link_spent && !lane.link.reset() {
+                lane.link = (self.link_factory)();
+            }
+            lane.link_spent = true;
+            if lane.link.class() != AdversaryClass::Oblivious {
+                return Err(SimError::UnsupportedBatch {
+                    reason: format!(
+                        "adversary class `{}` needs per-round history; run on the scalar executor",
+                        lane.link.class()
+                    ),
+                });
+            }
+            lane.adversary_rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(seed, u64::MAX));
+            lane.tracker.reset();
+            lane.metrics = Metrics::default();
+            lane.collisions_per_round.clear();
+            lane.active_edges.clear();
+            lane.rounds_executed = 0;
+            lane.completion_round = None;
+            lane.completed = false;
+            if !kernel {
+                lane.node_rngs
+                    .resize_with(n, || ChaCha8Rng::seed_from_u64(0));
+                for (u, rng) in lane.node_rngs.iter_mut().enumerate() {
+                    *rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(seed, u as u64));
+                }
+                lane.processes.clear();
+                for ctx in &self.contexts {
+                    lane.processes.push((self.factory)(ctx));
+                }
+            }
+            let setup = AdversarySetup {
+                dual: &self.dual,
+                factory: &self.factory,
+                assignment: &self.assignment,
+                horizon: self.config.max_rounds(),
+            };
+            lane.link.on_start(&setup, &mut lane.adversary_rng);
+            if !kernel {
+                for (u, process) in lane.processes.iter_mut().enumerate() {
+                    process.on_start(&mut lane.node_rngs[u]);
+                }
+            }
+        }
+        if kernel {
+            if let Some(plan) = &self.kernel {
+                let ks = &mut self.kscratch;
+                ks.keys.resize(plan.coin.len() * MAX_LANES, [0u32; 8]);
+                for (ci, &(node, _)) in plan.coin.iter().enumerate() {
+                    for lane_idx in 0..MAX_LANES {
+                        ks.keys[ci * MAX_LANES + lane_idx] = match seeds.get(lane_idx) {
+                            Some(&seed) => key_from_u64(derive_stream_seed(seed, u64::from(node))),
+                            None => [0u32; 8],
+                        };
+                    }
+                }
+                ks.t_buf.resize(STREAMS * n, 0);
+            }
+        }
+        Ok(())
+    }
+
+    /// The generic path: one boxed process per (lane, node), lock-stepped;
+    /// reception is still resolved word-parallel across lanes.
+    fn run_generic(&mut self, mut live: u64, record_mode: RecordMode) {
+        let dual = &self.dual;
+        let lanes = &mut self.lanes;
+        let shared = &mut self.shared;
+        let n = dual.len();
+        let horizon = self.config.max_rounds();
+        let collision_detection = self.config.collision_detection();
+        let records_collisions = record_mode.records_collisions();
+
+        // lint: hot-path
+        for round in Round::range(horizon) {
+            // 1. Every live lane's processes pick actions with their private
+            //    coins; transmit decisions land in the shared lane masks.
+            shared.transmit[..n].fill(0);
+            let mut mask = live;
+            while mask != 0 {
+                let lane_idx = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let bit = 1u64 << lane_idx;
+                let lane = &mut lanes[lane_idx];
+                lane.actions.clear();
+                for u in 0..n {
+                    let action = lane.processes[u].on_round(round, &mut lane.node_rngs[u]);
+                    if action.is_transmit() {
+                        shared.transmit[u] |= bit;
+                        lane.metrics.transmissions += 1;
+                    }
+                    lane.actions.push(action);
+                }
+            }
+
+            // 2. Each lane's adversary fixes its dynamic edges.
+            let mut mask = live;
+            while mask != 0 {
+                let lane_idx = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                decide_lane_edges(dual, shared, &mut lanes[lane_idx], round);
+            }
+
+            // 3. Word-parallel reception across all lanes.
+            fold_reception(dual, shared, lanes, live);
+
+            // 4. Feedback, metrics, and stop observation per (node, lane).
+            //    Lane streams are private and a round's observations commute,
+            //    so interleaving lanes within a node preserves scalar
+            //    behaviour exactly.
+            let mut round_collisions = [0usize; MAX_LANES];
+            for u in 0..n {
+                let tu = shared.transmit[u];
+                let ge1 = shared.ge1[u];
+                let ge2 = shared.ge2[u];
+                let mut mask = live;
+                while mask != 0 {
+                    let lane_idx = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let bit = 1u64 << lane_idx;
+                    let lane = &mut lanes[lane_idx];
+                    let feedback = if tu & bit != 0 {
+                        Feedback::Transmitted
+                    } else if ge2 & bit != 0 {
+                        lane.metrics.collisions += 1;
+                        round_collisions[lane_idx] += 1;
+                        if collision_detection {
+                            Feedback::Collision
+                        } else {
+                            Feedback::Silence
+                        }
+                    } else if ge1 & bit != 0 {
+                        let sender = shared.senders[u * MAX_LANES + lane_idx] as usize;
+                        let message = lane.actions[sender]
+                            .message()
+                            // lint: allow(D4) -- a set ge1 bit is only written
+                            // from this lane's transmit mask two steps above
+                            .expect("a set reception bit implies a message")
+                            // lint: allow(D3) -- feedback owns its message; a
+                            // broadcast message is a small copyable token
+                            .clone();
+                        lane.metrics.deliveries += 1;
+                        lane.tracker.observe_one(
+                            NodeId::new(u),
+                            NodeId::new(sender),
+                            message.kind(),
+                        );
+                        Feedback::Received(message)
+                    } else {
+                        lane.metrics.idle_listens += 1;
+                        Feedback::Silence
+                    };
+                    lane.processes[u].on_feedback(round, &feedback, &mut lane.node_rngs[u]);
+                }
+            }
+
+            // 5. Record, evaluate stops, retire finished lanes.
+            finish_round(
+                lanes,
+                &mut live,
+                round,
+                &round_collisions,
+                records_collisions,
+            );
+            if live == 0 {
+                break;
+            }
+        }
+        // lint: end-hot-path
+    }
+
+    /// The fixed-rate kernel: transmit decisions for 8 interleaved ChaCha8
+    /// streams per block batch, no process objects, metrics derived from the
+    /// lane-mask algebra. Only sound because [`KernelPlan::probe`] verified
+    /// every process follows the [`BatchProfile::FixedRate`] contract.
+    fn run_kernel(&mut self, mut live: u64, record_mode: RecordMode) {
+        let dual = &self.dual;
+        let lanes = &mut self.lanes;
+        let shared = &mut self.shared;
+        let ks = &mut self.kscratch;
+        let Some(plan) = self.kernel.as_ref() else {
+            return; // unreachable: callers check has_kernel first
+        };
+        let n = dual.len();
+        let horizon = self.config.max_rounds();
+        let records_collisions = record_mode.records_collisions();
+        let mut out = [[0u32; STREAMS]; 16];
+
+        // lint: hot-path
+        for round in Round::range(horizon) {
+            let r = round.index();
+            let j = r % STREAMS;
+            if j == 0 {
+                // Refill the 8-round transmit buffer: one interleaved block
+                // batch per (coin node, live 8-lane chunk).
+                ks.t_buf.fill(0);
+                let block = (r / STREAMS) as u64;
+                for (ci, &(node, threshold)) in plan.coin.iter().enumerate() {
+                    let node = node as usize;
+                    for chunk in 0..(MAX_LANES / STREAMS) {
+                        if live >> (chunk * STREAMS) & 0xff == 0 {
+                            continue;
+                        }
+                        let base = ci * MAX_LANES + chunk * STREAMS;
+                        chacha8_blocks(&ks.keys[base..base + STREAMS], block, &mut out);
+                        for step in 0..STREAMS {
+                            let lo = &out[2 * step];
+                            let hi = &out[2 * step + 1];
+                            let mut bits = 0u64;
+                            for i in 0..STREAMS {
+                                let x = lo[i] as u64 | (hi[i] as u64) << 32;
+                                bits |= u64::from((x >> 11) < threshold) << i;
+                            }
+                            ks.t_buf[step * n + node] |= bits << (chunk * STREAMS);
+                        }
+                    }
+                }
+            }
+
+            // 1. Transmit lane masks for this round, from the buffer.
+            shared.transmit[..n].fill(0);
+            let mut round_tx = [0usize; MAX_LANES];
+            for &(node, _) in &plan.coin {
+                let node = node as usize;
+                let m = ks.t_buf[j * n + node] & live;
+                if m != 0 {
+                    shared.transmit[node] = m;
+                    let mut bits = m;
+                    while bits != 0 {
+                        round_tx[bits.trailing_zeros() as usize] += 1;
+                        bits &= bits - 1;
+                    }
+                }
+            }
+            if !plan.always.is_empty() {
+                for &node in &plan.always {
+                    shared.transmit[node as usize] = live;
+                }
+                let mut bits = live;
+                while bits != 0 {
+                    round_tx[bits.trailing_zeros() as usize] += plan.always.len();
+                    bits &= bits - 1;
+                }
+            }
+
+            // 2. Each lane's adversary fixes its dynamic edges.
+            let mut mask = live;
+            while mask != 0 {
+                let lane_idx = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                decide_lane_edges(dual, shared, &mut lanes[lane_idx], round);
+            }
+
+            // 3. Word-parallel reception across all lanes.
+            fold_reception(dual, shared, lanes, live);
+
+            // 4. Metrics from the lane-mask algebra: deliveries are sparse
+            //    (and feed the stop trackers), collisions accumulate in a
+            //    vertical popcount, idle listens follow by identity —
+            //    listeners partition into zero/one/collision exactly.
+            let mut round_deliveries = [0usize; MAX_LANES];
+            let mut round_collisions = [0usize; MAX_LANES];
+            let mut planes = [0u64; 4];
+            let mut pending_adds = 0usize;
+            for u in 0..n {
+                let listening = live & !shared.transmit[u];
+                let collided = shared.ge2[u] & listening;
+                if collided != 0 {
+                    counter_add(&mut planes, collided);
+                    pending_adds += 1;
+                    if pending_adds == 15 {
+                        counter_flush(&mut planes, &mut round_collisions);
+                        pending_adds = 0;
+                    }
+                }
+                let mut ones = shared.ge1[u] & !shared.ge2[u] & listening;
+                while ones != 0 {
+                    let lane_idx = ones.trailing_zeros() as usize;
+                    ones &= ones - 1;
+                    round_deliveries[lane_idx] += 1;
+                    let sender = shared.senders[u * MAX_LANES + lane_idx] as usize;
+                    lanes[lane_idx].tracker.observe_one(
+                        NodeId::new(u),
+                        NodeId::new(sender),
+                        plan.kinds[sender],
+                    );
+                }
+            }
+            if pending_adds > 0 {
+                counter_flush(&mut planes, &mut round_collisions);
+            }
+            let mut mask = live;
+            while mask != 0 {
+                let lane_idx = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let metrics = &mut lanes[lane_idx].metrics;
+                metrics.transmissions += round_tx[lane_idx];
+                metrics.deliveries += round_deliveries[lane_idx];
+                metrics.collisions += round_collisions[lane_idx];
+                metrics.idle_listens += n
+                    - round_tx[lane_idx]
+                    - round_deliveries[lane_idx]
+                    - round_collisions[lane_idx];
+            }
+
+            // 5. Record, evaluate stops, retire finished lanes.
+            finish_round(
+                lanes,
+                &mut live,
+                round,
+                &round_collisions,
+                records_collisions,
+            );
+            if live == 0 {
+                break;
+            }
+        }
+        // lint: end-hot-path
+    }
+}
+
+impl std::fmt::Debug for BatchExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchExecutor")
+            .field("n", &self.dual.len())
+            .field("config", &self.config)
+            .field("kernel", &self.kernel.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{LinkDecision, StaticLinks};
+    use crate::message::Message;
+    use crate::process::Role;
+    use crate::sampling;
+    use crate::TrialExecutor;
+    use dradio_graphs::topology;
+    use rand::RngCore;
+
+    const DATA: MessageKind = MessageKind::new(1);
+
+    /// Decay-style flooding: informed nodes transmit their message with a
+    /// fixed probability; uninformed nodes adopt the first message they hear.
+    /// Deliberately `BatchProfile::Generic` (stateful feedback).
+    struct EchoRelay {
+        msg: Option<Message>,
+        rate: f64,
+    }
+
+    impl Process for EchoRelay {
+        fn on_round(&mut self, _round: Round, rng: &mut dyn RngCore) -> Action {
+            match &self.msg {
+                Some(m) if sampling::bernoulli(rng, self.rate) => Action::Transmit(m.clone()),
+                _ => Action::Listen,
+            }
+        }
+        fn on_feedback(&mut self, _round: Round, feedback: &Feedback, _rng: &mut dyn RngCore) {
+            if self.msg.is_none() {
+                if let Feedback::Received(m) = feedback {
+                    self.msg = Some(m.clone());
+                }
+            }
+        }
+    }
+
+    fn echo_factory(rate: f64) -> ProcessFactory {
+        Arc::new(move |ctx: &ProcessContext| {
+            let msg = (ctx.role == Role::Source).then(|| Message::plain(ctx.id, DATA, 7));
+            Box::new(EchoRelay { msg, rate }) as Box<dyn Process>
+        })
+    }
+
+    /// Fixed-rate beacon that opts into the word-parallel kernel.
+    struct RateBeacon {
+        msg: Option<Message>,
+        rate: f64,
+    }
+
+    impl Process for RateBeacon {
+        fn on_round(&mut self, _round: Round, rng: &mut dyn RngCore) -> Action {
+            match &self.msg {
+                Some(m) if sampling::bernoulli(rng, self.rate) => Action::Transmit(m.clone()),
+                _ => Action::Listen,
+            }
+        }
+        fn batch_profile(&self) -> BatchProfile {
+            BatchProfile::FixedRate {
+                rate: if self.msg.is_some() { self.rate } else { 0.0 },
+                message: self.msg.clone(),
+            }
+        }
+    }
+
+    /// Source transmits at `source_rate`; every relay chatters its own DATA
+    /// message at `relay_rate` (0 silences relays).
+    fn rate_factory(source_rate: f64, relay_rate: f64) -> ProcessFactory {
+        Arc::new(move |ctx: &ProcessContext| {
+            let (msg, rate) = if ctx.role == Role::Source {
+                (Some(Message::plain(ctx.id, DATA, 7)), source_rate)
+            } else if relay_rate > 0.0 {
+                (
+                    Some(Message::plain(ctx.id, DATA, ctx.id.index() as u64)),
+                    relay_rate,
+                )
+            } else {
+                (None, 0.0)
+            };
+            Box::new(RateBeacon { msg, rate }) as Box<dyn Process>
+        })
+    }
+
+    /// Oblivious dynamic adversary: each genuine `G' \ G` edge flips on with
+    /// probability 1/2; also proposes a duplicate and (when one exists) a
+    /// static `G` edge every round to exercise dedup and rejection.
+    struct FlakyLinks {
+        dynamic: Vec<Edge>,
+        bogus: Option<Edge>,
+    }
+
+    impl FlakyLinks {
+        fn new() -> Self {
+            FlakyLinks {
+                dynamic: Vec::new(),
+                bogus: None,
+            }
+        }
+    }
+
+    impl LinkProcess for FlakyLinks {
+        fn class(&self) -> AdversaryClass {
+            AdversaryClass::Oblivious
+        }
+        fn on_start(&mut self, setup: &AdversarySetup<'_>, _rng: &mut dyn RngCore) {
+            self.dynamic = setup.dual.dynamic_edges();
+            self.bogus = NodeId::all(setup.dual.len()).find_map(|u| {
+                setup
+                    .dual
+                    .g()
+                    .neighbors(u)
+                    .first()
+                    .map(|&v| Edge::new(u, v))
+            });
+        }
+        fn decide(&mut self, _view: &AdversaryView<'_>, rng: &mut dyn RngCore) -> LinkDecision {
+            let mut chosen = Vec::new();
+            for &edge in &self.dynamic {
+                if sampling::bernoulli(rng, 0.5) {
+                    chosen.push(edge);
+                }
+            }
+            if let Some(&first) = chosen.first() {
+                chosen.push(first); // duplicate: must dedup, not double-count
+            }
+            if let Some(bogus) = self.bogus {
+                chosen.push(bogus); // static edge: must be rejected
+            }
+            LinkDecision::from_edges(chosen)
+        }
+        fn reset(&mut self) -> bool {
+            true
+        }
+    }
+
+    fn static_link() -> LinkFactory {
+        Arc::new(|| Box::new(StaticLinks::none()))
+    }
+
+    fn flaky_link() -> LinkFactory {
+        Arc::new(|| Box::new(FlakyLinks::new()))
+    }
+
+    fn assert_groups_match_scalar(
+        batch: &mut BatchExecutor,
+        scalar: &mut TrialExecutor,
+        groups: &[&[u64]],
+        mode: RecordMode,
+    ) {
+        for seeds in groups {
+            let outcomes = batch
+                .execute_group(seeds, mode)
+                .expect("group is batchable");
+            assert_eq!(outcomes.len(), seeds.len());
+            for (k, outcome) in outcomes.iter().enumerate() {
+                let expected = scalar.execute(seeds[k], mode);
+                assert_eq!(
+                    *outcome, expected,
+                    "seed {} (lane {k}) diverged under {mode}",
+                    seeds[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_chacha_is_bit_exact() {
+        let keys: Vec<[u32; 8]> = (0..STREAMS as u64)
+            .map(|i| key_from_u64(derive_stream_seed(0xDEAD_BEEF, i)))
+            .collect();
+        let mut out = [[0u32; STREAMS]; 16];
+        for counter in 0..3u64 {
+            chacha8_blocks(&keys, counter, &mut out);
+            for (i, _) in keys.iter().enumerate() {
+                let mut rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(0xDEAD_BEEF, i as u64));
+                // Skip to this block's words.
+                for _ in 0..counter * 16 {
+                    rng.next_u32();
+                }
+                for (w, word) in out.iter().enumerate() {
+                    assert_eq!(
+                        rng.next_u32(),
+                        word[i],
+                        "stream {i} counter {counter} word {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_threshold_matches_scalar_compare() {
+        let scale = 1.0 / 9_007_199_254_740_992.0;
+        let rates = [
+            0.5,
+            0.1,
+            1.0 / 3.0,
+            0.25,
+            1e-12,
+            1.0 - 1e-12,
+            123.0 / 9_007_199_254_740_992.0,
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..4096 {
+            let x = rng.next_u64();
+            for &rate in &rates {
+                let scalar = ((x >> 11) as f64 * scale) < rate;
+                let sliced = (x >> 11) < bernoulli_threshold(rate);
+                assert_eq!(scalar, sliced, "x {x} rate {rate}");
+            }
+        }
+        // Boundary cases around an exact k/2^53 rate.
+        for k in [1u64, 2, 123, (1 << 53) - 1] {
+            let rate = k as f64 * scale;
+            for probe in [k.saturating_sub(1), k, k + 1] {
+                let x = probe << 11;
+                let scalar = ((x >> 11) as f64 * scale) < rate;
+                let sliced = (x >> 11) < bernoulli_threshold(rate);
+                assert_eq!(scalar, sliced, "k {k} probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn generic_path_matches_scalar_per_lane() {
+        let mut batch = BatchExecutor::new(
+            topology::star(6).unwrap(),
+            echo_factory(0.5),
+            Assignment::global(6, NodeId::new(0)),
+            static_link(),
+            StopCondition::global_broadcast(DATA, NodeId::new(0)),
+            SimConfig::default().with_max_rounds(50),
+        )
+        .unwrap();
+        assert!(!batch.has_kernel());
+        let mut scalar = TrialExecutor::new(
+            topology::star(6).unwrap(),
+            echo_factory(0.5),
+            Assignment::global(6, NodeId::new(0)),
+            static_link(),
+            StopCondition::global_broadcast(DATA, NodeId::new(0)),
+            SimConfig::default().with_max_rounds(50),
+        )
+        .unwrap();
+        let all: Vec<u64> = (0..64).collect();
+        let ragged: Vec<u64> = (100..117).collect();
+        for mode in [RecordMode::None, RecordMode::CollisionsOnly] {
+            assert_groups_match_scalar(
+                &mut batch,
+                &mut scalar,
+                &[&all, &ragged, &[7], &[1, 2, 3]],
+                mode,
+            );
+        }
+    }
+
+    #[test]
+    fn generic_path_matches_scalar_with_dynamic_adversary() {
+        let mut batch = BatchExecutor::new(
+            topology::dual_clique(8).unwrap(),
+            echo_factory(0.4),
+            Assignment::global(8, NodeId::new(0)),
+            flaky_link(),
+            StopCondition::global_broadcast(DATA, NodeId::new(0)),
+            SimConfig::default().with_max_rounds(60),
+        )
+        .unwrap();
+        let mut scalar = TrialExecutor::new(
+            topology::dual_clique(8).unwrap(),
+            echo_factory(0.4),
+            Assignment::global(8, NodeId::new(0)),
+            flaky_link(),
+            StopCondition::global_broadcast(DATA, NodeId::new(0)),
+            SimConfig::default().with_max_rounds(60),
+        )
+        .unwrap();
+        let seeds: Vec<u64> = (0..40).collect();
+        assert_groups_match_scalar(
+            &mut batch,
+            &mut scalar,
+            &[&seeds],
+            RecordMode::CollisionsOnly,
+        );
+    }
+
+    #[test]
+    fn kernel_matches_scalar_and_generic() {
+        let build_batch = || {
+            BatchExecutor::new(
+                topology::dual_clique(8).unwrap(),
+                rate_factory(0.7, 0.3),
+                Assignment::global(8, NodeId::new(0)),
+                flaky_link(),
+                StopCondition::global_broadcast(DATA, NodeId::new(0)),
+                SimConfig::default().with_max_rounds(40),
+            )
+            .unwrap()
+        };
+        let mut batch = build_batch();
+        assert!(batch.has_kernel());
+        let mut scalar = TrialExecutor::new(
+            topology::dual_clique(8).unwrap(),
+            rate_factory(0.7, 0.3),
+            Assignment::global(8, NodeId::new(0)),
+            flaky_link(),
+            StopCondition::global_broadcast(DATA, NodeId::new(0)),
+            SimConfig::default().with_max_rounds(40),
+        )
+        .unwrap();
+        let all: Vec<u64> = (0..64).collect();
+        let ragged: Vec<u64> = (200..223).collect();
+        for mode in [RecordMode::None, RecordMode::CollisionsOnly] {
+            assert_groups_match_scalar(&mut batch, &mut scalar, &[&all, &ragged, &[42]], mode);
+        }
+        // The forced-generic path agrees with the kernel lane for lane.
+        let mut generic = build_batch();
+        generic.set_force_generic(true);
+        let fast = batch
+            .execute_group(&ragged, RecordMode::CollisionsOnly)
+            .unwrap();
+        let slow = generic
+            .execute_group(&ragged, RecordMode::CollisionsOnly)
+            .unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn kernel_handles_always_and_silent_nodes() {
+        // Two always-on transmitters collide forever on a clique: nothing
+        // completes, every listener collides, and idle listens stay zero for
+        // listeners — pinned against the scalar path.
+        let factory: ProcessFactory = Arc::new(|ctx: &ProcessContext| {
+            let rate = match ctx.id.index() {
+                0 | 1 => 1.0,
+                _ => 0.0,
+            };
+            let msg = (rate > 0.0).then(|| Message::plain(ctx.id, DATA, ctx.id.index() as u64));
+            Box::new(RateBeacon { msg, rate }) as Box<dyn Process>
+        });
+        let mut batch = BatchExecutor::new(
+            topology::star(5).unwrap(),
+            Arc::clone(&factory),
+            Assignment::relays(5),
+            static_link(),
+            StopCondition::max_rounds(),
+            SimConfig::default().with_max_rounds(9),
+        )
+        .unwrap();
+        assert!(batch.has_kernel());
+        let mut scalar = TrialExecutor::new(
+            topology::star(5).unwrap(),
+            factory,
+            Assignment::relays(5),
+            static_link(),
+            StopCondition::max_rounds(),
+            SimConfig::default().with_max_rounds(9),
+        )
+        .unwrap();
+        let seeds: Vec<u64> = (0..10).collect();
+        assert_groups_match_scalar(
+            &mut batch,
+            &mut scalar,
+            &[&seeds],
+            RecordMode::CollisionsOnly,
+        );
+    }
+
+    #[test]
+    fn degenerate_stop_completes_before_any_round() {
+        let stop = StopCondition::NodesReceivedKind {
+            nodes: vec![],
+            kind: DATA,
+        };
+        let mut batch = BatchExecutor::new(
+            topology::star(4).unwrap(),
+            rate_factory(0.5, 0.0),
+            Assignment::global(4, NodeId::new(0)),
+            static_link(),
+            stop.clone(),
+            SimConfig::default().with_max_rounds(10),
+        )
+        .unwrap();
+        let mut scalar = TrialExecutor::new(
+            topology::star(4).unwrap(),
+            rate_factory(0.5, 0.0),
+            Assignment::global(4, NodeId::new(0)),
+            static_link(),
+            stop,
+            SimConfig::default().with_max_rounds(10),
+        )
+        .unwrap();
+        let outcomes = batch.execute_group(&[3, 4], RecordMode::None).unwrap();
+        for (k, outcome) in outcomes.iter().enumerate() {
+            assert!(outcome.completed);
+            assert_eq!(outcome.rounds_executed, 0);
+            assert_eq!(outcome.completion_round, None);
+            assert_eq!(*outcome, scalar.execute([3, 4][k], RecordMode::None));
+        }
+    }
+
+    #[test]
+    fn batch_refuses_what_it_cannot_replicate() {
+        let mut batch = BatchExecutor::new(
+            topology::star(4).unwrap(),
+            echo_factory(0.5),
+            Assignment::global(4, NodeId::new(0)),
+            static_link(),
+            StopCondition::max_rounds(),
+            SimConfig::default().with_max_rounds(5),
+        )
+        .unwrap();
+        let err = batch
+            .execute_group(&[1], RecordMode::Full)
+            .expect_err("full recording must be refused");
+        assert!(matches!(err, SimError::UnsupportedBatch { .. }));
+        let too_many: Vec<u64> = (0..65).collect();
+        let err = batch
+            .execute_group(&too_many, RecordMode::None)
+            .expect_err("more than 64 lanes must be refused");
+        assert!(matches!(err, SimError::UnsupportedBatch { .. }));
+        assert_eq!(
+            batch.execute_group(&[], RecordMode::None).unwrap(),
+            Vec::new()
+        );
+
+        struct Adaptive;
+        impl LinkProcess for Adaptive {
+            fn class(&self) -> AdversaryClass {
+                AdversaryClass::OnlineAdaptive
+            }
+            fn decide(
+                &mut self,
+                _view: &AdversaryView<'_>,
+                _rng: &mut dyn RngCore,
+            ) -> LinkDecision {
+                LinkDecision::none()
+            }
+        }
+        let err = BatchExecutor::new(
+            topology::star(4).unwrap(),
+            echo_factory(0.5),
+            Assignment::global(4, NodeId::new(0)),
+            Arc::new(|| Box::new(Adaptive) as Box<dyn LinkProcess>),
+            StopCondition::max_rounds(),
+            SimConfig::default().with_max_rounds(5),
+        )
+        .expect_err("adaptive adversaries must be refused at construction");
+        assert!(matches!(err, SimError::UnsupportedBatch { .. }));
+    }
+
+    #[test]
+    fn validation_mirrors_the_scalar_constructor() {
+        let err = BatchExecutor::new(
+            topology::line(3).unwrap(),
+            echo_factory(0.5),
+            Assignment::relays(2),
+            static_link(),
+            StopCondition::max_rounds(),
+            SimConfig::default(),
+        )
+        .expect_err("size mismatch must be rejected");
+        assert!(matches!(err, SimError::AssignmentSizeMismatch { .. }));
+        let err = BatchExecutor::new(
+            topology::line(3).unwrap(),
+            echo_factory(0.5),
+            Assignment::relays(3),
+            static_link(),
+            StopCondition::max_rounds(),
+            SimConfig::default().with_max_rounds(0),
+        )
+        .expect_err("zero horizon must be rejected");
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+}

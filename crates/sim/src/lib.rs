@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod batch;
 pub mod bits;
 pub mod config;
 pub mod engine;
@@ -86,6 +87,7 @@ pub mod sampling;
 pub mod stop;
 
 pub use action::{Action, Feedback};
+pub use batch::{BatchExecutor, MAX_LANES};
 pub use bits::{BitReader, BitString};
 pub use config::SimConfig;
 pub use engine::{derive_stream_seed, ExecutionOutcome, Simulator};
@@ -97,7 +99,7 @@ pub use link::{
 };
 pub use message::{Message, MessageKind};
 pub use metrics::{Metrics, TrialMetrics};
-pub use process::{Assignment, Process, ProcessContext, ProcessFactory, Role};
+pub use process::{Assignment, BatchProfile, Process, ProcessContext, ProcessFactory, Role};
 pub use recorder::{RecordMode, Recorder};
 pub use round::Round;
 pub use stop::StopCondition;

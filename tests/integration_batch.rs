@@ -1,0 +1,191 @@
+//! Integration tests for bit-sliced batch trial execution: every batchable
+//! registered algorithm × adversary × problem class must produce outcomes
+//! identical to the scalar trial path, trial for trial, and ragged lane
+//! groups (1–63 live lanes) must behave exactly like full words.
+
+use dradio::prelude::*;
+use proptest::prelude::*;
+
+/// Every oblivious (batchable) adversary spec over a dual clique, including
+/// the schedule- and algorithm-aware ones.
+fn oblivious_adversaries(n: usize) -> Vec<(&'static str, AdversarySpec)> {
+    vec![
+        ("static-none", AdversarySpec::StaticNone),
+        ("static-all", AdversarySpec::StaticAll),
+        ("iid", AdversarySpec::Iid { p: 0.5 }),
+        (
+            "gilbert-elliott",
+            AdversarySpec::GilbertElliott {
+                p_fail: 0.3,
+                p_recover: 0.4,
+            },
+        ),
+        (
+            "schedule",
+            AdversarySpec::Schedule {
+                rounds: vec![vec![(0, n / 2)], vec![], vec![(1, n / 2 + 1), (0, n / 2)]],
+            },
+        ),
+        (
+            "decay-aware",
+            AdversarySpec::DecayAware {
+                levels: None,
+                assumed_transmitters: (0..n / 2).collect(),
+            },
+        ),
+    ]
+}
+
+/// Batch and scalar runners must agree outcome-for-outcome on `trials`
+/// trials, and the batch runner must actually take the batch path.
+fn assert_batch_matches_scalar(label: &str, scenario: &Scenario, trials: usize) {
+    let scalar = ScenarioRunner::new(scenario).sequential();
+    let batched = scalar.batch(true);
+    assert!(
+        batched.uses_batch(),
+        "{label}: expected the batch path (oblivious adversary, no history)"
+    );
+    assert_eq!(
+        batched.collect_trials(trials).unwrap(),
+        scalar.collect_trials(trials).unwrap(),
+        "{label}: batch and scalar trial outcomes diverged"
+    );
+}
+
+#[test]
+fn every_batchable_global_combination_matches_scalar() {
+    let n = 16;
+    for algorithm in GlobalAlgorithm::all() {
+        for (name, adversary) in oblivious_adversaries(n) {
+            let scenario = Scenario::on(TopologySpec::DualClique { n })
+                .algorithm(algorithm)
+                .adversary(adversary)
+                .problem(ProblemSpec::GlobalFrom(0))
+                .seed(11)
+                .max_rounds(400)
+                .build()
+                .expect("valid scenario");
+            assert_batch_matches_scalar(&format!("{algorithm:?}/{name}/global"), &scenario, 9);
+        }
+    }
+}
+
+#[test]
+fn every_batchable_local_combination_matches_scalar() {
+    for algorithm in LocalAlgorithm::all() {
+        let scenario = Scenario::on(TopologySpec::RandomGeometric {
+            n: 24,
+            side: 2.0,
+            r: 1.5,
+            seed: 5,
+        })
+        .algorithm(algorithm)
+        .adversary(AdversarySpec::Iid { p: 0.5 })
+        .problem(ProblemSpec::LocalRandom { count: 4, seed: 6 })
+        .seed(12)
+        .max_rounds(400)
+        .build()
+        .expect("dense deployments connect");
+        assert_batch_matches_scalar(&format!("{algorithm:?}/iid/local"), &scenario, 9);
+    }
+}
+
+#[test]
+fn bracelet_attack_batches_and_matches_scalar() {
+    let scenario = Scenario::on(TopologySpec::Bracelet { k: 3 })
+        .algorithm(LocalAlgorithm::StaticDecay)
+        .adversary(AdversarySpec::BraceletAttack)
+        .problem(ProblemSpec::LocalHeadsA)
+        .seed(13)
+        .max_rounds(300)
+        .build()
+        .expect("valid scenario");
+    assert_batch_matches_scalar("static-decay/bracelet-attack/local", &scenario, 9);
+}
+
+#[test]
+fn batch_measurements_agree_with_and_without_curves() {
+    let scenario = Scenario::on(TopologySpec::DualClique { n: 16 })
+        .algorithm(GlobalAlgorithm::Permuted)
+        .adversary(AdversarySpec::Iid { p: 0.5 })
+        .problem(ProblemSpec::GlobalFrom(0))
+        .seed(14)
+        .max_rounds(400)
+        .build()
+        .expect("valid scenario");
+    let scalar = ScenarioRunner::new(&scenario);
+    let batched = scalar.batch(true);
+    assert_eq!(
+        batched.run_trials(70).unwrap(),
+        scalar.run_trials(70).unwrap()
+    );
+    assert_eq!(
+        batched.curve(true).run_trials(70).unwrap(),
+        scalar.curve(true).run_trials(70).unwrap(),
+        "curve streaming over lane groups must fold like the scalar loop"
+    );
+}
+
+#[test]
+fn adaptive_adversaries_and_full_recording_fall_back_to_scalar() {
+    let adaptive = Scenario::on(TopologySpec::DualClique { n: 12 })
+        .algorithm(GlobalAlgorithm::Permuted)
+        .adversary(AdversarySpec::DenseSparse {
+            density_factor: None,
+        })
+        .problem(ProblemSpec::GlobalFrom(0))
+        .seed(15)
+        .max_rounds(400)
+        .build()
+        .expect("valid scenario");
+    let runner = ScenarioRunner::new(&adaptive).batch(true);
+    assert!(runner.has_batch());
+    assert!(!runner.uses_batch(), "adaptive adversaries cannot batch");
+    assert_eq!(
+        runner.collect_trials(5).unwrap(),
+        ScenarioRunner::new(&adaptive).collect_trials(5).unwrap()
+    );
+
+    let oblivious = Scenario::on(TopologySpec::DualClique { n: 12 })
+        .algorithm(GlobalAlgorithm::Permuted)
+        .adversary(AdversarySpec::Iid { p: 0.5 })
+        .problem(ProblemSpec::GlobalFrom(0))
+        .seed(16)
+        .max_rounds(400)
+        .build()
+        .expect("valid scenario");
+    let full = ScenarioRunner::new(&oblivious)
+        .batch(true)
+        .record_mode(RecordMode::Full);
+    assert!(!full.uses_batch(), "history recording cannot batch");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ragged lane groups: any trial count — below one word, exactly one
+    /// word, or a full word plus a ragged tail — matches the scalar path
+    /// outcome for outcome.
+    #[test]
+    fn ragged_lane_groups_match_scalar(
+        n in 8usize..20,
+        trials in 1usize..150,
+        seed in 0u64..500,
+    ) {
+        let scenario = Scenario::on(TopologySpec::DualClique { n: 2 * (n / 2) })
+            .algorithm(GlobalAlgorithm::Permuted)
+            .adversary(AdversarySpec::Iid { p: 0.5 })
+            .problem(ProblemSpec::GlobalFrom(0))
+            .seed(seed)
+            .max_rounds(200)
+            .build()
+            .expect("valid scenario");
+        let scalar = ScenarioRunner::new(&scenario).sequential();
+        let batched = scalar.batch(true);
+        prop_assert!(batched.uses_batch());
+        prop_assert_eq!(
+            batched.collect_trials(trials).unwrap(),
+            scalar.collect_trials(trials).unwrap()
+        );
+    }
+}
