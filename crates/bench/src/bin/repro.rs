@@ -34,16 +34,22 @@
 //!     campaign compact    rewrite the store keeping only records in the
 //!                         spec's expansion, in expansion order (refuses to
 //!                         touch a store that fails its integrity checks)
-//!     campaign fleet      distribute the pending cells across worker
-//!                         *processes* (--workers N), each appending to its
-//!                         own shard store <store>.shardK.jsonl; refuses specs
-//!                         that fail `campaign check`, re-assigns the work of
-//!                         crashed or hung workers, and is resumable
+//!     campaign fleet      serve the pending cells to worker *processes*
+//!                         (--workers N) with worker-pull scheduling, each
+//!                         worker appending to its own shard store
+//!                         <store>.shardK.jsonl; refuses specs that fail
+//!                         `campaign check`, restarts crashed/hung/corrupt
+//!                         workers (capped backoff, per-shard budget),
+//!                         re-queues expired leases, and is resumable
 //!     campaign worker     serve one fleet shard over stdin/stdout (spawned
 //!                         by `campaign fleet`; not for interactive use)
 //!     campaign merge      union shard stores into --store, in spec expansion
 //!                         order, byte-identical to a single-process run
 //!                         (shard paths are positional arguments)
+//!     campaign fsck       read-only integrity inspection of --store: torn
+//!                         tail location, key integrity, duplicate keys,
+//!                         malformed lines; never modifies the file (exits
+//!                         non-zero on findings)
 //!     --store <path>      JSONL result store (default: <name>.campaign.jsonl)
 //!     --threads <N>       run/resume/fleet: cap cell-runner threads (fleet
 //!                         forwards the cap to every worker)
@@ -55,6 +61,23 @@
 //!                         flag to every worker)
 //!     --workers <N>       fleet: worker processes to spawn (default 2)
 //!     --hang-timeout <S>  fleet: declare a silent worker dead after S seconds
+//!     --lease-timeout <S> fleet: re-queue an assigned cell not acknowledged
+//!                         within S seconds (default: only on worker death)
+//!     --ready-timeout <S> fleet: kill a worker that has not completed the
+//!                         Ready handshake within S seconds of spawning
+//!                         (default 30; distinct from --hang-timeout — no
+//!                         frames at all usually means a broken worker)
+//!     --restart-budget <N> fleet: supervised restarts per shard before the
+//!                         shard's work degrades to re-assignment only
+//!                         (default 2; 0 disables restarts)
+//!     --chaos <plan>      fleet: arm the deterministic fault-injection
+//!                         harness — a u64 derives a seeded FaultPlan over
+//!                         the fleet, `{`/`[` is inline plan JSON, anything
+//!                         else is a path to plan JSON; the merged store
+//!                         must still match a single-process run byte for
+//!                         byte
+//!     --worker-exit-after <N>  fleet: sugar for a --chaos plan that kills
+//!                         worker 0 after N fresh cells (smoke tests)
 //!     --progress          emit a `cells done/total, cells/sec, ETA` line to
 //!                         stderr after each committed cell
 //!     --curves            with report: also render each stored
@@ -84,7 +107,10 @@ use dradio_campaign::{
     CampaignRunner, CampaignSpec, ResultStore, RoundsRule, StopRule, SweepGroup, TrialPolicy,
 };
 use dradio_core::algorithms::GlobalAlgorithm;
-use dradio_fleet::{run_fleet, run_worker, shard_store_path, FleetConfig, WorkerConfig};
+use dradio_fleet::{
+    run_fleet, run_worker, shard_store_path, FaultKind, FaultPlan, FleetConfig, WorkerConfig,
+    WorkerFault,
+};
 use dradio_scenario::{AdversarySpec, ProblemSpec, ScenarioSpec, TopologySpec};
 
 fn run_scenario(json: &str, trials: usize) -> ExitCode {
@@ -232,17 +258,17 @@ fn campaign_command(args: &[String]) -> ExitCode {
     let Some(action) = args.first().map(String::as_str) else {
         eprintln!(
             "campaign needs an action: check | run | resume | report | compact | fleet | \
-             worker | merge"
+             worker | merge | fsck"
         );
         return ExitCode::FAILURE;
     };
     if !matches!(
         action,
-        "check" | "run" | "resume" | "report" | "compact" | "fleet" | "worker" | "merge"
+        "check" | "run" | "resume" | "report" | "compact" | "fleet" | "worker" | "merge" | "fsck"
     ) {
         eprintln!(
             "unknown campaign action {action}; use check, run, resume, report, compact, \
-             fleet, worker, or merge"
+             fleet, worker, merge, or fsck"
         );
         return ExitCode::FAILURE;
     }
@@ -255,9 +281,13 @@ fn campaign_command(args: &[String]) -> ExitCode {
     let mut batch = false;
     let mut workers = 2usize;
     let mut shard = 0usize;
-    let mut exit_after: Option<usize> = None;
+    let mut faults_arg: Option<String> = None;
+    let mut chaos_arg: Option<String> = None;
     let mut worker_exit_after: Option<usize> = None;
     let mut hang_timeout: Option<Duration> = None;
+    let mut lease_timeout: Option<Duration> = None;
+    let mut ready_timeout: Option<Duration> = None;
+    let mut restart_budget = 2usize;
     let mut shard_paths: Vec<PathBuf> = Vec::new();
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
@@ -301,10 +331,17 @@ fn campaign_command(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--exit-after" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(n) if n > 0 => exit_after = Some(n),
-                _ => {
-                    eprintln!("--exit-after requires a positive integer");
+            "--faults" => match iter.next() {
+                Some(v) => faults_arg = Some(v.clone()),
+                None => {
+                    eprintln!("--faults requires a JSON list of worker faults");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--chaos" => match iter.next() {
+                Some(v) => chaos_arg = Some(v.clone()),
+                None => {
+                    eprintln!("--chaos requires a seed, inline FaultPlan JSON, or a file path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -315,10 +352,31 @@ fn campaign_command(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--restart-budget" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => restart_budget = n,
+                None => {
+                    eprintln!("--restart-budget requires an integer (0 disables restarts)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--hang-timeout" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(s) if s > 0.0 => hang_timeout = Some(Duration::from_secs_f64(s)),
                 _ => {
                     eprintln!("--hang-timeout requires a positive number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--lease-timeout" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => lease_timeout = Some(Duration::from_secs_f64(s)),
+                _ => {
+                    eprintln!("--lease-timeout requires a positive number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--ready-timeout" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => ready_timeout = Some(Duration::from_secs_f64(s)),
+                _ => {
+                    eprintln!("--ready-timeout requires a positive number of seconds");
                     return ExitCode::FAILURE;
                 }
             },
@@ -340,24 +398,63 @@ fn campaign_command(args: &[String]) -> ExitCode {
             eprintln!("campaign worker requires --store <shard store path>");
             return ExitCode::FAILURE;
         };
+        let faults: Vec<WorkerFault> = match &faults_arg {
+            None => Vec::new(),
+            Some(json) => match serde_json::from_str(json) {
+                Ok(faults) => faults,
+                Err(e) => {
+                    eprintln!("--faults must be a JSON list of worker faults: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
         let config = WorkerConfig {
             shard,
             store: PathBuf::from(store),
             threads,
             batch,
-            exit_after,
+            faults,
         };
         let stdin = std::io::BufReader::new(std::io::stdin());
         return match run_worker(&config, stdin, std::io::stdout()) {
             Ok(report) => {
                 eprintln!(
-                    "worker {}: {} executed, {} skipped, {} failed ({} resumed)",
-                    report.shard, report.executed, report.skipped, report.failed, report.resumed
+                    "worker {}: {} executed, {} skipped, {} failed ({} resumed, {} torn \
+                     tail byte(s) repaired)",
+                    report.shard,
+                    report.executed,
+                    report.skipped,
+                    report.failed,
+                    report.resumed,
+                    report.repaired_tail_bytes
                 );
                 ExitCode::SUCCESS
             }
             Err(e) => {
                 eprintln!("campaign worker failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if action == "fsck" {
+        // Read-only shard inspection: needs a store, not a campaign.
+        let Some(store) = store_arg else {
+            eprintln!("campaign fsck requires --store <store path>");
+            return ExitCode::FAILURE;
+        };
+        return match ResultStore::fsck(&store) {
+            Ok(report) => {
+                println!("fsck {store}:");
+                println!("{report}");
+                if report.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("campaign fsck failed: {e}");
                 ExitCode::FAILURE
             }
         };
@@ -418,6 +515,46 @@ fn campaign_command(args: &[String]) -> ExitCode {
     }
 
     if action == "fleet" {
+        let mut faults: Option<FaultPlan> = None;
+        if let Some(raw) = &chaos_arg {
+            // A bare integer is a seed; `{`/`[` starts inline JSON;
+            // anything else is a file path holding the plan.
+            let plan = if let Ok(seed) = raw.parse::<u64>() {
+                FaultPlan::seeded(seed, workers)
+            } else {
+                let json = if raw.trim_start().starts_with(['{', '[']) {
+                    raw.clone()
+                } else {
+                    match std::fs::read_to_string(raw) {
+                        Ok(text) => text,
+                        Err(e) => {
+                            eprintln!("--chaos: cannot read {raw}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                };
+                match serde_json::from_str::<FaultPlan>(&json) {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        eprintln!("--chaos: not a seed or a FaultPlan JSON: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            faults = Some(plan);
+        }
+        if let Some(limit) = worker_exit_after {
+            // The pre-chaos smoke knob, kept as sugar: kill worker 0 after
+            // its limit-th fresh cell.
+            faults
+                .get_or_insert_with(FaultPlan::default)
+                .faults
+                .push(WorkerFault {
+                    shard: 0,
+                    after_cells: limit,
+                    kind: FaultKind::Kill,
+                });
+        }
         return fleet_command(
             &spec,
             &store_path,
@@ -427,8 +564,12 @@ fn campaign_command(args: &[String]) -> ExitCode {
                 batch,
                 progress,
                 hang_timeout,
-                worker_exit_after,
+                lease_timeout,
+                ready_timeout: ready_timeout.or(Some(Duration::from_secs(30))),
+                restart_budget,
+                faults,
                 worker_command: None,
+                ..FleetConfig::default()
             },
         );
     }
@@ -595,13 +736,30 @@ fn fleet_command(spec: &CampaignSpec, store_path: &str, config: FleetConfig) -> 
             config.workers, report.cells
         ),
     }
+    if let Some(plan) = &config.faults {
+        let seed = plan
+            .seed
+            .map(|s| format!(" (seed {s})"))
+            .unwrap_or_default();
+        println!(
+            "fleet: chaos plan armed: {} fault(s){seed} — convergence contract: the merged \
+             store must still match a single-process run byte for byte",
+            plan.faults.len()
+        );
+    }
     let workers = config.workers;
     match run_fleet(spec, Path::new(store_path), &config) {
         Ok(report) => {
             println!(
                 "cells: {} total, {} skipped (already durable), {} completed, \
-                 {} re-assigned, {} worker(s)",
-                report.total, report.skipped, report.completed, report.reassigned, report.workers
+                 {} re-assigned, {} lease(s) expired, {} worker(s) restarted, {} worker(s)",
+                report.total,
+                report.skipped,
+                report.completed,
+                report.reassigned,
+                report.lease_expired,
+                report.restarted,
+                report.workers
             );
             let shards: Vec<String> = (0..workers)
                 .map(|k| shard_store_path(Path::new(store_path), k))
@@ -947,8 +1105,11 @@ fn main() -> ExitCode {
                 );
                 println!(
                     "fleet: campaign fleet --campaign <json-or-path> [--store <path>] \
-                     [--workers <N>] [--threads <N>] [--hang-timeout <secs>]; \
+                     [--workers <N>] [--threads <N>] [--hang-timeout <secs>] \
+                     [--lease-timeout <secs>] [--ready-timeout <secs>] \
+                     [--restart-budget <N>] [--chaos <seed|json|path>]; \
                      campaign merge --campaign <json-or-path> --store <out> <shard>...; \
+                     campaign fsck --store <path> (read-only shard inspection); \
                      campaign worker (internal, spawned by fleet)"
                 );
                 println!("lint: repro lint [--fix-hints] (workspace static analysis)");

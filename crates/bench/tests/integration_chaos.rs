@@ -1,0 +1,293 @@
+//! Process-level chaos tests: the `repro` binary coordinating real worker
+//! processes under deterministic fault injection — kills, torn shard tails,
+//! hangs, corrupt frames — then merging the shard stores and comparing
+//! bytes against an undisturbed single-process run.
+//!
+//! These pin the convergence contract of the self-healing fleet: for every
+//! seeded fault schedule, supervised restarts plus worker-pull re-assignment
+//! plus merge must be invisible in the output bytes, and schedules that kill
+//! workers must record at least one restart.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use dradio_campaign::{CampaignSpec, RoundsRule, SweepGroup, TrialPolicy};
+use dradio_core::algorithms::GlobalAlgorithm;
+use dradio_scenario::{AdversarySpec, ProblemSpec, TopologySpec};
+
+/// A fresh scratch directory per test (tests run concurrently).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dradio-chaos-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The `repro` binary, run inside `dir`.
+fn repro(dir: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.current_dir(dir);
+    cmd
+}
+
+/// A small check-clean sweep, written to `campaign.json` in `dir`.
+fn write_campaign(dir: &Path) -> String {
+    let spec = CampaignSpec::named("chaos-it")
+        .seed(11)
+        .trials(TrialPolicy::Fixed(2))
+        .group(
+            SweepGroup::product(
+                vec![
+                    TopologySpec::Clique { n: 8 },
+                    TopologySpec::Clique { n: 16 },
+                    TopologySpec::DualClique { n: 16 },
+                ],
+                vec![
+                    GlobalAlgorithm::Bgi.into(),
+                    GlobalAlgorithm::Permuted.into(),
+                ],
+                vec![AdversarySpec::StaticNone],
+                vec![ProblemSpec::GlobalFrom(0)],
+            )
+            .rounds(RoundsRule::Fixed(2_000)),
+        );
+    let json = serde_json::to_string(&spec).unwrap();
+    std::fs::write(dir.join("campaign.json"), &json).unwrap();
+    "campaign.json".into()
+}
+
+/// Runs a command expecting success; panics with its output otherwise.
+/// Returns the captured stdout.
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "command failed ({:?}):\nstdout: {}\nstderr: {}",
+        cmd,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn read(dir: &Path, name: &str) -> Vec<u8> {
+    std::fs::read(dir.join(name)).unwrap()
+}
+
+/// Parses `"... N worker(s) restarted ..."` out of the fleet summary line.
+fn restarts_reported(stdout: &str) -> usize {
+    stdout
+        .lines()
+        .find(|l| l.contains("worker(s) restarted"))
+        .and_then(|line| {
+            line.split(", ")
+                .find(|part| part.ends_with("worker(s) restarted"))
+                .and_then(|part| part.split_whitespace().next())
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or_else(|| panic!("no restart counter in fleet output:\n{stdout}"))
+}
+
+/// Merges whichever shard stores a fleet run left behind into `store`, then
+/// asserts the merged bytes match the single-process reference store.
+fn merge_and_compare(dir: &Path, camp: &str, store: &str, workers: usize) {
+    let stem = store.strip_suffix(".jsonl").unwrap();
+    let shards: Vec<String> = (0..workers)
+        .map(|k| format!("{stem}.shard{k}.jsonl"))
+        .filter(|p| dir.join(p).exists())
+        .collect();
+    assert!(!shards.is_empty(), "a chaos fleet run must leave shards");
+    let mut cmd = repro(dir);
+    cmd.args(["campaign", "merge", "--campaign", camp, "--store", store]);
+    cmd.args(&shards);
+    run_ok(&mut cmd);
+    assert_eq!(
+        read(dir, "single.jsonl"),
+        read(dir, store),
+        "chaos fleet + merge must reproduce the single-process bytes"
+    );
+}
+
+#[test]
+fn seeded_chaos_schedules_converge_to_the_single_process_bytes() {
+    let dir = scratch("seeds");
+    let camp = write_campaign(&dir);
+    run_ok(repro(&dir).args([
+        "campaign",
+        "run",
+        "--campaign",
+        &camp,
+        "--store",
+        "single.jsonl",
+    ]));
+
+    // Every seeded schedule arms a kill-class fault on shard 0, so each of
+    // these runs must exercise the supervised-restart path at least once
+    // and still converge to the reference bytes.
+    for seed in ["1", "2", "3"] {
+        let store = format!("chaos-{seed}.jsonl");
+        let stdout = run_ok(repro(&dir).args([
+            "campaign",
+            "fleet",
+            "--campaign",
+            &camp,
+            "--store",
+            &store,
+            "--workers",
+            "3",
+            "--chaos",
+            seed,
+            "--restart-budget",
+            "3",
+            "--hang-timeout",
+            "2",
+            "--ready-timeout",
+            "10",
+            "--progress",
+        ]));
+        assert!(
+            stdout.contains("chaos plan armed"),
+            "seed {seed}: the chaos banner must announce the plan:\n{stdout}"
+        );
+        assert!(
+            restarts_reported(&stdout) >= 1,
+            "seed {seed}: a kill-class schedule must record a restart:\n{stdout}"
+        );
+        merge_and_compare(&dir, &camp, &store, 3);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_explicit_plan_covering_every_fault_kind_converges() {
+    let dir = scratch("kinds");
+    let camp = write_campaign(&dir);
+    run_ok(repro(&dir).args([
+        "campaign",
+        "run",
+        "--campaign",
+        &camp,
+        "--store",
+        "single.jsonl",
+    ]));
+
+    // One fault of each kind, spread across four workers: a crash in the
+    // durable-but-unacknowledged window, a torn shard tail, a hang shorter
+    // than the hang timeout, and a corrupted acknowledgement stream.
+    let plan = r#"{"seed":null,"faults":[
+        {"shard":0,"after_cells":1,"kind":"Kill"},
+        {"shard":1,"after_cells":1,"kind":{"TornTail":{"tear_bytes":17}}},
+        {"shard":2,"after_cells":1,"kind":{"Hang":{"millis":300}}},
+        {"shard":3,"after_cells":1,"kind":"CorruptFrame"}
+    ]}"#;
+    let stdout = run_ok(repro(&dir).args([
+        "campaign",
+        "fleet",
+        "--campaign",
+        &camp,
+        "--store",
+        "kinds.jsonl",
+        "--workers",
+        "4",
+        "--chaos",
+        plan,
+        "--restart-budget",
+        "3",
+        "--hang-timeout",
+        "2",
+        "--ready-timeout",
+        "10",
+        "--progress",
+    ]));
+    assert!(
+        restarts_reported(&stdout) >= 1,
+        "kill-class faults must force restarts:\n{stdout}"
+    );
+    merge_and_compare(&dir, &camp, "kinds.jsonl", 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_budget_exhaustion_degrades_to_reassignment_without_losing_cells() {
+    let dir = scratch("budget");
+    let camp = write_campaign(&dir);
+    run_ok(repro(&dir).args([
+        "campaign",
+        "run",
+        "--campaign",
+        &camp,
+        "--store",
+        "single.jsonl",
+    ]));
+
+    // Worker 0 dies after every fresh cell, so with a budget of 1 it burns
+    // two incarnations and is then abandoned; the survivor must absorb the
+    // rest of the queue and the merged bytes must not change.
+    let plan = r#"{"seed":null,"faults":[{"shard":0,"after_cells":1,"kind":"Kill"}]}"#;
+    let stdout = run_ok(repro(&dir).args([
+        "campaign",
+        "fleet",
+        "--campaign",
+        &camp,
+        "--store",
+        "budget.jsonl",
+        "--workers",
+        "2",
+        "--chaos",
+        plan,
+        "--restart-budget",
+        "1",
+        "--ready-timeout",
+        "10",
+        "--progress",
+    ]));
+    assert_eq!(
+        restarts_reported(&stdout),
+        1,
+        "a budget of 1 allows exactly one respawn:\n{stdout}"
+    );
+    merge_and_compare(&dir, &camp, "budget.jsonl", 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsck_inspects_a_store_read_only_and_flags_a_torn_tail() {
+    let dir = scratch("fsck");
+    let camp = write_campaign(&dir);
+    run_ok(repro(&dir).args([
+        "campaign",
+        "run",
+        "--campaign",
+        &camp,
+        "--store",
+        "single.jsonl",
+    ]));
+
+    // A clean store passes.
+    let stdout = run_ok(repro(&dir).args(["campaign", "fsck", "--store", "single.jsonl"]));
+    assert!(
+        stdout.contains("clean: the store loads as-is"),
+        "an intact store must fsck clean:\n{stdout}"
+    );
+
+    // Tear bytes off the tail: fsck must locate the tear, exit non-zero,
+    // and leave the store untouched.
+    let intact = read(&dir, "single.jsonl");
+    std::fs::write(dir.join("torn.jsonl"), &intact[..intact.len() - 9]).unwrap();
+    let out = repro(&dir)
+        .args(["campaign", "fsck", "--store", "torn.jsonl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "a torn store must fsck non-zero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("torn tail:"),
+        "fsck must name the torn tail:\n{stdout}"
+    );
+    assert_eq!(
+        read(&dir, "torn.jsonl").len(),
+        intact.len() - 9,
+        "fsck must never modify the store"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

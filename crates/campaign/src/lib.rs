@@ -76,4 +76,4 @@ pub use check::{check, CheckReport, CheckWarning, GroupBudget};
 pub use error::{CampaignError, Result};
 pub use runner::{execute_cell, execute_cell_batched, CampaignRunner, RunReport};
 pub use spec::{CampaignSpec, CellSpec, RoundsRule, StopRule, SweepGroup, TrialPolicy};
-pub use store::{CellRecord, CompactReport, MergeReport, ResultStore};
+pub use store::{CellRecord, CompactReport, FsckReport, MergeReport, ResultStore};

@@ -76,6 +76,7 @@ pub struct ResultStore {
     index: BTreeMap<String, usize>,
     file: Option<File>,
     path: Option<PathBuf>,
+    repaired_tail: usize,
 }
 
 impl ResultStore {
@@ -87,6 +88,7 @@ impl ResultStore {
             index: BTreeMap::new(),
             file: None,
             path: None,
+            repaired_tail: 0,
         }
     }
 
@@ -153,7 +155,8 @@ impl ResultStore {
                 Ok(_) => unreachable!("unterminated interior line"),
             }
         }
-        if valid_bytes < text.len() {
+        let repaired_tail = text.len() - valid_bytes;
+        if repaired_tail > 0 {
             file.set_len(valid_bytes as u64).map_err(|e| {
                 CampaignError::store(format!(
                     "cannot truncate torn tail of {}: {e}",
@@ -172,7 +175,15 @@ impl ResultStore {
             index,
             file: Some(file),
             path: Some(path),
+            repaired_tail,
         })
+    }
+
+    /// Torn-tail bytes [`ResultStore::open`] truncated away to recover this
+    /// store — nonzero exactly when the previous writer died mid-append.
+    /// Always `0` for in-memory stores.
+    pub fn repaired_tail_bytes(&self) -> usize {
+        self.repaired_tail
     }
 
     /// The backing file path, if the store is persistent.
@@ -439,6 +450,137 @@ impl ResultStore {
             missing,
         })
     }
+
+    /// Read-only integrity inspection of a store file: locates a torn tail,
+    /// verifies key integrity line by line, and finds duplicate keys and
+    /// malformed records — reporting without modifying a byte (unlike
+    /// [`ResultStore::open`], which truncates the tail in place). Operators
+    /// run it as `repro campaign fsck --store <path>` to inspect shard
+    /// stores before a `merge`.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Store`] only when the file is missing or unreadable;
+    /// every *finding* lands in the report instead of erroring.
+    pub fn fsck(path: impl AsRef<Path>) -> Result<FsckReport> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return Err(CampaignError::store(format!(
+                "cannot fsck {}: the store does not exist",
+                path.display()
+            )));
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CampaignError::store(format!("cannot read {}: {e}", path.display())))?;
+
+        let mut report = FsckReport::default();
+        let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+        let mut offset = 0u64;
+        let mut line_no = 0usize;
+        let mut lines = text.split_inclusive('\n').peekable();
+        while let Some(line) = lines.next() {
+            line_no += 1;
+            let is_last = lines.peek().is_none();
+            let terminated = line.ends_with('\n');
+            match serde_json::from_str::<CellRecord>(line.trim_end_matches('\n')) {
+                Ok(record) if terminated => {
+                    if record.cell.key() != record.key {
+                        report.key_mismatches.push(format!(
+                            "line {line_no}: stored key {} but the cell hashes to {}",
+                            record.key,
+                            record.cell.key()
+                        ));
+                    }
+                    if let Some(first) = seen.insert(record.key.clone(), line_no) {
+                        report.duplicate_keys.push(format!(
+                            "line {line_no}: key {} already stored on line {first}",
+                            record.key
+                        ));
+                    }
+                    report.records += 1;
+                }
+                // The signature of a killed append: open() would truncate
+                // exactly these bytes.
+                _ if is_last && !terminated => {
+                    report.torn_tail_bytes = line.len();
+                    report.torn_tail_offset = Some(offset);
+                }
+                // Terminated-but-unparseable is external corruption; open()
+                // refuses such stores outright.
+                Err(_) => report.malformed_lines.push(line_no),
+                // split_inclusive only leaves the final line unterminated.
+                Ok(_) => unreachable!("unterminated interior line"),
+            }
+            offset += line.len() as u64;
+        }
+        Ok(report)
+    }
+}
+
+/// What a [`ResultStore::fsck`] inspection found. `Default` is a clean
+/// report over an empty store.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FsckReport {
+    /// Intact, newline-terminated records.
+    pub records: usize,
+    /// Bytes in an unterminated torn tail (`0`: none).
+    pub torn_tail_bytes: usize,
+    /// Byte offset where the torn tail starts, when one exists.
+    pub torn_tail_offset: Option<u64>,
+    /// Duplicate-key findings, one rendered line each.
+    pub duplicate_keys: Vec<String>,
+    /// Key-integrity findings (stored key ≠ cell content hash), one
+    /// rendered line each.
+    pub key_mismatches: Vec<String>,
+    /// 1-based line numbers of newline-terminated lines that do not parse
+    /// as records.
+    pub malformed_lines: Vec<usize>,
+}
+
+impl FsckReport {
+    /// No findings: [`ResultStore::open`] would load this store unchanged.
+    pub fn is_clean(&self) -> bool {
+        self.torn_tail_bytes == 0
+            && self.duplicate_keys.is_empty()
+            && self.key_mismatches.is_empty()
+            && self.malformed_lines.is_empty()
+    }
+
+    /// Total findings across every category.
+    pub fn findings(&self) -> usize {
+        usize::from(self.torn_tail_bytes > 0)
+            + self.duplicate_keys.len()
+            + self.key_mismatches.len()
+            + self.malformed_lines.len()
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} intact record(s)", self.records)?;
+        if let Some(offset) = self.torn_tail_offset {
+            writeln!(
+                f,
+                "torn tail: {} byte(s) starting at offset {offset} — a killed append; \
+                 open() truncates it and resume re-measures that cell",
+                self.torn_tail_bytes
+            )?;
+        }
+        for finding in &self.key_mismatches {
+            writeln!(f, "key mismatch: {finding}")?;
+        }
+        for finding in &self.duplicate_keys {
+            writeln!(f, "duplicate key: {finding}")?;
+        }
+        for line in &self.malformed_lines {
+            writeln!(f, "malformed record on line {line}")?;
+        }
+        if self.is_clean() {
+            write!(f, "clean: the store loads as-is")
+        } else {
+            write!(f, "{} finding(s)", self.findings())
+        }
+    }
 }
 
 /// What a [`ResultStore::compact`] call did.
@@ -586,11 +728,94 @@ mod tests {
 
         let store = ResultStore::open(&path).unwrap();
         assert_eq!(store.records(), &[record(8)], "only the intact prefix");
+        assert!(store.repaired_tail_bytes() > 0, "the repair is reported");
         // The damaged bytes are gone from disk too.
         let on_disk = std::fs::read_to_string(&path).unwrap();
         assert!(on_disk.ends_with('\n'));
         assert_eq!(on_disk.lines().count(), 1);
+        // A clean reopen reports no repair.
+        assert_eq!(ResultStore::open(&path).unwrap().repaired_tail_bytes(), 0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsck_reports_a_clean_store_without_modifying_it() {
+        let path = temp_path("fsck-clean");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append(record(8)).unwrap();
+            store.append(record(16)).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let report = ResultStore::fsck(&path).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.records, 2);
+        assert_eq!(report.findings(), 0);
+        assert!(report.to_string().contains("clean"), "{report}");
+        assert_eq!(std::fs::read(&path).unwrap(), bytes, "fsck never writes");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsck_locates_a_torn_tail_without_repairing_it() {
+        let path = temp_path("fsck-torn");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append(record(8)).unwrap();
+            store.append(record(16)).unwrap();
+        }
+        let full = std::fs::read_to_string(&path).unwrap();
+        let cut = full.len() - 17;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let first_line_len = full.lines().next().unwrap().len() + 1;
+
+        let bytes = std::fs::read(&path).unwrap();
+        let report = ResultStore::fsck(&path).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.records, 1);
+        assert_eq!(report.torn_tail_bytes, cut - first_line_len);
+        assert_eq!(report.torn_tail_offset, Some(first_line_len as u64));
+        assert!(report.to_string().contains("torn tail"), "{report}");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            bytes,
+            "fsck reports the tear but leaves repair to open()"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsck_finds_duplicates_key_mismatches_and_malformed_lines() {
+        let path = temp_path("fsck-findings");
+        let good = serde_json::to_string(&record(8)).unwrap();
+        let mut forged = record(16);
+        forged.key = "0000000000000000".into();
+        let forged = serde_json::to_string(&forged).unwrap();
+        let text = format!("{good}\n{good}\n{forged}\nthis is not json\n");
+        std::fs::write(&path, &text).unwrap();
+
+        let report = ResultStore::fsck(&path).unwrap();
+        assert_eq!(report.records, 3, "duplicates and forgeries still parse");
+        assert_eq!(report.duplicate_keys.len(), 1, "{report}");
+        assert!(report.duplicate_keys[0].contains("line 2"), "{report}");
+        assert_eq!(report.key_mismatches.len(), 1, "{report}");
+        assert!(report.key_mismatches[0].contains("0000000000000000"));
+        assert_eq!(report.malformed_lines, vec![4]);
+        assert_eq!(report.findings(), 3);
+        assert!(report.to_string().contains("3 finding(s)"), "{report}");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            text,
+            "fsck never writes"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsck_refuses_a_missing_store() {
+        let path = temp_path("fsck-missing");
+        assert!(ResultStore::fsck(&path).is_err());
+        assert!(!path.exists(), "fsck must not create the file");
     }
 
     #[test]

@@ -37,6 +37,17 @@ pub enum FleetError {
         /// Cells that were still waiting for a worker.
         unassigned: usize,
     },
+    /// A worker process never completed the `Ready` handshake within the
+    /// spawn-to-`Ready` deadline ([`crate::FleetConfig::ready_timeout`]),
+    /// its restart budget is spent, and the fleet could not finish without
+    /// it. Distinct from a hang: the worker produced *no* frames at all,
+    /// which usually means a broken worker command, not a slow cell.
+    NeverReady {
+        /// The shard whose worker never handshook.
+        shard: usize,
+        /// Cells that were still waiting for a worker.
+        unassigned: usize,
+    },
     /// The fleet configuration itself is unusable (zero workers, empty
     /// worker command).
     Config {
@@ -100,6 +111,12 @@ impl fmt::Display for FleetError {
                 "every fleet worker died with {unassigned} cell(s) still unassigned; \
                  completed cells are durable in the shard stores — rerun to resume"
             ),
+            FleetError::NeverReady { shard, unassigned } => write!(
+                f,
+                "fleet worker {shard} never sent Ready before its spawn deadline \
+                 ({unassigned} cell(s) still unassigned); check the worker command — \
+                 completed cells are durable in the shard stores"
+            ),
             FleetError::Config { reason } => write!(f, "fleet config: {reason}"),
             FleetError::Io { reason } => write!(f, "fleet transport: {reason}"),
         }
@@ -146,6 +163,13 @@ mod tests {
             (
                 FleetError::NoSurvivors { unassigned: 3 },
                 "3 cell(s) still unassigned",
+            ),
+            (
+                FleetError::NeverReady {
+                    shard: 1,
+                    unassigned: 2,
+                },
+                "fleet worker 1 never sent Ready",
             ),
             (FleetError::config("zero workers"), "fleet config"),
             (FleetError::io("broken pipe"), "fleet transport"),

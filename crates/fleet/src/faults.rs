@@ -1,0 +1,325 @@
+//! Deterministic fault injection for fleet chaos testing.
+//!
+//! A [`FaultPlan`] is a serializable schedule of worker misbehavior: each
+//! [`WorkerFault`] names a shard, a trigger point (fire right after the
+//! process's n-th *fresh* cell is appended — the durable-but-unacknowledged
+//! crash window), and a [`FaultKind`]. The coordinator filters the plan per
+//! shard and forwards it to each worker as `--faults`; the worker arms the
+//! triggers in its cell-runner loop.
+//!
+//! Plans are either hand-written JSON (`repro campaign fleet --chaos
+//! '<json>'`) or derived from a seed ([`FaultPlan::seeded`], `--chaos
+//! <seed>`). Seeded generation is a pure function of `(seed, workers)` —
+//! no ambient randomness — so a chaos run is exactly reproducible from its
+//! seed, and the convergence contract stays testable: whatever the plan
+//! does, fleet + restarts + merge must reproduce the uninterrupted
+//! single-process store byte for byte.
+//!
+//! Shard 0 always draws a kill-class fault ([`FaultKind::Kill`],
+//! [`FaultKind::TornTail`], or [`FaultKind::CorruptFrame`] — each ends with
+//! the process dead) after its first fresh cell, so every seeded schedule
+//! exercises the coordinator's supervised-restart path at least once.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// What a triggered fault does to the worker process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Abort the process immediately (exit code
+    /// [`crate::INJECTED_EXIT_CODE`], no `Done` frame, no cleanup) — the
+    /// classic crash in the durable-but-unacknowledged window.
+    Kill,
+    /// Truncate up to `tear_bytes` off the end of the shard store (capped so
+    /// the tear never reaches past the just-appended, still-unacknowledged
+    /// record), then abort — the on-disk signature of a kill mid-append.
+    TornTail {
+        /// Bytes to tear off the final (unacknowledged) record's line.
+        tear_bytes: usize,
+    },
+    /// Sleep this long before acknowledging the cell — a silent wedge the
+    /// coordinator's `hang_timeout` may or may not outwait.
+    Hang {
+        /// How long the worker goes silent, in milliseconds.
+        millis: u64,
+    },
+    /// Emit a garbage line instead of the cell's `Done` frame. The
+    /// coordinator treats a corrupt stream as a dead worker: kill, restart,
+    /// re-assign.
+    CorruptFrame,
+}
+
+serde::serde_enum!(FaultKind {
+    Kill,
+    TornTail { tear_bytes: usize },
+    Hang { millis: u64 },
+    CorruptFrame,
+});
+
+/// One scheduled fault: which shard, when, and what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// The shard whose worker process carries this fault.
+    pub shard: usize,
+    /// Fire right after the process has appended exactly this many *fresh*
+    /// cells (resumed/skipped cells do not count) — so a restarted worker
+    /// re-arms the trigger against its next uncommitted cell.
+    pub after_cells: usize,
+    /// What happens at the trigger.
+    pub kind: FaultKind,
+}
+
+impl Serialize for WorkerFault {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("shard".into(), self.shard.to_value()),
+            ("after_cells".into(), self.after_cells.to_value()),
+            ("kind".into(), self.kind.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for WorkerFault {
+    fn from_value(value: &Value) -> std::result::Result<Self, Error> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| Error::new(format!("WorkerFault is missing {name:?}")))
+        };
+        Ok(WorkerFault {
+            shard: usize::from_value(field("shard")?)?,
+            after_cells: usize::from_value(field("after_cells")?)?,
+            kind: FaultKind::from_value(field("kind")?)?,
+        })
+    }
+}
+
+/// A complete, serializable chaos schedule for one fleet run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The seed this plan was generated from, for provenance (`None` for
+    /// hand-written plans).
+    pub seed: Option<u64>,
+    /// The scheduled faults, in shard order for seeded plans.
+    pub faults: Vec<WorkerFault>,
+}
+
+impl Serialize for FaultPlan {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("seed".into(), self.seed.to_value()),
+            ("faults".into(), self.faults.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultPlan {
+    fn from_value(value: &Value) -> std::result::Result<Self, Error> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| Error::new(format!("FaultPlan is missing {name:?}")))
+        };
+        Ok(FaultPlan {
+            seed: Option::<u64>::from_value(field("seed")?)?,
+            faults: Vec::<WorkerFault>::from_value(field("faults")?)?,
+        })
+    }
+}
+
+/// The splitmix64 finalizer — the same generator-of-generators the engine
+/// uses for stream seeds, local to this module so the fleet crate stays
+/// free of simulation dependencies. Pure: the plan is a function of the
+/// seed alone.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Derives a deterministic chaos schedule for a fleet of `workers`
+    /// processes. Shard 0 always draws a kill-class fault after its first
+    /// fresh cell (guaranteeing at least one supervised restart per
+    /// schedule); every other shard draws from the full menu, including
+    /// running clean.
+    pub fn seeded(seed: u64, workers: usize) -> FaultPlan {
+        let mut state = seed;
+        let mut faults = Vec::new();
+        for shard in 0..workers {
+            let draw = splitmix64(&mut state);
+            let tear = 5 + (splitmix64(&mut state) % 48) as usize;
+            let millis = 200 + splitmix64(&mut state) % 600;
+            let after = 1 + (splitmix64(&mut state) % 3) as usize;
+            let (kind, after_cells) = if shard == 0 {
+                let kind = match draw % 3 {
+                    0 => FaultKind::Kill,
+                    1 => FaultKind::TornTail { tear_bytes: tear },
+                    _ => FaultKind::CorruptFrame,
+                };
+                (kind, 1)
+            } else {
+                let kind = match draw % 5 {
+                    0 => continue, // this shard runs clean
+                    1 => FaultKind::Kill,
+                    2 => FaultKind::TornTail { tear_bytes: tear },
+                    3 => FaultKind::Hang { millis },
+                    _ => FaultKind::CorruptFrame,
+                };
+                (kind, after)
+            };
+            faults.push(WorkerFault {
+                shard,
+                after_cells,
+                kind,
+            });
+        }
+        FaultPlan {
+            seed: Some(seed),
+            faults,
+        }
+    }
+
+    /// The faults scheduled for one shard's worker process (what the
+    /// coordinator forwards as `--faults`).
+    pub fn for_shard(&self, shard: usize) -> Vec<WorkerFault> {
+        self.faults
+            .iter()
+            .filter(|f| f.shard == shard)
+            .cloned()
+            .collect()
+    }
+
+    /// Whether any scheduled fault ends with the worker process dead
+    /// (directly, or via the coordinator killing a corrupted stream) — the
+    /// schedules for which a fleet run must record at least one restart.
+    pub fn has_kill(&self) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                f.kind,
+                FaultKind::Kill | FaultKind::TornTail { .. } | FaultKind::CorruptFrame
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_kinds_pin_their_wire_bytes() {
+        let cases = [
+            (FaultKind::Kill, r#""Kill""#),
+            (
+                FaultKind::TornTail { tear_bytes: 12 },
+                r#"{"TornTail":{"tear_bytes":12}}"#,
+            ),
+            (
+                FaultKind::Hang { millis: 250 },
+                r#"{"Hang":{"millis":250}}"#,
+            ),
+            (FaultKind::CorruptFrame, r#""CorruptFrame""#),
+        ];
+        for (kind, bytes) in cases {
+            assert_eq!(serde_json::to_string(&kind).unwrap(), bytes);
+            assert_eq!(serde_json::from_str::<FaultKind>(bytes).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn fault_plans_pin_their_wire_bytes() {
+        let plan = FaultPlan {
+            seed: Some(7),
+            faults: vec![WorkerFault {
+                shard: 0,
+                after_cells: 1,
+                kind: FaultKind::Kill,
+            }],
+        };
+        let bytes = r#"{"seed":7,"faults":[{"shard":0,"after_cells":1,"kind":"Kill"}]}"#;
+        assert_eq!(serde_json::to_string(&plan).unwrap(), bytes);
+        assert_eq!(serde_json::from_str::<FaultPlan>(bytes).unwrap(), plan);
+
+        // Hand-written plans have no seed; `null` round-trips.
+        let hand = FaultPlan {
+            seed: None,
+            faults: vec![],
+        };
+        let hand_bytes = r#"{"seed":null,"faults":[]}"#;
+        assert_eq!(serde_json::to_string(&hand).unwrap(), hand_bytes);
+        assert_eq!(serde_json::from_str::<FaultPlan>(hand_bytes).unwrap(), hand);
+    }
+
+    #[test]
+    fn seeded_plans_are_pure_functions_of_the_seed() {
+        let a = FaultPlan::seeded(42, 4);
+        let b = FaultPlan::seeded(42, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.seed, Some(42));
+        // Different seeds diverge somewhere across a handful of draws.
+        let plans: Vec<FaultPlan> = (0..8).map(|s| FaultPlan::seeded(s, 4)).collect();
+        assert!(
+            plans.windows(2).any(|w| w[0].faults != w[1].faults),
+            "eight consecutive seeds cannot all collide"
+        );
+    }
+
+    #[test]
+    fn every_seeded_plan_arms_a_kill_class_fault_on_shard_zero() {
+        for seed in 0..64 {
+            let plan = FaultPlan::seeded(seed, 3);
+            let shard0 = plan.for_shard(0);
+            assert_eq!(shard0.len(), 1, "seed {seed}");
+            assert_eq!(shard0[0].after_cells, 1, "seed {seed}");
+            assert!(
+                matches!(
+                    shard0[0].kind,
+                    FaultKind::Kill | FaultKind::TornTail { .. } | FaultKind::CorruptFrame
+                ),
+                "seed {seed}: shard 0 must always die at least once"
+            );
+            assert!(plan.has_kill(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn for_shard_filters_and_preserves_order() {
+        let plan = FaultPlan {
+            seed: None,
+            faults: vec![
+                WorkerFault {
+                    shard: 1,
+                    after_cells: 1,
+                    kind: FaultKind::Kill,
+                },
+                WorkerFault {
+                    shard: 0,
+                    after_cells: 2,
+                    kind: FaultKind::Hang { millis: 10 },
+                },
+                WorkerFault {
+                    shard: 1,
+                    after_cells: 3,
+                    kind: FaultKind::CorruptFrame,
+                },
+            ],
+        };
+        let shard1 = plan.for_shard(1);
+        assert_eq!(shard1.len(), 2);
+        assert_eq!(shard1[0].after_cells, 1);
+        assert_eq!(shard1[1].after_cells, 3);
+        assert!(plan.for_shard(2).is_empty());
+        // A hang alone is not a kill.
+        let hang_only = FaultPlan {
+            seed: None,
+            faults: vec![WorkerFault {
+                shard: 0,
+                after_cells: 1,
+                kind: FaultKind::Hang { millis: 10 },
+            }],
+        };
+        assert!(!hang_only.has_kill());
+    }
+}

@@ -6,12 +6,20 @@
 //! sweep across *processes*. The division of labor:
 //!
 //! * [`run_fleet`] (the **coordinator**) checks the spec, diffs the
-//!   expansion against existing stores, shards the pending cells
-//!   deterministically across `N` worker processes, supervises them, and
-//!   re-assigns the work of workers that crash or hang.
-//! * [`run_worker`] (a **worker**) serves one shard: it executes assigned
-//!   cells and appends each to its own shard store
-//!   ([`shard_store_path`]) *before* acknowledging it upstream.
+//!   expansion against existing stores, and serves pending cells to `N`
+//!   worker processes with worker-pull scheduling: each worker `Request`
+//!   is answered with one leased `Assign`, expired leases re-queue, and
+//!   workers that crash, hang, or corrupt their stream are **restarted**
+//!   on their original shard store with capped exponential backoff, up to
+//!   a per-shard budget.
+//! * [`run_worker`] (a **worker**) serves one shard: it pulls cells,
+//!   executes them, and appends each to its own shard store
+//!   ([`shard_store_path`]) *before* acknowledging it upstream — so a
+//!   restarted worker resumes past its own committed cells.
+//! * [`FaultPlan`] (the **chaos harness**) injects deterministic, seeded
+//!   faults — kills, torn shard tails, hangs, corrupt frames — into
+//!   workers, so the whole recovery stack is testable: any fault schedule
+//!   must converge to the same merged bytes as an undisturbed run.
 //! * [`dradio_campaign::ResultStore::merge`] (exposed as `repro campaign
 //!   merge`) folds the shard stores back into one store, byte-identical to
 //!   a single-process run — records are pure functions of their cell spec,
@@ -26,10 +34,12 @@
 
 pub mod coordinator;
 pub mod error;
+pub mod faults;
 pub mod protocol;
 pub mod worker;
 
 pub use coordinator::{run_fleet, shard_store_path, FleetConfig, FleetReport};
 pub use error::{FleetError, Result};
+pub use faults::{FaultKind, FaultPlan, WorkerFault};
 pub use protocol::{parse_frame, write_frame, CoordinatorFrame, WorkerFrame};
 pub use worker::{run_worker, WorkerConfig, WorkerReport, INJECTED_EXIT_CODE};

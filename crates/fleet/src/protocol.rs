@@ -11,11 +11,17 @@
 //!
 //! ```text
 //! worker  -> Ready { shard, resumed }          (once, on startup)
-//! coord   -> Assign { cell }                   (zero or more, any time)
+//! worker  -> Request                           (one per idle cell runner)
+//! coord   -> Assign { cell }                   (answers a Request; leased)
 //! worker  -> Done { key, trials_run }          (one per finished cell)
 //! worker  -> Failed { key, reason }            (cell could not run)
 //! coord   -> Shutdown                          (drain and exit)
 //! ```
+//!
+//! Scheduling is worker-pull: the coordinator holds the pending queue and
+//! answers each `Request` with one `Assign`, so heterogeneous (or freshly
+//! restarted) workers drain cells at their own rate instead of receiving a
+//! fixed `i mod N` shard up front.
 //!
 //! Workers append each measured cell to their shard store **before**
 //! emitting its `Done`, so the coordinator's knowledge is conservative: a
@@ -57,6 +63,10 @@ pub enum WorkerFrame {
         /// Records already present in the shard store on open.
         resumed: usize,
     },
+    /// One cell runner is idle: the coordinator should answer with an
+    /// `Assign` (or nothing, if the pending queue is dry — `Shutdown`
+    /// eventually follows). The shard is implied by the transport.
+    Request,
     /// A cell is measured and durably appended to the shard store.
     Done {
         /// The cell's content-hash key.
@@ -76,6 +86,7 @@ pub enum WorkerFrame {
 
 serde::serde_enum!(WorkerFrame {
     Ready { shard: usize, resumed: usize },
+    Request,
     Done { key: String, trials_run: usize },
     Failed { key: String, reason: String },
 });
@@ -167,6 +178,7 @@ mod tests {
                 },
                 r#"{"Ready":{"shard":2,"resumed":3}}"#,
             ),
+            (WorkerFrame::Request, r#""Request""#),
             (
                 WorkerFrame::Done {
                     key: "00ff".into(),

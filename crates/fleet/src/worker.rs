@@ -1,5 +1,5 @@
-//! The worker half of the fleet: runs assigned cells, appends them to its
-//! own shard store, reports completions upstream.
+//! The worker half of the fleet: pulls cells from the coordinator, appends
+//! them to its own shard store, reports completions upstream.
 //!
 //! [`run_worker`] is generic over the transport (`BufRead` in, `Write`
 //! out), so the whole loop is unit-testable in process; the `repro campaign
@@ -9,14 +9,17 @@
 //!
 //! A dedicated reader thread drains the inbound stream into an internal
 //! queue no matter what the cell runners are doing — so the coordinator can
-//! write a large assignment batch without ever blocking on a pipe the
-//! worker is too busy to read (the classic parent/child pipe deadlock).
-//! `threads` cell-runner threads pull from that queue: one runner (the
-//! default) executes cells in assignment order with each cell's trials
-//! fanned out across cores, mirroring `CampaignRunner`'s sequential mode;
-//! more runners execute cells concurrently with sequential trials per cell.
-//! Either way each record's bytes are a pure function of its cell spec, so
-//! the shard stores merge identically.
+//! write assignments without ever blocking on a pipe the worker is too busy
+//! to read (the classic parent/child pipe deadlock). `threads` cell-runner
+//! threads pull from that queue, each announcing its idleness upstream with
+//! a `Request` frame before blocking — the worker-pull half of the
+//! scheduling protocol: the coordinator leases one cell per `Request`, so a
+//! slow (or freshly restarted) worker simply requests less often. One
+//! runner (the default) executes cells with each cell's trials fanned out
+//! across cores, mirroring `CampaignRunner`'s sequential mode; more runners
+//! execute cells concurrently with sequential trials per cell. Either way
+//! each record's bytes are a pure function of its cell spec, so the shard
+//! stores merge identically.
 //!
 //! # Durability ordering
 //!
@@ -25,21 +28,39 @@
 //! that is already durable — the re-run produces byte-identical records and
 //! `campaign merge` deduplicates them — whereas the opposite order could
 //! acknowledge work that never hit disk.
+//!
+//! # Fault injection
+//!
+//! [`WorkerConfig::faults`] arms a [`FaultPlan`](crate::FaultPlan) slice
+//! for this shard: each [`WorkerFault`] fires right after the process's
+//! n-th fresh append — kill, torn-tail-then-kill, hang, or a corrupted
+//! frame — always inside the durable-but-unacknowledged window the
+//! coordinator must recover from. Kill-class faults fire while the store
+//! lock is held, so an injected tear can only ever reach the runner's own
+//! just-appended (unacknowledged) line, never an acknowledged record.
 
 use std::collections::VecDeque;
+use std::fs::OpenOptions;
 use std::io::{BufRead, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use dradio_campaign::{execute_cell_batched, CellSpec, ResultStore};
 
 use crate::error::{FleetError, Result};
+use crate::faults::{FaultKind, WorkerFault};
 use crate::protocol::{parse_frame, write_frame, CoordinatorFrame, WorkerFrame};
 
-/// The process exit code [`WorkerConfig::exit_after`] aborts with —
-/// distinguishable from a panic or a clean shutdown in CI logs.
+/// The process exit code injected kills abort with — distinguishable from a
+/// panic or a clean shutdown in CI logs.
 pub const INJECTED_EXIT_CODE: i32 = 17;
+
+/// The line a [`FaultKind::CorruptFrame`] fault emits in place of a `Done`
+/// frame — deliberately unparseable, so the coordinator's corrupt-stream
+/// path triggers.
+pub const CORRUPT_FRAME_LINE: &[u8] = b"%%chaos:corrupt-frame%%\n";
 
 /// How a worker runs.
 #[derive(Debug, Clone)]
@@ -59,11 +80,10 @@ pub struct WorkerConfig {
     /// strategy: shard store bytes are identical either way. Forwarded from
     /// the coordinator's `--batch`.
     pub batch: bool,
-    /// Fault injection for re-assignment tests: abort the process (exit
-    /// code [`INJECTED_EXIT_CODE`], no `Done` frame, no cleanup) right
-    /// after the n-th fresh cell is appended — exactly the crash window the
-    /// coordinator must recover from. `None` in real runs.
-    pub exit_after: Option<usize>,
+    /// The chaos faults armed for this shard (empty in real runs). Each
+    /// fires once, right after this process's `after_cells`-th fresh
+    /// append. Forwarded by the coordinator as `--faults`.
+    pub faults: Vec<WorkerFault>,
 }
 
 /// What a [`run_worker`] call did, for the caller's diagnostics.
@@ -73,6 +93,9 @@ pub struct WorkerReport {
     pub shard: usize,
     /// Records already in the shard store when it was opened.
     pub resumed: usize,
+    /// Torn-tail bytes the store repaired (truncated) on open — nonzero
+    /// exactly when the previous incarnation of this shard died mid-append.
+    pub repaired_tail_bytes: usize,
     /// Cells executed and appended by this run.
     pub executed: usize,
     /// Assigned cells skipped because the shard store already held them.
@@ -144,9 +167,29 @@ impl AssignQueue {
     }
 }
 
+/// The fault armed to fire right after this process's `fresh`-th fresh
+/// append, if any. At most one fault fires per trigger point; triggers are
+/// per-process, so a restarted worker re-arms against its next fresh cell.
+fn firing(faults: &[WorkerFault], fresh: usize) -> Option<&FaultKind> {
+    faults
+        .iter()
+        .find(|f| f.after_cells == fresh)
+        .map(|f| &f.kind)
+}
+
+/// Truncates `tear` bytes off the end of the shard store file — the
+/// injected version of the torn tail a kill mid-append leaves behind.
+/// Callers cap `tear` to the just-appended line and hold the store lock, so
+/// the tear never destroys an acknowledged record.
+fn tear_store_tail(path: &Path, tear: u64) -> std::io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    let len = file.metadata()?.len();
+    file.set_len(len.saturating_sub(tear))
+}
+
 /// Serves one worker session over the given transport: handshakes `Ready`,
-/// executes `Assign`ed cells into the shard store, and exits on `Shutdown`
-/// or end-of-stream.
+/// pulls work with `Request` frames, executes `Assign`ed cells into the
+/// shard store, and exits on `Shutdown` or end-of-stream.
 ///
 /// # Errors
 ///
@@ -162,6 +205,16 @@ where
 {
     let store = ResultStore::open(&config.store).map_err(FleetError::from)?;
     let resumed = store.len();
+    let repaired_tail_bytes = store.repaired_tail_bytes();
+    if repaired_tail_bytes > 0 {
+        // The previous incarnation died mid-append; the store has already
+        // truncated the torn line, resume re-measures that cell.
+        eprintln!(
+            "worker {}: repaired a torn shard-store tail ({repaired_tail_bytes} byte(s)) \
+             before resuming",
+            config.shard
+        );
+    }
     let mut output = output;
     write_frame(
         &mut output,
@@ -221,7 +274,17 @@ where
             let fatal = &fatal;
             let (executed, skipped, failed) = (&executed, &skipped, &failed);
             scope.spawn(move || {
-                while let Some(cell) = queue.pop() {
+                loop {
+                    // Pull: announce this runner is idle, then block for the
+                    // lease the coordinator answers with. Assignments queued
+                    // without a matching Request (scripted tests, legacy
+                    // coordinators) drain exactly the same way.
+                    if let Err(e) = send_frame(output, &WorkerFrame::Request) {
+                        set_fatal(fatal, e);
+                        queue.close();
+                        return;
+                    }
+                    let Some(cell) = queue.pop() else { return };
                     let key = cell.key();
                     let already = {
                         let store = lock_store(store);
@@ -236,17 +299,62 @@ where
                         match execute_cell_batched(&cell, parallel_trials, config.batch) {
                             Ok(record) => {
                                 let trials_run = record.trials_run;
-                                let appended = lock_store(store).append(record);
-                                if let Err(e) = appended {
-                                    set_fatal(fatal, FleetError::Campaign(e));
-                                    queue.close();
-                                    return;
-                                }
-                                let fresh = executed.fetch_add(1, Ordering::Relaxed) + 1;
-                                if config.exit_after.is_some_and(|limit| fresh >= limit) {
-                                    // Fault injection: die in the durable-
-                                    // but-unacknowledged window.
-                                    std::process::exit(INJECTED_EXIT_CODE);
+                                // The exact bytes append writes (line +
+                                // newline): the cap that keeps an injected
+                                // tear inside the unacknowledged record.
+                                let line_len =
+                                    serde_json::to_string(&record).map(|s| s.len() + 1).ok();
+                                let fresh = {
+                                    let mut store_guard = lock_store(store);
+                                    if let Err(e) = store_guard.append(record) {
+                                        set_fatal(fatal, FleetError::Campaign(e));
+                                        queue.close();
+                                        return;
+                                    }
+                                    let fresh = executed.fetch_add(1, Ordering::Relaxed) + 1;
+                                    // Kill-class faults fire under the store
+                                    // lock: the file tail is still this
+                                    // runner's own unacknowledged line.
+                                    match firing(&config.faults, fresh) {
+                                        Some(FaultKind::Kill) => {
+                                            std::process::exit(INJECTED_EXIT_CODE);
+                                        }
+                                        Some(FaultKind::TornTail { tear_bytes }) => {
+                                            if let Some(len) = line_len {
+                                                let tear = (*tear_bytes).clamp(1, len - 1);
+                                                let _ = tear_store_tail(&config.store, tear as u64);
+                                            }
+                                            std::process::exit(INJECTED_EXIT_CODE);
+                                        }
+                                        _ => {}
+                                    }
+                                    fresh
+                                };
+                                match firing(&config.faults, fresh) {
+                                    Some(FaultKind::Hang { millis }) => {
+                                        // Go silent in the durable-but-
+                                        // unacknowledged window; the
+                                        // coordinator's hang_timeout decides
+                                        // whether to outwait or kill us.
+                                        std::thread::sleep(Duration::from_millis(*millis));
+                                    }
+                                    Some(FaultKind::CorruptFrame) => {
+                                        // Garbage instead of the Done frame;
+                                        // the coordinator kills and restarts
+                                        // us, and the restarted incarnation
+                                        // re-acknowledges the durable cell.
+                                        let sent = {
+                                            let mut output = lock_output(output);
+                                            output
+                                                .write_all(CORRUPT_FRAME_LINE)
+                                                .and_then(|()| output.flush())
+                                        };
+                                        if sent.is_err() {
+                                            return;
+                                        }
+                                        continue;
+                                    }
+                                    _ => {}
                                 }
                                 WorkerFrame::Done { key, trials_run }
                             }
@@ -259,15 +367,7 @@ where
                             }
                         }
                     };
-                    let sent = {
-                        let mut output = output
-                            .lock()
-                            // lint: allow(D4) -- frame writers never panic
-                            // while holding the output lock
-                            .expect("frame writers do not poison the output lock");
-                        write_frame(&mut *output, &frame)
-                    };
-                    if let Err(e) = sent {
+                    if let Err(e) = send_frame(output, &frame) {
                         set_fatal(fatal, e);
                         queue.close();
                         return;
@@ -286,6 +386,7 @@ where
         None => Ok(WorkerReport {
             shard: config.shard,
             resumed,
+            repaired_tail_bytes,
             executed: executed.into_inner(),
             skipped: skipped.into_inner(),
             failed: failed.into_inner(),
@@ -309,6 +410,20 @@ fn lock_store(store: &Mutex<ResultStore>) -> std::sync::MutexGuard<'_, ResultSto
         // lint: allow(D4) -- store users never panic while holding the
         // store lock
         .expect("store users do not poison the store lock")
+}
+
+fn lock_output<W: Write>(output: &Mutex<W>) -> std::sync::MutexGuard<'_, W> {
+    output
+        .lock()
+        // lint: allow(D4) -- frame writers never panic while holding the
+        // output lock
+        .expect("frame writers do not poison the output lock")
+}
+
+/// Writes one frame under the output lock.
+fn send_frame<W: Write>(output: &Mutex<W>, frame: &WorkerFrame) -> Result<()> {
+    let mut output = lock_output(output);
+    write_frame(&mut *output, frame)
 }
 
 #[cfg(test)]
@@ -356,7 +471,7 @@ mod tests {
             store,
             threads,
             batch: false,
-            exit_after: None,
+            faults: Vec::new(),
         }
     }
 
@@ -369,11 +484,15 @@ mod tests {
         wire
     }
 
+    /// Parses the outbound wire, dropping the pull-scheduling `Request`
+    /// frames (their count is runner/timing-dependent) so tests can assert
+    /// on the meaningful Ready/Done/Failed sequence.
     fn output_frames(wire: &[u8]) -> Vec<WorkerFrame> {
         String::from_utf8(wire.to_vec())
             .unwrap()
             .lines()
             .map(|line| parse_frame(line).unwrap())
+            .filter(|frame| *frame != WorkerFrame::Request)
             .collect()
     }
 
@@ -397,6 +516,7 @@ mod tests {
         .unwrap();
         assert_eq!(report.shard, 3);
         assert_eq!(report.resumed, 0);
+        assert_eq!(report.repaired_tail_bytes, 0);
         assert_eq!(report.executed, cells.len());
         assert_eq!(report.skipped, 0);
         assert_eq!(report.failed, 0);
@@ -426,6 +546,41 @@ mod tests {
         let shard = ResultStore::open(&path).unwrap();
         assert_eq!(shard.records(), reference.records());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn idle_runners_announce_themselves_with_request_frames() {
+        let campaign = small_campaign();
+        let cell = campaign.expand().unwrap()[0].clone();
+        let path = temp_store("request");
+        let mut wire = Vec::new();
+        run_worker(
+            &config(path.clone(), 1),
+            Cursor::new(script(&[
+                CoordinatorFrame::Assign { cell },
+                CoordinatorFrame::Shutdown,
+            ])),
+            &mut wire,
+        )
+        .unwrap();
+        let raw: Vec<WorkerFrame> = String::from_utf8(wire)
+            .unwrap()
+            .lines()
+            .map(|line| parse_frame(line).unwrap())
+            .collect();
+        assert!(
+            matches!(raw[0], WorkerFrame::Ready { .. }),
+            "handshake first: {raw:?}"
+        );
+        assert_eq!(
+            raw[1],
+            WorkerFrame::Request,
+            "the runner requests before its first pop: {raw:?}"
+        );
+        assert!(
+            raw.iter().any(|f| matches!(f, WorkerFrame::Done { .. })),
+            "{raw:?}"
+        );
     }
 
     #[test]
@@ -469,6 +624,124 @@ mod tests {
         );
         assert_eq!(frames.len(), 1 + cells.len(), "every skip is acknowledged");
         assert_eq!(std::fs::read(&path).unwrap(), bytes, "no re-appends");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_torn_shard_tail_is_repaired_and_reported_on_resume() {
+        let campaign = small_campaign();
+        let cells = campaign.expand().unwrap();
+        let path = temp_store("torn-resume");
+        let mut input = vec![];
+        for cell in &cells {
+            input.push(CoordinatorFrame::Assign { cell: cell.clone() });
+        }
+        input.push(CoordinatorFrame::Shutdown);
+        let wire_script = script(&input);
+        run_worker(
+            &config(path.clone(), 1),
+            Cursor::new(wire_script.clone()),
+            Vec::new(),
+        )
+        .unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Tear 17 bytes off the final line, as a kill mid-append would.
+        tear_store_tail(&path, 17).unwrap();
+        let report = run_worker(
+            &config(path.clone(), 1),
+            Cursor::new(wire_script),
+            Vec::new(),
+        )
+        .unwrap();
+        assert!(report.repaired_tail_bytes > 0, "{report:?}");
+        assert_eq!(report.resumed, cells.len() - 1);
+        assert_eq!(report.executed, 1, "only the torn cell re-runs");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            full,
+            "repair + re-run reproduces the untorn bytes"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_corrupt_frame_fault_garbles_the_ack_but_not_the_store() {
+        let campaign = small_campaign();
+        let cells = campaign.expand().unwrap();
+        let path = temp_store("corrupt-fault");
+        let mut cfg = config(path.clone(), 1);
+        cfg.faults = vec![WorkerFault {
+            shard: cfg.shard,
+            after_cells: 1,
+            kind: FaultKind::CorruptFrame,
+        }];
+        let mut input = vec![];
+        for cell in &cells[..2] {
+            input.push(CoordinatorFrame::Assign { cell: cell.clone() });
+        }
+        input.push(CoordinatorFrame::Shutdown);
+
+        let mut wire = Vec::new();
+        let report = run_worker(&cfg, Cursor::new(script(&input)), &mut wire).unwrap();
+        assert_eq!(report.executed, 2, "the worker keeps serving after chaos");
+
+        let text = String::from_utf8(wire).unwrap();
+        assert!(
+            text.contains("%%chaos:corrupt-frame%%"),
+            "the garbage line replaces the first Done: {text}"
+        );
+        let dones = text
+            .lines()
+            .filter_map(|l| parse_frame::<WorkerFrame>(l).ok())
+            .filter(|f| matches!(f, WorkerFrame::Done { .. }))
+            .count();
+        assert_eq!(dones, 1, "only the second cell is acknowledged: {text}");
+        // Both cells are durable regardless: the store never lies.
+        let shard = ResultStore::open(&path).unwrap();
+        assert_eq!(shard.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_hang_fault_delays_but_still_acknowledges() {
+        let campaign = small_campaign();
+        let cell = campaign.expand().unwrap()[0].clone();
+        let path = temp_store("hang-fault");
+        let mut cfg = config(path.clone(), 1);
+        cfg.faults = vec![WorkerFault {
+            shard: cfg.shard,
+            after_cells: 1,
+            kind: FaultKind::Hang { millis: 20 },
+        }];
+        let mut wire = Vec::new();
+        let report = run_worker(
+            &cfg,
+            Cursor::new(script(&[
+                CoordinatorFrame::Assign { cell: cell.clone() },
+                CoordinatorFrame::Shutdown,
+            ])),
+            &mut wire,
+        )
+        .unwrap();
+        assert_eq!(report.executed, 1);
+        let frames = output_frames(&wire);
+        assert!(
+            matches!(&frames[1], WorkerFrame::Done { key, .. } if key == &cell.key()),
+            "{frames:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tear_store_tail_clamps_to_the_requested_bytes() {
+        let path = temp_store("tear");
+        std::fs::write(&path, b"0123456789").unwrap();
+        tear_store_tail(&path, 4).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"012345");
+        // Over-tearing empties the file rather than erroring.
+        tear_store_tail(&path, 100).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"");
         let _ = std::fs::remove_file(&path);
     }
 
