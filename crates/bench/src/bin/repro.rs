@@ -26,7 +26,9 @@
 //!     campaign check      statically validate the spec without running a
 //!                         cell: duplicate cells, degenerate or unreachable
 //!                         adaptive stop targets, and a per-group worst-case
-//!                         budget estimate (exits non-zero on warnings)
+//!                         budget estimate — rounds and peak topology memory
+//!                         under the dense/CSR backend heuristic (exits
+//!                         non-zero on warnings)
 //!     campaign run        execute every cell missing from the store
 //!                         (creates the store; resumes it if it exists)
 //!     campaign resume     like run, but requires the store to exist already
@@ -59,6 +61,12 @@
 //!                         recording) fall back to scalar, and results are
 //!                         byte-identical either way (fleet forwards the
 //!                         flag to every worker)
+//!     --mem-budget <SZ>   check/fleet: per-cell topology memory ceiling —
+//!                         plain bytes or a binary-suffixed size ("512MiB",
+//!                         "4GiB"); any cell whose estimated topology
+//!                         footprint exceeds it draws a warning, with a
+//!                         pointer at the csr backend when forcing it on the
+//!                         group would fit
 //!     --workers <N>       fleet: worker processes to spawn (default 2)
 //!     --hang-timeout <S>  fleet: declare a silent worker dead after S seconds
 //!     --lease-timeout <S> fleet: re-queue an assigned cell not acknowledged
@@ -94,6 +102,13 @@
 //!                         quick batch-vs-scalar trials/sec comparison on the
 //!                         engine workloads (clique / grid / random-geo at
 //!                         three sizes); --json also writes BENCH_batch.json
+//!     repro bench --scale [--scale-n <N>]
+//!                         million-node broadcast on the streaming CSR
+//!                         backend: a grid and a random-geometric network at
+//!                         ~N nodes (default 1,000,000), built row-by-row
+//!                         without the dense bitmatrix, with build/run
+//!                         timings, dense-vs-CSR memory estimates, and peak
+//!                         RSS; writes BENCH_sparse.json
 //! ```
 
 use std::env;
@@ -244,6 +259,32 @@ fn campaign_table(spec: &CampaignSpec, store: &ResultStore) -> Table {
     table
 }
 
+/// Parses a memory size: plain bytes, or a binary-suffixed form like
+/// "512MiB" / "4GiB" (case-insensitive; a fractional number is fine).
+fn parse_mem_size(raw: &str) -> Option<u64> {
+    let s = raw.trim();
+    if let Ok(bytes) = s.parse::<u64>() {
+        return Some(bytes);
+    }
+    let lower = s.to_ascii_lowercase();
+    let (num, mult) = if let Some(v) = lower.strip_suffix("kib") {
+        (v, 1u64 << 10)
+    } else if let Some(v) = lower.strip_suffix("mib") {
+        (v, 1 << 20)
+    } else if let Some(v) = lower.strip_suffix("gib") {
+        (v, 1 << 30)
+    } else if let Some(v) = lower.strip_suffix("tib") {
+        (v, 1 << 40)
+    } else {
+        return None;
+    };
+    let value: f64 = num.trim().parse().ok()?;
+    if !value.is_finite() || value < 0.0 {
+        return None;
+    }
+    Some((value * mult as f64) as u64)
+}
+
 /// Loads a campaign spec from inline JSON or a file path.
 fn load_campaign(arg: &str) -> Result<CampaignSpec, String> {
     let json = if arg.trim_start().starts_with('{') {
@@ -288,6 +329,7 @@ fn campaign_command(args: &[String]) -> ExitCode {
     let mut lease_timeout: Option<Duration> = None;
     let mut ready_timeout: Option<Duration> = None;
     let mut restart_budget = 2usize;
+    let mut mem_budget: Option<u64> = None;
     let mut shard_paths: Vec<PathBuf> = Vec::new();
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
@@ -370,6 +412,16 @@ fn campaign_command(args: &[String]) -> ExitCode {
                 Some(s) if s > 0.0 => lease_timeout = Some(Duration::from_secs_f64(s)),
                 _ => {
                     eprintln!("--lease-timeout requires a positive number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--mem-budget" => match iter.next().and_then(|v| parse_mem_size(v)) {
+                Some(bytes) if bytes > 0 => mem_budget = Some(bytes),
+                _ => {
+                    eprintln!(
+                        "--mem-budget requires a positive size: plain bytes or a \
+                         binary-suffixed form like 512MiB or 4GiB"
+                    );
                     return ExitCode::FAILURE;
                 }
             },
@@ -473,7 +525,7 @@ fn campaign_command(args: &[String]) -> ExitCode {
     };
     if action == "check" {
         // Static validation only: no store is touched, no cell runs.
-        return match dradio_campaign::check(&spec) {
+        return match dradio_campaign::check_with_budget(&spec, mem_budget) {
             Ok(report) => {
                 print!("{report}");
                 if report.is_clean() {
@@ -558,6 +610,7 @@ fn campaign_command(args: &[String]) -> ExitCode {
         return fleet_command(
             &spec,
             &store_path,
+            mem_budget,
             FleetConfig {
                 workers,
                 threads,
@@ -687,11 +740,16 @@ fn campaign_command(args: &[String]) -> ExitCode {
 }
 
 /// `campaign fleet`: a check-gated launch banner with a per-shard budget
-/// estimate, then the coordinator.
-fn fleet_command(spec: &CampaignSpec, store_path: &str, config: FleetConfig) -> ExitCode {
+/// estimate (rounds and topology memory), then the coordinator.
+fn fleet_command(
+    spec: &CampaignSpec,
+    store_path: &str,
+    mem_budget: Option<u64>,
+    config: FleetConfig,
+) -> ExitCode {
     // The coordinator re-checks internally; checking here first prints the
     // warnings the way `campaign check` does and sizes the banner.
-    let report = match dradio_campaign::check(spec) {
+    let report = match dradio_campaign::check_with_budget(spec, mem_budget) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("campaign fleet: {e}");
@@ -735,6 +793,22 @@ fn fleet_command(spec: &CampaignSpec, store_path: &str, config: FleetConfig) -> 
             "fleet: {} workers over {} cells (unbounded round budget)",
             config.workers, report.cells
         ),
+    }
+    // Every worker process builds its own copy of a cell's topology, so the
+    // honest per-worker memory proxy is the largest single-cell estimate.
+    let peak = report
+        .groups
+        .iter()
+        .filter_map(|g| g.peak_topology)
+        .max_by_key(|&(_, bytes)| bytes);
+    if let Some((backend, bytes)) = peak {
+        let ceiling = mem_budget
+            .map(|b| format!(", within the {} budget", dradio_campaign::format_bytes(b)))
+            .unwrap_or_default();
+        println!(
+            "fleet: peak topology estimate ~{} per worker ({backend} backend{ceiling})",
+            dradio_campaign::format_bytes(bytes)
+        );
     }
     if let Some(plan) = &config.faults {
         let seed = plan
@@ -846,6 +920,226 @@ impl serde::Serialize for BatchBenchReport<'_> {
     }
 }
 
+/// One row of the `repro bench --scale` report.
+struct ScaleBenchRow {
+    workload: &'static str,
+    n: usize,
+    edges: usize,
+    backend: String,
+    build_secs: f64,
+    trials: usize,
+    rounds: usize,
+    run_secs: f64,
+    dense_bytes: Option<u64>,
+    csr_bytes: Option<u64>,
+    peak_rss_bytes: Option<u64>,
+}
+
+impl serde::Serialize for ScaleBenchRow {
+    fn to_value(&self) -> serde::Value {
+        let opt = |v: Option<u64>| match v {
+            Some(b) => serde::Value::UInt(b),
+            None => serde::Value::Null,
+        };
+        serde::Value::Map(vec![
+            ("workload".into(), serde::Value::Str(self.workload.into())),
+            ("n".into(), serde::Value::UInt(self.n as u64)),
+            ("edges".into(), serde::Value::UInt(self.edges as u64)),
+            ("backend".into(), serde::Value::Str(self.backend.clone())),
+            ("build_secs".into(), serde::Value::Float(self.build_secs)),
+            ("trials".into(), serde::Value::UInt(self.trials as u64)),
+            ("rounds".into(), serde::Value::UInt(self.rounds as u64)),
+            ("run_secs".into(), serde::Value::Float(self.run_secs)),
+            ("dense_bytes_estimate".into(), opt(self.dense_bytes)),
+            ("csr_bytes_estimate".into(), opt(self.csr_bytes)),
+            ("peak_rss_bytes".into(), opt(self.peak_rss_bytes)),
+        ])
+    }
+}
+
+/// The `BENCH_sparse.json` document: `{"scale_n": N, "benches": [row, ...]}`.
+struct ScaleBenchReport<'a> {
+    scale_n: usize,
+    benches: &'a [ScaleBenchRow],
+}
+
+impl serde::Serialize for ScaleBenchReport<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("scale_n".into(), serde::Value::UInt(self.scale_n as u64)),
+            (
+                "benches".into(),
+                serde::Value::Seq(
+                    self.benches
+                        .iter()
+                        .map(serde::Serialize::to_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The process's high-water resident set size, from `/proc/self/status`
+/// (`VmHWM`). `None` off Linux — the bench still runs, just without the
+/// RSS column.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .strip_prefix("VmHWM:")?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+/// `repro bench --scale [--scale-n N]`: broadcast at ~N nodes (default one
+/// million) on a grid and a random-geometric network. Both topologies stream
+/// straight into the CSR backend above the density threshold — the dense
+/// bitmatrix those sizes would need (~116 GiB at 10⁶ nodes) is never
+/// allocated — and the report records build/run timings, the dense-vs-CSR
+/// memory estimates, and the process's peak RSS. Always writes
+/// `BENCH_sparse.json`.
+fn scale_bench_command(scale_n: usize) -> ExitCode {
+    use dradio_scenario::BackendChoice;
+
+    const ROUNDS: usize = 32;
+    const TRIALS: usize = 2;
+    const P: f64 = 0.1;
+
+    let side = (scale_n as f64).sqrt().round().max(2.0) as usize;
+    // ~8 nodes per unit square: mean reliable degree ~π·8 ≈ 25, safely over
+    // the ~ln n ≈ 14 connectivity threshold at a million nodes, while the
+    // CSR edge list stays linear in n (the dense bitmatrix would not).
+    let geo_side = (scale_n as f64 / 8.0).sqrt().max(1.5);
+    let workloads: Vec<(&'static str, TopologySpec, AdversarySpec)> = vec![
+        (
+            "grid",
+            TopologySpec::Grid {
+                cols: side,
+                rows: side,
+            },
+            AdversarySpec::StaticNone,
+        ),
+        (
+            "random-geo",
+            TopologySpec::RandomGeometric {
+                n: scale_n,
+                side: geo_side,
+                r: 1.5,
+                seed: 9,
+            },
+            AdversarySpec::Iid { p: 0.5 },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, spec, adversary) in workloads {
+        let dense_bytes = spec
+            .memory_estimate(BackendChoice::Dense)
+            .map(|(_, bytes)| bytes);
+        let csr_bytes = spec
+            .memory_estimate(BackendChoice::Csr)
+            .map(|(_, bytes)| bytes);
+
+        let t_build = std::time::Instant::now();
+        let built = match spec.build() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("repro bench --scale: {name} topology does not build: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let build_secs = t_build.elapsed().as_secs_f64();
+        let n = built.dual.len();
+        let edges = built.dual.g_prime().edge_count();
+        let backend = built.dual.graph_backend();
+
+        let mut executor = dradio_bench::engine_executor(&built, &adversary, P, ROUNDS);
+        let t_run = std::time::Instant::now();
+        let mut deliveries = 0usize;
+        for trial in 0..TRIALS as u64 {
+            deliveries += executor
+                .execute(
+                    dradio_sim::derive_stream_seed(0x5CA1E, trial),
+                    dradio_scenario::RecordMode::None,
+                )
+                .metrics
+                .deliveries;
+        }
+        let run_secs = t_run.elapsed().as_secs_f64();
+        if deliveries == 0 {
+            eprintln!(
+                "repro bench --scale: {name}/{n} delivered nothing over \
+                 {TRIALS}x{ROUNDS} rounds — the workload is not exercising the network"
+            );
+            return ExitCode::FAILURE;
+        }
+
+        rows.push(ScaleBenchRow {
+            workload: name,
+            n,
+            edges,
+            backend: backend.to_string(),
+            build_secs,
+            trials: TRIALS,
+            rounds: ROUNDS,
+            run_secs,
+            dense_bytes,
+            csr_bytes,
+            // VmHWM is monotonic, so each row reads the high-water mark as
+            // of the end of its own run.
+            peak_rss_bytes: peak_rss_bytes(),
+        });
+    }
+
+    println!("scale bench: ~{scale_n} nodes, {TRIALS} trials x {ROUNDS} rounds, scalar engine");
+    println!(
+        "{:<12} {:>9} {:>10} {:>8} {:>9} {:>9} {:>12} {:>12} {:>10}",
+        "workload", "n", "edges", "backend", "build s", "run s", "dense est", "csr est", "peak RSS"
+    );
+    let fmt_opt = |v: Option<u64>| match v {
+        Some(bytes) => dradio_campaign::format_bytes(bytes),
+        None => "-".to_string(),
+    };
+    for row in &rows {
+        println!(
+            "{:<12} {:>9} {:>10} {:>8} {:>9.2} {:>9.2} {:>12} {:>12} {:>10}",
+            row.workload,
+            row.n,
+            row.edges,
+            row.backend,
+            row.build_secs,
+            row.run_secs,
+            fmt_opt(row.dense_bytes),
+            fmt_opt(row.csr_bytes),
+            fmt_opt(row.peak_rss_bytes),
+        );
+    }
+
+    let doc = ScaleBenchReport {
+        scale_n,
+        benches: &rows,
+    };
+    let path = Path::new("BENCH_sparse.json");
+    match serde_json::to_string_pretty(&doc) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(path, body + "\n") {
+                eprintln!("repro bench --scale: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+        Err(e) => {
+            eprintln!("repro bench --scale: JSON serialization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// `repro bench [--json]`: an in-binary trials/sec comparison of the scalar
 /// [`dradio_sim::TrialExecutor`] against the bit-sliced
 /// [`dradio_sim::BatchExecutor`] on the engine bench workloads. Unlike the
@@ -854,10 +1148,20 @@ impl serde::Serialize for BatchBenchReport<'_> {
 fn bench_command(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut trials = 256usize;
+    let mut scale = false;
+    let mut scale_n = 1_000_000usize;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--scale" => scale = true,
+            "--scale-n" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 4 => scale_n = n,
+                _ => {
+                    eprintln!("--scale-n requires an integer node count of at least 4");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--trials" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(t) if t > 0 => trials = t,
                 _ => {
@@ -866,10 +1170,16 @@ fn bench_command(args: &[String]) -> ExitCode {
                 }
             },
             other => {
-                eprintln!("unknown bench option {other}; repro bench takes --json and --trials");
+                eprintln!(
+                    "unknown bench option {other}; repro bench takes --json, --trials, \
+                     --scale, and --scale-n"
+                );
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if scale {
+        return scale_bench_command(scale_n);
     }
 
     const ROUNDS: usize = 16;
@@ -1115,7 +1425,8 @@ fn main() -> ExitCode {
                 println!("lint: repro lint [--fix-hints] (workspace static analysis)");
                 println!(
                     "bench: repro bench [--json] [--trials <N>] (batch vs scalar trials/sec; \
-                     --json writes BENCH_batch.json)"
+                     --json writes BENCH_batch.json); repro bench --scale [--scale-n <N>] \
+                     (million-node CSR broadcast; writes BENCH_sparse.json)"
                 );
                 return ExitCode::SUCCESS;
             }

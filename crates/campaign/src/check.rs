@@ -19,7 +19,7 @@
 
 use std::fmt;
 
-use dradio_scenario::{AdversaryClass, Completion, MAX_LANES};
+use dradio_scenario::{AdversaryClass, BackendChoice, Completion, GraphBackend, MAX_LANES};
 
 use crate::error::Result;
 use crate::spec::{CampaignSpec, CellSpec, TrialPolicy};
@@ -46,6 +46,12 @@ pub struct GroupBudget {
     /// wall-clock proxy for a batched run — `max_rounds` stays the simulated
     /// total. `None` exactly when `max_rounds` is.
     pub max_batched_rounds: Option<u64>,
+    /// The largest estimated topology footprint among the group's cells:
+    /// the storage backend the group's [`BackendChoice`] resolves to for
+    /// that cell, and the estimated bytes for both network layers
+    /// ([`dradio_scenario::TopologySpec::memory_estimate`]). `None` when no
+    /// cell's size is derivable from its spec.
+    pub peak_topology: Option<(GraphBackend, u64)>,
 }
 
 /// A non-fatal spec smell: the campaign runs, but not the way the author
@@ -86,6 +92,18 @@ impl CheckReport {
 /// empty axes, zero-trial policies, degenerate widths, unresolvable round
 /// budgets. Warnings, by contrast, are returned in the report.
 pub fn check(spec: &CampaignSpec) -> Result<CheckReport> {
+    check_with_budget(spec, None)
+}
+
+/// [`check`] with a per-cell topology memory budget in bytes: any cell whose
+/// estimated topology footprint (under the backend its group forces, or the
+/// auto heuristic) exceeds `mem_budget` draws a warning — with a pointer at
+/// the CSR backend when switching would bring the cell back under budget.
+///
+/// # Errors
+///
+/// Exactly [`check`]'s.
+pub fn check_with_budget(spec: &CampaignSpec, mem_budget: Option<u64>) -> Result<CheckReport> {
     // Expansion validates the spec and is the source of truth for keys.
     let all_cells = spec.expand()?;
     let mut warnings = Vec::new();
@@ -168,12 +186,60 @@ pub fn check(spec: &CampaignSpec) -> Result<CheckReport> {
                 _ => None,
             };
         }
+        // Peak topology footprint across the group's cells, and the budget
+        // warning for the worst offender (one warning per group, not per
+        // cell — a sweep over 50 oversized sizes is one mistake, not 50).
+        let mut peak: Option<(GraphBackend, u64)> = None;
+        let mut worst_over: Option<(&CellSpec, GraphBackend, u64)> = None;
+        for cell in &cells {
+            let Some((backend, bytes)) = cell.scenario.topology.memory_estimate(cell.backend)
+            else {
+                continue;
+            };
+            if peak.is_none_or(|(_, b)| bytes > b) {
+                peak = Some((backend, bytes));
+            }
+            if mem_budget.is_some_and(|budget| bytes > budget)
+                && worst_over.is_none_or(|(_, _, b)| bytes > b)
+            {
+                worst_over = Some((cell, backend, bytes));
+            }
+        }
+        if let (Some(budget), Some((cell, backend, bytes))) = (mem_budget, worst_over) {
+            let csr_fit = if backend == GraphBackend::Dense {
+                cell.scenario
+                    .topology
+                    .memory_estimate(BackendChoice::Csr)
+                    .map(|(_, b)| b)
+                    .filter(|b| *b <= budget)
+            } else {
+                None
+            };
+            let hint = match csr_fit {
+                Some(csr_bytes) => format!(
+                    "; forcing the csr backend on the group brings it to ~{}",
+                    format_bytes(csr_bytes)
+                ),
+                None => String::new(),
+            };
+            warnings.push(CheckWarning {
+                group: Some(index),
+                message: format!(
+                    "group {index}: topology {} needs ~{} as {backend} — over the {} \
+                     memory budget{hint}",
+                    cell.scenario.topology.label(),
+                    format_bytes(bytes),
+                    format_bytes(budget),
+                ),
+            });
+        }
         groups.push(GroupBudget {
             index,
             cells: cells.len(),
             max_trials,
             max_rounds: rounds_total,
             max_batched_rounds: batched_total,
+            peak_topology: peak,
         });
     }
 
@@ -259,6 +325,23 @@ fn trials_for_width(width: f64) -> usize {
     n
 }
 
+/// Formats a byte count with a binary-unit suffix (B, KiB, MiB, GiB, TiB),
+/// one decimal place — the shape budget banners and check reports print.
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
 impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "campaign {:?}: {} distinct cells", self.name, self.cells)?;
@@ -270,9 +353,15 @@ impl fmt::Display for CheckReport {
                 (Some(r), _) => format!("<= {r} simulated rounds"),
                 (None, _) => String::from("round budget not derivable from the spec"),
             };
+            let memory = match g.peak_topology {
+                Some((backend, bytes)) => {
+                    format!(", peak topology ~{} ({backend})", format_bytes(bytes))
+                }
+                None => String::new(),
+            };
             writeln!(
                 f,
-                "  group {}: {} cells x up to {} trials, {rounds}",
+                "  group {}: {} cells x up to {} trials, {rounds}{memory}",
                 g.index, g.cells, g.max_trials
             )?;
         }
@@ -436,6 +525,58 @@ mod tests {
         spec.groups = vec![recorded];
         let report = check(&spec).unwrap();
         assert_eq!(report.groups[0].max_batched_rounds, Some(100 * 1_000));
+    }
+
+    #[test]
+    fn memory_budgets_warn_on_oversized_dense_cells() {
+        // A million-node grid under the auto heuristic resolves to CSR and
+        // fits comfortably in a 1 GiB budget: report stays clean, and the
+        // peak-topology estimate names the backend it resolved.
+        let mut spec = CampaignSpec::named("mem-budget");
+        spec.trials = TrialPolicy::Fixed(1);
+        let big = SweepGroup::cell(
+            TopologySpec::Grid {
+                cols: 1000,
+                rows: 1000,
+            },
+            AlgorithmSpec::Global(dradio_core::GlobalAlgorithm::Bgi),
+            AdversarySpec::StaticNone,
+            ProblemSpec::GlobalFrom(0),
+        )
+        .rounds(crate::spec::RoundsRule::Fixed(10));
+        spec.groups.push(big.clone());
+        let budget = 1u64 << 30;
+        let report = check_with_budget(&spec, Some(budget)).unwrap();
+        assert!(report.is_clean(), "{report}");
+        let (backend, bytes) = report.groups[0].peak_topology.unwrap();
+        assert_eq!(backend, GraphBackend::Csr);
+        assert!(bytes < budget, "CSR grid estimate must fit: {bytes}");
+        assert!(report.to_string().contains("peak topology"), "{report}");
+
+        // Forcing the dense backend on the same group blows the budget
+        // (~116 GiB of bitmatrix per layer) and the warning points back at
+        // the CSR backend that would fit.
+        spec.groups = vec![big.backend(BackendChoice::Dense)];
+        let report = check_with_budget(&spec, Some(budget)).unwrap();
+        let (backend, bytes) = report.groups[0].peak_topology.unwrap();
+        assert_eq!(backend, GraphBackend::Dense);
+        assert!(bytes > 100u64 << 30, "dense estimate is huge: {bytes}");
+        let warning = report
+            .warnings
+            .iter()
+            .find(|w| w.message.contains("memory budget"))
+            .expect("over-budget dense cell must be warned");
+        assert!(warning.message.contains("dense"), "{}", warning.message);
+        assert!(
+            warning.message.contains("forcing the csr backend"),
+            "{}",
+            warning.message
+        );
+
+        // Without a budget the same spec checks clean — estimates are
+        // informational unless the caller sets a ceiling.
+        let report = check(&spec).unwrap();
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub mod runner;
 pub mod spec;
 pub mod store;
 
-pub use check::{check, CheckReport, CheckWarning, GroupBudget};
+pub use check::{check, check_with_budget, format_bytes, CheckReport, CheckWarning, GroupBudget};
 pub use error::{CampaignError, Result};
 pub use runner::{execute_cell, execute_cell_batched, CampaignRunner, RunReport};
 pub use spec::{CampaignSpec, CellSpec, RoundsRule, StopRule, SweepGroup, TrialPolicy};

@@ -11,7 +11,8 @@
 use std::fmt;
 
 use dradio_scenario::{
-    AdversarySpec, AlgorithmSpec, ProblemSpec, RecordMode, ScenarioSpec, TopologySpec,
+    AdversarySpec, AlgorithmSpec, BackendChoice, ProblemSpec, RecordMode, ScenarioSpec,
+    TopologySpec,
 };
 use serde::{Deserialize, Serialize, Value};
 
@@ -289,6 +290,13 @@ pub struct SweepGroup {
     /// path, and batched cells produce bit-for-bit the scalar measurements —
     /// so, like the record mode, this is **not** part of a cell's identity.
     pub batch: bool,
+    /// Which graph storage backend this group's cells build their topologies
+    /// with (default [`BackendChoice::Auto`]: dense for small networks, CSR
+    /// once the dense bitmatrix would dwarf the edge list). A pure memory/
+    /// layout decision — every backend yields structurally identical networks
+    /// and bit-identical measurements — so, like the record mode, this is
+    /// **not** part of a cell's identity.
+    pub backend: BackendChoice,
 }
 
 impl SweepGroup {
@@ -311,6 +319,7 @@ impl SweepGroup {
             record_mode: RecordMode::None,
             curve: false,
             batch: false,
+            backend: BackendChoice::Auto,
         }
     }
 
@@ -371,6 +380,14 @@ impl SweepGroup {
     /// (default off; unbatchable cells silently fall back to scalar).
     pub fn batch(mut self, enabled: bool) -> Self {
         self.batch = enabled;
+        self
+    }
+
+    /// Forces a graph storage backend for this group's cells (default
+    /// [`BackendChoice::Auto`]; structurally and measurement-wise a no-op —
+    /// purely a memory/layout knob for very large topologies).
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -443,6 +460,10 @@ impl Serialize for SweepGroup {
         if self.batch {
             fields.push(("batch".into(), self.batch.to_value()));
         }
+        // Only-when-forced, so pre-backend spec files keep their exact bytes.
+        if self.backend != BackendChoice::Auto {
+            fields.push(("backend".into(), self.backend.to_value()));
+        }
         Value::Map(fields)
     }
 }
@@ -486,6 +507,10 @@ impl Deserialize for SweepGroup {
             batch: match value.get("batch") {
                 Some(v) => bool::from_value(v)?,
                 None => false,
+            },
+            backend: match value.get("backend") {
+                Some(v) => BackendChoice::from_value(v)?,
+                None => BackendChoice::Auto,
             },
         })
     }
@@ -599,6 +624,7 @@ impl CampaignSpec {
                                 record_mode,
                                 curve: group.curve,
                                 batch: group.batch,
+                                backend: group.backend,
                             };
                             if seen.insert(cell.key()) {
                                 cells.push(cell);
@@ -685,6 +711,12 @@ pub struct CellSpec {
     /// **not part of the cell's identity**, and omitted from the serialized
     /// form when off so pre-batch stores keep their exact bytes.
     pub batch: bool,
+    /// Which graph storage backend the cell builds its topology with. A pure
+    /// memory/layout decision — every backend yields structurally identical
+    /// networks and bit-identical measurements — so also **not part of the
+    /// cell's identity**, and omitted from the serialized form when
+    /// [`BackendChoice::Auto`] so pre-backend stores keep their exact bytes.
+    pub backend: BackendChoice,
 }
 
 impl CellSpec {
@@ -737,6 +769,9 @@ impl Serialize for CellSpec {
         if self.batch {
             fields.push(("batch".into(), self.batch.to_value()));
         }
+        if self.backend != BackendChoice::Auto {
+            fields.push(("backend".into(), self.backend.to_value()));
+        }
         Value::Map(fields)
     }
 }
@@ -765,6 +800,11 @@ impl Deserialize for CellSpec {
             batch: match value.get("batch") {
                 Some(v) => bool::from_value(v)?,
                 None => false,
+            },
+            // Absent in stores written before storage backends existed.
+            backend: match value.get("backend") {
+                Some(v) => BackendChoice::from_value(v)?,
+                None => BackendChoice::Auto,
             },
         })
     }
@@ -1109,6 +1149,44 @@ mod tests {
         assert!(!group_json.contains("batch"));
         let back: SweepGroup = serde_json::from_str(&group_json).unwrap();
         assert!(!back.batch);
+    }
+
+    #[test]
+    fn backend_knob_stays_off_the_wire_and_out_of_keys_when_auto() {
+        let mut campaign = sample_campaign();
+        campaign.groups[0] = campaign.groups[0].clone().backend(BackendChoice::Csr);
+        let forced_cells = campaign.expand().unwrap();
+        let plain_cells = sample_campaign().expand().unwrap();
+        for (a, b) in plain_cells.iter().zip(&forced_cells) {
+            assert_eq!(a.backend, BackendChoice::Auto);
+            assert_eq!(b.backend, BackendChoice::Csr);
+            // A pure memory/layout decision: the backend must not change
+            // what the cell measures, so it must not change the key either.
+            assert_eq!(a.key(), b.key(), "backend must not change the key");
+        }
+        // Forced cells round-trip the knob...
+        let json = serde_json::to_string(&forced_cells[0]).unwrap();
+        assert!(json.contains("\"backend\":\"Csr\""));
+        let back: CellSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.backend, BackendChoice::Csr);
+        // ...while auto cells keep the exact pre-backend store bytes, so
+        // backend-forced re-runs of old campaigns compare byte-for-byte.
+        let plain_json = serde_json::to_string(&plain_cells[0]).unwrap();
+        assert!(
+            !plain_json.contains("backend"),
+            "auto cells keep the pre-backend bytes: {plain_json}"
+        );
+        let back: CellSpec = serde_json::from_str(&plain_json).unwrap();
+        assert_eq!(back.backend, BackendChoice::Auto);
+        // Groups serialize the knob only when forced, too.
+        let group_json = serde_json::to_string(&sample_campaign().groups[0]).unwrap();
+        assert!(!group_json.contains("backend"));
+        let back: SweepGroup = serde_json::from_str(&group_json).unwrap();
+        assert_eq!(back.backend, BackendChoice::Auto);
+        let forced_group_json = serde_json::to_string(&campaign.groups[0]).unwrap();
+        assert!(forced_group_json.contains("\"backend\":\"Csr\""));
+        let back: SweepGroup = serde_json::from_str(&forced_group_json).unwrap();
+        assert_eq!(back.backend, BackendChoice::Csr);
     }
 
     #[test]

@@ -656,6 +656,7 @@ mod tests {
             record_mode: dradio_scenario::RecordMode::None,
             curve: false,
             batch: false,
+            backend: dradio_scenario::BackendChoice::Auto,
         };
         CellRecord {
             key: cell.key(),

@@ -142,6 +142,7 @@ mod tests {
             record_mode: RecordMode::None,
             curve: false,
             batch: false,
+            backend: dradio_scenario::BackendChoice::Auto,
         }
     }
 

@@ -4,7 +4,7 @@ use std::fmt;
 
 use crate::error::GraphError;
 use crate::geometry::Embedding;
-use crate::graph::{Edge, Graph};
+use crate::graph::{Edge, Graph, GraphBackend};
 use crate::node::NodeId;
 use crate::Result;
 
@@ -143,6 +143,25 @@ impl DualGraph {
     /// Returns `true` if `G = G'`, i.e. there are no dynamic links.
     pub fn is_static(&self) -> bool {
         self.g.edge_count() == self.g_prime.edge_count()
+    }
+
+    /// The storage backend of the reliable layer (generators keep both
+    /// layers on the same backend).
+    pub fn graph_backend(&self) -> GraphBackend {
+        self.g.backend()
+    }
+
+    /// Returns this network with both layers converted to `backend` (cheap
+    /// clones where a layer already matches); name and embedding carry over.
+    /// Simulation outcomes are backend-independent — only memory footprint
+    /// and row-scan strategy change.
+    pub fn with_graph_backend(&self, backend: GraphBackend) -> DualGraph {
+        DualGraph {
+            g: self.g.with_backend(backend),
+            g_prime: self.g_prime.with_backend(backend),
+            embedding: self.embedding.clone(),
+            name: self.name.clone(),
+        }
     }
 
     /// Returns the dynamic edges `E' \ E` in canonical order.

@@ -44,6 +44,12 @@ pub enum GraphError {
     /// An operation requiring a Euclidean embedding was called on a graph
     /// without one.
     MissingEmbedding,
+    /// An edge mutation was attempted on a backend whose rows are packed
+    /// (CSR graphs are immutable once built; convert to dense to mutate).
+    ImmutableBackend {
+        /// The mutating operation that was refused.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -70,6 +76,12 @@ impl fmt::Display for GraphError {
                 write!(
                     f,
                     "operation requires a Euclidean embedding but none is attached"
+                )
+            }
+            GraphError::ImmutableBackend { op } => {
+                write!(
+                    f,
+                    "{op} is not supported on the CSR backend (packed rows are immutable; convert to dense to mutate)"
                 )
             }
         }
@@ -101,6 +113,7 @@ mod tests {
             },
             GraphError::Disconnected,
             GraphError::MissingEmbedding,
+            GraphError::ImmutableBackend { op: "add_edge" },
         ];
         for e in cases {
             let msg = e.to_string();

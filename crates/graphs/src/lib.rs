@@ -47,7 +47,10 @@ pub mod topology;
 pub use dual::DualGraph;
 pub use error::GraphError;
 pub use geometry::{Embedding, Point};
-pub use graph::{Edge, Graph, GraphBuilder};
+pub use graph::{
+    auto_backend, csr_bytes_estimate, dense_bytes_estimate, CsrBuilder, Edge, Graph, GraphBackend,
+    GraphBuilder, NeighborRow, DENSE_AUTO_MAX_NODES,
+};
 pub use node::NodeId;
 pub use regions::RegionDecomposition;
 

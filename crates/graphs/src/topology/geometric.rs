@@ -5,12 +5,14 @@
 //! `> r` are not connected in `G'`, and pairs in the *grey zone* `(1, r]`
 //! are connected in `G'` but not `G` — their links exist but are unreliable.
 
+use std::collections::BTreeMap;
+
 use rand::Rng;
 
 use crate::dual::DualGraph;
 use crate::error::GraphError;
 use crate::geometry::{Embedding, Point};
-use crate::graph::Graph;
+use crate::graph::{auto_backend, Graph, GraphBackend};
 use crate::node::NodeId;
 use crate::properties;
 use crate::Result;
@@ -72,8 +74,60 @@ impl GeometricConfig {
     }
 }
 
+/// Classifies all node pairs at distance `≤ 1` (reliable) and in `(1, r]`
+/// (grey zone) in ~`O(n + m)` expected time via a spatial hash with cell
+/// size `r`: partners within distance `r` can only live in the 3×3 cell
+/// neighborhood, so the quadratic all-pairs scan is never needed.
+///
+/// A `BTreeMap` keys the buckets so iteration order is deterministic
+/// (hash-map iteration would vary run to run). Pairs are emitted in bucket
+/// order, not lexicographic order; both [`Graph`] backends canonicalize
+/// edge order internally, so the resulting graphs are identical to the
+/// old scan's.
+type PairList = Vec<(usize, usize)>;
+
+fn classify_pairs(points: &[Point], r: f64) -> (PairList, PairList) {
+    let mut buckets: BTreeMap<(i64, i64), Vec<u32>> = BTreeMap::new();
+    let cell = |p: &Point| ((p.x / r).floor() as i64, (p.y / r).floor() as i64);
+    for (i, p) in points.iter().enumerate() {
+        buckets.entry(cell(p)).or_default().push(i as u32);
+    }
+    let mut reliable = Vec::new();
+    let mut grey = Vec::new();
+    for (&(cx, cy), members) in &buckets {
+        for dx in -1..=1i64 {
+            for dy in -1..=1i64 {
+                let Some(other) = buckets.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &i in members {
+                    for &j in other {
+                        if j <= i {
+                            // Cross-bucket pairs are visited from both ends;
+                            // keep exactly the lo→hi orientation.
+                            continue;
+                        }
+                        let d = points[i as usize].distance(points[j as usize]);
+                        if d <= 1.0 {
+                            reliable.push((i as usize, j as usize));
+                        } else if d <= r {
+                            grey.push((i as usize, j as usize));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (reliable, grey)
+}
+
 /// Builds the dual graph induced by a set of points under the geographic
 /// constraint with parameter `r`.
+///
+/// Pair discovery runs through a spatial hash (expected `O(n + m)` instead
+/// of the former all-pairs `O(n²)` scan), and the storage backend follows
+/// [`auto_backend`], so million-point deployments build without ever
+/// materializing an adjacency matrix.
 pub fn dual_from_points(points: Vec<Point>, r: f64, name: impl Into<String>) -> Result<DualGraph> {
     if r < 1.0 {
         return Err(GraphError::InvalidParameter {
@@ -81,20 +135,29 @@ pub fn dual_from_points(points: Vec<Point>, r: f64, name: impl Into<String>) -> 
         });
     }
     let n = points.len();
-    let mut g = Graph::empty(n);
-    let mut g_prime = Graph::empty(n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = points[i].distance(points[j]);
-            let (u, v) = (NodeId::new(i), NodeId::new(j));
-            if d <= 1.0 {
+    let (reliable, grey) = classify_pairs(&points, r);
+    let backend = auto_backend(n, (reliable.len() + grey.len()) as u64);
+    let (g, g_prime) = match backend {
+        GraphBackend::Dense => {
+            let mut g = Graph::empty(n);
+            let mut g_prime = Graph::empty(n);
+            for &(i, j) in &reliable {
+                let (u, v) = (NodeId::new(i), NodeId::new(j));
                 g.add_edge(u, v)?;
                 g_prime.add_edge(u, v)?;
-            } else if d <= r {
-                g_prime.add_edge(u, v)?;
             }
+            for &(i, j) in &grey {
+                g_prime.add_edge(NodeId::new(i), NodeId::new(j))?;
+            }
+            (g, g_prime)
         }
-    }
+        GraphBackend::Csr => {
+            let g = Graph::csr_from_edges(n, &reliable)?;
+            let mut all = reliable;
+            all.extend_from_slice(&grey);
+            (g, Graph::csr_from_edges(n, &all)?)
+        }
+    };
     DualGraph::new(g, g_prime)?
         .with_embedding(Embedding::new(points))
         .map(|d| d.with_name(name))
@@ -264,6 +327,47 @@ mod tests {
         assert!(wide.dynamic_edges().len() > narrow.dynamic_edges().len());
         // r = 1 means G' = G (no grey zone at all).
         assert!(narrow.is_static());
+    }
+
+    /// The pre-spatial-hash all-pairs scan, kept verbatim as the reference
+    /// implementation the hash-based generator is pinned against.
+    fn quadratic_reference(points: Vec<Point>, r: f64) -> DualGraph {
+        let n = points.len();
+        let mut g = Graph::empty(n);
+        let mut g_prime = Graph::empty(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = points[i].distance(points[j]);
+                let (u, v) = (NodeId::new(i), NodeId::new(j));
+                if d <= 1.0 {
+                    g.add_edge(u, v).unwrap();
+                    g_prime.add_edge(u, v).unwrap();
+                } else if d <= r {
+                    g_prime.add_edge(u, v).unwrap();
+                }
+            }
+        }
+        DualGraph::new(g, g_prime).unwrap()
+    }
+
+    #[test]
+    fn spatial_hash_matches_quadratic_scan_for_existing_seeds() {
+        // Same seeds and configs as the long-standing generator tests: the
+        // spatial hash must reproduce the historical edge sets exactly.
+        for (seed, n, side, r) in [
+            (5u64, 40usize, 3.0, 1.5),
+            (11, 60, 4.0, 2.0),
+            (42, 70, 4.0, 1.8),
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let points: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+                .collect();
+            let fast = dual_from_points(points.clone(), r, "fast").unwrap();
+            let slow = quadratic_reference(points, r);
+            assert_eq!(fast.g().edges(), slow.g().edges());
+            assert_eq!(fast.g_prime().edges(), slow.g_prime().edges());
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use rand::Rng;
 
 use crate::dual::DualGraph;
 use crate::error::GraphError;
-use crate::graph::Graph;
+use crate::graph::{auto_backend, Graph, GraphBackend};
 use crate::node::NodeId;
 use crate::properties;
 use crate::Result;
@@ -97,6 +97,110 @@ pub fn erdos_renyi_dual<R: Rng + ?Sized>(
     })
 }
 
+/// Samples `G(n, p)` in expected `O(n + m)` time via geometric skip
+/// sampling: instead of flipping a coin for each of the `n(n-1)/2` pairs,
+/// the gap to the next present edge is drawn directly as
+/// `⌊ln(1-u) / ln(1-p)⌋` over the canonical pair enumeration.
+///
+/// This draws a *different RNG stream* than [`gnp`] (one `f64` per edge
+/// rather than one Bernoulli per pair), so for a fixed seed the two
+/// samplers produce different — equally distributed — graphs. Storage
+/// follows [`auto_backend`] on the expected edge count, so sparse
+/// million-node samples build straight into CSR rows.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is not in `[0, 1]`.
+pub fn sparse_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("edge probability must be in [0, 1], got {p}"),
+        });
+    }
+    let expected = (p * (n.saturating_mul(n.saturating_sub(1)) / 2) as f64) as u64;
+    let backend = auto_backend(n, expected);
+    // p = 0 must short-circuit: ln(1-u)/ln(1) is -inf/0 = NaN, and a NaN
+    // cast to usize saturates to 0, which would emit *every* pair.
+    if n < 2 || p <= 0.0 {
+        return empty_with_backend(n, backend);
+    }
+    let ln_q = (1.0 - p).ln(); // -inf when p = 1, making every skip 0.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let (mut i, mut j) = (0usize, 1usize);
+    // Walk the canonical enumeration (0,1), (0,2), …, (n-2,n-1), jumping
+    // `skip` absent pairs at a time. Returns false when the walk runs off
+    // the final row.
+    let advance = |i: &mut usize, j: &mut usize, mut steps: usize| loop {
+        let row_left = n - *j;
+        if steps < row_left {
+            *j += steps;
+            return true;
+        }
+        steps -= row_left;
+        *i += 1;
+        if *i >= n - 1 {
+            return false;
+        }
+        *j = *i + 1;
+    };
+    let mut first = true;
+    loop {
+        let u: f64 = rng.gen();
+        let skip = ((1.0 - u).ln() / ln_q) as usize;
+        // The first present pair lies `skip` steps from (0,1) inclusive;
+        // afterwards it lies `skip` steps past the previous edge.
+        let steps = if first { skip } else { skip + 1 };
+        first = false;
+        if !advance(&mut i, &mut j, steps) {
+            break;
+        }
+        edges.push((i, j));
+    }
+    match backend {
+        GraphBackend::Csr => Graph::csr_from_edges(n, &edges),
+        GraphBackend::Dense => {
+            let mut g = Graph::empty(n);
+            for &(a, b) in &edges {
+                g.add_edge(NodeId::new(a), NodeId::new(b))?;
+            }
+            Ok(g)
+        }
+    }
+}
+
+fn empty_with_backend(n: usize, backend: GraphBackend) -> Result<Graph> {
+    match backend {
+        GraphBackend::Dense => Ok(Graph::empty(n)),
+        GraphBackend::Csr => Graph::csr_from_edges(n, &[]),
+    }
+}
+
+/// Samples a *static* dual graph (`G = G'`) over [`sparse_gnp`].
+///
+/// Unlike [`erdos_renyi_dual`] there is no connectivity retry loop — at
+/// million-node scale a retry costs a full resample, and the intended
+/// regime (`p` a few multiples of `ln n / n`) is connected with high
+/// probability. Callers that need certainty check
+/// [`properties::is_connected`] themselves.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is out of range or
+/// `n == 0`.
+pub fn sparse_erdos_renyi_dual<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    rng: &mut R,
+) -> Result<DualGraph> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "n must be >= 1".into(),
+        });
+    }
+    let g = sparse_gnp(n, p, rng)?;
+    Ok(DualGraph::static_model(g).with_name(format!("sparse-erdos-renyi(n={n}, p={p:.4})")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +259,45 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let dual = erdos_renyi_dual(25, 0.4, 0.0, &mut rng).unwrap();
         assert!(dual.is_static());
+    }
+
+    #[test]
+    fn sparse_gnp_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // p = 0 must yield no edges (the NaN-skip hazard case).
+        assert_eq!(sparse_gnp(10, 0.0, &mut rng).unwrap().edge_count(), 0);
+        // p = 1 must yield every pair (ln_q = -inf, every skip 0).
+        let full = sparse_gnp(10, 1.0, &mut rng).unwrap();
+        assert_eq!(full.edge_count(), 45);
+        assert_eq!(full, Graph::complete(10));
+        assert!(sparse_gnp(10, 1.5, &mut rng).is_err());
+        assert!(sparse_gnp(10, -0.1, &mut rng).is_err());
+        assert_eq!(sparse_gnp(1, 0.5, &mut rng).unwrap().edge_count(), 0);
+        assert_eq!(sparse_gnp(0, 0.5, &mut rng).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn sparse_gnp_is_deterministic_and_plausibly_distributed() {
+        let a = sparse_gnp(5000, 0.002, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+        let b = sparse_gnp(5000, 0.002, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+        // E[m] = 0.002 * 5000*4999/2 ≈ 25_000; a 3x window is
+        // astronomically safe.
+        assert!(a.edge_count() > 8_000 && a.edge_count() < 75_000);
+        // Past DENSE_AUTO_MAX_NODES, sparse samples come back on CSR.
+        assert_eq!(a.backend(), GraphBackend::Csr);
+        // Small or dense parameters keep the dense backend.
+        let small = sparse_gnp(50, 0.5, &mut ChaCha8Rng::seed_from_u64(1)).unwrap();
+        assert_eq!(small.backend(), GraphBackend::Dense);
+    }
+
+    #[test]
+    fn sparse_dual_is_static_and_named() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let dual = sparse_erdos_renyi_dual(300, 0.05, &mut rng).unwrap();
+        assert!(dual.is_static());
+        assert!(dual.is_valid());
+        assert_eq!(dual.name(), "sparse-erdos-renyi(n=300, p=0.0500)");
+        assert!(sparse_erdos_renyi_dual(0, 0.5, &mut rng).is_err());
     }
 }

@@ -14,7 +14,7 @@ use crate::adversary::AdversarySpec;
 use crate::error::{Result, ScenarioError};
 use crate::problem::{AlgorithmSpec, ProblemSpec, ResolvedProblem};
 use crate::runner::{Measurement, ScenarioRunner};
-use crate::topology::{BuiltTopology, TopologySpec};
+use crate::topology::{BackendChoice, BuiltTopology, TopologySpec};
 
 /// Builds one fresh link process per trial. Adversaries are stateful, so the
 /// scenario stores this recipe rather than an instance. This is the engine's
@@ -150,6 +150,7 @@ pub struct ScenarioBuilder {
     max_rounds: Option<usize>,
     collision_detection: bool,
     record_mode: RecordMode,
+    backend: BackendChoice,
 }
 
 impl ScenarioBuilder {
@@ -166,6 +167,7 @@ impl ScenarioBuilder {
             max_rounds: None,
             collision_detection: false,
             record_mode: RecordMode::Full,
+            backend: BackendChoice::Auto,
         }
     }
 
@@ -251,6 +253,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets how the network's adjacency storage backend is chosen (default
+    /// [`BackendChoice::Auto`]: the generator's density heuristic). Purely a
+    /// memory/layout knob — executions are identical under every choice —
+    /// so, like the record mode, it is not part of the serialized spec.
+    /// Applies to attached topologies too (they are converted at build).
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Replaces the topology with a directly supplied network (also
     /// reachable via [`Scenario::on_dual`]).
     pub fn custom_dual(mut self, dual: DualGraph) -> Self {
@@ -289,8 +301,8 @@ impl ScenarioBuilder {
     ///   parameters.
     pub fn build(self) -> Result<Scenario> {
         let topology = match self.attached_topology {
-            Some(t) => t,
-            None => self.topology.build()?,
+            Some(t) => t.with_backend(self.backend),
+            None => self.topology.build_with_backend(self.backend)?,
         };
         let algorithm = self
             .algorithm

@@ -5,14 +5,61 @@
 //! generators carry their own seed so that the spec alone pins the network
 //! down exactly: the same spec always builds the same [`DualGraph`].
 
+use std::fmt;
 use std::sync::Arc;
 
 use dradio_graphs::topology::{self, Bracelet, DualClique, GeometricConfig};
-use dradio_graphs::DualGraph;
+use dradio_graphs::{
+    auto_backend, csr_bytes_estimate, dense_bytes_estimate, DualGraph, GraphBackend,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::error::{Result, ScenarioError};
+
+/// How a scenario picks the adjacency storage backend for its network.
+///
+/// Purely an execution/memory knob: both backends enumerate neighbors in
+/// the same order, so simulation outcomes — measurements, store bytes, cell
+/// keys — are identical under every choice (pinned by the sparse
+/// equivalence suite). The default [`BackendChoice::Auto`] lets each
+/// generator apply [`auto_backend`]'s density heuristic; the explicit
+/// choices exist for tests and memory-bound sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Let the generator's density heuristic decide (the default).
+    #[default]
+    Auto,
+    /// Force the dense bitset-plus-adjacency backend.
+    Dense,
+    /// Force the compressed-sparse-row backend.
+    Csr,
+}
+
+serde::serde_enum!(BackendChoice { Auto, Dense, Csr });
+
+impl BackendChoice {
+    /// Resolves the choice against a network of `n` nodes and
+    /// `expected_edges` edges ([`BackendChoice::Auto`] applies the
+    /// [`auto_backend`] heuristic).
+    pub fn resolve(self, n: usize, expected_edges: u64) -> GraphBackend {
+        match self {
+            BackendChoice::Auto => auto_backend(n, expected_edges),
+            BackendChoice::Dense => GraphBackend::Dense,
+            BackendChoice::Csr => GraphBackend::Csr,
+        }
+    }
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendChoice::Auto => "auto",
+            BackendChoice::Dense => "dense",
+            BackendChoice::Csr => "csr",
+        })
+    }
+}
 
 /// Every topology generator of [`dradio_graphs::topology`], as a pure,
 /// serializable value.
@@ -135,6 +182,19 @@ pub enum TopologySpec {
         /// Seed of the sampling random stream.
         seed: u64,
     },
+    /// A *static* sparse Erdős–Rényi network (`G = G'`) sampled by geometric
+    /// skip sampling in expected `O(n + m)` time — the scalable counterpart
+    /// of [`TopologySpec::ErdosRenyiDual`] for million-node sweeps. No
+    /// connectivity retry loop (see
+    /// [`topology::sparse_erdos_renyi_dual`]).
+    SparseErdosRenyi {
+        /// Number of nodes.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+        /// Seed of the sampling random stream.
+        seed: u64,
+    },
     /// A topology supplied directly as a [`DualGraph`] value through
     /// [`ScenarioBuilder::custom_dual`](crate::ScenarioBuilder::custom_dual).
     ///
@@ -164,6 +224,7 @@ serde::serde_enum!(TopologySpec {
     RandomGeometric { n: usize, side: f64, r: f64, seed: u64 },
     GridGeometric { cols: usize, rows: usize, spacing: f64, r: f64 },
     ErdosRenyiDual { n: usize, p_reliable: f64, p_dynamic: f64, seed: u64 },
+    SparseErdosRenyi { n: usize, p: f64, seed: u64 },
     Custom { name: String },
 });
 
@@ -211,6 +272,9 @@ impl TopologySpec {
             } => {
                 format!("er-dual({n}, p {p_reliable:.2}/{p_dynamic:.2}, seed {seed})")
             }
+            TopologySpec::SparseErdosRenyi { n, p, seed } => {
+                format!("sparse-er({n}, p {p:.4}, seed {seed})")
+            }
             TopologySpec::Custom { name } => format!("custom({name})"),
         }
     }
@@ -228,7 +292,8 @@ impl TopologySpec {
             | TopologySpec::Ring { n }
             | TopologySpec::Star { n }
             | TopologySpec::RandomGeometric { n, .. }
-            | TopologySpec::ErdosRenyiDual { n, .. } => Some(n),
+            | TopologySpec::ErdosRenyiDual { n, .. }
+            | TopologySpec::SparseErdosRenyi { n, .. } => Some(n),
             TopologySpec::Bracelet { k } | TopologySpec::BraceletWithClasp { k, .. } => {
                 Some(2 * k * k)
             }
@@ -251,6 +316,102 @@ impl TopologySpec {
             }
             TopologySpec::Custom { .. } => None,
         }
+    }
+
+    /// An estimate of the edge count of the *unreliable* layer `G'` (the
+    /// larger of the two layers, so the memory-relevant one), computable
+    /// without building the network. Exact for the deterministic families,
+    /// an expectation for the randomized ones, `None` for
+    /// [`TopologySpec::Custom`]. Feeds [`TopologySpec::memory_estimate`]
+    /// and the [`auto_backend`] heuristic resolution — never the network
+    /// itself, so a loose estimate can never change a measurement.
+    pub fn expected_edges(&self) -> Option<u64> {
+        let pairs = |n: usize| (n.saturating_mul(n.saturating_sub(1)) / 2) as u64;
+        match *self {
+            // The lower-bound constructions are genuinely dense: G' carries
+            // all (or essentially all) cross pairs.
+            TopologySpec::Clique { n }
+            | TopologySpec::DualClique { n }
+            | TopologySpec::DualCliqueWithBridge { n, .. } => Some(pairs(n)),
+            // Bands are k-cliques and every node sees O(k) nodes of the
+            // neighbor bands: degree ≤ ~3k over n = 2k² nodes.
+            TopologySpec::Bracelet { k } | TopologySpec::BraceletWithClasp { k, .. } => {
+                Some(3 * (k as u64).saturating_pow(3))
+            }
+            TopologySpec::Line { n } | TopologySpec::Star { n } => Some(n.saturating_sub(1) as u64),
+            TopologySpec::Ring { n } => Some(n as u64),
+            TopologySpec::LineOfCliques {
+                cliques,
+                clique_size,
+            } => Some(
+                (cliques as u64).saturating_mul(pairs(clique_size))
+                    + cliques.saturating_sub(1) as u64,
+            ),
+            TopologySpec::Grid { cols, rows } => Some(
+                ((cols.saturating_sub(1)).saturating_mul(rows)
+                    + cols.saturating_mul(rows.saturating_sub(1))) as u64,
+            ),
+            TopologySpec::Torus { cols, rows } => Some(2 * cols.saturating_mul(rows) as u64),
+            TopologySpec::BalancedTree { .. } => Some(self.node_count()?.saturating_sub(1) as u64),
+            // Expected G' degree is the nodes within radius r: n·πr²/side².
+            TopologySpec::RandomGeometric { n, side, r, .. } => {
+                let density = (n as f64) * std::f64::consts::PI * r * r / (side * side);
+                Some(((n as f64 * density / 2.0) as u64).min(pairs(n)))
+            }
+            // ~π(r/s)² in-radius grid points per node.
+            TopologySpec::GridGeometric {
+                cols,
+                rows,
+                spacing,
+                r,
+            } => {
+                let n = cols.saturating_mul(rows);
+                let per_node = std::f64::consts::PI * (r / spacing) * (r / spacing);
+                Some(((n as f64 * per_node / 2.0) as u64).min(pairs(n)))
+            }
+            // G' edge probability: reliable, or dynamic on the absent pairs.
+            TopologySpec::ErdosRenyiDual {
+                n,
+                p_reliable,
+                p_dynamic,
+                ..
+            } => {
+                let p = p_reliable + (1.0 - p_reliable) * p_dynamic;
+                Some((pairs(n) as f64 * p.clamp(0.0, 1.0)) as u64)
+            }
+            TopologySpec::SparseErdosRenyi { n, p, .. } => {
+                Some((pairs(n) as f64 * p.clamp(0.0, 1.0)) as u64)
+            }
+            TopologySpec::Custom { .. } => None,
+        }
+    }
+
+    /// The storage backend `choice` resolves to for this spec, and the
+    /// estimated bytes the built network (both layers) occupies under it.
+    /// `None` when the spec's size is not derivable
+    /// ([`TopologySpec::Custom`]). Campaign checks and fleet banners use
+    /// this to surface memory budgets before anything is built.
+    pub fn memory_estimate(&self, choice: BackendChoice) -> Option<(GraphBackend, u64)> {
+        let n = self.node_count()?;
+        let m = self.expected_edges()?;
+        let backend = choice.resolve(n, m);
+        let per_layer = match backend {
+            GraphBackend::Dense => dense_bytes_estimate(n, m),
+            GraphBackend::Csr => csr_bytes_estimate(n, m),
+        };
+        Some((backend, per_layer.saturating_mul(2)))
+    }
+
+    /// [`TopologySpec::build`] with the storage backend forced by `choice`
+    /// ([`BackendChoice::Auto`] is exactly `build()`). Purely a memory/
+    /// layout decision — the returned network is structurally identical
+    /// under every choice.
+    ///
+    /// # Errors
+    ///
+    /// See [`TopologySpec::build`].
+    pub fn build_with_backend(&self, choice: BackendChoice) -> Result<BuiltTopology> {
+        Ok(self.build()?.with_backend(choice))
     }
 
     /// Builds the network this spec describes.
@@ -327,6 +488,10 @@ impl TopologySpec {
                     n, p_reliable, p_dynamic, &mut rng,
                 )?)
             }
+            TopologySpec::SparseErdosRenyi { n, p, seed } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                BuiltTopology::plain(topology::sparse_erdos_renyi_dual(n, p, &mut rng)?)
+            }
             TopologySpec::Custom { .. } => {
                 return Err(ScenarioError::CustomUnavailable { what: "topology" });
             }
@@ -381,6 +546,22 @@ impl BuiltTopology {
     pub fn max_degree(&self) -> usize {
         self.dual.max_degree()
     }
+
+    /// Returns this topology with its network converted to the backend
+    /// `choice` resolves to ([`BackendChoice::Auto`] is a no-op; an already
+    /// matching backend is left untouched). Construction metadata carries
+    /// over unchanged — it is structural, not storage-dependent.
+    pub fn with_backend(mut self, choice: BackendChoice) -> Self {
+        let target = match choice {
+            BackendChoice::Auto => return self,
+            BackendChoice::Dense => GraphBackend::Dense,
+            BackendChoice::Csr => GraphBackend::Csr,
+        };
+        if self.dual.graph_backend() != target || self.dual.g_prime().backend() != target {
+            self.dual = Arc::new(self.dual.with_graph_backend(target));
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -428,6 +609,11 @@ mod tests {
                 n: 12,
                 p_reliable: 0.5,
                 p_dynamic: 0.3,
+                seed: 7,
+            },
+            TopologySpec::SparseErdosRenyi {
+                n: 40,
+                p: 0.2,
                 seed: 7,
             },
         ];
@@ -508,14 +694,95 @@ mod tests {
 
     #[test]
     fn specs_round_trip_through_serde() {
-        let spec = TopologySpec::RandomGeometric {
-            n: 40,
-            side: 2.2,
-            r: 1.5,
-            seed: 11,
+        for spec in [
+            TopologySpec::RandomGeometric {
+                n: 40,
+                side: 2.2,
+                r: 1.5,
+                seed: 11,
+            },
+            TopologySpec::SparseErdosRenyi {
+                n: 500,
+                p: 0.01,
+                seed: 3,
+            },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: TopologySpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn backend_choice_converts_networks_without_changing_them() {
+        let spec = TopologySpec::Grid { cols: 6, rows: 5 };
+        let auto = spec.build().unwrap();
+        assert_eq!(auto.dual.graph_backend(), GraphBackend::Dense);
+        let forced = spec.build_with_backend(BackendChoice::Csr).unwrap();
+        assert_eq!(forced.dual.graph_backend(), GraphBackend::Csr);
+        // Structurally the same network, differently stored.
+        assert_eq!(auto.dual.as_ref(), forced.dual.as_ref());
+        // Auto and a matching explicit choice are no-ops.
+        assert_eq!(
+            spec.build_with_backend(BackendChoice::Auto).unwrap().dual,
+            auto.dual
+        );
+        assert_eq!(
+            spec.build_with_backend(BackendChoice::Dense)
+                .unwrap()
+                .dual
+                .graph_backend(),
+            GraphBackend::Dense
+        );
+        // Metadata survives conversion.
+        let bracelet = TopologySpec::Bracelet { k: 3 }
+            .build_with_backend(BackendChoice::Csr)
+            .unwrap();
+        assert!(bracelet.bracelet.is_some());
+        assert_eq!(bracelet.dual.graph_backend(), GraphBackend::Csr);
+    }
+
+    #[test]
+    fn backend_choice_serde_and_display() {
+        for (choice, text) in [
+            (BackendChoice::Auto, "auto"),
+            (BackendChoice::Dense, "dense"),
+            (BackendChoice::Csr, "csr"),
+        ] {
+            assert_eq!(choice.to_string(), text);
+            let json = serde_json::to_string(&choice).unwrap();
+            let back: BackendChoice = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, choice);
+        }
+        assert_eq!(BackendChoice::default(), BackendChoice::Auto);
+    }
+
+    #[test]
+    fn memory_estimates_resolve_the_heuristic() {
+        // A small grid stays dense under Auto; a million-node grid resolves
+        // to CSR, and its dense estimate is astronomically larger.
+        let small = TopologySpec::Grid { cols: 6, rows: 5 };
+        assert_eq!(
+            small.memory_estimate(BackendChoice::Auto).unwrap().0,
+            GraphBackend::Dense
+        );
+        let big = TopologySpec::Grid {
+            cols: 1000,
+            rows: 1000,
         };
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: TopologySpec = serde_json::from_str(&json).unwrap();
-        assert_eq!(spec, back);
+        let (backend, csr_bytes) = big.memory_estimate(BackendChoice::Auto).unwrap();
+        assert_eq!(backend, GraphBackend::Csr);
+        let (_, dense_bytes) = big.memory_estimate(BackendChoice::Dense).unwrap();
+        assert!(csr_bytes < 1 << 30, "CSR grid fits in memory: {csr_bytes}");
+        assert!(
+            dense_bytes > 100 * (1u64 << 30),
+            "dense million-node matrix is >100 GiB: {dense_bytes}"
+        );
+        // Custom topologies have no derivable estimate.
+        assert!(TopologySpec::Custom { name: "x".into() }
+            .memory_estimate(BackendChoice::Auto)
+            .is_none());
+        // Expected edges are exact for deterministic families.
+        assert_eq!(small.expected_edges(), Some((5 * 5 + 6 * 4) as u64));
     }
 }

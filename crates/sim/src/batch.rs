@@ -38,7 +38,7 @@
 
 use std::sync::Arc;
 
-use dradio_graphs::{DualGraph, Edge, Graph, NodeId};
+use dradio_graphs::{DualGraph, Edge, Graph, GraphBackend, NeighborRow, NodeId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -207,10 +207,18 @@ struct Shared {
     /// `u` in `lane`, valid only where `ge1 & !ge2` is set this round.
     senders: Vec<u32>,
     /// Packed duplicate-check rows for one lane's link decision
-    /// (`words_per_row` words per node, cleared lazily between lanes).
+    /// (`words_per_row` words per node, cleared lazily between lanes; empty
+    /// on the CSR backend, which uses `dedup_lists` instead).
     dedup_rows: Vec<u64>,
     /// Row-word indices written into `dedup_rows` since the last clear.
     dedup_touched: Vec<usize>,
+    /// Per-node duplicate-check lists — the CSR backend's O(n + edges)
+    /// replacement for the `dedup_rows` bit matrix, whose n × words
+    /// footprint would itself be the quadratic allocation the sparse
+    /// backend avoids. Only the canonical (lo, hi) direction is recorded.
+    dedup_lists: Vec<Vec<NodeId>>,
+    /// Node indices written into `dedup_lists` since the last clear.
+    dedup_list_touched: Vec<usize>,
     words_per_row: usize,
     /// Packed bitset over nodes: bit `u` set iff `u`'s static row is
     /// complete (degree `n - 1`) — such listeners take the subtract-self
@@ -231,15 +239,11 @@ impl Shared {
     fn new(g: &Graph, has_dynamic_edges: bool) -> Self {
         let n = g.len();
         let words_per_row = g.row_words();
+        let sparse = g.backend() == GraphBackend::Csr;
         let mut complete_rows = vec![0u64; words_per_row];
         let mut has_complete_rows = false;
         for u in 0..n {
-            let deg: usize = g
-                .neighbor_bits(NodeId::new(u))
-                .iter()
-                .map(|w| w.count_ones() as usize)
-                .sum();
-            if deg == n - 1 {
+            if g.degree(NodeId::new(u)) == n - 1 {
                 complete_rows[u / 64] |= 1u64 << (u % 64);
                 has_complete_rows = true;
             }
@@ -250,12 +254,18 @@ impl Shared {
             ge1: vec![0u64; n],
             ge2: vec![0u64; n],
             senders: vec![0u32; n * MAX_LANES],
-            dedup_rows: if has_dynamic_edges {
+            dedup_rows: if has_dynamic_edges && !sparse {
                 vec![0u64; n.saturating_mul(words_per_row)]
             } else {
                 Vec::new()
             },
             dedup_touched: Vec::new(),
+            dedup_lists: if has_dynamic_edges && sparse {
+                vec![Vec::new(); n]
+            } else {
+                Vec::new()
+            },
+            dedup_list_touched: Vec::new(),
             words_per_row,
             complete_rows,
             has_complete_rows,
@@ -275,22 +285,38 @@ impl Shared {
     /// Marks the dynamic edge `(u, v)` (endpoints already normalized by
     /// [`Edge`]) as seen this lane; returns `true` if it already was.
     fn dedup_test_and_set(&mut self, u: usize, v: usize) -> bool {
-        let idx = u * self.words_per_row + v / 64;
-        let bit = 1u64 << (v % 64);
-        let seen = self.dedup_rows[idx] & bit != 0;
-        if !seen {
-            if self.dedup_rows[idx] == 0 {
-                self.dedup_touched.push(idx);
+        if self.dedup_lists.is_empty() {
+            let idx = u * self.words_per_row + v / 64;
+            let bit = 1u64 << (v % 64);
+            let seen = self.dedup_rows[idx] & bit != 0;
+            if !seen {
+                if self.dedup_rows[idx] == 0 {
+                    self.dedup_touched.push(idx);
+                }
+                self.dedup_rows[idx] |= bit;
             }
-            self.dedup_rows[idx] |= bit;
+            seen
+        } else {
+            // CSR backend: per-lane decisions stay small, so a linear probe
+            // of the node's list beats maintaining packed rows.
+            let seen = self.dedup_lists[u].contains(&NodeId::new(v));
+            if !seen {
+                if self.dedup_lists[u].is_empty() {
+                    self.dedup_list_touched.push(u);
+                }
+                self.dedup_lists[u].push(NodeId::new(v));
+            }
+            seen
         }
-        seen
     }
 
-    /// Zeroes the duplicate-check words touched since the last clear.
+    /// Zeroes the duplicate-check words/lists touched since the last clear.
     fn dedup_clear(&mut self) {
         while let Some(idx) = self.dedup_touched.pop() {
             self.dedup_rows[idx] = 0;
+        }
+        while let Some(u) = self.dedup_list_touched.pop() {
+            self.dedup_lists[u].clear();
         }
     }
 }
@@ -607,27 +633,55 @@ fn fold_reception(dual: &DualGraph, shared: &mut Shared, lanes: &[Lane], live: u
                 shared.ge2[u] = ge2;
                 continue;
             }
-            let row = g.neighbor_bits(NodeId::new(u));
             let mut ge1 = 0u64;
             let mut ge2 = 0u64;
-            'row: for (w, &row_bits) in row.iter().enumerate().take(words) {
-                let mut hits = row_bits & shared.tx_any[w];
-                while hits != 0 {
-                    let v = w * 64 + hits.trailing_zeros() as usize;
-                    hits &= hits - 1;
-                    let tv = shared.transmit[v];
-                    let mut newly = tv & !ge1;
-                    while newly != 0 {
-                        let lane = newly.trailing_zeros() as usize;
-                        newly &= newly - 1;
-                        shared.senders[u * MAX_LANES + lane] = v as u32;
+            match g.neighbor_row(NodeId::new(u)) {
+                NeighborRow::Dense(row) => {
+                    'row: for (w, &row_bits) in row.iter().enumerate().take(words) {
+                        let mut hits = row_bits & shared.tx_any[w];
+                        while hits != 0 {
+                            let v = w * 64 + hits.trailing_zeros() as usize;
+                            hits &= hits - 1;
+                            let tv = shared.transmit[v];
+                            let mut newly = tv & !ge1;
+                            while newly != 0 {
+                                let lane = newly.trailing_zeros() as usize;
+                                newly &= newly - 1;
+                                shared.senders[u * MAX_LANES + lane] = v as u32;
+                            }
+                            ge2 |= ge1 & tv;
+                            ge1 |= tv;
+                            if ge2 == live {
+                                // Every live lane already collided at this
+                                // listener; further transmitters cannot
+                                // change any category.
+                                break 'row;
+                            }
+                        }
                     }
-                    ge2 |= ge1 & tv;
-                    ge1 |= tv;
-                    if ge2 == live {
-                        // Every live lane already collided at this listener;
-                        // further transmitters cannot change any category.
-                        break 'row;
+                }
+                NeighborRow::Sparse(row) => {
+                    // CSR backend: the sorted neighbor walk visits the same
+                    // transmitters in the same ascending order as the word
+                    // scan, so the fold (and each lane's recorded first
+                    // sender) is identical.
+                    'sparse: for &v in row {
+                        let v = v.index();
+                        let tv = shared.transmit[v];
+                        if tv == 0 {
+                            continue;
+                        }
+                        let mut newly = tv & !ge1;
+                        while newly != 0 {
+                            let lane = newly.trailing_zeros() as usize;
+                            newly &= newly - 1;
+                            shared.senders[u * MAX_LANES + lane] = v as u32;
+                        }
+                        ge2 |= ge1 & tv;
+                        ge1 |= tv;
+                        if ge2 == live {
+                            break 'sparse;
+                        }
                     }
                 }
             }

@@ -30,7 +30,7 @@
 
 use std::sync::Arc;
 
-use dradio_graphs::{DualGraph, Edge, NodeId};
+use dradio_graphs::{DualGraph, Edge, GraphBackend, NeighborRow, NodeId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -194,7 +194,12 @@ impl TrialExecutor {
         let contexts: Vec<ProcessContext> = NodeId::all(n)
             .map(|u| ProcessContext::new(u, n, max_degree, assignment.role(u)))
             .collect();
-        let scratch = RoundScratch::new(n, dual.g().row_words(), !dual.is_static());
+        let scratch = RoundScratch::new(
+            n,
+            dual.g().row_words(),
+            !dual.is_static(),
+            dual.g().backend() == GraphBackend::Csr,
+        );
         Ok(TrialExecutor {
             tracker: StopTracker::new(stop, n),
             dual,
@@ -447,19 +452,56 @@ impl TrialExecutor {
                             }
                         }
                     } else {
-                        let row = g.neighbor_bits(u);
-                        let dyn_row = scratch.dynamic_row(u_idx);
-                        for w in 0..words {
-                            let mut hit = row[w] & scratch.transmitter_bits[w];
-                            if use_dynamic {
-                                hit |= dyn_row[w] & scratch.transmitter_bits[w];
-                            }
-                            if hit != 0 {
-                                count += hit.count_ones() as usize;
-                                if count >= 2 {
-                                    break;
+                        match g.neighbor_row(u) {
+                            NeighborRow::Dense(row) => {
+                                let dyn_row = scratch.dynamic_row(u_idx);
+                                for w in 0..words {
+                                    let mut hit = row[w] & scratch.transmitter_bits[w];
+                                    if use_dynamic {
+                                        hit |= dyn_row[w] & scratch.transmitter_bits[w];
+                                    }
+                                    if hit != 0 {
+                                        count += hit.count_ones() as usize;
+                                        if count >= 2 {
+                                            break;
+                                        }
+                                        sender = w * 64 + hit.trailing_zeros() as usize;
+                                    }
                                 }
-                                sender = w * 64 + hit.trailing_zeros() as usize;
+                            }
+                            NeighborRow::Sparse(row) => {
+                                // CSR backend: walk the sorted static row (and
+                                // the round's dynamic list, disjoint from it by
+                                // the is_dynamic filter above) testing
+                                // transmitter bits. Saturates at 2 like the
+                                // word scan, and a unique sender is unique
+                                // whichever order rows are visited in, so the
+                                // outcome matches the dense strategies exactly.
+                                for &v in row {
+                                    let v_idx = v.index();
+                                    if scratch.transmitter_bits[v_idx / 64] >> (v_idx % 64) & 1 == 1
+                                    {
+                                        count += 1;
+                                        if count >= 2 {
+                                            break;
+                                        }
+                                        sender = v_idx;
+                                    }
+                                }
+                                if use_dynamic && count < 2 {
+                                    for &v in scratch.dynamic_list(u_idx) {
+                                        let v_idx = v.index();
+                                        if scratch.transmitter_bits[v_idx / 64] >> (v_idx % 64) & 1
+                                            == 1
+                                        {
+                                            count += 1;
+                                            if count >= 2 {
+                                                break;
+                                            }
+                                            sender = v_idx;
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -577,9 +619,16 @@ struct RoundScratch {
     /// Packed transmitter bitset (bit `v` set iff node `v` transmits).
     transmitter_bits: Vec<u64>,
     /// Packed per-node dynamic adjacency rows for the current round
-    /// (`words_per_row` words per node; empty when the network is static).
+    /// (`words_per_row` words per node; empty when the network is static or
+    /// the graph backend is CSR).
     dynamic_rows: Vec<u64>,
-    /// Nodes whose dynamic row was written this round (cleared lazily).
+    /// Per-node dynamic adjacency *lists* for the current round — the CSR
+    /// backend's O(n + active-edges) replacement for `dynamic_rows`, whose
+    /// n × words bit matrix would itself be the quadratic allocation the
+    /// sparse backend exists to avoid. Empty unless the network is dynamic
+    /// *and* the backend is CSR.
+    dynamic_lists: Vec<Vec<NodeId>>,
+    /// Nodes whose dynamic row/list was written this round (cleared lazily).
     touched_rows: Vec<usize>,
     /// The deduplicated genuine dynamic edges of the current round.
     active_edges: Vec<Edge>,
@@ -588,15 +637,20 @@ struct RoundScratch {
 }
 
 impl RoundScratch {
-    fn new(n: usize, words_per_row: usize, has_dynamic_edges: bool) -> Self {
+    fn new(n: usize, words_per_row: usize, has_dynamic_edges: bool, sparse: bool) -> Self {
         RoundScratch {
             actions: Vec::with_capacity(n),
             transmit_probs: Vec::with_capacity(n),
             feedbacks: Vec::with_capacity(n),
             transmitters: Vec::with_capacity(n),
             transmitter_bits: vec![0u64; words_per_row],
-            dynamic_rows: if has_dynamic_edges {
+            dynamic_rows: if has_dynamic_edges && !sparse {
                 vec![0u64; n.saturating_mul(words_per_row)]
+            } else {
+                Vec::new()
+            },
+            dynamic_lists: if has_dynamic_edges && sparse {
+                vec![Vec::new(); n]
             } else {
                 Vec::new()
             },
@@ -618,38 +672,66 @@ impl RoundScratch {
         self.active_edges.clear();
     }
 
-    /// Zeroes the dynamic rows touched by the previous round.
+    /// Zeroes the dynamic rows/lists touched by the previous round.
     fn clear_dynamic(&mut self) {
-        for &row in &self.touched_rows {
-            let start = row * self.words_per_row;
-            self.dynamic_rows[start..start + self.words_per_row].fill(0);
+        if self.dynamic_lists.is_empty() {
+            for &row in &self.touched_rows {
+                let start = row * self.words_per_row;
+                self.dynamic_rows[start..start + self.words_per_row].fill(0);
+            }
+        } else {
+            for &row in &self.touched_rows {
+                self.dynamic_lists[row].clear();
+            }
         }
         self.touched_rows.clear();
     }
 
     /// Returns `true` if the dynamic edge `(u, v)` is active this round.
     fn dynamic_bit(&self, u: NodeId, v: NodeId) -> bool {
-        let idx = u.index() * self.words_per_row + v.index() / 64;
-        self.dynamic_rows[idx] >> (v.index() % 64) & 1 == 1
+        if self.dynamic_lists.is_empty() {
+            let idx = u.index() * self.words_per_row + v.index() / 64;
+            self.dynamic_rows[idx] >> (v.index() % 64) & 1 == 1
+        } else {
+            // Dynamic lists stay tiny (one entry per active edge at u this
+            // round), so the linear probe is cheaper than keeping them sorted.
+            self.dynamic_lists[u.index()].contains(&v)
+        }
     }
 
     /// Activates the dynamic edge `(u, v)` for this round.
     fn set_dynamic(&mut self, u: NodeId, v: NodeId) {
         let (ui, vi) = (u.index(), v.index());
-        self.dynamic_rows[ui * self.words_per_row + vi / 64] |= 1u64 << (vi % 64);
-        self.dynamic_rows[vi * self.words_per_row + ui / 64] |= 1u64 << (ui % 64);
+        if self.dynamic_lists.is_empty() {
+            self.dynamic_rows[ui * self.words_per_row + vi / 64] |= 1u64 << (vi % 64);
+            self.dynamic_rows[vi * self.words_per_row + ui / 64] |= 1u64 << (ui % 64);
+        } else {
+            self.dynamic_lists[ui].push(v);
+            self.dynamic_lists[vi].push(u);
+        }
         self.touched_rows.push(ui);
         self.touched_rows.push(vi);
     }
 
     /// The packed dynamic adjacency row of node `u` (all zeroes when the
-    /// network is static).
+    /// network is static; unused — and empty — on the CSR backend, which
+    /// reads [`dynamic_list`](RoundScratch::dynamic_list) instead).
     fn dynamic_row(&self, u: usize) -> &[u64] {
         if self.dynamic_rows.is_empty() {
             &[]
         } else {
             let start = u * self.words_per_row;
             &self.dynamic_rows[start..start + self.words_per_row]
+        }
+    }
+
+    /// The dynamic neighbors activated at node `u` this round (empty when
+    /// the network is static or the backend is dense).
+    fn dynamic_list(&self, u: usize) -> &[NodeId] {
+        if self.dynamic_lists.is_empty() {
+            &[]
+        } else {
+            &self.dynamic_lists[u]
         }
     }
 }

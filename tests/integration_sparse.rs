@@ -1,0 +1,352 @@
+//! Integration tests for the sparse CSR graph backend: forcing a backend is
+//! purely a memory/layout decision, so dense and CSR runs of the same
+//! scenario must produce identical trial outcomes and byte-identical
+//! serialized measurements — across every registered declarative topology
+//! family, on oblivious and adaptive adversaries, on the scalar and the
+//! bit-sliced batch paths, and through the campaign cell executor.
+
+use dradio::prelude::*;
+use proptest::prelude::*;
+
+/// One scenario per registered declarative topology family ([`TopologySpec`]
+/// minus the runtime-attached `Custom`), with an algorithm and problem that
+/// fit the family.
+fn registry() -> Vec<(TopologySpec, AlgorithmSpec, ProblemSpec)> {
+    let global: AlgorithmSpec = GlobalAlgorithm::Permuted.into();
+    let local: AlgorithmSpec = LocalAlgorithm::StaticDecay.into();
+    let from0 = ProblemSpec::GlobalFrom(0);
+    vec![
+        (
+            TopologySpec::Clique { n: 10 },
+            global.clone(),
+            from0.clone(),
+        ),
+        (
+            TopologySpec::DualClique { n: 12 },
+            global.clone(),
+            from0.clone(),
+        ),
+        (
+            TopologySpec::DualCliqueWithBridge {
+                n: 12,
+                t_a: 2,
+                t_b: 8,
+            },
+            global.clone(),
+            from0.clone(),
+        ),
+        (
+            TopologySpec::Bracelet { k: 2 },
+            local.clone(),
+            ProblemSpec::LocalHeadsA,
+        ),
+        (
+            TopologySpec::BraceletWithClasp { k: 2, t: 1 },
+            local.clone(),
+            ProblemSpec::LocalHeadsA,
+        ),
+        (TopologySpec::Line { n: 9 }, global.clone(), from0.clone()),
+        (TopologySpec::Ring { n: 9 }, global.clone(), from0.clone()),
+        (TopologySpec::Star { n: 9 }, global.clone(), from0.clone()),
+        (
+            TopologySpec::LineOfCliques {
+                cliques: 3,
+                clique_size: 4,
+            },
+            global.clone(),
+            from0.clone(),
+        ),
+        (
+            TopologySpec::Grid { cols: 4, rows: 5 },
+            global.clone(),
+            from0.clone(),
+        ),
+        (
+            TopologySpec::Torus { cols: 4, rows: 4 },
+            global.clone(),
+            from0.clone(),
+        ),
+        (
+            TopologySpec::BalancedTree {
+                branching: 2,
+                depth: 3,
+            },
+            global.clone(),
+            from0.clone(),
+        ),
+        (
+            TopologySpec::RandomGeometric {
+                n: 20,
+                side: 2.0,
+                r: 1.5,
+                seed: 5,
+            },
+            local.clone(),
+            ProblemSpec::LocalRandom { count: 4, seed: 6 },
+        ),
+        (
+            TopologySpec::GridGeometric {
+                cols: 4,
+                rows: 4,
+                spacing: 1.0,
+                r: 1.5,
+            },
+            local,
+            ProblemSpec::LocalRandom { count: 4, seed: 6 },
+        ),
+        (
+            TopologySpec::ErdosRenyiDual {
+                n: 14,
+                p_reliable: 0.4,
+                p_dynamic: 0.3,
+                seed: 3,
+            },
+            global.clone(),
+            from0.clone(),
+        ),
+        (
+            TopologySpec::SparseErdosRenyi {
+                n: 40,
+                p: 0.2,
+                seed: 7,
+            },
+            global,
+            from0,
+        ),
+    ]
+}
+
+/// The adversary classes every backend must agree under: oblivious static,
+/// oblivious randomized, and adaptive (which also exercises the dynamic
+/// round-adjacency scratch path).
+fn adversaries() -> Vec<(&'static str, AdversarySpec)> {
+    vec![
+        ("static-none", AdversarySpec::StaticNone),
+        ("static-all", AdversarySpec::StaticAll),
+        ("iid", AdversarySpec::Iid { p: 0.5 }),
+        ("greedy-collision", AdversarySpec::GreedyCollision),
+    ]
+}
+
+fn build(
+    topology: &TopologySpec,
+    algorithm: &AlgorithmSpec,
+    adversary: &AdversarySpec,
+    problem: &ProblemSpec,
+    backend: BackendChoice,
+) -> Scenario {
+    Scenario::on(topology.clone())
+        .algorithm(algorithm.clone())
+        .adversary(adversary.clone())
+        .problem(problem.clone())
+        .seed(21)
+        .max_rounds(300)
+        .backend(backend)
+        .build()
+        .expect("registry scenarios build under every backend")
+}
+
+#[test]
+fn every_registered_topology_and_adversary_agrees_across_backends() {
+    for (topology, algorithm, problem) in registry() {
+        // The backend knob really converts the storage.
+        let dense_built = topology
+            .build_with_backend(BackendChoice::Dense)
+            .expect("registry topologies build");
+        assert_eq!(dense_built.dual.graph_backend(), GraphBackend::Dense);
+        let csr_built = topology
+            .build_with_backend(BackendChoice::Csr)
+            .expect("registry topologies build");
+        assert_eq!(csr_built.dual.graph_backend(), GraphBackend::Csr);
+
+        for (name, adversary) in adversaries() {
+            let label = format!("{}/{name}", topology.label());
+            let dense = build(
+                &topology,
+                &algorithm,
+                &adversary,
+                &problem,
+                BackendChoice::Dense,
+            );
+            let csr = build(
+                &topology,
+                &algorithm,
+                &adversary,
+                &problem,
+                BackendChoice::Csr,
+            );
+
+            // Trial-for-trial outcome equality on the scalar path...
+            let dense_runner = ScenarioRunner::new(&dense).sequential();
+            let csr_runner = ScenarioRunner::new(&csr).sequential();
+            assert_eq!(
+                dense_runner.collect_trials(4).unwrap(),
+                csr_runner.collect_trials(4).unwrap(),
+                "{label}: scalar outcomes diverged across backends"
+            );
+
+            // ...byte-identical serialized measurements...
+            let dense_m = dense_runner.run_trials(4).unwrap();
+            let csr_m = csr_runner.run_trials(4).unwrap();
+            assert_eq!(dense_m, csr_m, "{label}: measurements diverged");
+            assert_eq!(
+                serde_json::to_string(&dense_m).unwrap(),
+                serde_json::to_string(&csr_m).unwrap(),
+                "{label}: measurement bytes diverged across backends"
+            );
+
+            // ...and the batch path wherever it engages (oblivious
+            // adversaries): CSR-batched must match dense-scalar exactly.
+            let csr_batched = ScenarioRunner::new(&csr).sequential().batch(true);
+            if csr_batched.uses_batch() {
+                assert_eq!(
+                    dense_runner.collect_trials(4).unwrap(),
+                    csr_batched.collect_trials(4).unwrap(),
+                    "{label}: CSR batch diverged from dense scalar"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bracelet_attack_agrees_across_backends() {
+    // The one adversary bound to a single topology family.
+    let topology = TopologySpec::Bracelet { k: 3 };
+    let algorithm: AlgorithmSpec = LocalAlgorithm::StaticDecay.into();
+    let adversary = AdversarySpec::BraceletAttack;
+    let problem = ProblemSpec::LocalHeadsA;
+    let dense = build(
+        &topology,
+        &algorithm,
+        &adversary,
+        &problem,
+        BackendChoice::Dense,
+    );
+    let csr = build(
+        &topology,
+        &algorithm,
+        &adversary,
+        &problem,
+        BackendChoice::Csr,
+    );
+    assert_eq!(
+        ScenarioRunner::new(&dense)
+            .sequential()
+            .collect_trials(6)
+            .unwrap(),
+        ScenarioRunner::new(&csr)
+            .sequential()
+            .collect_trials(6)
+            .unwrap(),
+    );
+}
+
+#[test]
+fn campaign_cells_store_identical_bytes_under_every_backend() {
+    use dradio::campaign::{execute_cell, execute_cell_batched};
+
+    let scenario = ScenarioSpec {
+        topology: TopologySpec::Grid { cols: 6, rows: 5 },
+        algorithm: GlobalAlgorithm::Permuted.into(),
+        adversary: AdversarySpec::Iid { p: 0.5 },
+        problem: ProblemSpec::GlobalFrom(0),
+        seed: 9,
+        max_rounds: Some(400),
+        collision_detection: false,
+    };
+    let cell = |backend| CellSpec {
+        scenario: scenario.clone(),
+        trials: TrialPolicy::Fixed(3),
+        record_mode: RecordMode::None,
+        curve: false,
+        batch: false,
+        backend,
+    };
+
+    let auto = execute_cell(&cell(BackendChoice::Auto), false).unwrap();
+    let dense = execute_cell(&cell(BackendChoice::Dense), false).unwrap();
+    let csr = execute_cell(&cell(BackendChoice::Csr), false).unwrap();
+    let csr_batched = execute_cell_batched(&cell(BackendChoice::Csr), false, true).unwrap();
+
+    // Same measurement (and measurement bytes), same identity key: a forced
+    // backend resumes, merges, and dedups against auto-built stores.
+    for record in [&dense, &csr, &csr_batched] {
+        assert_eq!(record.key, auto.key);
+        assert_eq!(record.measurement, auto.measurement);
+        assert_eq!(
+            serde_json::to_string(&record.measurement).unwrap(),
+            serde_json::to_string(&auto.measurement).unwrap(),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ragged degrees: sparse Erdős–Rényi networks have wildly uneven rows
+    /// (including isolated nodes), so CSR row walks, scratch sizing, and the
+    /// word algebra all face non-uniform shapes. Outcomes must still match
+    /// the dense backend trial for trial, scalar and batched.
+    #[test]
+    fn ragged_degree_networks_agree_across_backends(
+        n in 8usize..48,
+        p in 0.05f64..0.6,
+        seed in 0u64..200,
+        trials in 1usize..40,
+    ) {
+        let topology = TopologySpec::SparseErdosRenyi { n, p, seed };
+        let algorithm: AlgorithmSpec = GlobalAlgorithm::Permuted.into();
+        let adversary = AdversarySpec::Iid { p: 0.5 };
+        let problem = ProblemSpec::GlobalFrom(0);
+        let dense = build(&topology, &algorithm, &adversary, &problem, BackendChoice::Dense);
+        let csr = build(&topology, &algorithm, &adversary, &problem, BackendChoice::Csr);
+        let dense_runner = ScenarioRunner::new(&dense).sequential();
+        let csr_runner = ScenarioRunner::new(&csr).sequential();
+        let expected = dense_runner.collect_trials(trials).unwrap();
+        prop_assert_eq!(&expected, &csr_runner.collect_trials(trials).unwrap());
+        // Ragged trial counts over ragged rows on the batch path too.
+        let batched = csr_runner.batch(true);
+        prop_assert!(batched.uses_batch());
+        prop_assert_eq!(&expected, &batched.collect_trials(trials).unwrap());
+    }
+
+    /// Star graphs are the extreme ragged shape — one hub of degree n-1,
+    /// n-1 leaves of degree 1 — and grids exercise the streamed CSR builder.
+    #[test]
+    fn extreme_degree_skew_agrees_across_backends(
+        n in 4usize..32,
+        seed in 0u64..100,
+    ) {
+        for topology in [
+            TopologySpec::Star { n },
+            TopologySpec::Grid { cols: n, rows: 3 },
+        ] {
+            let algorithm: AlgorithmSpec = GlobalAlgorithm::Permuted.into();
+            let adversary = AdversarySpec::Iid { p: 0.5 };
+            let problem = ProblemSpec::GlobalFrom(0);
+            let dense = Scenario::on(topology.clone())
+                .algorithm(algorithm.clone())
+                .adversary(adversary.clone())
+                .problem(problem.clone())
+                .seed(seed)
+                .max_rounds(200)
+                .backend(BackendChoice::Dense)
+                .build()
+                .unwrap();
+            let csr = Scenario::on(topology)
+                .algorithm(algorithm)
+                .adversary(adversary)
+                .problem(problem)
+                .seed(seed)
+                .max_rounds(200)
+                .backend(BackendChoice::Csr)
+                .build()
+                .unwrap();
+            prop_assert_eq!(
+                ScenarioRunner::new(&dense).sequential().collect_trials(5).unwrap(),
+                ScenarioRunner::new(&csr).sequential().collect_trials(5).unwrap()
+            );
+        }
+    }
+}
